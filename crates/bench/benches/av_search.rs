@@ -1,0 +1,64 @@
+//! Criterion benchmarks for AttrVectSearch: serial vs parallel range scans
+//! and the paper-linear vs bitmap set-membership strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use colstore::dictionary::{AttributeVector, ValueId};
+use encdict::avsearch::{search_ids, search_ranges, Parallelism, SetSearchStrategy};
+use encdict::VidRange;
+
+fn bench_av_search(c: &mut Criterion) {
+    let rows = 1_000_000usize;
+    let dict_len = 10_000usize;
+    let av: AttributeVector = (0..rows)
+        .map(|i| ValueId(((i * 2654435761) % dict_len) as u32))
+        .collect();
+    let ranges = [VidRange::new(100, 200), None];
+
+    let mut group = c.benchmark_group("av_range_scan");
+    group.throughput(Throughput::Elements(rows as u64));
+    for threads in [1usize, 2, 4] {
+        let p = if threads == 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::Threads(threads)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &p, |b, p| {
+            b.iter(|| search_ranges(&av, &ranges, *p))
+        });
+    }
+    group.finish();
+
+    let vids: Vec<u32> = (0..50u32).map(|i| i * 97 % dict_len as u32).collect();
+    let mut group = c.benchmark_group("av_id_list");
+    group.throughput(Throughput::Elements(rows as u64));
+    group.bench_function("paper_linear", |b| {
+        b.iter(|| {
+            search_ids(
+                &av,
+                &vids,
+                dict_len,
+                SetSearchStrategy::PaperLinear,
+                Parallelism::Serial,
+            )
+        })
+    });
+    group.bench_function("bitmap", |b| {
+        b.iter(|| {
+            search_ids(
+                &av,
+                &vids,
+                dict_len,
+                SetSearchStrategy::Bitmap,
+                Parallelism::Serial,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_av_search
+}
+criterion_main!(benches);

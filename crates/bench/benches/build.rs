@@ -1,0 +1,24 @@
+//! Criterion benchmarks for EncDB: building each encrypted dictionary kind
+//! from a plaintext column (the data owner's offline cost, Fig. 5 step 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use encdbdb_bench::*;
+use encdict::EdKind;
+
+fn bench_build(c: &mut Criterion) {
+    let prepared = prepare_c2(10_000, 20);
+    let mut group = c.benchmark_group("encdb_build");
+    for kind in EdKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| build_ed(&prepared, kind, 10, 21))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build
+}
+criterion_main!(benches);

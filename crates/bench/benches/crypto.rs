@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the cryptographic substrate: the
+//! per-value costs that dominate EnclDictSearch (one AES-GCM decryption per
+//! dictionary entry touched, Algorithm 1).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use encdbdb_crypto::aes::Aes128;
+use encdbdb_crypto::hkdf::derive_column_key;
+use encdbdb_crypto::keys::{Key128, Key256};
+use encdbdb_crypto::{sha256, x25519, Pae};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_crypto(c: &mut Criterion) {
+    let key = Key128::from_bytes([7; 16]);
+    let cipher = Aes128::new(&key);
+    c.bench_function("aes128_block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            cipher.encrypt_block(&mut block);
+            std::hint::black_box(block[0])
+        })
+    });
+
+    let pae = Pae::new(&key);
+    let mut rng = StdRng::seed_from_u64(1);
+    // A 10-byte value like the paper's C2 strings.
+    let ct = pae.encrypt_with_rng(&mut rng, b"aaaaabbbbb", b"encdbdb/dict-value/v1");
+    let mut group = c.benchmark_group("pae");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("encrypt_10B", |b| {
+        b.iter(|| pae.encrypt_with_rng(&mut rng, b"aaaaabbbbb", b"encdbdb/dict-value/v1"))
+    });
+    group.bench_function("decrypt_10B", |b| {
+        b.iter(|| pae.decrypt(&ct, b"encdbdb/dict-value/v1").unwrap())
+    });
+    group.finish();
+
+    c.bench_function("sha256_64B", |b| {
+        let data = [5u8; 64];
+        b.iter(|| sha256::digest(&data))
+    });
+    c.bench_function("derive_column_key", |b| {
+        b.iter(|| derive_column_key(&key, "bw", "C2"))
+    });
+    c.bench_function("x25519_shared_secret", |b| {
+        let sk = Key256::from_bytes([9; 32]);
+        let pk = x25519::public_key(&Key256::from_bytes([4; 32]));
+        b.iter(|| x25519::shared_secret(&sk, &pk))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_crypto
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks for EnclDictSearch (enclave) vs the PlainDBDB twin
+//! across the three order options — the per-order-option costs of Table 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use encdbdb_bench::*;
+use encdict::plain::search_plain;
+use encdict::{DictEnclave, EdKind, EncryptedRange, RangeQuery};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dict_search(c: &mut Criterion) {
+    let rows = 20_000usize;
+    let prepared = prepare_c2(rows, 10);
+    let mid = prepared.sorted_uniques[prepared.sorted_uniques.len() / 2].clone();
+    let hi = prepared.sorted_uniques[prepared.sorted_uniques.len() / 2 + 3].clone();
+    let query = RangeQuery::between(mid, hi);
+
+    let mut group = c.benchmark_group("dict_search");
+    for kind in [EdKind::Ed1, EdKind::Ed2, EdKind::Ed3] {
+        let (dict, _) = build_ed(&prepared, kind, 10, 11);
+        let (pdict, _) = build_plain_ed(&prepared, kind, 10, 12);
+        let mut enclave = DictEnclave::with_seed(13);
+        enclave.provision_direct(master_key());
+        let pae = column_pae(&prepared.spec.name);
+        let mut rng = StdRng::seed_from_u64(14);
+        let tau = EncryptedRange::encrypt(&pae, &mut rng, &query);
+
+        group.bench_with_input(BenchmarkId::new("enclave", kind), &kind, |b, _| {
+            b.iter(|| enclave.search(&dict, &tau).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("plain", kind), &kind, |b, _| {
+            b.iter(|| search_plain(&pdict, &query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dict_search
+}
+criterion_main!(benches);

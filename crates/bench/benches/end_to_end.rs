@@ -1,0 +1,41 @@
+//! Criterion benchmark for the full SQL pipeline: proxy parse + encrypt,
+//! server dictionary + attribute-vector search, result render, proxy
+//! decrypt (Fig. 5 steps 5-14).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use encdbdb::Session;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut db = Session::with_seed(30).unwrap();
+    db.execute("CREATE TABLE bw (k ED5(10), v ED1(10))").unwrap();
+    // Load 2,000 rows via inserts + merge into the main store.
+    let mut values = Vec::new();
+    for i in 0..2_000 {
+        values.push(format!("('k{i:06}', 'v{:06}')", i % 37));
+    }
+    for chunk in values.chunks(500) {
+        db.execute(&format!("INSERT INTO bw VALUES {}", chunk.join(", ")))
+            .unwrap();
+    }
+    db.merge("bw").unwrap();
+
+    c.bench_function("sql_range_select", |b| {
+        b.iter(|| {
+            db.execute("SELECT v FROM bw WHERE k BETWEEN 'k000100' AND 'k000200'")
+                .unwrap()
+        })
+    });
+    c.bench_function("sql_equality_select", |b| {
+        b.iter(|| db.execute("SELECT v FROM bw WHERE k = 'k000150'").unwrap())
+    });
+    c.bench_function("sql_insert_delta", |b| {
+        b.iter(|| db.execute("INSERT INTO bw VALUES ('knew000', 'vnew00')").unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,346 @@
+//! Delta store (differential buffer) for dynamic data.
+//!
+//! Paper §4.3: each column is split into a read-optimized *main store* and a
+//! write-optimized *delta store*. Inserts append to the delta; updates
+//! append the new value and invalidate the old row via a *validity vector*;
+//! deletes just invalidate. Reads run on both stores and merge results
+//! while checking validity. Periodic merges fold the delta into the main
+//! store to keep reads fast.
+//!
+//! This module provides the plaintext machinery ([`ValidityVector`],
+//! [`DeltaStore`], [`DeltaColumn`]); the *encrypted* delta handling (delta
+//! always uses ED9) lives in `encdict::dynamic`.
+
+use crate::column::Column;
+use crate::dictionary::RecordId;
+use crate::error::ColstoreError;
+
+/// A bitmap recording which rows of a store are valid.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidityVector {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl ValidityVector {
+    /// Creates a validity vector of `len` rows, all valid.
+    pub fn all_valid(len: usize) -> Self {
+        ValidityVector {
+            bits: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of rows tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no rows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one row with the given validity.
+    pub fn push(&mut self, valid: bool) {
+        let idx = self.len;
+        if idx / 64 >= self.bits.len() {
+            self.bits.push(0);
+        }
+        if valid {
+            self.bits[idx / 64] |= 1 << (idx % 64);
+        } else {
+            self.bits[idx / 64] &= !(1 << (idx % 64));
+        }
+        self.len += 1;
+    }
+
+    /// Whether row `i` is valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        assert!(i < self.len, "validity index {i} out of bounds {}", self.len);
+        self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Marks row `i` invalid (a delete, or the old version of an update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn invalidate(&mut self, i: usize) {
+        assert!(i < self.len, "validity index {i} out of bounds {}", self.len);
+        self.bits[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Number of valid rows.
+    pub fn count_valid(&self) -> usize {
+        let full = self.len / 64;
+        let mut n: usize = self.bits[..full].iter().map(|w| w.count_ones() as usize).sum();
+        let rem = self.len % 64;
+        if rem > 0 {
+            let mask = (1u64 << rem) - 1;
+            n += (self.bits[full] & mask).count_ones() as usize;
+        }
+        n
+    }
+}
+
+/// The write-optimized delta store of one column: an append-only column
+/// plus its validity vector.
+#[derive(Debug, Clone)]
+pub struct DeltaStore {
+    values: Column,
+    validity: ValidityVector,
+}
+
+impl DeltaStore {
+    /// Creates an empty delta store for values up to `max_len` bytes.
+    pub fn new(max_len: usize) -> Self {
+        DeltaStore {
+            values: Column::new("delta", max_len),
+            validity: ValidityVector::default(),
+        }
+    }
+
+    /// Appends a new value; returns its delta-local RecordId.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColstoreError::ValueTooLong`] if the value exceeds the
+    /// column maximum.
+    pub fn insert(&mut self, value: &[u8]) -> Result<RecordId, ColstoreError> {
+        self.values.push(value)?;
+        self.validity.push(true);
+        Ok(RecordId((self.values.len() - 1) as u32))
+    }
+
+    /// Invalidates a delta row (delete / update-old-version).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rid` is out of bounds.
+    pub fn invalidate(&mut self, rid: RecordId) {
+        self.validity.invalidate(rid.0 as usize);
+    }
+
+    /// Number of rows ever appended.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the delta is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of still-valid rows.
+    pub fn valid_len(&self) -> usize {
+        self.validity.count_valid()
+    }
+
+    /// Value of delta row `rid`.
+    pub fn value(&self, rid: RecordId) -> &[u8] {
+        self.values.value(rid.0 as usize)
+    }
+
+    /// Whether row `rid` is valid.
+    pub fn is_valid(&self, rid: RecordId) -> bool {
+        self.validity.is_valid(rid.0 as usize)
+    }
+
+    /// Iterates over `(RecordId, value)` of *valid* rows.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (RecordId, &[u8])> + '_ {
+        (0..self.len()).filter_map(move |i| {
+            if self.validity.is_valid(i) {
+                Some((RecordId(i as u32), self.values.value(i)))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Drains the delta into a plain column of its valid values (a merge
+    /// step), leaving the delta empty.
+    pub fn drain_valid(&mut self) -> Column {
+        let mut out = Column::new("merged-delta", self.values.max_len());
+        for (_, v) in self.iter_valid() {
+            out.push(v).expect("value came from a column with the same max_len");
+        }
+        *self = DeltaStore::new(self.values.max_len());
+        out
+    }
+}
+
+/// A full dynamic column: main store (any representation, managed by the
+/// caller) is *not* held here — this type tracks main-store validity and
+/// the delta store, which is what §4.3 adds on top of a static column.
+#[derive(Debug, Clone)]
+pub struct DeltaColumn {
+    main_validity: ValidityVector,
+    delta: DeltaStore,
+}
+
+impl DeltaColumn {
+    /// Creates delta bookkeeping for a main store of `main_rows` rows with
+    /// values up to `max_len` bytes.
+    pub fn new(main_rows: usize, max_len: usize) -> Self {
+        DeltaColumn {
+            main_validity: ValidityVector::all_valid(main_rows),
+            delta: DeltaStore::new(max_len),
+        }
+    }
+
+    /// Inserts a new value into the delta.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ColstoreError::ValueTooLong`].
+    pub fn insert(&mut self, value: &[u8]) -> Result<RecordId, ColstoreError> {
+        self.delta.insert(value)
+    }
+
+    /// Deletes a main-store row.
+    pub fn delete_main(&mut self, rid: RecordId) {
+        self.main_validity.invalidate(rid.0 as usize);
+    }
+
+    /// Deletes a delta-store row.
+    pub fn delete_delta(&mut self, rid: RecordId) {
+        self.delta.invalidate(rid);
+    }
+
+    /// Updates a main-store row: invalidates it and appends the new value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ColstoreError::ValueTooLong`]; the old row is only
+    /// invalidated if the insert succeeds.
+    pub fn update_main(&mut self, rid: RecordId, new_value: &[u8]) -> Result<RecordId, ColstoreError> {
+        let new_rid = self.delta.insert(new_value)?;
+        self.main_validity.invalidate(rid.0 as usize);
+        Ok(new_rid)
+    }
+
+    /// Whether main-store row `rid` is still valid.
+    pub fn main_is_valid(&self, rid: RecordId) -> bool {
+        self.main_validity.is_valid(rid.0 as usize)
+    }
+
+    /// Filters a main-store result list down to valid rows (the §4.3 merge
+    /// step of a read query).
+    pub fn filter_valid_main(&self, rids: impl IntoIterator<Item = RecordId>) -> Vec<RecordId> {
+        rids.into_iter()
+            .filter(|r| self.main_is_valid(*r))
+            .collect()
+    }
+
+    /// Access to the delta store.
+    pub fn delta(&self) -> &DeltaStore {
+        &self.delta
+    }
+
+    /// Mutable access to the delta store.
+    pub fn delta_mut(&mut self) -> &mut DeltaStore {
+        &mut self.delta
+    }
+
+    /// Merge: returns the valid delta values as a column and resets the
+    /// delta plus main validity for a rebuilt main store of `new_main_rows`.
+    pub fn merge(&mut self, new_main_rows: usize) -> Column {
+        let merged = self.delta.drain_valid();
+        self.main_validity = ValidityVector::all_valid(new_main_rows);
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_push_and_check() {
+        let mut v = ValidityVector::default();
+        for i in 0..130 {
+            v.push(i % 3 != 0);
+        }
+        assert_eq!(v.len(), 130);
+        assert!(!v.is_valid(0));
+        assert!(v.is_valid(1));
+        assert!(!v.is_valid(129)); // 129 % 3 == 0
+        assert_eq!(v.count_valid(), (0..130).filter(|i| i % 3 != 0).count());
+    }
+
+    #[test]
+    fn validity_all_valid_and_invalidate() {
+        let mut v = ValidityVector::all_valid(70);
+        assert_eq!(v.count_valid(), 70);
+        v.invalidate(64);
+        v.invalidate(0);
+        assert_eq!(v.count_valid(), 68);
+        assert!(!v.is_valid(64));
+    }
+
+    #[test]
+    #[should_panic]
+    fn validity_out_of_bounds_panics() {
+        let v = ValidityVector::all_valid(3);
+        let _ = v.is_valid(3);
+    }
+
+    #[test]
+    fn delta_insert_and_iterate() {
+        let mut d = DeltaStore::new(16);
+        let r0 = d.insert(b"new-a").unwrap();
+        let r1 = d.insert(b"new-b").unwrap();
+        d.invalidate(r0);
+        let valid: Vec<&[u8]> = d.iter_valid().map(|(_, v)| v).collect();
+        assert_eq!(valid, vec![&b"new-b"[..]]);
+        assert_eq!(d.valid_len(), 1);
+        assert_eq!(d.value(r1), b"new-b");
+    }
+
+    #[test]
+    fn delta_drain_resets() {
+        let mut d = DeltaStore::new(16);
+        d.insert(b"a").unwrap();
+        let r = d.insert(b"b").unwrap();
+        d.invalidate(r);
+        let merged = d.drain_valid();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged.value(0), b"a");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn delta_column_update_flow() {
+        let mut dc = DeltaColumn::new(10, 16);
+        assert!(dc.main_is_valid(RecordId(3)));
+        let new_rid = dc.update_main(RecordId(3), b"updated").unwrap();
+        assert!(!dc.main_is_valid(RecordId(3)));
+        assert_eq!(dc.delta().value(new_rid), b"updated");
+
+        let filtered = dc.filter_valid_main((0..10).map(RecordId));
+        assert_eq!(filtered.len(), 9);
+    }
+
+    #[test]
+    fn delta_column_merge_rebuilds_validity() {
+        let mut dc = DeltaColumn::new(5, 16);
+        dc.delete_main(RecordId(1));
+        dc.insert(b"x").unwrap();
+        let merged = dc.merge(5); // 4 valid main + 1 delta = 5 new rows
+        assert_eq!(merged.len(), 1);
+        assert!(dc.main_is_valid(RecordId(1)));
+        assert!(dc.delta().is_empty());
+    }
+
+    #[test]
+    fn value_too_long_propagates() {
+        let mut dc = DeltaColumn::new(1, 4);
+        assert!(dc.insert(b"way-too-long").is_err());
+    }
+}

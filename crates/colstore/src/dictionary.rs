@@ -1,0 +1,336 @@
+//! Dictionary encoding: dictionaries, attribute vectors, splits.
+//!
+//! Paper §2.1: dictionary encoding splits a column `C` into a dictionary
+//! `D` (each value of `C` present at least once; index = *ValueID*) and an
+//! attribute vector `AV` replacing every value by a ValueID (index =
+//! *RecordID*). Definition 1 (*split correctness*) requires
+//! `∀j: D[AV[j]] = C[j]`, which [`verify_split`] checks verbatim.
+
+use crate::column::Column;
+use std::collections::HashMap;
+
+/// Index into a [`Dictionary`] (paper: *vid*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId(pub u32);
+
+/// Index into an [`AttributeVector`] (paper: *rid*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId(pub u32);
+
+/// A plaintext dictionary: arena-backed list of values indexed by ValueID.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dictionary {
+    data: Vec<u8>,
+    offsets: Vec<u64>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dictionary {
+            data: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Appends a value, returning its ValueID.
+    pub fn push(&mut self, value: &[u8]) -> ValueId {
+        let id = ValueId(self.len() as u32);
+        self.data.extend_from_slice(value);
+        self.offsets.push(self.data.len() as u64);
+        id
+    }
+
+    /// Number of dictionary entries (`|D|`).
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value stored at `vid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vid` is out of bounds.
+    #[inline]
+    pub fn value(&self, vid: ValueId) -> &[u8] {
+        let i = vid.0 as usize;
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterates over `(ValueId, value)` pairs in ValueID order.
+    pub fn iter(&self) -> impl Iterator<Item = (ValueId, &[u8])> + '_ {
+        (0..self.len()).map(move |i| (ValueId(i as u32), self.value(ValueId(i as u32))))
+    }
+
+    /// In-memory heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.data.len() + self.offsets.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Sum of raw value bytes (without the offset table).
+    pub fn value_bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+impl<'a> FromIterator<&'a [u8]> for Dictionary {
+    fn from_iter<T: IntoIterator<Item = &'a [u8]>>(iter: T) -> Self {
+        let mut d = Dictionary::new();
+        for v in iter {
+            d.push(v);
+        }
+        d
+    }
+}
+
+/// An attribute vector: one ValueID per record.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttributeVector {
+    ids: Vec<u32>,
+}
+
+impl AttributeVector {
+    /// Creates an empty attribute vector.
+    pub fn new() -> Self {
+        AttributeVector { ids: Vec::new() }
+    }
+
+    /// Creates an attribute vector with preallocated capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        AttributeVector {
+            ids: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a ValueID.
+    #[inline]
+    pub fn push(&mut self, vid: ValueId) {
+        self.ids.push(vid.0);
+    }
+
+    /// Number of records (`|AV|`).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The ValueID at record `rid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn value_id(&self, rid: RecordId) -> ValueId {
+        ValueId(self.ids[rid.0 as usize])
+    }
+
+    /// Raw ValueID slice for scan loops.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// In-memory heap footprint in bytes (`u32` per entry).
+    pub fn heap_size(&self) -> usize {
+        self.ids.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Storage size when ValueIDs are bit-packed to the smallest of
+    /// 1/2/4 bytes that can address `dict_len` values — the compressed
+    /// representation the paper's Table 6 numbers assume ("a ValueID of
+    /// *i* bits is sufficient to represent 2^i different values").
+    pub fn packed_size(&self, dict_len: usize) -> usize {
+        self.ids.len() * packed_id_width(dict_len)
+    }
+}
+
+impl FromIterator<ValueId> for AttributeVector {
+    fn from_iter<T: IntoIterator<Item = ValueId>>(iter: T) -> Self {
+        AttributeVector {
+            ids: iter.into_iter().map(|v| v.0).collect(),
+        }
+    }
+}
+
+/// Byte width (1, 2, 4 or 8) required to address `dict_len` entries.
+pub fn packed_id_width(dict_len: usize) -> usize {
+    // dict_len entries need ids 0..dict_len-1, so up to 2^8 entries fit one
+    // byte, up to 2^16 two bytes, and so on.
+    match dict_len as u64 {
+        0..=0x100 => 1,
+        0x101..=0x1_0000 => 2,
+        0x1_0001..=0x1_0000_0000 => 4,
+        _ => 8,
+    }
+}
+
+/// Splits a column into a **lexicographically sorted**, duplicate-free
+/// dictionary and the matching attribute vector — classic dictionary
+/// encoding, the starting point for ED1.
+pub fn split_sorted(column: &Column) -> (Dictionary, AttributeVector) {
+    let mut sorted: Vec<&[u8]> = column.iter().collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let dict: Dictionary = sorted.iter().copied().collect();
+    let index: HashMap<&[u8], u32> = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, i as u32))
+        .collect();
+    let av = column.iter().map(|v| ValueId(index[v])).collect();
+    (dict, av)
+}
+
+/// Splits a column into an **insertion-order**, duplicate-free dictionary
+/// (first occurrence wins) and attribute vector — the layout MonetDB uses
+/// for small string dictionaries (paper §5).
+pub fn split_insertion_order(column: &Column) -> (Dictionary, AttributeVector) {
+    let mut dict = Dictionary::new();
+    let mut index: HashMap<Vec<u8>, u32> = HashMap::new();
+    let mut av = AttributeVector::with_capacity(column.len());
+    for v in column.iter() {
+        let id = match index.get(v) {
+            Some(&i) => ValueId(i),
+            None => {
+                let id = dict.push(v);
+                index.insert(v.to_vec(), id.0);
+                id
+            }
+        };
+        av.push(id);
+    }
+    (dict, av)
+}
+
+/// Checks *split correctness* (paper Definition 1):
+/// `∀j ∈ [0, |AV|-1]: D[AV[j]] = C[j]`, plus the structural requirements
+/// that `|AV| = |C|` and every value of `C` occurs in `D`.
+pub fn verify_split(column: &Column, dict: &Dictionary, av: &AttributeVector) -> bool {
+    if av.len() != column.len() {
+        return false;
+    }
+    for j in 0..column.len() {
+        let vid = av.value_id(RecordId(j as u32));
+        if vid.0 as usize >= dict.len() {
+            return false;
+        }
+        if dict.value(vid) != column.value(j) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_column() -> Column {
+        // The paper's Figure 1 example.
+        Column::from_strs(
+            "FName",
+            10,
+            ["Hans", "Jessica", "Archie", "Jessica", "Jessica", "Archie"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sorted_split_matches_figure_1_semantics() {
+        let col = example_column();
+        let (dict, av) = split_sorted(&col);
+        assert_eq!(dict.len(), 3);
+        // Lexicographic: Archie < Hans < Jessica.
+        assert_eq!(dict.value(ValueId(0)), b"Archie");
+        assert_eq!(dict.value(ValueId(1)), b"Hans");
+        assert_eq!(dict.value(ValueId(2)), b"Jessica");
+        assert_eq!(av.as_slice(), &[1, 2, 0, 2, 2, 0]);
+        assert!(verify_split(&col, &dict, &av));
+    }
+
+    #[test]
+    fn insertion_order_split_preserves_first_occurrence() {
+        let col = example_column();
+        let (dict, av) = split_insertion_order(&col);
+        assert_eq!(dict.value(ValueId(0)), b"Hans");
+        assert_eq!(dict.value(ValueId(1)), b"Jessica");
+        assert_eq!(dict.value(ValueId(2)), b"Archie");
+        assert_eq!(av.as_slice(), &[0, 1, 2, 1, 1, 2]);
+        assert!(verify_split(&col, &dict, &av));
+    }
+
+    #[test]
+    fn verify_split_rejects_wrong_mapping() {
+        let col = example_column();
+        let (dict, mut av) = split_sorted(&col);
+        assert!(verify_split(&col, &dict, &av));
+        // Corrupt one entry.
+        let ids: Vec<u32> = av.as_slice().to_vec();
+        av = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i == 2 { ValueId(1) } else { ValueId(v) })
+            .collect();
+        assert!(!verify_split(&col, &dict, &av));
+    }
+
+    #[test]
+    fn verify_split_rejects_length_mismatch() {
+        let col = example_column();
+        let (dict, _) = split_sorted(&col);
+        let short: AttributeVector = [ValueId(0)].into_iter().collect();
+        assert!(!verify_split(&col, &dict, &short));
+    }
+
+    #[test]
+    fn verify_split_rejects_out_of_range_vid() {
+        let col = Column::from_strs("c", 4, ["a"]).unwrap();
+        let (dict, _) = split_sorted(&col);
+        let av: AttributeVector = [ValueId(7)].into_iter().collect();
+        assert!(!verify_split(&col, &dict, &av));
+    }
+
+    #[test]
+    fn packed_width_tiers() {
+        assert_eq!(packed_id_width(1), 1);
+        assert_eq!(packed_id_width(256), 1);
+        assert_eq!(packed_id_width(257), 2);
+        assert_eq!(packed_id_width(65536), 2);
+        assert_eq!(packed_id_width(65537), 4);
+    }
+
+    #[test]
+    fn paper_compression_example() {
+        // §2.1: 10,000 strings of 10 chars with 256 uniques: dictionary
+        // 256 * 10 B, attribute vector 10,000 * 1 B.
+        let dict_bytes = 256usize * 10;
+        let av_bytes = 10_000 * packed_id_width(256);
+        assert_eq!(dict_bytes + av_bytes, 12_560);
+    }
+
+    #[test]
+    fn empty_column_splits_to_empty_structures() {
+        let col = Column::new("c", 4);
+        let (dict, av) = split_sorted(&col);
+        assert!(dict.is_empty());
+        assert!(av.is_empty());
+        assert!(verify_split(&col, &dict, &av));
+    }
+
+    #[test]
+    fn dictionary_handles_empty_values() {
+        let col = Column::from_strs("c", 4, ["", "a", ""]).unwrap();
+        let (dict, av) = split_sorted(&col);
+        assert_eq!(dict.len(), 2);
+        assert!(verify_split(&col, &dict, &av));
+    }
+}

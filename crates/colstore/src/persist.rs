@@ -1,0 +1,159 @@
+//! Binary persistence for columns.
+//!
+//! In-memory databases keep the primary copy in RAM and use disk as
+//! secondary storage for durability (paper §2.1; Fig. 5 step 4: "The
+//! storage management of the in-memory database stores all data on disk for
+//! persistency and additionally loads it into main memory"). This module
+//! provides a small length-prefixed binary format for [`Column`]s so the
+//! DBMS layer can round-trip databases through disk.
+//!
+//! Encrypted dictionaries are persisted by serializing their untrusted
+//! representation (they are ciphertext already — `encdict` stores them
+//! outside the enclave).
+
+use crate::column::Column;
+use crate::error::ColstoreError;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"ENCDBCL1";
+
+/// Serializes a column into the binary format.
+pub fn column_to_bytes(column: &Column) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    let name = column.name().as_bytes();
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&(column.max_len() as u64).to_le_bytes());
+    out.extend_from_slice(&(column.len() as u64).to_le_bytes());
+    for v in column.iter() {
+        out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+/// Deserializes a column from the binary format.
+///
+/// # Errors
+///
+/// Returns [`ColstoreError::CorruptPersistedData`] on any structural
+/// problem (bad magic, truncation, length overflow, oversized value).
+pub fn column_from_bytes(bytes: &[u8]) -> Result<Column, ColstoreError> {
+    let corrupt = ColstoreError::CorruptPersistedData;
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], ColstoreError> {
+        if *pos + n > bytes.len() {
+            return Err(corrupt("truncated"));
+        }
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    if take(&mut pos, 8)? != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let name_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    let name = std::str::from_utf8(take(&mut pos, name_len)?)
+        .map_err(|_| corrupt("column name not utf-8"))?
+        .to_string();
+    let max_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+    let rows = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+    if rows > bytes.len() {
+        // Each row costs at least 4 bytes of length prefix; a row count
+        // larger than the blob is certainly corrupt.
+        return Err(corrupt("row count exceeds blob size"));
+    }
+    let mut column = Column::new(name, max_len);
+    for _ in 0..rows {
+        let vlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let v = take(&mut pos, vlen)?;
+        column
+            .push(v)
+            .map_err(|_| corrupt("value exceeds column maximum"))?;
+    }
+    if pos != bytes.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(column)
+}
+
+/// Writes a column to a file.
+///
+/// # Errors
+///
+/// Returns [`ColstoreError::Io`] on filesystem failures.
+pub fn write_column(path: &Path, column: &Column) -> Result<(), ColstoreError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&column_to_bytes(column))?;
+    Ok(())
+}
+
+/// Reads a column from a file.
+///
+/// # Errors
+///
+/// Returns [`ColstoreError::Io`] on filesystem failures or
+/// [`ColstoreError::CorruptPersistedData`] on format problems.
+pub fn read_column(path: &Path) -> Result<Column, ColstoreError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    column_from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bytes() {
+        let c = Column::from_strs("fname", 12, ["Hans", "", "Jessica"]).unwrap();
+        let bytes = column_to_bytes(&c);
+        let back = column_from_bytes(&bytes).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn roundtrip_file() {
+        let dir = std::env::temp_dir().join("encdbdb-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("col.bin");
+        let c = Column::from_strs("x", 8, ["a", "bb", "ccc"]).unwrap();
+        write_column(&path, &c).unwrap();
+        let back = read_column(&path).unwrap();
+        assert_eq!(back, c);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let c = Column::from_strs("x", 8, ["a"]).unwrap();
+        let mut bytes = column_to_bytes(&c);
+        bytes[0] ^= 1;
+        assert!(column_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let c = Column::from_strs("x", 8, ["abc", "def"]).unwrap();
+        let bytes = column_to_bytes(&c);
+        for cut in [5usize, 12, bytes.len() - 1] {
+            assert!(column_from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let c = Column::from_strs("x", 8, ["a"]).unwrap();
+        let mut bytes = column_to_bytes(&c);
+        bytes.push(0);
+        assert!(column_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_column(Path::new("/nonexistent/encdbdb")).unwrap_err();
+        assert!(matches!(err, ColstoreError::Io(_)));
+    }
+}

@@ -1,0 +1,108 @@
+//! Tables: named, row-aligned collections of columns.
+
+use crate::column::Column;
+use crate::error::ColstoreError;
+
+/// A plaintext table (used on the data-owner side before encryption, and by
+/// the plaintext baselines).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>) -> Self {
+        Table {
+            name: name.into(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColstoreError::DuplicateColumn`] if a column with the same
+    /// name exists, or [`ColstoreError::RowCountMismatch`] if its row count
+    /// differs from existing columns.
+    pub fn add_column(&mut self, column: Column) -> Result<(), ColstoreError> {
+        if self.columns.iter().any(|c| c.name() == column.name()) {
+            return Err(ColstoreError::DuplicateColumn(column.name().to_string()));
+        }
+        if let Some(first) = self.columns.first() {
+            if first.len() != column.len() {
+                return Err(ColstoreError::RowCountMismatch {
+                    expected: first.len(),
+                    got: column.len(),
+                });
+            }
+        }
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// Looks up a column by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColstoreError::ColumnNotFound`] if absent.
+    pub fn column(&self, name: &str) -> Result<&Column, ColstoreError> {
+        self.columns
+            .iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| ColstoreError::ColumnNotFound(name.to_string()))
+    }
+
+    /// All columns in insertion order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of rows (0 for a table without columns).
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup_columns() {
+        let mut t = Table::new("t1");
+        t.add_column(Column::from_strs("a", 8, ["x", "y"]).unwrap())
+            .unwrap();
+        t.add_column(Column::from_strs("b", 8, ["1", "2"]).unwrap())
+            .unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.column("a").unwrap().value(1), b"y");
+        assert!(t.column("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let mut t = Table::new("t1");
+        t.add_column(Column::new("a", 8)).unwrap();
+        let err = t.add_column(Column::new("a", 8)).unwrap_err();
+        assert!(matches!(err, ColstoreError::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn row_count_mismatch_rejected() {
+        let mut t = Table::new("t1");
+        t.add_column(Column::from_strs("a", 8, ["x"]).unwrap())
+            .unwrap();
+        let err = t
+            .add_column(Column::from_strs("b", 8, ["1", "2"]).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, ColstoreError::RowCountMismatch { .. }));
+    }
+}

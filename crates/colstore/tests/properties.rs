@@ -1,0 +1,82 @@
+//! Property-based tests for the storage substrate.
+
+use colstore::column::Column;
+use colstore::delta::ValidityVector;
+use colstore::dictionary::{split_insertion_order, split_sorted, verify_split};
+use colstore::monetdb::MonetColumn;
+use colstore::persist;
+use proptest::prelude::*;
+
+fn values_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-e]{0,5}", 0..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both split constructions satisfy Definition 1 on arbitrary columns.
+    #[test]
+    fn splits_are_correct(values in values_strategy()) {
+        let col = Column::from_strs("c", 8, values.iter()).unwrap();
+        let (d1, av1) = split_sorted(&col);
+        prop_assert!(verify_split(&col, &d1, &av1));
+        let (d2, av2) = split_insertion_order(&col);
+        prop_assert!(verify_split(&col, &d2, &av2));
+        // Both dedupe to the same unique count.
+        prop_assert_eq!(d1.len(), d2.len());
+    }
+
+    /// The sorted split produces a strictly increasing dictionary.
+    #[test]
+    fn sorted_split_is_strictly_sorted(values in values_strategy()) {
+        let col = Column::from_strs("c", 8, values.iter()).unwrap();
+        let (dict, _) = split_sorted(&col);
+        for i in 1..dict.len() {
+            use colstore::dictionary::ValueId;
+            prop_assert!(dict.value(ValueId((i - 1) as u32)) < dict.value(ValueId(i as u32)));
+        }
+    }
+
+    /// MonetDB range scans agree with a direct reference scan.
+    #[test]
+    fn monetdb_scan_matches_reference(values in values_strategy(),
+                                      lo in "[a-e]{0,3}", hi in "[a-e]{0,3}") {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let col = Column::from_strs("c", 8, values.iter()).unwrap();
+        let m = MonetColumn::ingest(&col);
+        let got: Vec<u32> = m
+            .range_search_inclusive(lo.as_bytes(), hi.as_bytes())
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        let expected: Vec<u32> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.as_str() >= lo.as_str() && v.as_str() <= hi.as_str())
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Column persistence round-trips arbitrary contents.
+    #[test]
+    fn persistence_roundtrip(values in values_strategy()) {
+        let col = Column::from_strs("col_name", 8, values.iter()).unwrap();
+        let bytes = persist::column_to_bytes(&col);
+        let back = persist::column_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, col);
+    }
+
+    /// Validity vectors count exactly the bits that were set.
+    #[test]
+    fn validity_count_matches_model(bits in prop::collection::vec(any::<bool>(), 0..200)) {
+        let mut v = ValidityVector::default();
+        for &b in &bits {
+            v.push(b);
+        }
+        prop_assert_eq!(v.count_valid(), bits.iter().filter(|b| **b).count());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(v.is_valid(i), b);
+        }
+    }
+}

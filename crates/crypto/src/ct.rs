@@ -1,0 +1,49 @@
+//! Constant-time comparison helpers.
+
+/// Compares two byte slices in constant time with respect to content.
+///
+/// Returns `false` immediately if the lengths differ (length is considered
+/// public). Otherwise the running time depends only on the length, not the
+/// position of the first difference.
+///
+/// # Example
+///
+/// ```
+/// use encdbdb_crypto::ct::ct_eq;
+/// assert!(ct_eq(b"tag", b"tag"));
+/// assert!(!ct_eq(b"tag", b"tab"));
+/// ```
+#[inline]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn unequal_content() {
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[0], &[1]));
+    }
+
+    #[test]
+    fn unequal_length() {
+        assert!(!ct_eq(&[1, 2], &[1, 2, 3]));
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2]));
+    }
+}

@@ -1,0 +1,71 @@
+//! Error types for the crypto crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by cryptographic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// Authentication tag verification failed during PAE decryption.
+    ///
+    /// Returned whenever a ciphertext was truncated, tampered with, or
+    /// decrypted under the wrong key — the three cases are deliberately
+    /// indistinguishable.
+    TagMismatch,
+    /// Ciphertext is too short to contain an IV and a tag.
+    Truncated {
+        /// Number of bytes that were provided.
+        got: usize,
+        /// Minimum number of bytes a well-formed ciphertext has.
+        need: usize,
+    },
+    /// A key or point had an invalid length.
+    InvalidLength {
+        /// Number of bytes that were provided.
+        got: usize,
+        /// Expected number of bytes.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::TagMismatch => write!(f, "authentication tag mismatch"),
+            CryptoError::Truncated { got, need } => {
+                write!(f, "ciphertext truncated: got {got} bytes, need at least {need}")
+            }
+            CryptoError::InvalidLength { got, expected } => {
+                write!(f, "invalid length: got {got} bytes, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let msgs = [
+            CryptoError::TagMismatch.to_string(),
+            CryptoError::Truncated { got: 3, need: 28 }.to_string(),
+            CryptoError::InvalidLength { got: 1, expected: 16 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

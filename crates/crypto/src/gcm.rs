@@ -1,0 +1,428 @@
+//! AES-128-GCM: the paper's probabilistic authenticated encryption (PAE).
+//!
+//! §2.3: *"PAE Enc takes a secret key SK, a random initialization vector IV
+//! and a plaintext value v as input and returns a ciphertext c. PAE Dec takes
+//! SK and c as input and returns v iff v was encrypted with PAE Enc under the
+//! initialization vector IV and the secret key SK. AES-128 in GCM mode can be
+//! used as a PAE implementation."*
+//!
+//! The wire format produced by [`Pae::encrypt`] is `IV(12) ‖ body ‖ TAG(16)`,
+//! i.e. 28 bytes of overhead per value — this is the constant that drives the
+//! "encrypted file" rows of the paper's Table 6.
+
+use crate::aes::Aes128;
+use crate::ct::ct_eq;
+use crate::error::CryptoError;
+use crate::keys::Key128;
+use rand::RngCore;
+
+/// IV length in bytes (96-bit nonces, the GCM fast path).
+pub const IV_LEN: usize = 12;
+/// Authentication tag length in bytes.
+pub const TAG_LEN: usize = 16;
+/// Total ciphertext expansion over the plaintext length.
+pub const OVERHEAD: usize = IV_LEN + TAG_LEN;
+
+/// GHASH: universal hashing over GF(2^128) using a 4-bit table.
+#[derive(Clone)]
+struct GHash {
+    /// Precomputed table `m[i] = (i as 4-bit poly) * H` for the high nibble
+    /// method.
+    table: [[u64; 2]; 16],
+}
+
+impl GHash {
+    fn new(h: [u8; 16]) -> Self {
+        // Represent elements as two u64 halves (big-endian bit order as per
+        // the GCM spec: bit 0 is the most significant bit of byte 0).
+        let h_hi = u64::from_be_bytes(h[..8].try_into().unwrap());
+        let h_lo = u64::from_be_bytes(h[8..].try_into().unwrap());
+        let mut table = [[0u64; 2]; 16];
+        // table[1] = H; table[i] built by conditional xor of shifted H.
+        // Build via: table[2^k * ...] using right-shift (multiplication by x).
+        table[8] = [h_hi, h_lo]; // 0b1000 ≙ 1 * H (x^0 coefficient in the nibble's MSB)
+        let mut v = [h_hi, h_lo];
+        for i in [4usize, 2, 1] {
+            v = Self::mul_x(v);
+            table[i] = v;
+        }
+        for i in [2usize, 4, 8] {
+            for j in 1..i {
+                table[i + j] = [table[i][0] ^ table[j][0], table[i][1] ^ table[j][1]];
+            }
+        }
+        GHash { table }
+    }
+
+    /// Multiplies a field element by x (one right shift in GCM bit order),
+    /// reducing modulo x^128 + x^7 + x^2 + x + 1.
+    #[inline]
+    fn mul_x(v: [u64; 2]) -> [u64; 2] {
+        let carry = v[1] & 1;
+        let mut lo = (v[1] >> 1) | (v[0] << 63);
+        let mut hi = v[0] >> 1;
+        if carry != 0 {
+            hi ^= 0xe100_0000_0000_0000;
+        }
+        // no-op to keep clippy happy about the pattern
+        lo ^= 0;
+        [hi, lo]
+    }
+
+    /// Multiplies `x` by the hash key H using the 4-bit table method.
+    fn mul_h(&self, x: [u64; 2]) -> [u64; 2] {
+        // Reduction table for shifting by 4 bits: R[i] = i * (reduction poly
+        // folded), standard values from the Shoup 4-bit method.
+        const R: [u64; 16] = [
+            0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0, 0xe100, 0xfd20,
+            0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0,
+        ];
+        let mut z = [0u64; 2];
+        let bytes = [x[0].to_be_bytes(), x[1].to_be_bytes()];
+        // Process nibbles from the last byte to the first.
+        for half in [1usize, 0] {
+            for byte_idx in (0..8).rev() {
+                let byte = bytes[half][byte_idx];
+                for nibble in [byte & 0x0f, byte >> 4] {
+                    // z = z * x^4 (shift right by 4 with reduction) then add table[nibble]
+                    let rem = (z[1] & 0x0f) as usize;
+                    z[1] = (z[1] >> 4) | (z[0] << 60);
+                    z[0] = (z[0] >> 4) ^ (R[rem] << 48);
+                    let t = self.table[nibble as usize];
+                    z[0] ^= t[0];
+                    z[1] ^= t[1];
+                }
+            }
+        }
+        z
+    }
+
+    /// GHASH over `aad` and `ct` with standard GCM length block.
+    fn ghash(&self, aad: &[u8], ct: &[u8]) -> [u8; 16] {
+        let mut y = [0u64; 2];
+        let absorb = |data: &[u8], y: &mut [u64; 2]| {
+            for chunk in data.chunks(16) {
+                let mut block = [0u8; 16];
+                block[..chunk.len()].copy_from_slice(chunk);
+                y[0] ^= u64::from_be_bytes(block[..8].try_into().unwrap());
+                y[1] ^= u64::from_be_bytes(block[8..].try_into().unwrap());
+                *y = self.mul_h(*y);
+            }
+        };
+        absorb(aad, &mut y);
+        absorb(ct, &mut y);
+        let mut len_block = [0u8; 16];
+        len_block[..8].copy_from_slice(&((aad.len() as u64) * 8).to_be_bytes());
+        len_block[8..].copy_from_slice(&((ct.len() as u64) * 8).to_be_bytes());
+        y[0] ^= u64::from_be_bytes(len_block[..8].try_into().unwrap());
+        y[1] ^= u64::from_be_bytes(len_block[8..].try_into().unwrap());
+        y = self.mul_h(y);
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&y[0].to_be_bytes());
+        out[8..].copy_from_slice(&y[1].to_be_bytes());
+        out
+    }
+}
+
+/// A parsed PAE ciphertext: `IV ‖ body ‖ tag`.
+///
+/// The canonical serialized form is produced by [`Ciphertext::as_bytes`]
+/// (it is stored contiguously). Values travel and rest in this format —
+/// inside encrypted dictionaries, in queries, and in result columns.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ciphertext(Vec<u8>);
+
+impl Ciphertext {
+    /// Wraps raw bytes as a ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::Truncated`] if `bytes` cannot contain an IV and
+    /// a tag.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, CryptoError> {
+        if bytes.len() < OVERHEAD {
+            return Err(CryptoError::Truncated {
+                got: bytes.len(),
+                need: OVERHEAD,
+            });
+        }
+        Ok(Ciphertext(bytes))
+    }
+
+    /// The serialized `IV ‖ body ‖ tag` bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consumes the ciphertext, returning the serialized bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Length of the underlying plaintext.
+    pub fn plaintext_len(&self) -> usize {
+        self.0.len() - OVERHEAD
+    }
+
+    /// Total serialized length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the serialized form is empty (never true for valid values).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    fn iv(&self) -> &[u8] {
+        &self.0[..IV_LEN]
+    }
+
+    fn body(&self) -> &[u8] {
+        &self.0[IV_LEN..self.0.len() - TAG_LEN]
+    }
+
+    fn tag(&self) -> &[u8] {
+        &self.0[self.0.len() - TAG_LEN..]
+    }
+}
+
+impl std::fmt::Debug for Ciphertext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Ciphertext({} bytes)", self.0.len())
+    }
+}
+
+/// Probabilistic authenticated encryption: AES-128-GCM.
+///
+/// One `Pae` instance holds the expanded key schedule and the GHASH table
+/// for a single key — mirroring the enclave caching the derived `SK_D`
+/// during a dictionary search.
+#[derive(Clone)]
+pub struct Pae {
+    cipher: Aes128,
+    ghash: GHash,
+}
+
+impl std::fmt::Debug for Pae {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pae").finish_non_exhaustive()
+    }
+}
+
+impl Pae {
+    /// Creates a PAE instance for `key`.
+    pub fn new(key: &Key128) -> Self {
+        let cipher = Aes128::new(key);
+        let h = cipher.encrypt_block_copy(&[0u8; 16]);
+        Pae {
+            ghash: GHash::new(h),
+            cipher,
+        }
+    }
+
+    fn ctr_xor(&self, iv: &[u8], data: &mut [u8]) {
+        let mut counter_block = [0u8; 16];
+        counter_block[..IV_LEN].copy_from_slice(iv);
+        let mut ctr: u32 = 2; // counter 1 is reserved for the tag mask
+        for chunk in data.chunks_mut(16) {
+            counter_block[12..].copy_from_slice(&ctr.to_be_bytes());
+            let keystream = self.cipher.encrypt_block_copy(&counter_block);
+            for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+                *b ^= k;
+            }
+            ctr = ctr.wrapping_add(1);
+        }
+    }
+
+    fn tag(&self, iv: &[u8], aad: &[u8], ct: &[u8]) -> [u8; 16] {
+        let mut j0 = [0u8; 16];
+        j0[..IV_LEN].copy_from_slice(iv);
+        j0[15] = 1;
+        let mask = self.cipher.encrypt_block_copy(&j0);
+        let mut tag = self.ghash.ghash(aad, ct);
+        for (t, m) in tag.iter_mut().zip(mask.iter()) {
+            *t ^= m;
+        }
+        tag
+    }
+
+    /// `PAE Enc(SK, IV, v)` with an explicit IV.
+    ///
+    /// Use [`Pae::encrypt_with_rng`] in production paths; explicit IVs exist
+    /// for deterministic tests and for the paper's algorithm descriptions.
+    pub fn encrypt(&self, iv: &[u8; IV_LEN], plaintext: &[u8], aad: &[u8]) -> Ciphertext {
+        let mut out = Vec::with_capacity(plaintext.len() + OVERHEAD);
+        out.extend_from_slice(iv);
+        out.extend_from_slice(plaintext);
+        self.ctr_xor(iv, &mut out[IV_LEN..]);
+        let tag = self.tag(iv, aad, &out[IV_LEN..]);
+        out.extend_from_slice(&tag);
+        Ciphertext(out)
+    }
+
+    /// `PAE Enc` with a fresh random IV drawn from `rng`.
+    pub fn encrypt_with_rng<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        plaintext: &[u8],
+        aad: &[u8],
+    ) -> Ciphertext {
+        let mut iv = [0u8; IV_LEN];
+        rng.fill_bytes(&mut iv);
+        self.encrypt(&iv, plaintext, aad)
+    }
+
+    /// `PAE Dec(SK, c)`: decrypts and verifies authenticity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::TagMismatch`] if the tag does not verify
+    /// (wrong key, tampered ciphertext, or wrong AAD).
+    pub fn decrypt(&self, ct: &Ciphertext, aad: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let expected = self.tag(ct.iv(), aad, ct.body());
+        if !ct_eq(&expected, ct.tag()) {
+            return Err(CryptoError::TagMismatch);
+        }
+        let mut pt = ct.body().to_vec();
+        let iv: &[u8] = ct.iv();
+        self.ctr_xor(iv, &mut pt);
+        Ok(pt)
+    }
+
+    /// Decrypts a serialized `IV ‖ body ‖ tag` byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::Truncated`] for malformed input, otherwise as
+    /// [`Pae::decrypt`].
+    pub fn decrypt_bytes(&self, bytes: &[u8], aad: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let ct = Ciphertext::from_bytes(bytes.to_vec())?;
+        self.decrypt(&ct, aad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// NIST GCM test vector: empty plaintext, empty AAD, zero key/IV.
+    #[test]
+    fn nist_empty_vector() {
+        let pae = Pae::new(&Key128::from_bytes([0u8; 16]));
+        let ct = pae.encrypt(&[0u8; 12], b"", b"");
+        assert_eq!(ct.body(), b"");
+        assert_eq!(ct.tag().to_vec(), hex("58e2fccefa7e3061367f1d57a4e7455a"));
+    }
+
+    /// NIST GCM test vector: one zero block under the zero key.
+    #[test]
+    fn nist_single_block_vector() {
+        let pae = Pae::new(&Key128::from_bytes([0u8; 16]));
+        let ct = pae.encrypt(&[0u8; 12], &[0u8; 16], b"");
+        assert_eq!(ct.body().to_vec(), hex("0388dace60b6a392f328c2b971b2fe78"));
+        assert_eq!(ct.tag().to_vec(), hex("ab6e47d42cec13bdf53a67b21257bddf"));
+    }
+
+    /// NIST GCM test case 3: 4-block message.
+    #[test]
+    fn nist_four_block_vector() {
+        let key = Key128::from_slice(&hex("feffe9928665731c6d6a8f9467308308")).unwrap();
+        let iv: [u8; 12] = hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let pae = Pae::new(&key);
+        let ct = pae.encrypt(&iv, &pt, b"");
+        assert_eq!(
+            ct.body().to_vec(),
+            hex("42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985")
+        );
+        assert_eq!(ct.tag().to_vec(), hex("4d5c2af327cd64a62cf35abd2ba6fab4"));
+    }
+
+    /// NIST GCM test case 4: with AAD and a partial final block.
+    #[test]
+    fn nist_aad_vector() {
+        let key = Key128::from_slice(&hex("feffe9928665731c6d6a8f9467308308")).unwrap();
+        let iv: [u8; 12] = hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let pae = Pae::new(&key);
+        let ct = pae.encrypt(&iv, &pt, &aad);
+        assert_eq!(
+            ct.body().to_vec(),
+            hex("42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091")
+        );
+        assert_eq!(ct.tag().to_vec(), hex("5bc94fbc3221a5db94fae95ae7121a47"));
+        assert_eq!(pae.decrypt(&ct, &aad).unwrap(), pt);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let pae = Pae::new(&Key128::from_bytes([3u8; 16]));
+        let mut rng = StdRng::seed_from_u64(42);
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i % 256) as u8).collect();
+            let ct = pae.encrypt_with_rng(&mut rng, &pt, b"aad");
+            assert_eq!(pae.decrypt(&ct, b"aad").unwrap(), pt, "len {len}");
+            assert_eq!(ct.len(), len + OVERHEAD);
+            assert_eq!(ct.plaintext_len(), len);
+        }
+    }
+
+    #[test]
+    fn probabilistic_encryption_differs() {
+        // §2.3 / EncDB 4: "this only leads to the same ciphertexts with
+        // negligible probability, even if the plaintexts are equal".
+        let pae = Pae::new(&Key128::from_bytes([3u8; 16]));
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = pae.encrypt_with_rng(&mut rng, b"Jessica", b"");
+        let b = pae.encrypt_with_rng(&mut rng, b"Jessica", b"");
+        assert_ne!(a.as_bytes(), b.as_bytes());
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let pae = Pae::new(&Key128::from_bytes([3u8; 16]));
+        let ct = pae.encrypt(&[1u8; 12], b"secret value", b"");
+        for i in 0..ct.len() {
+            let mut bytes = ct.as_bytes().to_vec();
+            bytes[i] ^= 0x01;
+            let tampered = Ciphertext::from_bytes(bytes).unwrap();
+            assert_eq!(pae.decrypt(&tampered, b""), Err(CryptoError::TagMismatch));
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let pae1 = Pae::new(&Key128::from_bytes([3u8; 16]));
+        let pae2 = Pae::new(&Key128::from_bytes([4u8; 16]));
+        let ct = pae1.encrypt(&[1u8; 12], b"v", b"");
+        assert_eq!(pae2.decrypt(&ct, b""), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let pae = Pae::new(&Key128::from_bytes([3u8; 16]));
+        let ct = pae.encrypt(&[1u8; 12], b"v", b"aad1");
+        assert_eq!(pae.decrypt(&ct, b"aad2"), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(Ciphertext::from_bytes(vec![0u8; OVERHEAD - 1]).is_err());
+        assert!(Ciphertext::from_bytes(vec![0u8; OVERHEAD]).is_ok());
+    }
+}

@@ -1,0 +1,143 @@
+//! HKDF-SHA256 (RFC 5869) and the paper's column-key derivation.
+//!
+//! §4.2 step 3 of the paper: "Each encrypted dictionary is encrypted with an
+//! individual key `SK_D`, which is derived from `SK_DB`, the table name, and
+//! the column name." [`derive_column_key`] implements exactly that.
+
+use crate::hmac::hmac_sha256;
+use crate::keys::{Key128, Key256};
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF-Extract: `PRK = HMAC(salt, ikm)`.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand producing `out.len()` bytes (at most `255 * 32`).
+///
+/// # Panics
+///
+/// Panics if more than `255 * 32` output bytes are requested.
+pub fn expand(prk: &[u8; DIGEST_LEN], info: &[u8], out: &mut [u8]) {
+    assert!(out.len() <= 255 * DIGEST_LEN, "hkdf output too long");
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    let mut written = 0usize;
+    while written < out.len() {
+        let mut msg = Vec::with_capacity(t.len() + info.len() + 1);
+        msg.extend_from_slice(&t);
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let block = hmac_sha256(prk, &msg);
+        let take = (out.len() - written).min(DIGEST_LEN);
+        out[written..written + take].copy_from_slice(&block[..take]);
+        written += take;
+        t = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// One-shot HKDF (extract + expand).
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], out: &mut [u8]) {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, out);
+}
+
+/// Derives the per-column key `SK_D = DeriveKey(SK_DB, tableName, colName)`.
+///
+/// Table and column names are length-prefixed inside the HKDF `info` input so
+/// that `("ab","c")` and `("a","bc")` derive unrelated keys.
+///
+/// # Example
+///
+/// ```
+/// use encdbdb_crypto::hkdf::derive_column_key;
+/// use encdbdb_crypto::keys::Key128;
+///
+/// let skdb = Key128::from_bytes([1; 16]);
+/// let a = derive_column_key(&skdb, "sales", "price");
+/// let b = derive_column_key(&skdb, "sales", "region");
+/// assert_ne!(a.as_bytes(), b.as_bytes());
+/// ```
+pub fn derive_column_key(skdb: &Key128, table_name: &str, col_name: &str) -> Key128 {
+    let mut info = Vec::with_capacity(16 + table_name.len() + col_name.len());
+    info.extend_from_slice(b"encdbdb:column-key:v1");
+    info.extend_from_slice(&(table_name.len() as u32).to_be_bytes());
+    info.extend_from_slice(table_name.as_bytes());
+    info.extend_from_slice(&(col_name.len() as u32).to_be_bytes());
+    info.extend_from_slice(col_name.as_bytes());
+    let mut out = [0u8; 16];
+    hkdf(b"encdbdb-hkdf-salt", skdb.as_bytes(), &info, &mut out);
+    Key128::from_bytes(out)
+}
+
+/// Derives a 256-bit key for MAC/secure-channel purposes.
+pub fn derive_key256(secret: &[u8], info: &[u8]) -> Key256 {
+    let mut out = [0u8; 32];
+    hkdf(b"encdbdb-hkdf-salt", secret, info, &mut out);
+    Key256::from_bytes(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0b; 22];
+        let salt: Vec<u8> = (0u8..=12).collect();
+        let info: Vec<u8> = (0xf0u8..=0xf9).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case_3_no_salt_no_info() {
+        let ikm = [0x0b; 22];
+        let prk = extract(&[], &ikm);
+        let mut okm = [0u8; 42];
+        expand(&prk, &[], &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn column_keys_are_domain_separated() {
+        let skdb = Key128::from_bytes([9; 16]);
+        // ("ab","c") vs ("a","bc") must differ thanks to length prefixes.
+        let k1 = derive_column_key(&skdb, "ab", "c");
+        let k2 = derive_column_key(&skdb, "a", "bc");
+        assert_ne!(k1.as_bytes(), k2.as_bytes());
+    }
+
+    #[test]
+    fn column_key_is_deterministic() {
+        let skdb = Key128::from_bytes([9; 16]);
+        assert_eq!(
+            derive_column_key(&skdb, "t", "c").as_bytes(),
+            derive_column_key(&skdb, "t", "c").as_bytes()
+        );
+    }
+
+    #[test]
+    fn different_master_keys_derive_different_column_keys() {
+        let a = derive_column_key(&Key128::from_bytes([1; 16]), "t", "c");
+        let b = derive_column_key(&Key128::from_bytes([2; 16]), "t", "c");
+        assert_ne!(a.as_bytes(), b.as_bytes());
+    }
+}

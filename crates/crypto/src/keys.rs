@@ -1,0 +1,129 @@
+//! Key newtypes.
+//!
+//! Keys zeroize their memory on drop and never appear in `Debug` output.
+//! `Key128` is used for AES-128-GCM data keys (`SK_DB`, `SK_D`); `Key256`
+//! for HMAC/HKDF secrets and X25519 scalars.
+
+use rand::RngCore;
+
+macro_rules! key_type {
+    ($(#[$doc:meta])* $name:ident, $len:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, PartialEq, Eq)]
+        pub struct $name([u8; $len]);
+
+        impl $name {
+            /// Constructs a key from raw bytes.
+            pub fn from_bytes(bytes: [u8; $len]) -> Self {
+                Self(bytes)
+            }
+
+            /// Constructs a key from a slice.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`crate::CryptoError::InvalidLength`] if `bytes` is not
+            /// exactly the key length.
+            pub fn from_slice(bytes: &[u8]) -> Result<Self, crate::CryptoError> {
+                if bytes.len() != $len {
+                    return Err(crate::CryptoError::InvalidLength {
+                        got: bytes.len(),
+                        expected: $len,
+                    });
+                }
+                let mut k = [0u8; $len];
+                k.copy_from_slice(bytes);
+                Ok(Self(k))
+            }
+
+            /// Generates a fresh random key from `rng`.
+            pub fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                let mut k = [0u8; $len];
+                rng.fill_bytes(&mut k);
+                Self(k)
+            }
+
+            /// Returns the raw key bytes.
+            pub fn as_bytes(&self) -> &[u8; $len] {
+                &self.0
+            }
+
+            /// Length of the key in bytes.
+            pub const LEN: usize = $len;
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "(<redacted>)"))
+            }
+        }
+
+        impl Drop for $name {
+            fn drop(&mut self) {
+                for b in self.0.iter_mut() {
+                    *b = 0;
+                }
+            }
+        }
+    };
+}
+
+key_type!(
+    /// A 128-bit secret key (AES-128-GCM).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use encdbdb_crypto::keys::Key128;
+    /// let key = Key128::from_bytes([0x42; 16]);
+    /// assert_eq!(key.as_bytes().len(), 16);
+    /// ```
+    Key128,
+    16
+);
+
+key_type!(
+    /// A 256-bit secret key (HMAC/HKDF secrets, X25519 scalars).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use encdbdb_crypto::keys::Key256;
+    /// let key = Key256::from_bytes([0x42; 32]);
+    /// assert_eq!(key.as_bytes().len(), 32);
+    /// ```
+    Key256,
+    32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn debug_never_reveals_bytes() {
+        let k = Key128::from_bytes([0xAB; 16]);
+        assert_eq!(format!("{k:?}"), "Key128(<redacted>)");
+        let k = Key256::from_bytes([0xCD; 32]);
+        assert_eq!(format!("{k:?}"), "Key256(<redacted>)");
+    }
+
+    #[test]
+    fn from_slice_validates_length() {
+        assert!(Key128::from_slice(&[0u8; 16]).is_ok());
+        assert!(Key128::from_slice(&[0u8; 15]).is_err());
+        assert!(Key256::from_slice(&[0u8; 32]).is_ok());
+        assert!(Key256::from_slice(&[0u8; 31]).is_err());
+    }
+
+    #[test]
+    fn generate_is_seeded_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        assert_eq!(Key128::generate(&mut r1), Key128::generate(&mut r2));
+        let mut r3 = StdRng::seed_from_u64(2);
+        assert_ne!(Key128::generate(&mut r1), Key128::generate(&mut r3));
+    }
+}

@@ -1,0 +1,385 @@
+//! X25519 Diffie–Hellman key agreement (RFC 7748).
+//!
+//! Used by the simulated remote-attestation flow (`enclave-sim::channel`) to
+//! establish the secure channel over which the data owner provisions `SK_DB`
+//! into the enclave (§4.2 step 2 of the paper).
+//!
+//! Field arithmetic uses the standard radix-2^51 representation: five
+//! 51-bit limbs with `u128` intermediate products.
+
+use crate::keys::Key256;
+
+/// The X25519 base point (u = 9).
+pub const BASEPOINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// Field element modulo 2^255 - 19, five 51-bit limbs.
+#[derive(Clone, Copy, Debug)]
+struct Fe([u64; 5]);
+
+const MASK51: u64 = (1 << 51) - 1;
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |b: &[u8]| -> u64 {
+            let mut v = [0u8; 8];
+            v.copy_from_slice(b);
+            u64::from_le_bytes(v)
+        };
+        Fe([
+            load(&bytes[0..8]) & MASK51,
+            (load(&bytes[6..14]) >> 3) & MASK51,
+            (load(&bytes[12..20]) >> 6) & MASK51,
+            (load(&bytes[19..27]) >> 1) & MASK51,
+            (load(&bytes[24..32]) >> 12) & MASK51,
+        ])
+    }
+
+    fn to_bytes(mut self) -> [u8; 32] {
+        self = self.carry();
+        self = self.carry();
+        // Canonical reduction: add 19 and check for overflow past 2^255.
+        let mut q = (self.0[0].wrapping_add(19)) >> 51;
+        q = (self.0[1].wrapping_add(q)) >> 51;
+        q = (self.0[2].wrapping_add(q)) >> 51;
+        q = (self.0[3].wrapping_add(q)) >> 51;
+        q = (self.0[4].wrapping_add(q)) >> 51;
+        self.0[0] = self.0[0].wrapping_add(19u64.wrapping_mul(q));
+        let mut carry = self.0[0] >> 51;
+        self.0[0] &= MASK51;
+        for i in 1..5 {
+            self.0[i] = self.0[i].wrapping_add(carry);
+            carry = self.0[i] >> 51;
+            self.0[i] &= MASK51;
+        }
+        let mut out = [0u8; 32];
+        let limbs = self.0;
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for limb in limbs {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 && idx < 32 {
+                out[idx] = (acc & 0xff) as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        if idx < 32 {
+            // Flush the final partial byte (5 * 51 = 255 bits = 31 bytes + 7 bits).
+            out[idx] = acc as u8;
+        }
+        out
+    }
+
+    fn carry(mut self) -> Fe {
+        let mut c: u64 = 0;
+        for i in 0..5 {
+            self.0[i] = self.0[i].wrapping_add(c);
+            c = self.0[i] >> 51;
+            self.0[i] &= MASK51;
+        }
+        self.0[0] = self.0[0].wrapping_add(19 * c);
+        self
+    }
+
+    fn add(self, rhs: Fe) -> Fe {
+        let mut r = [0u64; 5];
+        for i in 0..5 {
+            r[i] = self.0[i] + rhs.0[i];
+        }
+        Fe(r).carry()
+    }
+
+    fn sub(self, rhs: Fe) -> Fe {
+        // Add 4*p before subtracting so the limb differences stay positive.
+        let pad = [
+            0xfffffffffffda * 2,
+            0xffffffffffffe * 2,
+            0xffffffffffffe * 2,
+            0xffffffffffffe * 2,
+            0xffffffffffffe * 2,
+        ];
+        let mut r = [0u64; 5];
+        for i in 0..5 {
+            r[i] = self.0[i] + pad[i] - rhs.0[i];
+        }
+        Fe(r).carry().carry()
+    }
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let a = self.0.map(|x| x as u128);
+        let b = rhs.0.map(|x| x as u128);
+        let mut t = [0u128; 5];
+        for i in 0..5 {
+            for j in 0..5 {
+                let prod = a[i] * b[j];
+                if i + j < 5 {
+                    t[i + j] += prod;
+                } else {
+                    t[i + j - 5] += prod * 19;
+                }
+            }
+        }
+        let mut r = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..5 {
+            let v = t[i] + carry;
+            r[i] = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        let mut fe = Fe(r);
+        fe.0[0] = fe.0[0].wrapping_add(19 * (carry as u64));
+        fe.carry()
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn mul_small(self, k: u64) -> Fe {
+        let mut t = [0u128; 5];
+        for i in 0..5 {
+            t[i] = (self.0[i] as u128) * (k as u128);
+        }
+        let mut r = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..5 {
+            let v = t[i] + carry;
+            r[i] = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        let mut fe = Fe(r);
+        fe.0[0] = fe.0[0].wrapping_add(19 * (carry as u64));
+        fe.carry()
+    }
+
+    /// Inversion via Fermat: a^(p-2).
+    fn invert(self) -> Fe {
+        let mut result = Fe::ONE;
+        let mut base = self;
+        // p - 2 = 2^255 - 21; its binary expansion is all ones except bits 1 and 3... use
+        // the straightforward bit loop over the constant.
+        let exp: [u8; 32] = {
+            let mut e = [0xffu8; 32];
+            e[0] = 0xeb; // 2^255 - 21 little-endian: ...ffffeb
+            e[31] = 0x7f;
+            e
+        };
+        for byte in exp.iter() {
+            let mut b = *byte;
+            for _ in 0..8 {
+                if b & 1 == 1 {
+                    result = result.mul(base);
+                }
+                base = base.square();
+                b >>= 1;
+            }
+        }
+        result
+    }
+
+    /// Constant-time conditional swap.
+    fn cswap(a: &mut Fe, b: &mut Fe, swap: u64) {
+        let mask = 0u64.wrapping_sub(swap);
+        for i in 0..5 {
+            let t = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= t;
+            b.0[i] ^= t;
+        }
+    }
+}
+
+fn clamp(scalar: &[u8; 32]) -> [u8; 32] {
+    let mut s = *scalar;
+    s[0] &= 248;
+    s[31] &= 127;
+    s[31] |= 64;
+    s
+}
+
+/// Computes the X25519 function: scalar multiplication on Curve25519's
+/// Montgomery u-line.
+///
+/// # Example
+///
+/// ```
+/// use encdbdb_crypto::x25519::{x25519, BASEPOINT};
+/// let alice_secret = [0x11u8; 32];
+/// let bob_secret = [0x22u8; 32];
+/// let alice_public = x25519(&alice_secret, &BASEPOINT);
+/// let bob_public = x25519(&bob_secret, &BASEPOINT);
+/// assert_eq!(
+///     x25519(&alice_secret, &bob_public),
+///     x25519(&bob_secret, &alice_public),
+/// );
+/// ```
+pub fn x25519(scalar: &[u8; 32], point: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(scalar);
+    let mut u = *point;
+    u[31] &= 127; // mask the high bit per RFC 7748
+    let x1 = Fe::from_bytes(&u);
+
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap: u64 = 0;
+
+    for t in (0..255).rev() {
+        let k_t = ((k[t / 8] >> (t % 8)) & 1) as u64;
+        swap ^= k_t;
+        Fe::cswap(&mut x2, &mut x3, swap);
+        Fe::cswap(&mut z2, &mut z3, swap);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121665)));
+    }
+    Fe::cswap(&mut x2, &mut x3, swap);
+    Fe::cswap(&mut z2, &mut z3, swap);
+
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// Derives the public key for `secret`.
+pub fn public_key(secret: &Key256) -> [u8; 32] {
+    x25519(secret.as_bytes(), &BASEPOINT)
+}
+
+/// Computes the shared secret between `secret` and a peer public key.
+pub fn shared_secret(secret: &Key256, peer_public: &[u8; 32]) -> Key256 {
+    Key256::from_bytes(x25519(secret.as_bytes(), peer_public))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    fn hex(s: &str) -> [u8; 32] {
+        let v: Vec<u8> = (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    #[test]
+    fn fe_roundtrip() {
+        let a: [u8; 32] = {
+            let mut v = [0u8; 32];
+            for (i, b) in v.iter_mut().enumerate() {
+                *b = (i + 1) as u8;
+            }
+            v
+        };
+        assert_eq!(Fe::from_bytes(&a).to_bytes(), a);
+    }
+
+    #[test]
+    fn fe_arith_reference() {
+        let a = hex("0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20");
+        let b = hex("7765666768696a6b6c6d6e6f707172737475767778797a7b7c7d7e7f80818203");
+        let fa = Fe::from_bytes(&a);
+        let fb = Fe::from_bytes(&b);
+        assert_eq!(
+            fa.mul(fb).to_bytes(),
+            hex("c38300c7b19b5fd8e0530ce5b862bda3f07e29cb3e5f07125aba0d2ff946f358"),
+            "mul"
+        );
+        assert_eq!(
+            fa.add(fb).to_bytes(),
+            hex("7867696b6d6f71737577797b7d7f81838587898b8d8f91939597999b9d9fa123"),
+            "add"
+        );
+        assert_eq!(
+            fa.sub(fb).to_bytes(),
+            hex("8a9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c9c1c"),
+            "sub"
+        );
+        assert_eq!(
+            fa.invert().to_bytes(),
+            hex("e5faf5a435158b4cc68d583058fece071d8b8d20ed6abf17651a73c28fec414d"),
+            "inv"
+        );
+    }
+
+    #[test]
+    fn rfc7748_vector_1() {
+        let scalar = hex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let point = hex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let out = x25519(&scalar, &point);
+        assert_eq!(
+            out,
+            hex("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552")
+        );
+    }
+
+    #[test]
+    fn rfc7748_vector_2() {
+        let scalar = hex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let point = hex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let out = x25519(&scalar, &point);
+        assert_eq!(
+            out,
+            hex("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957")
+        );
+    }
+
+    #[test]
+    fn rfc7748_alice_bob() {
+        let alice_sk = hex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_sk = hex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let alice_pk = x25519(&alice_sk, &BASEPOINT);
+        let bob_pk = x25519(&bob_sk, &BASEPOINT);
+        assert_eq!(
+            alice_pk,
+            hex("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a")
+        );
+        assert_eq!(
+            bob_pk,
+            hex("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f")
+        );
+        let shared = hex("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+        assert_eq!(x25519(&alice_sk, &bob_pk), shared);
+        assert_eq!(x25519(&bob_sk, &alice_pk), shared);
+    }
+
+    #[test]
+    fn random_key_agreement() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..8 {
+            let mut a = [0u8; 32];
+            let mut b = [0u8; 32];
+            rng.fill_bytes(&mut a);
+            rng.fill_bytes(&mut b);
+            let a_key = Key256::from_bytes(a);
+            let b_key = Key256::from_bytes(b);
+            let shared_ab = shared_secret(&a_key, &public_key(&b_key));
+            let shared_ba = shared_secret(&b_key, &public_key(&a_key));
+            assert_eq!(shared_ab.as_bytes(), shared_ba.as_bytes());
+        }
+    }
+}
+

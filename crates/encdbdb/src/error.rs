@@ -1,0 +1,106 @@
+//! Error types for the EncDBDB DBMS layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DBMS layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DbError {
+    /// SQL lexing/parsing failed.
+    Parse(String),
+    /// A referenced table does not exist.
+    TableNotFound(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// A referenced column does not exist in the table.
+    ColumnNotFound(String),
+    /// An INSERT row has the wrong number of values.
+    ArityMismatch {
+        /// Columns in the table.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A filter shape the pipeline cannot evaluate (e.g. a cell/filter
+    /// form mismatching the column protection). Conjunctions across
+    /// columns *are* supported (each conjunct must be single-column).
+    UnsupportedFilter(String),
+    /// A value exceeded the column's fixed maximal length.
+    ValueTooLong {
+        /// Length of the offending value.
+        got: usize,
+        /// Column maximum.
+        max: usize,
+    },
+    /// An encrypted-dictionary operation failed.
+    Dict(encdict::EncdictError),
+    /// A storage-substrate operation failed.
+    Storage(colstore::ColstoreError),
+    /// An enclave operation failed (attestation, provisioning).
+    Enclave(enclave_sim::EnclaveError),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(msg) => write!(f, "sql parse error: {msg}"),
+            DbError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            DbError::ArityMismatch { expected, got } => {
+                write!(f, "insert arity mismatch: table has {expected} columns, got {got} values")
+            }
+            DbError::UnsupportedFilter(msg) => write!(f, "unsupported filter: {msg}"),
+            DbError::ValueTooLong { got, max } => {
+                write!(f, "value of {got} bytes exceeds column maximum of {max}")
+            }
+            DbError::Dict(e) => write!(f, "dictionary failure: {e}"),
+            DbError::Storage(e) => write!(f, "storage failure: {e}"),
+            DbError::Enclave(e) => write!(f, "enclave failure: {e}"),
+        }
+    }
+}
+
+impl Error for DbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DbError::Dict(e) => Some(e),
+            DbError::Storage(e) => Some(e),
+            DbError::Enclave(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<encdict::EncdictError> for DbError {
+    fn from(e: encdict::EncdictError) -> Self {
+        DbError::Dict(e)
+    }
+}
+
+impl From<colstore::ColstoreError> for DbError {
+    fn from(e: colstore::ColstoreError) -> Self {
+        DbError::Storage(e)
+    }
+}
+
+impl From<enclave_sim::EnclaveError> for DbError {
+    fn from(e: enclave_sim::EnclaveError) -> Self {
+        DbError::Enclave(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = DbError::Parse("unexpected token".into());
+        assert!(e.to_string().contains("unexpected token"));
+        assert!(e.source().is_none());
+        let e = DbError::from(encdict::EncdictError::KeyNotProvisioned);
+        assert!(e.source().is_some());
+    }
+}

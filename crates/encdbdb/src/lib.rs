@@ -1,0 +1,47 @@
+//! EncDBDB: a searchable encrypted, fast, compressed, in-memory database
+//! using (simulated) enclaves — the DBMS layer of the reproduction.
+//!
+//! This crate wires the encrypted dictionaries of the [`encdict`] crate
+//! into a working database (paper §3–§5):
+//!
+//! * [`sql`] — a SQL front end where ED1–ED9 are column data types, as in
+//!   the paper's MonetDB integration (`CREATE TABLE t1 (c1 ED7(12), ...)`).
+//! * [`schema`] — per-column dictionary selection.
+//! * [`owner`] — the data owner: key generation, remote attestation,
+//!   `EncDB` encryption, deployment (Fig. 5 steps 1–4).
+//! * [`proxy`] — the trusted proxy: query-type-hiding range conversion and
+//!   encryption of filters, decryption of results (steps 5 + 14).
+//! * [`server`] — the untrusted DBaaS server: storage, query evaluation
+//!   engine, delta stores, merges (steps 6–13).
+//! * [`session`] — an in-process deployment of all components.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use encdbdb::Session;
+//!
+//! let mut db = Session::with_seed(7)?;
+//! db.execute("CREATE TABLE people (fname ED5(12), city ED9(16))")?;
+//! db.execute("INSERT INTO people VALUES ('Jessica', 'Karlsruhe'), ('Archie', 'Waterloo')")?;
+//! let r = db.execute("SELECT city FROM people WHERE fname >= 'B'")?;
+//! assert_eq!(r.rows_as_strings(), vec![vec!["Karlsruhe".to_string()]]);
+//! # Ok::<(), encdbdb::DbError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod owner;
+pub mod proxy;
+pub mod schema;
+pub mod server;
+pub mod session;
+pub mod sql;
+
+pub use error::DbError;
+pub use owner::DataOwner;
+pub use proxy::{Proxy, QueryResult};
+pub use schema::{ColumnSpec, DictChoice, TableSchema};
+pub use server::{DbaasServer, DeployedColumn, QueryStats};
+pub use session::Session;

@@ -1,0 +1,460 @@
+//! The trusted proxy (paper Fig. 5, steps 5 and 14).
+//!
+//! The proxy sits between the application and the DBaaS server. It parses
+//! SQL, converts every filter into a range select so the server cannot
+//! distinguish query types, encrypts the range bounds under the column key
+//! with fresh random IVs, forwards the query, and decrypts the returned
+//! result columns — the whole process is transparent to the application.
+
+use crate::error::DbError;
+use crate::schema::{ColumnSpec, DictChoice, TableSchema};
+use crate::server::{CellValue, DbaasServer, ServerFilter};
+use crate::sql::{parse, CompareOp, Filter, Statement};
+use encdbdb_crypto::hkdf::derive_column_key;
+use encdbdb_crypto::keys::Key128;
+use encdbdb_crypto::Pae;
+use encdict::enclave_ops::{decrypt_column_value, encrypt_value_for_column};
+use encdict::{EncryptedRange, RangeBound, RangeQuery};
+use rand::Rng;
+
+/// A fully decrypted query result as handed to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Result column names.
+    pub columns: Vec<String>,
+    /// Result rows; plaintext values in column order.
+    pub rows: Vec<Vec<Vec<u8>>>,
+}
+
+impl QueryResult {
+    /// Number of result rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Rows rendered as UTF-8 strings (lossy) — convenient for examples.
+    pub fn rows_as_strings(&self) -> Vec<Vec<String>> {
+        self.rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|v| String::from_utf8_lossy(v).into_owned())
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// The trusted proxy.
+#[derive(Debug)]
+pub struct Proxy {
+    skdb: Key128,
+}
+
+impl Proxy {
+    /// Creates a proxy holding the master key (deployed out-of-band by the
+    /// data owner, Fig. 5 step 2).
+    pub fn new(skdb: Key128) -> Self {
+        Proxy { skdb }
+    }
+
+    fn column_pae(&self, table: &str, column: &str) -> Pae {
+        Pae::new(&derive_column_key(&self.skdb, table, column))
+    }
+
+    /// Converts an AST filter into a single plaintext range query —
+    /// the w.l.o.g. conversion of Fig. 5 step 5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnsupportedFilter`] for multi-column filters or
+    /// contradictory conjunctions.
+    pub fn filter_to_range(filter: &Filter) -> Result<(String, RangeQuery), DbError> {
+        let column = filter
+            .column()
+            .ok_or_else(|| {
+                DbError::UnsupportedFilter("filters must target a single column".to_string())
+            })?
+            .to_string();
+        let range = Self::range_of(filter)?;
+        Ok((column, range))
+    }
+
+    /// Decomposes a (possibly multi-column) conjunctive filter into one
+    /// range per referenced column: conjuncts on the same column are
+    /// intersected into a single range; different columns produce separate
+    /// ranges whose RecordID results the server intersects (the step 12
+    /// prefiltering).
+    ///
+    /// # Errors
+    ///
+    /// Propagates intersection failures.
+    pub fn filter_to_ranges(filter: &Filter) -> Result<Vec<(String, RangeQuery)>, DbError> {
+        fn collect<'a>(f: &'a Filter, out: &mut Vec<&'a Filter>) {
+            match f {
+                Filter::And(a, b) => {
+                    collect(a, out);
+                    collect(b, out);
+                }
+                leaf => out.push(leaf),
+            }
+        }
+        let mut leaves = Vec::new();
+        collect(filter, &mut leaves);
+        // Group by column preserving first-appearance order.
+        let mut order: Vec<String> = Vec::new();
+        let mut per_column: std::collections::HashMap<String, RangeQuery> =
+            std::collections::HashMap::new();
+        for leaf in leaves {
+            let (col, range) = Self::filter_to_range(leaf)?;
+            match per_column.remove(&col) {
+                None => {
+                    order.push(col.clone());
+                    per_column.insert(col, range);
+                }
+                Some(existing) => {
+                    per_column.insert(col, intersect(existing, range)?);
+                }
+            }
+        }
+        Ok(order
+            .into_iter()
+            .map(|col| {
+                let range = per_column.remove(&col).expect("grouped above");
+                (col, range)
+            })
+            .collect())
+    }
+
+    fn range_of(filter: &Filter) -> Result<RangeQuery, DbError> {
+        Ok(match filter {
+            Filter::Compare { op, value, .. } => match op {
+                CompareOp::Eq => RangeQuery::equals(value.clone()),
+                CompareOp::Lt => RangeQuery::less_than(value.clone()),
+                CompareOp::Le => RangeQuery::at_most(value.clone()),
+                CompareOp::Gt => RangeQuery::greater_than(value.clone()),
+                CompareOp::Ge => RangeQuery::at_least(value.clone()),
+            },
+            Filter::Between { low, high, .. } => {
+                RangeQuery::between(low.clone(), high.clone())
+            }
+            Filter::And(a, b) => {
+                let ra = Self::range_of(a)?;
+                let rb = Self::range_of(b)?;
+                intersect(ra, rb)?
+            }
+        })
+    }
+
+    /// Builds the server-side filter, encrypting bounds for encrypted
+    /// columns.
+    fn server_filter<R: Rng + ?Sized>(
+        &self,
+        table: &str,
+        spec: &ColumnSpec,
+        range: RangeQuery,
+        rng: &mut R,
+    ) -> ServerFilter {
+        match spec.choice {
+            DictChoice::Encrypted(_) => {
+                let pae = self.column_pae(table, &spec.name);
+                ServerFilter::Encrypted {
+                    column: spec.name.clone(),
+                    range: EncryptedRange::encrypt(&pae, rng, &range),
+                }
+            }
+            DictChoice::Plain => ServerFilter::Plain {
+                column: spec.name.clone(),
+                range,
+            },
+        }
+    }
+
+    /// Builds the server-side filter conjunction for an optional AST filter.
+    fn build_server_filters<R: Rng + ?Sized>(
+        &self,
+        schema: &TableSchema,
+        table: &str,
+        filter: Option<&Filter>,
+        rng: &mut R,
+    ) -> Result<Vec<ServerFilter>, DbError> {
+        let Some(filter) = filter else {
+            return Ok(Vec::new());
+        };
+        let ranges = Self::filter_to_ranges(filter)?;
+        let mut out = Vec::with_capacity(ranges.len());
+        for (col, range) in ranges {
+            let (_, spec) = schema
+                .column(&col)
+                .ok_or_else(|| DbError::ColumnNotFound(col.clone()))?;
+            out.push(self.server_filter(table, spec, range, rng));
+        }
+        Ok(out)
+    }
+
+    /// Executes one SQL statement against the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse, lookup, and crypto failures.
+    pub fn execute<R: Rng + ?Sized>(
+        &self,
+        server: &mut DbaasServer,
+        sql: &str,
+        rng: &mut R,
+    ) -> Result<QueryResult, DbError> {
+        match parse(sql)? {
+            Statement::CreateTable { name, columns } => {
+                let specs = columns
+                    .into_iter()
+                    .map(|c| ColumnSpec {
+                        name: c.name,
+                        choice: c.choice,
+                        max_len: c.max_len,
+                        bs_max: c.bs_max.unwrap_or(crate::schema::DEFAULT_BS_MAX),
+                    })
+                    .collect();
+                server.create_table(TableSchema::new(name, specs))?;
+                Ok(QueryResult {
+                    columns: vec![],
+                    rows: vec![],
+                })
+            }
+            Statement::Insert { table, rows } => {
+                let schema = server.schema(&table)?.clone();
+                let mut cells = Vec::with_capacity(rows.len());
+                for row in rows {
+                    if row.len() != schema.columns.len() {
+                        return Err(DbError::ArityMismatch {
+                            expected: schema.columns.len(),
+                            got: row.len(),
+                        });
+                    }
+                    let mut out = Vec::with_capacity(row.len());
+                    for (spec, value) in schema.columns.iter().zip(row) {
+                        if value.len() > spec.max_len {
+                            return Err(DbError::ValueTooLong {
+                                got: value.len(),
+                                max: spec.max_len,
+                            });
+                        }
+                        out.push(match spec.choice {
+                            DictChoice::Encrypted(_) => {
+                                let pae = self.column_pae(&table, &spec.name);
+                                CellValue::Encrypted(
+                                    encrypt_value_for_column(&pae, rng, &value).into_bytes(),
+                                )
+                            }
+                            DictChoice::Plain => CellValue::Plain(value),
+                        });
+                    }
+                    cells.push(out);
+                }
+                let n = server.insert(&table, &cells)?;
+                Ok(QueryResult {
+                    columns: vec!["inserted".to_string()],
+                    rows: vec![vec![n.to_string().into_bytes()]],
+                })
+            }
+            Statement::Select {
+                columns,
+                table,
+                filter,
+            } => {
+                let schema = server.schema(&table)?.clone();
+                let server_filters =
+                    self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
+                let response = server.select_multi(&table, &columns, &server_filters)?;
+                // Step 14: decrypt every entry of each encrypted result
+                // column with the column-specific key.
+                let mut paes: Vec<Option<Pae>> = Vec::with_capacity(response.columns.len());
+                for name in &response.columns {
+                    let (_, spec) = schema
+                        .column(name)
+                        .ok_or_else(|| DbError::ColumnNotFound(name.clone()))?;
+                    paes.push(match spec.choice {
+                        DictChoice::Encrypted(_) => Some(self.column_pae(&table, name)),
+                        DictChoice::Plain => None,
+                    });
+                }
+                let mut rows = Vec::with_capacity(response.rows.len());
+                for row in response.rows {
+                    let mut out = Vec::with_capacity(row.len());
+                    for (cell, pae) in row.into_iter().zip(&paes) {
+                        out.push(match (cell, pae) {
+                            (CellValue::Encrypted(ct), Some(pae)) => {
+                                decrypt_column_value(pae, &ct)?
+                            }
+                            (CellValue::Plain(v), None) => v,
+                            _ => {
+                                return Err(DbError::UnsupportedFilter(
+                                    "cell form does not match column protection".to_string(),
+                                ))
+                            }
+                        });
+                    }
+                    rows.push(out);
+                }
+                Ok(QueryResult {
+                    columns: response.columns,
+                    rows,
+                })
+            }
+            Statement::SelectCount { table, filter } => {
+                let schema = server.schema(&table)?.clone();
+                let server_filters =
+                    self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
+                let n = server.count_multi(&table, &server_filters)?;
+                Ok(QueryResult {
+                    columns: vec!["count".to_string()],
+                    rows: vec![vec![n.to_string().into_bytes()]],
+                })
+            }
+            Statement::Delete { table, filter } => {
+                let schema = server.schema(&table)?.clone();
+                let server_filters =
+                    self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
+                let n = server.delete_multi(&table, &server_filters)?;
+                Ok(QueryResult {
+                    columns: vec!["deleted".to_string()],
+                    rows: vec![vec![n.to_string().into_bytes()]],
+                })
+            }
+        }
+    }
+}
+
+/// Intersects two ranges from an `AND` conjunction on one column.
+fn intersect(a: RangeQuery, b: RangeQuery) -> Result<RangeQuery, DbError> {
+    fn tighter_start(a: RangeBound, b: RangeBound) -> RangeBound {
+        match (a, b) {
+            (RangeBound::Unbounded, other) | (other, RangeBound::Unbounded) => other,
+            (x, y) => {
+                let (vx, sx) = match &x {
+                    RangeBound::Inclusive(v) => (v.clone(), false),
+                    RangeBound::Exclusive(v) => (v.clone(), true),
+                    RangeBound::Unbounded => unreachable!(),
+                };
+                let (vy, sy) = match &y {
+                    RangeBound::Inclusive(v) => (v.clone(), false),
+                    RangeBound::Exclusive(v) => (v.clone(), true),
+                    RangeBound::Unbounded => unreachable!(),
+                };
+                match vx.cmp(&vy) {
+                    std::cmp::Ordering::Greater => x,
+                    std::cmp::Ordering::Less => y,
+                    std::cmp::Ordering::Equal => {
+                        if sx || sy {
+                            RangeBound::Exclusive(vx)
+                        } else {
+                            x
+                        }
+                    }
+                }
+            }
+        }
+    }
+    fn tighter_end(a: RangeBound, b: RangeBound) -> RangeBound {
+        match (a, b) {
+            (RangeBound::Unbounded, other) | (other, RangeBound::Unbounded) => other,
+            (x, y) => {
+                let (vx, sx) = match &x {
+                    RangeBound::Inclusive(v) => (v.clone(), false),
+                    RangeBound::Exclusive(v) => (v.clone(), true),
+                    RangeBound::Unbounded => unreachable!(),
+                };
+                let (vy, sy) = match &y {
+                    RangeBound::Inclusive(v) => (v.clone(), false),
+                    RangeBound::Exclusive(v) => (v.clone(), true),
+                    RangeBound::Unbounded => unreachable!(),
+                };
+                match vx.cmp(&vy) {
+                    std::cmp::Ordering::Less => x,
+                    std::cmp::Ordering::Greater => y,
+                    std::cmp::Ordering::Equal => {
+                        if sx || sy {
+                            RangeBound::Exclusive(vx)
+                        } else {
+                            x
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(RangeQuery {
+        start: tighter_start(a.start, b.start),
+        end: tighter_end(a.end, b.end),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::Filter;
+
+    fn cmp(op: CompareOp, v: &str) -> Filter {
+        Filter::Compare {
+            column: "c".into(),
+            op,
+            value: v.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn filter_conversion_covers_all_shapes() {
+        let (col, r) = Proxy::filter_to_range(&cmp(CompareOp::Eq, "x")).unwrap();
+        assert_eq!(col, "c");
+        assert_eq!(r, RangeQuery::equals("x"));
+        let (_, r) = Proxy::filter_to_range(&cmp(CompareOp::Lt, "x")).unwrap();
+        assert_eq!(r, RangeQuery::less_than("x"));
+        let (_, r) = Proxy::filter_to_range(&cmp(CompareOp::Ge, "x")).unwrap();
+        assert_eq!(r, RangeQuery::at_least("x"));
+        let (_, r) = Proxy::filter_to_range(&Filter::Between {
+            column: "c".into(),
+            low: b"a".to_vec(),
+            high: b"f".to_vec(),
+        })
+        .unwrap();
+        assert_eq!(r, RangeQuery::between("a", "f"));
+    }
+
+    #[test]
+    fn and_conjunction_intersects() {
+        let f = Filter::And(
+            Box::new(cmp(CompareOp::Ge, "b")),
+            Box::new(cmp(CompareOp::Lt, "m")),
+        );
+        let (_, r) = Proxy::filter_to_range(&f).unwrap();
+        assert_eq!(
+            r,
+            RangeQuery {
+                start: RangeBound::Inclusive(b"b".to_vec()),
+                end: RangeBound::Exclusive(b"m".to_vec()),
+            }
+        );
+    }
+
+    #[test]
+    fn and_tighter_bound_wins() {
+        let f = Filter::And(
+            Box::new(cmp(CompareOp::Ge, "b")),
+            Box::new(cmp(CompareOp::Gt, "c")),
+        );
+        let (_, r) = Proxy::filter_to_range(&f).unwrap();
+        assert_eq!(r.start, RangeBound::Exclusive(b"c".to_vec()));
+    }
+
+    #[test]
+    fn multi_column_and_rejected() {
+        let f = Filter::And(
+            Box::new(cmp(CompareOp::Ge, "b")),
+            Box::new(Filter::Compare {
+                column: "other".into(),
+                op: CompareOp::Lt,
+                value: b"m".to_vec(),
+            }),
+        );
+        assert!(Proxy::filter_to_range(&f).is_err());
+    }
+}

@@ -1,0 +1,329 @@
+//! An in-process EncDBDB deployment: owner + proxy + server + enclave.
+//!
+//! [`Session`] wires the paper's architecture (Fig. 2) into a single handle
+//! for examples, tests and benchmarks: the data owner generates `SK_DB`,
+//! attests and provisions the server's enclave, hands the key to the
+//! trusted proxy, and applications issue SQL through the session.
+
+use crate::error::DbError;
+use crate::owner::DataOwner;
+use crate::proxy::{Proxy, QueryResult};
+use crate::schema::TableSchema;
+use crate::server::DbaasServer;
+use colstore::table::Table;
+use enclave_sim::attestation::Measurement;
+use enclave_sim::attestation::SigningPlatform;
+use encdict::enclave_ops::DictLogic;
+use encdict::DictEnclave;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A complete in-process EncDBDB deployment.
+#[derive(Debug)]
+pub struct Session {
+    owner: DataOwner,
+    proxy: Proxy,
+    server: DbaasServer,
+    rng: StdRng,
+}
+
+impl Session {
+    /// Builds a deployment with a seeded RNG: key generation, enclave
+    /// attestation (against the default development platform) and key
+    /// provisioning happen here, mirroring Fig. 5 steps 1–2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Enclave`] if attestation or provisioning fails.
+    pub fn with_seed(seed: u64) -> Result<Self, DbError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let owner = DataOwner::generate(&mut rng);
+        let mut server = DbaasServer::with_enclave(DictEnclave::with_seed(seed.wrapping_add(1)));
+        let service = SigningPlatform::default().verification_service();
+        let expected = Measurement::of(Self::enclave_code_identity());
+        owner.provision(&mut server, &service, expected, &mut rng)?;
+        let proxy = Proxy::new(owner.master_key());
+        Ok(Session {
+            owner,
+            proxy,
+            server,
+            rng,
+        })
+    }
+
+    /// The code identity the data owner expects the enclave to measure to.
+    pub fn enclave_code_identity() -> &'static [u8] {
+        use enclave_sim::EnclaveLogic;
+        DictLogic::with_seed(0).code_identity()
+    }
+
+    /// Executes one SQL statement through the proxy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse, lookup and crypto failures.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use encdbdb::Session;
+    ///
+    /// let mut db = Session::with_seed(1)?;
+    /// db.execute("CREATE TABLE t1 (FName ED5(12))")?;
+    /// db.execute("INSERT INTO t1 VALUES ('Jessica'), ('Archie'), ('Hans')")?;
+    /// let result = db.execute("SELECT FName FROM t1 WHERE FName < 'Ella'")?;
+    /// assert_eq!(result.rows_as_strings(), vec![vec!["Archie".to_string()]]);
+    /// # Ok::<(), encdbdb::DbError>(())
+    /// ```
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        self.proxy.execute(&mut self.server, sql, &mut self.rng)
+    }
+
+    /// Bulk-loads a plaintext table: the data owner encrypts it per
+    /// `schema` and deploys it as the main store (Fig. 5 steps 3–4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates build and deployment failures.
+    pub fn load_table(&mut self, table: &Table, schema: TableSchema) -> Result<(), DbError> {
+        self.owner
+            .deploy(&mut self.server, table, schema, &mut self.rng)
+    }
+
+    /// Merges a table's delta stores into rebuilt main stores (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates enclave failures.
+    pub fn merge(&mut self, table: &str) -> Result<(), DbError> {
+        self.server.merge_table(table)
+    }
+
+    /// Direct access to the server (benchmarks, storage accounting).
+    pub fn server(&self) -> &DbaasServer {
+        &self.server
+    }
+
+    /// Mutable access to the server (parallelism configuration).
+    pub fn server_mut(&mut self) -> &mut DbaasServer {
+        &mut self.server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnSpec, DictChoice};
+    use colstore::column::Column;
+    use encdict::EdKind;
+
+    fn session() -> Session {
+        Session::with_seed(42).expect("session setup")
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip_all_kinds() {
+        // One column per ED kind plus PLAIN, all in one table.
+        // (The paper: "EncDBDB is able to process all dictionary types
+        // together, even if they are mixed in one table.")
+        let mut db = session();
+        db.execute(
+            "CREATE TABLE mix (c1 ED1(8), c2 ED2(8), c3 ED3(8), c4 ED4(8), c5 ED5(8), \
+             c6 ED6(8), c7 ED7(8), c8 ED8(8), c9 ED9(8), cp PLAIN(8))",
+        )
+        .unwrap();
+        for v in ["delta", "alpha", "echo", "bravo", "charlie"] {
+            let vals = std::iter::repeat(format!("'{v}'"))
+                .take(10)
+                .collect::<Vec<_>>()
+                .join(", ");
+            db.execute(&format!("INSERT INTO mix VALUES ({vals})")).unwrap();
+        }
+        for col in ["c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "cp"] {
+            let r = db
+                .execute(&format!(
+                    "SELECT {col} FROM mix WHERE {col} BETWEEN 'b' AND 'd'"
+                ))
+                .unwrap();
+            let mut got: Vec<String> = r.rows_as_strings().into_iter().map(|mut r| r.remove(0)).collect();
+            got.sort();
+            assert_eq!(got, vec!["bravo", "charlie"], "column {col}");
+        }
+    }
+
+    #[test]
+    fn paper_example_query() {
+        let mut db = session();
+        db.execute("CREATE TABLE t1 (FName ED7(12))").unwrap();
+        db.execute("INSERT INTO t1 VALUES ('Hans'), ('Jessica'), ('Archie'), ('Ella')")
+            .unwrap();
+        // SELECT FName FROM t1 WHERE FName < 'Ella' — converted by the
+        // proxy to a range [-∞, 'Ella').
+        let r = db
+            .execute("SELECT FName FROM t1 WHERE FName < 'Ella'")
+            .unwrap();
+        assert_eq!(r.rows_as_strings(), vec![vec!["Archie".to_string()]]);
+    }
+
+    #[test]
+    fn bulk_load_then_query() {
+        let mut db = session();
+        let mut table = Table::new("bw");
+        table
+            .add_column(
+                Column::from_strs("region", 8, ["emea", "apj", "amer", "emea", "apj"]).unwrap(),
+            )
+            .unwrap();
+        table
+            .add_column(
+                Column::from_strs("amount", 8, ["100", "250", "075", "300", "150"]).unwrap(),
+            )
+            .unwrap();
+        let schema = TableSchema::new(
+            "bw",
+            vec![
+                ColumnSpec::new("region", DictChoice::Encrypted(EdKind::Ed5), 8),
+                ColumnSpec::new("amount", DictChoice::Encrypted(EdKind::Ed1), 8),
+            ],
+        );
+        db.load_table(&table, schema).unwrap();
+        let r = db
+            .execute("SELECT region, amount FROM bw WHERE amount >= '150'")
+            .unwrap();
+        let mut rows = r.rows_as_strings();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec!["apj".to_string(), "150".to_string()],
+                vec!["apj".to_string(), "250".to_string()],
+                vec!["emea".to_string(), "300".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn select_star_and_unfiltered() {
+        let mut db = session();
+        db.execute("CREATE TABLE t (a ED1(4), b PLAIN(4))").unwrap();
+        db.execute("INSERT INTO t VALUES ('x', '1'), ('y', '2')")
+            .unwrap();
+        let r = db.execute("SELECT * FROM t").unwrap();
+        assert_eq!(r.columns, vec!["a", "b"]);
+        assert_eq!(r.row_count(), 2);
+    }
+
+    #[test]
+    fn delete_and_merge_lifecycle() {
+        let mut db = session();
+        db.execute("CREATE TABLE t (v ED2(8))").unwrap();
+        db.execute("INSERT INTO t VALUES ('a'), ('b'), ('c'), ('d')")
+            .unwrap();
+        let r = db.execute("DELETE FROM t WHERE v = 'b'").unwrap();
+        assert_eq!(r.rows_as_strings()[0][0], "1");
+        let r = db.execute("SELECT v FROM t").unwrap();
+        assert_eq!(r.row_count(), 3);
+
+        // Merge folds the delta into a rebuilt ED2 main store.
+        db.merge("t").unwrap();
+        let r = db.execute("SELECT v FROM t WHERE v >= 'c'").unwrap();
+        let mut got = r.rows_as_strings();
+        got.sort();
+        assert_eq!(got, vec![vec!["c".to_string()], vec!["d".to_string()]]);
+        // Inserts keep working after a merge.
+        db.execute("INSERT INTO t VALUES ('e')").unwrap();
+        let r = db.execute("SELECT v FROM t").unwrap();
+        assert_eq!(r.row_count(), 4);
+    }
+
+    #[test]
+    fn filter_on_one_column_projects_another() {
+        let mut db = session();
+        db.execute("CREATE TABLE t (k ED1(4), v ED9(8))").unwrap();
+        db.execute("INSERT INTO t VALUES ('a', 'one'), ('b', 'two'), ('c', 'three')")
+            .unwrap();
+        let r = db.execute("SELECT v FROM t WHERE k >= 'b'").unwrap();
+        let mut got = r.rows_as_strings();
+        got.sort();
+        assert_eq!(got, vec![vec!["three".to_string()], vec!["two".to_string()]]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut db = session();
+        assert!(matches!(
+            db.execute("SELECT * FROM nope"),
+            Err(DbError::TableNotFound(_))
+        ));
+        db.execute("CREATE TABLE t (a ED1(4))").unwrap();
+        assert!(matches!(
+            db.execute("SELECT nope FROM t"),
+            Err(DbError::ColumnNotFound(_))
+        ));
+        assert!(matches!(
+            db.execute("INSERT INTO t VALUES ('a', 'b')"),
+            Err(DbError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            db.execute("INSERT INTO t VALUES ('waytoolong')"),
+            Err(DbError::ValueTooLong { .. })
+        ));
+        assert!(matches!(
+            db.execute("SELECT * FROM t WHERE a = 'x' AND b = 'y'"),
+            Err(DbError::UnsupportedFilter(_) | DbError::ColumnNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn equality_and_range_queries_look_identical_to_server() {
+        // Covered cryptographically in encdict::range tests; here we check
+        // the proxy path produces working queries for every operator.
+        let mut db = session();
+        db.execute("CREATE TABLE t (v ED8(8))").unwrap();
+        db.execute("INSERT INTO t VALUES ('a'), ('b'), ('b'), ('c')")
+            .unwrap();
+        for (q, expected) in [
+            ("SELECT v FROM t WHERE v = 'b'", 2usize),
+            ("SELECT v FROM t WHERE v < 'b'", 1),
+            ("SELECT v FROM t WHERE v <= 'b'", 3),
+            ("SELECT v FROM t WHERE v > 'b'", 1),
+            ("SELECT v FROM t WHERE v >= 'b'", 3),
+            ("SELECT v FROM t WHERE v BETWEEN 'a' AND 'b'", 3),
+            ("SELECT v FROM t WHERE v >= 'a' AND v < 'c'", 3),
+        ] {
+            let r = db.execute(q).unwrap();
+            assert_eq!(r.row_count(), expected, "query: {q}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod count_tests {
+    use super::*;
+
+    #[test]
+    fn count_star_with_and_without_filter() {
+        let mut db = Session::with_seed(88).unwrap();
+        db.execute("CREATE TABLE t (v ED5(8))").unwrap();
+        db.execute("INSERT INTO t VALUES ('a'), ('b'), ('b'), ('c'), ('d')")
+            .unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows_as_strings(), vec![vec!["5".to_string()]]);
+        let r = db
+            .execute("SELECT COUNT(*) FROM t WHERE v BETWEEN 'b' AND 'c'")
+            .unwrap();
+        assert_eq!(r.rows_as_strings(), vec![vec!["3".to_string()]]);
+        // Counts respect deletions.
+        db.execute("DELETE FROM t WHERE v = 'b'").unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows_as_strings(), vec![vec!["3".to_string()]]);
+    }
+
+    #[test]
+    fn count_parse_errors() {
+        let mut db = Session::with_seed(89).unwrap();
+        db.execute("CREATE TABLE t (v ED1(8))").unwrap();
+        assert!(db.execute("SELECT COUNT(v) FROM t").is_err());
+        assert!(db.execute("SELECT COUNT(* FROM t").is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! SQL abstract syntax tree.
+
+use crate::schema::DictChoice;
+
+/// A column definition in a `CREATE TABLE` statement, e.g. `c1 ED5(12)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Dictionary protection (ED1–ED9 or PLAIN).
+    pub choice: DictChoice,
+    /// Fixed maximal value length.
+    pub max_len: usize,
+    /// Optional bs_max (second argument in the type parentheses).
+    pub bs_max: Option<usize>,
+}
+
+/// A comparison operator in a filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A filter over a single column.
+///
+/// The proxy converts every shape into one range select (Fig. 5 step 5),
+/// so the server cannot distinguish query types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Filter {
+    /// `col <op> 'value'`
+    Compare {
+        /// Filtered column.
+        column: String,
+        /// Operator.
+        op: CompareOp,
+        /// Comparison value.
+        value: Vec<u8>,
+    },
+    /// `col BETWEEN 'a' AND 'b'` (inclusive).
+    Between {
+        /// Filtered column.
+        column: String,
+        /// Lower bound (inclusive).
+        low: Vec<u8>,
+        /// Upper bound (inclusive).
+        high: Vec<u8>,
+    },
+    /// Two comparisons on the same column joined by `AND`, e.g.
+    /// `c >= 'a' AND c < 'b'`.
+    And(Box<Filter>, Box<Filter>),
+}
+
+impl Filter {
+    /// The single column this filter targets, if consistent.
+    pub fn column(&self) -> Option<&str> {
+        match self {
+            Filter::Compare { column, .. } | Filter::Between { column, .. } => Some(column),
+            Filter::And(a, b) => {
+                let ca = a.column()?;
+                let cb = b.column()?;
+                if ca == cb {
+                    Some(ca)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// `CREATE TABLE t (c1 ED1(10), ...)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+    },
+    /// `INSERT INTO t VALUES ('a', 'b'), ('c', 'd')`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Rows of values.
+        rows: Vec<Vec<Vec<u8>>>,
+    },
+    /// `SELECT a, b FROM t WHERE c >= 'x'`
+    Select {
+        /// Selected column names; empty means `*`.
+        columns: Vec<String>,
+        /// Source table.
+        table: String,
+        /// Optional filter.
+        filter: Option<Filter>,
+    },
+    /// `SELECT COUNT(*) FROM t WHERE c >= 'x'` — the count aggregation the
+    /// paper notes is "easier to support than range searches" (§4.2); the
+    /// server counts matching RecordIDs without rendering any ciphertexts.
+    SelectCount {
+        /// Source table.
+        table: String,
+        /// Optional filter.
+        filter: Option<Filter>,
+    },
+    /// `DELETE FROM t WHERE c = 'x'`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional filter (`None` deletes all rows).
+        filter: Option<Filter>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_column_consistency() {
+        let f = Filter::And(
+            Box::new(Filter::Compare {
+                column: "c".into(),
+                op: CompareOp::Ge,
+                value: b"a".to_vec(),
+            }),
+            Box::new(Filter::Compare {
+                column: "c".into(),
+                op: CompareOp::Lt,
+                value: b"m".to_vec(),
+            }),
+        );
+        assert_eq!(f.column(), Some("c"));
+
+        let mixed = Filter::And(
+            Box::new(Filter::Compare {
+                column: "c".into(),
+                op: CompareOp::Ge,
+                value: b"a".to_vec(),
+            }),
+            Box::new(Filter::Compare {
+                column: "d".into(),
+                op: CompareOp::Lt,
+                value: b"m".to_vec(),
+            }),
+        );
+        assert_eq!(mixed.column(), None);
+    }
+}

@@ -1,0 +1,187 @@
+//! SQL tokenizer.
+
+use crate::error::DbError;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (case preserved; keyword matching is
+    /// case-insensitive in the parser).
+    Ident(String),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(Vec<u8>),
+    /// An unsigned integer literal.
+    Int(u64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Tokenizes a SQL string.
+///
+/// # Errors
+///
+/// Returns [`DbError::Parse`] on unterminated strings or unexpected
+/// characters.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, DbError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut value = Vec::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(DbError::Parse("unterminated string literal".into())),
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                value.push(b'\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            value.push(b);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(value));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: u64 = input[start..i]
+                    .parse()
+                    .map_err(|_| DbError::Parse("integer literal too large".into()))?;
+                tokens.push(Token::Int(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(DbError::Parse(format!("unexpected character: {other:?}")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_create_table() {
+        let toks = tokenize("CREATE TABLE t1 (c1 ED7(12), c2 ED5(10, 20))").unwrap();
+        assert_eq!(toks[0], Token::Ident("CREATE".into()));
+        assert!(toks.contains(&Token::Int(12)));
+        assert!(toks.contains(&Token::Int(20)));
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        let toks = tokenize("a >= 'x' AND a < 'y'").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Ge,
+                Token::Str(b"x".to_vec()),
+                Token::Ident("AND".into()),
+                Token::Ident("a".into()),
+                Token::Lt,
+                Token::Str(b"y".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str(b"it's".to_vec())]);
+    }
+
+    #[test]
+    fn unterminated_string_fails() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_fails() {
+        assert!(tokenize("a ! b").is_err());
+    }
+}

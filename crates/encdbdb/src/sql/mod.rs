@@ -1,0 +1,13 @@
+//! A small SQL front end for EncDBDB.
+//!
+//! The supported subset mirrors what the paper's pipeline handles (Fig. 5
+//! steps 5–6): `CREATE TABLE` with encrypted-dictionary column types,
+//! `INSERT`, `SELECT` with single-column filters (equality, inequality,
+//! greater/less than, `BETWEEN`), and `DELETE` with the same filters.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{ColumnDef, CompareOp, Filter, Statement};
+pub use parser::parse;

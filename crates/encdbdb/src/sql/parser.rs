@@ -1,0 +1,373 @@
+//! Recursive-descent SQL parser.
+
+use super::ast::{ColumnDef, CompareOp, Filter, Statement};
+use super::lexer::{tokenize, Token};
+use crate::error::DbError;
+use crate::schema::DictChoice;
+use encdict::EdKind;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DbError {
+        DbError::Parse(format!("{} (at token {})", msg.into(), self.pos))
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<(), DbError> {
+        match self.next() {
+            Some(t) if &t == token => Ok(()),
+            other => Err(self.err(format!("expected {token:?}, found {other:?}"))),
+        }
+    }
+
+    /// Consumes a keyword (case-insensitive identifier).
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), DbError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.err(format!("expected keyword {kw}, found {other:?}"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String, DbError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<Vec<u8>, DbError> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(s),
+            other => Err(self.err(format!("expected string literal, found {other:?}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<u64, DbError> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(n),
+            other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, DbError> {
+        let head = match self.peek() {
+            Some(Token::Ident(s)) => s.to_ascii_uppercase(),
+            other => return Err(self.err(format!("expected statement, found {other:?}"))),
+        };
+        let stmt = match head.as_str() {
+            "CREATE" => self.create_table()?,
+            "INSERT" => self.insert()?,
+            "SELECT" => self.select()?,
+            "DELETE" => self.delete()?,
+            other => return Err(self.err(format!("unsupported statement: {other}"))),
+        };
+        // Optional trailing semicolon.
+        if self.peek() == Some(&Token::Semicolon) {
+            self.next();
+        }
+        if let Some(t) = self.peek() {
+            return Err(self.err(format!("trailing input: {t:?}")));
+        }
+        Ok(stmt)
+    }
+
+    fn create_table(&mut self) -> Result<Statement, DbError> {
+        self.expect_keyword("CREATE")?;
+        self.expect_keyword("TABLE")?;
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident()?;
+            let type_name = self.ident()?;
+            let choice = if type_name.eq_ignore_ascii_case("plain") {
+                DictChoice::Plain
+            } else {
+                let kind = EdKind::parse(&type_name)
+                    .ok_or_else(|| self.err(format!("unknown column type: {type_name}")))?;
+                DictChoice::Encrypted(kind)
+            };
+            self.expect(&Token::LParen)?;
+            let max_len = self.int()? as usize;
+            let bs_max = if self.peek() == Some(&Token::Comma) {
+                self.next();
+                Some(self.int()? as usize)
+            } else {
+                None
+            };
+            self.expect(&Token::RParen)?;
+            columns.push(ColumnDef {
+                name: col_name,
+                choice,
+                max_len,
+                bs_max,
+            });
+            match self.next() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                other => return Err(self.err(format!("expected , or ), found {other:?}"))),
+            }
+        }
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn insert(&mut self) -> Result<Statement, DbError> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.ident()?;
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.string()?);
+                match self.next() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::RParen) => break,
+                    other => return Err(self.err(format!("expected , or ), found {other:?}"))),
+                }
+            }
+            rows.push(row);
+            if self.peek() == Some(&Token::Comma) {
+                self.next();
+                continue;
+            }
+            break;
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn select(&mut self) -> Result<Statement, DbError> {
+        self.expect_keyword("SELECT")?;
+        if self.peek_keyword("COUNT") {
+            self.next();
+            self.expect(&Token::LParen)?;
+            self.expect(&Token::Star)?;
+            self.expect(&Token::RParen)?;
+            self.expect_keyword("FROM")?;
+            let table = self.ident()?;
+            let filter = if self.peek_keyword("WHERE") {
+                self.next();
+                Some(self.filter()?)
+            } else {
+                None
+            };
+            return Ok(Statement::SelectCount { table, filter });
+        }
+        let mut columns = Vec::new();
+        if self.peek() == Some(&Token::Star) {
+            self.next();
+        } else {
+            loop {
+                columns.push(self.ident()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.next();
+                    continue;
+                }
+                break;
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+        let filter = if self.peek_keyword("WHERE") {
+            self.next();
+            Some(self.filter()?)
+        } else {
+            None
+        };
+        Ok(Statement::Select {
+            columns,
+            table,
+            filter,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement, DbError> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+        let filter = if self.peek_keyword("WHERE") {
+            self.next();
+            Some(self.filter()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, filter })
+    }
+
+    fn filter(&mut self) -> Result<Filter, DbError> {
+        let first = self.predicate()?;
+        if self.peek_keyword("AND") {
+            self.next();
+            let second = self.predicate()?;
+            return Ok(Filter::And(Box::new(first), Box::new(second)));
+        }
+        Ok(first)
+    }
+
+    fn predicate(&mut self) -> Result<Filter, DbError> {
+        let column = self.ident()?;
+        if self.peek_keyword("BETWEEN") {
+            self.next();
+            let low = self.string()?;
+            self.expect_keyword("AND")?;
+            let high = self.string()?;
+            return Ok(Filter::Between { column, low, high });
+        }
+        let op = match self.next() {
+            Some(Token::Eq) => CompareOp::Eq,
+            Some(Token::Lt) => CompareOp::Lt,
+            Some(Token::Le) => CompareOp::Le,
+            Some(Token::Gt) => CompareOp::Gt,
+            Some(Token::Ge) => CompareOp::Ge,
+            other => return Err(self.err(format!("expected comparison operator, found {other:?}"))),
+        };
+        let value = self.string()?;
+        Ok(Filter::Compare { column, op, value })
+    }
+}
+
+/// Parses one SQL statement.
+///
+/// # Errors
+///
+/// Returns [`DbError::Parse`] with a position-annotated message.
+///
+/// # Example
+///
+/// ```
+/// use encdbdb::sql::parse;
+/// let stmt = parse("SELECT FName FROM t1 WHERE FName < 'Ella'")?;
+/// # Ok::<(), encdbdb::DbError>(())
+/// ```
+pub fn parse(sql: &str) -> Result<Statement, DbError> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.statement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table_with_ed_types() {
+        let stmt = parse("CREATE TABLE t1 (c1 ED7(12), c2 ED5(10, 20), c3 PLAIN(8));").unwrap();
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "t1");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[0].choice, DictChoice::Encrypted(EdKind::Ed7));
+                assert_eq!(columns[0].max_len, 12);
+                assert_eq!(columns[1].bs_max, Some(20));
+                assert_eq!(columns[2].choice, DictChoice::Plain);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_multiple_rows() {
+        let stmt = parse("INSERT INTO t VALUES ('a', 'b'), ('c', 'd')").unwrap();
+        match stmt {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1], vec![b"c".to_vec(), b"d".to_vec()]);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_select_variants() {
+        let stmt = parse("SELECT * FROM t").unwrap();
+        assert!(matches!(
+            stmt,
+            Statement::Select { ref columns, ref filter, .. } if columns.is_empty() && filter.is_none()
+        ));
+
+        let stmt = parse("SELECT a, b FROM t WHERE a >= 'x' AND a < 'y'").unwrap();
+        match stmt {
+            Statement::Select {
+                columns, filter, ..
+            } => {
+                assert_eq!(columns, vec!["a", "b"]);
+                assert_eq!(filter.unwrap().column(), Some("a"));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+
+        // The paper's example query.
+        let stmt = parse("SELECT FName FROM t1 WHERE FName < 'Ella'").unwrap();
+        match stmt {
+            Statement::Select { filter, .. } => match filter.unwrap() {
+                Filter::Compare { op, value, .. } => {
+                    assert_eq!(op, CompareOp::Lt);
+                    assert_eq!(value, b"Ella");
+                }
+                other => panic!("wrong filter: {other:?}"),
+            },
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_between() {
+        let stmt = parse("SELECT * FROM t WHERE c BETWEEN 'a' AND 'f'").unwrap();
+        match stmt {
+            Statement::Select { filter, .. } => {
+                assert_eq!(
+                    filter.unwrap(),
+                    Filter::Between {
+                        column: "c".into(),
+                        low: b"a".to_vec(),
+                        high: b"f".to_vec()
+                    }
+                );
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_delete() {
+        let stmt = parse("DELETE FROM t WHERE c = 'x'").unwrap();
+        assert!(matches!(stmt, Statement::Delete { .. }));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("select * from t").is_ok());
+        assert!(parse("Select A From T Where A = 'v'").is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("DROP TABLE t").is_err());
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("CREATE TABLE t (c ED10(5))").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t extra junk").is_err());
+    }
+}

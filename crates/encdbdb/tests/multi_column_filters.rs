@@ -1,0 +1,81 @@
+//! Multi-column conjunctive filters: the step-12 prefiltering ("rid would
+//! be used to prefilter other columns in the same table").
+
+use encdbdb::Session;
+
+fn setup() -> Session {
+    let mut db = Session::with_seed(700).unwrap();
+    db.execute("CREATE TABLE orders (country ED5(2), price ED1(6), status ED9(10))")
+        .unwrap();
+    db.execute(
+        "INSERT INTO orders VALUES \
+         ('DE', '000100', 'shipped'), \
+         ('DE', '000500', 'pending'), \
+         ('CA', '000150', 'shipped'), \
+         ('CA', '000700', 'shipped'), \
+         ('US', '000300', 'pending')",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn two_column_and_intersects() {
+    let mut db = setup();
+    let r = db
+        .execute("SELECT status FROM orders WHERE country = 'DE' AND price >= '000200'")
+        .unwrap();
+    assert_eq!(r.rows_as_strings(), vec![vec!["pending".to_string()]]);
+}
+
+#[test]
+fn same_column_and_still_narrows_to_one_range() {
+    let mut db = setup();
+    let r = db
+        .execute("SELECT country FROM orders WHERE price >= '000150' AND price < '000500'")
+        .unwrap();
+    let mut got = r.rows_as_strings();
+    got.sort();
+    assert_eq!(got, vec![vec!["CA".to_string()], vec!["US".to_string()]]);
+}
+
+#[test]
+fn count_and_delete_with_conjunction() {
+    let mut db = setup();
+    let r = db
+        .execute("SELECT COUNT(*) FROM orders WHERE country = 'CA' AND status = 'shipped'")
+        .unwrap();
+    assert_eq!(r.rows_as_strings(), vec![vec!["2".to_string()]]);
+    let r = db
+        .execute("DELETE FROM orders WHERE country = 'CA' AND price > '000500'")
+        .unwrap();
+    assert_eq!(r.rows_as_strings(), vec![vec!["1".to_string()]]);
+    let r = db.execute("SELECT COUNT(*) FROM orders").unwrap();
+    assert_eq!(r.rows_as_strings(), vec![vec!["4".to_string()]]);
+}
+
+#[test]
+fn conjunction_spans_main_and_delta() {
+    let mut db = setup();
+    db.merge("orders").unwrap(); // existing rows into main stores
+    db.execute("INSERT INTO orders VALUES ('DE', '000900', 'pending')")
+        .unwrap(); // delta row
+    let r = db
+        .execute("SELECT price FROM orders WHERE country = 'DE' AND status = 'pending'")
+        .unwrap();
+    let mut got = r.rows_as_strings();
+    got.sort();
+    assert_eq!(
+        got,
+        vec![vec!["000500".to_string()], vec!["000900".to_string()]]
+    );
+}
+
+#[test]
+fn empty_intersection() {
+    let mut db = setup();
+    let r = db
+        .execute("SELECT * FROM orders WHERE country = 'US' AND status = 'shipped'")
+        .unwrap();
+    assert_eq!(r.row_count(), 0);
+}

@@ -1,0 +1,271 @@
+//! Fixed-width 256-bit unsigned integers.
+//!
+//! The paper's enclave links a C++ big-integer library for the special
+//! binary search of ED2/ED5/ED8 (§6.1). We replace it with a minimal
+//! fixed-width type: `ENCODE` maps values of up to 31 bytes into a 256-bit
+//! integer, and the only arithmetic the search needs is comparison and
+//! subtraction modulo the domain size — no division, no heap.
+
+/// A 256-bit unsigned integer, four little-endian 64-bit limbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct U256 {
+    limbs: [u64; 4],
+}
+
+impl U256 {
+    /// Zero.
+    pub const ZERO: U256 = U256 { limbs: [0; 4] };
+    /// One.
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
+    /// The maximum representable value.
+    pub const MAX: U256 = U256 {
+        limbs: [u64::MAX; 4],
+    };
+
+    /// Constructs from little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        U256 { limbs }
+    }
+
+    /// Constructs from a `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        U256 {
+            limbs: [v, 0, 0, 0],
+        }
+    }
+
+    /// Constructs from big-endian bytes (at most 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() > 32`.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= 32, "U256 from more than 32 bytes");
+        let mut buf = [0u8; 32];
+        buf[32 - bytes.len()..].copy_from_slice(bytes);
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let hi = 32 - 8 * (i + 1);
+            *limb = u64::from_be_bytes(buf[hi..hi + 8].try_into().unwrap());
+        }
+        U256 { limbs }
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.limbs.iter().enumerate() {
+            let hi = 32 - 8 * (i + 1);
+            out[hi..hi + 8].copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Wrapping addition (mod 2^256).
+    pub fn wrapping_add(self, rhs: U256) -> U256 {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        U256 { limbs: out }
+    }
+
+    /// Wrapping subtraction (mod 2^256).
+    pub fn wrapping_sub(self, rhs: U256) -> U256 {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        U256 { limbs: out }
+    }
+
+    /// Checked subtraction: `None` if `rhs > self`.
+    pub fn checked_sub(self, rhs: U256) -> Option<U256> {
+        if self >= rhs {
+            Some(self.wrapping_sub(rhs))
+        } else {
+            None
+        }
+    }
+
+    /// `(self - rhs) mod n`, assuming `self < n` and `rhs < n`.
+    ///
+    /// This is the only modular operation Algorithm 3 needs; since both
+    /// operands are already reduced, no division is required.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if an operand is not reduced modulo `n` (a programming
+    /// error in the caller).
+    pub fn sub_mod(self, rhs: U256, n: U256) -> U256 {
+        debug_assert!(self < n && rhs < n, "sub_mod operands must be reduced");
+        if self >= rhs {
+            self.wrapping_sub(rhs)
+        } else {
+            n.wrapping_sub(rhs).wrapping_add(self)
+        }
+    }
+
+    /// Shifts left by `k` bits (k < 256), filling with zeros.
+    pub fn shl(self, k: u32) -> U256 {
+        if k == 0 {
+            return self;
+        }
+        if k >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (k / 64) as usize;
+        let bit_shift = k % 64;
+        let mut out = [0u64; 4];
+        for i in (limb_shift..4).rev() {
+            let mut v = self.limbs[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                v |= self.limbs[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        U256 { limbs: out }
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.limbs == [0; 4]
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for i in (0..4).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                std::cmp::Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256::from_u64(v)
+    }
+}
+
+impl std::fmt::Display for U256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "0x{:016x}{:016x}{:016x}{:016x}",
+            self.limbs[3], self.limbs[2], self.limbs[1], self.limbs[0]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        let v = U256::from_be_bytes(&[1, 2, 3, 4]);
+        assert_eq!(v, U256::from_u64(0x01020304));
+        let bytes = v.to_be_bytes();
+        assert_eq!(U256::from_be_bytes(&bytes), v);
+    }
+
+    #[test]
+    fn ordering_matches_byte_order() {
+        let a = U256::from_be_bytes(b"aaaa");
+        let b = U256::from_be_bytes(b"aaab");
+        assert!(a < b);
+        assert!(U256::ZERO < U256::ONE);
+        assert!(U256::ONE < U256::MAX);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U256::from_limbs([u64::MAX, 5, 0, 1]);
+        let b = U256::from_limbs([7, u64::MAX, 3, 0]);
+        let s = a.wrapping_add(b);
+        assert_eq!(s.wrapping_sub(b), a);
+        assert_eq!(s.wrapping_sub(a), b);
+    }
+
+    #[test]
+    fn wrapping_behaviour() {
+        assert_eq!(U256::MAX.wrapping_add(U256::ONE), U256::ZERO);
+        assert_eq!(U256::ZERO.wrapping_sub(U256::ONE), U256::MAX);
+    }
+
+    #[test]
+    fn carry_propagates_across_limbs() {
+        let a = U256::from_limbs([u64::MAX, u64::MAX, 0, 0]);
+        let s = a.wrapping_add(U256::ONE);
+        assert_eq!(s, U256::from_limbs([0, 0, 1, 0]));
+    }
+
+    #[test]
+    fn checked_sub() {
+        let a = U256::from_u64(10);
+        let b = U256::from_u64(20);
+        assert_eq!(b.checked_sub(a), Some(U256::from_u64(10)));
+        assert_eq!(a.checked_sub(b), None);
+    }
+
+    #[test]
+    fn sub_mod_reference() {
+        let n = U256::from_u64(100);
+        assert_eq!(
+            U256::from_u64(30).sub_mod(U256::from_u64(10), n),
+            U256::from_u64(20)
+        );
+        // (10 - 30) mod 100 = 80
+        assert_eq!(
+            U256::from_u64(10).sub_mod(U256::from_u64(30), n),
+            U256::from_u64(80)
+        );
+        // (x - x) mod n = 0
+        assert_eq!(
+            U256::from_u64(42).sub_mod(U256::from_u64(42), n),
+            U256::ZERO
+        );
+    }
+
+    #[test]
+    fn shl_matches_u128_for_small_values() {
+        let v = U256::from_u64(0xdead_beef);
+        for k in [0u32, 1, 7, 63, 64, 65, 128, 190] {
+            let got = v.shl(k);
+            if k <= 64 {
+                let expect = (0xdead_beefu128) << k;
+                assert_eq!(
+                    got,
+                    U256::from_limbs([expect as u64, (expect >> 64) as u64, 0, 0]),
+                    "shift {k}"
+                );
+            }
+        }
+        assert_eq!(v.shl(256), U256::ZERO);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert!(U256::from_u64(255).to_string().ends_with("ff"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Frequency-smoothing bucket experiment (paper Algorithm 5).
+//!
+//! For each unique value `v` with `|oc(C, v)|` occurrences, the random
+//! experiment draws bucket sizes uniformly from `[1, bs_max]` until the
+//! running total covers the occurrence count, then shrinks the last bucket
+//! so the total matches exactly. The value is inserted into the dictionary
+//! once per bucket, bounding the frequency of any single ValueID in the
+//! attribute vector by `bs_max` — this is the *Uniform Random Salt
+//! Frequencies* method the paper builds on.
+
+use crate::error::EncdictError;
+use rand::Rng;
+
+/// Draws random bucket sizes for a value occurring `occurrences` times,
+/// bounded by `bs_max` (Algorithm 5: `getRndBucketSizes`).
+///
+/// The returned sizes are each in `[1, bs_max]` and sum to `occurrences`.
+///
+/// # Errors
+///
+/// Returns [`EncdictError::InvalidBucketSize`] if `bs_max == 0`.
+///
+/// # Panics
+///
+/// Panics if `occurrences == 0` — every unique value occurs at least once.
+pub fn rnd_bucket_sizes<R: Rng + ?Sized>(
+    rng: &mut R,
+    occurrences: usize,
+    bs_max: usize,
+) -> Result<Vec<usize>, EncdictError> {
+    if bs_max == 0 {
+        return Err(EncdictError::InvalidBucketSize);
+    }
+    assert!(occurrences > 0, "a value in the column occurs at least once");
+    let mut sizes = Vec::new();
+    let mut prev_total = 0usize;
+    let mut total = 0usize;
+    while total < occurrences {
+        let rnd = rng.gen_range(1..=bs_max);
+        sizes.push(rnd);
+        prev_total = total;
+        total += rnd;
+    }
+    // Shrink the last bucket so the total matches |oc(C, v)| exactly.
+    let last = sizes.len() - 1;
+    sizes[last] = occurrences - prev_total;
+    Ok(sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizes_sum_to_occurrences() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for occurrences in [1usize, 2, 5, 17, 100, 1000] {
+            for bs_max in [1usize, 2, 10, 100] {
+                let sizes = rnd_bucket_sizes(&mut rng, occurrences, bs_max).unwrap();
+                assert_eq!(sizes.iter().sum::<usize>(), occurrences);
+                assert!(sizes.iter().all(|&s| s >= 1 && s <= bs_max));
+            }
+        }
+    }
+
+    #[test]
+    fn bs_max_one_degenerates_to_frequency_hiding() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sizes = rnd_bucket_sizes(&mut rng, 7, 1).unwrap();
+        assert_eq!(sizes, vec![1; 7]);
+    }
+
+    #[test]
+    fn large_bs_max_often_single_bucket() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut single = 0;
+        for _ in 0..100 {
+            if rnd_bucket_sizes(&mut rng, 3, 1000).unwrap().len() == 1 {
+                single += 1;
+            }
+        }
+        // With bs_max = 1000 and 3 occurrences, the first draw covers the
+        // whole count with probability 998/1000.
+        assert!(single > 90, "got {single}");
+    }
+
+    #[test]
+    fn zero_bs_max_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(
+            rnd_bucket_sizes(&mut rng, 5, 0),
+            Err(EncdictError::InvalidBucketSize)
+        );
+    }
+
+    #[test]
+    fn expected_bucket_count_matches_table3_formula() {
+        // Table 3: expected |D| contribution of a value is roughly
+        // 2·|oc| / (1 + bs_max) buckets (each bucket averages (1+bs_max)/2).
+        let mut rng = StdRng::seed_from_u64(5);
+        let occurrences = 10_000;
+        let bs_max = 10;
+        let trials = 200;
+        let total: usize = (0..trials)
+            .map(|_| rnd_bucket_sizes(&mut rng, occurrences, bs_max).unwrap().len())
+            .sum();
+        let mean = total as f64 / trials as f64;
+        let expected = 2.0 * occurrences as f64 / (1.0 + bs_max as f64);
+        let ratio = mean / expected;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "mean {mean} vs expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Encrypted (and plaintext-twin) dictionary layouts.
+//!
+//! Paper §5: *"We further split each dictionary into a dictionary head and
+//! dictionary tail. The dictionary tail contains variable length values
+//! that are encrypted with AES-128 in GCM mode. The values are stored
+//! sequentially in a random order. The dictionary head contains fixed size
+//! offsets to the dictionary tail and the values are ordered according to
+//! the selected encrypted dictionary. This split is done to support
+//! variable length data while enabling an efficient binary search."*
+//!
+//! Both buffers live in the *untrusted* realm; the enclave reads them entry
+//! by entry through [`enclave_sim::TrustedEnv::load`].
+
+use crate::error::EncdictError;
+use crate::kind::EdKind;
+use enclave_sim::UntrustedMemory;
+
+/// Size of one head entry: a `u64` tail offset plus a `u32` ciphertext
+/// length.
+pub const HEAD_ENTRY_BYTES: usize = 12;
+
+/// An encrypted dictionary `eD`: head/tail layout plus column metadata.
+///
+/// The metadata (`table_name`, `col_name`, `max_len`) is what the query
+/// evaluation engine attaches in step 7 of Fig. 5 so the enclave can derive
+/// the column key `SK_D`.
+#[derive(Debug, Clone)]
+pub struct EncryptedDictionary {
+    kind: EdKind,
+    table_name: String,
+    col_name: String,
+    max_len: usize,
+    len: usize,
+    head: Vec<u8>,
+    tail: Vec<u8>,
+    /// `PAE_Enc(SK_D, rndOffset)` for rotated kinds (ED2/ED5/ED8).
+    enc_rnd_offset: Option<Vec<u8>>,
+}
+
+impl EncryptedDictionary {
+    /// Assembles a dictionary from its parts (used by the builder).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncdictError::CorruptDictionary`] if the head length is not
+    /// a multiple of the entry size or disagrees with `len`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        kind: EdKind,
+        table_name: String,
+        col_name: String,
+        max_len: usize,
+        len: usize,
+        head: Vec<u8>,
+        tail: Vec<u8>,
+        enc_rnd_offset: Option<Vec<u8>>,
+    ) -> Result<Self, EncdictError> {
+        if head.len() != len * HEAD_ENTRY_BYTES {
+            return Err(EncdictError::CorruptDictionary("head size mismatch"));
+        }
+        Ok(EncryptedDictionary {
+            kind,
+            table_name,
+            col_name,
+            max_len,
+            len,
+            head,
+            tail,
+            enc_rnd_offset,
+        })
+    }
+
+    /// The encrypted-dictionary kind (ED1–ED9).
+    pub fn kind(&self) -> EdKind {
+        self.kind
+    }
+
+    /// The table this column belongs to (key-derivation metadata).
+    pub fn table_name(&self) -> &str {
+        &self.table_name
+    }
+
+    /// The column name (key-derivation metadata).
+    pub fn col_name(&self) -> &str {
+        &self.col_name
+    }
+
+    /// The column's fixed maximal value length in bytes.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Number of dictionary entries `|D|`.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Untrusted-memory view of the head buffer.
+    pub fn head_mem(&self) -> UntrustedMemory<'_> {
+        UntrustedMemory::new(&self.head)
+    }
+
+    /// Untrusted-memory view of the tail buffer.
+    pub fn tail_mem(&self) -> UntrustedMemory<'_> {
+        UntrustedMemory::new(&self.tail)
+    }
+
+    /// The encrypted rotation offset, present for rotated kinds.
+    pub fn enc_rnd_offset(&self) -> Option<&[u8]> {
+        self.enc_rnd_offset.as_deref()
+    }
+
+    /// Raw ciphertext bytes of entry `i` (untrusted code can copy but not
+    /// decrypt them; used for result rendering, Fig. 5 step 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()` or the head is corrupt.
+    pub fn ciphertext(&self, i: usize) -> &[u8] {
+        let (offset, clen) = head_entry(&self.head, i);
+        &self.tail[offset as usize..offset as usize + clen as usize]
+    }
+
+    /// Total storage size in bytes (head + tail + rotation ciphertext):
+    /// the ED rows of the paper's Table 6.
+    pub fn storage_size(&self) -> usize {
+        self.head.len() + self.tail.len() + self.enc_rnd_offset.as_ref().map_or(0, Vec::len)
+    }
+}
+
+/// Parses head entry `i` from a head buffer.
+///
+/// # Panics
+///
+/// Panics if the buffer is too short.
+#[inline]
+pub fn head_entry(head: &[u8], i: usize) -> (u64, u32) {
+    let base = i * HEAD_ENTRY_BYTES;
+    let offset = u64::from_le_bytes(head[base..base + 8].try_into().unwrap());
+    let clen = u32::from_le_bytes(head[base + 8..base + 12].try_into().unwrap());
+    (offset, clen)
+}
+
+/// Serializes a head entry.
+#[inline]
+pub fn write_head_entry(head: &mut Vec<u8>, offset: u64, len: u32) {
+    head.extend_from_slice(&offset.to_le_bytes());
+    head.extend_from_slice(&len.to_le_bytes());
+}
+
+/// The plaintext twin used by PlainDBDB (§6.3): identical head/tail layout
+/// and search algorithms, but values and the rotation offset are stored in
+/// the clear and no enclave is involved.
+#[derive(Debug, Clone)]
+pub struct PlainDictionary {
+    kind: EdKind,
+    max_len: usize,
+    len: usize,
+    head: Vec<u8>,
+    tail: Vec<u8>,
+    rnd_offset: Option<u64>,
+}
+
+impl PlainDictionary {
+    pub(crate) fn from_parts(
+        kind: EdKind,
+        max_len: usize,
+        len: usize,
+        head: Vec<u8>,
+        tail: Vec<u8>,
+        rnd_offset: Option<u64>,
+    ) -> Result<Self, EncdictError> {
+        if head.len() != len * HEAD_ENTRY_BYTES {
+            return Err(EncdictError::CorruptDictionary("head size mismatch"));
+        }
+        Ok(PlainDictionary {
+            kind,
+            max_len,
+            len,
+            head,
+            tail,
+            rnd_offset,
+        })
+    }
+
+    /// The dictionary kind whose layout this plaintext twin mirrors.
+    pub fn kind(&self) -> EdKind {
+        self.kind
+    }
+
+    /// The column's fixed maximal value length.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The plaintext rotation offset for rotated kinds.
+    pub fn rnd_offset(&self) -> Option<u64> {
+        self.rnd_offset
+    }
+
+    /// The plaintext value of entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn value(&self, i: usize) -> &[u8] {
+        let (offset, len) = head_entry(&self.head, i);
+        &self.tail[offset as usize..offset as usize + len as usize]
+    }
+
+    /// Storage size in bytes (head + tail).
+    pub fn storage_size(&self) -> usize {
+        self.head.len() + self.tail.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_entry_roundtrip() {
+        let mut head = Vec::new();
+        write_head_entry(&mut head, 42, 7);
+        write_head_entry(&mut head, 99, 13);
+        assert_eq!(head.len(), 2 * HEAD_ENTRY_BYTES);
+        assert_eq!(head_entry(&head, 0), (42, 7));
+        assert_eq!(head_entry(&head, 1), (99, 13));
+    }
+
+    #[test]
+    fn from_parts_validates_head_size() {
+        let err = EncryptedDictionary::from_parts(
+            EdKind::Ed1,
+            "t".into(),
+            "c".into(),
+            10,
+            2,
+            vec![0; HEAD_ENTRY_BYTES], // one entry, len says two
+            vec![],
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EncdictError::CorruptDictionary(_)));
+    }
+
+    #[test]
+    fn plain_dictionary_value_access() {
+        let mut head = Vec::new();
+        let mut tail = Vec::new();
+        for v in [&b"abc"[..], b"de"] {
+            write_head_entry(&mut head, tail.len() as u64, v.len() as u32);
+            tail.extend_from_slice(v);
+        }
+        let d = PlainDictionary::from_parts(EdKind::Ed1, 10, 2, head, tail, None).unwrap();
+        assert_eq!(d.value(0), b"abc");
+        assert_eq!(d.value(1), b"de");
+        assert_eq!(d.storage_size(), 2 * HEAD_ENTRY_BYTES + 5);
+    }
+}

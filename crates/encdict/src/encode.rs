@@ -1,0 +1,198 @@
+//! Order-preserving value encoding (the `ENCODE` operation of Algorithm 3).
+//!
+//! Algorithm 3 needs to map variable-length values of a fixed maximal
+//! length into integers such that the lexicographic value order becomes the
+//! integer order, and modular arithmetic on the integers is possible. The
+//! paper converts each character to a fixed-width integer and right-pads to
+//! the column maximum. We implement the equivalent byte-level map: a value
+//! is interpreted as a base-257 number with `max_len` digits, where digit
+//! values are `byte + 1` and right-padding uses digit `0`. The `+1` shift
+//! keeps the encoding *strictly* order-preserving even when values contain
+//! zero bytes, because a proper prefix ("ab") must sort before its
+//! extension ("ab\0").
+//!
+//! The domain size for a column with maximal length `n` is `257^n`, which
+//! fits [`U256`] for `n ≤ 31` — comfortably above the 10–12 character
+//! columns of the paper's dataset.
+
+use crate::bigint::U256;
+use crate::error::EncdictError;
+
+/// Maximum supported fixed value length for rotated dictionaries.
+pub const MAX_ENCODABLE_LEN: usize = 31;
+
+const BASE: u64 = 257;
+
+/// Computes `257^n` as the domain size for a column maximum of `n` bytes.
+///
+/// # Errors
+///
+/// Returns [`EncdictError::MaxLenTooLarge`] if `n > 31` (the result would
+/// not fit 256 bits).
+pub fn domain_size(max_len: usize) -> Result<U256, EncdictError> {
+    if max_len > MAX_ENCODABLE_LEN {
+        return Err(EncdictError::MaxLenTooLarge {
+            got: max_len,
+            max: MAX_ENCODABLE_LEN,
+        });
+    }
+    let mut acc = U256::ONE;
+    for _ in 0..max_len {
+        acc = mul_small(acc, BASE);
+    }
+    Ok(acc)
+}
+
+/// Encodes `value` order-preservingly into the domain `[0, 257^max_len)`.
+///
+/// # Errors
+///
+/// Returns [`EncdictError::ValueTooLong`] if `value` exceeds `max_len`, or
+/// [`EncdictError::MaxLenTooLarge`] if `max_len > 31`.
+///
+/// # Example
+///
+/// ```
+/// use encdict::encode::encode;
+/// let a = encode(b"AB", 5).unwrap();
+/// let b = encode(b"BA", 5).unwrap();
+/// assert!(a < b); // lexicographic order preserved
+/// ```
+pub fn encode(value: &[u8], max_len: usize) -> Result<U256, EncdictError> {
+    if max_len > MAX_ENCODABLE_LEN {
+        return Err(EncdictError::MaxLenTooLarge {
+            got: max_len,
+            max: MAX_ENCODABLE_LEN,
+        });
+    }
+    if value.len() > max_len {
+        return Err(EncdictError::ValueTooLong {
+            got: value.len(),
+            max: max_len,
+        });
+    }
+    let mut acc = U256::ZERO;
+    for &b in value {
+        acc = mul_small(acc, BASE);
+        acc = acc.wrapping_add(U256::from_u64(b as u64 + 1));
+    }
+    // Right-pad with zero digits up to the fixed maximal length.
+    for _ in value.len()..max_len {
+        acc = mul_small(acc, BASE);
+    }
+    Ok(acc)
+}
+
+/// The largest encoded value in the domain: `257^max_len - 1`
+/// (corresponds to `max_len` bytes of `0xFF`).
+///
+/// # Errors
+///
+/// Returns [`EncdictError::MaxLenTooLarge`] if `max_len > 31`.
+pub fn encode_max(max_len: usize) -> Result<U256, EncdictError> {
+    Ok(domain_size(max_len)?.wrapping_sub(U256::ONE))
+}
+
+/// Multiplies a U256 by a small constant (< 2^32), wrapping at 2^256.
+fn mul_small(v: U256, k: u64) -> U256 {
+    // Split into 64-bit limbs via byte representation to avoid adding a
+    // general multiplier to U256.
+    let be = v.to_be_bytes();
+    let mut limbs = [0u64; 4];
+    for (i, limb) in limbs.iter_mut().enumerate() {
+        let hi = 32 - 8 * (i + 1);
+        *limb = u64::from_be_bytes(be[hi..hi + 8].try_into().unwrap());
+    }
+    let mut out = [0u64; 4];
+    let mut carry: u128 = 0;
+    for i in 0..4 {
+        let prod = (limbs[i] as u128) * (k as u128) + carry;
+        out[i] = prod as u64;
+        carry = prod >> 64;
+    }
+    U256::from_limbs(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_lexicographic_order() {
+        let values: Vec<&[u8]> = vec![
+            b"", b"A", b"AA", b"AB", b"ABB", b"AC", b"B", b"BA", b"Hans", b"Jessica", b"\xff",
+        ];
+        let mut sorted = values.clone();
+        sorted.sort();
+        let encoded: Vec<U256> = sorted.iter().map(|v| encode(v, 10).unwrap()).collect();
+        for w in encoded.windows(2) {
+            assert!(w[0] < w[1], "encoding must be strictly increasing");
+        }
+    }
+
+    #[test]
+    fn prefix_sorts_before_extension_even_with_zero_bytes() {
+        let a = encode(b"ab", 5).unwrap();
+        let b = encode(b"ab\0", 5).unwrap();
+        assert!(a < b, "\"ab\" must encode below \"ab\\0\"");
+    }
+
+    #[test]
+    fn bounded_by_domain() {
+        for v in [&b""[..], b"a", b"zzzz", b"\xff\xff\xff\xff"] {
+            let e = encode(v, 4).unwrap();
+            assert!(e < domain_size(4).unwrap());
+        }
+        assert_eq!(
+            encode(&[0xff, 0xff, 0xff, 0xff], 4).unwrap(),
+            encode_max(4).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_value_is_zero() {
+        assert_eq!(encode(b"", 10).unwrap(), U256::ZERO);
+    }
+
+    #[test]
+    fn rejects_oversized_inputs() {
+        assert!(matches!(
+            encode(b"toolong", 3),
+            Err(EncdictError::ValueTooLong { .. })
+        ));
+        assert!(matches!(
+            encode(b"x", 32),
+            Err(EncdictError::MaxLenTooLarge { .. })
+        ));
+        assert!(domain_size(32).is_err());
+        assert!(domain_size(31).is_ok());
+    }
+
+    #[test]
+    fn domain_size_small_cases() {
+        assert_eq!(domain_size(0).unwrap(), U256::ONE);
+        assert_eq!(domain_size(1).unwrap(), U256::from_u64(257));
+        assert_eq!(domain_size(2).unwrap(), U256::from_u64(257 * 257));
+    }
+
+    #[test]
+    fn single_byte_values_map_to_shifted_digits() {
+        // encode([b], 1) = b + 1.
+        for b in [0u8, 1, 100, 255] {
+            assert_eq!(encode(&[b], 1).unwrap(), U256::from_u64(b as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn modular_distance_is_order_preserving_after_shift() {
+        // The rotated search relies on: for a fixed reference r, the map
+        // v -> (encode(v) - r) mod N is monotone on each of the two arcs.
+        let n = domain_size(4).unwrap();
+        let r = encode(b"mm", 4).unwrap();
+        let below = encode(b"aa", 4).unwrap().sub_mod(r, n);
+        let above = encode(b"zz", 4).unwrap().sub_mod(r, n);
+        let at = r.sub_mod(r, n);
+        assert_eq!(at, U256::ZERO);
+        assert!(above < below, "values below r wrap past values above r");
+    }
+}

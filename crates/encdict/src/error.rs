@@ -1,0 +1,82 @@
+//! Error types for the encrypted-dictionary crate.
+
+use encdbdb_crypto::CryptoError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by encrypted-dictionary operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncdictError {
+    /// A value exceeded the column's fixed maximal length.
+    ValueTooLong {
+        /// Length of the offending value.
+        got: usize,
+        /// The column's fixed maximal length.
+        max: usize,
+    },
+    /// The column's fixed maximal length is too large for the ENCODE domain.
+    MaxLenTooLarge {
+        /// The requested maximum length.
+        got: usize,
+        /// The largest supported maximum length.
+        max: usize,
+    },
+    /// bs_max must be at least 1 for frequency smoothing.
+    InvalidBucketSize,
+    /// A dictionary byte layout was malformed (head/tail mismatch).
+    CorruptDictionary(&'static str),
+    /// The enclave has no provisioned master key.
+    KeyNotProvisioned,
+    /// An underlying cryptographic operation failed (bad key, tampering).
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for EncdictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncdictError::ValueTooLong { got, max } => {
+                write!(f, "value of {got} bytes exceeds column maximum of {max}")
+            }
+            EncdictError::MaxLenTooLarge { got, max } => {
+                write!(f, "column maximum {got} exceeds encodable maximum {max}")
+            }
+            EncdictError::InvalidBucketSize => write!(f, "bs_max must be at least 1"),
+            EncdictError::CorruptDictionary(what) => {
+                write!(f, "corrupt encrypted dictionary: {what}")
+            }
+            EncdictError::KeyNotProvisioned => {
+                write!(f, "enclave master key not provisioned")
+            }
+            EncdictError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
+        }
+    }
+}
+
+impl Error for EncdictError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EncdictError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for EncdictError {
+    fn from(e: CryptoError) -> Self {
+        EncdictError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EncdictError::from(CryptoError::TagMismatch);
+        assert!(e.to_string().contains("cryptographic"));
+        assert!(e.source().is_some());
+        assert!(EncdictError::InvalidBucketSize.source().is_none());
+    }
+}

@@ -1,0 +1,425 @@
+//! Special binary search over rotated dictionaries (paper Algorithms 2 + 3).
+//!
+//! ED2/ED5/ED8 store a lexicographically sorted dictionary rotated by a
+//! secret uniform offset. Algorithm 3 makes binary search possible without
+//! leaking the offset through the access pattern: every value is mapped
+//! through `t(v) = (ENCODE(v) − ENCODE(D[0])) mod N`, where `N` is the
+//! domain size of the column. Relative to the rotation point, `t` is
+//! monotone along the *rotated* index order, so ordinary leftmost/rightmost
+//! binary searches on `t` work and their access pattern depends only on
+//! `|D|` — not on the offset.
+//!
+//! The postprocessing of Algorithm 2 then decides whether the matching
+//! ValueIDs form one contiguous range or wrap around the dictionary end
+//! (two ranges). We branch on the *transformed bounds* (`t(R_s) > t(R_e)`
+//! ⟺ the range straddles the rotation point), which is equivalent to the
+//! paper's offset-based case analysis but needs no extra state.
+//!
+//! **ED5/ED8 corner case** (paper: "the plaintext value of the last and
+//! first entry in D might be equal"): duplicates of `D[0]`'s plaintext that
+//! rotate to the *end* of the dictionary have `t = 0` and would break the
+//! monotonicity of `t`. We strip that trailing run with a bounded backward
+//! scan first, binary-search the remaining region, and re-attach the run if
+//! its value matches the range. The scan costs `O(dup)` extra loads where
+//! `dup` is the boundary value's duplicate count — at most `bs_max` for
+//! ED5, and 0 for ED2 (no duplicates exist).
+
+use super::{DictEntryReader, DictSearchResult, VidRange};
+use crate::bigint::U256;
+use crate::encode::{domain_size, encode};
+use crate::error::EncdictError;
+use crate::range::{RangeBound, RangeQuery};
+
+/// Transformed bound: the `t`-encoding of a range endpoint plus whether the
+/// endpoint itself is included.
+struct TBound {
+    t: U256,
+    inclusive: bool,
+}
+
+fn start_bound(bound: &RangeBound, e0: U256, n: U256, max_len: usize) -> Result<TBound, EncdictError> {
+    Ok(match bound {
+        RangeBound::Inclusive(s) => TBound {
+            t: encode(s, max_len)?.sub_mod(e0, n),
+            inclusive: true,
+        },
+        RangeBound::Exclusive(s) => TBound {
+            t: encode(s, max_len)?.sub_mod(e0, n),
+            inclusive: false,
+        },
+        // -∞ is the smallest domain value (the empty string, encoding 0).
+        RangeBound::Unbounded => TBound {
+            t: U256::ZERO.sub_mod(e0, n),
+            inclusive: true,
+        },
+    })
+}
+
+fn end_bound(bound: &RangeBound, e0: U256, n: U256, max_len: usize) -> Result<TBound, EncdictError> {
+    Ok(match bound {
+        RangeBound::Inclusive(e) => TBound {
+            t: encode(e, max_len)?.sub_mod(e0, n),
+            inclusive: true,
+        },
+        RangeBound::Exclusive(e) => TBound {
+            t: encode(e, max_len)?.sub_mod(e0, n),
+            inclusive: false,
+        },
+        // +∞ is the largest domain value, encoding N - 1.
+        RangeBound::Unbounded => TBound {
+            t: n.wrapping_sub(U256::ONE).sub_mod(e0, n),
+            inclusive: true,
+        },
+    })
+}
+
+/// Whether the range is syntactically empty (start above end in the
+/// plaintext domain), which must be caught before the modular transform.
+fn range_is_empty(range: &RangeQuery) -> bool {
+    let (s, s_incl) = match &range.start {
+        RangeBound::Inclusive(v) => (v, true),
+        RangeBound::Exclusive(v) => (v, false),
+        RangeBound::Unbounded => return false,
+    };
+    let (e, e_incl) = match &range.end {
+        RangeBound::Inclusive(v) => (v, true),
+        RangeBound::Exclusive(v) => (v, false),
+        RangeBound::Unbounded => return false,
+    };
+    match s.cmp(e) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Equal => !(s_incl && e_incl),
+        std::cmp::Ordering::Less => false,
+    }
+}
+
+/// First region index whose transformed value satisfies the start bound
+/// (`t ≥ ts`, or `t > ts` for an exclusive start) — `BinSearchSpecialS`.
+fn lower_bound_t<R: DictEntryReader>(
+    reader: &mut R,
+    region_len: usize,
+    bound: &TBound,
+    e0: U256,
+    n: U256,
+    max_len: usize,
+) -> Result<usize, EncdictError> {
+    let mut lo = 0usize;
+    let mut hi = region_len;
+    let mut buf = Vec::new();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        reader.read_into(mid, &mut buf)?;
+        let t = encode(&buf, max_len)?.sub_mod(e0, n);
+        let qualifies = if bound.inclusive { t >= bound.t } else { t > bound.t };
+        if qualifies {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(lo)
+}
+
+/// One past the last region index whose transformed value satisfies the end
+/// bound (`t ≤ te`, or `t < te` for an exclusive end) — `BinSearchSpecialE`.
+fn upper_bound_t<R: DictEntryReader>(
+    reader: &mut R,
+    region_len: usize,
+    bound: &TBound,
+    e0: U256,
+    n: U256,
+    max_len: usize,
+) -> Result<usize, EncdictError> {
+    let mut lo = 0usize;
+    let mut hi = region_len;
+    let mut buf = Vec::new();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        reader.read_into(mid, &mut buf)?;
+        let t = encode(&buf, max_len)?.sub_mod(e0, n);
+        let exceeds = if bound.inclusive { t > bound.t } else { t >= bound.t };
+        if exceeds {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(lo)
+}
+
+/// `EnclDictSearch 2/5/8`: dictionary search over a rotated dictionary.
+///
+/// Returns up to two ValueID ranges; a single-range result carries a dummy
+/// `None` in the second slot (the paper returns a `(-1, -1)` dummy range
+/// for the same reason — a uniform reply shape).
+///
+/// # Errors
+///
+/// Propagates reader failures and [`EncdictError::MaxLenTooLarge`] if the
+/// column maximum exceeds the encodable length.
+pub fn search_rotated<R: DictEntryReader>(
+    reader: &mut R,
+    range: &RangeQuery,
+    max_len: usize,
+) -> Result<DictSearchResult, EncdictError> {
+    let dict_len = reader.len();
+    if dict_len == 0 || range_is_empty(range) {
+        return Ok(DictSearchResult::empty_ranges());
+    }
+    let n = domain_size(max_len)?;
+
+    // r = ENCODE(PAE_Dec(SK_D, eD[0])) — Algorithm 3 line 2.
+    let mut buf = Vec::new();
+    reader.read_into(0, &mut buf)?;
+    let v0 = buf.clone();
+    let e0 = encode(&v0, max_len)?;
+
+    // Corner case: strip the trailing run of entries equal to D[0]'s value
+    // (duplicates wrapped past the rotation point in ED5/ED8).
+    let mut tail_dups = 0usize;
+    while tail_dups + 1 < dict_len {
+        reader.read_into(dict_len - 1 - tail_dups, &mut buf)?;
+        if buf == v0 {
+            tail_dups += 1;
+        } else {
+            break;
+        }
+    }
+    let region_len = dict_len - tail_dups;
+
+    let ts = start_bound(&range.start, e0, n, max_len)?;
+    let te = end_bound(&range.end, e0, n, max_len)?;
+
+    let mut ranges: Vec<VidRange> = Vec::new();
+    if ts.t <= te.t {
+        // The plaintext range does not straddle the rotation point: one
+        // contiguous run in rotated index order.
+        let lo = lower_bound_t(reader, region_len, &ts, e0, n, max_len)?;
+        let hi = upper_bound_t(reader, region_len, &te, e0, n, max_len)?;
+        if lo < hi {
+            ranges.push(VidRange {
+                lo: lo as u32,
+                hi: (hi - 1) as u32,
+            });
+        }
+    } else {
+        // Straddling range: matches are t ≥ ts (top of the region) plus
+        // t ≤ te (bottom of the region) — Algorithm 2's two-range case.
+        let hi = upper_bound_t(reader, region_len, &te, e0, n, max_len)?;
+        if hi > 0 {
+            ranges.push(VidRange {
+                lo: 0,
+                hi: (hi - 1) as u32,
+            });
+        }
+        let lo = lower_bound_t(reader, region_len, &ts, e0, n, max_len)?;
+        if lo < region_len {
+            ranges.push(VidRange {
+                lo: lo as u32,
+                hi: (region_len - 1) as u32,
+            });
+        }
+    }
+
+    // Re-attach the stripped trailing duplicates if their value matches.
+    if tail_dups > 0 && range.contains(&v0) {
+        let tail_range = VidRange {
+            lo: region_len as u32,
+            hi: (dict_len - 1) as u32,
+        };
+        // Merge with an adjacent range ending right before the tail run.
+        if let Some(last) = ranges.iter_mut().find(|r| r.hi + 1 == tail_range.lo) {
+            last.hi = tail_range.hi;
+        } else {
+            ranges.push(tail_range);
+        }
+    }
+
+    debug_assert!(ranges.len() <= 2, "rotated search yields at most 2 ranges");
+    let mut out = [None, None];
+    for (slot, r) in out.iter_mut().zip(ranges.into_iter()) {
+        *slot = Some(r);
+    }
+    Ok(DictSearchResult::Ranges(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::sorted::tests::VecReader;
+
+    /// Builds a rotated reader: sorts `values`, rotates by `offset`.
+    fn rotated(values: &[&str], offset: usize) -> VecReader {
+        let mut sorted: Vec<&str> = values.to_vec();
+        sorted.sort();
+        let n = sorted.len();
+        let mut arr = vec![""; n];
+        for (j, v) in sorted.iter().enumerate() {
+            arr[(j + offset) % n] = v;
+        }
+        VecReader::new(arr)
+    }
+
+    /// Reference: all indices whose value matches the range.
+    fn expected(reader: &VecReader, range: &RangeQuery) -> Vec<u32> {
+        reader
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| range.contains(v))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    fn check(values: &[&str], offset: usize, range: &RangeQuery) {
+        let mut r = rotated(values, offset);
+        let res = search_rotated(&mut r, range, 12).unwrap();
+        let mut got = res.to_vid_list();
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            expected(&r, range),
+            "values {values:?} offset {offset} range {range:?}"
+        );
+    }
+
+    #[test]
+    fn figure_3c_example() {
+        // Figure 3 (c): sorted (Archie, Ella, Hans, Jessica) rotated by 3 →
+        // (Ella, Hans, Jessica, Archie).
+        let mut r = VecReader::new(["Ella", "Hans", "Jessica", "Archie"]);
+        let res = search_rotated(&mut r, &RangeQuery::between("Archie", "Hans"), 12).unwrap();
+        let mut got = res.to_vid_list();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 3]); // Ella, Hans, Archie
+    }
+
+    #[test]
+    fn all_offsets_and_ranges_match_reference() {
+        let values = ["apple", "banana", "cherry", "date", "elder", "fig", "grape"];
+        let queries = [
+            RangeQuery::between("banana", "elder"),
+            RangeQuery::between("apple", "grape"),
+            RangeQuery::between("a", "z"),
+            RangeQuery::equals("date"),
+            RangeQuery::equals("missing"),
+            RangeQuery::less_than("cherry"),
+            RangeQuery::greater_than("date"),
+            RangeQuery::at_most("date"),
+            RangeQuery::at_least("fig"),
+            RangeQuery::between("blueberry", "coconut"),
+        ];
+        for offset in 0..values.len() {
+            for q in &queries {
+                check(&values, offset, q);
+            }
+        }
+    }
+
+    #[test]
+    fn wrapped_result_produces_two_ranges() {
+        // Sorted a..f rotated by 3: (d e f a b c). Query [b, e] wraps.
+        let mut r = rotated(&["a", "b", "c", "d", "e", "f"], 3);
+        let res = search_rotated(&mut r, &RangeQuery::between("b", "e"), 4).unwrap();
+        match &res {
+            DictSearchResult::Ranges([Some(_), Some(_)]) => {}
+            other => panic!("expected two ranges, got {other:?}"),
+        }
+        let mut got = res.to_vid_list();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 4, 5]); // d, e, b, c
+    }
+
+    #[test]
+    fn duplicates_at_rotation_boundary_ed5_corner_case() {
+        // Duplicates of the boundary value split across the wrap point.
+        // Sorted: a a b b b c; offset 2 → (b c a a b b): D[0] = "b" and the
+        // tail run "b b" equals it.
+        let values = ["a", "a", "b", "b", "b", "c"];
+        for offset in 0..values.len() {
+            for q in [
+                RangeQuery::equals("b"),
+                RangeQuery::equals("a"),
+                RangeQuery::between("a", "b"),
+                RangeQuery::between("b", "c"),
+                RangeQuery::greater_than("b"),
+                RangeQuery::less_than("b"),
+            ] {
+                check(&values, offset, &q);
+            }
+        }
+    }
+
+    #[test]
+    fn all_equal_dictionary() {
+        let values = ["x", "x", "x", "x"];
+        for offset in 0..4 {
+            check(&values, offset, &RangeQuery::equals("x"));
+            check(&values, offset, &RangeQuery::equals("y"));
+            check(&values, offset, &RangeQuery::between("a", "z"));
+        }
+    }
+
+    #[test]
+    fn single_entry_dictionary() {
+        for q in [RangeQuery::equals("m"), RangeQuery::equals("q")] {
+            check(&["m"], 0, &q);
+        }
+    }
+
+    #[test]
+    fn syntactically_empty_range() {
+        let mut r = rotated(&["a", "b", "c"], 1);
+        let res = search_rotated(&mut r, &RangeQuery::between("z", "a"), 4).unwrap();
+        assert_eq!(res.match_count(), 0);
+        // Exclusive-equal bounds are empty too.
+        let q = RangeQuery {
+            start: RangeBound::Inclusive(b"b".to_vec()),
+            end: RangeBound::Exclusive(b"b".to_vec()),
+        };
+        let res = search_rotated(&mut r, &q, 4).unwrap();
+        assert_eq!(res.match_count(), 0);
+    }
+
+    #[test]
+    fn unbounded_queries_wrap_correctly() {
+        let values = ["alpha", "beta", "gamma", "delta", "epsilon"];
+        for offset in 0..values.len() {
+            check(&values, offset, &RangeQuery::at_least("beta"));
+            check(&values, offset, &RangeQuery::at_most("delta"));
+            let all = RangeQuery {
+                start: RangeBound::Unbounded,
+                end: RangeBound::Unbounded,
+            };
+            check(&values, offset, &all);
+        }
+    }
+
+    #[test]
+    fn read_count_is_logarithmic_plus_corner_scan() {
+        let values: Vec<String> = (0..8192).map(|i| format!("{i:08}")).collect();
+        let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+        let mut r = rotated(&refs, 3000);
+        let _ = search_rotated(&mut r, &RangeQuery::between("00001000", "00002000"), 10).unwrap();
+        // 1 read of D[0], 1 corner probe, 2 binary searches of ≤ 14 reads.
+        assert!(r.reads <= 2 + 2 * 14, "reads = {}", r.reads);
+    }
+
+    #[test]
+    fn access_pattern_is_offset_independent() {
+        // The indices probed by the binary searches must not depend on the
+        // secret rotation offset (that is the whole point of Algorithm 3).
+        let values: Vec<String> = (0..1024).map(|i| format!("{i:06}")).collect();
+        let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+        let mut read_counts = std::collections::HashSet::new();
+        for offset in [0usize, 1, 97, 511, 1023] {
+            let mut r = rotated(&refs, offset);
+            let _ =
+                search_rotated(&mut r, &RangeQuery::between("000100", "000200"), 8).unwrap();
+            read_counts.insert(r.reads);
+        }
+        // Same dictionary size, same bounds -> identical number of loads
+        // regardless of the offset.
+        assert_eq!(read_counts.len(), 1, "loads varied: {read_counts:?}");
+    }
+}

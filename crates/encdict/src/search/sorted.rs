@@ -1,0 +1,226 @@
+//! Binary search over sorted dictionaries (paper Algorithm 1).
+//!
+//! `EnclDictSearch 1` performs one *leftmost* and one *rightmost* binary
+//! search to find where the range starts (`vid_min`) and ends (`vid_max`).
+//! ED4 and ED7 reuse it unchanged because "leftmost and rightmost binary
+//! searches inherently handle repetitions".
+
+use super::{DictEntryReader, DictSearchResult, VidRange};
+use crate::error::EncdictError;
+use crate::range::{RangeBound, RangeQuery};
+
+/// First index whose value satisfies the *start* bound, i.e. the leftmost
+/// binary search of Algorithm 1. Returns `len` if no value qualifies.
+pub(crate) fn lower_bound<R: DictEntryReader>(
+    reader: &mut R,
+    bound: &RangeBound,
+) -> Result<usize, EncdictError> {
+    let mut lo = 0usize;
+    let mut hi = reader.len();
+    let mut buf = Vec::new();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        reader.read_into(mid, &mut buf)?;
+        let qualifies = match bound {
+            RangeBound::Inclusive(s) => buf.as_slice() >= s.as_slice(),
+            RangeBound::Exclusive(s) => buf.as_slice() > s.as_slice(),
+            RangeBound::Unbounded => true,
+        };
+        if qualifies {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(lo)
+}
+
+/// One past the last index whose value satisfies the *end* bound, i.e. the
+/// rightmost binary search of Algorithm 1 (as an exclusive upper index).
+pub(crate) fn upper_bound<R: DictEntryReader>(
+    reader: &mut R,
+    bound: &RangeBound,
+) -> Result<usize, EncdictError> {
+    let mut lo = 0usize;
+    let mut hi = reader.len();
+    let mut buf = Vec::new();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        reader.read_into(mid, &mut buf)?;
+        let exceeds = match bound {
+            RangeBound::Inclusive(e) => buf.as_slice() > e.as_slice(),
+            RangeBound::Exclusive(e) => buf.as_slice() >= e.as_slice(),
+            RangeBound::Unbounded => false,
+        };
+        if exceeds {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(lo)
+}
+
+/// `EnclDictSearch 1/4/7`: dictionary search over a sorted dictionary.
+///
+/// Returns a single ValueID range (plus a dummy slot, like the paper's
+/// implementation returns a dummy range to keep the reply shape uniform).
+///
+/// # Errors
+///
+/// Propagates reader failures ([`EncdictError::Crypto`] on tampered
+/// ciphertexts).
+pub fn search_sorted<R: DictEntryReader>(
+    reader: &mut R,
+    range: &RangeQuery,
+) -> Result<DictSearchResult, EncdictError> {
+    if reader.is_empty() {
+        return Ok(DictSearchResult::empty_ranges());
+    }
+    let vid_min = lower_bound(reader, &range.start)?;
+    let vid_end = upper_bound(reader, &range.end)?; // exclusive
+    if vid_min >= vid_end {
+        return Ok(DictSearchResult::empty_ranges());
+    }
+    Ok(DictSearchResult::Ranges([
+        VidRange::new(vid_min as u32, (vid_end - 1) as u32),
+        None,
+    ]))
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// A plain in-memory reader for algorithm tests.
+    pub(crate) struct VecReader {
+        pub values: Vec<Vec<u8>>,
+        pub reads: usize,
+    }
+
+    impl VecReader {
+        pub(crate) fn new<S: AsRef<[u8]>>(values: impl IntoIterator<Item = S>) -> Self {
+            VecReader {
+                values: values.into_iter().map(|v| v.as_ref().to_vec()).collect(),
+                reads: 0,
+            }
+        }
+    }
+
+    impl DictEntryReader for VecReader {
+        fn len(&self) -> usize {
+            self.values.len()
+        }
+        fn read_into(&mut self, i: usize, buf: &mut Vec<u8>) -> Result<(), EncdictError> {
+            self.reads += 1;
+            buf.clear();
+            buf.extend_from_slice(&self.values[i]);
+            Ok(())
+        }
+    }
+
+    fn vids(r: &DictSearchResult) -> Vec<u32> {
+        r.to_vid_list()
+    }
+
+    #[test]
+    fn closed_range_on_fig3_dictionary() {
+        // Sorted dictionary of Figure 3 (b): Archie, Ella, Hans, Jessica.
+        let mut r = VecReader::new(["Archie", "Ella", "Hans", "Jessica"]);
+        let res = search_sorted(&mut r, &RangeQuery::between("Archie", "Hans")).unwrap();
+        assert_eq!(vids(&res), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn equality_and_absent_values() {
+        let mut r = VecReader::new(["a", "c", "e", "g"]);
+        assert_eq!(
+            vids(&search_sorted(&mut r, &RangeQuery::equals("c")).unwrap()),
+            vec![1]
+        );
+        // Absent value inside the domain.
+        assert_eq!(
+            search_sorted(&mut r, &RangeQuery::equals("d"))
+                .unwrap()
+                .match_count(),
+            0
+        );
+        // Range entirely outside.
+        assert_eq!(
+            search_sorted(&mut r, &RangeQuery::between("x", "z"))
+                .unwrap()
+                .match_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn range_with_absent_endpoints_snaps_inward() {
+        let mut r = VecReader::new(["b", "d", "f"]);
+        // [a, e] matches b and d even though neither endpoint exists.
+        assert_eq!(
+            vids(&search_sorted(&mut r, &RangeQuery::between("a", "e")).unwrap()),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn exclusive_bounds() {
+        let mut r = VecReader::new(["a", "b", "c", "d"]);
+        let q = RangeQuery {
+            start: RangeBound::Exclusive(b"a".to_vec()),
+            end: RangeBound::Exclusive(b"d".to_vec()),
+        };
+        assert_eq!(vids(&search_sorted(&mut r, &q).unwrap()), vec![1, 2]);
+    }
+
+    #[test]
+    fn unbounded_sides() {
+        let mut r = VecReader::new(["a", "b", "c"]);
+        assert_eq!(
+            vids(&search_sorted(&mut r, &RangeQuery::at_most("b")).unwrap()),
+            vec![0, 1]
+        );
+        assert_eq!(
+            vids(&search_sorted(&mut r, &RangeQuery::at_least("b")).unwrap()),
+            vec![1, 2]
+        );
+        let all = RangeQuery {
+            start: RangeBound::Unbounded,
+            end: RangeBound::Unbounded,
+        };
+        assert_eq!(vids(&search_sorted(&mut r, &all).unwrap()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn repetitions_are_covered_ed4_ed7_style() {
+        // ED4/ED7 dictionaries contain repeated plaintexts; the leftmost /
+        // rightmost searches must cover the whole run.
+        let mut r = VecReader::new(["a", "b", "b", "b", "c"]);
+        assert_eq!(
+            vids(&search_sorted(&mut r, &RangeQuery::equals("b")).unwrap()),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn read_count_is_logarithmic() {
+        let values: Vec<String> = (0..4096).map(|i| format!("{i:08}")).collect();
+        let mut r = VecReader::new(values);
+        let _ = search_sorted(&mut r, &RangeQuery::between("00001000", "00001999")).unwrap();
+        // Two binary searches over 4096 entries: ~2 * 12 reads, certainly
+        // far below a linear scan.
+        assert!(r.reads <= 2 * 13, "reads = {}", r.reads);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let mut r = VecReader::new(Vec::<&str>::new());
+        assert_eq!(
+            search_sorted(&mut r, &RangeQuery::between("a", "z"))
+                .unwrap()
+                .match_count(),
+            0
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Linear-scan search over unsorted dictionaries (paper Algorithm 4).
+//!
+//! ED3/ED6/ED9 shuffle the dictionary, so no logarithmic search is
+//! possible: every entry is loaded into the enclave, decrypted, and checked
+//! against the range. The result is the list of matching ValueIDs.
+
+use super::{DictEntryReader, DictSearchResult};
+use crate::error::EncdictError;
+use crate::range::RangeQuery;
+
+/// `EnclDictSearch 3/6/9`: scans the whole dictionary and returns every
+/// ValueID whose plaintext falls into `range`, in ascending ValueID order.
+///
+/// # Errors
+///
+/// Propagates reader failures ([`EncdictError::Crypto`] on tampered
+/// ciphertexts).
+pub fn search_unsorted<R: DictEntryReader>(
+    reader: &mut R,
+    range: &RangeQuery,
+) -> Result<DictSearchResult, EncdictError> {
+    let mut vids = Vec::new();
+    let mut buf = Vec::new();
+    for i in 0..reader.len() {
+        reader.read_into(i, &mut buf)?;
+        if range.contains(&buf) {
+            vids.push(i as u32);
+        }
+    }
+    Ok(DictSearchResult::Ids(vids))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::sorted::tests::VecReader;
+
+    #[test]
+    fn finds_matches_in_shuffled_dictionary() {
+        // Figure 3 (d): unsorted dictionary Archie, Hans, Ella, Jessica.
+        let mut r = VecReader::new(["Archie", "Hans", "Ella", "Jessica"]);
+        let res = search_unsorted(&mut r, &RangeQuery::between("Archie", "Hans")).unwrap();
+        assert_eq!(res.to_vid_list(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scan_touches_every_entry() {
+        let mut r = VecReader::new(["q", "a", "z", "m"]);
+        let _ = search_unsorted(&mut r, &RangeQuery::equals("a")).unwrap();
+        assert_eq!(r.reads, 4, "linear scan must read all |D| entries");
+    }
+
+    #[test]
+    fn duplicates_all_match() {
+        let mut r = VecReader::new(["x", "y", "x", "z", "x"]);
+        let res = search_unsorted(&mut r, &RangeQuery::equals("x")).unwrap();
+        assert_eq!(res.to_vid_list(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn empty_result_and_empty_dictionary() {
+        let mut r = VecReader::new(["a", "b"]);
+        assert_eq!(
+            search_unsorted(&mut r, &RangeQuery::equals("nope"))
+                .unwrap()
+                .match_count(),
+            0
+        );
+        let mut empty = VecReader::new(Vec::<&str>::new());
+        assert_eq!(
+            search_unsorted(&mut empty, &RangeQuery::equals("x"))
+                .unwrap()
+                .match_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn exclusive_and_unbounded_bounds() {
+        let mut r = VecReader::new(["c", "a", "d", "b"]);
+        let res = search_unsorted(&mut r, &RangeQuery::greater_than("b")).unwrap();
+        assert_eq!(res.to_vid_list(), vec![0, 2]);
+        let res = search_unsorted(&mut r, &RangeQuery::at_most("b")).unwrap();
+        assert_eq!(res.to_vid_list(), vec![1, 3]);
+    }
+}

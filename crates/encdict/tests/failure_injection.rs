@@ -1,0 +1,130 @@
+//! Failure injection: corrupted untrusted storage must surface as errors,
+//! never as wrong results or panics inside the enclave.
+
+use colstore::column::Column;
+use encdbdb_crypto::hkdf::derive_column_key;
+use encdbdb_crypto::{Key128, Pae};
+use encdict::build::{build_encrypted, BuildParams};
+use encdict::persist;
+use encdict::{DictEnclave, EdKind, EncryptedRange, RangeQuery};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture(
+    kind: EdKind,
+) -> (
+    DictEnclave,
+    encdict::EncryptedDictionary,
+    colstore::dictionary::AttributeVector,
+    Pae,
+    StdRng,
+) {
+    let mut rng = StdRng::seed_from_u64(kind.number() as u64);
+    let skdb = Key128::from_bytes([6; 16]);
+    let sk_d = derive_column_key(&skdb, "t", "c");
+    let col = Column::from_strs("c", 8, ["d", "a", "c", "b", "a"]).unwrap();
+    let params = BuildParams {
+        table_name: "t".into(),
+        col_name: "c".into(),
+        bs_max: 2,
+    };
+    let (dict, av) = build_encrypted(&col, kind, &params, &sk_d, &mut rng).unwrap();
+    let mut enclave = DictEnclave::with_seed(kind.number() as u64 + 100);
+    enclave.provision_direct(skdb);
+    (enclave, dict, av, Pae::new(&sk_d), rng)
+}
+
+/// Flip bytes across the serialized dictionary; either the deserializer
+/// rejects the blob, or the enclave's authenticated decryption rejects the
+/// search — never a silent wrong answer or a panic.
+#[test]
+fn bit_flips_never_panic_or_lie() {
+    for kind in [EdKind::Ed1, EdKind::Ed2, EdKind::Ed3] {
+        let (mut enclave, dict, av, pae, mut rng) = fixture(kind);
+        let blob = persist::to_bytes(&dict, &av);
+        let query = RangeQuery::between("a", "d");
+        let tau = EncryptedRange::encrypt(&pae, &mut rng, &query);
+        let baseline = enclave.search(&dict, &tau).unwrap().match_count();
+        assert!(baseline >= 4, "baseline sanity for {kind}");
+
+        for pos in (0..blob.len()).step_by(7) {
+            let mut bad = blob.clone();
+            bad[pos] ^= 0x20;
+            let Ok((bad_dict, _bad_av)) = persist::from_bytes(&bad) else {
+                continue; // structural rejection: good.
+            };
+            match enclave.search(&bad_dict, &tau) {
+                Err(_) => {} // authenticated decryption caught it: good.
+                Ok(result) => {
+                    // The flip may have landed in AV bytes, which the
+                    // dictionary search never reads; then the dictionary
+                    // result must equal the baseline.
+                    assert_eq!(
+                        result.match_count(),
+                        baseline,
+                        "{kind}: silent result change from flip at {pos}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A head entry whose length points past the tail must produce
+/// CorruptDictionary (bounds check), not a panic.
+#[test]
+fn out_of_range_head_offset_detected() {
+    let (mut enclave, dict, av, pae, mut rng) = fixture(EdKind::Ed3);
+    let blob = persist::to_bytes(&dict, &av);
+    // First ciphertext length prefix position: MAGIC(8) + kind(1) +
+    // table "t" (8+1) + col "c" (8+1) + max_len(8) + len(8).
+    let first_len_pos = 8 + 1 + 9 + 9 + 8 + 8;
+    let mut bad = blob.clone();
+    bad[first_len_pos] = bad[first_len_pos].wrapping_add(200);
+    if let Ok((bad_dict, _)) = persist::from_bytes(&bad) {
+        let tau = EncryptedRange::encrypt(&pae, &mut rng, &RangeQuery::equals("a"));
+        assert!(enclave.search(&bad_dict, &tau).is_err());
+    }
+}
+
+/// An ED2 dictionary stripped of its rotation offset must be rejected.
+#[test]
+fn missing_rotation_offset_rejected() {
+    let (mut enclave, dict, av, pae, mut rng) = fixture(EdKind::Ed2);
+    let blob = persist::to_bytes(&dict, &av);
+    let av_bytes = 8 + av.len() * 4;
+    let enc_off_len = dict.enc_rnd_offset().unwrap().len();
+    let flag_pos = blob.len() - av_bytes - (8 + enc_off_len) - 1;
+    assert_eq!(blob[flag_pos], 1, "flag located");
+    let mut bad = Vec::new();
+    bad.extend_from_slice(&blob[..flag_pos]);
+    bad.push(0);
+    bad.extend_from_slice(&blob[blob.len() - av_bytes..]);
+    let (bad_dict, _) = persist::from_bytes(&bad).unwrap();
+    let tau = EncryptedRange::encrypt(&pae, &mut rng, &RangeQuery::equals("a"));
+    let err = enclave.search(&bad_dict, &tau).unwrap_err();
+    assert!(matches!(err, encdict::EncdictError::CorruptDictionary(_)));
+}
+
+/// A rotation offset re-encrypted under the wrong key is rejected before
+/// any dictionary entry is touched.
+#[test]
+fn swapped_rotation_offset_rejected() {
+    let (mut enclave, dict, av, pae, mut rng) = fixture(EdKind::Ed2);
+    // Replace the offset ciphertext with one under a different key.
+    let wrong_pae = Pae::new(&Key128::from_bytes([0xEE; 16]));
+    let forged = wrong_pae
+        .encrypt_with_rng(&mut rng, &0u64.to_le_bytes(), b"encdbdb/rot-offset/v1")
+        .into_bytes();
+    let blob = persist::to_bytes(&dict, &av);
+    let av_bytes = 8 + av.len() * 4;
+    let enc_off_len = dict.enc_rnd_offset().unwrap().len();
+    let field_start = blob.len() - av_bytes - (8 + enc_off_len);
+    assert_eq!(enc_off_len, forged.len());
+    let mut bad = blob.clone();
+    bad[field_start + 8..field_start + 8 + enc_off_len].copy_from_slice(&forged);
+    let (bad_dict, _) = persist::from_bytes(&bad).unwrap();
+    let tau = EncryptedRange::encrypt(&pae, &mut rng, &RangeQuery::equals("a"));
+    let err = enclave.search(&bad_dict, &tau).unwrap_err();
+    assert!(matches!(err, encdict::EncdictError::Crypto(_)));
+}

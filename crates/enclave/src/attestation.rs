@@ -1,0 +1,210 @@
+//! Simulated remote attestation.
+//!
+//! SGX attestation (paper §2.2) works by *measuring* the initial enclave
+//! code/data and having platform hardware sign a report containing that
+//! measurement plus caller-chosen report data; a verification service (IAS)
+//! validates the signature. We model the platform signing key as an HMAC
+//! key shared between [`SigningPlatform`] (the CPU) and
+//! [`VerificationService`] (the attestation service the data owner trusts),
+//! which preserves the protocol structure without a full PKI.
+
+use encdbdb_crypto::hmac::hmac_sha256;
+use encdbdb_crypto::keys::Key256;
+use encdbdb_crypto::sha256;
+use rand::RngCore;
+
+/// A 256-bit enclave measurement (SGX `MRENCLAVE` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Measurement([u8; 32]);
+
+impl Measurement {
+    /// Measures a code-identity byte string.
+    pub fn of(code_identity: &[u8]) -> Self {
+        Measurement(sha256::digest(code_identity))
+    }
+
+    /// Raw measurement bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+/// An attestation report produced inside the enclave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// The enclave measurement.
+    pub measurement: Measurement,
+    /// 32 bytes of caller data — EncDBDB places the enclave's ephemeral
+    /// X25519 public key here so the channel binds to this attestation.
+    pub report_data: [u8; 32],
+}
+
+impl Report {
+    fn signing_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(self.measurement.as_bytes());
+        out[32..].copy_from_slice(&self.report_data);
+        out
+    }
+}
+
+/// A platform-signed report (SGX quote analogue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// The signed report.
+    pub report: Report,
+    /// MAC over the report under the platform key.
+    pub signature: [u8; 32],
+}
+
+/// The quoting identity of a platform (the "CPU" hosting enclaves).
+#[derive(Debug, Clone)]
+pub struct SigningPlatform {
+    platform_key: Key256,
+}
+
+impl Default for SigningPlatform {
+    /// A fixed development platform — fine for tests/benches where the
+    /// verifier is constructed from the same instance.
+    fn default() -> Self {
+        SigningPlatform {
+            platform_key: Key256::from_bytes([0x5a; 32]),
+        }
+    }
+}
+
+impl SigningPlatform {
+    /// Generates a platform with a fresh random key.
+    pub fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        SigningPlatform {
+            platform_key: Key256::generate(rng),
+        }
+    }
+
+    /// Produces a quote for `measurement` with embedded `report_data`.
+    pub fn quote(&self, measurement: Measurement, report_data: [u8; 32]) -> Quote {
+        let report = Report {
+            measurement,
+            report_data,
+        };
+        let signature = hmac_sha256(self.platform_key.as_bytes(), &report.signing_bytes());
+        Quote { report, signature }
+    }
+
+    /// The verification service endpoint corresponding to this platform
+    /// (models the Intel Attestation Service for this platform's key).
+    pub fn verification_service(&self) -> VerificationService {
+        VerificationService {
+            platform_key: self.platform_key.clone(),
+        }
+    }
+
+    /// The sealing key root for this platform (used by [`crate::sealing`]).
+    pub(crate) fn platform_secret(&self) -> &Key256 {
+        &self.platform_key
+    }
+}
+
+/// Verifies quotes on behalf of remote parties.
+#[derive(Debug, Clone)]
+pub struct VerificationService {
+    platform_key: Key256,
+}
+
+impl VerificationService {
+    /// Verifies a quote's platform signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::EnclaveError::QuoteInvalid`] if the signature does
+    /// not verify.
+    pub fn verify(&self, quote: &Quote) -> Result<Report, crate::EnclaveError> {
+        let expected = hmac_sha256(self.platform_key.as_bytes(), &quote.report.signing_bytes());
+        if encdbdb_crypto::ct::ct_eq(&expected, &quote.signature) {
+            Ok(quote.report.clone())
+        } else {
+            Err(crate::EnclaveError::QuoteInvalid)
+        }
+    }
+
+    /// Verifies a quote *and* that it attests the expected measurement.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::EnclaveError::QuoteInvalid`] on a bad signature,
+    /// [`crate::EnclaveError::MeasurementMismatch`] if the enclave code
+    /// differs from what the verifier expects.
+    pub fn verify_expecting(
+        &self,
+        quote: &Quote,
+        expected: Measurement,
+    ) -> Result<Report, crate::EnclaveError> {
+        let report = self.verify(quote)?;
+        if report.measurement != expected {
+            return Err(crate::EnclaveError::MeasurementMismatch);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quote_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let platform = SigningPlatform::generate(&mut rng);
+        let m = Measurement::of(b"code");
+        let quote = platform.quote(m, [7u8; 32]);
+        let report = platform.verification_service().verify(&quote).unwrap();
+        assert_eq!(report.measurement, m);
+        assert_eq!(report.report_data, [7u8; 32]);
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let platform = SigningPlatform::generate(&mut rng);
+        let mut quote = platform.quote(Measurement::of(b"code"), [0u8; 32]);
+        quote.signature[0] ^= 1;
+        assert_eq!(
+            platform.verification_service().verify(&quote),
+            Err(crate::EnclaveError::QuoteInvalid)
+        );
+    }
+
+    #[test]
+    fn tampered_report_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let platform = SigningPlatform::generate(&mut rng);
+        let mut quote = platform.quote(Measurement::of(b"code"), [0u8; 32]);
+        quote.report.report_data[0] ^= 1;
+        assert!(platform.verification_service().verify(&quote).is_err());
+    }
+
+    #[test]
+    fn cross_platform_quote_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p1 = SigningPlatform::generate(&mut rng);
+        let p2 = SigningPlatform::generate(&mut rng);
+        let quote = p1.quote(Measurement::of(b"code"), [0u8; 32]);
+        assert!(p2.verification_service().verify(&quote).is_err());
+    }
+
+    #[test]
+    fn measurement_expectation_enforced() {
+        let platform = SigningPlatform::default();
+        let quote = platform.quote(Measurement::of(b"benign"), [0u8; 32]);
+        let svc = platform.verification_service();
+        assert!(svc
+            .verify_expecting(&quote, Measurement::of(b"benign"))
+            .is_ok());
+        assert_eq!(
+            svc.verify_expecting(&quote, Measurement::of(b"malicious")),
+            Err(crate::EnclaveError::MeasurementMismatch)
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Secure channel between a remote party and an enclave.
+//!
+//! After attestation binds the enclave's ephemeral X25519 public key into a
+//! verified quote (see [`crate::attestation`]), both sides run X25519 and
+//! derive a session key with HKDF over the shared secret and the transcript
+//! of both public keys. The data owner then wraps `SK_DB` with AES-GCM under
+//! that session key (paper Fig. 5, step 2).
+
+use encdbdb_crypto::hkdf;
+use encdbdb_crypto::keys::{Key128, Key256};
+use encdbdb_crypto::x25519;
+
+/// AAD bound to provisioning messages so they cannot be replayed in other
+/// protocol contexts.
+pub const PROVISION_AAD: &[u8] = b"encdbdb/provision-skdb/v1";
+
+/// Which side of the channel is deriving the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The enclave side (its DH public key is in the attestation report).
+    Enclave,
+    /// The data owner / remote verifier side.
+    DataOwner,
+}
+
+/// Derives the shared AES-128 session key.
+///
+/// Both roles must supply their own secret and the peer's public key; the
+/// transcript is ordered (enclave key first) so both derive the same key.
+pub fn session_key(own_secret: &Key256, peer_public: &[u8; 32], role: Role) -> Key128 {
+    let own_public = x25519::public_key(own_secret);
+    let shared = x25519::shared_secret(own_secret, peer_public);
+    let (enclave_pub, owner_pub) = match role {
+        Role::Enclave => (own_public, *peer_public),
+        Role::DataOwner => (*peer_public, own_public),
+    };
+    let mut info = Vec::with_capacity(96);
+    info.extend_from_slice(b"encdbdb/session/v1");
+    info.extend_from_slice(&enclave_pub);
+    info.extend_from_slice(&owner_pub);
+    let mut out = [0u8; 16];
+    hkdf::hkdf(b"encdbdb-channel", shared.as_bytes(), &info, &mut out);
+    Key128::from_bytes(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn both_roles_derive_same_key() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let enclave_secret = Key256::generate(&mut rng);
+        let owner_secret = Key256::generate(&mut rng);
+        let enclave_pub = x25519::public_key(&enclave_secret);
+        let owner_pub = x25519::public_key(&owner_secret);
+        let k_enclave = session_key(&enclave_secret, &owner_pub, Role::Enclave);
+        let k_owner = session_key(&owner_secret, &enclave_pub, Role::DataOwner);
+        assert_eq!(k_enclave.as_bytes(), k_owner.as_bytes());
+    }
+
+    #[test]
+    fn different_peers_derive_different_keys() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let enclave_secret = Key256::generate(&mut rng);
+        let owner1 = Key256::generate(&mut rng);
+        let owner2 = Key256::generate(&mut rng);
+        let k1 = session_key(&enclave_secret, &x25519::public_key(&owner1), Role::Enclave);
+        let k2 = session_key(&enclave_secret, &x25519::public_key(&owner2), Role::Enclave);
+        assert_ne!(k1.as_bytes(), k2.as_bytes());
+    }
+
+    #[test]
+    fn wrapped_key_transits_channel() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let enclave_secret = Key256::generate(&mut rng);
+        let owner_secret = Key256::generate(&mut rng);
+        let owner_side = session_key(
+            &owner_secret,
+            &x25519::public_key(&enclave_secret),
+            Role::DataOwner,
+        );
+        let enclave_side = session_key(
+            &enclave_secret,
+            &x25519::public_key(&owner_secret),
+            Role::Enclave,
+        );
+        let skdb = [0x33u8; 16];
+        let wrapped = encdbdb_crypto::Pae::new(&owner_side)
+            .encrypt_with_rng(&mut rng, &skdb, PROVISION_AAD);
+        let unwrapped = encdbdb_crypto::Pae::new(&enclave_side)
+            .decrypt(&wrapped, PROVISION_AAD)
+            .unwrap();
+        assert_eq!(unwrapped, skdb);
+    }
+}

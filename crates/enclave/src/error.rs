@@ -1,0 +1,69 @@
+//! Error types for the enclave simulator.
+
+use encdbdb_crypto::CryptoError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by enclave operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EnclaveError {
+    /// A quote's platform signature failed verification.
+    QuoteInvalid,
+    /// The quote verified, but the measurement is not the expected enclave.
+    MeasurementMismatch,
+    /// Key provisioning was attempted without a preceding attestation round.
+    NoAttestationRound,
+    /// An underlying cryptographic operation failed.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for EnclaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnclaveError::QuoteInvalid => write!(f, "attestation quote signature invalid"),
+            EnclaveError::MeasurementMismatch => {
+                write!(f, "enclave measurement does not match expectation")
+            }
+            EnclaveError::NoAttestationRound => {
+                write!(f, "provisioning requires a prior attestation round")
+            }
+            EnclaveError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
+        }
+    }
+}
+
+impl Error for EnclaveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EnclaveError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for EnclaveError {
+    fn from(e: CryptoError) -> Self {
+        EnclaveError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EnclaveError::QuoteInvalid.to_string().contains("quote"));
+        assert!(EnclaveError::Crypto(CryptoError::TagMismatch)
+            .to_string()
+            .contains("tag"));
+    }
+
+    #[test]
+    fn source_chains_to_crypto() {
+        let e = EnclaveError::from(CryptoError::TagMismatch);
+        assert!(e.source().is_some());
+        assert!(EnclaveError::QuoteInvalid.source().is_none());
+    }
+}

@@ -1,0 +1,225 @@
+//! Trusted/untrusted memory model and boundary accounting.
+//!
+//! SGX v2 (paper §2.2) reserves 128 MiB of RAM for the Processor Reserved
+//! Memory of which ~96 MiB are usable for enclave code and data; exceeding
+//! it triggers expensive paging. The simulator accounts trusted heap usage
+//! against that budget ([`EPC_BUDGET_BYTES`]) and counts every *load* of
+//! untrusted memory into the enclave, mirroring the per-value "load into the
+//! enclave, decrypt there, compare" pattern of the paper's Algorithm 1.
+
+use encdbdb_crypto::keys::Key128;
+
+/// Usable EPC budget in bytes (~96 MiB, §2.2).
+pub const EPC_BUDGET_BYTES: usize = 96 * 1024 * 1024;
+
+/// Counters for traffic crossing the enclave boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EcallCounters {
+    /// Number of ECALLs (host → enclave entries).
+    pub ecalls: u64,
+    /// Number of individual loads of untrusted memory performed by trusted
+    /// code (one per dictionary entry touched).
+    pub untrusted_loads: u64,
+    /// Total bytes of untrusted memory loaded into the enclave.
+    pub untrusted_bytes: u64,
+}
+
+/// A read-only view of memory residing in the *untrusted* realm.
+///
+/// Trusted code may only read it through [`TrustedEnv::load`], which
+/// accounts each access. The lifetime ties the view to the host-owned
+/// buffer, like SGX enclaves addressing host virtual memory.
+#[derive(Debug, Clone, Copy)]
+pub struct UntrustedMemory<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> UntrustedMemory<'a> {
+    /// Wraps a host-owned byte buffer.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        UntrustedMemory { bytes }
+    }
+
+    /// Total length of the untrusted region.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// The environment visible to trusted code during an ECALL.
+///
+/// Provides counted access to untrusted memory, trusted-heap accounting,
+/// and the provisioned master key.
+#[derive(Debug)]
+pub struct TrustedEnv {
+    counters: EcallCounters,
+    heap_current: usize,
+    heap_peak: usize,
+    epc_page_faults: u64,
+    master_key: Option<Key128>,
+}
+
+impl Default for TrustedEnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrustedEnv {
+    /// Creates an empty trusted environment.
+    pub fn new() -> Self {
+        TrustedEnv {
+            counters: EcallCounters::default(),
+            heap_current: 0,
+            heap_peak: 0,
+            epc_page_faults: 0,
+            master_key: None,
+        }
+    }
+
+    /// Loads `len` bytes at `offset` from untrusted memory into the enclave.
+    ///
+    /// This is the *only* way trusted code reads host memory; each call
+    /// increments the load counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds — the hardware analogue is a
+    /// fault, and in-enclave code treats it as a programming error.
+    #[inline]
+    pub fn load<'a>(&mut self, mem: UntrustedMemory<'a>, offset: usize, len: usize) -> &'a [u8] {
+        self.counters.untrusted_loads += 1;
+        self.counters.untrusted_bytes += len as u64;
+        &mem.bytes[offset..offset + len]
+    }
+
+    /// Records an ECALL (used by the [`crate::Enclave`] wrapper).
+    #[inline]
+    pub(crate) fn count_ecall(&mut self) {
+        self.counters.ecalls += 1;
+    }
+
+    /// Registers `bytes` of trusted-heap allocation.
+    ///
+    /// Crossing [`EPC_BUDGET_BYTES`] increments the simulated page-fault
+    /// counter instead of failing, matching SGX paging behaviour.
+    #[inline]
+    pub fn track_alloc(&mut self, bytes: usize) {
+        self.heap_current += bytes;
+        if self.heap_current > self.heap_peak {
+            self.heap_peak = self.heap_current;
+        }
+        if self.heap_current > EPC_BUDGET_BYTES {
+            self.epc_page_faults += 1;
+        }
+    }
+
+    /// Releases `bytes` of trusted-heap allocation.
+    #[inline]
+    pub fn track_free(&mut self, bytes: usize) {
+        self.heap_current = self.heap_current.saturating_sub(bytes);
+    }
+
+    /// Current boundary counters.
+    pub fn counters(&self) -> EcallCounters {
+        self.counters
+    }
+
+    /// Clears the boundary counters.
+    pub fn reset_counters(&mut self) {
+        self.counters = EcallCounters::default();
+    }
+
+    /// Peak trusted-heap bytes observed.
+    pub fn heap_peak(&self) -> usize {
+        self.heap_peak
+    }
+
+    /// Currently tracked trusted-heap bytes.
+    pub fn heap_current(&self) -> usize {
+        self.heap_current
+    }
+
+    /// Resets the peak gauge to the current level.
+    pub fn reset_heap_peak(&mut self) {
+        self.heap_peak = self.heap_current;
+    }
+
+    /// Number of simulated EPC page faults (heap exceeded the budget).
+    pub fn epc_page_faults(&self) -> u64 {
+        self.epc_page_faults
+    }
+
+    /// Installs the provisioned master key.
+    pub(crate) fn provision_master_key(&mut self, key: Key128) {
+        self.master_key = Some(key);
+    }
+
+    /// The provisioned `SK_DB`, if any. Only trusted code can see this —
+    /// the method is reachable solely inside [`crate::EnclaveLogic::dispatch`].
+    pub fn master_key(&self) -> Option<&Key128> {
+        self.master_key.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_counts_accesses_and_bytes() {
+        let data = vec![7u8; 64];
+        let mem = UntrustedMemory::new(&data);
+        let mut env = TrustedEnv::new();
+        let chunk = env.load(mem, 8, 16);
+        assert_eq!(chunk, &data[8..24]);
+        let c = env.counters();
+        assert_eq!(c.untrusted_loads, 1);
+        assert_eq!(c.untrusted_bytes, 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_load_faults() {
+        let data = vec![0u8; 8];
+        let mem = UntrustedMemory::new(&data);
+        let mut env = TrustedEnv::new();
+        let _ = env.load(mem, 4, 8);
+    }
+
+    #[test]
+    fn heap_gauge_peaks_and_frees() {
+        let mut env = TrustedEnv::new();
+        env.track_alloc(100);
+        env.track_alloc(50);
+        env.track_free(120);
+        assert_eq!(env.heap_current(), 30);
+        assert_eq!(env.heap_peak(), 150);
+        env.reset_heap_peak();
+        assert_eq!(env.heap_peak(), 30);
+    }
+
+    #[test]
+    fn epc_overflow_counts_page_faults() {
+        let mut env = TrustedEnv::new();
+        env.track_alloc(EPC_BUDGET_BYTES + 1);
+        assert_eq!(env.epc_page_faults(), 1);
+        env.track_free(EPC_BUDGET_BYTES + 1);
+        env.track_alloc(10);
+        assert_eq!(env.epc_page_faults(), 1);
+    }
+
+    #[test]
+    fn untrusted_memory_len() {
+        let data = [1u8, 2, 3];
+        let mem = UntrustedMemory::new(&data);
+        assert_eq!(mem.len(), 3);
+        assert!(!mem.is_empty());
+        assert!(UntrustedMemory::new(&[]).is_empty());
+    }
+}

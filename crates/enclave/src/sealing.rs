@@ -1,0 +1,102 @@
+//! Data sealing: encrypting data to the enclave identity.
+//!
+//! SGX sealing derives a key from the platform root secret and the enclave
+//! measurement, so only the same enclave on the same platform can unseal.
+//! The simulator derives the sealing key via HKDF over the platform secret
+//! and the measurement, and seals with AES-128-GCM.
+
+use crate::attestation::{Measurement, SigningPlatform};
+use crate::error::EnclaveError;
+use encdbdb_crypto::keys::Key128;
+use encdbdb_crypto::Pae;
+use rand::RngCore;
+
+const SEAL_AAD: &[u8] = b"encdbdb/sealed-blob/v1";
+
+/// Derives the sealing key for an enclave identity on a platform.
+fn sealing_key(platform: &SigningPlatform, measurement: Measurement) -> Key128 {
+    let mut info = Vec::with_capacity(64);
+    info.extend_from_slice(b"encdbdb/sealing/v1");
+    info.extend_from_slice(measurement.as_bytes());
+    let mut out = [0u8; 16];
+    encdbdb_crypto::hkdf::hkdf(
+        b"encdbdb-sealing",
+        platform.platform_secret().as_bytes(),
+        &info,
+        &mut out,
+    );
+    Key128::from_bytes(out)
+}
+
+/// Seals `data` to `(platform, measurement)`.
+pub fn seal<R: RngCore + ?Sized>(
+    platform: &SigningPlatform,
+    measurement: Measurement,
+    rng: &mut R,
+    data: &[u8],
+) -> Vec<u8> {
+    let key = sealing_key(platform, measurement);
+    Pae::new(&key)
+        .encrypt_with_rng(rng, data, SEAL_AAD)
+        .into_bytes()
+}
+
+/// Unseals a blob sealed by [`seal`] with the same identity.
+///
+/// # Errors
+///
+/// Returns [`EnclaveError::Crypto`] if the blob was sealed for a different
+/// enclave/platform or was tampered with.
+pub fn unseal(
+    platform: &SigningPlatform,
+    measurement: Measurement,
+    blob: &[u8],
+) -> Result<Vec<u8>, EnclaveError> {
+    let key = sealing_key(platform, measurement);
+    Ok(Pae::new(&key).decrypt_bytes(blob, SEAL_AAD)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let platform = SigningPlatform::generate(&mut rng);
+        let m = Measurement::of(b"enclave-code");
+        let blob = seal(&platform, m, &mut rng, b"secret state");
+        assert_eq!(unseal(&platform, m, &blob).unwrap(), b"secret state");
+    }
+
+    #[test]
+    fn other_enclave_cannot_unseal() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let platform = SigningPlatform::generate(&mut rng);
+        let blob = seal(&platform, Measurement::of(b"a"), &mut rng, b"x");
+        assert!(unseal(&platform, Measurement::of(b"b"), &blob).is_err());
+    }
+
+    #[test]
+    fn other_platform_cannot_unseal() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let p1 = SigningPlatform::generate(&mut rng);
+        let p2 = SigningPlatform::generate(&mut rng);
+        let m = Measurement::of(b"a");
+        let blob = seal(&p1, m, &mut rng, b"x");
+        assert!(unseal(&p2, m, &blob).is_err());
+    }
+
+    #[test]
+    fn tampered_blob_rejected() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let platform = SigningPlatform::generate(&mut rng);
+        let m = Measurement::of(b"a");
+        let mut blob = seal(&platform, m, &mut rng, b"x");
+        let last = blob.len() - 1;
+        blob[last] ^= 1;
+        assert!(unseal(&platform, m, &blob).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Random range-query generation with the paper's *range size* semantics.
+//!
+//! §6.3: "We use the term range size (RS) to describe how many consecutive
+//! unique values from the dataset are searched in a range query, i.e., if
+//! `sorted(un(C)) = (v0, ..., v_{|un(C)|-1})` is a sorted list of all unique
+//! values in C, then RS defines the search range `R = [v_i, v_{i+RS-1}]`
+//! for `i ∈ [0, |un(C)| - RS]`. For every dataset and encrypted dictionary,
+//! we perform 500 random range queries with range sizes 2 and 100."
+
+use encdict::RangeQuery;
+use rand::Rng;
+
+/// Draws random range queries of a fixed range size over a sorted unique
+/// value list.
+#[derive(Debug, Clone)]
+pub struct RangeQueryGen {
+    sorted_uniques: Vec<String>,
+    range_size: usize,
+}
+
+impl RangeQueryGen {
+    /// Creates a generator over `sorted_uniques` with range size `rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rs` is 0 or exceeds the number of unique values — such a
+    /// workload is outside the paper's definition.
+    pub fn new(sorted_uniques: Vec<String>, rs: usize) -> Self {
+        assert!(rs >= 1, "range size must be at least 1");
+        assert!(
+            rs <= sorted_uniques.len(),
+            "range size {rs} exceeds {} unique values",
+            sorted_uniques.len()
+        );
+        debug_assert!(sorted_uniques.windows(2).all(|w| w[0] <= w[1]));
+        RangeQueryGen {
+            sorted_uniques,
+            range_size: rs,
+        }
+    }
+
+    /// The configured range size.
+    pub fn range_size(&self) -> usize {
+        self.range_size
+    }
+
+    /// Draws one random range `[v_i, v_{i+RS-1}]`.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> RangeQuery {
+        let max_start = self.sorted_uniques.len() - self.range_size;
+        let i = rng.gen_range(0..=max_start);
+        RangeQuery::between(
+            self.sorted_uniques[i].as_bytes(),
+            self.sorted_uniques[i + self.range_size - 1].as_bytes(),
+        )
+    }
+
+    /// Draws the paper's batch of 500 random range queries.
+    pub fn draw_batch<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<RangeQuery> {
+        (0..count).map(|_| self.draw(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniques(n: usize) -> Vec<String> {
+        (0..n).map(|i| crate::spec::value_string(i, 8)).collect()
+    }
+
+    #[test]
+    fn ranges_span_exactly_rs_uniques() {
+        let u = uniques(100);
+        let g = RangeQueryGen::new(u.clone(), 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let q = g.draw(&mut rng);
+            let matching = u.iter().filter(|v| q.contains(v.as_bytes())).count();
+            assert_eq!(matching, 5);
+        }
+    }
+
+    #[test]
+    fn rs_one_is_an_equality_query() {
+        let u = uniques(10);
+        let g = RangeQueryGen::new(u.clone(), 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = g.draw(&mut rng);
+        let matching = u.iter().filter(|v| q.contains(v.as_bytes())).count();
+        assert_eq!(matching, 1);
+    }
+
+    #[test]
+    fn batch_has_requested_size_and_varies() {
+        let g = RangeQueryGen::new(uniques(1000), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let batch = g.draw_batch(&mut rng, 500);
+        assert_eq!(batch.len(), 500);
+        let distinct: std::collections::HashSet<_> =
+            batch.iter().map(|q| format!("{q:?}")).collect();
+        assert!(distinct.len() > 100, "queries should vary: {}", distinct.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_rs_panics() {
+        let _ = RangeQueryGen::new(uniques(10), 11);
+    }
+}

@@ -1,0 +1,214 @@
+//! Column population specifications and generators.
+
+use crate::zipf::Zipf;
+use colstore::column::Column;
+use rand::Rng;
+
+/// Describes a synthetic column population.
+#[derive(Debug, Clone)]
+pub struct ColumnSpec {
+    /// Column name.
+    pub name: String,
+    /// Total number of rows in the *full* dataset.
+    pub rows: usize,
+    /// Number of unique values.
+    pub unique_values: usize,
+    /// Fixed string length of every value (the paper's C1/C2 use 12 and 10
+    /// characters).
+    pub value_len: usize,
+    /// Zipf exponent of the occurrence distribution (0 = uniform).
+    pub zipf_exponent: f64,
+}
+
+impl ColumnSpec {
+    /// The paper's column **C1**: 10.9 M rows, 6.96 M uniques, 12-char
+    /// strings (≈1.57 occurrences per unique — nearly distinct).
+    pub fn c1_full() -> Self {
+        ColumnSpec {
+            name: "C1".to_string(),
+            rows: 10_900_000,
+            unique_values: 6_960_000,
+            value_len: 12,
+            zipf_exponent: 0.5,
+        }
+    }
+
+    /// The paper's column **C2**: 10.9 M rows, 13,361 uniques, 10-char
+    /// strings (≈816 occurrences per unique — heavily repetitive).
+    pub fn c2_full() -> Self {
+        ColumnSpec {
+            name: "C2".to_string(),
+            rows: 10_900_000,
+            unique_values: 13_361,
+            value_len: 10,
+            zipf_exponent: 0.7,
+        }
+    }
+
+    /// A proportionally scaled sample of this population with `rows` rows,
+    /// as the paper's 1 M – 10 M samples ("using the distribution and
+    /// values of the original columns"). Unique count scales with the
+    /// sampling fraction but never below 1.
+    pub fn scaled(&self, rows: usize) -> Self {
+        let fraction = rows as f64 / self.rows as f64;
+        let unique = ((self.unique_values as f64 * fraction).round() as usize)
+            .clamp(1, rows.max(1));
+        ColumnSpec {
+            name: self.name.clone(),
+            rows,
+            unique_values: unique,
+            value_len: self.value_len,
+            zipf_exponent: self.zipf_exponent,
+        }
+    }
+}
+
+/// Renders unique value number `i` as a fixed-length, lexicographically
+/// ordered string of `len` bytes (base-26 lowercase, left-padded with 'a').
+pub fn value_string(i: usize, len: usize) -> String {
+    let mut bytes = vec![b'a'; len];
+    let mut v = i;
+    for slot in bytes.iter_mut().rev() {
+        *slot = b'a' + (v % 26) as u8;
+        v /= 26;
+        if v == 0 {
+            break;
+        }
+    }
+    String::from_utf8(bytes).expect("ascii by construction")
+}
+
+/// Generates a column according to `spec`.
+///
+/// Every unique value appears at least once (so `|un(C)|` matches the spec
+/// exactly when `rows ≥ unique_values`); the remaining rows are drawn from
+/// a Zipf distribution over the unique values. The final row order is
+/// shuffled.
+pub fn generate<R: Rng + ?Sized>(spec: &ColumnSpec, rng: &mut R) -> Column {
+    assert!(
+        spec.rows >= spec.unique_values,
+        "rows ({}) must cover uniques ({})",
+        spec.rows,
+        spec.unique_values
+    );
+    let mut ranks: Vec<u32> = Vec::with_capacity(spec.rows);
+    // One guaranteed occurrence per unique value...
+    ranks.extend(0..spec.unique_values as u32);
+    // ...plus Zipf-distributed repetitions.
+    let zipf = Zipf::new(spec.unique_values, spec.zipf_exponent);
+    for _ in spec.unique_values..spec.rows {
+        ranks.push(zipf.sample(rng) as u32);
+    }
+    // Shuffle so occurrences of a value are spread over the column.
+    use rand::seq::SliceRandom;
+    ranks.shuffle(rng);
+
+    let mut column = Column::new(&spec.name, spec.value_len);
+    for rank in ranks {
+        column
+            .push(value_string(rank as usize, spec.value_len).as_bytes())
+            .expect("generated values fit the declared length");
+    }
+    column
+}
+
+/// The sorted unique values of a spec (what `sorted(un(C))` is in the
+/// paper's range-size definition) — cheaper than generating + deduping.
+pub fn sorted_unique_values(spec: &ColumnSpec) -> Vec<String> {
+    // value_string is monotone in i, so 0..unique is already sorted.
+    (0..spec.unique_values)
+        .map(|i| value_string(i, spec.value_len))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colstore::stats::ColumnStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn value_strings_are_fixed_length_and_ordered() {
+        for len in [4usize, 10, 12] {
+            let a = value_string(0, len);
+            let b = value_string(25, len);
+            let c = value_string(26, len);
+            let d = value_string(12_345, len);
+            assert_eq!(a.len(), len);
+            assert_eq!(d.len(), len);
+            assert!(a < b && b < c && c < d);
+        }
+        // Exhaustive monotonicity over a prefix.
+        let vals: Vec<String> = (0..2000).map(|i| value_string(i, 6)).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn generated_column_matches_spec() {
+        let spec = ColumnSpec {
+            name: "test".into(),
+            rows: 20_000,
+            unique_values: 500,
+            value_len: 10,
+            zipf_exponent: 0.7,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let col = generate(&spec, &mut rng);
+        assert_eq!(col.len(), 20_000);
+        let stats = ColumnStats::of(&col);
+        assert_eq!(stats.unique_count(), 500);
+        assert!(col.iter().all(|v| v.len() == 10));
+        // Skew: the most frequent value occurs far above the mean (40).
+        assert!(stats.max_occurrences() > 100, "{}", stats.max_occurrences());
+    }
+
+    #[test]
+    fn scaled_sample_preserves_shape() {
+        let c2 = ColumnSpec::c2_full();
+        let small = c2.scaled(100_000);
+        assert_eq!(small.rows, 100_000);
+        // Unique count scales with the fraction: ~13361 * 100k/10.9M ≈ 123.
+        assert!((100..150).contains(&small.unique_values), "{}", small.unique_values);
+        let c1 = ColumnSpec::c1_full();
+        let small1 = c1.scaled(100_000);
+        // C1 stays nearly distinct under scaling.
+        assert!(small1.unique_values > 60_000);
+    }
+
+    #[test]
+    fn c1_c2_specs_match_paper() {
+        let c1 = ColumnSpec::c1_full();
+        assert_eq!(c1.rows, 10_900_000);
+        assert_eq!(c1.unique_values, 6_960_000);
+        assert_eq!(c1.value_len, 12);
+        let c2 = ColumnSpec::c2_full();
+        assert_eq!(c2.unique_values, 13_361);
+        assert_eq!(c2.value_len, 10);
+    }
+
+    #[test]
+    fn sorted_unique_values_are_sorted_and_complete() {
+        let spec = ColumnSpec {
+            name: "t".into(),
+            rows: 100,
+            unique_values: 50,
+            value_len: 8,
+            zipf_exponent: 0.0,
+        };
+        let uniques = sorted_unique_values(&spec);
+        assert_eq!(uniques.len(), 50);
+        for w in uniques.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // They are exactly the values generate() uses.
+        let mut rng = StdRng::seed_from_u64(2);
+        let col = generate(&spec, &mut rng);
+        let stats = ColumnStats::of(&col);
+        for u in &uniques {
+            assert!(!stats.occurrences_of(u.as_bytes()).is_empty());
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Zipf-distributed sampling over ranks.
+//!
+//! Warehouse columns typically have a few very frequent values and a long
+//! tail of rare ones (the paper cites [65, 58] for string-dictionary
+//! statistics). We model occurrence counts with a Zipf distribution over
+//! value ranks, using inverse-CDF sampling over precomputed cumulative
+//! weights.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`.
+///
+/// Rank `k` has weight `1 / (k + 1)^s`; `s = 0` degenerates to uniform.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution for `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s >= 0.0, "zipf exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let x = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1500..2500).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_positive() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[90]);
+        // Rank 0 of Zipf(1) over 100 ranks carries ~1/H_100 ≈ 19% of mass.
+        assert!(counts[0] > 50_000 / 10, "rank 0: {}", counts[0]);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

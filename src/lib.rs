@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the EncDBDB reproduction public API.
+#![forbid(unsafe_code)]
+pub use colstore;
+pub use encdbdb;
+pub use encdbdb_crypto as crypto;
+pub use enclave_sim as enclave;
+pub use encdict;
+pub use workload;

@@ -1,0 +1,237 @@
+//! Cross-crate integration tests: the full EncDBDB pipeline from data-owner
+//! setup through SQL query execution, exercised against a plaintext
+//! reference implementation.
+
+use colstore::column::Column;
+use colstore::table::Table;
+use encdbdb::{ColumnSpec, DictChoice, Session, TableSchema};
+use encdict::EdKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random dataset and checks every ED kind returns exactly what
+/// a plaintext scan returns, for a battery of query shapes.
+#[test]
+fn all_kinds_agree_with_reference_scan() {
+    let mut rng = StdRng::seed_from_u64(9001);
+    let rows = 300usize;
+    let values: Vec<String> = (0..rows)
+        .map(|_| format!("v{:04}", rng.gen_range(0..40)))
+        .collect();
+
+    for kind in EdKind::ALL {
+        let mut db = Session::with_seed(9100 + kind.number() as u64).unwrap();
+        let mut table = Table::new("t");
+        table
+            .add_column(Column::from_strs("c", 8, values.iter()).unwrap())
+            .unwrap();
+        let schema = TableSchema::new(
+            "t",
+            vec![ColumnSpec::new("c", DictChoice::Encrypted(kind), 8)],
+        );
+        db.load_table(&table, schema).unwrap();
+
+        type Pred = fn(&str) -> bool;
+        let queries: [(&str, Pred); 4] = [
+            ("SELECT c FROM t WHERE c = 'v0005'", |v| v == "v0005"),
+            ("SELECT c FROM t WHERE c < 'v0010'", |v| v < "v0010"),
+            ("SELECT c FROM t WHERE c >= 'v0030'", |v| v >= "v0030"),
+            (
+                "SELECT c FROM t WHERE c BETWEEN 'v0010' AND 'v0020'",
+                |v| v >= "v0010" && v <= "v0020",
+            ),
+        ];
+        for (sql, pred) in queries {
+            let mut got: Vec<String> = db
+                .execute(sql)
+                .unwrap()
+                .rows_as_strings()
+                .into_iter()
+                .map(|mut r| r.remove(0))
+                .collect();
+            got.sort();
+            let mut expected: Vec<String> = values
+                .iter()
+                .filter(|v| pred(v))
+                .cloned()
+                .collect();
+            expected.sort();
+            assert_eq!(got, expected, "kind {kind}, query {sql}");
+        }
+    }
+}
+
+/// The setup phase must reject a server whose enclave measurement differs
+/// from the expected dictionary-search enclave.
+#[test]
+fn attestation_rejects_unexpected_enclave() {
+    use enclave_sim::attestation::{Measurement, SigningPlatform};
+    use encdbdb::{DataOwner, DbaasServer};
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let owner = DataOwner::generate(&mut rng);
+    let mut server = DbaasServer::new();
+    let service = SigningPlatform::default().verification_service();
+    let err = owner
+        .provision(
+            &mut server,
+            &service,
+            Measurement::of(b"some-other-enclave"),
+            &mut rng,
+        )
+        .unwrap_err();
+    assert!(matches!(err, encdbdb::DbError::Enclave(_)));
+}
+
+/// Mixed-protection table: encrypted and plaintext dictionaries coexist,
+/// and filters on either kind project columns of the other.
+#[test]
+fn mixed_encrypted_and_plain_columns() {
+    let mut db = Session::with_seed(77).unwrap();
+    db.execute("CREATE TABLE emp (name ED7(16), dept PLAIN(8), salary ED9(8))")
+        .unwrap();
+    db.execute(
+        "INSERT INTO emp VALUES \
+         ('alice', 'eng', '00090000'), ('bob', 'eng', '00085000'), \
+         ('carol', 'sales', '00070000'), ('dave', 'eng', '00072000')",
+    )
+    .unwrap();
+
+    // Filter on the PLAIN column, project encrypted columns.
+    let r = db
+        .execute("SELECT name, salary FROM emp WHERE dept = 'eng'")
+        .unwrap();
+    assert_eq!(r.row_count(), 3);
+
+    // Filter on an encrypted column, project the PLAIN column.
+    let r = db
+        .execute("SELECT dept FROM emp WHERE salary >= '00080000'")
+        .unwrap();
+    let mut got = r.rows_as_strings();
+    got.sort();
+    assert_eq!(got, vec![vec!["eng".to_string()], vec!["eng".to_string()]]);
+}
+
+/// Insert → delete → merge → insert across multiple merges keeps results
+/// exact for every storage generation.
+#[test]
+fn repeated_merge_cycles_stay_consistent() {
+    let mut db = Session::with_seed(123).unwrap();
+    db.execute("CREATE TABLE t (v ED5(8))").unwrap();
+    let mut live: Vec<String> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(321);
+    for cycle in 0..5 {
+        // Insert a batch.
+        let batch: Vec<String> = (0..20)
+            .map(|i| format!("c{cycle}v{:03}", i * rng.gen_range(1..5)))
+            .collect();
+        let values = batch
+            .iter()
+            .map(|v| format!("('{v}')"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        db.execute(&format!("INSERT INTO t VALUES {values}")).unwrap();
+        live.extend(batch);
+        // Delete a random prefix range.
+        let cut = format!("c{cycle}v{:03}", 3);
+        db.execute(&format!(
+            "DELETE FROM t WHERE v >= 'c{cycle}' AND v < '{cut}'"
+        ))
+        .unwrap();
+        live.retain(|v| !(v.as_str() >= format!("c{cycle}").as_str() && v.as_str() < cut.as_str()));
+        // Merge on odd cycles.
+        if cycle % 2 == 1 {
+            db.merge("t").unwrap();
+        }
+        // Verify full contents.
+        let mut got: Vec<String> = db
+            .execute("SELECT v FROM t")
+            .unwrap()
+            .rows_as_strings()
+            .into_iter()
+            .map(|mut r| r.remove(0))
+            .collect();
+        got.sort();
+        let mut expected = live.clone();
+        expected.sort();
+        assert_eq!(got, expected, "cycle {cycle}");
+    }
+}
+
+/// Persistence round trip: a column written to disk and reloaded deploys
+/// and queries identically.
+#[test]
+fn persisted_column_redeploys() {
+    let dir = std::env::temp_dir().join("encdbdb-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("col.bin");
+
+    let column = Column::from_strs("c", 8, ["x1", "x2", "x3", "x2"]).unwrap();
+    colstore::persist::write_column(&path, &column).unwrap();
+    let reloaded = colstore::persist::read_column(&path).unwrap();
+    assert_eq!(reloaded, column);
+
+    let mut db = Session::with_seed(555).unwrap();
+    let mut table = Table::new("t");
+    table.add_column(reloaded).unwrap();
+    db.load_table(
+        &table,
+        TableSchema::new(
+            "t",
+            vec![ColumnSpec::new("c", DictChoice::Encrypted(EdKind::Ed3), 8)],
+        ),
+    )
+    .unwrap();
+    let r = db.execute("SELECT c FROM t WHERE c = 'x2'").unwrap();
+    assert_eq!(r.row_count(), 2);
+    std::fs::remove_file(&path).ok();
+}
+
+/// The workload generator and the full pipeline compose: a C2-like column
+/// under the paper's recommended ED5, queried with RS-style ranges.
+#[test]
+fn workload_column_under_ed5() {
+    let spec = workload::ColumnSpec {
+        name: "c".to_string(),
+        rows: 5_000,
+        unique_values: 50,
+        value_len: 10,
+        zipf_exponent: 0.7,
+    };
+    let mut rng = StdRng::seed_from_u64(31);
+    let column = workload::generate(&spec, &mut rng);
+    let uniques = workload::spec::sorted_unique_values(&spec);
+
+    let mut db = Session::with_seed(32).unwrap();
+    let mut table = Table::new("bw");
+    table.add_column(column.clone()).unwrap();
+    db.load_table(
+        &table,
+        TableSchema::new(
+            "bw",
+            vec![ColumnSpec::new("c", DictChoice::Encrypted(EdKind::Ed5), 10)],
+        ),
+    )
+    .unwrap();
+
+    let gen = workload::RangeQueryGen::new(uniques, 5);
+    for _ in 0..10 {
+        let q = gen.draw(&mut rng);
+        let (lo, hi) = match (&q.start, &q.end) {
+            (encdict::RangeBound::Inclusive(a), encdict::RangeBound::Inclusive(b)) => (
+                String::from_utf8(a.clone()).unwrap(),
+                String::from_utf8(b.clone()).unwrap(),
+            ),
+            _ => unreachable!(),
+        };
+        let got = db
+            .execute(&format!("SELECT c FROM bw WHERE c BETWEEN '{lo}' AND '{hi}'"))
+            .unwrap()
+            .row_count();
+        let expected = column
+            .iter()
+            .filter(|v| *v >= lo.as_bytes() && *v <= hi.as_bytes())
+            .count();
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,151 @@
+//! Cross-crate security tests: what the untrusted server can and cannot
+//! observe, and how tampering is handled end-to-end.
+
+use colstore::column::Column;
+use colstore::table::Table;
+use encdbdb::{ColumnSpec, DictChoice, Session, TableSchema};
+use encdict::leakage::FrequencyProfile;
+use encdict::EdKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build a deployment over a heavily skewed column and inspect the
+/// *server-visible* artifacts per kind.
+fn deploy_skewed(kind: EdKind, seed: u64) -> (Session, Vec<String>) {
+    let values: Vec<String> = (0..30u32)
+        .flat_map(|i| std::iter::repeat(format!("val{i:02}")).take((i as usize % 7) * 4 + 1))
+        .collect();
+    let mut db = Session::with_seed(seed).unwrap();
+    let mut table = Table::new("t");
+    table
+        .add_column(Column::from_strs("c", 8, values.iter()).unwrap())
+        .unwrap();
+    let mut schema = TableSchema::new(
+        "t",
+        vec![ColumnSpec::new("c", DictChoice::Encrypted(kind), 8)],
+    );
+    schema.columns[0].bs_max = 5;
+    db.load_table(&table, schema).unwrap();
+    (db, values)
+}
+
+#[test]
+fn server_storage_sizes_reflect_repetition_option() {
+    // The attacker trivially sees storage sizes; they must follow Table 3:
+    // revealing < smoothing < hiding for a repetitive column.
+    let (db1, _) = deploy_skewed(EdKind::Ed1, 1);
+    let (db4, _) = deploy_skewed(EdKind::Ed4, 2);
+    let (db7, _) = deploy_skewed(EdKind::Ed7, 3);
+    let s1 = db1.server().column_storage_size("t", "c").unwrap();
+    let s4 = db4.server().column_storage_size("t", "c").unwrap();
+    let s7 = db7.server().column_storage_size("t", "c").unwrap();
+    assert!(s1 < s4, "revealing ({s1}) < smoothing ({s4})");
+    assert!(s4 < s7, "smoothing ({s4}) < hiding ({s7})");
+}
+
+#[test]
+fn repeated_queries_are_unlinkable_at_the_proxy_boundary() {
+    // The same SQL query executed twice must produce different encrypted
+    // range bounds (probabilistic encryption with fresh IVs), so the server
+    // cannot tell repeated queries apart.
+    use encdbdb_crypto::hkdf::derive_column_key;
+    use encdbdb_crypto::{Key128, Pae};
+    use encdict::{EncryptedRange, RangeQuery};
+
+    let pae = Pae::new(&derive_column_key(&Key128::from_bytes([1; 16]), "t", "c"));
+    let mut rng = StdRng::seed_from_u64(5);
+    let q = RangeQuery::between("a", "m");
+    let t1 = EncryptedRange::encrypt(&pae, &mut rng, &q);
+    let t2 = EncryptedRange::encrypt(&pae, &mut rng, &q);
+    assert_ne!(t1.tau_s.as_bytes(), t2.tau_s.as_bytes());
+    assert_ne!(t1.tau_e.as_bytes(), t2.tau_e.as_bytes());
+}
+
+#[test]
+fn frequency_hiding_attribute_vector_is_flat_after_load() {
+    use colstore::dictionary::ValueId;
+    // Rebuild the deployment artifacts directly to inspect the AV the
+    // server stores for an ED7 column.
+    let values: Vec<String> = std::iter::repeat("dup".to_string())
+        .take(50)
+        .chain((0..10).map(|i| format!("u{i}")))
+        .collect();
+    let column = Column::from_strs("c", 8, values.iter()).unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    let (_, av) = encdict::build::build_plain(
+        &column,
+        EdKind::Ed7,
+        &encdict::build::BuildParams::default(),
+        &mut rng,
+    )
+    .unwrap();
+    let profile = FrequencyProfile::of(&av);
+    assert!(profile.is_flat(), "ED7 AV must not reveal frequencies");
+    // Sanity: the AV still references |C| distinct ValueIDs.
+    let distinct: std::collections::HashSet<ValueId> = av
+        .as_slice()
+        .iter()
+        .map(|&v| ValueId(v))
+        .collect();
+    assert_eq!(distinct.len(), values.len());
+}
+
+#[test]
+fn queries_after_tamper_fail_loudly_not_wrongly() {
+    // Tampering with stored ciphertexts must produce an error, never a
+    // wrong (silently corrupted) result. We simulate by querying with a
+    // proxy keyed differently from the deployment.
+    use encdbdb::{DbaasServer, Proxy};
+    use encdbdb_crypto::Key128;
+    use encdict::DictEnclave;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut server = DbaasServer::with_enclave(DictEnclave::with_seed(8));
+    server
+        .enclave_mut()
+        .provision_direct(Key128::from_bytes([1; 16]));
+    let owner = encdbdb::DataOwner::from_key(Key128::from_bytes([1; 16]));
+    let mut table = Table::new("t");
+    table
+        .add_column(Column::from_strs("c", 8, ["a", "b"]).unwrap())
+        .unwrap();
+    owner
+        .deploy(
+            &mut server,
+            &table,
+            TableSchema::new(
+                "t",
+                vec![ColumnSpec::new("c", DictChoice::Encrypted(EdKind::Ed1), 8)],
+            ),
+            &mut rng,
+        )
+        .unwrap();
+
+    // A proxy with the wrong master key (≙ an attacker forging queries, or
+    // corrupted key material) is rejected by the enclave's authenticated
+    // decryption.
+    let evil_proxy = Proxy::new(Key128::from_bytes([2; 16]));
+    let err = evil_proxy
+        .execute(&mut server, "SELECT c FROM t WHERE c = 'a'", &mut rng)
+        .unwrap_err();
+    assert!(matches!(err, encdbdb::DbError::Dict(_)));
+}
+
+#[test]
+fn delta_insert_hides_order_and_frequency() {
+    // §4.3: inserting into the ED9 delta leaks neither order nor frequency.
+    // Check the server-visible delta bytes: equal plaintexts inserted twice
+    // produce different stored ciphertexts of equal length.
+    let mut db = Session::with_seed(9).unwrap();
+    db.execute("CREATE TABLE t (v ED9(8))").unwrap();
+    db.execute("INSERT INTO t VALUES ('same'), ('same')").unwrap();
+    // Query both back — they decrypt identically...
+    let r = db.execute("SELECT v FROM t WHERE v = 'same'").unwrap();
+    assert_eq!(r.row_count(), 2);
+    // ...but the storage accounting shows two independent ciphertexts (the
+    // delta grew by two full entries; dedup would have shared one).
+    let size_two = db.server().column_storage_size("t", "v").unwrap();
+    db.execute("INSERT INTO t VALUES ('same')").unwrap();
+    let size_three = db.server().column_storage_size("t", "v").unwrap();
+    assert!(size_three > size_two);
+}
