@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline CI for the EncDBDB reproduction.
+#
+# Everything here runs without network access: all dependencies are path
+# dependencies inside the workspace (see DESIGN.md §4), so --offline is
+# safe and enforced to catch any accidental registry dependency early.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline
+run cargo test -q --offline
+run cargo fmt --check
+run cargo clippy --all-targets --offline -- -D warnings
+# Benches are excluded from `cargo test` (they are timed loops); keep them
+# compiling.
+run cargo bench --no-run --offline -p encdbdb-bench
+
+echo "==> CI green"

@@ -60,8 +60,8 @@ fn bench_ablation(c: &mut Criterion) {
 
     // 3. Head/tail split vs fixed-width padding: storage comparison
     // expressed as build throughput over the padded representation.
-    let padded_overhead =
-        prepared.spec.value_len * prepared.stats.unique_count() + 28 * prepared.stats.unique_count();
+    let padded_overhead = prepared.spec.value_len * prepared.stats.unique_count()
+        + 28 * prepared.stats.unique_count();
     let split_size = dict.storage_size();
     println!(
         "layout ablation: head/tail {} vs fixed-width padded {} ({:+.1} %)",

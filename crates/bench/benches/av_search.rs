@@ -1,8 +1,8 @@
 //! Criterion benchmarks for AttrVectSearch: serial vs parallel range scans
 //! and the paper-linear vs bitmap set-membership strategies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use colstore::dictionary::{AttributeVector, ValueId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use encdict::avsearch::{search_ids, search_ranges, Parallelism, SetSearchStrategy};
 use encdict::VidRange;
 

@@ -7,7 +7,8 @@ use encdbdb::Session;
 
 fn bench_end_to_end(c: &mut Criterion) {
     let mut db = Session::with_seed(30).unwrap();
-    db.execute("CREATE TABLE bw (k ED5(10), v ED1(10))").unwrap();
+    db.execute("CREATE TABLE bw (k ED5(10), v ED1(10))")
+        .unwrap();
     // Load 2,000 rows via inserts + merge into the main store.
     let mut values = Vec::new();
     for i in 0..2_000 {
@@ -29,7 +30,10 @@ fn bench_end_to_end(c: &mut Criterion) {
         b.iter(|| db.execute("SELECT v FROM bw WHERE k = 'k000150'").unwrap())
     });
     c.bench_function("sql_insert_delta", |b| {
-        b.iter(|| db.execute("INSERT INTO bw VALUES ('knew000', 'vnew00')").unwrap())
+        b.iter(|| {
+            db.execute("INSERT INTO bw VALUES ('knew000', 'vnew00')")
+                .unwrap()
+        })
     });
 }
 

@@ -70,7 +70,12 @@ fn run_monetdb(prepared: &PreparedColumn, rs: usize, cfg: &Config) -> LatencySum
     LatencySummary::of(&durations)
 }
 
-fn run_plaindbdb(prepared: &PreparedColumn, kind: EdKind, rs: usize, cfg: &Config) -> LatencySummary {
+fn run_plaindbdb(
+    prepared: &PreparedColumn,
+    kind: EdKind,
+    rs: usize,
+    cfg: &Config,
+) -> LatencySummary {
     let (dict, av) = build_plain_ed(prepared, kind, 10, 500 + kind.number() as u64);
     let gen = RangeQueryGen::new(prepared.sorted_uniques.clone(), rs);
     let mut rng = StdRng::seed_from_u64(401);
@@ -144,10 +149,7 @@ fn main() {
 
     let columns = [prepare_c1(cfg.rows, 111), prepare_c2(cfg.rows, 112)];
     let widths = [6usize, 6, 10, 12, 12, 12];
-    print_header(
-        &["col", "RS", "system", "mean", "min", "max"],
-        &widths,
-    );
+    print_header(&["col", "RS", "system", "mean", "min", "max"], &widths);
 
     for prepared in &columns {
         for requested_rs in [2usize, 100] {

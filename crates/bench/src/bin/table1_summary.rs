@@ -81,8 +81,8 @@ fn main() {
     let monet = MonetColumn::ingest(&prepared.column);
     let (dict, av) = build_ed(&prepared, EdKind::Ed1, 10, 701);
     let ed_size = dict.storage_size() + av.packed_size(dict.len());
-    let overhead_pct = 100.0 * (ed_size as f64 - monet.storage_size() as f64)
-        / monet.storage_size() as f64;
+    let overhead_pct =
+        100.0 * (ed_size as f64 - monet.storage_size() as f64) / monet.storage_size() as f64;
     println!("compression:        supported (dictionary encoding, all nine EDs)");
     println!(
         "storage:            ED1 {} vs MonetDB {} -> {overhead_pct:+.1} %",
@@ -101,7 +101,14 @@ fn main() {
     for q in &batch {
         let (n, d) = time(|| {
             let r = search_plain(&pdict, q).expect("plain search");
-            avsearch::search(&pav, &r, pdict.len(), SetSearchStrategy::PaperLinear, Parallelism::Serial).len()
+            avsearch::search(
+                &pav,
+                &r,
+                pdict.len(),
+                SetSearchStrategy::PaperLinear,
+                Parallelism::Serial,
+            )
+            .len()
         });
         std::hint::black_box(n);
         plain_durs.push(d);
@@ -114,15 +121,22 @@ fn main() {
         let tau = EncryptedRange::encrypt(&pae, &mut rng, q);
         let (n, d) = time(|| {
             let r = enclave.search(&dict, &tau).expect("enclave search");
-            avsearch::search(&av, &r, dict.len(), SetSearchStrategy::PaperLinear, Parallelism::Serial).len()
+            avsearch::search(
+                &av,
+                &r,
+                dict.len(),
+                SetSearchStrategy::PaperLinear,
+                Parallelism::Serial,
+            )
+            .len()
         });
         std::hint::black_box(n);
         enc_durs.push(d);
     }
     let plain = LatencySummary::of(&plain_durs);
     let enc = LatencySummary::of(&enc_durs);
-    let perf_pct = 100.0 * (enc.mean.as_secs_f64() - plain.mean.as_secs_f64())
-        / plain.mean.as_secs_f64();
+    let perf_pct =
+        100.0 * (enc.mean.as_secs_f64() - plain.mean.as_secs_f64()) / plain.mean.as_secs_f64();
     println!(
         "performance:        EncDBDB {} vs PlainDBDB {} -> {perf_pct:+.1} % (paper: ~8.9 % with AES-NI)",
         fmt_duration(enc.mean),

@@ -25,10 +25,19 @@ fn main() {
 
     println!("# Table 2: encrypted dictionary grid\n");
     let widths = [22usize, 8, 8, 9];
-    print_header(&["repetition \\ order", "sorted", "rotated", "unsorted"], &widths);
+    print_header(
+        &["repetition \\ order", "sorted", "rotated", "unsorted"],
+        &widths,
+    );
     for (label, row_kinds) in [
-        ("frequency revealing", [EdKind::Ed1, EdKind::Ed2, EdKind::Ed3]),
-        ("frequency smoothing", [EdKind::Ed4, EdKind::Ed5, EdKind::Ed6]),
+        (
+            "frequency revealing",
+            [EdKind::Ed1, EdKind::Ed2, EdKind::Ed3],
+        ),
+        (
+            "frequency smoothing",
+            [EdKind::Ed4, EdKind::Ed5, EdKind::Ed6],
+        ),
         ("frequency hiding", [EdKind::Ed7, EdKind::Ed8, EdKind::Ed9]),
     ] {
         print_row(
@@ -46,10 +55,18 @@ fn main() {
     let uniques = prepared.stats.unique_count();
     let bs_max = 10usize;
 
-    println!("\n# Table 3: repetition options ({rows} rows, {uniques} uniques, bs_max = {bs_max})\n");
+    println!(
+        "\n# Table 3: repetition options ({rows} rows, {uniques} uniques, bs_max = {bs_max})\n"
+    );
     let widths = [22usize, 12, 14, 14, 16];
     print_header(
-        &["repetition", "freq. leak", "|D| measured", "|D| expected", "max AV freq"],
+        &[
+            "repetition",
+            "freq. leak",
+            "|D| measured",
+            "|D| expected",
+            "max AV freq",
+        ],
         &widths,
     );
     for (kind, label) in [

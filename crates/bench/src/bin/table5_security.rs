@@ -33,7 +33,14 @@ fn main() {
     println!("# Table 5 / Figure 6: attacker-view measurements ({rows} rows, bs_max = {bs_max})\n");
     let widths = [6usize, 12, 12, 14, 12, 14];
     print_header(
-        &["ED", "freq class", "max AV freq", "order class", "order corr", "modular corr"],
+        &[
+            "ED",
+            "freq class",
+            "max AV freq",
+            "order class",
+            "order corr",
+            "modular corr",
+        ],
         &widths,
     );
 

@@ -35,10 +35,7 @@ fn main() {
     let row = |label: &str, f: &dyn Fn(&PreparedColumn) -> usize| {
         let s1 = per_column(&c1, f);
         let s2 = per_column(&c2, f);
-        print_row(
-            &[label.to_string(), fmt_bytes(s1), fmt_bytes(s2)],
-            &widths,
-        );
+        print_row(&[label.to_string(), fmt_bytes(s1), fmt_bytes(s2)], &widths);
     };
 
     // Plaintext file: raw values, no dictionary encoding.
@@ -50,7 +47,9 @@ fn main() {
     });
 
     // MonetDB baseline.
-    row("MonetDB", &|p| MonetColumn::ingest(&p.column).storage_size());
+    row("MonetDB", &|p| {
+        MonetColumn::ingest(&p.column).storage_size()
+    });
 
     // Encrypted dictionaries. Within a (repetition, bs_max) group the three
     // order options have identical size, as the paper groups them.

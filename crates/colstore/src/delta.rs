@@ -62,7 +62,11 @@ impl ValidityVector {
     /// Panics if `i >= len()`.
     #[inline]
     pub fn is_valid(&self, i: usize) -> bool {
-        assert!(i < self.len, "validity index {i} out of bounds {}", self.len);
+        assert!(
+            i < self.len,
+            "validity index {i} out of bounds {}",
+            self.len
+        );
         self.bits[i / 64] & (1 << (i % 64)) != 0
     }
 
@@ -72,14 +76,21 @@ impl ValidityVector {
     ///
     /// Panics if `i >= len()`.
     pub fn invalidate(&mut self, i: usize) {
-        assert!(i < self.len, "validity index {i} out of bounds {}", self.len);
+        assert!(
+            i < self.len,
+            "validity index {i} out of bounds {}",
+            self.len
+        );
         self.bits[i / 64] &= !(1 << (i % 64));
     }
 
     /// Number of valid rows.
     pub fn count_valid(&self) -> usize {
         let full = self.len / 64;
-        let mut n: usize = self.bits[..full].iter().map(|w| w.count_ones() as usize).sum();
+        let mut n: usize = self.bits[..full]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         let rem = self.len % 64;
         if rem > 0 {
             let mask = (1u64 << rem) - 1;
@@ -168,7 +179,8 @@ impl DeltaStore {
     pub fn drain_valid(&mut self) -> Column {
         let mut out = Column::new("merged-delta", self.values.max_len());
         for (_, v) in self.iter_valid() {
-            out.push(v).expect("value came from a column with the same max_len");
+            out.push(v)
+                .expect("value came from a column with the same max_len");
         }
         *self = DeltaStore::new(self.values.max_len());
         out
@@ -219,7 +231,11 @@ impl DeltaColumn {
     ///
     /// Propagates [`ColstoreError::ValueTooLong`]; the old row is only
     /// invalidated if the insert succeeds.
-    pub fn update_main(&mut self, rid: RecordId, new_value: &[u8]) -> Result<RecordId, ColstoreError> {
+    pub fn update_main(
+        &mut self,
+        rid: RecordId,
+        new_value: &[u8],
+    ) -> Result<RecordId, ColstoreError> {
         let new_rid = self.delta.insert(new_value)?;
         self.main_validity.invalidate(rid.0 as usize);
         Ok(new_rid)

@@ -52,7 +52,10 @@ impl fmt::Display for ColstoreError {
                 write!(f, "column already exists: {name}")
             }
             ColstoreError::RowCountMismatch { expected, got } => {
-                write!(f, "row count mismatch: table has {expected}, column has {got}")
+                write!(
+                    f,
+                    "row count mismatch: table has {expected}, column has {got}"
+                )
             }
             ColstoreError::CorruptPersistedData(what) => {
                 write!(f, "corrupt persisted data: {what}")

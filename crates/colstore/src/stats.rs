@@ -122,9 +122,9 @@ mod tests {
 
     #[test]
     fn smoothed_size_between_unique_and_rows() {
-        let values: Vec<String> = (0..50).flat_map(|i| {
-            std::iter::repeat(format!("v{i}")).take(20)
-        }).collect();
+        let values: Vec<String> = (0..50)
+            .flat_map(|i| std::iter::repeat_n(format!("v{i}"), 20))
+            .collect();
         let c = Column::from_strs("c", 16, values.iter()).unwrap();
         let s = ColumnStats::of(&c);
         for bs_max in [2usize, 10, 100] {

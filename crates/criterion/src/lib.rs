@@ -1,0 +1,477 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace builds without network access (DESIGN.md §4), so this crate
+//! provides the subset of the criterion API the benches under
+//! `crates/bench/benches/` use: [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's bootstrap statistics it runs each benchmark as an
+//! adaptive timed loop: iterations are batched until one batch takes at
+//! least [`TARGET_BATCH`], `sample_size` batches are measured, and the
+//! median per-iteration time is reported. That is accurate enough to
+//! reproduce the paper's relative comparisons (Figures 7–8) while keeping
+//! `cargo bench` runtimes in seconds.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does) every
+//! benchmark body runs exactly once, so benches stay covered by CI without
+//! paying measurement time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export for parity with `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Minimum wall time per measured batch.
+pub const TARGET_BATCH: Duration = Duration::from_millis(2);
+
+/// Top-level benchmark driver, configured by [`criterion_group!`].
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        // Cargo invokes bench binaries with `--bench`; `cargo test --benches`
+        // invokes them with `--test`. A bare positional argument filters by
+        // benchmark id substring.
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" | "-q" | "--quiet" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(200),
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-time budget each benchmark's measurement aims for.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.into().render(None), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, f: &mut F) {
+        self.run_in_group(None, id, None, None, f)
+    }
+
+    fn run_in_group<F: FnMut(&mut Bencher)>(
+        &self,
+        group: Option<&str>,
+        id: &str,
+        throughput: Option<&Throughput>,
+        sample_size_override: Option<usize>,
+        f: &mut F,
+    ) {
+        let full = match group {
+            Some(g) => format!("{g}/{id}"),
+            None => id.to_string(),
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: sample_size_override.unwrap_or(self.sample_size),
+            measurement_time: self.measurement_time,
+            test_mode: self.test_mode,
+            median: None,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test-mode {full}: ok");
+            return;
+        }
+        match bencher.median {
+            Some(per_iter) => {
+                let rate = throughput.map(|t| t.rate(per_iter)).unwrap_or_default();
+                println!("{full:<50} {:>12}/iter{rate}", fmt_duration(per_iter));
+            }
+            None => println!("{full}: no measurement (Bencher::iter never called)"),
+        }
+    }
+}
+
+/// Measures one benchmark body; handed to the closure by `bench_function`.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` in an adaptive timed loop and records the median
+    /// per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: grow the batch until it takes at least TARGET_BATCH.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= TARGET_BATCH || batch >= 1 << 20 {
+                break;
+            }
+            // Aim straight for the target rather than doubling blindly.
+            let scale = (TARGET_BATCH.as_nanos() / took.as_nanos().max(1)) as u64 + 1;
+            batch = (batch * scale.clamp(2, 16)).min(1 << 20);
+        }
+        // Measure `sample_size` batches, bounded by the measurement budget.
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / batch as u32);
+            if budget_start.elapsed() > self.measurement_time * 4 {
+                break;
+            }
+        }
+        samples.sort_unstable();
+        self.median = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    /// Group-scoped override; the parent [`Criterion`] is left untouched,
+    /// matching the real criterion's per-group semantics.
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample size for benchmarks in this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().render(None);
+        let (name, throughput) = (self.name.clone(), self.throughput.clone());
+        self.criterion.run_in_group(
+            Some(&name),
+            &id,
+            throughput.as_ref(),
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into().render(None);
+        let (name, throughput) = (self.name.clone(), self.throughput.clone());
+        self.criterion.run_in_group(
+            Some(&name),
+            &id,
+            throughput.as_ref(),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group. (The real criterion emits summary reports here; the
+    /// shim prints per-benchmark lines eagerly, so this is a no-op kept for
+    /// API parity.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: Option<&str>) -> String {
+        match (group, &self.function, &self.parameter) {
+            (_, Some(f), Some(p)) => format!("{f}/{p}"),
+            (_, Some(f), None) => f.clone(),
+            (_, None, Some(p)) => p.clone(),
+            (Some(g), None, None) => g.to_string(),
+            (None, None, None) => String::from("?"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+impl Throughput {
+    fn rate(&self, per_iter: Duration) -> String {
+        let secs = per_iter.as_secs_f64();
+        if secs <= 0.0 {
+            return String::new();
+        }
+        match self {
+            Throughput::Bytes(n) => format!("  ({} B/s)", fmt_rate(*n as f64 / secs)),
+            Throughput::Elements(n) => {
+                format!("  ({} elem/s)", fmt_rate(*n as f64 / secs))
+            }
+        }
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2}G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2}K", r / 1e3)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Defines a benchmark group function, in either criterion syntax:
+/// `criterion_group!(name, target, ...)` or
+/// `criterion_group! { name = n; config = expr; targets = t, ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines `main` running the given [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> Criterion {
+        // Small budget so unit tests stay fast.
+        Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(10),
+            test_mode: false,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = quiet();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = quiet();
+        let mut count = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("a", |b| {
+                b.iter(|| ());
+                count += 1;
+            });
+            g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, n| {
+                b.iter(|| n * 2);
+                count += 1;
+            });
+            g.finish();
+        }
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak_to_parent() {
+        let mut c = quiet();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(7);
+            g.bench_function("a", |b| b.iter(|| ()));
+            g.finish();
+        }
+        assert_eq!(c.sample_size, 3, "group override must stay group-scoped");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = quiet();
+        c.filter = Some("nomatch".into());
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| ());
+            ran = true;
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = quiet();
+        c.test_mode = true;
+        let mut calls = 0u32;
+        c.bench_function("once", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 3).render(None), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").render(None), "x");
+        assert_eq!(BenchmarkId::from("plain").render(None), "plain");
+    }
+}

@@ -34,7 +34,10 @@ impl fmt::Display for CryptoError {
         match self {
             CryptoError::TagMismatch => write!(f, "authentication tag mismatch"),
             CryptoError::Truncated { got, need } => {
-                write!(f, "ciphertext truncated: got {got} bytes, need at least {need}")
+                write!(
+                    f,
+                    "ciphertext truncated: got {got} bytes, need at least {need}"
+                )
             }
             CryptoError::InvalidLength { got, expected } => {
                 write!(f, "invalid length: got {got} bytes, expected {expected}")
@@ -54,7 +57,11 @@ mod tests {
         let msgs = [
             CryptoError::TagMismatch.to_string(),
             CryptoError::Truncated { got: 3, need: 28 }.to_string(),
-            CryptoError::InvalidLength { got: 1, expected: 16 }.to_string(),
+            CryptoError::InvalidLength {
+                got: 1,
+                expected: 16,
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -74,8 +74,8 @@ impl GHash {
         // Reduction table for shifting by 4 bits: R[i] = i * (reduction poly
         // folded), standard values from the Shoup 4-bit method.
         const R: [u64; 16] = [
-            0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0, 0xe100, 0xfd20,
-            0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0,
+            0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0, 0xe100, 0xfd20, 0xd940,
+            0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0,
         ];
         let mut z = [0u64; 2];
         let bytes = [x[0].to_be_bytes(), x[1].to_be_bytes()];

@@ -92,9 +92,9 @@ impl Fe {
     }
 
     fn add(self, rhs: Fe) -> Fe {
-        let mut r = [0u64; 5];
-        for i in 0..5 {
-            r[i] = self.0[i] + rhs.0[i];
+        let mut r = self.0;
+        for (r, b) in r.iter_mut().zip(rhs.0) {
+            *r += b;
         }
         Fe(r).carry()
     }
@@ -146,10 +146,7 @@ impl Fe {
     }
 
     fn mul_small(self, k: u64) -> Fe {
-        let mut t = [0u128; 5];
-        for i in 0..5 {
-            t[i] = (self.0[i] as u128) * (k as u128);
-        }
+        let t = self.0.map(|limb| (limb as u128) * (k as u128));
         let mut r = [0u64; 5];
         let mut carry: u128 = 0;
         for i in 0..5 {
@@ -382,4 +379,3 @@ mod tests {
         }
     }
 }
-

@@ -49,7 +49,10 @@ impl fmt::Display for DbError {
             DbError::TableExists(t) => write!(f, "table already exists: {t}"),
             DbError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
             DbError::ArityMismatch { expected, got } => {
-                write!(f, "insert arity mismatch: table has {expected} columns, got {got} values")
+                write!(
+                    f,
+                    "insert arity mismatch: table has {expected} columns, got {got} values"
+                )
             }
             DbError::UnsupportedFilter(msg) => write!(f, "unsupported filter: {msg}"),
             DbError::ValueTooLong { got, max } => {

@@ -8,12 +8,12 @@ use crate::error::DbError;
 use crate::schema::{DictChoice, TableSchema};
 use crate::server::{DbaasServer, DeployedColumn};
 use colstore::table::Table;
-use enclave_sim::attestation::{Measurement, VerificationService};
-use enclave_sim::channel::{self, Role};
 use encdbdb_crypto::hkdf::derive_column_key;
 use encdbdb_crypto::keys::{Key128, Key256};
-use encdbdb_crypto::{Pae, x25519};
+use encdbdb_crypto::{x25519, Pae};
 use encdict::build::{build_encrypted, build_plain, BuildParams};
+use enclave_sim::attestation::{Measurement, VerificationService};
+use enclave_sim::channel::{self, Role};
 use rand::Rng;
 
 /// The trusted data owner.
@@ -127,10 +127,10 @@ mod tests {
     use super::*;
     use crate::schema::ColumnSpec;
     use colstore::column::Column;
-    use enclave_sim::attestation::SigningPlatform;
-    use enclave_sim::Enclave;
     use encdict::enclave_ops::DictLogic;
     use encdict::{DictEnclave, EdKind};
+    use enclave_sim::attestation::SigningPlatform;
+    use enclave_sim::Enclave;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -219,10 +219,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let owner = DataOwner::generate(&mut rng);
         let table = Table::new("t");
-        let schema = TableSchema::new(
-            "t",
-            vec![ColumnSpec::new("ghost", DictChoice::Plain, 8)],
-        );
+        let schema = TableSchema::new("t", vec![ColumnSpec::new("ghost", DictChoice::Plain, 8)]);
         assert!(owner.encrypt_table(&table, &schema, &mut rng).is_err());
     }
 }

@@ -135,9 +135,7 @@ impl Proxy {
                 CompareOp::Gt => RangeQuery::greater_than(value.clone()),
                 CompareOp::Ge => RangeQuery::at_least(value.clone()),
             },
-            Filter::Between { low, high, .. } => {
-                RangeQuery::between(low.clone(), high.clone())
-            }
+            Filter::Between { low, high, .. } => RangeQuery::between(low.clone(), high.clone()),
             Filter::And(a, b) => {
                 let ra = Self::range_of(a)?;
                 let rb = Self::range_of(b)?;

@@ -215,8 +215,11 @@ impl DbaasServer {
         for (spec, deployed) in schema.columns.iter().zip(columns) {
             let column = match deployed {
                 DeployedColumn::Encrypted(dict, av) => {
-                    let delta =
-                        EncryptedDeltaStore::new(schema.name.clone(), spec.name.clone(), spec.max_len);
+                    let delta = EncryptedDeltaStore::new(
+                        schema.name.clone(),
+                        spec.name.clone(),
+                        spec.max_len,
+                    );
                     match rows {
                         None => rows = Some(av.len()),
                         Some(r) if r == av.len() => {}
@@ -348,7 +351,11 @@ impl DbaasServer {
         columns: &[String],
         filter: Option<&ServerFilter>,
     ) -> Result<SelectResponse, DbError> {
-        self.select_multi(table, columns, filter.map(std::slice::from_ref).unwrap_or(&[]))
+        self.select_multi(
+            table,
+            columns,
+            filter.map(std::slice::from_ref).unwrap_or(&[]),
+        )
     }
 
     /// Executes a select with a *conjunction* of single-column filters —
@@ -469,7 +476,10 @@ impl DbaasServer {
             .ok_or_else(|| DbError::ColumnNotFound(filter.column().to_string()))?;
 
         let (main_rids, delta_rids) = match (&t.columns[idx], filter) {
-            (ServerColumn::Encrypted { dict, av, delta }, ServerFilter::Encrypted { range, .. }) => {
+            (
+                ServerColumn::Encrypted { dict, av, delta },
+                ServerFilter::Encrypted { range, .. },
+            ) => {
                 let dict_start = std::time::Instant::now();
                 let result = enclave.search(dict, range)?;
                 stats.dict_search_ns = dict_start.elapsed().as_nanos() as u64;
@@ -536,7 +546,11 @@ impl DbaasServer {
     /// # Errors
     ///
     /// Propagates lookup and enclave failures.
-    pub fn delete_multi(&mut self, table: &str, filters: &[ServerFilter]) -> Result<usize, DbError> {
+    pub fn delete_multi(
+        &mut self,
+        table: &str,
+        filters: &[ServerFilter],
+    ) -> Result<usize, DbError> {
         let (main_rids, delta_rids, _) = self.matching_rids_multi(table, filters)?;
         let t = self.table_mut(table)?;
         for rid in &main_rids {
@@ -735,7 +749,9 @@ fn render_main_cell(col: &ServerColumn, rid: RecordId) -> CellValue {
 
 fn render_delta_cell(col: &ServerColumn, rid: RecordId) -> CellValue {
     match col {
-        ServerColumn::Encrypted { delta, .. } => CellValue::Encrypted(delta.ciphertext(rid).to_vec()),
+        ServerColumn::Encrypted { delta, .. } => {
+            CellValue::Encrypted(delta.ciphertext(rid).to_vec())
+        }
         ServerColumn::Plain { delta, .. } => CellValue::Plain(delta.value(rid).to_vec()),
     }
 }
@@ -771,7 +787,9 @@ fn empty_plain_dict(max_len: usize) -> PlainDictionary {
 }
 
 /// Rebuilds a plain (sorted) dictionary from a column.
-fn rebuild_plain(column: &colstore::column::Column) -> Result<(PlainDictionary, AttributeVector), DbError> {
+fn rebuild_plain(
+    column: &colstore::column::Column,
+) -> Result<(PlainDictionary, AttributeVector), DbError> {
     let mut rng = rand::rngs::mock::StepRng::new(0, 1);
     Ok(encdict::build::build_plain(
         column,

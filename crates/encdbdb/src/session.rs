@@ -11,10 +11,10 @@ use crate::proxy::{Proxy, QueryResult};
 use crate::schema::TableSchema;
 use crate::server::DbaasServer;
 use colstore::table::Table;
-use enclave_sim::attestation::Measurement;
-use enclave_sim::attestation::SigningPlatform;
 use encdict::enclave_ops::DictLogic;
 use encdict::DictEnclave;
+use enclave_sim::attestation::Measurement;
+use enclave_sim::attestation::SigningPlatform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -133,11 +133,11 @@ mod tests {
         )
         .unwrap();
         for v in ["delta", "alpha", "echo", "bravo", "charlie"] {
-            let vals = std::iter::repeat(format!("'{v}'"))
-                .take(10)
+            let vals = std::iter::repeat_n(format!("'{v}'"), 10)
                 .collect::<Vec<_>>()
                 .join(", ");
-            db.execute(&format!("INSERT INTO mix VALUES ({vals})")).unwrap();
+            db.execute(&format!("INSERT INTO mix VALUES ({vals})"))
+                .unwrap();
         }
         for col in ["c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "cp"] {
             let r = db
@@ -145,7 +145,11 @@ mod tests {
                     "SELECT {col} FROM mix WHERE {col} BETWEEN 'b' AND 'd'"
                 ))
                 .unwrap();
-            let mut got: Vec<String> = r.rows_as_strings().into_iter().map(|mut r| r.remove(0)).collect();
+            let mut got: Vec<String> = r
+                .rows_as_strings()
+                .into_iter()
+                .map(|mut r| r.remove(0))
+                .collect();
             got.sort();
             assert_eq!(got, vec!["bravo", "charlie"], "column {col}");
         }
@@ -245,7 +249,10 @@ mod tests {
         let r = db.execute("SELECT v FROM t WHERE k >= 'b'").unwrap();
         let mut got = r.rows_as_strings();
         got.sort();
-        assert_eq!(got, vec![vec!["three".to_string()], vec!["two".to_string()]]);
+        assert_eq!(
+            got,
+            vec![vec!["three".to_string()], vec!["two".to_string()]]
+        );
     }
 
     #[test]

@@ -15,7 +15,8 @@ fn reset(db: &mut Session) {
 fn one_ecall_per_filtered_select_on_main_store() {
     let mut db = Session::with_seed(600).unwrap();
     db.execute("CREATE TABLE t (v ED1(8))").unwrap();
-    db.execute("INSERT INTO t VALUES ('a'), ('b'), ('c')").unwrap();
+    db.execute("INSERT INTO t VALUES ('a'), ('b'), ('c')")
+        .unwrap();
     db.merge("t").unwrap(); // move data into the main store, empty delta
     reset(&mut db);
     db.execute("SELECT v FROM t WHERE v = 'b'").unwrap();
@@ -37,7 +38,8 @@ fn unfiltered_select_needs_no_ecall() {
 #[test]
 fn insert_costs_one_ecall_per_encrypted_cell() {
     let mut db = Session::with_seed(602).unwrap();
-    db.execute("CREATE TABLE t (a ED1(8), b ED9(8), c PLAIN(8))").unwrap();
+    db.execute("CREATE TABLE t (a ED1(8), b ED9(8), c PLAIN(8))")
+        .unwrap();
     reset(&mut db);
     db.execute("INSERT INTO t VALUES ('x', 'y', 'z'), ('p', 'q', 'r')")
         .unwrap();
@@ -49,7 +51,8 @@ fn insert_costs_one_ecall_per_encrypted_cell() {
 #[test]
 fn merge_costs_one_ecall_per_encrypted_column() {
     let mut db = Session::with_seed(603).unwrap();
-    db.execute("CREATE TABLE t (a ED2(8), b ED5(8), c PLAIN(8))").unwrap();
+    db.execute("CREATE TABLE t (a ED2(8), b ED5(8), c PLAIN(8))")
+        .unwrap();
     db.execute("INSERT INTO t VALUES ('x', 'y', 'z')").unwrap();
     reset(&mut db);
     db.merge("t").unwrap();
@@ -64,7 +67,10 @@ fn trusted_heap_stays_bounded_across_queries() {
     db.execute(&format!("INSERT INTO t VALUES {}", rows.join(", ")))
         .unwrap();
     db.merge("t").unwrap();
-    db.server_mut().enclave_mut().enclave_mut().reset_heap_peak();
+    db.server_mut()
+        .enclave_mut()
+        .enclave_mut()
+        .reset_heap_peak();
     for i in 0..20 {
         db.execute(&format!("SELECT v FROM t WHERE v = 'v{:04}'", i))
             .unwrap();
@@ -83,7 +89,9 @@ fn multiple_tables_are_isolated() {
     db.execute("INSERT INTO t1 VALUES ('only-t1')").unwrap();
     db.execute("INSERT INTO t2 VALUES ('only-t2')").unwrap();
     assert_eq!(
-        db.execute("SELECT COUNT(*) FROM t1").unwrap().rows_as_strings(),
+        db.execute("SELECT COUNT(*) FROM t1")
+            .unwrap()
+            .rows_as_strings(),
         vec![vec!["1".to_string()]]
     );
     let r = db.execute("SELECT v FROM t2 WHERE v >= 'a'").unwrap();
@@ -92,7 +100,9 @@ fn multiple_tables_are_isolated() {
     // t1 leaves t2 untouched.
     db.execute("DELETE FROM t1 WHERE v = 'only-t1'").unwrap();
     assert_eq!(
-        db.execute("SELECT COUNT(*) FROM t2").unwrap().rows_as_strings(),
+        db.execute("SELECT COUNT(*) FROM t2")
+            .unwrap()
+            .rows_as_strings(),
         vec![vec!["1".to_string()]]
     );
 }

@@ -14,7 +14,7 @@
 //!
 //! The paper notes the scan "is parallelizable with a speedup expected to
 //! be linear in the number of threads"; pass `Parallelism::Threads(n)` to
-//! use crossbeam scoped threads over row chunks.
+//! use std scoped threads over row chunks.
 
 use crate::search::{DictSearchResult, VidRange};
 use colstore::dictionary::{AttributeVector, RecordId};
@@ -57,14 +57,13 @@ where
             .collect();
     }
     let chunk_len = ids.len().div_ceil(threads);
-    let mut partials: Vec<Vec<RecordId>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    let partials: Vec<Vec<RecordId>> = std::thread::scope(|scope| {
         let handles: Vec<_> = ids
             .chunks(chunk_len)
             .enumerate()
             .map(|(c, chunk)| {
                 let matcher = &matcher;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let base = (c * chunk_len) as u32;
                     chunk
                         .iter()
@@ -75,9 +74,11 @@ where
                 })
             })
             .collect();
-        partials = handles.into_iter().map(|h| h.join().unwrap()).collect();
-    })
-    .expect("attribute-vector scan worker panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("attribute-vector scan worker panicked"))
+            .collect()
+    });
     partials.concat()
 }
 
@@ -90,9 +91,7 @@ pub fn search_ranges(
 ) -> Vec<RecordId> {
     match (ranges[0], ranges[1]) {
         (None, None) => Vec::new(),
-        (Some(r), None) | (None, Some(r)) => {
-            scan_chunks(av, parallelism, |id| r.contains(id))
-        }
+        (Some(r), None) | (None, Some(r)) => scan_chunks(av, parallelism, |id| r.contains(id)),
         (Some(r1), Some(r2)) => {
             scan_chunks(av, parallelism, |id| r1.contains(id) || r2.contains(id))
         }
@@ -112,9 +111,7 @@ pub fn search_ids(
         return Vec::new();
     }
     match strategy {
-        SetSearchStrategy::PaperLinear => {
-            scan_chunks(av, parallelism, |id| vids.iter().any(|&u| u == id))
-        }
+        SetSearchStrategy::PaperLinear => scan_chunks(av, parallelism, |id| vids.contains(&id)),
         SetSearchStrategy::Bitmap => {
             let mut bitmap = vec![0u64; dict_len.div_ceil(64)];
             for &u in vids {
@@ -158,11 +155,7 @@ mod tests {
     fn single_range_scan() {
         // Figure 1: vid = {0, 2} over AV (1,0,2,2,1,1)... here as a range.
         let a = av(&[1, 0, 2, 2, 1, 1]);
-        let got = search_ranges(
-            &a,
-            &[VidRange::new(1, 2), None],
-            Parallelism::Serial,
-        );
+        let got = search_ranges(&a, &[VidRange::new(1, 2), None], Parallelism::Serial);
         assert_eq!(rids(&got), vec![0, 2, 3, 4, 5]);
     }
 
@@ -187,8 +180,20 @@ mod tests {
     fn id_list_strategies_agree() {
         let a = av(&[5, 3, 9, 3, 7, 5, 0]);
         let vids = vec![3, 7];
-        let linear = search_ids(&a, &vids, 10, SetSearchStrategy::PaperLinear, Parallelism::Serial);
-        let bitmap = search_ids(&a, &vids, 10, SetSearchStrategy::Bitmap, Parallelism::Serial);
+        let linear = search_ids(
+            &a,
+            &vids,
+            10,
+            SetSearchStrategy::PaperLinear,
+            Parallelism::Serial,
+        );
+        let bitmap = search_ids(
+            &a,
+            &vids,
+            10,
+            SetSearchStrategy::Bitmap,
+            Parallelism::Serial,
+        );
         assert_eq!(rids(&linear), vec![1, 3, 4]);
         assert_eq!(linear, bitmap);
     }
@@ -196,8 +201,14 @@ mod tests {
     #[test]
     fn empty_vid_list() {
         let a = av(&[0, 1]);
-        assert!(search_ids(&a, &[], 2, SetSearchStrategy::PaperLinear, Parallelism::Serial)
-            .is_empty());
+        assert!(search_ids(
+            &a,
+            &[],
+            2,
+            SetSearchStrategy::PaperLinear,
+            Parallelism::Serial
+        )
+        .is_empty());
     }
 
     #[test]
@@ -222,7 +233,13 @@ mod tests {
         let ids: Vec<u32> = (0..50_000).map(|i| (i * 31) % 1000).collect();
         let a = av(&ids);
         let vids: Vec<u32> = (0..50).map(|i| i * 13 % 1000).collect();
-        let serial = search_ids(&a, &vids, 1000, SetSearchStrategy::Bitmap, Parallelism::Serial);
+        let serial = search_ids(
+            &a,
+            &vids,
+            1000,
+            SetSearchStrategy::Bitmap,
+            Parallelism::Serial,
+        );
         let parallel = search_ids(
             &a,
             &vids,

@@ -67,10 +67,10 @@ impl U256 {
     pub fn wrapping_add(self, rhs: U256) -> U256 {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
-            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+        for (out, (a, b)) in out.iter_mut().zip(self.limbs.iter().zip(rhs.limbs.iter())) {
+            let (s1, c1) = a.overflowing_add(*b);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *out = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         U256 { limbs: out }
@@ -80,10 +80,10 @@ impl U256 {
     pub fn wrapping_sub(self, rhs: U256) -> U256 {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
-            let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
+        for (out, (a, b)) in out.iter_mut().zip(self.limbs.iter().zip(rhs.limbs.iter())) {
+            let (d1, b1) = a.overflowing_sub(*b);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *out = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         U256 { limbs: out }
@@ -116,8 +116,17 @@ impl U256 {
         }
     }
 
-    /// Shifts left by `k` bits (k < 256), filling with zeros.
-    pub fn shl(self, k: u32) -> U256 {
+    /// Whether the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.limbs == [0; 4]
+    }
+}
+
+impl std::ops::Shl<u32> for U256 {
+    type Output = U256;
+
+    /// Shifts left by `k` bits, filling with zeros; `k >= 256` yields zero.
+    fn shl(self, k: u32) -> U256 {
         if k == 0 {
             return self;
         }
@@ -135,11 +144,6 @@ impl U256 {
             out[i] = v;
         }
         U256 { limbs: out }
-    }
-
-    /// Whether the value is zero.
-    pub fn is_zero(self) -> bool {
-        self.limbs == [0; 4]
     }
 }
 
@@ -251,7 +255,7 @@ mod tests {
     fn shl_matches_u128_for_small_values() {
         let v = U256::from_u64(0xdead_beef);
         for k in [0u32, 1, 7, 63, 64, 65, 128, 190] {
-            let got = v.shl(k);
+            let got = v << k;
             if k <= 64 {
                 let expect = (0xdead_beefu128) << k;
                 assert_eq!(
@@ -261,7 +265,7 @@ mod tests {
                 );
             }
         }
-        assert_eq!(v.shl(256), U256::ZERO);
+        assert_eq!(v << 256, U256::ZERO);
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub fn rnd_bucket_sizes<R: Rng + ?Sized>(
     if bs_max == 0 {
         return Err(EncdictError::InvalidBucketSize);
     }
-    assert!(occurrences > 0, "a value in the column occurs at least once");
+    assert!(
+        occurrences > 0,
+        "a value in the column occurs at least once"
+    );
     let mut sizes = Vec::new();
     let mut prev_total = 0usize;
     let mut total = 0usize;
@@ -104,7 +107,11 @@ mod tests {
         let bs_max = 10;
         let trials = 200;
         let total: usize = (0..trials)
-            .map(|_| rnd_bucket_sizes(&mut rng, occurrences, bs_max).unwrap().len())
+            .map(|_| {
+                rnd_bucket_sizes(&mut rng, occurrences, bs_max)
+                    .unwrap()
+                    .len()
+            })
             .sum();
         let mean = total as f64 / trials as f64;
         let expected = 2.0 * occurrences as f64 / (1.0 + bs_max as f64);

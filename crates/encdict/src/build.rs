@@ -102,7 +102,7 @@ fn split_column<R: Rng + ?Sized>(
         for size in &sizes {
             let entry_idx = entries.len() as u32;
             entries.push(v);
-            slots.extend(std::iter::repeat(entry_idx).take(*size));
+            slots.extend(std::iter::repeat_n(entry_idx, *size));
         }
         // Random assignment of occurrences to bucket slots ("for each
         // Ci ∈ oc(C, v), it randomly inserts one of the #bs possible
@@ -128,7 +128,11 @@ fn split_column<R: Rng + ?Sized>(
                     .then(a.1.cmp(&b.1))
             });
             let offset = if kind.order() == OrderOption::Rotated {
-                let off = if n == 0 { 0 } else { rng.gen_range(0..n as u64) };
+                let off = if n == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..n as u64)
+                };
                 rnd_offset = Some(off);
                 off
             } else {
@@ -319,7 +323,10 @@ mod tests {
         for kind in [EdKind::Ed1, EdKind::Ed4, EdKind::Ed7] {
             let (dict, _) = build_plain(&col, kind, &params(), &mut rng).unwrap();
             for i in 1..dict.len() {
-                assert!(dict.value(i - 1) <= dict.value(i), "{kind} not sorted at {i}");
+                assert!(
+                    dict.value(i - 1) <= dict.value(i),
+                    "{kind} not sorted at {i}"
+                );
             }
         }
     }
@@ -368,7 +375,7 @@ mod tests {
     fn smoothing_bounds_value_id_frequency() {
         // 1 value occurring 50 times, bs_max = 5: every ValueID must appear
         // at most 5 times in the attribute vector.
-        let col = Column::from_strs("c", 4, std::iter::repeat("x").take(50)).unwrap();
+        let col = Column::from_strs("c", 4, std::iter::repeat_n("x", 50)).unwrap();
         let mut rng = StdRng::seed_from_u64(6);
         let p = BuildParams {
             bs_max: 5,

@@ -300,8 +300,7 @@ mod tests {
             let ct = encrypt_value_for_column(&f.pae, &mut f.rng, v.as_bytes());
             delta.insert(&mut f.enclave, ct.as_bytes()).unwrap();
         }
-        let range =
-            EncryptedRange::encrypt(&f.pae, &mut f.rng, &RangeQuery::equals("apple"));
+        let range = EncryptedRange::encrypt(&f.pae, &mut f.rng, &RangeQuery::equals("apple"));
         let rids = delta.search(&mut f.enclave, &range).unwrap();
         assert_eq!(rids.iter().map(|r| r.0).collect::<Vec<_>>(), vec![1, 3]);
     }

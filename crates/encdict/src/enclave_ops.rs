@@ -24,9 +24,9 @@ use crate::error::EncdictError;
 use crate::kind::{EdKind, OrderOption};
 use crate::range::EncryptedRange;
 use crate::search::{rotated, sorted, unsorted, DictEntryReader, DictSearchResult};
-use enclave_sim::{Enclave, EnclaveLogic, TrustedEnv, UntrustedMemory};
 use encdbdb_crypto::hkdf::derive_column_key;
 use encdbdb_crypto::{Ciphertext, Pae};
+use enclave_sim::{Enclave, EnclaveLogic, TrustedEnv, UntrustedMemory};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -159,7 +159,9 @@ impl DictEntryReader for EnclaveDictReader<'_, '_> {
     }
 
     fn read_into(&mut self, i: usize, buf: &mut Vec<u8>) -> Result<(), EncdictError> {
-        let entry = self.env.load(self.head, i * HEAD_ENTRY_BYTES, HEAD_ENTRY_BYTES);
+        let entry = self
+            .env
+            .load(self.head, i * HEAD_ENTRY_BYTES, HEAD_ENTRY_BYTES);
         let offset = u64::from_le_bytes(entry[..8].try_into().unwrap()) as usize;
         let clen = u32::from_le_bytes(entry[8..12].try_into().unwrap()) as usize;
         if offset + clen > self.tail.len() {
@@ -206,7 +208,10 @@ impl DictLogic {
         Ok(Pae::new(&derive_column_key(skdb, table, col)))
     }
 
-    fn search(env: &mut TrustedEnv, req: SearchRequest<'_>) -> Result<DictSearchResult, EncdictError> {
+    fn search(
+        env: &mut TrustedEnv,
+        req: SearchRequest<'_>,
+    ) -> Result<DictSearchResult, EncdictError> {
         let pae = Self::column_pae(env, req.table_name, req.col_name)?;
         // Line 2: decrypt the range inside the enclave.
         let range = req.range.decrypt(&pae)?;
@@ -233,7 +238,9 @@ impl DictLogic {
                 .map_err(|_| EncdictError::CorruptDictionary("bad rotation offset"))?;
             let off = u64::from_le_bytes(off_bytes);
             if req.dict_len > 0 && off >= req.dict_len as u64 {
-                return Err(EncdictError::CorruptDictionary("rotation offset out of range"));
+                return Err(EncdictError::CorruptDictionary(
+                    "rotation offset out of range",
+                ));
             }
         }
         let mut reader = EnclaveDictReader {
@@ -273,9 +280,9 @@ impl DictLogic {
         let pae = Pae::new(&sk_d);
 
         let read_entry = |env: &mut TrustedEnv,
-                              head: UntrustedMemory<'_>,
-                              tail: UntrustedMemory<'_>,
-                              i: usize|
+                          head: UntrustedMemory<'_>,
+                          tail: UntrustedMemory<'_>,
+                          i: usize|
          -> Result<Vec<u8>, EncdictError> {
             let entry = env.load(head, i * HEAD_ENTRY_BYTES, HEAD_ENTRY_BYTES);
             let offset = u64::from_le_bytes(entry[..8].try_into().unwrap()) as usize;
@@ -325,7 +332,8 @@ impl DictLogic {
             col_name: req.col_name.to_string(),
             bs_max: req.bs_max,
         };
-        let rebuilt = crate::build::build_encrypted(&column, req.kind, &params, &sk_d, &mut self.rng);
+        let rebuilt =
+            crate::build::build_encrypted(&column, req.kind, &params, &sk_d, &mut self.rng);
         env.track_free(bytes_tracked);
         rebuilt
     }
@@ -457,8 +465,9 @@ impl DictEnclave {
             ciphertext,
         };
         match self.inner.ecall(DictCall::Reencrypt(req)) {
-            DictReply::Reencrypted(r) => Ok(Ciphertext::from_bytes(r?)
-                .expect("enclave produced a well-formed ciphertext")),
+            DictReply::Reencrypted(r) => {
+                Ok(Ciphertext::from_bytes(r?).expect("enclave produced a well-formed ciphertext"))
+            }
             _ => unreachable!("reencrypt call returns reencrypt reply"),
         }
     }
@@ -672,9 +681,7 @@ mod tests {
     fn reencrypt_preserves_plaintext_fresh_iv() {
         let (mut enclave, _, pae, mut rng) = setup(EdKind::Ed9, &["a"], 15);
         let original = encrypt_value_for_column(&pae, &mut rng, b"delta-value");
-        let fresh = enclave
-            .reencrypt("t", "c", original.as_bytes())
-            .unwrap();
+        let fresh = enclave.reencrypt("t", "c", original.as_bytes()).unwrap();
         assert_ne!(original.as_bytes(), fresh.as_bytes(), "IV must be fresh");
         assert_eq!(
             decrypt_column_value(&pae, fresh.as_bytes()).unwrap(),

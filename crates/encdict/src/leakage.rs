@@ -71,10 +71,7 @@ pub fn order_correlation(plaintexts: &[Vec<u8>]) -> f64 {
     if plaintexts.len() < 2 {
         return 1.0;
     }
-    let ordered = plaintexts
-        .windows(2)
-        .filter(|w| w[0] <= w[1])
-        .count();
+    let ordered = plaintexts.windows(2).filter(|w| w[0] <= w[1]).count();
     ordered as f64 / (plaintexts.len() - 1) as f64
 }
 
@@ -130,7 +127,7 @@ mod tests {
         // 20 uniques, value i occurring i+1 times: a clearly non-uniform
         // histogram an attacker could exploit under full leakage.
         let values: Vec<String> = (0..20u32)
-            .flat_map(|i| std::iter::repeat(format!("val{i:03}")).take(i as usize + 1))
+            .flat_map(|i| std::iter::repeat_n(format!("val{i:03}"), i as usize + 1))
             .collect();
         Column::from_strs("c", 8, values.iter()).unwrap()
     }

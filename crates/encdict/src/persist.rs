@@ -138,7 +138,14 @@ pub fn from_bytes(bytes: &[u8]) -> Result<(EncryptedDictionary, AttributeVector)
         return Err(EncdictError::CorruptDictionary("trailing bytes"));
     }
     let dict = EncryptedDictionary::from_parts(
-        kind, table_name, col_name, max_len, len, head, tail, enc_rnd_offset,
+        kind,
+        table_name,
+        col_name,
+        max_len,
+        len,
+        head,
+        tail,
+        enc_rnd_offset,
     )?;
     Ok((dict, av))
 }
@@ -262,7 +269,10 @@ mod tests {
         assert!(from_bytes(&bad).is_err());
         // Truncations at every prefix boundary.
         for cut in [4usize, 9, 20, blob.len() - 1] {
-            assert!(from_bytes(&blob[..cut.min(blob.len())]).is_err(), "cut {cut}");
+            assert!(
+                from_bytes(&blob[..cut.min(blob.len())]).is_err(),
+                "cut {cut}"
+            );
         }
         // Trailing garbage.
         let mut long = blob.clone();

@@ -104,9 +104,7 @@ impl DictSearchResult {
     /// Total number of matching ValueIDs.
     pub fn match_count(&self) -> usize {
         match self {
-            DictSearchResult::Ranges(rs) => {
-                rs.iter().flatten().map(VidRange::len).sum()
-            }
+            DictSearchResult::Ranges(rs) => rs.iter().flatten().map(VidRange::len).sum(),
             DictSearchResult::Ids(ids) => ids.len(),
         }
     }
@@ -115,11 +113,7 @@ impl DictSearchResult {
     pub fn to_vid_list(&self) -> Vec<u32> {
         match self {
             DictSearchResult::Ranges(rs) => {
-                let mut out: Vec<u32> = rs
-                    .iter()
-                    .flatten()
-                    .flat_map(|r| r.lo..=r.hi)
-                    .collect();
+                let mut out: Vec<u32> = rs.iter().flatten().flat_map(|r| r.lo..=r.hi).collect();
                 out.sort_unstable();
                 out
             }

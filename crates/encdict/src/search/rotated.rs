@@ -37,7 +37,12 @@ struct TBound {
     inclusive: bool,
 }
 
-fn start_bound(bound: &RangeBound, e0: U256, n: U256, max_len: usize) -> Result<TBound, EncdictError> {
+fn start_bound(
+    bound: &RangeBound,
+    e0: U256,
+    n: U256,
+    max_len: usize,
+) -> Result<TBound, EncdictError> {
     Ok(match bound {
         RangeBound::Inclusive(s) => TBound {
             t: encode(s, max_len)?.sub_mod(e0, n),
@@ -55,7 +60,12 @@ fn start_bound(bound: &RangeBound, e0: U256, n: U256, max_len: usize) -> Result<
     })
 }
 
-fn end_bound(bound: &RangeBound, e0: U256, n: U256, max_len: usize) -> Result<TBound, EncdictError> {
+fn end_bound(
+    bound: &RangeBound,
+    e0: U256,
+    n: U256,
+    max_len: usize,
+) -> Result<TBound, EncdictError> {
     Ok(match bound {
         RangeBound::Inclusive(e) => TBound {
             t: encode(e, max_len)?.sub_mod(e0, n),
@@ -110,7 +120,11 @@ fn lower_bound_t<R: DictEntryReader>(
         let mid = (lo + hi) / 2;
         reader.read_into(mid, &mut buf)?;
         let t = encode(&buf, max_len)?.sub_mod(e0, n);
-        let qualifies = if bound.inclusive { t >= bound.t } else { t > bound.t };
+        let qualifies = if bound.inclusive {
+            t >= bound.t
+        } else {
+            t > bound.t
+        };
         if qualifies {
             hi = mid;
         } else {
@@ -137,7 +151,11 @@ fn upper_bound_t<R: DictEntryReader>(
         let mid = (lo + hi) / 2;
         reader.read_into(mid, &mut buf)?;
         let t = encode(&buf, max_len)?.sub_mod(e0, n);
-        let exceeds = if bound.inclusive { t > bound.t } else { t >= bound.t };
+        let exceeds = if bound.inclusive {
+            t > bound.t
+        } else {
+            t >= bound.t
+        };
         if exceeds {
             hi = mid;
         } else {
@@ -237,7 +255,7 @@ pub fn search_rotated<R: DictEntryReader>(
 
     debug_assert!(ranges.len() <= 2, "rotated search yields at most 2 ranges");
     let mut out = [None, None];
-    for (slot, r) in out.iter_mut().zip(ranges.into_iter()) {
+    for (slot, r) in out.iter_mut().zip(ranges) {
         *slot = Some(r);
     }
     Ok(DictSearchResult::Ranges(out))
@@ -414,8 +432,7 @@ mod tests {
         let mut read_counts = std::collections::HashSet::new();
         for offset in [0usize, 1, 97, 511, 1023] {
             let mut r = rotated(&refs, offset);
-            let _ =
-                search_rotated(&mut r, &RangeQuery::between("000100", "000200"), 8).unwrap();
+            let _ = search_rotated(&mut r, &RangeQuery::between("000100", "000200"), 8).unwrap();
             read_counts.insert(r.reads);
         }
         // Same dictionary size, same bounds -> identical number of loads

@@ -88,8 +88,8 @@ mod tests {
             Role::Enclave,
         );
         let skdb = [0x33u8; 16];
-        let wrapped = encdbdb_crypto::Pae::new(&owner_side)
-            .encrypt_with_rng(&mut rng, &skdb, PROVISION_AAD);
+        let wrapped =
+            encdbdb_crypto::Pae::new(&owner_side).encrypt_with_rng(&mut rng, &skdb, PROVISION_AAD);
         let unwrapped = encdbdb_crypto::Pae::new(&enclave_side)
             .decrypt(&wrapped, PROVISION_AAD)
             .unwrap();

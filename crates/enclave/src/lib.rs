@@ -59,7 +59,7 @@ pub mod sealing;
 pub use error::EnclaveError;
 pub use memory::{EcallCounters, TrustedEnv, UntrustedMemory, EPC_BUDGET_BYTES};
 
-use attestation::{Measurement, Quote, SigningPlatform};
+use crate::attestation::{Measurement, Quote, SigningPlatform};
 use encdbdb_crypto::keys::{Key128, Key256};
 use encdbdb_crypto::x25519;
 use rand::RngCore;
@@ -281,11 +281,8 @@ mod tests {
         let skdb = Key128::from_bytes([0x42; 16]);
         let owner_secret = Key256::generate(&mut rng);
         let owner_public = x25519::public_key(&owner_secret);
-        let session = channel::session_key(
-            &owner_secret,
-            &report.report_data,
-            channel::Role::DataOwner,
-        );
+        let session =
+            channel::session_key(&owner_secret, &report.report_data, channel::Role::DataOwner);
         let pae = encdbdb_crypto::Pae::new(&session);
         let wrapped = pae
             .encrypt_with_rng(&mut rng, skdb.as_bytes(), channel::PROVISION_AAD)

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without network access (DESIGN.md §4), so this crate
+//! reimplements the subset of the proptest API used by the property tests:
+//! the [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`]/
+//! [`prop_assert_ne!`]/[`prop_assume!`], the [`strategy::Strategy`] trait
+//! with `prop_map`, integer-range strategies, regex-string strategies
+//! (`"[a-e]{0,5}"`), [`collection::vec`], [`sample::select`], and
+//! [`arbitrary::any`].
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its case index and the
+//!   deterministic seed instead of a minimised input.
+//! * **Deterministic by default.** Each test function derives its RNG seed
+//!   from its own name, so CI failures reproduce locally; set
+//!   `PROPTEST_SEED` to explore a different stream, and `PROPTEST_CASES`
+//!   to override the case count.
+//! * **Regex strategies** understand the subset the tests use: literal
+//!   characters, `.`, character classes like `[a-z' ]` with ranges, and the
+//!   `{m,n}`/`{n}`/`?`/`*`/`+` quantifiers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The commonly-used API in one import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Alias module so `prop::collection::vec` / `prop::sample::select`
+    /// resolve as they do with the real crate's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                left,
+                right
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+/// Fails the current test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left != *right,
+                "assertion failed: `(left != right)`\n  both: `{:?}`",
+                left
+            ),
+        }
+    };
+}
+
+/// Skips the current case (counted separately from failures) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests.
+///
+/// Supports the standard forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn my_property(x in 0u64..100, s in "[a-e]{0,5}") {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($config); $($rest)*);
+    };
+    (@funcs ($config:expr); ) => {};
+    (@funcs ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            while runner.more_cases() {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&$strategy, runner.rng());
+                )+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                runner.finish_case(outcome);
+            }
+        }
+        $crate::proptest!(@funcs ($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @funcs ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 1usize..=3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+        }
+
+        #[test]
+        fn regex_strings_match_shape(s in "[a-e]{0,5}") {
+            prop_assert!(s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='e').contains(&c)));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn select_picks_from_list(k in prop::sample::select(vec![3u32, 5, 7])) {
+            prop_assert!(k == 3 || k == 5 || k == 7);
+        }
+
+        #[test]
+        fn prop_map_applies(len in prop::collection::vec(any::<bool>(), 0..4).prop_map(|v| v.len())) {
+            prop_assert!(len < 4);
+        }
+
+        #[test]
+        fn arrays_generate(a in any::<[u8; 16]>(), b in any::<[u8; 12]>()) {
+            prop_assert_eq!(a.len(), 16);
+            prop_assert_eq!(b.len(), 12);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(x in 0u8..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    // Declared without #[test] so the outer tests can drive them directly.
+    proptest! {
+        fn always_fails(x in 0u32..10) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+
+        fn only_even(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_context() {
+        always_fails();
+    }
+
+    #[test]
+    fn assume_rejects_without_failing() {
+        only_even();
+    }
+}

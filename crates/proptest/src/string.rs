@@ -1,0 +1,253 @@
+//! Regex-like string generation for `&str` strategies.
+//!
+//! Supports the pattern subset used in this workspace's property tests:
+//! literal characters, `.` (any character), character classes with ranges
+//! and literals (`[a-z' ]`), and the quantifiers `{m,n}`, `{n}`, `?`, `*`,
+//! `+`. Unsupported constructs panic with the offending pattern so a test
+//! author immediately sees what to extend.
+
+use crate::arbitrary::Arbitrary;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Cap for the open-ended `*` / `+` quantifiers.
+const UNBOUNDED_CAP: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// `.` — any character.
+    Any,
+    /// A character class: single chars and inclusive ranges.
+    Class {
+        singles: Vec<char>,
+        ranges: Vec<(char, char)>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..count {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut StdRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Any => char::arbitrary(rng),
+        Atom::Class { singles, ranges } => {
+            // Weight each range by its width so e.g. `[a-z' ]` doesn't give
+            // the two singles 2/3 of the probability mass.
+            let range_weight: usize = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as usize - *lo as usize) + 1)
+                .sum();
+            let total = singles.len() + range_weight;
+            let mut pick = rng.gen_range(0..total);
+            if pick < singles.len() {
+                return singles[pick];
+            }
+            pick -= singles.len();
+            for (lo, hi) in ranges {
+                let width = (*hi as usize - *lo as usize) + 1;
+                if pick < width {
+                    return char::from_u32(*lo as u32 + pick as u32)
+                        .expect("class ranges stay within valid scalars");
+                }
+                pick -= width;
+            }
+            unreachable!("weights cover the class");
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                    + i;
+                let atom = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                atom
+            }
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling '\\' in pattern {pattern:?}"));
+                i += 2;
+                Atom::Literal(match c {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                })
+            }
+            c @ ('(' | ')' | '|') => {
+                panic!("pattern {pattern:?} uses unsupported regex construct {c:?}")
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Atom {
+    assert!(!body.is_empty(), "empty class in pattern {pattern:?}");
+    assert!(
+        body[0] != '^',
+        "negated class in pattern {pattern:?} is not supported"
+    );
+    let mut singles = Vec::new();
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted range in class of pattern {pattern:?}");
+            ranges.push((lo, hi));
+            i += 3;
+        } else {
+            singles.push(body[i]);
+            i += 1;
+        }
+    }
+    Atom::Class { singles, ranges }
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            let parse_n = |s: &str| -> usize {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier in pattern {pattern:?}"))
+            };
+            match body.split_once(',') {
+                Some((lo, hi)) => (parse_n(lo), parse_n(hi)),
+                None => {
+                    let n = parse_n(&body);
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, UNBOUNDED_CAP)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_from_pattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_from_pattern(pattern, &mut rng)
+    }
+
+    #[test]
+    fn class_with_counted_repeat() {
+        for seed in 0..50 {
+            let s = gen("[a-e]{0,5}", seed);
+            assert!(s.len() <= 5);
+            assert!(s.chars().all(|c| ('a'..='e').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn class_with_literals_and_range() {
+        for seed in 0..50 {
+            let s = gen("[a-z' ]{0,10}", seed);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '\'' || c == ' '));
+        }
+    }
+
+    #[test]
+    fn concatenated_atoms() {
+        for seed in 0..50 {
+            let s = gen("[a-z][a-z0-9_]{0,8}", seed);
+            assert!(!s.is_empty() && s.len() <= 9);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        for seed in 0..20 {
+            let s = gen("[ -~]{0,120}", seed);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            assert!(s.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn dot_generates_varied_chars() {
+        let mut any_non_ascii = false;
+        for seed in 0..200 {
+            let s = gen(".{0,80}", seed);
+            assert!(s.chars().count() <= 80);
+            any_non_ascii |= !s.is_ascii();
+        }
+        assert!(any_non_ascii, "dot should occasionally produce non-ASCII");
+    }
+
+    #[test]
+    fn literals_quantifiers_and_escapes() {
+        assert_eq!(gen("abc", 1), "abc");
+        assert_eq!(gen("a{3}", 1), "aaa");
+        assert_eq!(gen("\\.", 1), ".");
+        let s = gen("x?y*z+", 7);
+        assert!(s.ends_with('z') || s.contains('z'));
+    }
+}

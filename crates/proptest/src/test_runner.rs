@@ -1,0 +1,188 @@
+//! Case execution: configuration, deterministic RNG, and failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many cases each property runs, mirroring `proptest`'s config struct.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Maximum number of rejected ([`prop_assume!`]) cases tolerated.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: env_u32("PROPTEST_CASES").unwrap_or(256),
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (still overridable by
+    /// `PROPTEST_CASES`).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases: env_u32("PROPTEST_CASES").unwrap_or(cases),
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+fn env_u32(name: &str) -> Option<u32> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// Why a test case did not succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is falsified.
+    Fail(String),
+    /// The case was rejected by [`prop_assume!`]; draw another input.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Runs the cases of one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    seed: u64,
+    rng: StdRng,
+    passed: u32,
+    rejected: u32,
+    case: u32,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named property.
+    ///
+    /// The RNG seed derives deterministically from the property name so CI
+    /// failures reproduce locally; set `PROPTEST_SEED` to explore another
+    /// stream.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+            Err(_) => fnv1a(name.as_bytes()),
+        };
+        TestRunner {
+            config,
+            name,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            passed: 0,
+            rejected: 0,
+            case: 0,
+        }
+    }
+
+    /// Whether another case should run.
+    pub fn more_cases(&mut self) -> bool {
+        if self.passed >= self.config.cases {
+            return false;
+        }
+        if self.rejected > self.config.max_global_rejects {
+            panic!(
+                "property {}: too many prop_assume! rejections ({} with only {} passes)",
+                self.name, self.rejected, self.passed
+            );
+        }
+        self.case += 1;
+        true
+    }
+
+    /// The RNG strategies draw from.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Records one case outcome, panicking on failure.
+    pub fn finish_case(&mut self, outcome: Result<(), TestCaseError>) {
+        match outcome {
+            Ok(()) => self.passed += 1,
+            Err(TestCaseError::Reject(_)) => self.rejected += 1,
+            Err(TestCaseError::Fail(message)) => panic!(
+                "property failed: {}\n  property: {}\n  case: {}/{} (seed {}; \
+                 rerun with PROPTEST_SEED={} to reproduce)",
+                message, self.name, self.case, self.config.cases, self.seed, self.seed
+            ),
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_cases_sets_count() {
+        assert_eq!(ProptestConfig::with_cases(48).cases, 48);
+    }
+
+    #[test]
+    fn runner_runs_exactly_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(5), "five");
+        let mut ran = 0;
+        while runner.more_cases() {
+            ran += 1;
+            runner.finish_case(Ok(()));
+        }
+        assert_eq!(ran, 5);
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_passes() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(3), "rej");
+        let mut total = 0;
+        while runner.more_cases() {
+            total += 1;
+            if total <= 2 {
+                runner.finish_case(Err(TestCaseError::reject("skip")));
+            } else {
+                runner.finish_case(Ok(()));
+            }
+        }
+        assert_eq!(total, 5, "two rejects then three passes");
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failure_panics() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(1), "boom");
+        assert!(runner.more_cases());
+        runner.finish_case(Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    fn seed_is_stable_per_name() {
+        let a = TestRunner::new(ProptestConfig::with_cases(1), "same");
+        let b = TestRunner::new(ProptestConfig::with_cases(1), "same");
+        assert_eq!(a.seed, b.seed);
+    }
+}

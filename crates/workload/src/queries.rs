@@ -100,7 +100,11 @@ mod tests {
         assert_eq!(batch.len(), 500);
         let distinct: std::collections::HashSet<_> =
             batch.iter().map(|q| format!("{q:?}")).collect();
-        assert!(distinct.len() > 100, "queries should vary: {}", distinct.len());
+        assert!(
+            distinct.len() > 100,
+            "queries should vary: {}",
+            distinct.len()
+        );
     }
 
     #[test]

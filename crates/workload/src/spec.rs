@@ -51,8 +51,8 @@ impl ColumnSpec {
     /// sampling fraction but never below 1.
     pub fn scaled(&self, rows: usize) -> Self {
         let fraction = rows as f64 / self.rows as f64;
-        let unique = ((self.unique_values as f64 * fraction).round() as usize)
-            .clamp(1, rows.max(1));
+        let unique =
+            ((self.unique_values as f64 * fraction).round() as usize).clamp(1, rows.max(1));
         ColumnSpec {
             name: self.name.clone(),
             rows,
@@ -171,7 +171,11 @@ mod tests {
         let small = c2.scaled(100_000);
         assert_eq!(small.rows, 100_000);
         // Unique count scales with the fraction: ~13361 * 100k/10.9M ≈ 123.
-        assert!((100..150).contains(&small.unique_values), "{}", small.unique_values);
+        assert!(
+            (100..150).contains(&small.unique_values),
+            "{}",
+            small.unique_values
+        );
         let c1 = ColumnSpec::c1_full();
         let small1 = c1.scaled(100_000);
         // C1 stays nearly distinct under scaling.

@@ -23,20 +23,29 @@ fn main() -> Result<(), encdbdb::DbError> {
          ('sku-00003', '000560'), ('sku-00004', '000007')",
     )?;
     let r = db.execute("SELECT sku, qty FROM inventory WHERE sku <= 'sku-00002'")?;
-    println!("before merge (served from delta): {:?}", r.rows_as_strings());
+    println!(
+        "before merge (served from delta): {:?}",
+        r.rows_as_strings()
+    );
 
     // Phase 2: merge folds the delta into a freshly rebuilt, re-rotated
     // ED2 main store. The read results stay identical.
     db.merge("inventory")?;
     let r = db.execute("SELECT sku, qty FROM inventory WHERE sku <= 'sku-00002'")?;
-    println!("after merge (served from main):   {:?}", r.rows_as_strings());
+    println!(
+        "after merge (served from main):   {:?}",
+        r.rows_as_strings()
+    );
 
     // Phase 3: updates = delete + insert; reads see main and delta merged
     // while checking validity.
     db.execute("DELETE FROM inventory WHERE sku = 'sku-00002'")?;
     db.execute("INSERT INTO inventory VALUES ('sku-00002', '000035')")?;
     let r = db.execute("SELECT qty FROM inventory WHERE sku = 'sku-00002'")?;
-    println!("after update, sku-00002 qty = {:?}", r.rows_as_strings()[0][0]);
+    println!(
+        "after update, sku-00002 qty = {:?}",
+        r.rows_as_strings()[0][0]
+    );
     assert_eq!(r.rows_as_strings(), vec![vec!["000035".to_string()]]);
 
     // Phase 4: steady state — merge again, verify the full table.

@@ -31,7 +31,8 @@ fn main() -> Result<(), encdbdb::DbError> {
 
     // Every filter becomes an encrypted range select; the server only ever
     // sees PAE ciphertexts of the bounds and of the values.
-    let result = db.execute("SELECT fname, city FROM people WHERE fname BETWEEN 'Archie' AND 'Hans'")?;
+    let result =
+        db.execute("SELECT fname, city FROM people WHERE fname BETWEEN 'Archie' AND 'Hans'")?;
     println!("people with fname in [Archie, Hans]:");
     for row in result.rows_as_strings() {
         println!("  {} from {}", row[0], row[1]);

@@ -9,11 +9,12 @@
 //! order correlation), the storage size, and the latency of a range query —
 //! making the usage guideline of §6.4 concrete.
 
-use encdbdb_bench as harness;
+use encdbdb_bench::{
+    build_ed, build_plain_ed, column_pae, fmt_bytes, fmt_duration, master_key, prepare_c2,
+};
 use encdict::avsearch::{search, Parallelism, SetSearchStrategy};
 use encdict::leakage::analyze;
 use encdict::{DictEnclave, EdKind, EncryptedRange, RangeQuery};
-use harness::{build_ed, build_plain_ed, column_pae, fmt_bytes, fmt_duration, master_key, prepare_c2};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

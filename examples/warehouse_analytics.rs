@@ -62,13 +62,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Analytic query 1: report orders in a price band (range on ED9).
     let start = std::time::Instant::now();
-    let result = db.execute("SELECT country FROM sales WHERE price BETWEEN '100000' AND '125000'")?;
+    let result =
+        db.execute("SELECT country FROM sales WHERE price BETWEEN '100000' AND '125000'")?;
     let elapsed = start.elapsed();
     let mut per_country = std::collections::BTreeMap::new();
     for row in result.rows_as_strings() {
         *per_country.entry(row[0].clone()).or_insert(0usize) += 1;
     }
-    println!("\norders with price in [100000, 125000] ({} rows, {elapsed:?}):", result.row_count());
+    println!(
+        "\norders with price in [100000, 125000] ({} rows, {elapsed:?}):",
+        result.row_count()
+    );
     for (country, count) in &per_country {
         println!("  {country}: {count}");
     }
@@ -84,11 +88,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|mut r| r.remove(0))
         .max()
         .unwrap_or_default();
-    println!("\nDE orders: {} (max price {max}, {elapsed:?})", result.row_count());
+    println!(
+        "\nDE orders: {} (max price {max}, {elapsed:?})",
+        result.row_count()
+    );
 
     // Analytic query 3: order-id point lookup (ED1).
     let probe = &order_ids[rows / 2];
-    let result = db.execute(&format!("SELECT country, price FROM sales WHERE order_id = '{probe}'"))?;
+    let result = db.execute(&format!(
+        "SELECT country, price FROM sales WHERE order_id = '{probe}'"
+    ))?;
     println!("\nlookup {probe}: {:?}", result.rows_as_strings());
 
     Ok(())

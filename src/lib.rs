@@ -3,6 +3,6 @@
 pub use colstore;
 pub use encdbdb;
 pub use encdbdb_crypto as crypto;
-pub use enclave_sim as enclave;
 pub use encdict;
+pub use enclave_sim as enclave;
 pub use workload;

@@ -36,10 +36,9 @@ fn all_kinds_agree_with_reference_scan() {
             ("SELECT c FROM t WHERE c = 'v0005'", |v| v == "v0005"),
             ("SELECT c FROM t WHERE c < 'v0010'", |v| v < "v0010"),
             ("SELECT c FROM t WHERE c >= 'v0030'", |v| v >= "v0030"),
-            (
-                "SELECT c FROM t WHERE c BETWEEN 'v0010' AND 'v0020'",
-                |v| v >= "v0010" && v <= "v0020",
-            ),
+            ("SELECT c FROM t WHERE c BETWEEN 'v0010' AND 'v0020'", |v| {
+                ("v0010"..="v0020").contains(&v)
+            }),
         ];
         for (sql, pred) in queries {
             let mut got: Vec<String> = db
@@ -50,11 +49,7 @@ fn all_kinds_agree_with_reference_scan() {
                 .map(|mut r| r.remove(0))
                 .collect();
             got.sort();
-            let mut expected: Vec<String> = values
-                .iter()
-                .filter(|v| pred(v))
-                .cloned()
-                .collect();
+            let mut expected: Vec<String> = values.iter().filter(|v| pred(v)).cloned().collect();
             expected.sort();
             assert_eq!(got, expected, "kind {kind}, query {sql}");
         }
@@ -65,8 +60,8 @@ fn all_kinds_agree_with_reference_scan() {
 /// from the expected dictionary-search enclave.
 #[test]
 fn attestation_rejects_unexpected_enclave() {
-    use enclave_sim::attestation::{Measurement, SigningPlatform};
     use encdbdb::{DataOwner, DbaasServer};
+    use enclave_sim::attestation::{Measurement, SigningPlatform};
 
     let mut rng = StdRng::seed_from_u64(42);
     let owner = DataOwner::generate(&mut rng);
@@ -130,7 +125,8 @@ fn repeated_merge_cycles_stay_consistent() {
             .map(|v| format!("('{v}')"))
             .collect::<Vec<_>>()
             .join(", ");
-        db.execute(&format!("INSERT INTO t VALUES {values}")).unwrap();
+        db.execute(&format!("INSERT INTO t VALUES {values}"))
+            .unwrap();
         live.extend(batch);
         // Delete a random prefix range.
         let cut = format!("c{cycle}v{:03}", 3);
@@ -225,7 +221,9 @@ fn workload_column_under_ed5() {
             _ => unreachable!(),
         };
         let got = db
-            .execute(&format!("SELECT c FROM bw WHERE c BETWEEN '{lo}' AND '{hi}'"))
+            .execute(&format!(
+                "SELECT c FROM bw WHERE c BETWEEN '{lo}' AND '{hi}'"
+            ))
             .unwrap()
             .row_count();
         let expected = column

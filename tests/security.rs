@@ -13,7 +13,7 @@ use rand::SeedableRng;
 /// *server-visible* artifacts per kind.
 fn deploy_skewed(kind: EdKind, seed: u64) -> (Session, Vec<String>) {
     let values: Vec<String> = (0..30u32)
-        .flat_map(|i| std::iter::repeat(format!("val{i:02}")).take((i as usize % 7) * 4 + 1))
+        .flat_map(|i| std::iter::repeat_n(format!("val{i:02}"), (i as usize % 7) * 4 + 1))
         .collect();
     let mut db = Session::with_seed(seed).unwrap();
     let mut table = Table::new("t");
@@ -66,8 +66,7 @@ fn frequency_hiding_attribute_vector_is_flat_after_load() {
     use colstore::dictionary::ValueId;
     // Rebuild the deployment artifacts directly to inspect the AV the
     // server stores for an ED7 column.
-    let values: Vec<String> = std::iter::repeat("dup".to_string())
-        .take(50)
+    let values: Vec<String> = std::iter::repeat_n("dup".to_string(), 50)
         .chain((0..10).map(|i| format!("u{i}")))
         .collect();
     let column = Column::from_strs("c", 8, values.iter()).unwrap();
@@ -82,11 +81,8 @@ fn frequency_hiding_attribute_vector_is_flat_after_load() {
     let profile = FrequencyProfile::of(&av);
     assert!(profile.is_flat(), "ED7 AV must not reveal frequencies");
     // Sanity: the AV still references |C| distinct ValueIDs.
-    let distinct: std::collections::HashSet<ValueId> = av
-        .as_slice()
-        .iter()
-        .map(|&v| ValueId(v))
-        .collect();
+    let distinct: std::collections::HashSet<ValueId> =
+        av.as_slice().iter().map(|&v| ValueId(v)).collect();
     assert_eq!(distinct.len(), values.len());
 }
 
@@ -138,7 +134,8 @@ fn delta_insert_hides_order_and_frequency() {
     // produce different stored ciphertexts of equal length.
     let mut db = Session::with_seed(9).unwrap();
     db.execute("CREATE TABLE t (v ED9(8))").unwrap();
-    db.execute("INSERT INTO t VALUES ('same'), ('same')").unwrap();
+    db.execute("INSERT INTO t VALUES ('same'), ('same')")
+        .unwrap();
     // Query both back — they decrypt identically...
     let r = db.execute("SELECT v FROM t WHERE v = 'same'").unwrap();
     assert_eq!(r.row_count(), 2);
