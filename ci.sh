@@ -16,8 +16,11 @@ run cargo build --release --offline
 run cargo test -q --offline
 run cargo fmt --check
 run cargo clippy --all-targets --offline -- -D warnings
+# Rustdoc must stay warning-free (broken intra-doc links, bad code fences).
+run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 # Benches are excluded from `cargo test` (they are timed loops); keep them
-# compiling.
+# compiling — including the analytic-engine aggregate bench.
 run cargo bench --no-run --offline -p encdbdb-bench
+run cargo bench --no-run --offline -p encdbdb-bench --bench aggregate
 
 echo "==> CI green"

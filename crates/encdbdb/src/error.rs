@@ -26,6 +26,10 @@ pub enum DbError {
     /// form mismatching the column protection). Conjunctions across
     /// columns *are* supported (each conjunct must be single-column).
     UnsupportedFilter(String),
+    /// The query is valid SQL but not a well-formed plan against the
+    /// schema (e.g. a bare select item missing from GROUP BY, or an ORDER
+    /// BY target outside the output).
+    Plan(String),
     /// A value exceeded the column's fixed maximal length.
     ValueTooLong {
         /// Length of the offending value.
@@ -55,6 +59,7 @@ impl fmt::Display for DbError {
                 )
             }
             DbError::UnsupportedFilter(msg) => write!(f, "unsupported filter: {msg}"),
+            DbError::Plan(msg) => write!(f, "plan error: {msg}"),
             DbError::ValueTooLong { got, max } => {
                 write!(f, "value of {got} bytes exceeds column maximum of {max}")
             }

@@ -1,0 +1,250 @@
+//! The untrusted half of grouped aggregation: reducing matching rows to a
+//! **ValueID-tuple histogram**, entirely on ValueIDs in untrusted memory.
+//!
+//! The attribute vectors of the referenced columns are scanned in
+//! [`CHUNK_ROWS`]-row batches (optionally across threads, reusing
+//! [`Parallelism`]); each batch counts how often every distinct tuple of
+//! per-column codes occurs among the matching rows. Codes address the
+//! concatenated main + delta value space of a column: a code below the
+//! main dictionary length is a main-store ValueID, anything above is a
+//! delta row. Only the *distinct* codes ever reach a decryption — the
+//! frequency weighting replaces per-row work.
+
+use colstore::dictionary::RecordId;
+use encdict::avsearch::Parallelism;
+use std::collections::{BTreeSet, HashMap};
+
+/// Rows per histogram batch (one vectorized execution unit).
+pub const CHUNK_ROWS: usize = 4096;
+
+/// The code source of one referenced column.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnCodes<'a> {
+    /// The column's main-store attribute vector.
+    pub av: &'a [u32],
+    /// Main dictionary length — the offset of the delta code space.
+    pub main_len: usize,
+}
+
+impl ColumnCodes<'_> {
+    #[inline]
+    fn code(&self, rid: RecordId, delta: bool) -> u32 {
+        if delta {
+            self.main_len as u32 + rid.0
+        } else {
+            self.av[rid.0 as usize]
+        }
+    }
+}
+
+/// The histogram of one aggregate query plus scan accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Distinct code tuples (one code per referenced column) and how many
+    /// matching rows carry each.
+    pub tuples: Vec<(Vec<u32>, u64)>,
+    /// Number of row chunks scanned.
+    pub chunks: usize,
+}
+
+fn count_chunk(
+    cols: &[ColumnCodes<'_>],
+    rids: &[RecordId],
+    delta: bool,
+    into: &mut HashMap<Vec<u32>, u64>,
+) {
+    // Probe with a reused scratch tuple and only clone it into the map on
+    // first sight, keeping allocations at O(distinct tuples), not O(rows).
+    let mut scratch: Vec<u32> = Vec::with_capacity(cols.len());
+    for &rid in rids {
+        scratch.clear();
+        scratch.extend(cols.iter().map(|c| c.code(rid, delta)));
+        match into.get_mut(scratch.as_slice()) {
+            Some(n) => *n += 1,
+            None => {
+                into.insert(scratch.clone(), 1);
+            }
+        }
+    }
+}
+
+/// Builds the ValueID-tuple histogram over the matching main and delta
+/// rows, scanning in [`CHUNK_ROWS`]-row chunks, multi-threaded per
+/// `parallelism`. The result is deterministic (sorted by tuple).
+pub fn build_histogram(
+    cols: &[ColumnCodes<'_>],
+    main_rids: &[RecordId],
+    delta_rids: &[RecordId],
+    parallelism: Parallelism,
+) -> Histogram {
+    let chunks: Vec<(&[RecordId], bool)> = main_rids
+        .chunks(CHUNK_ROWS)
+        .map(|c| (c, false))
+        .chain(delta_rids.chunks(CHUNK_ROWS).map(|c| (c, true)))
+        .collect();
+    let threads = match parallelism {
+        Parallelism::Serial => 1,
+        Parallelism::Threads(n) => n.max(1),
+    }
+    .min(chunks.len().max(1));
+
+    let mut merged: HashMap<Vec<u32>, u64> = HashMap::new();
+    if threads <= 1 {
+        for (rids, delta) in &chunks {
+            count_chunk(cols, rids, *delta, &mut merged);
+        }
+    } else {
+        let partials: Vec<HashMap<Vec<u32>, u64>> = std::thread::scope(|scope| {
+            let chunks = &chunks;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut local = HashMap::new();
+                        for (rids, delta) in chunks.iter().skip(t).step_by(threads) {
+                            count_chunk(cols, rids, *delta, &mut local);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("histogram scan worker panicked"))
+                .collect()
+        });
+        for partial in partials {
+            for (tuple, n) in partial {
+                *merged.entry(tuple).or_insert(0) += n;
+            }
+        }
+    }
+    let mut tuples: Vec<(Vec<u32>, u64)> = merged.into_iter().collect();
+    tuples.sort_unstable();
+    Histogram {
+        tuples,
+        chunks: chunks.len(),
+    }
+}
+
+/// A histogram with per-column codes remapped to dense value-table
+/// indices: `codes[c]` lists the distinct touched codes of column `c`
+/// (ascending), and every tuple entry indexes into that list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Remapped {
+    /// Distinct touched codes per referenced column, ascending.
+    pub codes: Vec<Vec<u32>>,
+    /// Tuples rewritten to value-table indices, with frequencies.
+    pub tuples: Vec<(Vec<u32>, u64)>,
+}
+
+/// Collects the distinct codes of each column and rewrites the histogram
+/// tuples to indices into those per-column lists — the value tables only
+/// ever hold one entry per distinct touched ValueID.
+pub fn remap_codes(ncols: usize, tuples: Vec<(Vec<u32>, u64)>) -> Remapped {
+    let mut distinct: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); ncols];
+    for (tuple, _) in &tuples {
+        for (c, &code) in tuple.iter().enumerate() {
+            distinct[c].insert(code);
+        }
+    }
+    let codes: Vec<Vec<u32>> = distinct
+        .into_iter()
+        .map(|s| s.into_iter().collect())
+        .collect();
+    let index: Vec<HashMap<u32, u32>> = codes
+        .iter()
+        .map(|list| {
+            list.iter()
+                .enumerate()
+                .map(|(i, &code)| (code, i as u32))
+                .collect()
+        })
+        .collect();
+    let tuples = tuples
+        .into_iter()
+        .map(|(tuple, n)| {
+            let mapped = tuple
+                .iter()
+                .enumerate()
+                .map(|(c, code)| index[c][code])
+                .collect();
+            (mapped, n)
+        })
+        .collect();
+    Remapped { codes, tuples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rids(v: &[u32]) -> Vec<RecordId> {
+        v.iter().map(|&i| RecordId(i)).collect()
+    }
+
+    #[test]
+    fn histogram_counts_tuples_and_offsets_delta() {
+        // Two columns over 6 main rows; delta rows get codes main_len + rid.
+        let av_a = [0u32, 1, 0, 1, 0, 2];
+        let av_b = [5u32, 5, 5, 6, 5, 6];
+        let cols = [
+            ColumnCodes {
+                av: &av_a,
+                main_len: 3,
+            },
+            ColumnCodes {
+                av: &av_b,
+                main_len: 7,
+            },
+        ];
+        let h = build_histogram(
+            &cols,
+            &rids(&[0, 2, 3, 4]),
+            &rids(&[0, 1]),
+            Parallelism::Serial,
+        );
+        assert_eq!(
+            h.tuples,
+            vec![
+                (vec![0, 5], 3), // rows 0, 2, 4
+                (vec![1, 6], 1), // row 3
+                (vec![3, 7], 1), // delta row 0 -> codes (3+0, 7+0)
+                (vec![4, 8], 1), // delta row 1
+            ]
+        );
+        assert_eq!(h.chunks, 2); // one main chunk + one delta chunk
+    }
+
+    #[test]
+    fn parallel_histogram_matches_serial() {
+        let av: Vec<u32> = (0..20_000).map(|i| i % 13).collect();
+        let cols = [ColumnCodes {
+            av: &av,
+            main_len: 13,
+        }];
+        let all: Vec<RecordId> = (0..20_000).map(RecordId).collect();
+        let serial = build_histogram(&cols, &all, &[], Parallelism::Serial);
+        for threads in [2usize, 3, 8] {
+            let parallel = build_histogram(&cols, &all, &[], Parallelism::Threads(threads));
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+        assert_eq!(serial.chunks, 20_000usize.div_ceil(CHUNK_ROWS));
+    }
+
+    #[test]
+    fn zero_columns_still_counts_rows() {
+        let h = build_histogram(&[], &rids(&[0, 1, 2]), &rids(&[0]), Parallelism::Serial);
+        assert_eq!(h.tuples, vec![(vec![], 4)]);
+    }
+
+    #[test]
+    fn remap_produces_dense_indices() {
+        let tuples = vec![(vec![10, 100], 2), (vec![7, 100], 1), (vec![10, 90], 4)];
+        let r = remap_codes(2, tuples);
+        assert_eq!(r.codes, vec![vec![7, 10], vec![90, 100]]);
+        assert_eq!(
+            r.tuples,
+            vec![(vec![1, 1], 2), (vec![0, 1], 1), (vec![1, 0], 4)]
+        );
+    }
+}

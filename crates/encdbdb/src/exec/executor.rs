@@ -1,0 +1,218 @@
+//! The vectorized aggregate executor: `Scan → Filter → GroupBy →
+//! Aggregate → Sort → Limit` on the untrusted server.
+//!
+//! Execution splits exactly like the paper splits range search:
+//!
+//! 1. **Filter** reuses the range machinery (enclave dictionary search +
+//!    attribute-vector scan, delta stores and validity vectors included).
+//! 2. **Scan** walks the referenced columns' attribute vectors in
+//!    4096-row chunks — multi-threaded via
+//!    [`Parallelism`](encdict::avsearch::Parallelism) — and reduces the
+//!    matching rows to a ValueID-tuple histogram. No ciphertext is
+//!    touched; the scan runs entirely on ValueIDs in untrusted memory.
+//! 3. **GroupBy/Aggregate/Sort/Limit** run where plaintext is allowed:
+//!    one `Aggregate` ECALL when any referenced column is encrypted (the
+//!    enclave decrypts each distinct touched ValueID once and returns
+//!    freshly encrypted cells), or locally for all-PLAIN queries — the
+//!    same [`encdict::aggregate`] core either way.
+//!
+//! [`QueryStats`](crate::server::QueryStats) records the chunk count, the
+//! ECALLs and the decrypted-value count, making the headline property
+//! checkable: enclave decryptions are bounded by distinct ValueIDs, not by
+//! row count.
+
+use crate::error::DbError;
+use crate::exec::aggregate::{build_histogram, remap_codes, ColumnCodes};
+use crate::exec::plan::AggregatePlan;
+use crate::server::{CellValue, DbaasServer, SelectResponse, ServerColumn, ServerFilter};
+use colstore::delta::DeltaStore;
+use colstore::dictionary::RecordId;
+use encdict::aggregate::{AggPlanSpec, AggSpec, OutputItem};
+use encdict::enclave_ops::{AggCell, AggColumnData, AggregateRequest};
+use encdict::PlainDictionary;
+
+/// Resolves the distinct touched codes of a PLAIN column to their values
+/// (main dictionary below `dict.len()`, delta rows above).
+fn resolve_plain(dict: &PlainDictionary, delta: &DeltaStore, codes: &[u32]) -> Vec<Vec<u8>> {
+    codes
+        .iter()
+        .map(|&code| {
+            if (code as usize) < dict.len() {
+                dict.value(code as usize).to_vec()
+            } else {
+                delta.value(RecordId(code - dict.len() as u32)).to_vec()
+            }
+        })
+        .collect()
+}
+
+/// Checks a caller-supplied plan for internal consistency (the compiler
+/// produces valid plans; `aggregate` is a public API).
+fn validate_plan(plan: &AggregatePlan) -> Result<(), DbError> {
+    if plan.item_names.len() != plan.items.len() {
+        return Err(DbError::Plan("item names misaligned with items".into()));
+    }
+    for item in &plan.items {
+        let ok = match item {
+            OutputItem::Group(i) => *i < plan.group_cols.len(),
+            OutputItem::Agg(j) => *j < plan.aggregates.len(),
+        };
+        if !ok {
+            return Err(DbError::Plan("plan item out of range".into()));
+        }
+    }
+    for key in &plan.sort {
+        if key.item >= plan.items.len() {
+            return Err(DbError::Plan("sort key out of range".into()));
+        }
+    }
+    Ok(())
+}
+
+impl DbaasServer {
+    /// Executes a grouped aggregation (the `exec` engine's entry point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup, plan-validation and enclave failures.
+    pub fn aggregate(
+        &mut self,
+        table: &str,
+        plan: &AggregatePlan,
+        filters: &[ServerFilter],
+    ) -> Result<SelectResponse, DbError> {
+        validate_plan(plan)?;
+        let parallelism = self.parallelism;
+        let (main_rids, delta_rids, mut stats) = self.matching_rids_multi(table, filters)?;
+
+        // Split borrows: enclave and tables are disjoint fields.
+        let enclave = &mut self.enclave;
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| DbError::TableNotFound(table.to_string()))?;
+
+        // Referenced columns (group keys first, then aggregate inputs),
+        // deduplicated — they define the histogram's tuple order.
+        let mut ref_names: Vec<String> = Vec::new();
+        let mut index_of = |name: &str| -> usize {
+            match ref_names.iter().position(|n| n == name) {
+                Some(i) => i,
+                None => {
+                    ref_names.push(name.to_string());
+                    ref_names.len() - 1
+                }
+            }
+        };
+        let group_cols: Vec<usize> = plan.group_cols.iter().map(|g| index_of(g)).collect();
+        let aggregates: Vec<AggSpec> = plan
+            .aggregates
+            .iter()
+            .map(|a| AggSpec {
+                func: a.func,
+                col: a.column.as_deref().map(&mut index_of),
+            })
+            .collect();
+        let spec = AggPlanSpec {
+            group_cols,
+            aggregates,
+            items: plan.items.clone(),
+            sort: plan.sort.clone(),
+            limit: plan.limit,
+        };
+        let mut ref_cols: Vec<&ServerColumn> = Vec::with_capacity(ref_names.len());
+        for name in &ref_names {
+            let (idx, _) = t
+                .schema
+                .column(name)
+                .ok_or_else(|| DbError::ColumnNotFound(name.clone()))?;
+            ref_cols.push(&t.columns[idx]);
+        }
+
+        // Vectorized chunk scan: matching rows → ValueID-tuple histogram.
+        let scan_start = std::time::Instant::now();
+        let cols: Vec<ColumnCodes<'_>> = ref_cols
+            .iter()
+            .map(|c| ColumnCodes {
+                av: c.av_slice(),
+                main_len: c.main_len(),
+            })
+            .collect();
+        let hist = build_histogram(&cols, &main_rids, &delta_rids, parallelism);
+        stats.av_search_ns += scan_start.elapsed().as_nanos() as u64;
+        stats.chunks_scanned += hist.chunks;
+        let remapped = remap_codes(cols.len(), hist.tuples);
+
+        // Grouped aggregation over the distinct touched values.
+        let agg_start = std::time::Instant::now();
+        let rows: Vec<Vec<CellValue>> = if ref_cols.iter().any(|c| c.is_encrypted()) {
+            let plain_tables: Vec<Option<Vec<Vec<u8>>>> = ref_cols
+                .iter()
+                .enumerate()
+                .map(|(c, col)| match col {
+                    ServerColumn::Plain { dict, delta, .. } => {
+                        Some(resolve_plain(dict, delta, &remapped.codes[c]))
+                    }
+                    ServerColumn::Encrypted { .. } => None,
+                })
+                .collect();
+            let columns: Vec<AggColumnData<'_>> = ref_cols
+                .iter()
+                .enumerate()
+                .map(|(c, col)| match col {
+                    ServerColumn::Encrypted { dict, delta, .. } => AggColumnData::Encrypted {
+                        col_name: &ref_names[c],
+                        main: dict.segment_ref(),
+                        delta: delta.segment_ref(),
+                        codes: &remapped.codes[c],
+                    },
+                    ServerColumn::Plain { .. } => AggColumnData::Plain {
+                        values: plain_tables[c].as_deref().expect("resolved above"),
+                    },
+                })
+                .collect();
+            let reply = enclave.aggregate(AggregateRequest {
+                table_name: &t.schema.name,
+                columns,
+                tuples: &remapped.tuples,
+                plan: &spec,
+            })?;
+            stats.enclave_calls += 1;
+            stats.values_decrypted += reply.values_decrypted;
+            reply
+                .rows
+                .into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .map(|cell| match cell {
+                            AggCell::Encrypted(b) => CellValue::Encrypted(b),
+                            AggCell::Plain(b) => CellValue::Plain(b),
+                        })
+                        .collect()
+                })
+                .collect()
+        } else {
+            let tables: Vec<Vec<Vec<u8>>> = ref_cols
+                .iter()
+                .enumerate()
+                .map(|(c, col)| match col {
+                    ServerColumn::Plain { dict, delta, .. } => {
+                        resolve_plain(dict, delta, &remapped.codes[c])
+                    }
+                    ServerColumn::Encrypted { .. } => unreachable!("checked above"),
+                })
+                .collect();
+            encdict::aggregate::evaluate(&tables, &remapped.tuples, &spec)?
+                .into_iter()
+                .map(|row| row.into_iter().map(CellValue::Plain).collect())
+                .collect()
+        };
+        stats.aggregate_ns += agg_start.elapsed().as_nanos() as u64;
+        stats.result_rows = rows.len();
+        self.last_stats = stats;
+        Ok(SelectResponse {
+            columns: plan.item_names.clone(),
+            rows,
+        })
+    }
+}

@@ -1,0 +1,22 @@
+//! The analytic query-execution subsystem: vectorized GROUP BY /
+//! aggregates / ORDER BY / LIMIT over encrypted dictionaries.
+//!
+//! Dictionary encoding makes warehouse-style aggregation cheap without
+//! extra decryption: grouping and frequency-weighted aggregation run
+//! entirely on ValueIDs in untrusted memory, and the enclave is consulted
+//! once per query with a batched request that decrypts each distinct
+//! touched ValueID exactly once — the same small-TCB split the paper uses
+//! for range search. See DESIGN.md §8 for the architecture and the
+//! leakage discussion per repetition option.
+//!
+//! * [`plan`] — compiling the extended SELECT AST into logical plans.
+//! * [`aggregate`] — the untrusted half: chunked attribute-vector scans
+//!   reducing matching rows to a ValueID-tuple histogram.
+//! * [`executor`] — the server-side driver wiring filter → histogram →
+//!   (enclave | local) aggregation, with boundary accounting.
+//! * [`ordering`] — proxy-side ORDER BY / LIMIT for plain row plans.
+
+pub mod aggregate;
+pub mod executor;
+pub mod ordering;
+pub mod plan;

@@ -1,0 +1,74 @@
+//! ORDER BY / LIMIT application for plain row projections.
+//!
+//! Aggregate plans are sorted where their plaintexts live — inside the
+//! enclave (see [`encdict::aggregate::sort_rows`]) or on the server for
+//! all-PLAIN queries. Row projections of encrypted columns only exist as
+//! ciphertexts on the server, so their ORDER BY runs here, in the trusted
+//! proxy, *after* decryption (which also means a LIMIT cannot reduce
+//! server-side work for row plans — documented in DESIGN.md §8).
+//!
+//! Row values compare bytewise, consistent with the range-query semantics
+//! of the whole pipeline; ties are broken by the full row so the final
+//! order is total and deterministic.
+
+use encdict::aggregate::SortSpec;
+use std::cmp::Ordering;
+
+/// Sorts decrypted rows by the given keys (bytewise, full-row tiebreak).
+/// A no-op when `sort` is empty, preserving the server's row order for
+/// plain selects.
+pub fn sort_rows(rows: &mut [Vec<Vec<u8>>], sort: &[SortSpec]) {
+    if sort.is_empty() {
+        return;
+    }
+    rows.sort_by(|a, b| {
+        for key in sort {
+            let ord = a[key.item].cmp(&b[key.item]);
+            let ord = if key.desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        a.cmp(b)
+    });
+}
+
+/// Applies ORDER BY and LIMIT to decrypted rows.
+pub fn sort_and_limit(rows: &mut Vec<Vec<Vec<u8>>>, sort: &[SortSpec], limit: Option<usize>) {
+    sort_rows(rows, sort);
+    if let Some(n) = limit {
+        rows.truncate(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(a: &str, b: &str) -> Vec<Vec<u8>> {
+        vec![a.as_bytes().to_vec(), b.as_bytes().to_vec()]
+    }
+
+    #[test]
+    fn sorts_desc_with_tiebreak_and_limits() {
+        let mut rows = vec![row("b", "1"), row("a", "2"), row("b", "0"), row("a", "1")];
+        sort_and_limit(
+            &mut rows,
+            &[SortSpec {
+                item: 0,
+                desc: true,
+            }],
+            Some(3),
+        );
+        assert_eq!(rows, vec![row("b", "0"), row("b", "1"), row("a", "1")]);
+    }
+
+    #[test]
+    fn empty_sort_preserves_order() {
+        let mut rows = vec![row("z", "9"), row("a", "0")];
+        sort_and_limit(&mut rows, &[], None);
+        assert_eq!(rows, vec![row("z", "9"), row("a", "0")]);
+        sort_and_limit(&mut rows, &[], Some(1));
+        assert_eq!(rows, vec![row("z", "9")]);
+    }
+}

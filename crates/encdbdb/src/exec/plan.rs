@@ -1,0 +1,335 @@
+//! Logical query plans: compiling the extended SELECT AST against a table
+//! schema.
+//!
+//! A select compiles to one of two plan shapes:
+//!
+//! * [`SelectPlan::Rows`] — a plain projection (`Scan → Filter → Sort →
+//!   Limit`): the server renders matching rows as today; ORDER BY / LIMIT
+//!   are applied by the trusted proxy *after* decryption, since row cells
+//!   of encrypted columns only exist as ciphertexts on the server.
+//! * [`SelectPlan::Aggregate`] — the analytic shape (`Scan → Filter →
+//!   GroupBy → Aggregate → Sort → Limit`): the server reduces matching
+//!   rows to a ValueID histogram and the grouped aggregation runs over
+//!   values resolved once per distinct touched ValueID (inside the enclave
+//!   when any referenced column is encrypted).
+//!
+//! Compilation validates column references, the GROUP BY coverage rule
+//! (every bare select item must be grouped), and ORDER BY targets, and
+//! resolves ORDER BY keys to output positions.
+
+use crate::error::DbError;
+use crate::schema::TableSchema;
+use crate::sql::{OrderKey, OrderTarget, SelectItem};
+use encdict::aggregate::{AggFunc, OutputItem, SortSpec};
+
+/// One aggregate expression of a compiled plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The aggregated column name (`None` only for `COUNT(*)`).
+    pub column: Option<String>,
+}
+
+/// A compiled aggregate plan (GroupBy → Aggregate → Sort → Limit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregatePlan {
+    /// GROUP BY column names, in declaration order.
+    pub group_cols: Vec<String>,
+    /// Aggregates to compute, in SELECT-list order.
+    pub aggregates: Vec<AggExpr>,
+    /// Output items in SELECT-list order.
+    pub items: Vec<OutputItem>,
+    /// Output column names, aligned with `items`.
+    pub item_names: Vec<String>,
+    /// ORDER BY keys resolved to output positions.
+    pub sort: Vec<SortSpec>,
+    /// Optional LIMIT.
+    pub limit: Option<usize>,
+}
+
+/// A compiled select.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectPlan {
+    /// Plain row projection; `columns` empty means all schema columns.
+    Rows {
+        /// Projected column names (empty = `*`).
+        columns: Vec<String>,
+        /// ORDER BY keys resolved to projected positions (applied by the
+        /// proxy after decryption).
+        sort: Vec<SortSpec>,
+        /// Optional LIMIT (applied with the sort).
+        limit: Option<usize>,
+    },
+    /// Grouped aggregation.
+    Aggregate(AggregatePlan),
+}
+
+/// Resolves ORDER BY keys against a list of output column names.
+fn resolve_order(order_by: &[OrderKey], names: &[String]) -> Result<Vec<SortSpec>, DbError> {
+    order_by
+        .iter()
+        .map(|key| {
+            let item = match &key.target {
+                OrderTarget::Position(p) => {
+                    if *p == 0 || *p > names.len() {
+                        return Err(DbError::Plan(format!(
+                            "ORDER BY position {p} outside the {} output columns",
+                            names.len()
+                        )));
+                    }
+                    p - 1
+                }
+                OrderTarget::Column(name) => {
+                    names.iter().position(|n| n == name).ok_or_else(|| {
+                        DbError::Plan(format!("ORDER BY column {name} is not in the output"))
+                    })?
+                }
+            };
+            Ok(SortSpec {
+                item,
+                desc: key.desc,
+            })
+        })
+        .collect()
+}
+
+/// Compiles a parsed SELECT against a schema.
+///
+/// # Errors
+///
+/// Returns [`DbError::ColumnNotFound`] for unknown columns and
+/// [`DbError::Plan`] for shape violations (bare item not grouped, `*` with
+/// GROUP BY, bad ORDER BY target).
+pub fn compile_select(
+    schema: &TableSchema,
+    items: &[SelectItem],
+    group_by: &[String],
+    order_by: &[OrderKey],
+    limit: Option<usize>,
+) -> Result<SelectPlan, DbError> {
+    let check_column = |name: &str| -> Result<(), DbError> {
+        schema
+            .column(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::ColumnNotFound(name.to_string()))
+    };
+    let is_aggregate_query = !group_by.is_empty() || items.iter().any(SelectItem::is_aggregate);
+
+    if !is_aggregate_query {
+        let columns: Vec<String> = items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Column(c) => c.clone(),
+                SelectItem::Aggregate { .. } => unreachable!("no aggregates in a rows plan"),
+            })
+            .collect();
+        for c in &columns {
+            check_column(c)?;
+        }
+        // Resolve ORDER BY against the effective projection (`*` = all
+        // schema columns, in schema order).
+        let effective: Vec<String> = if columns.is_empty() {
+            schema.columns.iter().map(|c| c.name.clone()).collect()
+        } else {
+            columns.clone()
+        };
+        let sort = resolve_order(order_by, &effective)?;
+        return Ok(SelectPlan::Rows {
+            columns,
+            sort,
+            limit,
+        });
+    }
+
+    if items.is_empty() {
+        return Err(DbError::Plan(
+            "SELECT * cannot be combined with GROUP BY".to_string(),
+        ));
+    }
+    for g in group_by {
+        check_column(g)?;
+    }
+    let mut aggregates = Vec::new();
+    let mut plan_items = Vec::with_capacity(items.len());
+    let mut item_names = Vec::with_capacity(items.len());
+    for item in items {
+        item_names.push(item.output_name());
+        match item {
+            SelectItem::Column(name) => {
+                let group_idx = group_by.iter().position(|g| g == name).ok_or_else(|| {
+                    DbError::Plan(format!(
+                        "column {name} must appear in GROUP BY to be selected alongside aggregates"
+                    ))
+                })?;
+                plan_items.push(OutputItem::Group(group_idx));
+            }
+            SelectItem::Aggregate { func, column } => {
+                if let Some(c) = column {
+                    check_column(c)?;
+                }
+                aggregates.push(AggExpr {
+                    func: *func,
+                    column: column.clone(),
+                });
+                plan_items.push(OutputItem::Agg(aggregates.len() - 1));
+            }
+        }
+    }
+    let sort = resolve_order(order_by, &item_names)?;
+    Ok(SelectPlan::Aggregate(AggregatePlan {
+        group_cols: group_by.to_vec(),
+        aggregates,
+        items: plan_items,
+        item_names,
+        sort,
+        limit,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnSpec, DictChoice};
+    use crate::sql::parse;
+    use encdict::EdKind;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnSpec::new("a", DictChoice::Encrypted(EdKind::Ed5), 8),
+                ColumnSpec::new("b", DictChoice::Encrypted(EdKind::Ed1), 8),
+                ColumnSpec::new("p", DictChoice::Plain, 8),
+            ],
+        )
+    }
+
+    fn compile(sql: &str) -> Result<SelectPlan, DbError> {
+        match parse(sql).unwrap() {
+            crate::sql::Statement::Select {
+                items,
+                filter: _,
+                group_by,
+                order_by,
+                limit,
+                ..
+            } => compile_select(&schema(), &items, &group_by, &order_by, limit),
+            other => panic!("not a select: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_select_compiles_to_rows() {
+        let plan = compile("SELECT a, b FROM t ORDER BY b DESC LIMIT 3").unwrap();
+        assert_eq!(
+            plan,
+            SelectPlan::Rows {
+                columns: vec!["a".into(), "b".into()],
+                sort: vec![SortSpec {
+                    item: 1,
+                    desc: true
+                }],
+                limit: Some(3),
+            }
+        );
+        // Star projection resolves ORDER BY against schema order.
+        let plan = compile("SELECT * FROM t ORDER BY p").unwrap();
+        assert_eq!(
+            plan,
+            SelectPlan::Rows {
+                columns: vec![],
+                sort: vec![SortSpec {
+                    item: 2,
+                    desc: false
+                }],
+                limit: None,
+            }
+        );
+    }
+
+    #[test]
+    fn aggregate_select_compiles() {
+        let plan = compile("SELECT a, SUM(b), COUNT(*) FROM t GROUP BY a ORDER BY 2 DESC LIMIT 10");
+        let SelectPlan::Aggregate(plan) = plan.unwrap() else {
+            panic!("expected aggregate plan");
+        };
+        assert_eq!(plan.group_cols, vec!["a"]);
+        assert_eq!(
+            plan.aggregates,
+            vec![
+                AggExpr {
+                    func: AggFunc::Sum,
+                    column: Some("b".into())
+                },
+                AggExpr {
+                    func: AggFunc::Count,
+                    column: None
+                },
+            ]
+        );
+        assert_eq!(
+            plan.items,
+            vec![OutputItem::Group(0), OutputItem::Agg(0), OutputItem::Agg(1)]
+        );
+        assert_eq!(plan.item_names, vec!["a", "sum(b)", "count"]);
+        assert_eq!(
+            plan.sort,
+            vec![SortSpec {
+                item: 1,
+                desc: true
+            }]
+        );
+        assert_eq!(plan.limit, Some(10));
+    }
+
+    #[test]
+    fn group_by_without_aggregates_is_distinct() {
+        let plan = compile("SELECT a FROM t GROUP BY a").unwrap();
+        assert!(matches!(plan, SelectPlan::Aggregate(_)));
+    }
+
+    #[test]
+    fn order_by_output_name_resolves() {
+        let SelectPlan::Aggregate(plan) =
+            compile("SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY count DESC").unwrap()
+        else {
+            panic!("expected aggregate plan");
+        };
+        assert_eq!(
+            plan.sort,
+            vec![SortSpec {
+                item: 1,
+                desc: true
+            }]
+        );
+    }
+
+    #[test]
+    fn shape_violations_are_rejected() {
+        assert!(matches!(
+            compile("SELECT a, SUM(b) FROM t"),
+            Err(DbError::Plan(_))
+        ));
+        assert!(matches!(
+            compile("SELECT * FROM t GROUP BY a"),
+            Err(DbError::Plan(_))
+        ));
+        assert!(matches!(
+            compile("SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY 3"),
+            Err(DbError::Plan(_))
+        ));
+        assert!(matches!(
+            compile("SELECT a FROM t ORDER BY missing"),
+            Err(DbError::Plan(_))
+        ));
+        assert!(matches!(
+            compile("SELECT SUM(nope) FROM t"),
+            Err(DbError::ColumnNotFound(_))
+        ));
+        assert!(matches!(
+            compile("SELECT b FROM t GROUP BY nope"),
+            Err(DbError::ColumnNotFound(_))
+        ));
+    }
+}

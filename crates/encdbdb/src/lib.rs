@@ -13,6 +13,9 @@
 //!   encryption of filters, decryption of results (steps 5 + 14).
 //! * [`server`] — the untrusted DBaaS server: storage, query evaluation
 //!   engine, delta stores, merges (steps 6–13).
+//! * [`exec`] — the analytic query engine: vectorized GROUP BY /
+//!   aggregates / ORDER BY / LIMIT over ValueID histograms, with one
+//!   enclave consultation per query.
 //! * [`session`] — an in-process deployment of all components.
 //!
 //! # Quickstart
@@ -25,6 +28,23 @@
 //! db.execute("INSERT INTO people VALUES ('Jessica', 'Karlsruhe'), ('Archie', 'Waterloo')")?;
 //! let r = db.execute("SELECT city FROM people WHERE fname >= 'B'")?;
 //! assert_eq!(r.rows_as_strings(), vec![vec!["Karlsruhe".to_string()]]);
+//!
+//! // Analytic queries run on ValueID histograms; the enclave decrypts
+//! // each distinct touched value once (see the `exec` module).
+//! db.execute("CREATE TABLE sales (region ED5(8), price ED9(6))")?;
+//! db.execute(
+//!     "INSERT INTO sales VALUES ('emea', '0100'), ('emea', '0250'), ('apj', '0075')",
+//! )?;
+//! let r = db.execute(
+//!     "SELECT region, SUM(price) FROM sales GROUP BY region ORDER BY 2 DESC LIMIT 2",
+//! )?;
+//! assert_eq!(
+//!     r.rows_as_strings(),
+//!     vec![
+//!         vec!["emea".to_string(), "350".to_string()],
+//!         vec!["apj".to_string(), "75".to_string()],
+//!     ]
+//! );
 //! # Ok::<(), encdbdb::DbError>(())
 //! ```
 
@@ -32,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod exec;
 pub mod owner;
 pub mod proxy;
 pub mod schema;
@@ -40,8 +61,9 @@ pub mod session;
 pub mod sql;
 
 pub use error::DbError;
+pub use exec::plan::{AggregatePlan, SelectPlan};
 pub use owner::DataOwner;
 pub use proxy::{Proxy, QueryResult};
 pub use schema::{ColumnSpec, DictChoice, TableSchema};
-pub use server::{DbaasServer, DeployedColumn, QueryStats};
+pub use server::{DbaasServer, DeployedColumn, QueryOutcome, QueryStats, ServerQuery};
 pub use session::Session;

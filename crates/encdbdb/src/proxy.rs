@@ -7,12 +7,17 @@
 //! result columns — the whole process is transparent to the application.
 
 use crate::error::DbError;
+use crate::exec::ordering;
+use crate::exec::plan::{compile_select, AggregatePlan, SelectPlan};
 use crate::schema::{ColumnSpec, DictChoice, TableSchema};
-use crate::server::{CellValue, DbaasServer, ServerFilter};
+use crate::server::{
+    CellValue, DbaasServer, QueryOutcome, SelectResponse, ServerFilter, ServerQuery,
+};
 use crate::sql::{parse, CompareOp, Filter, Statement};
 use encdbdb_crypto::hkdf::derive_column_key;
 use encdbdb_crypto::keys::Key128;
 use encdbdb_crypto::Pae;
+use encdict::aggregate::{AggFunc, OutputItem};
 use encdict::enclave_ops::{decrypt_column_value, encrypt_value_for_column};
 use encdict::{EncryptedRange, RangeBound, RangeQuery};
 use rand::Rng;
@@ -248,71 +253,67 @@ impl Proxy {
                     }
                     cells.push(out);
                 }
-                let n = server.insert(&table, &cells)?;
+                let outcome = server.execute_query(ServerQuery::Insert { table, rows: cells })?;
+                let QueryOutcome::Affected(n) = outcome else {
+                    unreachable!("insert returns an affected count");
+                };
                 Ok(QueryResult {
                     columns: vec!["inserted".to_string()],
                     rows: vec![vec![n.to_string().into_bytes()]],
                 })
             }
             Statement::Select {
-                columns,
+                items,
                 table,
                 filter,
+                group_by,
+                order_by,
+                limit,
             } => {
                 let schema = server.schema(&table)?.clone();
-                let server_filters =
-                    self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
-                let response = server.select_multi(&table, &columns, &server_filters)?;
-                // Step 14: decrypt every entry of each encrypted result
-                // column with the column-specific key.
-                let mut paes: Vec<Option<Pae>> = Vec::with_capacity(response.columns.len());
-                for name in &response.columns {
-                    let (_, spec) = schema
-                        .column(name)
-                        .ok_or_else(|| DbError::ColumnNotFound(name.clone()))?;
-                    paes.push(match spec.choice {
-                        DictChoice::Encrypted(_) => Some(self.column_pae(&table, name)),
-                        DictChoice::Plain => None,
-                    });
-                }
-                let mut rows = Vec::with_capacity(response.rows.len());
-                for row in response.rows {
-                    let mut out = Vec::with_capacity(row.len());
-                    for (cell, pae) in row.into_iter().zip(&paes) {
-                        out.push(match (cell, pae) {
-                            (CellValue::Encrypted(ct), Some(pae)) => {
-                                decrypt_column_value(pae, &ct)?
-                            }
-                            (CellValue::Plain(v), None) => v,
-                            _ => {
-                                return Err(DbError::UnsupportedFilter(
-                                    "cell form does not match column protection".to_string(),
-                                ))
-                            }
-                        });
+                let plan = compile_select(&schema, &items, &group_by, &order_by, limit)?;
+                let filters = self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
+                match plan {
+                    SelectPlan::Rows {
+                        columns,
+                        sort,
+                        limit,
+                    } => {
+                        let outcome = server.execute_query(ServerQuery::Select {
+                            table: table.clone(),
+                            columns,
+                            filters,
+                        })?;
+                        let QueryOutcome::Rows(response) = outcome else {
+                            unreachable!("select returns rows");
+                        };
+                        let mut result = self.decrypt_rows(&schema, &table, response)?;
+                        // ORDER BY / LIMIT over row plans run here, after
+                        // decryption — encrypted cells are not sortable on
+                        // the server.
+                        ordering::sort_and_limit(&mut result.rows, &sort, limit);
+                        Ok(result)
                     }
-                    rows.push(out);
+                    SelectPlan::Aggregate(plan) => {
+                        let outcome = server.execute_query(ServerQuery::Aggregate {
+                            table: table.clone(),
+                            plan: plan.clone(),
+                            filters,
+                        })?;
+                        let QueryOutcome::Rows(response) = outcome else {
+                            unreachable!("aggregate returns rows");
+                        };
+                        self.decrypt_aggregate_rows(&schema, &table, &plan, response)
+                    }
                 }
-                Ok(QueryResult {
-                    columns: response.columns,
-                    rows,
-                })
-            }
-            Statement::SelectCount { table, filter } => {
-                let schema = server.schema(&table)?.clone();
-                let server_filters =
-                    self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
-                let n = server.count_multi(&table, &server_filters)?;
-                Ok(QueryResult {
-                    columns: vec!["count".to_string()],
-                    rows: vec![vec![n.to_string().into_bytes()]],
-                })
             }
             Statement::Delete { table, filter } => {
                 let schema = server.schema(&table)?.clone();
-                let server_filters =
-                    self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
-                let n = server.delete_multi(&table, &server_filters)?;
+                let filters = self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
+                let outcome = server.execute_query(ServerQuery::Delete { table, filters })?;
+                let QueryOutcome::Affected(n) = outcome else {
+                    unreachable!("delete returns an affected count");
+                };
                 Ok(QueryResult {
                     columns: vec!["deleted".to_string()],
                     rows: vec![vec![n.to_string().into_bytes()]],
@@ -320,6 +321,98 @@ impl Proxy {
             }
         }
     }
+
+    /// Step 14 for row plans: decrypt every entry of each encrypted result
+    /// column with the column-specific key.
+    fn decrypt_rows(
+        &self,
+        schema: &TableSchema,
+        table: &str,
+        response: SelectResponse,
+    ) -> Result<QueryResult, DbError> {
+        let mut paes: Vec<Option<Pae>> = Vec::with_capacity(response.columns.len());
+        for name in &response.columns {
+            let (_, spec) = schema
+                .column(name)
+                .ok_or_else(|| DbError::ColumnNotFound(name.clone()))?;
+            paes.push(match spec.choice {
+                DictChoice::Encrypted(_) => Some(self.column_pae(table, name)),
+                DictChoice::Plain => None,
+            });
+        }
+        let rows = decrypt_cells(response.rows, &paes)?;
+        Ok(QueryResult {
+            columns: response.columns,
+            rows,
+        })
+    }
+
+    /// Step 14 for aggregate plans: each output item decrypts under the
+    /// key of the column it derives from (group key → that column;
+    /// SUM/MIN/MAX/AVG → the aggregated column; COUNT → plaintext).
+    fn decrypt_aggregate_rows(
+        &self,
+        schema: &TableSchema,
+        table: &str,
+        plan: &AggregatePlan,
+        response: SelectResponse,
+    ) -> Result<QueryResult, DbError> {
+        let mut paes: Vec<Option<Pae>> = Vec::with_capacity(plan.items.len());
+        for item in &plan.items {
+            let source = match item {
+                OutputItem::Group(i) => Some(plan.group_cols[*i].as_str()),
+                OutputItem::Agg(j) => {
+                    let agg = &plan.aggregates[*j];
+                    if agg.func == AggFunc::Count {
+                        None
+                    } else {
+                        agg.column.as_deref()
+                    }
+                }
+            };
+            paes.push(match source {
+                Some(name) => {
+                    let (_, spec) = schema
+                        .column(name)
+                        .ok_or_else(|| DbError::ColumnNotFound(name.to_string()))?;
+                    match spec.choice {
+                        DictChoice::Encrypted(_) => Some(self.column_pae(table, name)),
+                        DictChoice::Plain => None,
+                    }
+                }
+                None => None,
+            });
+        }
+        let rows = decrypt_cells(response.rows, &paes)?;
+        Ok(QueryResult {
+            columns: response.columns,
+            rows,
+        })
+    }
+}
+
+/// Decrypts a cell matrix against per-column optional keys.
+fn decrypt_cells(
+    rows: Vec<Vec<CellValue>>,
+    paes: &[Option<Pae>],
+) -> Result<Vec<Vec<Vec<u8>>>, DbError> {
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut out = Vec::with_capacity(row.len());
+        for (cell, pae) in row.into_iter().zip(paes) {
+            out.push(match (cell, pae) {
+                (CellValue::Encrypted(ct), Some(pae)) => decrypt_column_value(pae, &ct)?,
+                (CellValue::Plain(v), None) => v,
+                _ => {
+                    return Err(DbError::UnsupportedFilter(
+                        "cell form does not match column protection".to_string(),
+                    ))
+                }
+            });
+        }
+        out_rows.push(out);
+    }
+    Ok(out_rows)
 }
 
 /// Intersects two ranges from an `AND` conjunction on one column.

@@ -61,14 +61,23 @@ impl ServerFilter {
 /// A decomposed query as produced by the proxy.
 #[derive(Debug, Clone)]
 pub enum ServerQuery {
-    /// Range select over one table.
+    /// Range select over one table with a conjunction of filters.
     Select {
         /// Source table.
         table: String,
         /// Projected columns; empty means all.
         columns: Vec<String>,
-        /// Optional single-column filter.
-        filter: Option<ServerFilter>,
+        /// Per-column filters (conjunction; empty selects everything).
+        filters: Vec<ServerFilter>,
+    },
+    /// Grouped aggregation (the `exec` engine).
+    Aggregate {
+        /// Source table.
+        table: String,
+        /// The compiled aggregate plan.
+        plan: crate::exec::plan::AggregatePlan,
+        /// Per-column filters (conjunction; empty aggregates everything).
+        filters: Vec<ServerFilter>,
     },
     /// Append rows (delta store).
     Insert {
@@ -81,9 +90,18 @@ pub enum ServerQuery {
     Delete {
         /// Target table.
         table: String,
-        /// Optional filter (`None` deletes everything).
-        filter: Option<ServerFilter>,
+        /// Per-column filters (conjunction; empty deletes everything).
+        filters: Vec<ServerFilter>,
     },
+}
+
+/// The server's reply to a [`ServerQuery`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Result rows of a select or aggregate.
+    Rows(SelectResponse),
+    /// Number of rows inserted or deleted.
+    Affected(usize),
 }
 
 /// The server's reply to a select.
@@ -96,22 +114,34 @@ pub struct SelectResponse {
 }
 
 /// Execution statistics for one query (latency breakdowns for the
-/// Figure 8 harness).
+/// Figure 8 harness, plus the `exec` engine's boundary accounting).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Nanoseconds spent in the enclave dictionary search.
     pub dict_search_ns: u64,
-    /// Nanoseconds spent scanning the attribute vector.
+    /// Nanoseconds spent scanning the attribute vector (including the
+    /// histogram scan of aggregate queries).
     pub av_search_ns: u64,
+    /// Nanoseconds spent in the enclave aggregation ECALL (or the local
+    /// aggregation for all-PLAIN queries).
+    pub aggregate_ns: u64,
     /// Nanoseconds spent rendering the result columns.
     pub render_ns: u64,
-    /// Number of result rows.
+    /// Number of result rows (groups for aggregate queries).
     pub result_rows: usize,
+    /// Number of [`CHUNK_ROWS`](crate::exec::aggregate::CHUNK_ROWS)-row
+    /// chunks scanned by the vectorized histogram executor.
+    pub chunks_scanned: usize,
+    /// Number of enclave ECALLs issued while evaluating the query.
+    pub enclave_calls: usize,
+    /// Number of dictionary values decrypted inside the enclave — bounded
+    /// by the distinct touched ValueIDs, never by the row count.
+    pub values_decrypted: usize,
 }
 
 /// Storage of one column on the server.
 #[derive(Debug)]
-enum ServerColumn {
+pub(crate) enum ServerColumn {
     Encrypted {
         dict: EncryptedDictionary,
         av: AttributeVector,
@@ -124,6 +154,28 @@ enum ServerColumn {
     },
 }
 
+impl ServerColumn {
+    /// Whether the column is protected by an encrypted dictionary.
+    pub(crate) fn is_encrypted(&self) -> bool {
+        matches!(self, ServerColumn::Encrypted { .. })
+    }
+
+    /// The attribute-vector ValueIDs of the main store.
+    pub(crate) fn av_slice(&self) -> &[u32] {
+        match self {
+            ServerColumn::Encrypted { av, .. } | ServerColumn::Plain { av, .. } => av.as_slice(),
+        }
+    }
+
+    /// The main dictionary length (= offset of the delta code space).
+    pub(crate) fn main_len(&self) -> usize {
+        match self {
+            ServerColumn::Encrypted { dict, .. } => dict.len(),
+            ServerColumn::Plain { dict, .. } => dict.len(),
+        }
+    }
+}
+
 /// A deployed column as prepared by the data owner (step 3/4 of Fig. 5).
 #[derive(Debug)]
 pub enum DeployedColumn {
@@ -134,9 +186,9 @@ pub enum DeployedColumn {
 }
 
 #[derive(Debug)]
-struct ServerTable {
-    schema: TableSchema,
-    columns: Vec<ServerColumn>,
+pub(crate) struct ServerTable {
+    pub(crate) schema: TableSchema,
+    pub(crate) columns: Vec<ServerColumn>,
     main_rows: usize,
     main_validity: ValidityVector,
     delta_rows: usize,
@@ -146,11 +198,11 @@ struct ServerTable {
 /// The DBaaS server.
 #[derive(Debug)]
 pub struct DbaasServer {
-    enclave: DictEnclave,
-    tables: HashMap<String, ServerTable>,
-    parallelism: Parallelism,
+    pub(crate) enclave: DictEnclave,
+    pub(crate) tables: HashMap<String, ServerTable>,
+    pub(crate) parallelism: Parallelism,
     set_strategy: SetSearchStrategy,
-    last_stats: QueryStats,
+    pub(crate) last_stats: QueryStats,
 }
 
 impl DbaasServer {
@@ -418,7 +470,7 @@ impl DbaasServer {
 
     /// Conjunction of filters: intersects the per-filter RecordID lists
     /// (all are ascending, so the intersection is a linear merge).
-    fn matching_rids_multi(
+    pub(crate) fn matching_rids_multi(
         &mut self,
         table: &str,
         filters: &[ServerFilter],
@@ -432,6 +484,7 @@ impl DbaasServer {
             let (main, delta, s) = self.matching_rids(table, Some(f))?;
             stats.dict_search_ns += s.dict_search_ns;
             stats.av_search_ns += s.av_search_ns;
+            stats.enclave_calls += s.enclave_calls;
             acc = Some(match acc {
                 None => (main, delta),
                 Some((am, ad)) => (intersect_sorted(&am, &main), intersect_sorted(&ad, &delta)),
@@ -483,10 +536,17 @@ impl DbaasServer {
                 let dict_start = std::time::Instant::now();
                 let result = enclave.search(dict, range)?;
                 stats.dict_search_ns = dict_start.elapsed().as_nanos() as u64;
+                stats.enclave_calls += 1;
                 let av_start = std::time::Instant::now();
                 let main = avsearch::search(av, &result, dict.len(), strategy, parallelism);
                 stats.av_search_ns = av_start.elapsed().as_nanos() as u64;
-                let delta_rids = delta.search(enclave, range)?;
+                // The empty delta of a never-inserted table needs no ECALL.
+                let delta_rids = if delta.is_empty() {
+                    Vec::new()
+                } else {
+                    stats.enclave_calls += 1;
+                    delta.search(enclave, range)?
+                };
                 (main, delta_rids)
             }
             (ServerColumn::Plain { dict, av, delta }, ServerFilter::Plain { range, .. }) => {
@@ -520,15 +580,15 @@ impl DbaasServer {
         Ok((main, delta, stats))
     }
 
-    /// Counts matching valid rows without rendering result columns — the
-    /// count aggregation the paper notes is easier than range search.
+    /// Counts matching valid rows without rendering result columns — a
+    /// thin wrapper over [`DbaasServer::count_multi`] (the count
+    /// aggregation the paper notes is easier than range search).
     ///
     /// # Errors
     ///
     /// Propagates lookup and enclave failures.
     pub fn count(&mut self, table: &str, filter: Option<&ServerFilter>) -> Result<usize, DbError> {
-        let (main, delta, _) = self.matching_rids(table, filter)?;
-        Ok(main.len() + delta.len())
+        self.count_multi(table, filter.map(std::slice::from_ref).unwrap_or(&[]))
     }
 
     /// Counts rows matching a conjunction of filters.
@@ -607,21 +667,44 @@ impl DbaasServer {
     }
 
     /// Invalidates matching rows (§4.3: "deletions are realizable by an
-    /// update on the validity bit").
+    /// update on the validity bit") — a thin wrapper over
+    /// [`DbaasServer::delete_multi`].
     ///
     /// # Errors
     ///
     /// Propagates lookup and enclave failures.
     pub fn delete(&mut self, table: &str, filter: Option<&ServerFilter>) -> Result<usize, DbError> {
-        let (main_rids, delta_rids, _) = self.matching_rids(table, filter)?;
-        let t = self.table_mut(table)?;
-        for rid in &main_rids {
-            t.main_validity.invalidate(rid.0 as usize);
+        self.delete_multi(table, filter.map(std::slice::from_ref).unwrap_or(&[]))
+    }
+
+    /// Executes a decomposed [`ServerQuery`] — the single entry point the
+    /// proxy routes all data-path queries through, including aggregate
+    /// plans.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup, arity and enclave failures.
+    pub fn execute_query(&mut self, query: ServerQuery) -> Result<QueryOutcome, DbError> {
+        match query {
+            ServerQuery::Select {
+                table,
+                columns,
+                filters,
+            } => Ok(QueryOutcome::Rows(
+                self.select_multi(&table, &columns, &filters)?,
+            )),
+            ServerQuery::Aggregate {
+                table,
+                plan,
+                filters,
+            } => Ok(QueryOutcome::Rows(self.aggregate(&table, &plan, &filters)?)),
+            ServerQuery::Insert { table, rows } => {
+                Ok(QueryOutcome::Affected(self.insert(&table, &rows)?))
+            }
+            ServerQuery::Delete { table, filters } => {
+                Ok(QueryOutcome::Affected(self.delete_multi(&table, &filters)?))
+            }
         }
-        for rid in &delta_rids {
-            t.delta_validity.invalidate(rid.0 as usize);
-        }
-        Ok(main_rids.len() + delta_rids.len())
     }
 
     /// Merges every column's delta store into a freshly rebuilt main store

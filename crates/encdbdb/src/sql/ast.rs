@@ -1,6 +1,8 @@
 //! SQL abstract syntax tree.
 
 use crate::schema::DictChoice;
+use encdict::aggregate::AggFunc;
+use std::fmt;
 
 /// A column definition in a `CREATE TABLE` statement, e.g. `c1 ED5(12)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +30,18 @@ pub enum CompareOp {
     Gt,
     /// `>=`
     Ge,
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CompareOp::Eq => "=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        })
+    }
 }
 
 /// A filter over a single column.
@@ -77,6 +91,103 @@ impl Filter {
     }
 }
 
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Filter::Compare { column, op, value } => {
+                write!(f, "{column} {op} {}", quote(value))
+            }
+            Filter::Between { column, low, high } => {
+                write!(f, "{column} BETWEEN {} AND {}", quote(low), quote(high))
+            }
+            Filter::And(a, b) => write!(f, "{a} AND {b}"),
+        }
+    }
+}
+
+/// One item of a SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// A bare column reference.
+    Column(String),
+    /// An aggregate, e.g. `SUM(price)` or `COUNT(*)` (`column` is `None`
+    /// only for `COUNT(*)`).
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The aggregated column (`None` for `COUNT(*)`).
+        column: Option<String>,
+    },
+}
+
+impl SelectItem {
+    /// The output column name of this item (`count`, `sum(price)`, ...).
+    pub fn output_name(&self) -> String {
+        match self {
+            SelectItem::Column(c) => c.clone(),
+            SelectItem::Aggregate {
+                func: AggFunc::Count,
+                ..
+            } => "count".to_string(),
+            SelectItem::Aggregate {
+                func,
+                column: Some(c),
+            } => format!("{}({c})", func.to_string().to_lowercase()),
+            SelectItem::Aggregate { func, column: None } => {
+                format!("{}(*)", func.to_string().to_lowercase())
+            }
+        }
+    }
+
+    /// Whether this item is an aggregate.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, SelectItem::Aggregate { .. })
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Column(c) => f.write_str(c),
+            SelectItem::Aggregate { func, column } => match column {
+                Some(c) => write!(f, "{func}({c})"),
+                None => write!(f, "{func}(*)"),
+            },
+        }
+    }
+}
+
+/// What an ORDER BY key refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderTarget {
+    /// A 1-based output position (`ORDER BY 2`).
+    Position(usize),
+    /// An output column by name.
+    Column(String),
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderKey {
+    /// The sort target.
+    pub target: OrderTarget,
+    /// Descending order if set (`DESC`); ascending otherwise.
+    pub desc: bool,
+}
+
+impl fmt::Display for OrderKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.target {
+            OrderTarget::Position(p) => write!(f, "{p}")?,
+            OrderTarget::Column(c) => f.write_str(c)?,
+        }
+        if self.desc {
+            f.write_str(" DESC")?;
+        }
+        Ok(())
+    }
+}
+
 /// A parsed SQL statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Statement {
@@ -94,23 +205,22 @@ pub enum Statement {
         /// Rows of values.
         rows: Vec<Vec<Vec<u8>>>,
     },
-    /// `SELECT a, b FROM t WHERE c >= 'x'`
+    /// `SELECT a, SUM(b) FROM t WHERE c >= 'x' GROUP BY a ORDER BY 2 DESC
+    /// LIMIT 10` — the analytic select shape. Plain selects are the special
+    /// case with only [`SelectItem::Column`] items and no GROUP BY.
     Select {
-        /// Selected column names; empty means `*`.
-        columns: Vec<String>,
+        /// Select-list items; empty means `*`.
+        items: Vec<SelectItem>,
         /// Source table.
         table: String,
         /// Optional filter.
         filter: Option<Filter>,
-    },
-    /// `SELECT COUNT(*) FROM t WHERE c >= 'x'` — the count aggregation the
-    /// paper notes is "easier to support than range searches" (§4.2); the
-    /// server counts matching RecordIDs without rendering any ciphertexts.
-    SelectCount {
-        /// Source table.
-        table: String,
-        /// Optional filter.
-        filter: Option<Filter>,
+        /// GROUP BY columns (empty when absent).
+        group_by: Vec<String>,
+        /// ORDER BY keys (empty when absent).
+        order_by: Vec<OrderKey>,
+        /// Optional LIMIT.
+        limit: Option<usize>,
     },
     /// `DELETE FROM t WHERE c = 'x'`
     Delete {
@@ -119,6 +229,85 @@ pub enum Statement {
         /// Optional filter (`None` deletes all rows).
         filter: Option<Filter>,
     },
+}
+
+/// Renders a value as a single-quoted SQL literal (doubling embedded
+/// quotes). Values are shown as lossy UTF-8 — `Display` round-trips for
+/// statements whose literals are valid UTF-8, which is what the grammar
+/// tests generate.
+fn quote(value: &[u8]) -> String {
+    format!("'{}'", String::from_utf8_lossy(value).replace('\'', "''"))
+}
+
+fn join<T: fmt::Display>(items: &[T]) -> String {
+    items
+        .iter()
+        .map(T::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable { name, columns } => {
+                let cols: Vec<String> = columns
+                    .iter()
+                    .map(|c| match c.bs_max {
+                        Some(bs) => format!("{} {}({}, {bs})", c.name, c.choice, c.max_len),
+                        None => format!("{} {}({})", c.name, c.choice, c.max_len),
+                    })
+                    .collect();
+                write!(f, "CREATE TABLE {name} ({})", cols.join(", "))
+            }
+            Statement::Insert { table, rows } => {
+                let rows: Vec<String> = rows
+                    .iter()
+                    .map(|r| {
+                        format!(
+                            "({})",
+                            r.iter().map(|v| quote(v)).collect::<Vec<_>>().join(", ")
+                        )
+                    })
+                    .collect();
+                write!(f, "INSERT INTO {table} VALUES {}", rows.join(", "))
+            }
+            Statement::Select {
+                items,
+                table,
+                filter,
+                group_by,
+                order_by,
+                limit,
+            } => {
+                if items.is_empty() {
+                    write!(f, "SELECT * FROM {table}")?;
+                } else {
+                    write!(f, "SELECT {} FROM {table}", join(items))?;
+                }
+                if let Some(filter) = filter {
+                    write!(f, " WHERE {filter}")?;
+                }
+                if !group_by.is_empty() {
+                    write!(f, " GROUP BY {}", group_by.join(", "))?;
+                }
+                if !order_by.is_empty() {
+                    write!(f, " ORDER BY {}", join(order_by))?;
+                }
+                if let Some(n) = limit {
+                    write!(f, " LIMIT {n}")?;
+                }
+                Ok(())
+            }
+            Statement::Delete { table, filter } => {
+                write!(f, "DELETE FROM {table}")?;
+                if let Some(filter) = filter {
+                    write!(f, " WHERE {filter}")?;
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +343,65 @@ mod tests {
             }),
         );
         assert_eq!(mixed.column(), None);
+    }
+
+    #[test]
+    fn display_renders_canonical_sql() {
+        let stmt = Statement::Select {
+            items: vec![
+                SelectItem::Column("a".into()),
+                SelectItem::Aggregate {
+                    func: AggFunc::Sum,
+                    column: Some("b".into()),
+                },
+            ],
+            table: "t".into(),
+            filter: Some(Filter::Between {
+                column: "b".into(),
+                low: b"x".to_vec(),
+                high: b"y".to_vec(),
+            }),
+            group_by: vec!["a".into()],
+            order_by: vec![OrderKey {
+                target: OrderTarget::Position(2),
+                desc: true,
+            }],
+            limit: Some(10),
+        };
+        assert_eq!(
+            stmt.to_string(),
+            "SELECT a, SUM(b) FROM t WHERE b BETWEEN 'x' AND 'y' \
+             GROUP BY a ORDER BY 2 DESC LIMIT 10"
+        );
+    }
+
+    #[test]
+    fn display_quotes_embedded_quotes() {
+        let stmt = Statement::Insert {
+            table: "t".into(),
+            rows: vec![vec![b"it's".to_vec()]],
+        };
+        assert_eq!(stmt.to_string(), "INSERT INTO t VALUES ('it''s')");
+    }
+
+    #[test]
+    fn output_names() {
+        assert_eq!(
+            SelectItem::Aggregate {
+                func: AggFunc::Count,
+                column: None
+            }
+            .output_name(),
+            "count"
+        );
+        assert_eq!(
+            SelectItem::Aggregate {
+                func: AggFunc::Avg,
+                column: Some("p".into())
+            }
+            .output_name(),
+            "avg(p)"
+        );
+        assert_eq!(SelectItem::Column("c".into()).output_name(), "c");
     }
 }

@@ -1,13 +1,20 @@
 //! A small SQL front end for EncDBDB.
 //!
 //! The supported subset mirrors what the paper's pipeline handles (Fig. 5
-//! steps 5–6): `CREATE TABLE` with encrypted-dictionary column types,
-//! `INSERT`, `SELECT` with single-column filters (equality, inequality,
-//! greater/less than, `BETWEEN`), and `DELETE` with the same filters.
+//! steps 5–6) plus the analytic extension of the `exec` engine:
+//! `CREATE TABLE` with encrypted-dictionary column types, `INSERT`,
+//! `SELECT` with single-column filters (equality, inequality,
+//! greater/less than, `BETWEEN`), aggregates (`COUNT(*)`, `SUM`, `MIN`,
+//! `MAX`, `AVG`), `GROUP BY`, `ORDER BY ... [ASC|DESC]`, `LIMIT`, and
+//! `DELETE` with the same filters.
+//!
+//! [`Statement`] implements [`std::fmt::Display`], producing canonical SQL
+//! that parses back to an equal statement (property-tested in
+//! `tests/sql_fuzz.rs`).
 
 pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{ColumnDef, CompareOp, Filter, Statement};
+pub use ast::{ColumnDef, CompareOp, Filter, OrderKey, OrderTarget, SelectItem, Statement};
 pub use parser::parse;

@@ -1,9 +1,10 @@
 //! Recursive-descent SQL parser.
 
-use super::ast::{ColumnDef, CompareOp, Filter, Statement};
+use super::ast::{ColumnDef, CompareOp, Filter, OrderKey, OrderTarget, SelectItem, Statement};
 use super::lexer::{tokenize, Token};
 use crate::error::DbError;
 use crate::schema::DictChoice;
+use encdict::aggregate::AggFunc;
 use encdict::EdKind;
 
 struct Parser {
@@ -157,29 +158,36 @@ impl Parser {
         Ok(Statement::Insert { table, rows })
     }
 
+    /// One SELECT-list item: a column reference or an aggregate call.
+    fn select_item(&mut self) -> Result<SelectItem, DbError> {
+        let name = self.ident()?;
+        let func = AggFunc::parse(&name);
+        if self.peek() != Some(&Token::LParen) {
+            return Ok(SelectItem::Column(name));
+        }
+        let Some(func) = func else {
+            return Err(self.err(format!("unknown aggregate function: {name}")));
+        };
+        self.expect(&Token::LParen)?;
+        let column = if func == AggFunc::Count {
+            // The paper's count aggregation is `COUNT(*)` only.
+            self.expect(&Token::Star)?;
+            None
+        } else {
+            Some(self.ident()?)
+        };
+        self.expect(&Token::RParen)?;
+        Ok(SelectItem::Aggregate { func, column })
+    }
+
     fn select(&mut self) -> Result<Statement, DbError> {
         self.expect_keyword("SELECT")?;
-        if self.peek_keyword("COUNT") {
-            self.next();
-            self.expect(&Token::LParen)?;
-            self.expect(&Token::Star)?;
-            self.expect(&Token::RParen)?;
-            self.expect_keyword("FROM")?;
-            let table = self.ident()?;
-            let filter = if self.peek_keyword("WHERE") {
-                self.next();
-                Some(self.filter()?)
-            } else {
-                None
-            };
-            return Ok(Statement::SelectCount { table, filter });
-        }
-        let mut columns = Vec::new();
+        let mut items = Vec::new();
         if self.peek() == Some(&Token::Star) {
             self.next();
         } else {
             loop {
-                columns.push(self.ident()?);
+                items.push(self.select_item()?);
                 if self.peek() == Some(&Token::Comma) {
                     self.next();
                     continue;
@@ -195,11 +203,73 @@ impl Parser {
         } else {
             None
         };
+        let mut group_by = Vec::new();
+        if self.peek_keyword("GROUP") {
+            self.next();
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.ident()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.next();
+                    continue;
+                }
+                break;
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.peek_keyword("ORDER") {
+            self.next();
+            self.expect_keyword("BY")?;
+            loop {
+                order_by.push(self.order_key()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.next();
+                    continue;
+                }
+                break;
+            }
+        }
+        let limit = if self.peek_keyword("LIMIT") {
+            self.next();
+            Some(self.int()? as usize)
+        } else {
+            None
+        };
         Ok(Statement::Select {
-            columns,
+            items,
             table,
             filter,
+            group_by,
+            order_by,
+            limit,
         })
+    }
+
+    /// One ORDER BY key: a 1-based output position or an output column
+    /// name, optionally followed by ASC/DESC.
+    fn order_key(&mut self) -> Result<OrderKey, DbError> {
+        let target = match self.next() {
+            Some(Token::Int(p)) => {
+                if p == 0 {
+                    return Err(self.err("ORDER BY positions are 1-based"));
+                }
+                OrderTarget::Position(p as usize)
+            }
+            Some(Token::Ident(c)) => OrderTarget::Column(c),
+            other => {
+                return Err(self.err(format!("expected ORDER BY key, found {other:?}")));
+            }
+        };
+        let desc = if self.peek_keyword("DESC") {
+            self.next();
+            true
+        } else {
+            if self.peek_keyword("ASC") {
+                self.next();
+            }
+            false
+        };
+        Ok(OrderKey { target, desc })
     }
 
     fn delete(&mut self) -> Result<Statement, DbError> {
@@ -304,15 +374,19 @@ mod tests {
         let stmt = parse("SELECT * FROM t").unwrap();
         assert!(matches!(
             stmt,
-            Statement::Select { ref columns, ref filter, .. } if columns.is_empty() && filter.is_none()
+            Statement::Select { ref items, ref filter, .. } if items.is_empty() && filter.is_none()
         ));
 
         let stmt = parse("SELECT a, b FROM t WHERE a >= 'x' AND a < 'y'").unwrap();
         match stmt {
-            Statement::Select {
-                columns, filter, ..
-            } => {
-                assert_eq!(columns, vec!["a", "b"]);
+            Statement::Select { items, filter, .. } => {
+                assert_eq!(
+                    items,
+                    vec![
+                        SelectItem::Column("a".into()),
+                        SelectItem::Column("b".into())
+                    ]
+                );
                 assert_eq!(filter.unwrap().column(), Some("a"));
             }
             other => panic!("wrong statement: {other:?}"),
@@ -330,6 +404,81 @@ mod tests {
             },
             other => panic!("wrong statement: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_aggregate_select() {
+        let stmt = parse(
+            "SELECT region, SUM(price), COUNT(*) FROM sales WHERE price >= '100' \
+             GROUP BY region ORDER BY 2 DESC, region ASC LIMIT 5",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select {
+                items,
+                group_by,
+                order_by,
+                limit,
+                ..
+            } => {
+                assert_eq!(
+                    items,
+                    vec![
+                        SelectItem::Column("region".into()),
+                        SelectItem::Aggregate {
+                            func: AggFunc::Sum,
+                            column: Some("price".into())
+                        },
+                        SelectItem::Aggregate {
+                            func: AggFunc::Count,
+                            column: None
+                        },
+                    ]
+                );
+                assert_eq!(group_by, vec!["region"]);
+                assert_eq!(
+                    order_by,
+                    vec![
+                        OrderKey {
+                            target: OrderTarget::Position(2),
+                            desc: true
+                        },
+                        OrderKey {
+                            target: OrderTarget::Column("region".into()),
+                            desc: false
+                        },
+                    ]
+                );
+                assert_eq!(limit, Some(5));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip_for_aggregates() {
+        for sql in [
+            "SELECT * FROM t",
+            "SELECT COUNT(*) FROM t",
+            "SELECT a, MIN(b), MAX(b), AVG(b) FROM t WHERE b BETWEEN 'a' AND 'z' GROUP BY a",
+            "SELECT a, SUM(b) FROM t GROUP BY a ORDER BY 2 DESC LIMIT 10",
+            "SELECT a FROM t ORDER BY a LIMIT 3",
+        ] {
+            let s1 = parse(sql).unwrap();
+            let s2 = parse(&s1.to_string()).unwrap();
+            assert_eq!(s1, s2, "round trip of {sql}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_aggregates() {
+        assert!(parse("SELECT COUNT(v) FROM t").is_err());
+        assert!(parse("SELECT COUNT(* FROM t").is_err());
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+        assert!(parse("SELECT MEDIAN(v) FROM t").is_err());
+        assert!(parse("SELECT v FROM t ORDER BY 0").is_err());
+        assert!(parse("SELECT v FROM t LIMIT").is_err());
+        assert!(parse("SELECT v FROM t GROUP v").is_err());
     }
 
     #[test]

@@ -20,9 +20,18 @@ fn one_ecall_per_filtered_select_on_main_store() {
     db.merge("t").unwrap(); // move data into the main store, empty delta
     reset(&mut db);
     db.execute("SELECT v FROM t WHERE v = 'b'").unwrap();
-    // One ECALL for the main dictionary search plus one for the (empty)
-    // delta store search — the §5 guarantee is per searched dictionary.
+    // One ECALL for the main dictionary search; an empty delta store is
+    // skipped without entering the enclave — the §5 guarantee is per
+    // searched dictionary.
+    assert_eq!(ecalls(&mut db), 1);
+    assert_eq!(db.server().last_stats().enclave_calls, 1);
+
+    // With rows in the delta, its ED9 dictionary is searched too.
+    db.execute("INSERT INTO t VALUES ('d')").unwrap();
+    reset(&mut db);
+    db.execute("SELECT v FROM t WHERE v = 'b'").unwrap();
     assert_eq!(ecalls(&mut db), 2);
+    assert_eq!(db.server().last_stats().enclave_calls, 2);
 }
 
 #[test]

@@ -1,7 +1,11 @@
 //! SQL front-end robustness: the parser must never panic, only return
-//! errors, on arbitrary input — and must round-trip generated statements.
+//! errors, on arbitrary input — and must round-trip generated statements,
+//! including the analytic extension (aggregates, GROUP BY, ORDER BY,
+//! LIMIT) via `Display`: parse → display → parse is the identity on the
+//! parsed representation.
 
-use encdbdb::sql::{parse, Statement};
+use encdbdb::sql::{parse, OrderKey, OrderTarget, SelectItem, Statement};
+use encdict::aggregate::AggFunc;
 use proptest::prelude::*;
 
 proptest! {
@@ -69,6 +73,76 @@ proptest! {
                 prop_assert_eq!(f.column(), Some(col.as_str()));
             }
             other => prop_assert!(false, "wrong statement {:?}", other),
+        }
+    }
+
+    /// Constructed statements of the extended grammar round-trip through
+    /// `Display`: parse(display(stmt)) == stmt.
+    #[test]
+    fn extended_grammar_display_roundtrip(
+        table in "[a-z][a-z0-9_]{0,6}",
+        group_col in "[a-z][a-z0-9_]{0,6}",
+        agg_col in "[A-Za-z][a-z0-9_]{0,6}",
+        func in prop::sample::select(vec![
+            AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg,
+        ]),
+        with_filter in any::<bool>(),
+        lo in "[a-m]{1,5}",
+        hi in "[n-z']{1,5}",
+        with_group in any::<bool>(),
+        order_pos in 1usize..=2,
+        desc in any::<bool>(),
+        order_by_name in any::<bool>(),
+        limit in prop::sample::select(vec![None, Some(0usize), Some(7), Some(10_000)]),
+    ) {
+        let aggregate = SelectItem::Aggregate {
+            func,
+            column: if func == AggFunc::Count { None } else { Some(agg_col.clone()) },
+        };
+        let (items, group_by) = if with_group {
+            (
+                vec![SelectItem::Column(group_col.clone()), aggregate],
+                vec![group_col.clone()],
+            )
+        } else {
+            (vec![aggregate], vec![])
+        };
+        let order_by = if order_by_name && with_group {
+            vec![OrderKey { target: OrderTarget::Column(group_col.clone()), desc }]
+        } else {
+            vec![OrderKey {
+                target: OrderTarget::Position(order_pos.min(items.len())),
+                desc,
+            }]
+        };
+        let filter = with_filter.then(|| encdbdb::sql::Filter::Between {
+            column: group_col.clone(),
+            low: lo.clone().into_bytes(),
+            high: hi.clone().into_bytes(),
+        });
+        let stmt = Statement::Select {
+            items,
+            table: table.clone(),
+            filter,
+            group_by,
+            order_by,
+            limit,
+        };
+        let rendered = stmt.to_string();
+        let reparsed = parse(&rendered);
+        prop_assert!(reparsed.is_ok(), "failed to reparse {rendered:?}: {reparsed:?}");
+        prop_assert_eq!(reparsed.unwrap(), stmt, "display output: {}", rendered);
+    }
+
+    /// Any successfully parsed statement re-renders and re-parses to an
+    /// equal statement (parse → display → parse on raw fuzz input).
+    #[test]
+    fn parse_display_parse_fixpoint(input in "[ -~]{0,120}") {
+        if let Ok(s1) = parse(&input) {
+            let rendered = s1.to_string();
+            let s2 = parse(&rendered);
+            prop_assert!(s2.is_ok(), "reparse of {rendered:?} failed: {s2:?}");
+            prop_assert_eq!(s2.unwrap(), s1, "rendered: {}", rendered);
         }
     }
 }

@@ -110,6 +110,15 @@ impl EncryptedDictionary {
         UntrustedMemory::new(&self.tail)
     }
 
+    /// This dictionary as a [`crate::enclave_ops::SegmentRef`].
+    pub fn segment_ref(&self) -> crate::enclave_ops::SegmentRef<'_> {
+        crate::enclave_ops::SegmentRef {
+            head: self.head_mem(),
+            tail: self.tail_mem(),
+            len: self.len,
+        }
+    }
+
     /// The encrypted rotation offset, present for rotated kinds.
     pub fn enc_rnd_offset(&self) -> Option<&[u8]> {
         self.enc_rnd_offset.as_deref()

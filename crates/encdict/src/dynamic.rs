@@ -148,6 +148,25 @@ impl EncryptedDeltaStore {
             .collect())
     }
 
+    /// Untrusted-memory view of the delta head (for enclave requests).
+    pub fn head_mem(&self) -> enclave_sim::UntrustedMemory<'_> {
+        enclave_sim::UntrustedMemory::new(&self.head)
+    }
+
+    /// Untrusted-memory view of the delta tail (for enclave requests).
+    pub fn tail_mem(&self) -> enclave_sim::UntrustedMemory<'_> {
+        enclave_sim::UntrustedMemory::new(&self.tail)
+    }
+
+    /// This delta store as a [`crate::enclave_ops::SegmentRef`].
+    pub fn segment_ref(&self) -> crate::enclave_ops::SegmentRef<'_> {
+        crate::enclave_ops::SegmentRef {
+            head: self.head_mem(),
+            tail: self.tail_mem(),
+            len: self.len,
+        }
+    }
+
     /// The stored ciphertext of a delta row (for result rendering).
     ///
     /// # Panics

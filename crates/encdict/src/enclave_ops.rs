@@ -19,6 +19,7 @@
 //! * **Per-entry loads** — every dictionary entry touched is individually
 //!   loaded through the counted [`enclave_sim::TrustedEnv::load`].
 
+use crate::aggregate::AggPlanSpec;
 use crate::dict::{EncryptedDictionary, HEAD_ENTRY_BYTES};
 use crate::error::EncdictError;
 use crate::kind::{EdKind, OrderOption};
@@ -120,6 +121,86 @@ pub struct MergeRequest<'a> {
     pub delta_valid: &'a colstore::delta::ValidityVector,
 }
 
+/// A reference to one encrypted dictionary segment (main store or delta
+/// store) living in untrusted memory, in the §5 head/tail layout.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentRef<'a> {
+    /// Fixed-width head entries.
+    pub head: UntrustedMemory<'a>,
+    /// Variable-width ciphertext tail.
+    pub tail: UntrustedMemory<'a>,
+    /// Number of entries.
+    pub len: usize,
+}
+
+/// The value source of one column referenced by an aggregate query.
+///
+/// Per-column codes address the concatenated main + delta value space:
+/// code `< main.len` is a main-store ValueID, `code - main.len` is a
+/// delta-store row.
+#[derive(Debug)]
+pub enum AggColumnData<'a> {
+    /// An encrypted column: the enclave decrypts each listed code once
+    /// (the batched value decryption — one `DecryptValue` per distinct
+    /// touched ValueID, not per row).
+    Encrypted {
+        /// Column name (key-derivation metadata).
+        col_name: &'a str,
+        /// Main-store dictionary.
+        main: SegmentRef<'a>,
+        /// Delta-store dictionary (ED9 layout).
+        delta: SegmentRef<'a>,
+        /// Distinct touched codes, ascending; value-table index `i`
+        /// resolves to `codes[i]`.
+        codes: &'a [u32],
+    },
+    /// A PLAIN column: the distinct touched values, resolved by the
+    /// untrusted caller, indexed directly by value-table index.
+    Plain {
+        /// Distinct touched values.
+        values: &'a [Vec<u8>],
+    },
+}
+
+/// A grouped-aggregation ECALL request: the untrusted server has reduced
+/// the matching rows to a ValueID-tuple histogram; the enclave decrypts
+/// each distinct touched value once, evaluates GROUP BY / aggregates /
+/// ORDER BY / LIMIT on plaintexts, and returns cells that are re-encrypted
+/// under the originating column keys — so the server cannot link output
+/// groups back to dictionary entries (which would reveal equality classes
+/// of frequency-hiding dictionaries).
+#[derive(Debug)]
+pub struct AggregateRequest<'a> {
+    /// Table name (key-derivation metadata).
+    pub table_name: &'a str,
+    /// The referenced columns, in tuple order.
+    pub columns: Vec<AggColumnData<'a>>,
+    /// The histogram: per-column value-table indices plus row frequency.
+    pub tuples: &'a [(Vec<u32>, u64)],
+    /// Group/aggregate/sort/limit specification over the columns.
+    pub plan: &'a AggPlanSpec,
+}
+
+/// One output cell of an aggregate reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggCell {
+    /// A PAE ciphertext under the originating column's key (fresh IV).
+    Encrypted(Vec<u8>),
+    /// A plaintext cell (PLAIN column data, or a COUNT).
+    Plain(Vec<u8>),
+}
+
+/// The enclave's reply to an [`AggregateRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregateReply {
+    /// Output rows in final (sorted, limited) order; one cell per plan
+    /// item.
+    pub rows: Vec<Vec<AggCell>>,
+    /// How many dictionary values were decrypted — bounded by the number
+    /// of distinct touched ValueIDs, never by the row count.
+    pub values_decrypted: usize,
+}
+
 /// ECALL message for the dictionary enclave.
 #[derive(Debug)]
 pub enum DictCall<'a> {
@@ -129,6 +210,8 @@ pub enum DictCall<'a> {
     Reencrypt(ReencryptRequest<'a>),
     /// Delta-store merge into a fresh main store (§4.3).
     Merge(MergeRequest<'a>),
+    /// Grouped aggregation over a ValueID histogram.
+    Aggregate(AggregateRequest<'a>),
 }
 
 /// ECALL reply.
@@ -140,6 +223,8 @@ pub enum DictReply {
     Reencrypted(Result<Vec<u8>, EncdictError>),
     /// Rebuilt main store.
     Merged(Result<(EncryptedDictionary, colstore::dictionary::AttributeVector), EncdictError>),
+    /// Aggregation result.
+    Aggregated(Result<AggregateReply, EncdictError>),
 }
 
 /// Reads dictionary entries from untrusted memory, decrypting inside the
@@ -337,6 +422,128 @@ impl DictLogic {
         env.track_free(bytes_tracked);
         rebuilt
     }
+
+    /// Reads and decrypts entry `i` of a head/tail segment — the batched
+    /// `DecryptValue` primitive shared by merge and aggregation.
+    fn read_segment_entry(
+        env: &mut TrustedEnv,
+        seg: SegmentRef<'_>,
+        pae: &Pae,
+        i: usize,
+    ) -> Result<Vec<u8>, EncdictError> {
+        if i >= seg.len {
+            return Err(EncdictError::CorruptDictionary("code out of range"));
+        }
+        let entry = env.load(seg.head, i * HEAD_ENTRY_BYTES, HEAD_ENTRY_BYTES);
+        let offset = u64::from_le_bytes(entry[..8].try_into().unwrap()) as usize;
+        let clen = u32::from_le_bytes(entry[8..12].try_into().unwrap()) as usize;
+        if offset + clen > seg.tail.len() {
+            return Err(EncdictError::CorruptDictionary("tail offset out of range"));
+        }
+        let ct = env.load(seg.tail, offset, clen);
+        Ok(pae.decrypt_bytes(ct, crate::build::DICT_VALUE_AAD)?)
+    }
+
+    fn aggregate(
+        &mut self,
+        env: &mut TrustedEnv,
+        req: AggregateRequest<'_>,
+    ) -> Result<AggregateReply, EncdictError> {
+        // Resolve each referenced column into a value table, decrypting
+        // every distinct touched code exactly once (batched decryption).
+        let mut tables: Vec<Vec<Vec<u8>>> = Vec::with_capacity(req.columns.len());
+        let mut paes: Vec<Option<Pae>> = Vec::with_capacity(req.columns.len());
+        let mut values_decrypted = 0usize;
+        let mut bytes_tracked = 0usize;
+        let mut fail: Option<EncdictError> = None;
+        'columns: for col in &req.columns {
+            match col {
+                AggColumnData::Encrypted {
+                    col_name,
+                    main,
+                    delta,
+                    codes,
+                } => {
+                    let pae = match Self::column_pae(env, req.table_name, col_name) {
+                        Ok(pae) => pae,
+                        Err(e) => {
+                            fail = Some(e);
+                            break 'columns;
+                        }
+                    };
+                    let mut table = Vec::with_capacity(codes.len());
+                    for &code in *codes {
+                        let r = if (code as usize) < main.len {
+                            Self::read_segment_entry(env, *main, &pae, code as usize)
+                        } else {
+                            Self::read_segment_entry(env, *delta, &pae, code as usize - main.len)
+                        };
+                        match r {
+                            Ok(pt) => {
+                                values_decrypted += 1;
+                                bytes_tracked += pt.len();
+                                env.track_alloc(pt.len());
+                                table.push(pt);
+                            }
+                            Err(e) => {
+                                fail = Some(e);
+                                break 'columns;
+                            }
+                        }
+                    }
+                    tables.push(table);
+                    paes.push(Some(pae));
+                }
+                AggColumnData::Plain { values } => {
+                    tables.push(values.to_vec());
+                    paes.push(None);
+                }
+            }
+        }
+        let result = match fail {
+            Some(e) => Err(e),
+            None => crate::aggregate::evaluate(&tables, req.tuples, req.plan).map(|rows| {
+                // Wrap each plaintext cell for the untrusted realm: values
+                // derived from an encrypted column leave the enclave only
+                // re-encrypted under that column's key with a fresh IV.
+                let out = rows
+                    .into_iter()
+                    .map(|row| {
+                        row.into_iter()
+                            .zip(&req.plan.items)
+                            .map(|(value, item)| {
+                                let source = match *item {
+                                    crate::aggregate::OutputItem::Group(i) => {
+                                        Some(req.plan.group_cols[i])
+                                    }
+                                    crate::aggregate::OutputItem::Agg(j) => {
+                                        req.plan.aggregates[j].col
+                                    }
+                                };
+                                match source.and_then(|c| paes[c].as_ref()) {
+                                    Some(pae) => AggCell::Encrypted(
+                                        pae.encrypt_with_rng(
+                                            &mut self.rng,
+                                            &value,
+                                            crate::build::DICT_VALUE_AAD,
+                                        )
+                                        .into_bytes(),
+                                    ),
+                                    None => AggCell::Plain(value),
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                AggregateReply {
+                    rows: out,
+                    values_decrypted,
+                }
+            }),
+        };
+        env.track_free(bytes_tracked);
+        result
+    }
 }
 
 impl Default for DictLogic {
@@ -360,6 +567,7 @@ impl EnclaveLogic for DictLogic {
             DictCall::Search(req) => DictReply::Search(Self::search(env, req)),
             DictCall::Reencrypt(req) => DictReply::Reencrypted(self.reencrypt(env, req)),
             DictCall::Merge(req) => DictReply::Merged(self.merge(env, req)),
+            DictCall::Aggregate(req) => DictReply::Aggregated(self.aggregate(env, req)),
         }
     }
 }
@@ -469,6 +677,20 @@ impl DictEnclave {
                 Ok(Ciphertext::from_bytes(r?).expect("enclave produced a well-formed ciphertext"))
             }
             _ => unreachable!("reencrypt call returns reencrypt reply"),
+        }
+    }
+
+    /// Evaluates a grouped aggregation over a ValueID histogram — one
+    /// ECALL per query, decrypting each distinct touched value once.
+    ///
+    /// # Errors
+    ///
+    /// As [`DictEnclave::search`], plus [`EncdictError::Aggregate`] for
+    /// SUM/AVG over non-numeric values.
+    pub fn aggregate(&mut self, req: AggregateRequest<'_>) -> Result<AggregateReply, EncdictError> {
+        match self.inner.ecall(DictCall::Aggregate(req)) {
+            DictReply::Aggregated(r) => r,
+            _ => unreachable!("aggregate call returns aggregate reply"),
         }
     }
 

@@ -28,6 +28,9 @@ pub enum EncdictError {
     CorruptDictionary(&'static str),
     /// The enclave has no provisioned master key.
     KeyNotProvisioned,
+    /// An aggregate could not be evaluated (e.g. SUM over a value that is
+    /// not a decimal integer).
+    Aggregate(&'static str),
     /// An underlying cryptographic operation failed (bad key, tampering).
     Crypto(CryptoError),
 }
@@ -48,6 +51,7 @@ impl fmt::Display for EncdictError {
             EncdictError::KeyNotProvisioned => {
                 write!(f, "enclave master key not provisioned")
             }
+            EncdictError::Aggregate(what) => write!(f, "aggregate failure: {what}"),
             EncdictError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
         }
     }

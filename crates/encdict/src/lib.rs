@@ -29,6 +29,9 @@
 //! * [`range`] — range queries and their encrypted wire form.
 //! * [`leakage`] — attacker-view analysis backing the security evaluation.
 //! * [`dynamic`] — the encrypted delta store and protected merge (§4.3).
+//! * [`aggregate`] — the trusted aggregation core behind the analytic
+//!   query engine (GROUP BY / SUM / MIN / MAX / AVG over ValueID
+//!   histograms, one decryption per distinct touched ValueID).
 //!
 //! # Example: one encrypted range query
 //!
@@ -75,6 +78,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod avsearch;
 pub mod bigint;
 pub mod bucket;

@@ -6,7 +6,7 @@ use rand::Rng;
 
 use crate::strategy::Strategy;
 
-/// Admissible element-count specifications for [`vec`].
+/// Admissible element-count specifications for [`vec()`].
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
@@ -47,7 +47,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

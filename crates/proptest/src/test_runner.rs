@@ -8,7 +8,7 @@ use rand::SeedableRng;
 pub struct ProptestConfig {
     /// Number of successful cases required for the property to pass.
     pub cases: u32,
-    /// Maximum number of rejected ([`prop_assume!`]) cases tolerated.
+    /// Maximum number of rejected (`prop_assume!`) cases tolerated.
     pub max_global_rejects: u32,
 }
 
@@ -41,7 +41,7 @@ fn env_u32(name: &str) -> Option<u32> {
 pub enum TestCaseError {
     /// An assertion failed; the property is falsified.
     Fail(String),
-    /// The case was rejected by [`prop_assume!`]; draw another input.
+    /// The case was rejected by `prop_assume!`; draw another input.
     Reject(String),
 }
 

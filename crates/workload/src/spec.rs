@@ -121,6 +121,99 @@ pub fn sorted_unique_values(spec: &ColumnSpec) -> Vec<String> {
         .collect()
 }
 
+/// The warehouse-style aggregate query shapes of the analytic engine
+/// (`encdbdb::exec`): the TPC-style patterns a data warehouse actually
+/// runs over a fact table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggQueryShape {
+    /// `SELECT g, SUM(v) FROM t WHERE v BETWEEN lo AND hi GROUP BY g
+    /// ORDER BY 1` — a grouped range aggregation; `range_size` counts how
+    /// many consecutive unique values of `v` the filter spans (the
+    /// paper's §6.3 range-size semantics).
+    GroupedRange {
+        /// Consecutive unique values the range covers.
+        range_size: usize,
+    },
+    /// `SELECT g, SUM(v) FROM t GROUP BY g ORDER BY 2 DESC LIMIT k` — an
+    /// unfiltered top-k ranking of groups by aggregate.
+    TopK {
+        /// Number of top groups to return.
+        k: usize,
+    },
+}
+
+/// Deterministic generator of warehouse-style aggregate SQL for a
+/// two-column fact table (a group column and a value column): the same
+/// seeded RNG stream always yields the same query text, so examples and
+/// benches are reproducible bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct AggQueryGen {
+    table: String,
+    group_col: String,
+    value_col: String,
+    /// Sorted unique values of the value column (`sorted(un(C))`).
+    sorted_uniques: Vec<String>,
+}
+
+impl AggQueryGen {
+    /// Creates a generator over the sorted unique values of `value_col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sorted_uniques` is empty.
+    pub fn new(
+        table: impl Into<String>,
+        group_col: impl Into<String>,
+        value_col: impl Into<String>,
+        sorted_uniques: Vec<String>,
+    ) -> Self {
+        assert!(!sorted_uniques.is_empty(), "need at least one unique value");
+        debug_assert!(sorted_uniques.windows(2).all(|w| w[0] <= w[1]));
+        AggQueryGen {
+            table: table.into(),
+            group_col: group_col.into(),
+            value_col: value_col.into(),
+            sorted_uniques,
+        }
+    }
+
+    /// Draws one SQL query of the given shape.
+    pub fn draw<R: Rng + ?Sized>(&self, shape: AggQueryShape, rng: &mut R) -> String {
+        match shape {
+            AggQueryShape::GroupedRange { range_size } => {
+                let rs = range_size.clamp(1, self.sorted_uniques.len());
+                let max_start = self.sorted_uniques.len() - rs;
+                let i = rng.gen_range(0..=max_start);
+                format!(
+                    "SELECT {g}, SUM({v}) FROM {t} WHERE {v} BETWEEN '{lo}' AND '{hi}' \
+                     GROUP BY {g} ORDER BY 1",
+                    g = self.group_col,
+                    v = self.value_col,
+                    t = self.table,
+                    lo = self.sorted_uniques[i],
+                    hi = self.sorted_uniques[i + rs - 1],
+                )
+            }
+            AggQueryShape::TopK { k } => format!(
+                "SELECT {g}, SUM({v}) FROM {t} GROUP BY {g} ORDER BY 2 DESC LIMIT {k}",
+                g = self.group_col,
+                v = self.value_col,
+                t = self.table,
+            ),
+        }
+    }
+
+    /// Draws a batch of queries of one shape.
+    pub fn draw_batch<R: Rng + ?Sized>(
+        &self,
+        shape: AggQueryShape,
+        rng: &mut R,
+        count: usize,
+    ) -> Vec<String> {
+        (0..count).map(|_| self.draw(shape, rng)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +284,39 @@ mod tests {
         let c2 = ColumnSpec::c2_full();
         assert_eq!(c2.unique_values, 13_361);
         assert_eq!(c2.value_len, 10);
+    }
+
+    #[test]
+    fn agg_query_gen_is_deterministic_and_well_formed() {
+        let uniques: Vec<String> = (0..40).map(|i| value_string(i, 6)).collect();
+        let g = AggQueryGen::new("sales", "region", "price", uniques.clone());
+
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let shape = AggQueryShape::GroupedRange { range_size: 5 };
+        let batch1 = g.draw_batch(shape, &mut rng1, 20);
+        let batch2 = g.draw_batch(shape, &mut rng2, 20);
+        assert_eq!(batch1, batch2, "same seed, same queries");
+        for sql in &batch1 {
+            assert!(sql.starts_with("SELECT region, SUM(price) FROM sales WHERE price BETWEEN"));
+            assert!(sql.ends_with("GROUP BY region ORDER BY 1"));
+        }
+        // The range spans exactly `range_size` uniques.
+        let sql = &batch1[0];
+        let lo = sql.split('\'').nth(1).unwrap();
+        let hi = sql.split('\'').nth(3).unwrap();
+        let covered = uniques
+            .iter()
+            .filter(|u| u.as_str() >= lo && u.as_str() <= hi)
+            .count();
+        assert_eq!(covered, 5);
+
+        let mut rng = StdRng::seed_from_u64(8);
+        let topk = g.draw(AggQueryShape::TopK { k: 3 }, &mut rng);
+        assert_eq!(
+            topk,
+            "SELECT region, SUM(price) FROM sales GROUP BY region ORDER BY 2 DESC LIMIT 3"
+        );
     }
 
     #[test]

@@ -60,21 +60,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.load_table(&table, schema)?;
     println!("bulk-loaded {rows} rows in {:?}", start.elapsed());
 
-    // Analytic query 1: report orders in a price band (range on ED9).
+    // Analytic query 1: a grouped range aggregation (the exec engine).
+    // Grouping and frequency weighting run on ValueIDs in untrusted
+    // memory; the enclave decrypts each distinct touched value once.
     let start = std::time::Instant::now();
-    let result =
-        db.execute("SELECT country FROM sales WHERE price BETWEEN '100000' AND '125000'")?;
+    let result = db.execute(
+        "SELECT country, COUNT(*), SUM(price) FROM sales \
+         WHERE price BETWEEN '100000' AND '125000' \
+         GROUP BY country ORDER BY 2 DESC",
+    )?;
     let elapsed = start.elapsed();
-    let mut per_country = std::collections::BTreeMap::new();
-    for row in result.rows_as_strings() {
-        *per_country.entry(row[0].clone()).or_insert(0usize) += 1;
-    }
+    let stats = db.server().last_stats();
     println!(
-        "\norders with price in [100000, 125000] ({} rows, {elapsed:?}):",
-        result.row_count()
+        "\norders with price in [100000, 125000] by country ({elapsed:?}, \
+         {} chunks, {} ECALLs, {} values decrypted):",
+        stats.chunks_scanned, stats.enclave_calls, stats.values_decrypted
     );
-    for (country, count) in &per_country {
-        println!("  {country}: {count}");
+    for row in result.rows_as_strings() {
+        println!("  {}: {} orders, {} total", row[0], row[1], row[2]);
+    }
+
+    // Analytic query 1b: deterministic warehouse shapes from the workload
+    // crate — a top-k ranking of countries by revenue.
+    use workload::spec::{AggQueryGen, AggQueryShape};
+    let gen = AggQueryGen::new("sales", "country", "price", {
+        let mut uniques: Vec<String> = price_col.clone();
+        uniques.sort();
+        uniques.dedup();
+        uniques
+    });
+    let top_k = gen.draw(AggQueryShape::TopK { k: 3 }, &mut rng);
+    let result = db.execute(&top_k)?;
+    println!("\ntop 3 countries by revenue ({top_k}):");
+    for row in result.rows_as_strings() {
+        println!("  {}: {}", row[0], row[1]);
     }
 
     // Analytic query 2: country slice (equality on ED5 — converted to a
