@@ -18,9 +18,15 @@ run cargo fmt --check
 run cargo clippy --all-targets --offline -- -D warnings
 # Rustdoc must stay warning-free (broken intra-doc links, bad code fences).
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
+# The concurrency stress suite again, explicitly bounded: a fixed reader
+# thread count and table size so CI machines of any width behave alike.
+run env ENCDBDB_STRESS_THREADS=4 ENCDBDB_STRESS_ROWS=2000 \
+    cargo test -q --offline --test concurrent_stress
 # Benches are excluded from `cargo test` (they are timed loops); keep them
-# compiling — including the analytic-engine aggregate bench.
+# compiling — including the analytic-engine aggregate bench and the
+# snapshot/compaction bench.
 run cargo bench --no-run --offline -p encdbdb-bench
 run cargo bench --no-run --offline -p encdbdb-bench --bench aggregate
+run cargo bench --no-run --offline -p encdbdb-bench --bench compaction
 
 echo "==> CI green"

@@ -84,6 +84,51 @@ impl ValidityVector {
         self.bits[i / 64] &= !(1 << (i % 64));
     }
 
+    /// The validity of rows `0..n` as a fresh vector — the frozen validity
+    /// of a delta prefix captured at a compaction watermark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn prefix(&self, n: usize) -> ValidityVector {
+        assert!(n <= self.len, "prefix {n} out of bounds {}", self.len);
+        let mut out = ValidityVector {
+            bits: self.bits.clone(),
+            len: self.len,
+        };
+        out.bits.truncate(n.div_ceil(64));
+        out.len = n;
+        // Clear the bits past `n` in the last word so equality and future
+        // pushes see a canonical representation.
+        let rem = n % 64;
+        if rem > 0 {
+            if let Some(w) = out.bits.last_mut() {
+                *w &= (1u64 << rem) - 1;
+            }
+        }
+        out
+    }
+
+    /// The validity of rows `from..len()` as a fresh vector — used when a
+    /// compaction consumes a delta prefix and the remaining suffix becomes
+    /// the new delta (row `from + i` becomes row `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > len()`.
+    pub fn suffix(&self, from: usize) -> ValidityVector {
+        assert!(
+            from <= self.len,
+            "suffix start {from} out of bounds {}",
+            self.len
+        );
+        let mut out = ValidityVector::default();
+        for i in from..self.len {
+            out.push(self.is_valid(i));
+        }
+        out
+    }
+
     /// Number of valid rows.
     pub fn count_valid(&self) -> usize {
         let full = self.len / 64;
@@ -172,6 +217,53 @@ impl DeltaStore {
                 None
             }
         })
+    }
+
+    /// The column's fixed maximal value length.
+    pub fn max_len(&self) -> usize {
+        self.values.max_len()
+    }
+
+    /// A frozen copy of the first `n` rows — the compaction input captured
+    /// at a watermark while later inserts keep landing in the live store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn prefix(&self, n: usize) -> DeltaStore {
+        assert!(n <= self.len(), "prefix {n} out of bounds {}", self.len());
+        let mut values = Column::new("delta", self.values.max_len());
+        for i in 0..n {
+            values
+                .push(self.values.value(i))
+                .expect("value came from a column with the same max_len");
+        }
+        DeltaStore {
+            values,
+            validity: self.validity.prefix(n),
+        }
+    }
+
+    /// Drops the first `n` rows after a compaction consumed them: row
+    /// `n + i` becomes row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn drain_prefix(&mut self, n: usize) {
+        assert!(
+            n <= self.len(),
+            "drain_prefix {n} out of bounds {}",
+            self.len()
+        );
+        let mut values = Column::new("delta", self.values.max_len());
+        for i in n..self.values.len() {
+            values
+                .push(self.values.value(i))
+                .expect("value came from a column with the same max_len");
+        }
+        self.values = values;
+        self.validity = self.validity.suffix(n);
     }
 
     /// Drains the delta into a plain column of its valid values (a merge
@@ -301,6 +393,36 @@ mod tests {
     }
 
     #[test]
+    fn validity_prefix_truncates() {
+        let mut v = ValidityVector::default();
+        for i in 0..100 {
+            v.push(i % 7 != 0);
+        }
+        let p = v.prefix(70);
+        assert_eq!(p.len(), 70);
+        for i in 0..70 {
+            assert_eq!(p.is_valid(i), v.is_valid(i));
+        }
+        assert_eq!(v.prefix(100), v);
+        assert!(v.prefix(0).is_empty());
+    }
+
+    #[test]
+    fn validity_suffix_rebases_rows() {
+        let mut v = ValidityVector::default();
+        for i in 0..100 {
+            v.push(i % 5 != 0);
+        }
+        let s = v.suffix(67);
+        assert_eq!(s.len(), 33);
+        for i in 0..33 {
+            assert_eq!(s.is_valid(i), v.is_valid(67 + i));
+        }
+        assert_eq!(v.suffix(100).len(), 0);
+        assert_eq!(v.suffix(0), v);
+    }
+
+    #[test]
     #[should_panic]
     fn validity_out_of_bounds_panics() {
         let v = ValidityVector::all_valid(3);
@@ -317,6 +439,26 @@ mod tests {
         assert_eq!(valid, vec![&b"new-b"[..]]);
         assert_eq!(d.valid_len(), 1);
         assert_eq!(d.value(r1), b"new-b");
+    }
+
+    #[test]
+    fn delta_prefix_and_drain_prefix_partition() {
+        let mut d = DeltaStore::new(16);
+        for v in [b"aa" as &[u8], b"bb", b"cc", b"dd"] {
+            d.insert(v).unwrap();
+        }
+        d.invalidate(RecordId(0));
+        d.invalidate(RecordId(3));
+        let frozen = d.prefix(2);
+        assert_eq!(frozen.len(), 2);
+        assert_eq!(frozen.value(RecordId(1)), b"bb");
+        assert!(!frozen.is_valid(RecordId(0)));
+        d.drain_prefix(2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.value(RecordId(0)), b"cc");
+        assert!(d.is_valid(RecordId(0)));
+        assert!(!d.is_valid(RecordId(1)));
+        assert_eq!(d.max_len(), 16);
     }
 
     #[test]

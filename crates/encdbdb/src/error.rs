@@ -43,6 +43,9 @@ pub enum DbError {
     Storage(colstore::ColstoreError),
     /// An enclave operation failed (attestation, provisioning).
     Enclave(enclave_sim::EnclaveError),
+    /// A write or merge kept racing concurrent compaction publishes and
+    /// exhausted its retries.
+    MergeConflict(String),
 }
 
 impl fmt::Display for DbError {
@@ -66,6 +69,7 @@ impl fmt::Display for DbError {
             DbError::Dict(e) => write!(f, "dictionary failure: {e}"),
             DbError::Storage(e) => write!(f, "storage failure: {e}"),
             DbError::Enclave(e) => write!(f, "enclave failure: {e}"),
+            DbError::MergeConflict(msg) => write!(f, "merge conflict: {msg}"),
         }
     }
 }

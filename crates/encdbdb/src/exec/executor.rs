@@ -16,6 +16,10 @@
 //!    freshly encrypted cells), or locally for all-PLAIN queries — the
 //!    same [`encdict::aggregate`] core either way.
 //!
+//! The whole query — filter, scan, aggregation — executes against one
+//! `TableSnapshot` (see `crate::server`) acquired up front, so
+//! concurrent compactions never tear an aggregate.
+//!
 //! [`QueryStats`](crate::server::QueryStats) records the chunk count, the
 //! ECALLs and the decrypted-value count, making the headline property
 //! checkable: enclave decryptions are bounded by distinct ValueIDs, not by
@@ -24,7 +28,10 @@
 use crate::error::DbError;
 use crate::exec::aggregate::{build_histogram, remap_codes, ColumnCodes};
 use crate::exec::plan::AggregatePlan;
-use crate::server::{CellValue, DbaasServer, SelectResponse, ServerColumn, ServerFilter};
+use crate::server::{
+    matching_rids_multi, CellValue, ColumnDelta, DbaasServer, MainColumn, SelectResponse,
+    ServerFilter,
+};
 use colstore::delta::DeltaStore;
 use colstore::dictionary::RecordId;
 use encdict::aggregate::{AggPlanSpec, AggSpec, OutputItem};
@@ -76,21 +83,17 @@ impl DbaasServer {
     ///
     /// Propagates lookup, plan-validation and enclave failures.
     pub fn aggregate(
-        &mut self,
+        &self,
         table: &str,
         plan: &AggregatePlan,
         filters: &[ServerFilter],
     ) -> Result<SelectResponse, DbError> {
         validate_plan(plan)?;
-        let parallelism = self.parallelism;
-        let (main_rids, delta_rids, mut stats) = self.matching_rids_multi(table, filters)?;
-
-        // Split borrows: enclave and tables are disjoint fields.
-        let enclave = &mut self.enclave;
-        let t = self
-            .tables
-            .get(table)
-            .ok_or_else(|| DbError::TableNotFound(table.to_string()))?;
+        let cfg = self.config();
+        let t = self.table_handle(table)?;
+        let snap = t.snapshot();
+        let (main_rids, delta_rids, mut stats) =
+            matching_rids_multi(&snap, &t.schema, self.query_enclave_handle(), filters, &cfg)?;
 
         // Referenced columns (group keys first, then aggregate inputs),
         // deduplicated — they define the histogram's tuple order.
@@ -120,58 +123,60 @@ impl DbaasServer {
             sort: plan.sort.clone(),
             limit: plan.limit,
         };
-        let mut ref_cols: Vec<&ServerColumn> = Vec::with_capacity(ref_names.len());
+        let mut ref_cols: Vec<(&MainColumn, &ColumnDelta)> = Vec::with_capacity(ref_names.len());
         for name in &ref_names {
             let (idx, _) = t
                 .schema
                 .column(name)
                 .ok_or_else(|| DbError::ColumnNotFound(name.clone()))?;
-            ref_cols.push(&t.columns[idx]);
+            ref_cols.push((&snap.main.columns[idx], &snap.deltas[idx]));
         }
 
         // Vectorized chunk scan: matching rows → ValueID-tuple histogram.
         let scan_start = std::time::Instant::now();
         let cols: Vec<ColumnCodes<'_>> = ref_cols
             .iter()
-            .map(|c| ColumnCodes {
-                av: c.av_slice(),
-                main_len: c.main_len(),
+            .map(|(main, _)| ColumnCodes {
+                av: main.av_slice(),
+                main_len: main.main_len(),
             })
             .collect();
-        let hist = build_histogram(&cols, &main_rids, &delta_rids, parallelism);
+        let hist = build_histogram(&cols, &main_rids, &delta_rids, cfg.parallelism);
         stats.av_search_ns += scan_start.elapsed().as_nanos() as u64;
         stats.chunks_scanned += hist.chunks;
         let remapped = remap_codes(cols.len(), hist.tuples);
 
         // Grouped aggregation over the distinct touched values.
         let agg_start = std::time::Instant::now();
-        let rows: Vec<Vec<CellValue>> = if ref_cols.iter().any(|c| c.is_encrypted()) {
+        let rows: Vec<Vec<CellValue>> = if ref_cols.iter().any(|(main, _)| main.is_encrypted()) {
             let plain_tables: Vec<Option<Vec<Vec<u8>>>> = ref_cols
                 .iter()
                 .enumerate()
-                .map(|(c, col)| match col {
-                    ServerColumn::Plain { dict, delta, .. } => {
+                .map(|(c, (main, delta))| match (main, delta) {
+                    (MainColumn::Plain { dict, .. }, ColumnDelta::Plain(delta)) => {
                         Some(resolve_plain(dict, delta, &remapped.codes[c]))
                     }
-                    ServerColumn::Encrypted { .. } => None,
+                    _ => None,
                 })
                 .collect();
             let columns: Vec<AggColumnData<'_>> = ref_cols
                 .iter()
                 .enumerate()
-                .map(|(c, col)| match col {
-                    ServerColumn::Encrypted { dict, delta, .. } => AggColumnData::Encrypted {
-                        col_name: &ref_names[c],
-                        main: dict.segment_ref(),
-                        delta: delta.segment_ref(),
-                        codes: &remapped.codes[c],
-                    },
-                    ServerColumn::Plain { .. } => AggColumnData::Plain {
+                .map(|(c, (main, delta))| match (main, delta) {
+                    (MainColumn::Encrypted(main), ColumnDelta::Encrypted(delta)) => {
+                        AggColumnData::Encrypted {
+                            col_name: &ref_names[c],
+                            main: main.dict().segment_ref(),
+                            delta: delta.segment_ref(),
+                            codes: &remapped.codes[c],
+                        }
+                    }
+                    _ => AggColumnData::Plain {
                         values: plain_tables[c].as_deref().expect("resolved above"),
                     },
                 })
                 .collect();
-            let reply = enclave.aggregate(AggregateRequest {
+            let reply = self.enclave().aggregate(AggregateRequest {
                 table_name: &t.schema.name,
                 columns,
                 tuples: &remapped.tuples,
@@ -195,11 +200,11 @@ impl DbaasServer {
             let tables: Vec<Vec<Vec<u8>>> = ref_cols
                 .iter()
                 .enumerate()
-                .map(|(c, col)| match col {
-                    ServerColumn::Plain { dict, delta, .. } => {
+                .map(|(c, (main, delta))| match (main, delta) {
+                    (MainColumn::Plain { dict, .. }, ColumnDelta::Plain(delta)) => {
                         resolve_plain(dict, delta, &remapped.codes[c])
                     }
-                    ServerColumn::Encrypted { .. } => unreachable!("checked above"),
+                    _ => unreachable!("checked above"),
                 })
                 .collect();
             encdict::aggregate::evaluate(&tables, &remapped.tuples, &spec)?
@@ -209,7 +214,8 @@ impl DbaasServer {
         };
         stats.aggregate_ns += agg_start.elapsed().as_nanos() as u64;
         stats.result_rows = rows.len();
-        self.last_stats = stats;
+        stats.snapshot_epoch = snap.main.epoch;
+        self.store_stats(stats);
         Ok(SelectResponse {
             columns: plan.item_names.clone(),
             rows,

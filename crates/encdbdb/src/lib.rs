@@ -65,5 +65,8 @@ pub use exec::plan::{AggregatePlan, SelectPlan};
 pub use owner::DataOwner;
 pub use proxy::{Proxy, QueryResult};
 pub use schema::{ColumnSpec, DictChoice, TableSchema};
-pub use server::{DbaasServer, DeployedColumn, QueryOutcome, QueryStats, ServerQuery};
-pub use session::Session;
+pub use server::{
+    CompactionPolicy, CompactionStats, DbaasServer, DeployedColumn, QueryOutcome, QueryStats,
+    ServerQuery,
+};
+pub use session::{ReaderSession, Session};

@@ -41,32 +41,36 @@ impl DataOwner {
         self.skdb.clone()
     }
 
-    /// Step 2: remote-attests the server's enclave and provisions `SK_DB`
-    /// over the derived secure channel.
+    /// Step 2: remote-attests the server's enclave *instances* — the
+    /// query-path one and the compaction one, both measuring to the same
+    /// expected code identity — and provisions `SK_DB` to each over its
+    /// own derived secure channel.
     ///
     /// # Errors
     ///
-    /// Returns [`DbError::Enclave`] if the quote does not verify, the
+    /// Returns [`DbError::Enclave`] if a quote does not verify, a
     /// measurement is unexpected, or provisioning fails.
     pub fn provision<R: Rng + ?Sized>(
         &self,
-        server: &mut DbaasServer,
+        server: &DbaasServer,
         service: &VerificationService,
         expected_measurement: Measurement,
         rng: &mut R,
     ) -> Result<(), DbError> {
-        let quote = server.enclave_mut().enclave_mut().attest(rng);
-        let report = service.verify_expecting(&quote, expected_measurement)?;
-        let owner_secret = Key256::generate(rng);
-        let owner_public = x25519::public_key(&owner_secret);
-        let session = channel::session_key(&owner_secret, &report.report_data, Role::DataOwner);
-        let wrapped = Pae::new(&session)
-            .encrypt_with_rng(rng, self.skdb.as_bytes(), channel::PROVISION_AAD)
-            .into_bytes();
-        server
-            .enclave_mut()
-            .enclave_mut()
-            .provision_key(&owner_public, &wrapped)?;
+        for handle in server.enclave_handles() {
+            let mut enclave = handle.lock().unwrap_or_else(|e| e.into_inner());
+            let quote = enclave.enclave_mut().attest(rng);
+            let report = service.verify_expecting(&quote, expected_measurement)?;
+            let owner_secret = Key256::generate(rng);
+            let owner_public = x25519::public_key(&owner_secret);
+            let session = channel::session_key(&owner_secret, &report.report_data, Role::DataOwner);
+            let wrapped = Pae::new(&session)
+                .encrypt_with_rng(rng, self.skdb.as_bytes(), channel::PROVISION_AAD)
+                .into_bytes();
+            enclave
+                .enclave_mut()
+                .provision_key(&owner_public, &wrapped)?;
+        }
         Ok(())
     }
 
@@ -112,7 +116,7 @@ impl DataOwner {
     /// As [`DataOwner::encrypt_table`] and [`DbaasServer::deploy_table`].
     pub fn deploy<R: Rng + ?Sized>(
         &self,
-        server: &mut DbaasServer,
+        server: &DbaasServer,
         table: &Table,
         schema: TableSchema,
         rng: &mut R,
@@ -141,7 +145,7 @@ mod tests {
         let service = platform.verification_service();
         let enclave = Enclave::on_platform(DictLogic::with_seed(2), platform);
         // Wrap into the dict enclave facade via a fresh server.
-        let mut server = DbaasServer::with_enclave(DictEnclave::with_seed(3));
+        let server = DbaasServer::with_enclave(DictEnclave::with_seed(3));
         // Recreate: DictEnclave::with_seed builds its own default platform;
         // use the measurement of the logic for expectation checks.
         let expected = enclave.measurement();
@@ -151,13 +155,15 @@ mod tests {
         // The default-platform service matches DictEnclave::with_seed.
         let default_service = SigningPlatform::default().verification_service();
         owner
-            .provision(&mut server, &default_service, expected, &mut rng)
+            .provision(&server, &default_service, expected, &mut rng)
             .unwrap();
-        assert!(server.enclave_mut().enclave_mut().is_provisioned());
+        // Both instances — query path and compaction — are provisioned.
+        assert!(server.enclave().enclave().is_provisioned());
+        assert!(server.merge_enclave().enclave().is_provisioned());
         // A service for a *different* platform must reject the quote.
-        let mut server2 = DbaasServer::with_enclave(DictEnclave::with_seed(4));
+        let server2 = DbaasServer::with_enclave(DictEnclave::with_seed(4));
         let err = owner
-            .provision(&mut server2, &service, expected, &mut rng)
+            .provision(&server2, &service, expected, &mut rng)
             .unwrap_err();
         assert!(matches!(err, DbError::Enclave(_)));
     }
@@ -165,12 +171,12 @@ mod tests {
     #[test]
     fn measurement_mismatch_rejected() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut server = DbaasServer::with_enclave(DictEnclave::with_seed(6));
+        let server = DbaasServer::with_enclave(DictEnclave::with_seed(6));
         let owner = DataOwner::generate(&mut rng);
         let service = SigningPlatform::default().verification_service();
         let wrong = Measurement::of(b"malicious-enclave");
         let err = owner
-            .provision(&mut server, &service, wrong, &mut rng)
+            .provision(&server, &service, wrong, &mut rng)
             .unwrap_err();
         assert_eq!(
             err,

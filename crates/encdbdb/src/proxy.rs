@@ -50,8 +50,9 @@ impl QueryResult {
     }
 }
 
-/// The trusted proxy.
-#[derive(Debug)]
+/// The trusted proxy. `Clone` shares the master key, so every reader
+/// session can hold its own proxy handle.
+#[derive(Debug, Clone)]
 pub struct Proxy {
     skdb: Key128,
 }
@@ -202,7 +203,7 @@ impl Proxy {
     /// Propagates parse, lookup, and crypto failures.
     pub fn execute<R: Rng + ?Sized>(
         &self,
-        server: &mut DbaasServer,
+        server: &DbaasServer,
         sql: &str,
         rng: &mut R,
     ) -> Result<QueryResult, DbError> {
@@ -224,7 +225,7 @@ impl Proxy {
                 })
             }
             Statement::Insert { table, rows } => {
-                let schema = server.schema(&table)?.clone();
+                let schema = server.schema(&table)?;
                 let mut cells = Vec::with_capacity(rows.len());
                 for row in rows {
                     if row.len() != schema.columns.len() {
@@ -270,7 +271,7 @@ impl Proxy {
                 order_by,
                 limit,
             } => {
-                let schema = server.schema(&table)?.clone();
+                let schema = server.schema(&table)?;
                 let plan = compile_select(&schema, &items, &group_by, &order_by, limit)?;
                 let filters = self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
                 match plan {
@@ -308,7 +309,7 @@ impl Proxy {
                 }
             }
             Statement::Delete { table, filter } => {
-                let schema = server.schema(&table)?.clone();
+                let schema = server.schema(&table)?;
                 let filters = self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
                 let outcome = server.execute_query(ServerQuery::Delete { table, filters })?;
                 let QueryOutcome::Affected(n) = outcome else {

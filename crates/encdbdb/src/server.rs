@@ -2,24 +2,52 @@
 //! (paper Fig. 5, steps 6–13).
 //!
 //! The server holds encrypted dictionaries, plaintext attribute vectors and
-//! delta stores, hosts the dictionary enclave, and evaluates decomposed
+//! delta stores, hosts the dictionary enclaves, and evaluates decomposed
 //! queries: it passes the encrypted range filter to the enclave (step 8),
 //! scans the attribute vector for the returned ValueIDs (step 11), applies
 //! validity, and renders result columns by *undoing the split*:
 //! `eC = (eD_j | j = AV_i ∧ i ∈ rid)` (step 12). The server never sees a
 //! plaintext of an encrypted column — values enter and leave as PAE
 //! ciphertexts.
+//!
+//! # Concurrency model (DESIGN.md §9)
+//!
+//! [`DbaasServer`] is a cheaply clonable *handle*: every clone shares the
+//! same storage, so any number of reader sessions can execute queries
+//! concurrently. Each table's main store is an immutable, epoch-tagged
+//! [`MainSnapshot`] published behind an `Arc`; queries acquire an owned
+//! `TableSnapshot` (Arc clone of the main state plus a frozen copy of the
+//! small delta) under a short mutex and then run entirely lock-free against
+//! it. Writes append to the delta store under the same short mutex.
+//!
+//! Compaction (§4.3's protected merge) runs *off the query path*: a
+//! dedicated merge enclave rebuilds the main store from a delta prefix
+//! captured at a watermark, then atomically publishes the next epoch.
+//! Readers that hold the old snapshot drain on it; new readers pick up the
+//! rebuilt store. A [`CompactionPolicy`] triggers background merges by
+//! delta row count or invalid-row fraction.
 
 use crate::error::DbError;
 use crate::schema::{DictChoice, TableSchema};
 use colstore::delta::{DeltaStore, ValidityVector};
 use colstore::dictionary::{AttributeVector, RecordId};
 use encdict::avsearch::{self, Parallelism, SetSearchStrategy};
-use encdict::dynamic::EncryptedDeltaStore;
+use encdict::dynamic::{EncryptedDeltaStore, MainSnapshot};
 use encdict::enclave_ops::MergeRequest;
 use encdict::plain::search_plain;
 use encdict::{DictEnclave, EncryptedDictionary, EncryptedRange, PlainDictionary, RangeQuery};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Locks a mutex, recovering the inner data if a panicking thread poisoned
+/// it (a reader assertion failure must not cascade into every other
+/// session).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// One value cell crossing the server boundary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,41 +165,198 @@ pub struct QueryStats {
     /// Number of dictionary values decrypted inside the enclave — bounded
     /// by the distinct touched ValueIDs, never by the row count.
     pub values_decrypted: usize,
+    /// The merge generation (epoch) of the main-store snapshot the query
+    /// executed against. Monotone per table: compactions only ever
+    /// increment it.
+    pub snapshot_epoch: u64,
 }
 
-/// Storage of one column on the server.
-#[derive(Debug)]
-pub(crate) enum ServerColumn {
-    Encrypted {
-        dict: EncryptedDictionary,
-        av: AttributeVector,
-        delta: EncryptedDeltaStore,
-    },
+/// When the compaction scheduler rebuilds a table's main store (§4.3's
+/// "periodic merge", made threshold-driven).
+///
+/// Either condition triggers a background merge after an insert or delete.
+/// The trade-off is classic LSM-style: a small `max_delta_rows` keeps the
+/// linearly scanned ED9 delta short (fast reads) at the cost of frequent
+/// rebuilds; `max_invalid_fraction` bounds the space and scan time wasted
+/// on deleted rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Merge once the delta store holds at least this many rows.
+    pub max_delta_rows: usize,
+    /// Merge once this fraction of main-store rows is invalidated.
+    pub max_invalid_fraction: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            max_delta_rows: 4096,
+            max_invalid_fraction: 0.3,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// Whether the observed table state warrants a merge.
+    pub fn triggered(&self, delta_rows: usize, main_rows: usize, main_valid: usize) -> bool {
+        if delta_rows >= self.max_delta_rows.max(1) {
+            return true;
+        }
+        if main_rows > 0 {
+            let invalid = (main_rows - main_valid) as f64 / main_rows as f64;
+            if invalid >= self.max_invalid_fraction {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Observable compaction state of one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Current merge generation of the published main store.
+    pub epoch: u64,
+    /// Completed merges (epoch publishes).
+    pub merges_completed: u64,
+    /// Merges discarded because a delete raced the rebuild.
+    pub merges_aborted: u64,
+    /// Merges that failed inside the enclave.
+    pub merges_failed: u64,
+    /// Delta rows folded into main stores so far.
+    pub rows_compacted: u64,
+    /// Rows currently waiting in the delta store.
+    pub delta_rows: usize,
+    /// Whether a background merge is running right now.
+    pub merge_in_flight: bool,
+    /// The error message of the most recent failed background merge.
+    pub last_error: Option<String>,
+}
+
+/// Per-column immutable main store within one epoch.
+#[derive(Debug, Clone)]
+pub(crate) enum MainColumn {
+    /// Encrypted dictionary + attribute vector (epoch-tagged).
+    Encrypted(MainSnapshot),
+    /// Plaintext dictionary + attribute vector.
     Plain {
-        dict: PlainDictionary,
-        av: AttributeVector,
-        delta: DeltaStore,
+        dict: Arc<PlainDictionary>,
+        av: Arc<AttributeVector>,
     },
 }
 
-impl ServerColumn {
+impl MainColumn {
     /// Whether the column is protected by an encrypted dictionary.
     pub(crate) fn is_encrypted(&self) -> bool {
-        matches!(self, ServerColumn::Encrypted { .. })
+        matches!(self, MainColumn::Encrypted(_))
     }
 
     /// The attribute-vector ValueIDs of the main store.
     pub(crate) fn av_slice(&self) -> &[u32] {
         match self {
-            ServerColumn::Encrypted { av, .. } | ServerColumn::Plain { av, .. } => av.as_slice(),
+            MainColumn::Encrypted(snap) => snap.av().as_slice(),
+            MainColumn::Plain { av, .. } => av.as_slice(),
         }
     }
 
     /// The main dictionary length (= offset of the delta code space).
     pub(crate) fn main_len(&self) -> usize {
         match self {
-            ServerColumn::Encrypted { dict, .. } => dict.len(),
-            ServerColumn::Plain { dict, .. } => dict.len(),
+            MainColumn::Encrypted(snap) => snap.dict().len(),
+            MainColumn::Plain { dict, .. } => dict.len(),
+        }
+    }
+}
+
+/// The immutable main state of a table: one generation, swapped wholesale
+/// when a compaction publishes.
+#[derive(Debug)]
+pub(crate) struct MainState {
+    pub(crate) epoch: u64,
+    pub(crate) columns: Vec<MainColumn>,
+    pub(crate) rows: usize,
+}
+
+/// One column's delta store. `Clone` freezes it as a snapshot.
+#[derive(Debug, Clone)]
+pub(crate) enum ColumnDelta {
+    Encrypted(EncryptedDeltaStore),
+    Plain(DeltaStore),
+}
+
+impl ColumnDelta {
+    fn prefix(&self, n: usize) -> ColumnDelta {
+        match self {
+            ColumnDelta::Encrypted(d) => ColumnDelta::Encrypted(d.prefix(n)),
+            ColumnDelta::Plain(d) => ColumnDelta::Plain(d.prefix(n)),
+        }
+    }
+
+    fn drain_prefix(&mut self, n: usize) {
+        match self {
+            ColumnDelta::Encrypted(d) => d.drain_prefix(n),
+            ColumnDelta::Plain(d) => d.drain_prefix(n),
+        }
+    }
+}
+
+/// An owned, consistent view of one table: the Arc'd main generation plus
+/// a frozen copy of the (small, threshold-bounded) delta side. Everything a
+/// read query touches lives here, so queries never hold a lock while
+/// searching, scanning or rendering.
+#[derive(Debug)]
+pub(crate) struct TableSnapshot {
+    pub(crate) main: Arc<MainState>,
+    pub(crate) main_validity: Arc<ValidityVector>,
+    pub(crate) deltas: Vec<ColumnDelta>,
+    pub(crate) delta_rows: usize,
+    pub(crate) delta_validity: ValidityVector,
+}
+
+/// Mutable per-table state, guarded by a short-held mutex.
+#[derive(Debug)]
+struct TableState {
+    main: Arc<MainState>,
+    /// Copy-on-write: snapshots and merge jobs clone the `Arc`; deletes
+    /// (the rare path) pay the copy via `Arc::make_mut`.
+    main_validity: Arc<ValidityVector>,
+    /// Invalidated main rows — keeps the compaction-policy check O(1)
+    /// instead of a popcount scan per write.
+    main_invalid: usize,
+    deltas: Vec<ColumnDelta>,
+    delta_rows: usize,
+    delta_validity: ValidityVector,
+    merge_in_flight: bool,
+    /// Delta rows below this watermark are being folded by the in-flight
+    /// merge.
+    merge_watermark: usize,
+    /// Set when a delete touched rows the in-flight merge already read;
+    /// the publish is then aborted and retried.
+    deletes_during_merge: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct ServerTable {
+    pub(crate) schema: TableSchema,
+    state: Mutex<TableState>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    merges_completed: AtomicU64,
+    merges_aborted: AtomicU64,
+    merges_failed: AtomicU64,
+    rows_compacted: AtomicU64,
+    last_error: Mutex<Option<String>>,
+}
+
+impl ServerTable {
+    /// Acquires a consistent read snapshot (one short lock).
+    pub(crate) fn snapshot(&self) -> TableSnapshot {
+        let state = lock(&self.state);
+        TableSnapshot {
+            main: Arc::clone(&state.main),
+            main_validity: Arc::clone(&state.main_validity),
+            deltas: state.deltas.clone(),
+            delta_rows: state.delta_rows,
+            delta_validity: state.delta_validity.clone(),
         }
     }
 }
@@ -185,61 +370,142 @@ pub enum DeployedColumn {
     Plain(PlainDictionary, AttributeVector),
 }
 
-#[derive(Debug)]
-pub(crate) struct ServerTable {
-    pub(crate) schema: TableSchema,
-    pub(crate) columns: Vec<ServerColumn>,
-    main_rows: usize,
-    main_validity: ValidityVector,
-    delta_rows: usize,
-    delta_validity: ValidityVector,
+/// Shared, copy-on-read server configuration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Config {
+    pub(crate) parallelism: Parallelism,
+    pub(crate) set_strategy: SetSearchStrategy,
+    policy: Option<CompactionPolicy>,
+    merge_throttle: Option<Duration>,
 }
 
-/// The DBaaS server.
-#[derive(Debug)]
+/// The outcome of one compaction attempt.
+enum CompactionOutcome {
+    /// A new epoch was published.
+    Completed,
+    /// Nothing to do: empty delta over a fully valid main store.
+    Noop,
+    /// A delete raced the rebuild; the result was discarded.
+    Aborted,
+    /// Another merge was already in flight.
+    AlreadyRunning,
+}
+
+/// Everything a merge needs, captured at the watermark under one lock.
+struct CompactionJob {
+    epoch: u64,
+    main: Arc<MainState>,
+    main_validity: Arc<ValidityVector>,
+    delta_prefixes: Vec<ColumnDelta>,
+    delta_validity: ValidityVector,
+    watermark: usize,
+}
+
+/// The DBaaS server — a cheaply clonable handle over shared state; see the
+/// module docs for the concurrency model.
+#[derive(Debug, Clone)]
 pub struct DbaasServer {
-    pub(crate) enclave: DictEnclave,
-    pub(crate) tables: HashMap<String, ServerTable>,
-    pub(crate) parallelism: Parallelism,
-    set_strategy: SetSearchStrategy,
-    pub(crate) last_stats: QueryStats,
+    /// The enclave serving query-path ECALLs (search, re-encrypt,
+    /// aggregate). Locked per ECALL.
+    enclave: Arc<Mutex<DictEnclave>>,
+    /// A second enclave instance (same measured code) dedicated to merges,
+    /// so a long compaction ECALL never blocks the query path.
+    merge_enclave: Arc<Mutex<DictEnclave>>,
+    tables: Arc<RwLock<HashMap<String, Arc<ServerTable>>>>,
+    config: Arc<Mutex<Config>>,
+    last_stats: Arc<Mutex<QueryStats>>,
 }
 
 impl DbaasServer {
-    /// Creates a server with a fresh enclave.
+    /// Creates a server with fresh enclaves.
     pub fn new() -> Self {
-        Self::with_enclave(DictEnclave::new())
+        Self::with_enclaves(DictEnclave::new(), DictEnclave::new())
     }
 
-    /// Creates a server around an existing enclave (e.g. deterministic).
+    /// Creates a server around an existing query enclave (e.g.
+    /// deterministic); the merge enclave is OS-seeded.
     pub fn with_enclave(enclave: DictEnclave) -> Self {
+        Self::with_enclaves(enclave, DictEnclave::new())
+    }
+
+    /// Creates a server around explicit query and merge enclaves.
+    pub fn with_enclaves(query: DictEnclave, merge: DictEnclave) -> Self {
         DbaasServer {
-            enclave,
-            tables: HashMap::new(),
-            parallelism: Parallelism::Serial,
-            set_strategy: SetSearchStrategy::PaperLinear,
-            last_stats: QueryStats::default(),
+            enclave: Arc::new(Mutex::new(query)),
+            merge_enclave: Arc::new(Mutex::new(merge)),
+            tables: Arc::new(RwLock::new(HashMap::new())),
+            config: Arc::new(Mutex::new(Config {
+                parallelism: Parallelism::Serial,
+                set_strategy: SetSearchStrategy::PaperLinear,
+                // A bounded delta by default: snapshots copy the delta
+                // side, so it must not grow without limit.
+                policy: Some(CompactionPolicy::default()),
+                merge_throttle: None,
+            })),
+            last_stats: Arc::new(Mutex::new(QueryStats::default())),
         }
     }
 
     /// Configures attribute-vector scan parallelism.
-    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
-        self.parallelism = parallelism;
+    pub fn set_parallelism(&self, parallelism: Parallelism) {
+        lock(&self.config).parallelism = parallelism;
     }
 
     /// Configures the membership strategy for unsorted-kind results.
-    pub fn set_set_strategy(&mut self, strategy: SetSearchStrategy) {
-        self.set_strategy = strategy;
+    pub fn set_set_strategy(&self, strategy: SetSearchStrategy) {
+        lock(&self.config).set_strategy = strategy;
     }
 
-    /// Access to the enclave (attestation/provisioning pass-through).
-    pub fn enclave_mut(&mut self) -> &mut DictEnclave {
-        &mut self.enclave
+    /// Installs (or removes) the threshold-driven compaction policy. The
+    /// default is [`CompactionPolicy::default`] — read snapshots copy the
+    /// delta side, so the delta must stay bounded. `None` disables
+    /// automatic merges entirely (deterministic single-threaded
+    /// deployments; the caller then owns keeping the delta small via
+    /// [`DbaasServer::merge_table`]).
+    pub fn set_compaction_policy(&self, policy: Option<CompactionPolicy>) {
+        lock(&self.config).policy = policy;
     }
 
-    /// Latency breakdown of the most recent select.
+    /// Paces compaction: sleep this long after each column merge, bounding
+    /// the rebuild's resource share (and, in tests, pinning a merge
+    /// in-flight long enough to observe reader overlap).
+    pub fn set_merge_throttle(&self, throttle: Option<Duration>) {
+        lock(&self.config).merge_throttle = throttle;
+    }
+
+    /// Locks and returns the query enclave (attestation/provisioning and
+    /// counter inspection pass-through).
+    pub fn enclave(&self) -> MutexGuard<'_, DictEnclave> {
+        lock(&self.enclave)
+    }
+
+    /// Locks and returns the merge enclave.
+    pub fn merge_enclave(&self) -> MutexGuard<'_, DictEnclave> {
+        lock(&self.merge_enclave)
+    }
+
+    /// Both enclave instances, for provisioning loops.
+    pub(crate) fn enclave_handles(&self) -> [&Arc<Mutex<DictEnclave>>; 2] {
+        [&self.enclave, &self.merge_enclave]
+    }
+
+    /// The query-path enclave handle (the `exec` engine's ECALL path).
+    pub(crate) fn query_enclave_handle(&self) -> &Arc<Mutex<DictEnclave>> {
+        &self.enclave
+    }
+
+    /// Installs `SK_DB` directly into both enclaves (trusted-setup
+    /// variant, §4.2).
+    pub fn provision_direct(&self, skdb: encdbdb_crypto::Key128) {
+        self.enclave().provision_direct(skdb.clone());
+        self.merge_enclave().provision_direct(skdb);
+    }
+
+    /// Latency breakdown of the most recent select on this handle's shared
+    /// state. With concurrent readers, prefer per-query inspection through
+    /// a single session at a time.
     pub fn last_stats(&self) -> QueryStats {
-        self.last_stats
+        *lock(&self.last_stats)
     }
 
     /// Deploys an encrypted table (Fig. 5 step 4).
@@ -249,13 +515,10 @@ impl DbaasServer {
     /// Returns [`DbError::TableExists`] on duplicates or
     /// [`DbError::ArityMismatch`] if columns don't match the schema.
     pub fn deploy_table(
-        &mut self,
+        &self,
         schema: TableSchema,
         columns: Vec<DeployedColumn>,
     ) -> Result<(), DbError> {
-        if self.tables.contains_key(&schema.name) {
-            return Err(DbError::TableExists(schema.name));
-        }
         if columns.len() != schema.columns.len() {
             return Err(DbError::ArityMismatch {
                 expected: schema.columns.len(),
@@ -263,56 +526,67 @@ impl DbaasServer {
             });
         }
         let mut rows = None;
-        let mut server_columns = Vec::with_capacity(columns.len());
+        let mut main_columns = Vec::with_capacity(columns.len());
+        let mut deltas = Vec::with_capacity(columns.len());
         for (spec, deployed) in schema.columns.iter().zip(columns) {
-            let column = match deployed {
+            let check_rows = |rows: &mut Option<usize>, got: usize| match *rows {
+                None => {
+                    *rows = Some(got);
+                    Ok(())
+                }
+                Some(r) if r == got => Ok(()),
+                Some(r) => Err(DbError::ArityMismatch { expected: r, got }),
+            };
+            match deployed {
                 DeployedColumn::Encrypted(dict, av) => {
-                    let delta = EncryptedDeltaStore::new(
+                    check_rows(&mut rows, av.len())?;
+                    deltas.push(ColumnDelta::Encrypted(EncryptedDeltaStore::new(
                         schema.name.clone(),
                         spec.name.clone(),
                         spec.max_len,
-                    );
-                    match rows {
-                        None => rows = Some(av.len()),
-                        Some(r) if r == av.len() => {}
-                        Some(r) => {
-                            return Err(DbError::ArityMismatch {
-                                expected: r,
-                                got: av.len(),
-                            })
-                        }
-                    }
-                    ServerColumn::Encrypted { dict, av, delta }
+                    )));
+                    main_columns.push(MainColumn::Encrypted(MainSnapshot::new(0, dict, av)));
                 }
                 DeployedColumn::Plain(dict, av) => {
-                    let delta = DeltaStore::new(spec.max_len);
-                    match rows {
-                        None => rows = Some(av.len()),
-                        Some(r) if r == av.len() => {}
-                        Some(r) => {
-                            return Err(DbError::ArityMismatch {
-                                expected: r,
-                                got: av.len(),
-                            })
-                        }
-                    }
-                    ServerColumn::Plain { dict, av, delta }
+                    check_rows(&mut rows, av.len())?;
+                    deltas.push(ColumnDelta::Plain(DeltaStore::new(spec.max_len)));
+                    main_columns.push(MainColumn::Plain {
+                        dict: Arc::new(dict),
+                        av: Arc::new(av),
+                    });
                 }
-            };
-            server_columns.push(column);
+            }
         }
         let main_rows = rows.unwrap_or(0);
-        self.tables.insert(
-            schema.name.clone(),
-            ServerTable {
-                schema,
-                columns: server_columns,
-                main_rows,
-                main_validity: ValidityVector::all_valid(main_rows),
+        let table = ServerTable {
+            schema: schema.clone(),
+            state: Mutex::new(TableState {
+                main: Arc::new(MainState {
+                    epoch: 0,
+                    columns: main_columns,
+                    rows: main_rows,
+                }),
+                main_validity: Arc::new(ValidityVector::all_valid(main_rows)),
+                main_invalid: 0,
+                deltas,
                 delta_rows: 0,
                 delta_validity: ValidityVector::default(),
-            },
-        );
+                merge_in_flight: false,
+                merge_watermark: 0,
+                deletes_during_merge: false,
+            }),
+            worker: Mutex::new(None),
+            merges_completed: AtomicU64::new(0),
+            merges_aborted: AtomicU64::new(0),
+            merges_failed: AtomicU64::new(0),
+            rows_compacted: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+        };
+        let mut tables = self.tables.write().unwrap_or_else(|e| e.into_inner());
+        if tables.contains_key(&schema.name) {
+            return Err(DbError::TableExists(schema.name));
+        }
+        tables.insert(schema.name, Arc::new(table));
         Ok(())
     }
 
@@ -322,7 +596,7 @@ impl DbaasServer {
     /// # Errors
     ///
     /// Returns [`DbError::TableExists`] on duplicates.
-    pub fn create_table(&mut self, schema: TableSchema) -> Result<(), DbError> {
+    pub fn create_table(&self, schema: TableSchema) -> Result<(), DbError> {
         let deployed = schema
             .columns
             .iter()
@@ -345,8 +619,8 @@ impl DbaasServer {
     /// # Errors
     ///
     /// Returns [`DbError::TableNotFound`] if absent.
-    pub fn schema(&self, table: &str) -> Result<&TableSchema, DbError> {
-        Ok(&self.table(table)?.schema)
+    pub fn schema(&self, table: &str) -> Result<TableSchema, DbError> {
+        Ok(self.table_handle(table)?.schema.clone())
     }
 
     /// Total number of valid rows in a table.
@@ -355,8 +629,9 @@ impl DbaasServer {
     ///
     /// Returns [`DbError::TableNotFound`] if absent.
     pub fn row_count(&self, table: &str) -> Result<usize, DbError> {
-        let t = self.table(table)?;
-        Ok(t.main_validity.count_valid() + t.delta_validity.count_valid())
+        let t = self.table_handle(table)?;
+        let state = lock(&t.state);
+        Ok(state.main_validity.count_valid() + state.delta_validity.count_valid())
     }
 
     /// Storage size in bytes of one column's main representation (Table 6).
@@ -365,31 +640,85 @@ impl DbaasServer {
     ///
     /// Returns [`DbError::TableNotFound`]/[`DbError::ColumnNotFound`].
     pub fn column_storage_size(&self, table: &str, column: &str) -> Result<usize, DbError> {
-        let t = self.table(table)?;
+        let t = self.table_handle(table)?;
         let (idx, _) = t
             .schema
             .column(column)
             .ok_or_else(|| DbError::ColumnNotFound(column.to_string()))?;
-        Ok(match &t.columns[idx] {
-            ServerColumn::Encrypted { dict, av, delta } => {
-                dict.storage_size() + av.packed_size(dict.len()) + delta.storage_size()
+        let snap = t.snapshot();
+        Ok(match (&snap.main.columns[idx], &snap.deltas[idx]) {
+            (MainColumn::Encrypted(main), ColumnDelta::Encrypted(delta)) => {
+                main.dict().storage_size()
+                    + main.av().packed_size(main.dict().len())
+                    + delta.storage_size()
             }
-            ServerColumn::Plain { dict, av, .. } => {
-                dict.storage_size() + av.packed_size(dict.len())
-            }
+            (MainColumn::Plain { dict, av }, _) => dict.storage_size() + av.packed_size(dict.len()),
+            _ => unreachable!("schema/storage mismatch"),
         })
     }
 
-    fn table(&self, name: &str) -> Result<&ServerTable, DbError> {
+    /// The current merge generation of a table's published main store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableNotFound`] if absent.
+    pub fn epoch(&self, table: &str) -> Result<u64, DbError> {
+        let t = self.table_handle(table)?;
+        let state = lock(&t.state);
+        Ok(state.main.epoch)
+    }
+
+    /// Whether a compaction is currently rebuilding this table's main
+    /// store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableNotFound`] if absent.
+    pub fn merge_in_flight(&self, table: &str) -> Result<bool, DbError> {
+        let t = self.table_handle(table)?;
+        let in_flight = lock(&t.state).merge_in_flight;
+        Ok(in_flight)
+    }
+
+    /// Compaction counters and live state of one table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableNotFound`] if absent.
+    pub fn compaction_stats(&self, table: &str) -> Result<CompactionStats, DbError> {
+        let t = self.table_handle(table)?;
+        let (epoch, delta_rows, merge_in_flight) = {
+            let state = lock(&t.state);
+            (state.main.epoch, state.delta_rows, state.merge_in_flight)
+        };
+        let last_error = lock(&t.last_error).clone();
+        Ok(CompactionStats {
+            epoch,
+            merges_completed: t.merges_completed.load(Ordering::SeqCst),
+            merges_aborted: t.merges_aborted.load(Ordering::SeqCst),
+            merges_failed: t.merges_failed.load(Ordering::SeqCst),
+            rows_compacted: t.rows_compacted.load(Ordering::SeqCst),
+            delta_rows,
+            merge_in_flight,
+            last_error,
+        })
+    }
+
+    pub(crate) fn table_handle(&self, name: &str) -> Result<Arc<ServerTable>, DbError> {
         self.tables
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
             .get(name)
+            .cloned()
             .ok_or_else(|| DbError::TableNotFound(name.to_string()))
     }
 
-    fn table_mut(&mut self, name: &str) -> Result<&mut ServerTable, DbError> {
-        self.tables
-            .get_mut(name)
-            .ok_or_else(|| DbError::TableNotFound(name.to_string()))
+    pub(crate) fn config(&self) -> Config {
+        *lock(&self.config)
+    }
+
+    pub(crate) fn store_stats(&self, stats: QueryStats) {
+        *lock(&self.last_stats) = stats;
     }
 
     /// Executes a select (Fig. 5 steps 6–13).
@@ -398,7 +727,7 @@ impl DbaasServer {
     ///
     /// Propagates lookup and enclave failures.
     pub fn select(
-        &mut self,
+        &self,
         table: &str,
         columns: &[String],
         filter: Option<&ServerFilter>,
@@ -414,20 +743,24 @@ impl DbaasServer {
     /// the prefiltering the paper sketches in step 12 ("rid would be used
     /// to prefilter other columns in the same table"). Each filter runs its
     /// own dictionary + attribute-vector search; the RecordID lists are
-    /// intersected.
+    /// intersected. The whole query executes against one consistent
+    /// snapshot.
     ///
     /// # Errors
     ///
     /// Propagates lookup and enclave failures.
     pub fn select_multi(
-        &mut self,
+        &self,
         table: &str,
         columns: &[String],
         filters: &[ServerFilter],
     ) -> Result<SelectResponse, DbError> {
-        let (main_rids, delta_rids, stats) = self.matching_rids_multi(table, filters)?;
+        let cfg = self.config();
+        let t = self.table_handle(table)?;
+        let snap = t.snapshot();
+        let (main_rids, delta_rids, stats) =
+            matching_rids_multi(&snap, &t.schema, &self.enclave, filters, &cfg)?;
         let render_start = std::time::Instant::now();
-        let t = self.table(table)?;
         let projected: Vec<String> = if columns.is_empty() {
             t.schema.columns.iter().map(|c| c.name.clone()).collect()
         } else {
@@ -446,138 +779,27 @@ impl DbaasServer {
         for &rid in &main_rids {
             let mut row = Vec::with_capacity(col_indices.len());
             for &idx in &col_indices {
-                row.push(render_main_cell(&t.columns[idx], rid));
+                row.push(render_main_cell(&snap.main.columns[idx], rid));
             }
             rows.push(row);
         }
         for &rid in &delta_rids {
             let mut row = Vec::with_capacity(col_indices.len());
             for &idx in &col_indices {
-                row.push(render_delta_cell(&t.columns[idx], rid));
+                row.push(render_delta_cell(&snap.deltas[idx], rid));
             }
             rows.push(row);
         }
-        self.last_stats = QueryStats {
+        self.store_stats(QueryStats {
             render_ns: render_start.elapsed().as_nanos() as u64,
             result_rows: rows.len(),
+            snapshot_epoch: snap.main.epoch,
             ..stats
-        };
+        });
         Ok(SelectResponse {
             columns: projected,
             rows,
         })
-    }
-
-    /// Conjunction of filters: intersects the per-filter RecordID lists
-    /// (all are ascending, so the intersection is a linear merge).
-    pub(crate) fn matching_rids_multi(
-        &mut self,
-        table: &str,
-        filters: &[ServerFilter],
-    ) -> Result<(Vec<RecordId>, Vec<RecordId>, QueryStats), DbError> {
-        if filters.len() <= 1 {
-            return self.matching_rids(table, filters.first());
-        }
-        let mut acc: Option<(Vec<RecordId>, Vec<RecordId>)> = None;
-        let mut stats = QueryStats::default();
-        for f in filters {
-            let (main, delta, s) = self.matching_rids(table, Some(f))?;
-            stats.dict_search_ns += s.dict_search_ns;
-            stats.av_search_ns += s.av_search_ns;
-            stats.enclave_calls += s.enclave_calls;
-            acc = Some(match acc {
-                None => (main, delta),
-                Some((am, ad)) => (intersect_sorted(&am, &main), intersect_sorted(&ad, &delta)),
-            });
-        }
-        let (main, delta) = acc.unwrap_or_default();
-        Ok((main, delta, stats))
-    }
-
-    /// Computes the valid matching RecordIDs in main and delta stores.
-    fn matching_rids(
-        &mut self,
-        table: &str,
-        filter: Option<&ServerFilter>,
-    ) -> Result<(Vec<RecordId>, Vec<RecordId>, QueryStats), DbError> {
-        let parallelism = self.parallelism;
-        let strategy = self.set_strategy;
-        let mut stats = QueryStats::default();
-        let Some(filter) = filter else {
-            // Unfiltered: all valid rows.
-            let t = self.table(table)?;
-            let main = (0..t.main_rows as u32)
-                .map(RecordId)
-                .filter(|r| t.main_validity.is_valid(r.0 as usize))
-                .collect();
-            let delta = (0..t.delta_rows as u32)
-                .map(RecordId)
-                .filter(|r| t.delta_validity.is_valid(r.0 as usize))
-                .collect();
-            return Ok((main, delta, stats));
-        };
-
-        // Split borrows: enclave and tables are disjoint fields.
-        let enclave = &mut self.enclave;
-        let t = self
-            .tables
-            .get(table)
-            .ok_or_else(|| DbError::TableNotFound(table.to_string()))?;
-        let (idx, _) = t
-            .schema
-            .column(filter.column())
-            .ok_or_else(|| DbError::ColumnNotFound(filter.column().to_string()))?;
-
-        let (main_rids, delta_rids) = match (&t.columns[idx], filter) {
-            (
-                ServerColumn::Encrypted { dict, av, delta },
-                ServerFilter::Encrypted { range, .. },
-            ) => {
-                let dict_start = std::time::Instant::now();
-                let result = enclave.search(dict, range)?;
-                stats.dict_search_ns = dict_start.elapsed().as_nanos() as u64;
-                stats.enclave_calls += 1;
-                let av_start = std::time::Instant::now();
-                let main = avsearch::search(av, &result, dict.len(), strategy, parallelism);
-                stats.av_search_ns = av_start.elapsed().as_nanos() as u64;
-                // The empty delta of a never-inserted table needs no ECALL.
-                let delta_rids = if delta.is_empty() {
-                    Vec::new()
-                } else {
-                    stats.enclave_calls += 1;
-                    delta.search(enclave, range)?
-                };
-                (main, delta_rids)
-            }
-            (ServerColumn::Plain { dict, av, delta }, ServerFilter::Plain { range, .. }) => {
-                let dict_start = std::time::Instant::now();
-                let result = search_plain(dict, range)?;
-                stats.dict_search_ns = dict_start.elapsed().as_nanos() as u64;
-                let av_start = std::time::Instant::now();
-                let main = avsearch::search(av, &result, dict.len(), strategy, parallelism);
-                stats.av_search_ns = av_start.elapsed().as_nanos() as u64;
-                let delta_rids = delta
-                    .iter_valid()
-                    .filter(|(_, v)| range.contains(v))
-                    .map(|(rid, _)| rid)
-                    .collect();
-                (main, delta_rids)
-            }
-            _ => {
-                return Err(DbError::UnsupportedFilter(
-                    "filter form does not match column protection".to_string(),
-                ))
-            }
-        };
-        let main = main_rids
-            .into_iter()
-            .filter(|r| t.main_validity.is_valid(r.0 as usize))
-            .collect();
-        let delta = delta_rids
-            .into_iter()
-            .filter(|r| t.delta_validity.is_valid(r.0 as usize))
-            .collect();
-        Ok((main, delta, stats))
     }
 
     /// Counts matching valid rows without rendering result columns — a
@@ -587,7 +809,7 @@ impl DbaasServer {
     /// # Errors
     ///
     /// Propagates lookup and enclave failures.
-    pub fn count(&mut self, table: &str, filter: Option<&ServerFilter>) -> Result<usize, DbError> {
+    pub fn count(&self, table: &str, filter: Option<&ServerFilter>) -> Result<usize, DbError> {
         self.count_multi(table, filter.map(std::slice::from_ref).unwrap_or(&[]))
     }
 
@@ -596,74 +818,73 @@ impl DbaasServer {
     /// # Errors
     ///
     /// Propagates lookup and enclave failures.
-    pub fn count_multi(&mut self, table: &str, filters: &[ServerFilter]) -> Result<usize, DbError> {
-        let (main, delta, _) = self.matching_rids_multi(table, filters)?;
+    pub fn count_multi(&self, table: &str, filters: &[ServerFilter]) -> Result<usize, DbError> {
+        let cfg = self.config();
+        let t = self.table_handle(table)?;
+        let snap = t.snapshot();
+        let (main, delta, _) = matching_rids_multi(&snap, &t.schema, &self.enclave, filters, &cfg)?;
         Ok(main.len() + delta.len())
     }
 
     /// Deletes rows matching a conjunction of filters.
     ///
-    /// # Errors
-    ///
-    /// Propagates lookup and enclave failures.
-    pub fn delete_multi(
-        &mut self,
-        table: &str,
-        filters: &[ServerFilter],
-    ) -> Result<usize, DbError> {
-        let (main_rids, delta_rids, _) = self.matching_rids_multi(table, filters)?;
-        let t = self.table_mut(table)?;
-        for rid in &main_rids {
-            t.main_validity.invalidate(rid.0 as usize);
-        }
-        for rid in &delta_rids {
-            t.delta_validity.invalidate(rid.0 as usize);
-        }
-        Ok(main_rids.len() + delta_rids.len())
-    }
-
-    /// Appends rows to a table's delta stores (§4.3).
+    /// The matching RecordIDs are computed against a snapshot; if a
+    /// compaction publishes a new epoch in between (renumbering rows), the
+    /// delete retries against the fresh state.
     ///
     /// # Errors
     ///
-    /// Propagates lookup, arity and enclave failures.
-    pub fn insert(&mut self, table: &str, rows: &[Vec<CellValue>]) -> Result<usize, DbError> {
-        let enclave = &mut self.enclave;
-        let t = self
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| DbError::TableNotFound(table.to_string()))?;
-        for row in rows {
-            if row.len() != t.columns.len() {
-                return Err(DbError::ArityMismatch {
-                    expected: t.columns.len(),
-                    got: row.len(),
-                });
-            }
-            for (col, cell) in t.columns.iter_mut().zip(row) {
-                match (col, cell) {
-                    (ServerColumn::Encrypted { delta, .. }, CellValue::Encrypted(ct)) => {
-                        delta.insert(enclave, ct)?;
+    /// Propagates lookup and enclave failures; returns
+    /// [`DbError::MergeConflict`] if compactions keep racing the delete.
+    pub fn delete_multi(&self, table: &str, filters: &[ServerFilter]) -> Result<usize, DbError> {
+        let cfg = self.config();
+        let t = self.table_handle(table)?;
+        for _attempt in 0..MERGE_RETRIES {
+            let snap = t.snapshot();
+            let (main_rids, delta_rids, _) =
+                matching_rids_multi(&snap, &t.schema, &self.enclave, filters, &cfg)?;
+            let deleted;
+            {
+                let mut state = lock(&t.state);
+                if state.main.epoch != snap.main.epoch {
+                    continue; // A merge published mid-delete; recompute.
+                }
+                // Count (and conflict-flag) only rows whose validity bit
+                // actually flips: a racing delete of the same rows must
+                // not double-report or abort a merge for nothing.
+                let mut flipped_main = 0usize;
+                if !main_rids.is_empty() {
+                    let validity = Arc::make_mut(&mut state.main_validity);
+                    for rid in &main_rids {
+                        if validity.is_valid(rid.0 as usize) {
+                            validity.invalidate(rid.0 as usize);
+                            flipped_main += 1;
+                        }
                     }
-                    (ServerColumn::Plain { delta, .. }, CellValue::Plain(v)) => {
-                        delta.insert(v).map_err(|e| match e {
-                            colstore::ColstoreError::ValueTooLong { got, max } => {
-                                DbError::ValueTooLong { got, max }
-                            }
-                            other => DbError::Storage(other),
-                        })?;
-                    }
-                    _ => {
-                        return Err(DbError::UnsupportedFilter(
-                            "cell form does not match column protection".to_string(),
-                        ))
+                    state.main_invalid += flipped_main;
+                }
+                let mut flipped_merged_delta = 0usize;
+                let mut flipped_delta = 0usize;
+                for rid in &delta_rids {
+                    if state.delta_validity.is_valid(rid.0 as usize) {
+                        state.delta_validity.invalidate(rid.0 as usize);
+                        flipped_delta += 1;
+                        if (rid.0 as usize) < state.merge_watermark {
+                            flipped_merged_delta += 1;
+                        }
                     }
                 }
+                if state.merge_in_flight && (flipped_main > 0 || flipped_merged_delta > 0) {
+                    state.deletes_during_merge = true;
+                }
+                deleted = flipped_main + flipped_delta;
             }
-            t.delta_rows += 1;
-            t.delta_validity.push(true);
+            self.maybe_compact(&t, &cfg);
+            return Ok(deleted);
         }
-        Ok(rows.len())
+        Err(DbError::MergeConflict(format!(
+            "delete on {table} kept racing compaction publishes"
+        )))
     }
 
     /// Invalidates matching rows (§4.3: "deletions are realizable by an
@@ -673,8 +894,80 @@ impl DbaasServer {
     /// # Errors
     ///
     /// Propagates lookup and enclave failures.
-    pub fn delete(&mut self, table: &str, filter: Option<&ServerFilter>) -> Result<usize, DbError> {
+    pub fn delete(&self, table: &str, filter: Option<&ServerFilter>) -> Result<usize, DbError> {
         self.delete_multi(table, filter.map(std::slice::from_ref).unwrap_or(&[]))
+    }
+
+    /// Appends rows to a table's delta stores (§4.3). Encrypted cells are
+    /// re-encrypted by the enclave *before* the storage lock is taken, so
+    /// the append itself is atomic with respect to concurrent snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup, arity and enclave failures.
+    pub fn insert(&self, table: &str, rows: &[Vec<CellValue>]) -> Result<usize, DbError> {
+        let cfg = self.config();
+        let t = self.table_handle(table)?;
+        // Step 1 (no storage lock): validate and re-encrypt every cell.
+        let mut prepared: Vec<Vec<CellValue>> = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != t.schema.columns.len() {
+                return Err(DbError::ArityMismatch {
+                    expected: t.schema.columns.len(),
+                    got: row.len(),
+                });
+            }
+            let mut out = Vec::with_capacity(row.len());
+            for (spec, cell) in t.schema.columns.iter().zip(row) {
+                match (&spec.choice, cell) {
+                    (DictChoice::Encrypted(_), CellValue::Encrypted(ct)) => {
+                        let fresh = self.enclave().reencrypt(&t.schema.name, &spec.name, ct)?;
+                        out.push(CellValue::Encrypted(fresh.into_bytes()));
+                    }
+                    (DictChoice::Plain, CellValue::Plain(v)) => {
+                        if v.len() > spec.max_len {
+                            return Err(DbError::ValueTooLong {
+                                got: v.len(),
+                                max: spec.max_len,
+                            });
+                        }
+                        out.push(CellValue::Plain(v.clone()));
+                    }
+                    _ => {
+                        return Err(DbError::UnsupportedFilter(
+                            "cell form does not match column protection".to_string(),
+                        ))
+                    }
+                }
+            }
+            prepared.push(out);
+        }
+        // Step 2 (one short lock): append all rows.
+        {
+            let mut state = lock(&t.state);
+            for row in prepared {
+                for (delta, cell) in state.deltas.iter_mut().zip(row) {
+                    match (delta, cell) {
+                        (ColumnDelta::Encrypted(d), CellValue::Encrypted(ct)) => {
+                            d.push_reencrypted(&ct);
+                        }
+                        (ColumnDelta::Plain(d), CellValue::Plain(v)) => {
+                            d.insert(&v).map_err(|e| match e {
+                                colstore::ColstoreError::ValueTooLong { got, max } => {
+                                    DbError::ValueTooLong { got, max }
+                                }
+                                other => DbError::Storage(other),
+                            })?;
+                        }
+                        _ => unreachable!("prepared cells match the schema"),
+                    }
+                }
+                state.delta_rows += 1;
+                state.delta_validity.push(true);
+            }
+        }
+        self.maybe_compact(&t, &cfg);
+        Ok(rows.len())
     }
 
     /// Executes a decomposed [`ServerQuery`] — the single entry point the
@@ -684,7 +977,7 @@ impl DbaasServer {
     /// # Errors
     ///
     /// Propagates lookup, arity and enclave failures.
-    pub fn execute_query(&mut self, query: ServerQuery) -> Result<QueryOutcome, DbError> {
+    pub fn execute_query(&self, query: ServerQuery) -> Result<QueryOutcome, DbError> {
         match query {
             ServerQuery::Select {
                 table,
@@ -707,89 +1000,157 @@ impl DbaasServer {
         }
     }
 
-    /// Merges every column's delta store into a freshly rebuilt main store
-    /// (§4.3). Encrypted columns are rebuilt inside the enclave with fresh
-    /// randomness; PLAIN columns are rebuilt locally.
+    /// Synchronously merges every column's delta store into a freshly
+    /// rebuilt main store and publishes the next epoch (§4.3). Encrypted
+    /// columns are rebuilt inside the merge enclave with fresh randomness;
+    /// PLAIN columns are rebuilt locally. A no-op (empty delta, no deleted
+    /// rows) returns without entering the enclave or bumping the epoch.
     ///
     /// # Errors
     ///
-    /// Propagates enclave and build failures.
-    pub fn merge_table(&mut self, table: &str) -> Result<(), DbError> {
-        let enclave = &mut self.enclave;
-        let t = self
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| DbError::TableNotFound(table.to_string()))?;
-        let mut new_rows = None;
-        for (spec, col) in t.schema.columns.iter().zip(t.columns.iter_mut()) {
-            match col {
-                ServerColumn::Encrypted { dict, av, delta } => {
-                    let kind = match spec.choice {
-                        DictChoice::Encrypted(kind) => kind,
-                        DictChoice::Plain => unreachable!("schema/storage mismatch"),
-                    };
-                    let (delta_dict, _) = delta.as_dictionary()?;
-                    let req = MergeRequest {
-                        table_name: dict.table_name(),
-                        col_name: dict.col_name(),
-                        max_len: dict.max_len(),
-                        kind,
-                        bs_max: spec.bs_max,
-                        main_head: dict.head_mem(),
-                        main_tail: dict.tail_mem(),
-                        main_len: dict.len(),
-                        main_av: av.as_slice(),
-                        main_valid: &t.main_validity,
-                        delta_head: delta_dict.head_mem(),
-                        delta_tail: delta_dict.tail_mem(),
-                        delta_len: delta_dict.len(),
-                        delta_valid: &t.delta_validity,
-                    };
-                    let (new_dict, new_av) = enclave.merge(req)?;
-                    let rows = new_av.len();
-                    match new_rows {
-                        None => new_rows = Some(rows),
-                        Some(r) => debug_assert_eq!(r, rows, "columns must stay row-aligned"),
-                    }
-                    *delta = EncryptedDeltaStore::new(
-                        t.schema.name.clone(),
-                        spec.name.clone(),
-                        spec.max_len,
-                    );
-                    *dict = new_dict;
-                    *av = new_av;
-                }
-                ServerColumn::Plain { dict, av, delta } => {
-                    // Rebuild the plain column: valid main + valid delta.
-                    let mut column = colstore::column::Column::new(&spec.name, spec.max_len);
-                    for (j, &vid) in av.as_slice().iter().enumerate() {
-                        if t.main_validity.is_valid(j) {
-                            column.push(dict.value(vid as usize))?;
-                        }
-                    }
-                    for (rid, v) in delta.iter_valid() {
-                        if t.delta_validity.is_valid(rid.0 as usize) {
-                            column.push(v)?;
-                        }
-                    }
-                    let rows = column.len();
-                    match new_rows {
-                        None => new_rows = Some(rows),
-                        Some(r) => debug_assert_eq!(r, rows, "columns must stay row-aligned"),
-                    }
-                    let (new_dict, new_av) = rebuild_plain(&column)?;
-                    *dict = new_dict;
-                    *av = new_av;
-                    *delta = DeltaStore::new(spec.max_len);
-                }
+    /// Propagates enclave and build failures; returns
+    /// [`DbError::MergeConflict`] if concurrent deletes keep aborting the
+    /// publish.
+    pub fn merge_table(&self, table: &str) -> Result<(), DbError> {
+        let t = self.table_handle(table)?;
+        for _attempt in 0..MERGE_RETRIES {
+            self.wait_for_table(&t);
+            match self.run_compaction(&t)? {
+                CompactionOutcome::Completed | CompactionOutcome::Noop => return Ok(()),
+                CompactionOutcome::Aborted | CompactionOutcome::AlreadyRunning => continue,
             }
         }
-        let rows = new_rows.unwrap_or(0);
-        t.main_rows = rows;
-        t.main_validity = ValidityVector::all_valid(rows);
-        t.delta_rows = 0;
-        t.delta_validity = ValidityVector::default();
+        Err(DbError::MergeConflict(format!(
+            "merge of {table} kept racing concurrent deletes"
+        )))
+    }
+
+    /// Starts a background compaction of `table` if none is running and
+    /// there is work to do. Returns whether a merge was started.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableNotFound`] if absent.
+    pub fn spawn_compaction(&self, table: &str) -> Result<bool, DbError> {
+        let t = self.table_handle(table)?;
+        Ok(self.spawn_compaction_inner(&t))
+    }
+
+    /// Blocks until no compaction is running on `table` (joining the
+    /// background worker if one exists).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableNotFound`] if absent.
+    pub fn wait_for_compaction(&self, table: &str) -> Result<(), DbError> {
+        let t = self.table_handle(table)?;
+        self.wait_for_table(&t);
         Ok(())
+    }
+
+    fn wait_for_table(&self, t: &Arc<ServerTable>) {
+        if let Some(handle) = lock(&t.worker).take() {
+            let _ = handle.join();
+        }
+        while lock(&t.state).merge_in_flight {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Fires a background merge when the policy's thresholds are crossed.
+    fn maybe_compact(&self, t: &Arc<ServerTable>, cfg: &Config) {
+        let Some(policy) = cfg.policy else {
+            return;
+        };
+        let (delta_rows, rows, valid, in_flight) = {
+            let state = lock(&t.state);
+            (
+                state.delta_rows,
+                state.main.rows,
+                state.main.rows - state.main_invalid,
+                state.merge_in_flight,
+            )
+        };
+        if !in_flight && policy.triggered(delta_rows, rows, valid) {
+            self.spawn_compaction_inner(t);
+        }
+    }
+
+    fn spawn_compaction_inner(&self, t: &Arc<ServerTable>) -> bool {
+        // Hold the worker slot across begin + spawn + store: a concurrent
+        // spawner serializes here, so the slot can never hand us the
+        // handle of a *live* merge (which a reap-join would then block on
+        // for the whole rebuild).
+        let mut worker = lock(&t.worker);
+        let Some(job) = begin_compaction(t) else {
+            return false;
+        };
+        if let Some(old) = worker.take() {
+            // `begin_compaction` succeeded, so no merge was in flight: the
+            // stored worker has already cleared the flag and is (at most)
+            // tearing down. Reap it.
+            let _ = old.join();
+        }
+        let server = self.clone();
+        let table = Arc::clone(t);
+        let handle = std::thread::spawn(move || {
+            let mut job = job;
+            // An aborted publish (a delete raced the rebuild) retries in
+            // place against the fresh state — bounded; if deletes keep
+            // winning, the in-flight flag is already cleared by the
+            // aborted publish and the policy re-triggers on later writes.
+            let mut attempt = 0;
+            loop {
+                let cfg = server.config();
+                match execute_compaction(&server.merge_enclave, &table.schema, &job, &cfg) {
+                    Ok(columns) => {
+                        if publish_compaction(&table, job, columns) {
+                            return;
+                        }
+                        attempt += 1;
+                        if attempt >= MERGE_RETRIES {
+                            return;
+                        }
+                        match begin_compaction(&table) {
+                            Some(next) => job = next,
+                            None => return,
+                        }
+                    }
+                    Err(e) => {
+                        fail_compaction(&table, &e);
+                        return;
+                    }
+                }
+            }
+        });
+        *worker = Some(handle);
+        true
+    }
+
+    /// One synchronous compaction attempt.
+    fn run_compaction(&self, t: &Arc<ServerTable>) -> Result<CompactionOutcome, DbError> {
+        let Some(job) = begin_compaction(t) else {
+            // Either a merge is in flight or there is nothing to do;
+            // disambiguate for the caller.
+            let state = lock(&t.state);
+            return Ok(if state.merge_in_flight {
+                CompactionOutcome::AlreadyRunning
+            } else {
+                CompactionOutcome::Noop
+            });
+        };
+        let cfg = self.config();
+        match execute_compaction(&self.merge_enclave, &t.schema, &job, &cfg) {
+            Ok(columns) => Ok(if publish_compaction(t, job, columns) {
+                CompactionOutcome::Completed
+            } else {
+                CompactionOutcome::Aborted
+            }),
+            Err(e) => {
+                fail_compaction(t, &e);
+                Err(e)
+            }
+        }
     }
 }
 
@@ -797,6 +1158,286 @@ impl Default for DbaasServer {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// How often a merge or delete retries when compaction publishes race it.
+const MERGE_RETRIES: usize = 8;
+
+/// Phase 1 of a compaction: under one short lock, capture the merge input
+/// at the current watermark and mark the merge in flight. Returns `None`
+/// when a merge is already running or there is nothing to compact.
+fn begin_compaction(t: &ServerTable) -> Option<CompactionJob> {
+    let mut state = lock(&t.state);
+    if state.merge_in_flight {
+        return None;
+    }
+    let watermark = state.delta_rows;
+    if watermark == 0 && state.main_invalid == 0 {
+        // Empty delta over a fully valid main store: nothing to rebuild.
+        return None;
+    }
+    state.merge_in_flight = true;
+    state.merge_watermark = watermark;
+    state.deletes_during_merge = false;
+    Some(CompactionJob {
+        epoch: state.main.epoch,
+        main: Arc::clone(&state.main),
+        main_validity: Arc::clone(&state.main_validity),
+        delta_prefixes: state.deltas.iter().map(|d| d.prefix(watermark)).collect(),
+        delta_validity: state.delta_validity.prefix(watermark),
+        watermark,
+    })
+}
+
+/// Phase 2: rebuild every column off the query path (no storage lock
+/// held; the merge enclave is locked per column ECALL).
+fn execute_compaction(
+    merge_enclave: &Mutex<DictEnclave>,
+    schema: &TableSchema,
+    job: &CompactionJob,
+    cfg: &Config,
+) -> Result<(Vec<MainColumn>, usize), DbError> {
+    let mut new_columns = Vec::with_capacity(job.main.columns.len());
+    let mut new_rows = None;
+    for ((spec, main_col), delta_col) in schema
+        .columns
+        .iter()
+        .zip(&job.main.columns)
+        .zip(&job.delta_prefixes)
+    {
+        match (main_col, delta_col) {
+            (MainColumn::Encrypted(main), ColumnDelta::Encrypted(delta)) => {
+                let kind = match spec.choice {
+                    DictChoice::Encrypted(kind) => kind,
+                    DictChoice::Plain => unreachable!("schema/storage mismatch"),
+                };
+                let dict = main.dict();
+                let delta_seg = delta.segment_ref();
+                let req = MergeRequest {
+                    table_name: dict.table_name(),
+                    col_name: dict.col_name(),
+                    max_len: dict.max_len(),
+                    kind,
+                    bs_max: spec.bs_max,
+                    main_head: dict.head_mem(),
+                    main_tail: dict.tail_mem(),
+                    main_len: dict.len(),
+                    main_av: main.av().as_slice(),
+                    main_valid: &job.main_validity,
+                    delta_head: delta_seg.head,
+                    delta_tail: delta_seg.tail,
+                    delta_len: delta.len(),
+                    delta_valid: &job.delta_validity,
+                };
+                let (new_dict, new_av) = lock(merge_enclave).merge(req)?;
+                let rows = new_av.len();
+                match new_rows {
+                    None => new_rows = Some(rows),
+                    Some(r) => debug_assert_eq!(r, rows, "columns must stay row-aligned"),
+                }
+                new_columns.push(MainColumn::Encrypted(
+                    main.next_generation(new_dict, new_av),
+                ));
+            }
+            (MainColumn::Plain { dict, av }, ColumnDelta::Plain(delta)) => {
+                // Rebuild the plain column: valid main + valid delta rows.
+                let mut column = colstore::column::Column::new(&spec.name, spec.max_len);
+                for (j, &vid) in av.as_slice().iter().enumerate() {
+                    if job.main_validity.is_valid(j) {
+                        column.push(dict.value(vid as usize))?;
+                    }
+                }
+                for (rid, v) in delta.iter_valid() {
+                    if job.delta_validity.is_valid(rid.0 as usize) {
+                        column.push(v)?;
+                    }
+                }
+                let rows = column.len();
+                match new_rows {
+                    None => new_rows = Some(rows),
+                    Some(r) => debug_assert_eq!(r, rows, "columns must stay row-aligned"),
+                }
+                let (new_dict, new_av) = rebuild_plain(&column)?;
+                new_columns.push(MainColumn::Plain {
+                    dict: Arc::new(new_dict),
+                    av: Arc::new(new_av),
+                });
+            }
+            _ => unreachable!("schema/storage mismatch"),
+        }
+        if let Some(throttle) = cfg.merge_throttle {
+            std::thread::sleep(throttle);
+        }
+    }
+    Ok((new_columns, new_rows.unwrap_or(0)))
+}
+
+/// Phase 3: atomically publish the rebuilt epoch, unless a delete raced
+/// the rebuild (then the result is discarded and the attempt counts as
+/// aborted). Returns whether the publish happened.
+fn publish_compaction(
+    t: &ServerTable,
+    job: CompactionJob,
+    (columns, rows): (Vec<MainColumn>, usize),
+) -> bool {
+    let mut state = lock(&t.state);
+    state.merge_in_flight = false;
+    if state.deletes_during_merge {
+        // A delete invalidated rows this merge already folded in as valid;
+        // publishing would resurrect them. Discard and let the caller (or
+        // the next policy trigger) retry against the fresh state.
+        state.deletes_during_merge = false;
+        t.merges_aborted.fetch_add(1, Ordering::SeqCst);
+        return false;
+    }
+    debug_assert_eq!(state.main.epoch, job.epoch, "merges are serialized");
+    state.main = Arc::new(MainState {
+        epoch: job.epoch + 1,
+        columns,
+        rows,
+    });
+    state.main_validity = Arc::new(ValidityVector::all_valid(rows));
+    state.main_invalid = 0;
+    for delta in &mut state.deltas {
+        delta.drain_prefix(job.watermark);
+    }
+    state.delta_validity = state.delta_validity.suffix(job.watermark);
+    state.delta_rows -= job.watermark;
+    t.merges_completed.fetch_add(1, Ordering::SeqCst);
+    t.rows_compacted
+        .fetch_add(job.watermark as u64, Ordering::SeqCst);
+    true
+}
+
+/// Error path shared by sync and background merges: clear the in-flight
+/// flag, leaving the old store and the delta untouched and queryable.
+fn fail_compaction(t: &ServerTable, e: &DbError) {
+    let mut state = lock(&t.state);
+    state.merge_in_flight = false;
+    drop(state);
+    t.merges_failed.fetch_add(1, Ordering::SeqCst);
+    *lock(&t.last_error) = Some(e.to_string());
+}
+
+/// Conjunction of filters against one snapshot: intersects the per-filter
+/// RecordID lists (all are ascending, so the intersection is a linear
+/// merge).
+pub(crate) fn matching_rids_multi(
+    snap: &TableSnapshot,
+    schema: &TableSchema,
+    enclave: &Mutex<DictEnclave>,
+    filters: &[ServerFilter],
+    cfg: &Config,
+) -> Result<(Vec<RecordId>, Vec<RecordId>, QueryStats), DbError> {
+    if filters.len() <= 1 {
+        return matching_rids(snap, schema, enclave, filters.first(), cfg);
+    }
+    let mut acc: Option<(Vec<RecordId>, Vec<RecordId>)> = None;
+    let mut stats = QueryStats::default();
+    for f in filters {
+        let (main, delta, s) = matching_rids(snap, schema, enclave, Some(f), cfg)?;
+        stats.dict_search_ns += s.dict_search_ns;
+        stats.av_search_ns += s.av_search_ns;
+        stats.enclave_calls += s.enclave_calls;
+        acc = Some(match acc {
+            None => (main, delta),
+            Some((am, ad)) => (intersect_sorted(&am, &main), intersect_sorted(&ad, &delta)),
+        });
+    }
+    let (main, delta) = acc.unwrap_or_default();
+    Ok((main, delta, stats))
+}
+
+/// Computes the valid matching RecordIDs in main and delta stores of one
+/// snapshot.
+fn matching_rids(
+    snap: &TableSnapshot,
+    schema: &TableSchema,
+    enclave: &Mutex<DictEnclave>,
+    filter: Option<&ServerFilter>,
+    cfg: &Config,
+) -> Result<(Vec<RecordId>, Vec<RecordId>, QueryStats), DbError> {
+    let mut stats = QueryStats::default();
+    let Some(filter) = filter else {
+        // Unfiltered: all valid rows.
+        let main = (0..snap.main.rows as u32)
+            .map(RecordId)
+            .filter(|r| snap.main_validity.is_valid(r.0 as usize))
+            .collect();
+        let delta = (0..snap.delta_rows as u32)
+            .map(RecordId)
+            .filter(|r| snap.delta_validity.is_valid(r.0 as usize))
+            .collect();
+        return Ok((main, delta, stats));
+    };
+
+    let (idx, _) = schema
+        .column(filter.column())
+        .ok_or_else(|| DbError::ColumnNotFound(filter.column().to_string()))?;
+
+    let (main_rids, delta_rids) = match (&snap.main.columns[idx], &snap.deltas[idx], filter) {
+        (
+            MainColumn::Encrypted(main),
+            ColumnDelta::Encrypted(delta),
+            ServerFilter::Encrypted { range, .. },
+        ) => {
+            let dict = main.dict();
+            let dict_start = std::time::Instant::now();
+            let result = lock(enclave).search(dict, range)?;
+            stats.dict_search_ns = dict_start.elapsed().as_nanos() as u64;
+            stats.enclave_calls += 1;
+            let av_start = std::time::Instant::now();
+            let main_rids = avsearch::search(
+                main.av(),
+                &result,
+                dict.len(),
+                cfg.set_strategy,
+                cfg.parallelism,
+            );
+            stats.av_search_ns = av_start.elapsed().as_nanos() as u64;
+            // The empty delta of a never-inserted table needs no ECALL.
+            let delta_rids = if delta.is_empty() {
+                Vec::new()
+            } else {
+                stats.enclave_calls += 1;
+                delta.search(&mut lock(enclave), range)?
+            };
+            (main_rids, delta_rids)
+        }
+        (
+            MainColumn::Plain { dict, av },
+            ColumnDelta::Plain(delta),
+            ServerFilter::Plain { range, .. },
+        ) => {
+            let dict_start = std::time::Instant::now();
+            let result = search_plain(dict, range)?;
+            stats.dict_search_ns = dict_start.elapsed().as_nanos() as u64;
+            let av_start = std::time::Instant::now();
+            let main_rids =
+                avsearch::search(av, &result, dict.len(), cfg.set_strategy, cfg.parallelism);
+            stats.av_search_ns = av_start.elapsed().as_nanos() as u64;
+            let delta_rids = delta
+                .iter_valid()
+                .filter(|(_, v)| range.contains(v))
+                .map(|(rid, _)| rid)
+                .collect();
+            (main_rids, delta_rids)
+        }
+        _ => {
+            return Err(DbError::UnsupportedFilter(
+                "filter form does not match column protection".to_string(),
+            ))
+        }
+    };
+    let main = main_rids
+        .into_iter()
+        .filter(|r| snap.main_validity.is_valid(r.0 as usize))
+        .collect();
+    let delta = delta_rids
+        .into_iter()
+        .filter(|r| snap.delta_validity.is_valid(r.0 as usize))
+        .collect();
+    Ok((main, delta, stats))
 }
 
 /// Linear-merge intersection of two ascending RecordID lists.
@@ -817,25 +1458,23 @@ fn intersect_sorted(a: &[RecordId], b: &[RecordId]) -> Vec<RecordId> {
     out
 }
 
-fn render_main_cell(col: &ServerColumn, rid: RecordId) -> CellValue {
+fn render_main_cell(col: &MainColumn, rid: RecordId) -> CellValue {
     match col {
-        ServerColumn::Encrypted { dict, av, .. } => {
-            let vid = av.value_id(rid);
-            CellValue::Encrypted(dict.ciphertext(vid.0 as usize).to_vec())
+        MainColumn::Encrypted(main) => {
+            let vid = main.av().value_id(rid);
+            CellValue::Encrypted(main.dict().ciphertext(vid.0 as usize).to_vec())
         }
-        ServerColumn::Plain { dict, av, .. } => {
+        MainColumn::Plain { dict, av } => {
             let vid = av.value_id(rid);
             CellValue::Plain(dict.value(vid.0 as usize).to_vec())
         }
     }
 }
 
-fn render_delta_cell(col: &ServerColumn, rid: RecordId) -> CellValue {
+fn render_delta_cell(col: &ColumnDelta, rid: RecordId) -> CellValue {
     match col {
-        ServerColumn::Encrypted { delta, .. } => {
-            CellValue::Encrypted(delta.ciphertext(rid).to_vec())
-        }
-        ServerColumn::Plain { delta, .. } => CellValue::Plain(delta.value(rid).to_vec()),
+        ColumnDelta::Encrypted(delta) => CellValue::Encrypted(delta.ciphertext(rid).to_vec()),
+        ColumnDelta::Plain(delta) => CellValue::Plain(delta.value(rid).to_vec()),
     }
 }
 
@@ -900,19 +1539,19 @@ mod tests {
 
     #[test]
     fn create_empty_table_and_count() {
-        let mut server = DbaasServer::with_enclave(DictEnclave::with_seed(1));
+        let server = DbaasServer::with_enclave(DictEnclave::with_seed(1));
         server.create_table(schema()).unwrap();
         assert_eq!(server.row_count("t").unwrap(), 0);
         assert!(server.create_table(schema()).is_err(), "duplicate rejected");
         assert!(server.row_count("missing").is_err());
+        assert_eq!(server.epoch("t").unwrap(), 0);
+        assert!(!server.merge_in_flight("t").unwrap());
     }
 
     #[test]
     fn insert_requires_matching_arity_and_forms() {
-        let mut server = DbaasServer::with_enclave(DictEnclave::with_seed(2));
-        server
-            .enclave_mut()
-            .provision_direct(encdbdb_crypto::Key128::from_bytes([1; 16]));
+        let server = DbaasServer::with_enclave(DictEnclave::with_seed(2));
+        server.provision_direct(encdbdb_crypto::Key128::from_bytes([1; 16]));
         server.create_table(schema()).unwrap();
         // Wrong arity.
         let err = server
@@ -932,6 +1571,20 @@ mod tests {
         assert!(matches!(err, DbError::UnsupportedFilter(_)));
     }
 
-    // Full end-to-end behaviour is covered by the proxy/session tests,
-    // which exercise deploy → select → insert → delete → merge.
+    #[test]
+    fn compaction_policy_thresholds() {
+        let policy = CompactionPolicy {
+            max_delta_rows: 10,
+            max_invalid_fraction: 0.5,
+        };
+        assert!(!policy.triggered(9, 100, 100));
+        assert!(policy.triggered(10, 100, 100));
+        assert!(!policy.triggered(0, 100, 51));
+        assert!(policy.triggered(0, 100, 50));
+        assert!(!policy.triggered(0, 0, 0), "empty table never triggers");
+    }
+
+    // Full end-to-end behaviour is covered by the proxy/session tests and
+    // the concurrent stress suite, which exercise deploy → select →
+    // insert → delete → merge, including background compactions.
 }

@@ -2,14 +2,20 @@
 //!
 //! [`Session`] wires the paper's architecture (Fig. 2) into a single handle
 //! for examples, tests and benchmarks: the data owner generates `SK_DB`,
-//! attests and provisions the server's enclave, hands the key to the
+//! attests and provisions the server's enclaves, hands the key to the
 //! trusted proxy, and applications issue SQL through the session.
+//!
+//! The server behind a session is shared state (DESIGN.md §9):
+//! [`Session::reader`] forks any number of [`ReaderSession`]s that execute
+//! queries concurrently — each against a consistent main-store snapshot —
+//! while inserts land in the delta stores and background compactions
+//! publish rebuilt epochs.
 
 use crate::error::DbError;
 use crate::owner::DataOwner;
 use crate::proxy::{Proxy, QueryResult};
 use crate::schema::TableSchema;
-use crate::server::DbaasServer;
+use crate::server::{CompactionPolicy, DbaasServer};
 use colstore::table::Table;
 use encdict::enclave_ops::DictLogic;
 use encdict::DictEnclave;
@@ -30,7 +36,9 @@ pub struct Session {
 impl Session {
     /// Builds a deployment with a seeded RNG: key generation, enclave
     /// attestation (against the default development platform) and key
-    /// provisioning happen here, mirroring Fig. 5 steps 1–2.
+    /// provisioning happen here, mirroring Fig. 5 steps 1–2. Both enclave
+    /// instances — the query-path one and the compaction one — are
+    /// attested and provisioned.
     ///
     /// # Errors
     ///
@@ -38,10 +46,13 @@ impl Session {
     pub fn with_seed(seed: u64) -> Result<Self, DbError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let owner = DataOwner::generate(&mut rng);
-        let mut server = DbaasServer::with_enclave(DictEnclave::with_seed(seed.wrapping_add(1)));
+        let server = DbaasServer::with_enclaves(
+            DictEnclave::with_seed(seed.wrapping_add(1)),
+            DictEnclave::with_seed(seed.wrapping_add(0x9E37_79B9)),
+        );
         let service = SigningPlatform::default().verification_service();
         let expected = Measurement::of(Self::enclave_code_identity());
-        owner.provision(&mut server, &service, expected, &mut rng)?;
+        owner.provision(&server, &service, expected, &mut rng)?;
         let proxy = Proxy::new(owner.master_key());
         Ok(Session {
             owner,
@@ -76,7 +87,20 @@ impl Session {
     /// # Ok::<(), encdbdb::DbError>(())
     /// ```
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
-        self.proxy.execute(&mut self.server, sql, &mut self.rng)
+        self.proxy.execute(&self.server, sql, &mut self.rng)
+    }
+
+    /// Forks a concurrent reader/writer session sharing this deployment's
+    /// server state. The fork holds its own proxy handle and RNG, so it is
+    /// `Send` and can run on another thread; queries from any number of
+    /// forks execute against consistent snapshots and never block on
+    /// compactions.
+    pub fn reader(&self, seed: u64) -> ReaderSession {
+        ReaderSession {
+            proxy: self.proxy.clone(),
+            server: self.server.clone(),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Bulk-loads a plaintext table: the data owner encrypts it per
@@ -87,10 +111,11 @@ impl Session {
     /// Propagates build and deployment failures.
     pub fn load_table(&mut self, table: &Table, schema: TableSchema) -> Result<(), DbError> {
         self.owner
-            .deploy(&mut self.server, table, schema, &mut self.rng)
+            .deploy(&self.server, table, schema, &mut self.rng)
     }
 
-    /// Merges a table's delta stores into rebuilt main stores (§4.3).
+    /// Synchronously merges a table's delta stores into rebuilt main
+    /// stores and publishes the next epoch (§4.3).
     ///
     /// # Errors
     ///
@@ -99,7 +124,14 @@ impl Session {
         self.server.merge_table(table)
     }
 
-    /// Direct access to the server (benchmarks, storage accounting).
+    /// Installs (or removes) the threshold-driven background compaction
+    /// policy — see [`CompactionPolicy`].
+    pub fn set_compaction_policy(&mut self, policy: Option<CompactionPolicy>) {
+        self.server.set_compaction_policy(policy);
+    }
+
+    /// Direct access to the server (benchmarks, storage accounting,
+    /// compaction control).
     pub fn server(&self) -> &DbaasServer {
         &self.server
     }
@@ -107,6 +139,33 @@ impl Session {
     /// Mutable access to the server (parallelism configuration).
     pub fn server_mut(&mut self) -> &mut DbaasServer {
         &mut self.server
+    }
+}
+
+/// A concurrent session over a shared [`Session`]'s deployment: a cloned
+/// server handle plus a proxy with its own RNG. Create with
+/// [`Session::reader`]; despite the name, the fork can also issue writes
+/// (inserts/deletes land in the shared delta stores).
+#[derive(Debug)]
+pub struct ReaderSession {
+    proxy: Proxy,
+    server: DbaasServer,
+    rng: StdRng,
+}
+
+impl ReaderSession {
+    /// Executes one SQL statement through this fork's proxy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse, lookup and crypto failures.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        self.proxy.execute(&self.server, sql, &mut self.rng)
+    }
+
+    /// The shared server handle (epoch and compaction inspection).
+    pub fn server(&self) -> &DbaasServer {
+        &self.server
     }
 }
 
@@ -228,8 +287,11 @@ mod tests {
         let r = db.execute("SELECT v FROM t").unwrap();
         assert_eq!(r.row_count(), 3);
 
-        // Merge folds the delta into a rebuilt ED2 main store.
+        // Merge folds the delta into a rebuilt ED2 main store and
+        // publishes the next epoch.
+        assert_eq!(db.server().epoch("t").unwrap(), 0);
         db.merge("t").unwrap();
+        assert_eq!(db.server().epoch("t").unwrap(), 1);
         let r = db.execute("SELECT v FROM t WHERE v >= 'c'").unwrap();
         let mut got = r.rows_as_strings();
         got.sort();
@@ -238,6 +300,12 @@ mod tests {
         db.execute("INSERT INTO t VALUES ('e')").unwrap();
         let r = db.execute("SELECT v FROM t").unwrap();
         assert_eq!(r.row_count(), 4);
+        // A second merge with a non-empty delta publishes epoch 2.
+        db.merge("t").unwrap();
+        assert_eq!(db.server().epoch("t").unwrap(), 2);
+        // Merging with nothing to do is a no-op that keeps the epoch.
+        db.merge("t").unwrap();
+        assert_eq!(db.server().epoch("t").unwrap(), 2);
     }
 
     #[test]
@@ -301,6 +369,25 @@ mod tests {
             let r = db.execute(q).unwrap();
             assert_eq!(r.row_count(), expected, "query: {q}");
         }
+    }
+
+    #[test]
+    fn reader_sessions_share_state() {
+        let mut db = session();
+        db.execute("CREATE TABLE t (v ED5(8))").unwrap();
+        db.execute("INSERT INTO t VALUES ('a'), ('b')").unwrap();
+        let mut reader = db.reader(7);
+        let r = reader.execute("SELECT v FROM t WHERE v >= 'b'").unwrap();
+        assert_eq!(r.row_count(), 1);
+        // A write through the fork is visible to the parent, and vice
+        // versa.
+        reader.execute("INSERT INTO t VALUES ('c')").unwrap();
+        let r = db.execute("SELECT v FROM t").unwrap();
+        assert_eq!(r.row_count(), 3);
+        db.merge("t").unwrap();
+        let r = reader.execute("SELECT v FROM t WHERE v >= 'b'").unwrap();
+        assert_eq!(r.row_count(), 2);
+        assert_eq!(reader.server().epoch("t").unwrap(), 1);
     }
 }
 

@@ -4,11 +4,16 @@
 use encdbdb::Session;
 
 fn ecalls(db: &mut Session) -> u64 {
-    db.server_mut().enclave_mut().enclave().counters().ecalls
+    db.server().enclave().enclave().counters().ecalls
+}
+
+fn merge_ecalls(db: &mut Session) -> u64 {
+    db.server().merge_enclave().enclave().counters().ecalls
 }
 
 fn reset(db: &mut Session) {
-    db.server_mut().enclave_mut().enclave_mut().reset_counters();
+    db.server().enclave().enclave_mut().reset_counters();
+    db.server().merge_enclave().enclave_mut().reset_counters();
 }
 
 #[test]
@@ -65,7 +70,13 @@ fn merge_costs_one_ecall_per_encrypted_column() {
     db.execute("INSERT INTO t VALUES ('x', 'y', 'z')").unwrap();
     reset(&mut db);
     db.merge("t").unwrap();
-    assert_eq!(ecalls(&mut db), 2, "one merge ECALL per encrypted column");
+    // Merges run on the dedicated compaction enclave, off the query path.
+    assert_eq!(
+        merge_ecalls(&mut db),
+        2,
+        "one merge ECALL per encrypted column"
+    );
+    assert_eq!(ecalls(&mut db), 0, "the query enclave stays untouched");
 }
 
 #[test]
@@ -76,15 +87,12 @@ fn trusted_heap_stays_bounded_across_queries() {
     db.execute(&format!("INSERT INTO t VALUES {}", rows.join(", ")))
         .unwrap();
     db.merge("t").unwrap();
-    db.server_mut()
-        .enclave_mut()
-        .enclave_mut()
-        .reset_heap_peak();
+    db.server().enclave().enclave_mut().reset_heap_peak();
     for i in 0..20 {
         db.execute(&format!("SELECT v FROM t WHERE v = 'v{:04}'", i))
             .unwrap();
     }
-    let peak = db.server_mut().enclave_mut().enclave().trusted_heap_peak();
+    let peak = db.server().enclave().enclave().trusted_heap_peak();
     // Query processing needs only transient per-value buffers — far below
     // even a kilobyte, and nowhere near the 96 MiB EPC budget.
     assert!(peak < 1024, "peak trusted heap {peak} B");

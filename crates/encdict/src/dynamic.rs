@@ -12,7 +12,7 @@
 //! and new main stores.
 
 use crate::build::BuildParams;
-use crate::dict::{write_head_entry, EncryptedDictionary};
+use crate::dict::{head_entry, write_head_entry, EncryptedDictionary};
 use crate::enclave_ops::DictEnclave;
 use crate::error::EncdictError;
 use crate::kind::EdKind;
@@ -20,11 +20,60 @@ use crate::range::EncryptedRange;
 use crate::search::DictSearchResult;
 use colstore::delta::ValidityVector;
 use colstore::dictionary::{AttributeVector, RecordId, ValueId};
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable snapshot of one column's merged main
+/// store, tagged with the *merge generation* (epoch) that produced it.
+///
+/// Readers that hold a `MainSnapshot` keep the underlying dictionary and
+/// attribute vector alive through the [`Arc`]s even after a concurrent
+/// compaction publishes the next generation, so in-flight queries drain on
+/// a consistent view while new queries pick up the rebuilt store.
+#[derive(Debug, Clone)]
+pub struct MainSnapshot {
+    epoch: u64,
+    dict: Arc<EncryptedDictionary>,
+    av: Arc<AttributeVector>,
+}
+
+impl MainSnapshot {
+    /// Wraps a freshly built main store as generation `epoch`.
+    pub fn new(epoch: u64, dict: EncryptedDictionary, av: AttributeVector) -> Self {
+        MainSnapshot {
+            epoch,
+            dict: Arc::new(dict),
+            av: Arc::new(av),
+        }
+    }
+
+    /// The merge generation this snapshot belongs to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The encrypted dictionary of this generation.
+    pub fn dict(&self) -> &EncryptedDictionary {
+        &self.dict
+    }
+
+    /// The attribute vector of this generation.
+    pub fn av(&self) -> &AttributeVector {
+        &self.av
+    }
+
+    /// Wraps the output of a merge as the next generation (`epoch + 1`).
+    pub fn next_generation(&self, dict: EncryptedDictionary, av: AttributeVector) -> Self {
+        MainSnapshot::new(self.epoch + 1, dict, av)
+    }
+}
 
 /// An encrypted delta store: an ED9 dictionary that grows by appending
 /// re-encrypted values, with a trivial identity attribute vector and a
 /// validity vector for deletions.
-#[derive(Debug)]
+///
+/// `Clone` produces a frozen snapshot of the store at its current length —
+/// the delta-side half of a consistent read snapshot.
+#[derive(Debug, Clone)]
 pub struct EncryptedDeltaStore {
     table_name: String,
     col_name: String,
@@ -78,12 +127,70 @@ impl EncryptedDeltaStore {
         incoming_ciphertext: &[u8],
     ) -> Result<RecordId, EncdictError> {
         let fresh = enclave.reencrypt(&self.table_name, &self.col_name, incoming_ciphertext)?;
+        Ok(self.push_reencrypted(fresh.as_bytes()))
+    }
+
+    /// Appends a ciphertext that was *already* re-encrypted by the enclave
+    /// (the two-step insert path: re-encrypt outside any storage lock, then
+    /// append under it).
+    pub fn push_reencrypted(&mut self, fresh: &[u8]) -> RecordId {
         let rid = RecordId(self.len as u32);
         write_head_entry(&mut self.head, self.tail.len() as u64, fresh.len() as u32);
-        self.tail.extend_from_slice(fresh.as_bytes());
+        self.tail.extend_from_slice(fresh);
         self.len += 1;
         self.validity.push(true);
-        Ok(rid)
+        rid
+    }
+
+    /// A frozen copy of the first `n` rows — the compaction input captured
+    /// at a watermark while later inserts keep landing in the live store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn prefix(&self, n: usize) -> Self {
+        assert!(n <= self.len, "prefix {n} out of bounds {}", self.len);
+        let tail_end = if n == self.len {
+            self.tail.len()
+        } else {
+            head_entry(&self.head, n).0 as usize
+        };
+        EncryptedDeltaStore {
+            table_name: self.table_name.clone(),
+            col_name: self.col_name.clone(),
+            max_len: self.max_len,
+            head: self.head[..n * crate::dict::HEAD_ENTRY_BYTES].to_vec(),
+            tail: self.tail[..tail_end].to_vec(),
+            len: n,
+            validity: self.validity.prefix(n),
+        }
+    }
+
+    /// Drops the first `n` rows after a compaction consumed them: row
+    /// `n + i` becomes row `i` and tail offsets are rebased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn drain_prefix(&mut self, n: usize) {
+        assert!(n <= self.len, "drain_prefix {n} out of bounds {}", self.len);
+        if n == 0 {
+            return;
+        }
+        let tail_base = if n == self.len {
+            self.tail.len()
+        } else {
+            head_entry(&self.head, n).0 as usize
+        };
+        let mut head = Vec::with_capacity((self.len - n) * crate::dict::HEAD_ENTRY_BYTES);
+        for i in n..self.len {
+            let (offset, clen) = head_entry(&self.head, i);
+            write_head_entry(&mut head, offset - tail_base as u64, clen);
+        }
+        self.head = head;
+        self.tail = self.tail.split_off(tail_base);
+        self.len -= n;
+        self.validity = self.validity.suffix(n);
     }
 
     /// Marks a delta row deleted.
@@ -203,6 +310,13 @@ pub struct CombinedSearchResult {
 /// the untrusted realm. Returns the new main dictionary + attribute vector;
 /// the delta store is reset. `main_validity` masks deleted main rows.
 ///
+/// Merging an **empty** delta over a fully valid main store is a cheap
+/// no-op: the main store is returned unchanged without entering the
+/// enclave (zero values decrypted). The old and new stores are then
+/// trivially linkable — but they are byte-identical, so there is nothing
+/// new to learn; the re-randomizing rebuild only matters when content
+/// actually changed (see DESIGN.md §9).
+///
 /// # Errors
 ///
 /// Propagates decryption and build failures.
@@ -215,6 +329,9 @@ pub fn merge_delta(
     params: &BuildParams,
     kind: EdKind,
 ) -> Result<(EncryptedDictionary, AttributeVector), EncdictError> {
+    if delta.is_empty() && main_validity.count_valid() == main_av.len() {
+        return Ok((main_dict.clone(), main_av.clone()));
+    }
     let req = crate::enclave_ops::MergeRequest {
         table_name: main_dict.table_name(),
         col_name: main_dict.col_name(),
@@ -419,6 +536,8 @@ mod tests {
             .collect();
         let validity = ValidityVector::all_valid(2);
         let mut delta = EncryptedDeltaStore::new("t", "c", 12);
+        let ct = encrypt_value_for_column(&f.pae, &mut f.rng, b"z");
+        delta.insert(&mut f.enclave, ct.as_bytes()).unwrap();
         let (new_dict, _) = merge_delta(
             &mut f.enclave,
             &main_dict,
@@ -435,5 +554,125 @@ mod tests {
                 "ciphertext {i} links old and new store"
             );
         }
+    }
+
+    #[test]
+    fn empty_delta_merge_is_a_noop() {
+        // Satellite regression: merging an empty delta over a fully valid
+        // main store must not rebuild (re-encrypt) anything — no ECALL, no
+        // untrusted loads, zero values decrypted, identical bytes out.
+        let mut f = fixture(6);
+        let sk_d = derive_column_key(&f.skdb, "t", "c");
+        let col = Column::from_strs("c", 12, ["x", "y", "z"]).unwrap();
+        let (main_dict, main_av) =
+            build_encrypted(&col, EdKind::Ed2, &f.params, &sk_d, &mut f.rng).unwrap();
+        let validity = ValidityVector::all_valid(3);
+        let mut delta = EncryptedDeltaStore::new("t", "c", 12);
+        f.enclave.enclave_mut().reset_counters();
+        let (new_dict, new_av) = merge_delta(
+            &mut f.enclave,
+            &main_dict,
+            &main_av,
+            &validity,
+            &mut delta,
+            &f.params,
+            EdKind::Ed2,
+        )
+        .unwrap();
+        let counters = f.enclave.enclave().counters();
+        assert_eq!(counters.ecalls, 0, "no-op merge must not enter the enclave");
+        assert_eq!(counters.untrusted_loads, 0, "zero values decrypted");
+        assert_eq!(new_av, main_av);
+        for i in 0..main_dict.len() {
+            assert_eq!(new_dict.ciphertext(i), main_dict.ciphertext(i));
+        }
+
+        // A deleted main row disqualifies the shortcut: the rebuild must
+        // actually purge it.
+        let mut validity = ValidityVector::all_valid(3);
+        validity.invalidate(1);
+        let (rebuilt, rebuilt_av) = merge_delta(
+            &mut f.enclave,
+            &main_dict,
+            &main_av,
+            &validity,
+            &mut delta,
+            &f.params,
+            EdKind::Ed2,
+        )
+        .unwrap();
+        assert_eq!(rebuilt_av.len(), 2);
+        assert!(f.enclave.enclave().counters().ecalls > 0);
+        assert_eq!(rebuilt.len(), 2);
+    }
+
+    #[test]
+    fn prefix_and_drain_prefix_partition_the_delta() {
+        let mut f = fixture(7);
+        let mut delta = EncryptedDeltaStore::new("t", "c", 12);
+        let values = ["alpha", "bravo", "charlie", "delta", "echo"];
+        for v in values {
+            let ct = encrypt_value_for_column(&f.pae, &mut f.rng, v.as_bytes());
+            delta.insert(&mut f.enclave, ct.as_bytes()).unwrap();
+        }
+        delta.delete(RecordId(1));
+        delta.delete(RecordId(4));
+
+        let frozen = delta.prefix(3);
+        assert_eq!(frozen.len(), 3);
+        assert_eq!(frozen.valid_len(), 2); // "bravo" deleted
+        for i in 0..3 {
+            assert_eq!(
+                frozen.ciphertext(RecordId(i as u32)),
+                delta.ciphertext(RecordId(i as u32))
+            );
+            assert_eq!(
+                frozen.is_valid(RecordId(i as u32)),
+                delta.is_valid(RecordId(i as u32))
+            );
+        }
+
+        // Searching the frozen prefix behaves like a store of rows 0..3.
+        let range = EncryptedRange::encrypt(&f.pae, &mut f.rng, &RangeQuery::equals("charlie"));
+        let rids = frozen.search(&mut f.enclave, &range).unwrap();
+        assert_eq!(rids, vec![RecordId(2)]);
+
+        // Draining the prefix leaves rows 3.. renumbered from 0.
+        let suffix_cts: Vec<Vec<u8>> = (3..5)
+            .map(|i| delta.ciphertext(RecordId(i)).to_vec())
+            .collect();
+        delta.drain_prefix(3);
+        assert_eq!(delta.len(), 2);
+        assert_eq!(delta.valid_len(), 1); // "echo" deleted
+        assert_eq!(delta.ciphertext(RecordId(0)), &suffix_cts[0][..]);
+        assert_eq!(delta.ciphertext(RecordId(1)), &suffix_cts[1][..]);
+        assert!(delta.is_valid(RecordId(0)));
+        assert!(!delta.is_valid(RecordId(1)));
+        let range = EncryptedRange::encrypt(&f.pae, &mut f.rng, &RangeQuery::equals("delta"));
+        assert_eq!(
+            delta.search(&mut f.enclave, &range).unwrap(),
+            vec![RecordId(0)]
+        );
+        delta.drain_prefix(2);
+        assert!(delta.is_empty());
+    }
+
+    #[test]
+    fn main_snapshot_generations_are_tagged() {
+        let mut f = fixture(8);
+        let sk_d = derive_column_key(&f.skdb, "t", "c");
+        let col = Column::from_strs("c", 12, ["x", "y"]).unwrap();
+        let (dict, av) = build_encrypted(&col, EdKind::Ed1, &f.params, &sk_d, &mut f.rng).unwrap();
+        let snap = MainSnapshot::new(0, dict, av);
+        assert_eq!(snap.epoch(), 0);
+        let reader_view = snap.clone();
+        let col2 = Column::from_strs("c", 12, ["x", "y", "z"]).unwrap();
+        let (dict2, av2) =
+            build_encrypted(&col2, EdKind::Ed1, &f.params, &sk_d, &mut f.rng).unwrap();
+        let next = snap.next_generation(dict2, av2);
+        assert_eq!(next.epoch(), 1);
+        // The drained reader still sees the old generation's data.
+        assert_eq!(reader_view.av().len(), 2);
+        assert_eq!(next.av().len(), 3);
     }
 }

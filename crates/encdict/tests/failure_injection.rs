@@ -2,9 +2,12 @@
 //! never as wrong results or panics inside the enclave.
 
 use colstore::column::Column;
+use colstore::delta::ValidityVector;
 use encdbdb_crypto::hkdf::derive_column_key;
 use encdbdb_crypto::{Key128, Pae};
 use encdict::build::{build_encrypted, BuildParams};
+use encdict::dynamic::{merge_delta, search_combined, EncryptedDeltaStore};
+use encdict::enclave_ops::encrypt_value_for_column;
 use encdict::persist;
 use encdict::{DictEnclave, EdKind, EncryptedRange, RangeQuery};
 use rand::rngs::StdRng;
@@ -104,6 +107,126 @@ fn missing_rotation_offset_rejected() {
     let tau = EncryptedRange::encrypt(&pae, &mut rng, &RangeQuery::equals("a"));
     let err = enclave.search(&bad_dict, &tau).unwrap_err();
     assert!(matches!(err, encdict::EncdictError::CorruptDictionary(_)));
+}
+
+/// A `Merge` ECALL that fails mid-merge — here because a main-store
+/// ciphertext was corrupted, so the enclave's authenticated decryption
+/// errors partway through reassembling the column — must leave both the
+/// old main store and the delta store intact and queryable. Nothing is
+/// published, nothing is reset.
+#[test]
+fn failed_merge_leaves_old_store_and_delta_intact() {
+    let (mut enclave, dict, av, pae, mut rng) = fixture(EdKind::Ed3);
+    let mut delta = EncryptedDeltaStore::new("t", "c", 8);
+    for v in ["e", "f"] {
+        let ct = encrypt_value_for_column(&pae, &mut rng, v.as_bytes());
+        delta.insert(&mut enclave, ct.as_bytes()).unwrap();
+    }
+    let validity = ValidityVector::all_valid(av.len());
+    let params = BuildParams {
+        table_name: "t".into(),
+        col_name: "c".into(),
+        bs_max: 2,
+    };
+
+    // Corrupt one main ciphertext byte via the persist round-trip (the
+    // dictionary's internals are immutable from outside).
+    let blob = persist::to_bytes(&dict, &av);
+    let mut bad = blob.clone();
+    let tail_pos = 8 + 1 + 9 + 9 + 8 + 8 + 12 + 4; // inside ciphertext 0
+    bad[tail_pos] ^= 0x40;
+    let (bad_dict, _) = persist::from_bytes(&bad).expect("structurally intact");
+
+    let err = merge_delta(
+        &mut enclave,
+        &bad_dict,
+        &av,
+        &validity,
+        &mut delta,
+        &params,
+        EdKind::Ed3,
+    )
+    .unwrap_err();
+    assert!(matches!(err, encdict::EncdictError::Crypto(_)), "{err:?}");
+
+    // The delta was not reset by the failed merge...
+    assert_eq!(delta.len(), 2);
+    assert_eq!(delta.valid_len(), 2);
+    // ...and the *original* (uncorrupted) store plus the delta still
+    // answer combined reads correctly.
+    let range = EncryptedRange::encrypt(&pae, &mut rng, &RangeQuery::between("a", "f"));
+    let combined = search_combined(&mut enclave, &dict, &av, &validity, &delta, &range).unwrap();
+    assert_eq!(combined.main.len(), 5, "main rows a,b,c,d,a all match");
+    assert_eq!(combined.delta.len(), 2, "delta rows e,f both match");
+
+    // The same merge against the intact store succeeds — recovery needs
+    // no special handling.
+    let (new_dict, new_av) = merge_delta(
+        &mut enclave,
+        &dict,
+        &av,
+        &validity,
+        &mut delta,
+        &params,
+        EdKind::Ed3,
+    )
+    .unwrap();
+    assert!(delta.is_empty());
+    assert_eq!(new_av.len(), 7);
+    let range = EncryptedRange::encrypt(&pae, &mut rng, &RangeQuery::between("a", "f"));
+    let result = enclave.search(&new_dict, &range).unwrap();
+    let rids = encdict::avsearch::search(
+        &new_av,
+        &result,
+        new_dict.len(),
+        encdict::avsearch::SetSearchStrategy::PaperLinear,
+        encdict::avsearch::Parallelism::Serial,
+    );
+    assert_eq!(rids.len(), 7, "all merged rows match [a, f]");
+}
+
+/// A merge attempted on an enclave that was never provisioned fails with
+/// `KeyNotProvisioned` and leaves the delta intact; re-running it on a
+/// provisioned enclave recovers.
+#[test]
+fn unprovisioned_merge_enclave_fails_cleanly() {
+    let (mut enclave, dict, av, pae, mut rng) = fixture(EdKind::Ed1);
+    let mut delta = EncryptedDeltaStore::new("t", "c", 8);
+    let ct = encrypt_value_for_column(&pae, &mut rng, b"z");
+    delta.insert(&mut enclave, ct.as_bytes()).unwrap();
+    let validity = ValidityVector::all_valid(av.len());
+    let params = BuildParams {
+        table_name: "t".into(),
+        col_name: "c".into(),
+        bs_max: 2,
+    };
+
+    let mut cold = DictEnclave::with_seed(999); // never provisioned
+    let err = merge_delta(
+        &mut cold,
+        &dict,
+        &av,
+        &validity,
+        &mut delta,
+        &params,
+        EdKind::Ed1,
+    )
+    .unwrap_err();
+    assert_eq!(err, encdict::EncdictError::KeyNotProvisioned);
+    assert_eq!(delta.len(), 1, "failed merge must not consume the delta");
+
+    let (_, new_av) = merge_delta(
+        &mut enclave,
+        &dict,
+        &av,
+        &validity,
+        &mut delta,
+        &params,
+        EdKind::Ed1,
+    )
+    .unwrap();
+    assert_eq!(new_av.len(), 6);
+    assert!(delta.is_empty());
 }
 
 /// A rotation offset re-encrypted under the wrong key is rejected before

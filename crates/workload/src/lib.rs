@@ -18,13 +18,19 @@
 //!   original columns");
 //! * [`queries::RangeQueryGen`] drawing the paper's random range queries of
 //!   a given *range size* `RS` over `sorted(un(C))`.
+//!
+//! The dynamic-data extension adds [`schedule`]: interleaved
+//! insert/delete/read/aggregate/compact schedules for the differential and
+//! concurrency test harnesses (DESIGN.md §9).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod queries;
+pub mod schedule;
 pub mod spec;
 pub mod zipf;
 
 pub use queries::RangeQueryGen;
+pub use schedule::{Op, ScheduleGen, ScheduleSpec};
 pub use spec::{generate, ColumnSpec};

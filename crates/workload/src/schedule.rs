@@ -1,0 +1,284 @@
+//! Interleaved read/write schedule generation for the dynamic-data
+//! extension (paper §4.3) and its concurrency tests.
+//!
+//! The paper's evaluation is read-only; growing the reproduction into a
+//! served system needs workloads that *interleave* inserts, deletes, range
+//! reads, aggregates and compactions the way live traffic does. This
+//! module draws such schedules from a weighted mix over a closed value
+//! domain of fixed-width numeric strings (lexicographic order equals
+//! numeric order, so range semantics match both the encrypted dictionaries
+//! and a plaintext model).
+//!
+//! The same schedule drives the model-based differential test (each
+//! operation checked against a plaintext MonetDB-style baseline) and the
+//! concurrency stress harness (operations split across reader and writer
+//! threads).
+
+use rand::Rng;
+
+/// One operation of an interleaved schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Insert one value.
+    Insert {
+        /// The inserted value (fixed-width numeric string).
+        value: String,
+    },
+    /// Delete all rows in `[lo, hi]`.
+    Delete {
+        /// Inclusive lower bound.
+        lo: String,
+        /// Inclusive upper bound.
+        hi: String,
+    },
+    /// Range select of all rows in `[lo, hi]`.
+    RangeRead {
+        /// Inclusive lower bound.
+        lo: String,
+        /// Inclusive upper bound.
+        hi: String,
+    },
+    /// `COUNT(*)` + `SUM` aggregate over `[lo, hi]`.
+    AggRead {
+        /// Inclusive lower bound.
+        lo: String,
+        /// Inclusive upper bound.
+        hi: String,
+    },
+    /// Merge the delta store into the main store.
+    Compact,
+}
+
+impl Op {
+    /// Renders the operation as SQL against `table`.`column`.
+    pub fn render_sql(&self, table: &str, column: &str) -> Option<String> {
+        match self {
+            Op::Insert { value } => Some(format!("INSERT INTO {table} VALUES ('{value}')")),
+            Op::Delete { lo, hi } => Some(format!(
+                "DELETE FROM {table} WHERE {column} BETWEEN '{lo}' AND '{hi}'"
+            )),
+            Op::RangeRead { lo, hi } => Some(format!(
+                "SELECT {column} FROM {table} WHERE {column} BETWEEN '{lo}' AND '{hi}'"
+            )),
+            Op::AggRead { lo, hi } => Some(format!(
+                "SELECT COUNT(*), SUM({column}) FROM {table} \
+                 WHERE {column} BETWEEN '{lo}' AND '{hi}'"
+            )),
+            // Compaction is an API call (`merge_table`), not SQL.
+            Op::Compact => None,
+        }
+    }
+
+    /// Whether the operation only reads.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::RangeRead { .. } | Op::AggRead { .. })
+    }
+}
+
+/// The operation mix of a schedule: relative weights plus the value
+/// domain.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleSpec {
+    /// Number of operations to draw.
+    pub ops: usize,
+    /// Relative weight of inserts.
+    pub insert_weight: u32,
+    /// Relative weight of range deletes.
+    pub delete_weight: u32,
+    /// Relative weight of range reads.
+    pub read_weight: u32,
+    /// Relative weight of aggregate reads.
+    pub agg_weight: u32,
+    /// Relative weight of compactions.
+    pub compact_weight: u32,
+    /// Values are drawn from `0..domain`, rendered as 4-digit strings.
+    pub domain: u32,
+}
+
+impl Default for ScheduleSpec {
+    fn default() -> Self {
+        ScheduleSpec {
+            ops: 64,
+            insert_weight: 6,
+            delete_weight: 1,
+            read_weight: 4,
+            agg_weight: 2,
+            compact_weight: 1,
+            domain: 100,
+        }
+    }
+}
+
+/// Draws interleaved schedules from a [`ScheduleSpec`].
+#[derive(Debug, Clone)]
+pub struct ScheduleGen {
+    spec: ScheduleSpec,
+}
+
+impl ScheduleGen {
+    /// Creates a generator for the given mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero, or if the domain is empty or
+    /// exceeds the 4-digit value width (which would break the
+    /// lexicographic-equals-numeric-order invariant).
+    pub fn new(spec: ScheduleSpec) -> Self {
+        let total = spec.insert_weight
+            + spec.delete_weight
+            + spec.read_weight
+            + spec.agg_weight
+            + spec.compact_weight;
+        assert!(total > 0, "at least one weight must be positive");
+        assert!(spec.domain > 0, "value domain must be non-empty");
+        assert!(
+            spec.domain <= 10_000,
+            "domain {} overflows the 4-digit value width",
+            spec.domain
+        );
+        ScheduleGen { spec }
+    }
+
+    /// The configured mix.
+    pub fn spec(&self) -> &ScheduleSpec {
+        &self.spec
+    }
+
+    fn value<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        format!("{:04}", rng.gen_range(0..self.spec.domain))
+    }
+
+    fn bounds<R: Rng + ?Sized>(&self, rng: &mut R) -> (String, String) {
+        let a = rng.gen_range(0..self.spec.domain);
+        let b = rng.gen_range(0..self.spec.domain);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        (format!("{lo:04}"), format!("{hi:04}"))
+    }
+
+    /// Draws one operation.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> Op {
+        let s = &self.spec;
+        let total =
+            s.insert_weight + s.delete_weight + s.read_weight + s.agg_weight + s.compact_weight;
+        let mut pick = rng.gen_range(0..total);
+        if pick < s.insert_weight {
+            return Op::Insert {
+                value: self.value(rng),
+            };
+        }
+        pick -= s.insert_weight;
+        if pick < s.delete_weight {
+            let (lo, hi) = self.bounds(rng);
+            return Op::Delete { lo, hi };
+        }
+        pick -= s.delete_weight;
+        if pick < s.read_weight {
+            let (lo, hi) = self.bounds(rng);
+            return Op::RangeRead { lo, hi };
+        }
+        pick -= s.read_weight;
+        if pick < s.agg_weight {
+            let (lo, hi) = self.bounds(rng);
+            return Op::AggRead { lo, hi };
+        }
+        Op::Compact
+    }
+
+    /// Draws a full interleaved schedule of `spec.ops` operations.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Op> {
+        (0..self.spec.ops).map(|_| self.draw(rng)).collect()
+    }
+
+    /// Draws a read-only schedule of `n` operations (the reader-thread
+    /// slice of a concurrent workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec draws no read operations at all (the rejection
+    /// loop could never terminate).
+    pub fn generate_reads<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Op> {
+        assert!(
+            self.spec.read_weight + self.spec.agg_weight > 0,
+            "read-only schedule from a write-only mix"
+        );
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let op = self.draw(rng);
+            if op.is_read() {
+                out.push(op);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schedules_honor_the_mix() {
+        let gen = ScheduleGen::new(ScheduleSpec {
+            ops: 500,
+            ..ScheduleSpec::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let ops = gen.generate(&mut rng);
+        assert_eq!(ops.len(), 500);
+        let inserts = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Insert { .. }))
+            .count();
+        let reads = ops.iter().filter(|o| o.is_read()).count();
+        let compacts = ops.iter().filter(|o| matches!(o, Op::Compact)).count();
+        // 6/14 inserts, 6/14 reads (range + agg), 1/14 compactions.
+        assert!(inserts > 150, "{inserts} inserts");
+        assert!(reads > 150, "{reads} reads");
+        assert!(compacts > 5 && compacts < 100, "{compacts} compactions");
+    }
+
+    #[test]
+    fn bounds_are_ordered_and_fixed_width() {
+        let gen = ScheduleGen::new(ScheduleSpec::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            if let Op::RangeRead { lo, hi } = gen.draw(&mut rng) {
+                assert!(lo <= hi);
+                assert_eq!(lo.len(), 4);
+                assert_eq!(hi.len(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn sql_rendering() {
+        let op = Op::Insert {
+            value: "0042".into(),
+        };
+        assert_eq!(
+            op.render_sql("t", "v").unwrap(),
+            "INSERT INTO t VALUES ('0042')"
+        );
+        let op = Op::AggRead {
+            lo: "0001".into(),
+            hi: "0099".into(),
+        };
+        assert!(op
+            .render_sql("t", "v")
+            .unwrap()
+            .contains("COUNT(*), SUM(v)"));
+        assert!(Op::Compact.render_sql("t", "v").is_none());
+        assert!(!Op::Compact.is_read());
+    }
+
+    #[test]
+    fn read_only_slices_contain_only_reads() {
+        let gen = ScheduleGen::new(ScheduleSpec::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let reads = gen.generate_reads(&mut rng, 50);
+        assert_eq!(reads.len(), 50);
+        assert!(reads.iter().all(Op::is_read));
+    }
+}

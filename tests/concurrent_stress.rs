@@ -1,0 +1,270 @@
+//! Concurrency stress: reader sessions issue queries while threshold- and
+//! manually-driven compactions rebuild main stores in the background.
+//!
+//! Asserts the snapshot guarantees of DESIGN.md §9:
+//!
+//! * queries complete against the *old* epoch while a merge is in flight
+//!   (readers never block on compaction);
+//! * no torn reads — two mirrored columns always agree row-by-row, and
+//!   every `COUNT(*)` is bracketed by the writer's progress counters;
+//! * epoch and merge counters are monotone;
+//! * a delete racing an in-flight merge aborts the publish instead of
+//!   resurrecting the deleted row.
+//!
+//! Thread count and table size are bounded via `ENCDBDB_STRESS_THREADS`
+//! and `ENCDBDB_STRESS_ROWS` (see ci.sh).
+
+use colstore::column::Column;
+use colstore::table::Table;
+use encdbdb::{ColumnSpec, CompactionPolicy, DictChoice, Session, TableSchema};
+use encdict::EdKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+use workload::{Op, ScheduleGen, ScheduleSpec};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn value(i: usize) -> String {
+    format!("{:04}", i % 100)
+}
+
+/// Builds a session with a two-column mirrored table (`v` ED2, `w` ED9 —
+/// both columns of every row hold the same value) preloaded with `rows`
+/// main-store rows.
+fn mirrored_session(seed: u64, rows: usize) -> Session {
+    let mut v = Column::new("v", 8);
+    let mut w = Column::new("w", 8);
+    for i in 0..rows {
+        v.push(value(i).as_bytes()).unwrap();
+        w.push(value(i).as_bytes()).unwrap();
+    }
+    let mut table = Table::new("t");
+    table.add_column(v).unwrap();
+    table.add_column(w).unwrap();
+    let schema = TableSchema::new(
+        "t",
+        vec![
+            ColumnSpec::new("v", DictChoice::Encrypted(EdKind::Ed2), 8),
+            ColumnSpec::new("w", DictChoice::Encrypted(EdKind::Ed9), 8),
+        ],
+    );
+    let mut db = Session::with_seed(seed).expect("session setup");
+    db.load_table(&table, schema).expect("bulk load");
+    db
+}
+
+#[test]
+fn readers_complete_against_old_snapshot_while_merge_runs() {
+    let rows = env_usize("ENCDBDB_STRESS_ROWS", 2000);
+    let mut db = mirrored_session(7100, rows);
+    // The throttle pins the rebuild in flight long enough to observe the
+    // overlap deterministically (it sleeps off the query path).
+    db.server()
+        .set_merge_throttle(Some(Duration::from_millis(400)));
+    db.execute("INSERT INTO t VALUES ('9999', '9999')").unwrap();
+
+    assert_eq!(db.server().epoch("t").unwrap(), 0);
+    assert!(db.server().spawn_compaction("t").unwrap());
+    assert!(db.server().merge_in_flight("t").unwrap());
+
+    // A reader session completes a query while the merge is still running,
+    // and it sees the old epoch.
+    let mut reader = db.reader(7101);
+    let r = reader
+        .execute("SELECT v, w FROM t WHERE v = '9999'")
+        .unwrap();
+    assert_eq!(r.rows_as_strings(), vec![vec!["9999".to_string(); 2]]);
+    let stats = reader.server().last_stats();
+    assert_eq!(stats.snapshot_epoch, 0, "query served from the old epoch");
+    assert!(
+        db.server().merge_in_flight("t").unwrap(),
+        "the merge must still be in flight after the query completed \
+         (reader did not block on compaction)"
+    );
+
+    db.server().wait_for_compaction("t").unwrap();
+    let stats = db.server().compaction_stats("t").unwrap();
+    assert_eq!(stats.epoch, 1);
+    assert_eq!(stats.merges_completed, 1);
+    assert_eq!(stats.delta_rows, 0, "the insert was folded into main");
+    assert_eq!(stats.last_error, None);
+
+    // Same query, now served from the rebuilt store.
+    let r = reader
+        .execute("SELECT v, w FROM t WHERE v = '9999'")
+        .unwrap();
+    assert_eq!(r.rows_as_strings(), vec![vec!["9999".to_string(); 2]]);
+    assert_eq!(reader.server().last_stats().snapshot_epoch, 1);
+}
+
+#[test]
+fn concurrent_readers_with_background_compactions() {
+    let threads = env_usize("ENCDBDB_STRESS_THREADS", 4);
+    let initial = env_usize("ENCDBDB_STRESS_ROWS", 2000).min(400);
+    let inserts = 320usize;
+    let reads_per_thread = 50usize;
+
+    let mut db = mirrored_session(7200, initial);
+    db.server().set_compaction_policy(Some(CompactionPolicy {
+        max_delta_rows: 48,
+        // Insert-only workload; only the row-count threshold fires.
+        max_invalid_fraction: 1.0,
+    }));
+
+    // Writer progress counters bracketing every row's visibility window.
+    let pending = AtomicUsize::new(initial);
+    let committed = AtomicUsize::new(initial);
+
+    let mut writer = db.reader(7201);
+    let mut readers: Vec<_> = (0..threads).map(|i| db.reader(7300 + i as u64)).collect();
+    let server = db.server().clone();
+
+    std::thread::scope(|scope| {
+        let pending = &pending;
+        let committed = &committed;
+        let server = &server;
+
+        scope.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(7202);
+            let gen = ScheduleGen::new(ScheduleSpec::default());
+            for _ in 0..inserts {
+                let v = match gen.draw(&mut rng) {
+                    Op::Insert { value } => value,
+                    _ => "0042".to_string(),
+                };
+                pending.fetch_add(1, Ordering::SeqCst);
+                writer
+                    .execute(&format!("INSERT INTO t VALUES ('{v}', '{v}')"))
+                    .expect("insert");
+                committed.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+
+        for (i, mut reader) in readers.drain(..).enumerate() {
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(9000 + i as u64);
+                let gen = ScheduleGen::new(ScheduleSpec::default());
+                let mut last_epoch = 0u64;
+                let mut last_merges = 0u64;
+                for ops in gen.generate_reads(&mut rng, reads_per_thread) {
+                    match ops {
+                        Op::AggRead { .. } => {
+                            // Unfiltered count, bracketed by the writer's
+                            // progress: no lost or phantom rows.
+                            let lo = committed.load(Ordering::SeqCst);
+                            let r = reader.execute("SELECT COUNT(*) FROM t").expect("count");
+                            let hi = pending.load(Ordering::SeqCst);
+                            let count: usize = r.rows_as_strings()[0][0].parse().unwrap();
+                            assert!(
+                                (lo..=hi).contains(&count),
+                                "reader {i}: COUNT(*) = {count} outside [{lo}, {hi}]"
+                            );
+                        }
+                        Op::RangeRead { lo, hi } => {
+                            // Mirrored-column consistency: a torn read
+                            // (columns from different states) would break
+                            // the per-row equality.
+                            let r = reader
+                                .execute(&format!(
+                                    "SELECT v, w FROM t WHERE v BETWEEN '{lo}' AND '{hi}'"
+                                ))
+                                .expect("range read");
+                            for row in r.rows_as_strings() {
+                                assert_eq!(row[0], row[1], "reader {i}: torn row {row:?}");
+                            }
+                        }
+                        _ => unreachable!("generate_reads yields only reads"),
+                    }
+                    // Monotone merge/epoch counters.
+                    let stats = server.compaction_stats("t").expect("stats");
+                    assert!(
+                        stats.epoch >= last_epoch,
+                        "reader {i}: epoch went backwards ({} -> {})",
+                        last_epoch,
+                        stats.epoch
+                    );
+                    assert!(
+                        stats.merges_completed >= last_merges,
+                        "reader {i}: merge counter went backwards"
+                    );
+                    last_epoch = stats.epoch;
+                    last_merges = stats.merges_completed;
+                }
+            });
+        }
+    });
+
+    db.server().wait_for_compaction("t").unwrap();
+    let stats = db.server().compaction_stats("t").unwrap();
+    assert!(
+        stats.merges_completed >= 1,
+        "the policy must have fired at least once: {stats:?}"
+    );
+    assert_eq!(stats.merges_failed, 0, "{stats:?}");
+    assert_eq!(stats.last_error, None);
+
+    // Final consistency: every insert landed exactly once.
+    let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(
+        r.rows_as_strings()[0][0],
+        (initial + inserts).to_string(),
+        "final row count"
+    );
+    let r = db.execute("SELECT v, w FROM t").unwrap();
+    for row in r.rows_as_strings() {
+        assert_eq!(row[0], row[1], "torn row in final state");
+    }
+}
+
+#[test]
+fn delete_racing_a_merge_aborts_the_publish() {
+    let mut db = mirrored_session(7400, 200);
+    db.execute("INSERT INTO t VALUES ('9999', '9999')").unwrap();
+    db.server()
+        .set_merge_throttle(Some(Duration::from_millis(300)));
+
+    assert!(db.server().spawn_compaction("t").unwrap());
+    assert!(db.server().merge_in_flight("t").unwrap());
+
+    // Delete a main-store row while the rebuild is reading the old state:
+    // publishing the rebuild would resurrect it.
+    let deleted: usize = db
+        .execute("DELETE FROM t WHERE v = '0007'")
+        .unwrap()
+        .rows_as_strings()[0][0]
+        .parse()
+        .unwrap();
+    assert!(deleted >= 1, "victim rows existed in the main store");
+
+    db.server().wait_for_compaction("t").unwrap();
+    let stats = db.server().compaction_stats("t").unwrap();
+    // The first publish was aborted (the delete won), and the background
+    // worker retried against the fresh state and published that instead —
+    // the deleted row is never resurrected.
+    assert_eq!(stats.merges_aborted, 1, "{stats:?}");
+    assert_eq!(
+        stats.merges_completed, 1,
+        "aborted merge retried: {stats:?}"
+    );
+    assert_eq!(stats.epoch, 1, "only the retry published");
+
+    // The delete survived the whole dance.
+    let expected = 200 + 1 - deleted;
+    let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows_as_strings()[0][0], expected.to_string());
+    let r = db.execute("SELECT v FROM t WHERE v = '0007'").unwrap();
+    assert_eq!(r.row_count(), 0, "deleted rows stay deleted across merges");
+    // Everything is folded; another merge is a no-op.
+    db.server().set_merge_throttle(None);
+    db.merge("t").unwrap();
+    assert_eq!(db.server().epoch("t").unwrap(), 1);
+    let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows_as_strings()[0][0], expected.to_string());
+}

@@ -1,0 +1,215 @@
+//! Model-based differential testing of the dynamic-data path (§4.3):
+//! proptest-generated interleavings of insert / delete / range select /
+//! aggregate / compact run against every encrypted dictionary kind plus
+//! PLAIN, and every operation's result is checked against a plaintext
+//! model whose reads go through the MonetDB-style baseline column
+//! (`MonetColumn` linear range scan).
+//!
+//! The schedules deliberately interleave compactions with reads and
+//! writes so every operation is exercised against main-only, delta-only
+//! and mixed main+delta states, across merge generations.
+
+use colstore::column::Column;
+use colstore::monetdb::MonetColumn;
+use encdbdb::Session;
+use proptest::prelude::*;
+
+const CHOICES: [&str; 10] = [
+    "ED1", "ED2", "ED3", "ED4", "ED5", "ED6", "ED7", "ED8", "ED9", "PLAIN",
+];
+
+/// One schedule step, decoded from a generated `(kind, a, b)` triple.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(String),
+    Delete(String, String),
+    Range(String, String),
+    Agg(String, String),
+    Compact,
+}
+
+fn value(x: u32) -> String {
+    format!("{:04}", x % 60)
+}
+
+fn bounds(a: u32, b: u32) -> (String, String) {
+    let (lo, hi) = if a % 60 <= b % 60 { (a, b) } else { (b, a) };
+    (value(lo), value(hi))
+}
+
+fn decode(kind: u8, a: u32, b: u32) -> Op {
+    match kind % 10 {
+        0..=3 => Op::Insert(value(a)),
+        4 => {
+            let (lo, hi) = bounds(a, b);
+            Op::Delete(lo, hi)
+        }
+        5 | 6 => {
+            let (lo, hi) = bounds(a, b);
+            Op::Range(lo, hi)
+        }
+        7 | 8 => {
+            let (lo, hi) = bounds(a, b);
+            Op::Agg(lo, hi)
+        }
+        _ => Op::Compact,
+    }
+}
+
+/// The plaintext model: the logical multiset of valid rows, read through
+/// the MonetDB baseline.
+#[derive(Debug, Default)]
+struct Model {
+    rows: Vec<String>,
+}
+
+impl Model {
+    fn baseline(&self) -> MonetColumn {
+        let column = Column::from_strs("v", 8, self.rows.iter()).expect("model values fit");
+        MonetColumn::ingest(&column)
+    }
+
+    /// Values matched by `[lo, hi]`, via the baseline's linear range scan.
+    fn range(&self, lo: &str, hi: &str) -> Vec<String> {
+        if self.rows.is_empty() {
+            return Vec::new();
+        }
+        let baseline = self.baseline();
+        let mut out: Vec<String> = baseline
+            .range_search_inclusive(lo.as_bytes(), hi.as_bytes())
+            .into_iter()
+            .map(|rid| String::from_utf8_lossy(baseline.value(rid)).into_owned())
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+fn run_schedule(choice: &str, seed: u64, triples: &[(u8, u32, u32)]) -> Result<(), TestCaseError> {
+    let mut db = Session::with_seed(seed).expect("session setup");
+    db.execute(&format!("CREATE TABLE t (v {choice}(8))"))
+        .expect("create table");
+    let mut model = Model::default();
+
+    for (step, &(kind, a, b)) in triples.iter().enumerate() {
+        let op = decode(kind, a, b);
+        match &op {
+            Op::Insert(v) => {
+                db.execute(&format!("INSERT INTO t VALUES ('{v}')"))
+                    .expect("insert");
+                model.rows.push(v.clone());
+            }
+            Op::Delete(lo, hi) => {
+                let r = db
+                    .execute(&format!("DELETE FROM t WHERE v BETWEEN '{lo}' AND '{hi}'"))
+                    .expect("delete");
+                let expected = model.range(lo, hi).len();
+                prop_assert_eq!(
+                    r.rows_as_strings()[0][0].clone(),
+                    expected.to_string(),
+                    "{} step {}: delete count for [{}, {}]",
+                    choice,
+                    step,
+                    lo,
+                    hi
+                );
+                model
+                    .rows
+                    .retain(|v| v.as_str() < lo.as_str() || v.as_str() > hi.as_str());
+            }
+            Op::Range(lo, hi) => {
+                let r = db
+                    .execute(&format!(
+                        "SELECT v FROM t WHERE v BETWEEN '{lo}' AND '{hi}'"
+                    ))
+                    .expect("range select");
+                let mut got: Vec<String> = r
+                    .rows_as_strings()
+                    .into_iter()
+                    .map(|mut row| row.remove(0))
+                    .collect();
+                got.sort();
+                prop_assert_eq!(
+                    got,
+                    model.range(lo, hi),
+                    "{} step {}: range [{}, {}]",
+                    choice,
+                    step,
+                    lo,
+                    hi
+                );
+            }
+            Op::Agg(lo, hi) => {
+                let r = db
+                    .execute(&format!(
+                        "SELECT COUNT(*), SUM(v) FROM t WHERE v BETWEEN '{lo}' AND '{hi}'"
+                    ))
+                    .expect("aggregate");
+                let matched = model.range(lo, hi);
+                let expected_sum = if matched.is_empty() {
+                    String::new()
+                } else {
+                    matched
+                        .iter()
+                        .map(|v| v.parse::<u64>().expect("numeric domain"))
+                        .sum::<u64>()
+                        .to_string()
+                };
+                let rows = r.rows_as_strings();
+                prop_assert_eq!(rows.len(), 1, "{} step {}: one aggregate row", choice, step);
+                prop_assert_eq!(
+                    rows[0].clone(),
+                    vec![matched.len().to_string(), expected_sum],
+                    "{} step {}: COUNT/SUM over [{}, {}]",
+                    choice,
+                    step,
+                    lo,
+                    hi
+                );
+            }
+            Op::Compact => {
+                db.merge("t").expect("merge");
+            }
+        }
+        // Invariant after every operation: the server's logical row count
+        // matches the model.
+        prop_assert_eq!(
+            db.server().row_count("t").expect("row count"),
+            model.rows.len(),
+            "{} step {}: row count after {:?}",
+            choice,
+            step,
+            op
+        );
+    }
+
+    // Final full-table check across whatever main/delta split the schedule
+    // left behind.
+    let r = db.execute("SELECT v FROM t").expect("final select");
+    let mut got: Vec<String> = r
+        .rows_as_strings()
+        .into_iter()
+        .map(|mut row| row.remove(0))
+        .collect();
+    got.sort();
+    let mut expected = model.rows.clone();
+    expected.sort();
+    prop_assert_eq!(got, expected, "{}: final table contents", choice);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Every interleaving, against all nine encrypted dictionary kinds
+    /// plus PLAIN, behaves exactly like the plaintext MonetDB baseline.
+    #[test]
+    fn interleavings_match_the_plaintext_model(
+        triples in prop::collection::vec((0u8..10, 0u32..600, 0u32..600), 1..28),
+        seed in 0u64..100_000,
+    ) {
+        for choice in CHOICES {
+            run_schedule(choice, seed, &triples)?;
+        }
+    }
+}

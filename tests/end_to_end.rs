@@ -65,11 +65,11 @@ fn attestation_rejects_unexpected_enclave() {
 
     let mut rng = StdRng::seed_from_u64(42);
     let owner = DataOwner::generate(&mut rng);
-    let mut server = DbaasServer::new();
+    let server = DbaasServer::new();
     let service = SigningPlatform::default().verification_service();
     let err = owner
         .provision(
-            &mut server,
+            &server,
             &service,
             Measurement::of(b"some-other-enclave"),
             &mut rng,

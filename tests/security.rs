@@ -96,10 +96,8 @@ fn queries_after_tamper_fail_loudly_not_wrongly() {
     use encdict::DictEnclave;
 
     let mut rng = StdRng::seed_from_u64(7);
-    let mut server = DbaasServer::with_enclave(DictEnclave::with_seed(8));
-    server
-        .enclave_mut()
-        .provision_direct(Key128::from_bytes([1; 16]));
+    let server = DbaasServer::with_enclave(DictEnclave::with_seed(8));
+    server.provision_direct(Key128::from_bytes([1; 16]));
     let owner = encdbdb::DataOwner::from_key(Key128::from_bytes([1; 16]));
     let mut table = Table::new("t");
     table
@@ -107,7 +105,7 @@ fn queries_after_tamper_fail_loudly_not_wrongly() {
         .unwrap();
     owner
         .deploy(
-            &mut server,
+            &server,
             &table,
             TableSchema::new(
                 "t",
@@ -122,7 +120,7 @@ fn queries_after_tamper_fail_loudly_not_wrongly() {
     // decryption.
     let evil_proxy = Proxy::new(Key128::from_bytes([2; 16]));
     let err = evil_proxy
-        .execute(&mut server, "SELECT c FROM t WHERE c = 'a'", &mut rng)
+        .execute(&server, "SELECT c FROM t WHERE c = 'a'", &mut rng)
         .unwrap_err();
     assert!(matches!(err, encdbdb::DbError::Dict(_)));
 }
