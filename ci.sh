@@ -20,13 +20,19 @@ run cargo clippy --all-targets --offline -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 # The concurrency stress suite again, explicitly bounded: a fixed reader
 # thread count and table size so CI machines of any width behave alike.
+# This includes the partition stress tests (hot-shard writes + a merge on
+# one shard while readers scan the others).
 run env ENCDBDB_STRESS_THREADS=4 ENCDBDB_STRESS_ROWS=2000 \
     cargo test -q --offline --test concurrent_stress
+# The multi-partition differential suite, bounded the same way.
+run env ENCDBDB_STRESS_THREADS=4 ENCDBDB_STRESS_ROWS=2000 \
+    cargo test -q --offline --test dynamic_differential
 # Benches are excluded from `cargo test` (they are timed loops); keep them
-# compiling — including the analytic-engine aggregate bench and the
-# snapshot/compaction bench.
+# compiling — including the analytic-engine aggregate bench, the
+# snapshot/compaction bench and the partition-layer bench.
 run cargo bench --no-run --offline -p encdbdb-bench
 run cargo bench --no-run --offline -p encdbdb-bench --bench aggregate
 run cargo bench --no-run --offline -p encdbdb-bench --bench compaction
+run cargo bench --no-run --offline -p encdbdb-bench --bench partition
 
 echo "==> CI green"

@@ -1,0 +1,124 @@
+//! Criterion benchmark for the partition layer (DESIGN.md §10): a grouped
+//! aggregate scan over the same data at 1, 4 and 16 range partitions, for
+//! ED1 vs ED9 vs PLAIN, plus read latency while a compaction rebuilds one
+//! shard — single-partition vs multi-partition.
+//!
+//! Two headline properties:
+//!
+//! * the grouped scan fans out across partitions on scoped threads, so
+//!   wall-clock shrinks as partitions grow (until thread overhead wins);
+//! * with many partitions, a merge rebuilds one shard while the scan keeps
+//!   reading every other shard's live snapshot — the compaction-during-
+//!   query penalty collapses compared to the single-partition table.
+//!
+//! Row count is overridable for quick runs:
+//! `ENCDBDB_PARTITION_ROWS=20000 cargo bench -p encdbdb-bench --bench partition`
+
+use colstore::column::Column;
+use colstore::table::Table;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use encdbdb::{ColumnSpec, DictChoice, Session, TablePartitioning, TableSchema};
+use encdict::EdKind;
+use std::time::Duration;
+
+const DOMAIN: usize = 10_000;
+const GROUPS: usize = 16;
+
+fn row_count() -> usize {
+    std::env::var("ENCDBDB_PARTITION_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+fn value(i: usize) -> String {
+    format!("{:05}", i % DOMAIN)
+}
+
+fn group(i: usize) -> String {
+    format!("g{:02}", i % GROUPS)
+}
+
+/// Evenly spaced split points producing `partitions` shards over the
+/// 5-digit value domain.
+fn split_points(partitions: usize) -> Vec<Vec<u8>> {
+    (1..partitions)
+        .map(|i| format!("{:05}", i * DOMAIN / partitions).into_bytes())
+        .collect()
+}
+
+fn setup(choice: DictChoice, partitions: usize, seed: u64, rows: usize) -> Session {
+    let mut g = Column::new("g", 4);
+    let mut v = Column::new("v", 8);
+    for i in 0..rows {
+        g.push(group(i).as_bytes()).unwrap();
+        v.push(value(i).as_bytes()).unwrap();
+    }
+    let mut table = Table::new("t");
+    table.add_column(g).unwrap();
+    table.add_column(v).unwrap();
+    let mut schema = TableSchema::new(
+        "t",
+        vec![
+            ColumnSpec::new("g", choice, 4),
+            ColumnSpec::new("v", choice, 8),
+        ],
+    );
+    if partitions > 1 {
+        schema = schema.with_partitioning(TablePartitioning::new("v", split_points(partitions)));
+    }
+    let mut db = Session::with_seed(seed).expect("session setup");
+    db.load_table(&table, schema).expect("bulk load");
+    db
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let rows = row_count();
+    let query = "SELECT g, SUM(v) FROM t GROUP BY g";
+
+    let mut group = c.benchmark_group("partition_grouped_scan");
+    group.sample_size(10);
+    for (label, choice) in [
+        ("ED1", DictChoice::Encrypted(EdKind::Ed1)),
+        ("ED9", DictChoice::Encrypted(EdKind::Ed9)),
+        ("PLAIN", DictChoice::Plain),
+    ] {
+        for partitions in [1usize, 4, 16] {
+            let mut db = setup(choice, partitions, 6100 + partitions as u64, rows);
+            group.bench_function(BenchmarkId::new(label, partitions), |b| {
+                b.iter(|| db.execute(query).unwrap())
+            });
+        }
+    }
+    group.finish();
+
+    // Compaction-during-query: a throttled merge pins one shard's rebuild
+    // in flight; the grouped scan runs concurrently. With 16 partitions
+    // only 1/16th of the data is behind the merge (and reads drain on its
+    // old epoch anyway); with 1 partition the whole table is.
+    let mut group = c.benchmark_group("partition_scan_during_merge");
+    group.sample_size(10);
+    for partitions in [1usize, 16] {
+        let mut db = setup(DictChoice::Encrypted(EdKind::Ed1), partitions, 6200, rows);
+        let mut reader = db.reader(6201);
+        db.server()
+            .set_merge_throttle(Some(Duration::from_millis(2)));
+        group.bench_function(BenchmarkId::new("ED1", partitions), |b| {
+            b.iter(|| {
+                if !db.server().merge_in_flight("t").unwrap() {
+                    // Dirty one shard (the first): the next spawn rebuilds
+                    // only that shard on multi-partition tables.
+                    db.execute("INSERT INTO t VALUES ('g00', '00000')").unwrap();
+                    let _ = db.server().spawn_compaction("t").unwrap();
+                }
+                reader.execute(query).unwrap()
+            })
+        });
+        db.server().wait_for_compaction("t").unwrap();
+        db.server().set_merge_throttle(None);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

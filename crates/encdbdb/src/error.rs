@@ -46,6 +46,9 @@ pub enum DbError {
     /// A write or merge kept racing concurrent compaction publishes and
     /// exhausted its retries.
     MergeConflict(String),
+    /// A range-partitioning violation: malformed split points, a
+    /// partition index out of range, or an insert that cannot be routed.
+    Partition(String),
 }
 
 impl fmt::Display for DbError {
@@ -70,6 +73,7 @@ impl fmt::Display for DbError {
             DbError::Storage(e) => write!(f, "storage failure: {e}"),
             DbError::Enclave(e) => write!(f, "enclave failure: {e}"),
             DbError::MergeConflict(msg) => write!(f, "merge conflict: {msg}"),
+            DbError::Partition(msg) => write!(f, "partitioning error: {msg}"),
         }
     }
 }

@@ -1,41 +1,51 @@
 //! The vectorized aggregate executor: `Scan → Filter → GroupBy →
-//! Aggregate → Sort → Limit` on the untrusted server.
+//! Aggregate → Sort → Limit` on the untrusted server, partition-parallel.
 //!
 //! Execution splits exactly like the paper splits range search:
 //!
 //! 1. **Filter** reuses the range machinery (enclave dictionary search +
-//!    attribute-vector scan, delta stores and validity vectors included).
+//!    attribute-vector scan, delta stores and validity vectors included),
+//!    per range partition.
 //! 2. **Scan** walks the referenced columns' attribute vectors in
-//!    4096-row chunks — multi-threaded via
-//!    [`Parallelism`](encdict::avsearch::Parallelism) — and reduces the
-//!    matching rows to a ValueID-tuple histogram. No ciphertext is
-//!    touched; the scan runs entirely on ValueIDs in untrusted memory.
+//!    4096-row chunks — fanned out across partitions on scoped threads,
+//!    and multi-threaded within a partition via
+//!    [`Parallelism`](encdict::avsearch::Parallelism) — and reduces each
+//!    partition's matching rows to a ValueID-tuple histogram. No
+//!    ciphertext is touched; the scan runs entirely on ValueIDs in
+//!    untrusted memory. Pruned and empty partitions are skipped without a
+//!    single ECALL.
 //! 3. **GroupBy/Aggregate/Sort/Limit** run where plaintext is allowed:
-//!    one `Aggregate` ECALL when any referenced column is encrypted (the
-//!    enclave decrypts each distinct touched ValueID once and returns
-//!    freshly encrypted cells), or locally for all-PLAIN queries — the
-//!    same [`encdict::aggregate`] core either way.
+//!    the per-partition histograms travel as *parts* of one `Aggregate`
+//!    ECALL when any referenced column is encrypted — the enclave
+//!    decrypts each partition's distinct touched ValueIDs once, folds
+//!    every part into per-group partial aggregates and merges the
+//!    partials in the trusted core
+//!    ([`encdict::aggregate::GroupPartials`]) — or locally for all-PLAIN
+//!    queries, through the same trusted-core partial-merge code.
 //!
-//! The whole query — filter, scan, aggregation — executes against one
-//! `TableSnapshot` (see `crate::server`) acquired up front, so
-//! concurrent compactions never tear an aggregate.
+//! Each partition's filter, scan and histogram run against one
+//! `PartitionSnapshot` (see `crate::server`) acquired up front, so
+//! concurrent compactions never tear an aggregate — a merge publishing on
+//! shard A cannot affect the scan of shard B, and shard A's scan drains
+//! on its old epoch.
 //!
-//! [`QueryStats`](crate::server::QueryStats) records the chunk count, the
-//! ECALLs and the decrypted-value count, making the headline property
-//! checkable: enclave decryptions are bounded by distinct ValueIDs, not by
-//! row count.
+//! [`QueryStats`] records the chunk count, the
+//! ECALLs, the decrypted-value count and the partition pruning, making
+//! the headline properties checkable: enclave decryptions are bounded by
+//! distinct ValueIDs per partition, never by row count, and enclave calls
+//! by one search per filtered dictionary plus one `Aggregate` per query.
 
 use crate::error::DbError;
-use crate::exec::aggregate::{build_histogram, remap_codes, ColumnCodes};
+use crate::exec::aggregate::{build_histogram, remap_codes, ColumnCodes, Remapped};
 use crate::exec::plan::AggregatePlan;
 use crate::server::{
-    matching_rids_multi, CellValue, ColumnDelta, DbaasServer, MainColumn, SelectResponse,
-    ServerFilter,
+    fan_out, matching_rids_multi, CellValue, ColumnDelta, DbaasServer, MainColumn,
+    PartitionSnapshot, QueryStats, SelectResponse, ServerFilter,
 };
 use colstore::delta::DeltaStore;
 use colstore::dictionary::RecordId;
-use encdict::aggregate::{AggPlanSpec, AggSpec, OutputItem};
-use encdict::enclave_ops::{AggCell, AggColumnData, AggregateRequest};
+use encdict::aggregate::{AggPlanSpec, AggSpec, GroupPartials, OutputItem};
+use encdict::enclave_ops::{AggCell, AggColumnData, AggPartitionData, AggregateRequest};
 use encdict::PlainDictionary;
 
 /// Resolves the distinct touched codes of a PLAIN column to their values
@@ -76,8 +86,17 @@ fn validate_plan(plan: &AggregatePlan) -> Result<(), DbError> {
     Ok(())
 }
 
+/// One scanned partition's contribution: its remapped histogram plus the
+/// PLAIN columns' resolved value tables.
+struct PartScan {
+    remapped: Remapped,
+    plain_tables: Vec<Option<Vec<Vec<u8>>>>,
+    stats: QueryStats,
+}
+
 impl DbaasServer {
-    /// Executes a grouped aggregation (the `exec` engine's entry point).
+    /// Executes a grouped aggregation (the `exec` engine's entry point)
+    /// over all partitions.
     ///
     /// # Errors
     ///
@@ -88,12 +107,19 @@ impl DbaasServer {
         plan: &AggregatePlan,
         filters: &[ServerFilter],
     ) -> Result<SelectResponse, DbError> {
+        self.aggregate_scoped(table, plan, filters, None)
+    }
+
+    pub(crate) fn aggregate_scoped(
+        &self,
+        table: &str,
+        plan: &AggregatePlan,
+        filters: &[ServerFilter],
+        scope: Option<&[usize]>,
+    ) -> Result<SelectResponse, DbError> {
         validate_plan(plan)?;
         let cfg = self.config();
         let t = self.table_handle(table)?;
-        let snap = t.snapshot();
-        let (main_rids, delta_rids, mut stats) =
-            matching_rids_multi(&snap, &t.schema, self.query_enclave_handle(), filters, &cfg)?;
 
         // Referenced columns (group keys first, then aggregate inputs),
         // deduplicated — they define the histogram's tuple order.
@@ -123,98 +149,168 @@ impl DbaasServer {
             sort: plan.sort.clone(),
             limit: plan.limit,
         };
-        let mut ref_cols: Vec<(&MainColumn, &ColumnDelta)> = Vec::with_capacity(ref_names.len());
+        // Schema positions of the referenced columns, and whether each is
+        // encrypted (uniform across partitions — one schema).
+        let mut ref_idx = Vec::with_capacity(ref_names.len());
+        let mut col_names: Vec<Option<&str>> = Vec::with_capacity(ref_names.len());
         for name in &ref_names {
-            let (idx, _) = t
+            let (idx, spec) = t
                 .schema
                 .column(name)
                 .ok_or_else(|| DbError::ColumnNotFound(name.clone()))?;
-            ref_cols.push((&snap.main.columns[idx], &snap.deltas[idx]));
+            ref_idx.push(idx);
+            col_names.push(match spec.choice {
+                crate::schema::DictChoice::Encrypted(_) => Some(spec.name.as_str()),
+                crate::schema::DictChoice::Plain => None,
+            });
+        }
+        let any_encrypted = col_names.iter().any(Option::is_some);
+
+        // Partition scope (pruning) + per-partition snapshots; empty
+        // shards are skipped without any ECALL.
+        let scope = t.resolve_scope(filters, scope);
+        let snaps = t.snapshot_scope(&scope);
+        let active: Vec<(usize, PartitionSnapshot)> = snaps
+            .into_iter()
+            .filter(|(_, snap)| !snap.is_empty())
+            .collect();
+        let mut stats = QueryStats {
+            partitions_total: t.partitions.len(),
+            partitions_scanned: active.len(),
+            partitions_pruned: t.partitions.len() - scope.len(),
+            ..QueryStats::default()
+        };
+
+        // Per-partition, fanned out on scoped threads: filter → chunked
+        // histogram scan → dense remap → resolve PLAIN value tables.
+        let ref_idx = &ref_idx;
+        let scans = fan_out(&active, |_pid, snap| {
+            let (main_rids, delta_rids, mut part_stats) =
+                matching_rids_multi(snap, &t.schema, self.query_enclave_handle(), filters, &cfg)?;
+            let scan_start = std::time::Instant::now();
+            let cols: Vec<ColumnCodes<'_>> = ref_idx
+                .iter()
+                .map(|&idx| ColumnCodes {
+                    av: snap.main.columns[idx].av_slice(),
+                    main_len: snap.main.columns[idx].main_len(),
+                })
+                .collect();
+            let hist = build_histogram(&cols, &main_rids, &delta_rids, cfg.parallelism);
+            part_stats.av_search_ns += scan_start.elapsed().as_nanos() as u64;
+            part_stats.chunks_scanned += hist.chunks;
+            part_stats.snapshot_epoch = snap.epoch();
+            let remapped = remap_codes(cols.len(), hist.tuples);
+            let plain_tables: Vec<Option<Vec<Vec<u8>>>> = ref_idx
+                .iter()
+                .enumerate()
+                .map(
+                    |(c, &idx)| match (&snap.main.columns[idx], &snap.deltas[idx]) {
+                        (MainColumn::Plain { dict, .. }, ColumnDelta::Plain(delta)) => {
+                            Some(resolve_plain(dict, delta, &remapped.codes[c]))
+                        }
+                        _ => None,
+                    },
+                )
+                .collect();
+            Ok::<_, DbError>(PartScan {
+                remapped,
+                plain_tables,
+                stats: part_stats,
+            })
+        });
+        let mut parts: Vec<PartScan> = Vec::with_capacity(scans.len());
+        for scan in scans {
+            let scan = scan?;
+            stats.absorb(&scan.stats);
+            parts.push(scan);
         }
 
-        // Vectorized chunk scan: matching rows → ValueID-tuple histogram.
-        let scan_start = std::time::Instant::now();
-        let cols: Vec<ColumnCodes<'_>> = ref_cols
-            .iter()
-            .map(|(main, _)| ColumnCodes {
-                av: main.av_slice(),
-                main_len: main.main_len(),
-            })
-            .collect();
-        let hist = build_histogram(&cols, &main_rids, &delta_rids, cfg.parallelism);
-        stats.av_search_ns += scan_start.elapsed().as_nanos() as u64;
-        stats.chunks_scanned += hist.chunks;
-        let remapped = remap_codes(cols.len(), hist.tuples);
-
-        // Grouped aggregation over the distinct touched values.
+        // Grouped aggregation over the distinct touched values of every
+        // partition, with the partial-aggregate merge in the trusted core.
         let agg_start = std::time::Instant::now();
-        let rows: Vec<Vec<CellValue>> = if ref_cols.iter().any(|(main, _)| main.is_encrypted()) {
-            let plain_tables: Vec<Option<Vec<Vec<u8>>>> = ref_cols
+        let rows: Vec<Vec<CellValue>> = if any_encrypted {
+            // Partitions with no matching rows contribute no part.
+            let part_data: Vec<AggPartitionData<'_>> = active
                 .iter()
-                .enumerate()
-                .map(|(c, (main, delta))| match (main, delta) {
-                    (MainColumn::Plain { dict, .. }, ColumnDelta::Plain(delta)) => {
-                        Some(resolve_plain(dict, delta, &remapped.codes[c]))
-                    }
-                    _ => None,
+                .zip(&parts)
+                .filter(|(_, scan)| !scan.remapped.tuples.is_empty())
+                .map(|((_, snap), scan)| AggPartitionData {
+                    columns: ref_idx
+                        .iter()
+                        .enumerate()
+                        .map(
+                            |(c, &idx)| match (&snap.main.columns[idx], &snap.deltas[idx]) {
+                                (MainColumn::Encrypted(main), ColumnDelta::Encrypted(delta)) => {
+                                    AggColumnData::Encrypted {
+                                        main: main.dict().segment_ref(),
+                                        delta: delta.segment_ref(),
+                                        codes: &scan.remapped.codes[c],
+                                    }
+                                }
+                                _ => AggColumnData::Plain {
+                                    values: scan.plain_tables[c]
+                                        .as_deref()
+                                        .expect("resolved above"),
+                                },
+                            },
+                        )
+                        .collect(),
+                    tuples: &scan.remapped.tuples,
                 })
                 .collect();
-            let columns: Vec<AggColumnData<'_>> = ref_cols
-                .iter()
-                .enumerate()
-                .map(|(c, (main, delta))| match (main, delta) {
-                    (MainColumn::Encrypted(main), ColumnDelta::Encrypted(delta)) => {
-                        AggColumnData::Encrypted {
-                            col_name: &ref_names[c],
-                            main: main.dict().segment_ref(),
-                            delta: delta.segment_ref(),
-                            codes: &remapped.codes[c],
-                        }
-                    }
-                    _ => AggColumnData::Plain {
-                        values: plain_tables[c].as_deref().expect("resolved above"),
-                    },
-                })
-                .collect();
-            let reply = self.enclave().aggregate(AggregateRequest {
-                table_name: &t.schema.name,
-                columns,
-                tuples: &remapped.tuples,
-                plan: &spec,
-            })?;
-            stats.enclave_calls += 1;
-            stats.values_decrypted += reply.values_decrypted;
-            reply
-                .rows
-                .into_iter()
-                .map(|row| {
-                    row.into_iter()
-                        .map(|cell| match cell {
-                            AggCell::Encrypted(b) => CellValue::Encrypted(b),
-                            AggCell::Plain(b) => CellValue::Plain(b),
-                        })
-                        .collect()
-                })
-                .collect()
+            if part_data.is_empty() && !spec.group_cols.is_empty() {
+                // Every shard pruned or empty: a grouped aggregate has
+                // zero groups — answered without entering the enclave.
+                Vec::new()
+            } else {
+                // One Aggregate ECALL for the whole query — at most one
+                // per non-empty partition, and exactly one here. A global
+                // (no GROUP BY) aggregate still consults the enclave even
+                // with zero parts: its NULL row carries cells encrypted
+                // under the column keys.
+                let reply = self.enclave().aggregate(AggregateRequest {
+                    table_name: &t.schema.name,
+                    col_names: col_names.clone(),
+                    parts: part_data,
+                    plan: &spec,
+                })?;
+                stats.enclave_calls += 1;
+                stats.values_decrypted += reply.values_decrypted;
+                reply
+                    .rows
+                    .into_iter()
+                    .map(|row| {
+                        row.into_iter()
+                            .map(|cell| match cell {
+                                AggCell::Encrypted(b) => CellValue::Encrypted(b),
+                                AggCell::Plain(b) => CellValue::Plain(b),
+                            })
+                            .collect()
+                    })
+                    .collect()
+            }
         } else {
-            let tables: Vec<Vec<Vec<u8>>> = ref_cols
-                .iter()
-                .enumerate()
-                .map(|(c, (main, delta))| match (main, delta) {
-                    (MainColumn::Plain { dict, .. }, ColumnDelta::Plain(delta)) => {
-                        resolve_plain(dict, delta, &remapped.codes[c])
-                    }
-                    _ => unreachable!("checked above"),
-                })
-                .collect();
-            encdict::aggregate::evaluate(&tables, &remapped.tuples, &spec)?
+            // All-PLAIN: same trusted-core partial merge, run locally
+            // (value tables move out of the scan — no per-query copy).
+            let mut partials = GroupPartials::new();
+            for scan in parts {
+                let tables: Vec<Vec<Vec<u8>>> = scan
+                    .plain_tables
+                    .into_iter()
+                    .map(|t| t.expect("all columns are PLAIN"))
+                    .collect();
+                let mut partial = GroupPartials::new();
+                partial.accumulate(&tables, &scan.remapped.tuples, &spec)?;
+                partials.merge(partial);
+            }
+            partials
+                .finalize(&spec)?
                 .into_iter()
                 .map(|row| row.into_iter().map(CellValue::Plain).collect())
                 .collect()
         };
         stats.aggregate_ns += agg_start.elapsed().as_nanos() as u64;
         stats.result_rows = rows.len();
-        stats.snapshot_epoch = snap.main.epoch;
         self.store_stats(stats);
         Ok(SelectResponse {
             columns: plan.item_names.clone(),

@@ -6,7 +6,8 @@
 //!
 //! * [`sql`] — a SQL front end where ED1–ED9 are column data types, as in
 //!   the paper's MonetDB integration (`CREATE TABLE t1 (c1 ED7(12), ...)`).
-//! * [`schema`] — per-column dictionary selection.
+//! * [`schema`] — per-column dictionary selection and range partitioning
+//!   (`PARTITION BY RANGE (col) SPLIT ('a', ...)`).
 //! * [`owner`] — the data owner: key generation, remote attestation,
 //!   `EncDB` encryption, deployment (Fig. 5 steps 1–4).
 //! * [`proxy`] — the trusted proxy: query-type-hiding range conversion and
@@ -64,7 +65,7 @@ pub use error::DbError;
 pub use exec::plan::{AggregatePlan, SelectPlan};
 pub use owner::DataOwner;
 pub use proxy::{Proxy, QueryResult};
-pub use schema::{ColumnSpec, DictChoice, TableSchema};
+pub use schema::{ColumnSpec, DictChoice, TablePartitioning, TableSchema};
 pub use server::{
     CompactionPolicy, CompactionStats, DbaasServer, DeployedColumn, QueryOutcome, QueryStats,
     ServerQuery,

@@ -7,6 +7,7 @@
 use crate::error::DbError;
 use crate::schema::{DictChoice, TableSchema};
 use crate::server::{DbaasServer, DeployedColumn};
+use colstore::column::Column;
 use colstore::table::Table;
 use encdbdb_crypto::hkdf::derive_column_key;
 use encdbdb_crypto::keys::{Key128, Key256};
@@ -111,9 +112,17 @@ impl DataOwner {
 
     /// Steps 3+4 combined: encrypt and deploy a table.
     ///
+    /// A schema with range partitioning first splits the plaintext rows by
+    /// the partition column ([`split_table`]) and encrypts every shard
+    /// separately — each partition gets its own dictionaries, built from
+    /// its own value population, so the server can scale scans out across
+    /// shards without ever correlating values between them.
+    ///
     /// # Errors
     ///
-    /// As [`DataOwner::encrypt_table`] and [`DbaasServer::deploy_table`].
+    /// As [`DataOwner::encrypt_table`] and [`DbaasServer::deploy_table`];
+    /// [`DbError::ColumnNotFound`] if the partition column is missing from
+    /// the plaintext table.
     pub fn deploy<R: Rng + ?Sized>(
         &self,
         server: &DbaasServer,
@@ -121,9 +130,54 @@ impl DataOwner {
         schema: TableSchema,
         rng: &mut R,
     ) -> Result<(), DbError> {
-        let columns = self.encrypt_table(table, &schema, rng)?;
-        server.deploy_table(schema, columns)
+        match schema.partitioning.clone() {
+            None => {
+                let columns = self.encrypt_table(table, &schema, rng)?;
+                server.deploy_table(schema, columns)
+            }
+            Some(part) => {
+                let shards = split_table(table, &schema, &part)?;
+                let mut parts = Vec::with_capacity(shards.len());
+                for shard in &shards {
+                    parts.push(self.encrypt_table(shard, &schema, rng)?);
+                }
+                server.deploy_table_partitioned(schema, parts)
+            }
+        }
     }
+}
+
+/// Splits a plaintext table into per-partition tables by the partition
+/// column's value — the owner-side half of a partitioned deploy.
+///
+/// # Errors
+///
+/// Returns [`DbError::ColumnNotFound`] when the partition column (or any
+/// schema column) is missing from the table.
+pub fn split_table(
+    table: &Table,
+    schema: &TableSchema,
+    part: &crate::schema::TablePartitioning,
+) -> Result<Vec<Table>, DbError> {
+    let routing_col = table
+        .column(&part.column)
+        .map_err(|_| DbError::ColumnNotFound(part.column.clone()))?;
+    let assignment: Vec<usize> = routing_col.iter().map(|v| part.partition_of(v)).collect();
+    let count = part.partition_count();
+    let mut shards: Vec<Table> = (0..count).map(|_| Table::new(table.name())).collect();
+    for spec in &schema.columns {
+        let source = table.column(&spec.name)?;
+        let mut columns: Vec<Column> = (0..count)
+            .map(|_| Column::new(&spec.name, spec.max_len))
+            .collect();
+        for (pid, value) in assignment.iter().zip(source.iter()) {
+            columns[*pid].push(value)?;
+        }
+        for (shard, column) in shards.iter_mut().zip(columns) {
+            shard.add_column(column)?;
+        }
+    }
+    Ok(shards)
 }
 
 #[cfg(test)]

@@ -5,11 +5,18 @@
 //! distinguish query types, encrypts the range bounds under the column key
 //! with fresh random IVs, forwards the query, and decrypts the returned
 //! result columns — the whole process is transparent to the application.
+//!
+//! For range-partitioned tables the proxy is also the *router*: it alone
+//! sees plaintext, so it computes which partition each inserted row
+//! belongs to and which partitions a filter range can touch (the pruning
+//! scope). Both hints deliberately reveal only shard residency — the
+//! leakage DESIGN.md §10 analyzes — and nothing about values within a
+//! shard.
 
 use crate::error::DbError;
 use crate::exec::ordering;
 use crate::exec::plan::{compile_select, AggregatePlan, SelectPlan};
-use crate::schema::{ColumnSpec, DictChoice, TableSchema};
+use crate::schema::{ColumnSpec, DictChoice, TablePartitioning, TableSchema};
 use crate::server::{
     CellValue, DbaasServer, QueryOutcome, SelectResponse, ServerFilter, ServerQuery,
 };
@@ -174,26 +181,58 @@ impl Proxy {
         }
     }
 
-    /// Builds the server-side filter conjunction for an optional AST filter.
+    /// Builds the server-side filter conjunction for an optional AST
+    /// filter, plus the partition scope the plaintext ranges imply
+    /// (`None` when the table is unpartitioned or no filter targets the
+    /// partition column — every partition is then in scope).
     fn build_server_filters<R: Rng + ?Sized>(
         &self,
         schema: &TableSchema,
         table: &str,
         filter: Option<&Filter>,
         rng: &mut R,
-    ) -> Result<Vec<ServerFilter>, DbError> {
+    ) -> Result<(Vec<ServerFilter>, Option<Vec<usize>>), DbError> {
         let Some(filter) = filter else {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), None));
         };
         let ranges = Self::filter_to_ranges(filter)?;
+        let mut scope = None;
         let mut out = Vec::with_capacity(ranges.len());
         for (col, range) in ranges {
             let (_, spec) = schema
                 .column(&col)
                 .ok_or_else(|| DbError::ColumnNotFound(col.clone()))?;
+            // The pruning hint: computed on the *plaintext* range before
+            // the bounds are encrypted away.
+            if let Some(part) = &schema.partitioning {
+                if part.column == col {
+                    scope = Some(part.overlapping(&range).collect());
+                }
+            }
             out.push(self.server_filter(table, spec, range, rng));
         }
-        Ok(out)
+        Ok((out, scope))
+    }
+
+    /// Routes every row of an insert to its partition by the plaintext
+    /// value of the partition column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::ColumnNotFound`] if the partition column is not
+    /// in the schema.
+    fn route_insert(
+        schema: &TableSchema,
+        part: &TablePartitioning,
+        rows: &[Vec<Vec<u8>>],
+    ) -> Result<Vec<usize>, DbError> {
+        let (idx, _) = schema
+            .column(&part.column)
+            .ok_or_else(|| DbError::ColumnNotFound(part.column.clone()))?;
+        Ok(rows
+            .iter()
+            .map(|row| part.partition_of(&row[idx]))
+            .collect())
     }
 
     /// Executes one SQL statement against the server.
@@ -208,7 +247,11 @@ impl Proxy {
         rng: &mut R,
     ) -> Result<QueryResult, DbError> {
         match parse(sql)? {
-            Statement::CreateTable { name, columns } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                partition_by,
+            } => {
                 let specs = columns
                     .into_iter()
                     .map(|c| ColumnSpec {
@@ -218,7 +261,12 @@ impl Proxy {
                         bs_max: c.bs_max.unwrap_or(crate::schema::DEFAULT_BS_MAX),
                     })
                     .collect();
-                server.create_table(TableSchema::new(name, specs))?;
+                let mut schema = TableSchema::new(name, specs);
+                if let Some(p) = partition_by {
+                    schema =
+                        schema.with_partitioning(TablePartitioning::new(p.column, p.split_points));
+                }
+                server.create_table(schema)?;
                 Ok(QueryResult {
                     columns: vec![],
                     rows: vec![],
@@ -226,14 +274,22 @@ impl Proxy {
             }
             Statement::Insert { table, rows } => {
                 let schema = server.schema(&table)?;
-                let mut cells = Vec::with_capacity(rows.len());
-                for row in rows {
+                for row in &rows {
                     if row.len() != schema.columns.len() {
                         return Err(DbError::ArityMismatch {
                             expected: schema.columns.len(),
                             got: row.len(),
                         });
                     }
+                }
+                // Partition routing happens here, on plaintext, before the
+                // values are encrypted away.
+                let partition_ids = match &schema.partitioning {
+                    Some(part) => Some(Self::route_insert(&schema, part, &rows)?),
+                    None => None,
+                };
+                let mut cells = Vec::with_capacity(rows.len());
+                for row in rows {
                     let mut out = Vec::with_capacity(row.len());
                     for (spec, value) in schema.columns.iter().zip(row) {
                         if value.len() > spec.max_len {
@@ -254,7 +310,11 @@ impl Proxy {
                     }
                     cells.push(out);
                 }
-                let outcome = server.execute_query(ServerQuery::Insert { table, rows: cells })?;
+                let outcome = server.execute_query(ServerQuery::Insert {
+                    table,
+                    rows: cells,
+                    partition_ids,
+                })?;
                 let QueryOutcome::Affected(n) = outcome else {
                     unreachable!("insert returns an affected count");
                 };
@@ -273,7 +333,8 @@ impl Proxy {
             } => {
                 let schema = server.schema(&table)?;
                 let plan = compile_select(&schema, &items, &group_by, &order_by, limit)?;
-                let filters = self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
+                let (filters, scope) =
+                    self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
                 match plan {
                     SelectPlan::Rows {
                         columns,
@@ -284,6 +345,7 @@ impl Proxy {
                             table: table.clone(),
                             columns,
                             filters,
+                            scope,
                         })?;
                         let QueryOutcome::Rows(response) = outcome else {
                             unreachable!("select returns rows");
@@ -300,6 +362,7 @@ impl Proxy {
                             table: table.clone(),
                             plan: plan.clone(),
                             filters,
+                            scope,
                         })?;
                         let QueryOutcome::Rows(response) = outcome else {
                             unreachable!("aggregate returns rows");
@@ -310,8 +373,13 @@ impl Proxy {
             }
             Statement::Delete { table, filter } => {
                 let schema = server.schema(&table)?;
-                let filters = self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
-                let outcome = server.execute_query(ServerQuery::Delete { table, filters })?;
+                let (filters, scope) =
+                    self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
+                let outcome = server.execute_query(ServerQuery::Delete {
+                    table,
+                    filters,
+                    scope,
+                })?;
                 let QueryOutcome::Affected(n) = outcome else {
                     unreachable!("delete returns an affected count");
                 };

@@ -1,12 +1,23 @@
-//! Table schemas: per-column encrypted-dictionary selection.
+//! Table schemas: per-column encrypted-dictionary selection and range
+//! partitioning.
 //!
 //! Paper §5: "We implemented the nine encrypted dictionaries as SQL data
 //! types in the frontend ... The encrypted dictionaries can be used in SQL
 //! create table statements like any other data type, e.g.,
 //! `CREATE TABLE t1 (c1 ED7, c2 ED5, ...)`." EncDBDB also supports
 //! plaintext dictionaries, selected with the `PLAIN` type.
+//!
+//! A schema may additionally declare **range partitioning**
+//! ([`TablePartitioning`]): the data owner picks a partition column and
+//! split points over its *plaintext* domain, and every partition carries
+//! its own main store, delta stores and compaction state on the server
+//! (DESIGN.md §10). The split points themselves are part of the schema the
+//! server stores — the partitioning layout is public metadata, chosen by
+//! the owner exactly because revealing *shard residency* of a query is an
+//! acceptable leakage (strictly less than the per-row attribute-vector
+//! leakage every query already exhibits).
 
-use encdict::EdKind;
+use encdict::{EdKind, RangeBound, RangeQuery};
 
 /// The dictionary protection chosen for one column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +66,89 @@ impl ColumnSpec {
     }
 }
 
+/// Range partitioning of a table: a partition column plus owner-chosen
+/// split points over its plaintext domain.
+///
+/// With `k` split points `s_0 < s_1 < ... < s_{k-1}` the table has `k + 1`
+/// partitions: partition `0` covers `(-∞, s_0)`, partition `i` covers
+/// `[s_{i-1}, s_i)`, and partition `k` covers `[s_{k-1}, +∞)` — every
+/// value belongs to exactly one partition. No split points means a single
+/// partition (today's monolithic behavior).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TablePartitioning {
+    /// The partition column (must exist in the schema).
+    pub column: String,
+    /// Strictly ascending split points over the column's plaintext domain.
+    pub split_points: Vec<Vec<u8>>,
+}
+
+impl TablePartitioning {
+    /// Creates a partitioning spec.
+    pub fn new(column: impl Into<String>, split_points: Vec<Vec<u8>>) -> Self {
+        TablePartitioning {
+            column: column.into(),
+            split_points,
+        }
+    }
+
+    /// Number of partitions (`split_points.len() + 1`).
+    pub fn partition_count(&self) -> usize {
+        self.split_points.len() + 1
+    }
+
+    /// The partition a plaintext value belongs to.
+    pub fn partition_of(&self, value: &[u8]) -> usize {
+        self.split_points.partition_point(|s| s.as_slice() <= value)
+    }
+
+    /// The contiguous partition range a plaintext range query can touch —
+    /// the pruning predicate: every partition outside the returned range
+    /// provably holds no matching value.
+    pub fn overlapping(&self, range: &RangeQuery) -> std::ops::RangeInclusive<usize> {
+        let lo = match &range.start {
+            RangeBound::Unbounded => 0,
+            // For an exclusive start the matching values are > v, which
+            // may still live in v's own partition — conservative is fine.
+            RangeBound::Inclusive(v) | RangeBound::Exclusive(v) => self.partition_of(v),
+        };
+        let hi = match &range.end {
+            RangeBound::Unbounded => self.partition_count() - 1,
+            RangeBound::Inclusive(v) => self.partition_of(v),
+            // Matching values are < v: the last candidate partition is the
+            // one holding the largest value below v, i.e. the count of
+            // split points strictly below v.
+            RangeBound::Exclusive(v) => self
+                .split_points
+                .partition_point(|s| s.as_slice() < v.as_slice()),
+        };
+        lo..=hi.max(lo)
+    }
+
+    /// Validates the spec: at least one split point when declared, and
+    /// strictly ascending points. Returns a human-readable violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.split_points.is_empty() {
+            return Err("a declared partitioning needs at least one split point \
+                 (drop the clause for a single partition)"
+                .to_string());
+        }
+        for w in self.split_points.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!(
+                    "split points must be strictly ascending: {:?} !< {:?}",
+                    String::from_utf8_lossy(&w[0]),
+                    String::from_utf8_lossy(&w[1])
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A table schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableSchema {
@@ -62,15 +156,31 @@ pub struct TableSchema {
     pub name: String,
     /// Column definitions in order.
     pub columns: Vec<ColumnSpec>,
+    /// Optional range partitioning (`None` = one partition).
+    pub partitioning: Option<TablePartitioning>,
 }
 
 impl TableSchema {
-    /// Creates a schema.
+    /// Creates an unpartitioned schema.
     pub fn new(name: impl Into<String>, columns: Vec<ColumnSpec>) -> Self {
         TableSchema {
             name: name.into(),
             columns,
+            partitioning: None,
         }
+    }
+
+    /// Declares range partitioning on this schema.
+    pub fn with_partitioning(mut self, partitioning: TablePartitioning) -> Self {
+        self.partitioning = Some(partitioning);
+        self
+    }
+
+    /// Number of range partitions (1 when unpartitioned).
+    pub fn partition_count(&self) -> usize {
+        self.partitioning
+            .as_ref()
+            .map_or(1, TablePartitioning::partition_count)
     }
 
     /// Position and spec of a column by name.
@@ -103,5 +213,66 @@ mod tests {
     fn display_choices() {
         assert_eq!(DictChoice::Encrypted(EdKind::Ed5).to_string(), "ED5");
         assert_eq!(DictChoice::Plain.to_string(), "PLAIN");
+    }
+
+    fn parts() -> TablePartitioning {
+        TablePartitioning::new("v", vec![b"0030".to_vec(), b"0060".to_vec()])
+    }
+
+    #[test]
+    fn partition_of_respects_half_open_ranges() {
+        let p = parts();
+        assert_eq!(p.partition_count(), 3);
+        assert_eq!(p.partition_of(b"0000"), 0);
+        assert_eq!(p.partition_of(b"0029"), 0);
+        assert_eq!(p.partition_of(b"0030"), 1, "split point opens its shard");
+        assert_eq!(p.partition_of(b"0059"), 1);
+        assert_eq!(p.partition_of(b"0060"), 2);
+        assert_eq!(p.partition_of(b"9999"), 2);
+    }
+
+    #[test]
+    fn overlapping_prunes_only_provably_missed_shards() {
+        let p = parts();
+        let r = |lo: &str, hi: &str| RangeQuery::between(lo, hi);
+        assert_eq!(p.overlapping(&r("0000", "0010")), 0..=0);
+        assert_eq!(p.overlapping(&r("0035", "0040")), 1..=1);
+        assert_eq!(p.overlapping(&r("0010", "0070")), 0..=2);
+        // Boundary semantics: an inclusive end on a split point reaches
+        // the shard it opens; an exclusive end does not.
+        assert_eq!(p.overlapping(&r("0000", "0030")), 0..=1);
+        assert_eq!(p.overlapping(&RangeQuery::less_than("0030")), 0..=0);
+        assert_eq!(p.overlapping(&RangeQuery::less_than("0031")), 0..=1);
+        assert_eq!(p.overlapping(&RangeQuery::greater_than("0060")), 2..=2);
+        assert_eq!(p.overlapping(&RangeQuery::at_least("0060")), 2..=2);
+        assert_eq!(
+            p.overlapping(&RangeQuery {
+                start: encdict::RangeBound::Unbounded,
+                end: encdict::RangeBound::Unbounded,
+            }),
+            0..=2
+        );
+    }
+
+    #[test]
+    fn validation_rejects_unsorted_split_points() {
+        assert!(parts().validate().is_ok());
+        let bad = TablePartitioning::new("v", vec![b"b".to_vec(), b"a".to_vec()]);
+        assert!(bad.validate().is_err());
+        let dup = TablePartitioning::new("v", vec![b"a".to_vec(), b"a".to_vec()]);
+        assert!(dup.validate().is_err());
+        let empty = TablePartitioning::new("v", vec![]);
+        assert!(
+            empty.validate().is_err(),
+            "declared partitioning needs points"
+        );
+    }
+
+    #[test]
+    fn schema_partition_count() {
+        let s = TableSchema::new("t", vec![ColumnSpec::new("v", DictChoice::Plain, 8)]);
+        assert_eq!(s.partition_count(), 1);
+        let s = s.with_partitioning(parts());
+        assert_eq!(s.partition_count(), 3);
     }
 }

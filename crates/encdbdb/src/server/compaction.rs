@@ -1,0 +1,486 @@
+//! Per-partition compaction: threshold-driven background merges that
+//! capture, rebuild and publish exactly one partition at a time.
+//!
+//! The three-phase protocol of DESIGN.md §9 is unchanged — capture at a
+//! delta watermark under the partition lock, rebuild off the lock on the
+//! dedicated merge enclave, atomically publish the next epoch — but the
+//! unit shrank from the whole table to one range partition. A merge on
+//! shard A holds only A's mutex (briefly, in phases 1 and 3); reads and
+//! writes on every other shard proceed untouched, and the rebuild cost is
+//! proportional to one shard, not the table.
+
+use super::partition::{ColumnDelta, MainColumn, MainState, Partition};
+use super::table::ServerTable;
+use super::{lock, Config, DbaasServer, MERGE_RETRIES};
+use crate::error::DbError;
+use crate::schema::{DictChoice, TableSchema};
+use colstore::delta::ValidityVector;
+use colstore::dictionary::AttributeVector;
+use encdict::enclave_ops::MergeRequest;
+use encdict::{DictEnclave, PlainDictionary};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// When the compaction scheduler rebuilds a partition's main store (§4.3's
+/// "periodic merge", made threshold-driven and per-partition).
+///
+/// Either condition triggers a background merge of the touched partition
+/// after an insert or delete. The trade-off is classic LSM-style: a small
+/// `max_delta_rows` keeps the linearly scanned ED9 delta short (fast
+/// reads) at the cost of frequent rebuilds; `max_invalid_fraction` bounds
+/// the space and scan time wasted on deleted rows. Partitioning shrinks
+/// the blast radius: each shard trips the thresholds on its own growth,
+/// and a hot shard compacts without freezing cold ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Merge once a partition's delta store holds at least this many rows.
+    pub max_delta_rows: usize,
+    /// Merge once this fraction of a partition's main rows is invalidated.
+    pub max_invalid_fraction: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            max_delta_rows: 4096,
+            max_invalid_fraction: 0.3,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// Whether the observed partition state warrants a merge.
+    pub fn triggered(&self, delta_rows: usize, main_rows: usize, main_valid: usize) -> bool {
+        if delta_rows >= self.max_delta_rows.max(1) {
+            return true;
+        }
+        if main_rows > 0 {
+            let invalid = (main_rows - main_valid) as f64 / main_rows as f64;
+            if invalid >= self.max_invalid_fraction {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The outcome of one compaction attempt.
+enum CompactionOutcome {
+    /// A new epoch was published.
+    Completed,
+    /// Nothing to do: empty delta over a fully valid main store.
+    Noop,
+    /// A delete raced the rebuild; the result was discarded.
+    Aborted,
+    /// Another merge was already in flight on this partition.
+    AlreadyRunning,
+}
+
+/// Everything a merge needs, captured at the watermark under one lock.
+struct CompactionJob {
+    epoch: u64,
+    main: Arc<MainState>,
+    main_validity: Arc<ValidityVector>,
+    delta_prefixes: Vec<ColumnDelta>,
+    delta_validity: ValidityVector,
+    watermark: usize,
+}
+
+impl DbaasServer {
+    /// Synchronously merges every partition's delta store into a freshly
+    /// rebuilt main store and publishes the next epoch per partition
+    /// (§4.3). Encrypted columns are rebuilt inside the merge enclave with
+    /// fresh randomness; PLAIN columns are rebuilt locally. A no-op
+    /// partition (empty delta, no deleted rows) is skipped without
+    /// entering the enclave or bumping its epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enclave and build failures; returns
+    /// [`DbError::MergeConflict`] if concurrent deletes keep aborting a
+    /// publish.
+    pub fn merge_table(&self, table: &str) -> Result<(), DbError> {
+        let t = self.table_handle(table)?;
+        for partition in &t.partitions {
+            self.merge_partition_inner(&t, partition)?;
+        }
+        Ok(())
+    }
+
+    /// Synchronously merges one partition (see [`DbaasServer::merge_table`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`DbaasServer::merge_table`]; [`DbError::Partition`] for an
+    /// out-of-range index.
+    pub fn merge_partition(&self, table: &str, partition: usize) -> Result<(), DbError> {
+        let t = self.table_handle(table)?;
+        let p = partition_handle(&t, partition)?;
+        self.merge_partition_inner(&t, &p)
+    }
+
+    fn merge_partition_inner(
+        &self,
+        t: &Arc<ServerTable>,
+        partition: &Arc<Partition>,
+    ) -> Result<(), DbError> {
+        for _attempt in 0..MERGE_RETRIES {
+            self.wait_for_partition(partition);
+            match self.run_compaction(t, partition)? {
+                CompactionOutcome::Completed | CompactionOutcome::Noop => return Ok(()),
+                CompactionOutcome::Aborted | CompactionOutcome::AlreadyRunning => continue,
+            }
+        }
+        Err(DbError::MergeConflict(format!(
+            "merge of {} partition {} kept racing concurrent deletes",
+            t.schema.name, partition.index
+        )))
+    }
+
+    /// Starts a background compaction on every partition of `table` that
+    /// has work and no merge in flight. Returns whether any merge was
+    /// started.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableNotFound`] if absent.
+    pub fn spawn_compaction(&self, table: &str) -> Result<bool, DbError> {
+        let t = self.table_handle(table)?;
+        let mut any = false;
+        for partition in &t.partitions {
+            any |= self.spawn_compaction_inner(&t, partition);
+        }
+        Ok(any)
+    }
+
+    /// Starts a background compaction of one partition if it has work and
+    /// none is running there. Returns whether a merge was started.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableNotFound`] / [`DbError::Partition`].
+    pub fn spawn_partition_compaction(
+        &self,
+        table: &str,
+        partition: usize,
+    ) -> Result<bool, DbError> {
+        let t = self.table_handle(table)?;
+        let p = partition_handle(&t, partition)?;
+        Ok(self.spawn_compaction_inner(&t, &p))
+    }
+
+    /// Blocks until no compaction is running on any partition of `table`
+    /// (joining background workers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableNotFound`] if absent.
+    pub fn wait_for_compaction(&self, table: &str) -> Result<(), DbError> {
+        let t = self.table_handle(table)?;
+        for partition in &t.partitions {
+            self.wait_for_partition(partition);
+        }
+        Ok(())
+    }
+
+    fn wait_for_partition(&self, partition: &Partition) {
+        if let Some(handle) = lock(&partition.worker).take() {
+            let _ = handle.join();
+        }
+        while lock(&partition.state).merge_in_flight {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Fires a background merge of one partition when the policy's
+    /// thresholds are crossed.
+    pub(crate) fn maybe_compact(
+        &self,
+        t: &Arc<ServerTable>,
+        partition: &Arc<Partition>,
+        cfg: &Config,
+    ) {
+        let Some(policy) = cfg.policy else {
+            return;
+        };
+        let (delta_rows, rows, valid, in_flight) = {
+            let state = lock(&partition.state);
+            (
+                state.delta_rows,
+                state.main.rows,
+                state.main.rows - state.main_invalid,
+                state.merge_in_flight,
+            )
+        };
+        if !in_flight && policy.triggered(delta_rows, rows, valid) {
+            self.spawn_compaction_inner(t, partition);
+        }
+    }
+
+    fn spawn_compaction_inner(&self, t: &Arc<ServerTable>, partition: &Arc<Partition>) -> bool {
+        // Hold the worker slot across begin + spawn + store: a concurrent
+        // spawner serializes here, so the slot can never hand us the
+        // handle of a *live* merge (which a reap-join would then block on
+        // for the whole rebuild).
+        let mut worker = lock(&partition.worker);
+        let Some(job) = begin_compaction(partition) else {
+            return false;
+        };
+        if let Some(old) = worker.take() {
+            // `begin_compaction` succeeded, so no merge was in flight on
+            // this partition: the stored worker has already cleared the
+            // flag and is (at most) tearing down. Reap it.
+            let _ = old.join();
+        }
+        let server = self.clone();
+        let table = Arc::clone(t);
+        let partition_arc = Arc::clone(partition);
+        let handle = std::thread::spawn(move || {
+            let mut job = job;
+            // An aborted publish (a delete raced the rebuild) retries in
+            // place against the fresh state — bounded; if deletes keep
+            // winning, the in-flight flag is already cleared by the
+            // aborted publish and the policy re-triggers on later writes.
+            let mut attempt = 0;
+            loop {
+                let cfg = server.config();
+                match execute_compaction(&server.merge_enclave, &table.schema, &job, &cfg) {
+                    Ok(columns) => {
+                        if publish_compaction(&table, &partition_arc, job, columns) {
+                            return;
+                        }
+                        attempt += 1;
+                        if attempt >= MERGE_RETRIES {
+                            return;
+                        }
+                        match begin_compaction(&partition_arc) {
+                            Some(next) => job = next,
+                            None => return,
+                        }
+                    }
+                    Err(e) => {
+                        fail_compaction(&table, &partition_arc, &e);
+                        return;
+                    }
+                }
+            }
+        });
+        *worker = Some(handle);
+        true
+    }
+
+    /// One synchronous compaction attempt on one partition.
+    fn run_compaction(
+        &self,
+        t: &Arc<ServerTable>,
+        partition: &Arc<Partition>,
+    ) -> Result<CompactionOutcome, DbError> {
+        let Some(job) = begin_compaction(partition) else {
+            // Either a merge is in flight or there is nothing to do;
+            // disambiguate for the caller.
+            let state = lock(&partition.state);
+            return Ok(if state.merge_in_flight {
+                CompactionOutcome::AlreadyRunning
+            } else {
+                CompactionOutcome::Noop
+            });
+        };
+        let cfg = self.config();
+        match execute_compaction(&self.merge_enclave, &t.schema, &job, &cfg) {
+            Ok(columns) => Ok(if publish_compaction(t, partition, job, columns) {
+                CompactionOutcome::Completed
+            } else {
+                CompactionOutcome::Aborted
+            }),
+            Err(e) => {
+                fail_compaction(t, partition, &e);
+                Err(e)
+            }
+        }
+    }
+}
+
+fn partition_handle(t: &Arc<ServerTable>, partition: usize) -> Result<Arc<Partition>, DbError> {
+    t.partitions.get(partition).cloned().ok_or_else(|| {
+        DbError::Partition(format!(
+            "partition {partition} outside {} partitions of {}",
+            t.partitions.len(),
+            t.schema.name
+        ))
+    })
+}
+
+/// Phase 1 of a compaction: under one short lock, capture the merge input
+/// at the current watermark and mark the merge in flight. Returns `None`
+/// when a merge is already running on this partition or there is nothing
+/// to compact.
+fn begin_compaction(partition: &Partition) -> Option<CompactionJob> {
+    let mut state = lock(&partition.state);
+    if state.merge_in_flight {
+        return None;
+    }
+    let watermark = state.delta_rows;
+    if watermark == 0 && state.main_invalid == 0 {
+        // Empty delta over a fully valid main store: nothing to rebuild.
+        return None;
+    }
+    state.merge_in_flight = true;
+    state.merge_watermark = watermark;
+    state.deletes_during_merge = false;
+    Some(CompactionJob {
+        epoch: state.main.epoch,
+        main: Arc::clone(&state.main),
+        main_validity: Arc::clone(&state.main_validity),
+        delta_prefixes: state.deltas.iter().map(|d| d.prefix(watermark)).collect(),
+        delta_validity: state.delta_validity.prefix(watermark),
+        watermark,
+    })
+}
+
+/// Phase 2: rebuild every column of the partition off the query path (no
+/// storage lock held; the merge enclave is locked per column ECALL).
+fn execute_compaction(
+    merge_enclave: &Mutex<DictEnclave>,
+    schema: &TableSchema,
+    job: &CompactionJob,
+    cfg: &Config,
+) -> Result<(Vec<MainColumn>, usize), DbError> {
+    let mut new_columns = Vec::with_capacity(job.main.columns.len());
+    let mut new_rows = None;
+    for ((spec, main_col), delta_col) in schema
+        .columns
+        .iter()
+        .zip(&job.main.columns)
+        .zip(&job.delta_prefixes)
+    {
+        match (main_col, delta_col) {
+            (MainColumn::Encrypted(main), ColumnDelta::Encrypted(delta)) => {
+                let kind = match spec.choice {
+                    DictChoice::Encrypted(kind) => kind,
+                    DictChoice::Plain => unreachable!("schema/storage mismatch"),
+                };
+                let dict = main.dict();
+                let delta_seg = delta.segment_ref();
+                let req = MergeRequest {
+                    table_name: dict.table_name(),
+                    col_name: dict.col_name(),
+                    max_len: dict.max_len(),
+                    kind,
+                    bs_max: spec.bs_max,
+                    main_head: dict.head_mem(),
+                    main_tail: dict.tail_mem(),
+                    main_len: dict.len(),
+                    main_av: main.av().as_slice(),
+                    main_valid: &job.main_validity,
+                    delta_head: delta_seg.head,
+                    delta_tail: delta_seg.tail,
+                    delta_len: delta.len(),
+                    delta_valid: &job.delta_validity,
+                };
+                let (new_dict, new_av) = lock(merge_enclave).merge(req)?;
+                let rows = new_av.len();
+                match new_rows {
+                    None => new_rows = Some(rows),
+                    Some(r) => debug_assert_eq!(r, rows, "columns must stay row-aligned"),
+                }
+                new_columns.push(MainColumn::Encrypted(
+                    main.next_generation(new_dict, new_av),
+                ));
+            }
+            (MainColumn::Plain { dict, av }, ColumnDelta::Plain(delta)) => {
+                // Rebuild the plain column: valid main + valid delta rows.
+                let mut column = colstore::column::Column::new(&spec.name, spec.max_len);
+                for (j, &vid) in av.as_slice().iter().enumerate() {
+                    if job.main_validity.is_valid(j) {
+                        column.push(dict.value(vid as usize))?;
+                    }
+                }
+                for (rid, v) in delta.iter_valid() {
+                    if job.delta_validity.is_valid(rid.0 as usize) {
+                        column.push(v)?;
+                    }
+                }
+                let rows = column.len();
+                match new_rows {
+                    None => new_rows = Some(rows),
+                    Some(r) => debug_assert_eq!(r, rows, "columns must stay row-aligned"),
+                }
+                let (new_dict, new_av) = rebuild_plain(&column)?;
+                new_columns.push(MainColumn::Plain {
+                    dict: Arc::new(new_dict),
+                    av: Arc::new(new_av),
+                });
+            }
+            _ => unreachable!("schema/storage mismatch"),
+        }
+        if let Some(throttle) = cfg.merge_throttle {
+            std::thread::sleep(throttle);
+        }
+    }
+    Ok((new_columns, new_rows.unwrap_or(0)))
+}
+
+/// Phase 3: atomically publish the rebuilt partition epoch, unless a
+/// delete raced the rebuild (then the result is discarded and the attempt
+/// counts as aborted). Returns whether the publish happened.
+fn publish_compaction(
+    t: &ServerTable,
+    partition: &Partition,
+    job: CompactionJob,
+    (columns, rows): (Vec<MainColumn>, usize),
+) -> bool {
+    let mut state = lock(&partition.state);
+    state.merge_in_flight = false;
+    if state.deletes_during_merge {
+        // A delete invalidated rows this merge already folded in as valid;
+        // publishing would resurrect them. Discard and let the caller (or
+        // the next policy trigger) retry against the fresh state.
+        state.deletes_during_merge = false;
+        t.merges_aborted.fetch_add(1, Ordering::SeqCst);
+        return false;
+    }
+    debug_assert_eq!(
+        state.main.epoch, job.epoch,
+        "merges are serialized per partition"
+    );
+    state.main = Arc::new(MainState {
+        epoch: job.epoch + 1,
+        columns,
+        rows,
+    });
+    state.main_validity = Arc::new(ValidityVector::all_valid(rows));
+    state.main_invalid = 0;
+    for delta in &mut state.deltas {
+        delta.drain_prefix(job.watermark);
+    }
+    state.delta_validity = state.delta_validity.suffix(job.watermark);
+    state.delta_rows -= job.watermark;
+    t.merges_completed.fetch_add(1, Ordering::SeqCst);
+    t.rows_compacted
+        .fetch_add(job.watermark as u64, Ordering::SeqCst);
+    true
+}
+
+/// Error path shared by sync and background merges: clear the in-flight
+/// flag, leaving the old store and the delta untouched and queryable.
+fn fail_compaction(t: &ServerTable, partition: &Partition, e: &DbError) {
+    let mut state = lock(&partition.state);
+    state.merge_in_flight = false;
+    drop(state);
+    t.merges_failed.fetch_add(1, Ordering::SeqCst);
+    *lock(&t.last_error) = Some(e.to_string());
+}
+
+/// Rebuilds a plain (sorted) dictionary from a column.
+fn rebuild_plain(
+    column: &colstore::column::Column,
+) -> Result<(PlainDictionary, AttributeVector), DbError> {
+    let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+    Ok(encdict::build::build_plain(
+        column,
+        encdict::EdKind::Ed1,
+        &Default::default(),
+        &mut rng,
+    )?)
+}

@@ -1,0 +1,578 @@
+//! The untrusted DBaaS server: storage plus the query evaluation engine
+//! (paper Fig. 5, steps 6–13).
+//!
+//! The server holds encrypted dictionaries, plaintext attribute vectors and
+//! delta stores, hosts the dictionary enclaves, and evaluates decomposed
+//! queries: it passes the encrypted range filter to the enclave (step 8),
+//! scans the attribute vector for the returned ValueIDs (step 11), applies
+//! validity, and renders result columns by *undoing the split*:
+//! `eC = (eD_j | j = AV_i ∧ i ∈ rid)` (step 12). The server never sees a
+//! plaintext of an encrypted column — values enter and leave as PAE
+//! ciphertexts.
+//!
+//! # Partition layer (DESIGN.md §10)
+//!
+//! Every table is an ordered set of **range partitions** over a chosen
+//! partition column's plaintext domain (the `partition` submodule):
+//! owner-provisioned split points; the default of no split points is one
+//! partition — the pre-partitioning behavior. Each partition carries its
+//! own epoch-tagged main state, delta stores, validity vectors and
+//! compaction trigger, so
+//!
+//! * scans and aggregates fan out across partitions on scoped threads
+//!   (the `snapshot` submodule), one histogram and at most one
+//!   search/`Aggregate` ECALL contribution per *non-empty* partition;
+//! * partition pruning skips shards whose key range provably misses the
+//!   filter (the proxy supplies the scope for encrypted partition
+//!   columns; plaintext ones prune server-side);
+//! * a background merge captures/rebuilds/publishes one partition at a
+//!   time (the `compaction` submodule) while queries keep running against
+//!   every other partition's live snapshot.
+//!
+//! # Concurrency model (DESIGN.md §9)
+//!
+//! [`DbaasServer`] is a cheaply clonable *handle*: every clone shares the
+//! same storage, so any number of reader sessions can execute queries
+//! concurrently. Each partition's main store is an immutable, epoch-tagged
+//! [`MainSnapshot`](encdict::dynamic::MainSnapshot) published behind an
+//! `Arc`; queries acquire an owned partition snapshot (Arc clone of the
+//! main state plus a frozen copy of the small delta) under one short mutex
+//! and then run entirely lock-free. Writes append to the owning
+//! partition's delta store under the same short mutex.
+
+mod compaction;
+mod partition;
+mod snapshot;
+mod stats;
+mod table;
+
+pub use compaction::CompactionPolicy;
+pub use stats::{CompactionStats, QueryStats};
+
+pub(crate) use partition::{ColumnDelta, MainColumn, PartitionSnapshot};
+pub(crate) use snapshot::{fan_out, matching_rids_multi};
+pub(crate) use table::ServerTable;
+
+use crate::error::DbError;
+use crate::schema::{DictChoice, TableSchema};
+use colstore::dictionary::AttributeVector;
+use encdict::avsearch::{Parallelism, SetSearchStrategy};
+use encdict::{DictEnclave, EncryptedDictionary, EncryptedRange, PlainDictionary, RangeQuery};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Duration;
+
+/// Locks a mutex, recovering the inner data if a panicking thread poisoned
+/// it (a reader assertion failure must not cascade into every other
+/// session).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// How often a merge or delete retries when compaction publishes race it.
+pub(crate) const MERGE_RETRIES: usize = 8;
+
+/// One value cell crossing the server boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellValue {
+    /// A PAE ciphertext (encrypted column).
+    Encrypted(Vec<u8>),
+    /// A plaintext value (PLAIN column).
+    Plain(Vec<u8>),
+}
+
+/// A filter as seen by the server: the filtered column plus the range in
+/// the form matching the column's protection.
+#[derive(Debug, Clone)]
+pub enum ServerFilter {
+    /// Encrypted range for an encrypted column.
+    Encrypted {
+        /// Filtered column name.
+        column: String,
+        /// Encrypted range τ.
+        range: EncryptedRange,
+    },
+    /// Plaintext range for a PLAIN column.
+    Plain {
+        /// Filtered column name.
+        column: String,
+        /// Plaintext range.
+        range: RangeQuery,
+    },
+}
+
+impl ServerFilter {
+    pub(crate) fn column(&self) -> &str {
+        match self {
+            ServerFilter::Encrypted { column, .. } | ServerFilter::Plain { column, .. } => column,
+        }
+    }
+}
+
+/// A decomposed query as produced by the proxy.
+///
+/// `scope` / `partition_ids` carry the proxy's partition routing: the
+/// proxy sees plaintext filter ranges and insert values, so *it* computes
+/// which range partitions a query can touch and which shard each inserted
+/// row belongs to. `None` means "no hint" — the server then scans every
+/// partition (pruning plaintext partition columns itself) or routes by
+/// plaintext value. Revealing the scope is the documented pruning leakage
+/// (DESIGN.md §10).
+#[derive(Debug, Clone)]
+pub enum ServerQuery {
+    /// Range select over one table with a conjunction of filters.
+    Select {
+        /// Source table.
+        table: String,
+        /// Projected columns; empty means all.
+        columns: Vec<String>,
+        /// Per-column filters (conjunction; empty selects everything).
+        filters: Vec<ServerFilter>,
+        /// Proxy-computed partition scope (`None` = all partitions).
+        scope: Option<Vec<usize>>,
+    },
+    /// Grouped aggregation (the `exec` engine).
+    Aggregate {
+        /// Source table.
+        table: String,
+        /// The compiled aggregate plan.
+        plan: crate::exec::plan::AggregatePlan,
+        /// Per-column filters (conjunction; empty aggregates everything).
+        filters: Vec<ServerFilter>,
+        /// Proxy-computed partition scope (`None` = all partitions).
+        scope: Option<Vec<usize>>,
+    },
+    /// Append rows (delta store).
+    Insert {
+        /// Target table.
+        table: String,
+        /// Rows of cells, one cell per column in schema order.
+        rows: Vec<Vec<CellValue>>,
+        /// Proxy-computed target partition per row (`None` = server
+        /// routes; required when the partition column is encrypted).
+        partition_ids: Option<Vec<usize>>,
+    },
+    /// Invalidate matching rows.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Per-column filters (conjunction; empty deletes everything).
+        filters: Vec<ServerFilter>,
+        /// Proxy-computed partition scope (`None` = all partitions).
+        scope: Option<Vec<usize>>,
+    },
+}
+
+/// The server's reply to a [`ServerQuery`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Result rows of a select or aggregate.
+    Rows(SelectResponse),
+    /// Number of rows inserted or deleted.
+    Affected(usize),
+}
+
+/// The server's reply to a select.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectResponse {
+    /// Projected column names.
+    pub columns: Vec<String>,
+    /// One entry per result row; cells in `columns` order.
+    pub rows: Vec<Vec<CellValue>>,
+}
+
+/// A deployed column as prepared by the data owner (step 3/4 of Fig. 5).
+#[derive(Debug)]
+pub enum DeployedColumn {
+    /// Encrypted dictionary + attribute vector.
+    Encrypted(EncryptedDictionary, AttributeVector),
+    /// Plaintext dictionary + attribute vector.
+    Plain(PlainDictionary, AttributeVector),
+}
+
+/// Shared, copy-on-read server configuration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Config {
+    pub(crate) parallelism: Parallelism,
+    pub(crate) set_strategy: SetSearchStrategy,
+    pub(crate) policy: Option<CompactionPolicy>,
+    pub(crate) merge_throttle: Option<Duration>,
+}
+
+/// The DBaaS server — a cheaply clonable handle over shared state; see the
+/// module docs for the concurrency model.
+#[derive(Debug, Clone)]
+pub struct DbaasServer {
+    /// The enclave serving query-path ECALLs (search, re-encrypt,
+    /// aggregate). Locked per ECALL.
+    enclave: Arc<Mutex<DictEnclave>>,
+    /// A second enclave instance (same measured code) dedicated to merges,
+    /// so a long compaction ECALL never blocks the query path.
+    merge_enclave: Arc<Mutex<DictEnclave>>,
+    tables: Arc<RwLock<HashMap<String, Arc<ServerTable>>>>,
+    config: Arc<Mutex<Config>>,
+    last_stats: Arc<Mutex<QueryStats>>,
+}
+
+impl DbaasServer {
+    /// Creates a server with fresh enclaves.
+    pub fn new() -> Self {
+        Self::with_enclaves(DictEnclave::new(), DictEnclave::new())
+    }
+
+    /// Creates a server around an existing query enclave (e.g.
+    /// deterministic); the merge enclave is OS-seeded.
+    pub fn with_enclave(enclave: DictEnclave) -> Self {
+        Self::with_enclaves(enclave, DictEnclave::new())
+    }
+
+    /// Creates a server around explicit query and merge enclaves.
+    pub fn with_enclaves(query: DictEnclave, merge: DictEnclave) -> Self {
+        DbaasServer {
+            enclave: Arc::new(Mutex::new(query)),
+            merge_enclave: Arc::new(Mutex::new(merge)),
+            tables: Arc::new(RwLock::new(HashMap::new())),
+            config: Arc::new(Mutex::new(Config {
+                parallelism: Parallelism::Serial,
+                set_strategy: SetSearchStrategy::PaperLinear,
+                // A bounded delta by default: snapshots copy the delta
+                // side, so it must not grow without limit.
+                policy: Some(CompactionPolicy::default()),
+                merge_throttle: None,
+            })),
+            last_stats: Arc::new(Mutex::new(QueryStats::default())),
+        }
+    }
+
+    /// Configures attribute-vector scan parallelism.
+    pub fn set_parallelism(&self, parallelism: Parallelism) {
+        lock(&self.config).parallelism = parallelism;
+    }
+
+    /// Configures the membership strategy for unsorted-kind results.
+    pub fn set_set_strategy(&self, strategy: SetSearchStrategy) {
+        lock(&self.config).set_strategy = strategy;
+    }
+
+    /// Installs (or removes) the threshold-driven compaction policy. The
+    /// default is [`CompactionPolicy::default`] — read snapshots copy the
+    /// delta side, so each partition's delta must stay bounded. `None`
+    /// disables automatic merges entirely (deterministic single-threaded
+    /// deployments; the caller then owns keeping the deltas small via
+    /// [`DbaasServer::merge_table`]).
+    pub fn set_compaction_policy(&self, policy: Option<CompactionPolicy>) {
+        lock(&self.config).policy = policy;
+    }
+
+    /// Paces compaction: sleep this long after each column merge, bounding
+    /// the rebuild's resource share (and, in tests, pinning a merge
+    /// in-flight long enough to observe reader overlap).
+    pub fn set_merge_throttle(&self, throttle: Option<Duration>) {
+        lock(&self.config).merge_throttle = throttle;
+    }
+
+    /// Locks and returns the query enclave (attestation/provisioning and
+    /// counter inspection pass-through).
+    pub fn enclave(&self) -> MutexGuard<'_, DictEnclave> {
+        lock(&self.enclave)
+    }
+
+    /// Locks and returns the merge enclave.
+    pub fn merge_enclave(&self) -> MutexGuard<'_, DictEnclave> {
+        lock(&self.merge_enclave)
+    }
+
+    /// Both enclave instances, for provisioning loops.
+    pub(crate) fn enclave_handles(&self) -> [&Arc<Mutex<DictEnclave>>; 2] {
+        [&self.enclave, &self.merge_enclave]
+    }
+
+    /// The query-path enclave handle (the `exec` engine's ECALL path).
+    pub(crate) fn query_enclave_handle(&self) -> &Arc<Mutex<DictEnclave>> {
+        &self.enclave
+    }
+
+    /// Installs `SK_DB` directly into both enclaves (trusted-setup
+    /// variant, §4.2).
+    pub fn provision_direct(&self, skdb: encdbdb_crypto::Key128) {
+        self.enclave().provision_direct(skdb.clone());
+        self.merge_enclave().provision_direct(skdb);
+    }
+
+    /// Latency breakdown of the most recent select on this handle's shared
+    /// state. With concurrent readers, prefer per-query inspection through
+    /// a single session at a time.
+    pub fn last_stats(&self) -> QueryStats {
+        *lock(&self.last_stats)
+    }
+
+    /// Deploys an unpartitioned encrypted table (Fig. 5 step 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableExists`] on duplicates,
+    /// [`DbError::ArityMismatch`] if columns don't match the schema, or
+    /// [`DbError::Partition`] if the schema declares more than one
+    /// partition (use [`DbaasServer::deploy_table_partitioned`]).
+    pub fn deploy_table(
+        &self,
+        schema: TableSchema,
+        columns: Vec<DeployedColumn>,
+    ) -> Result<(), DbError> {
+        if schema.partition_count() > 1 {
+            return Err(DbError::Partition(format!(
+                "table {} declares {} partitions; deploy one column set per partition",
+                schema.name,
+                schema.partition_count()
+            )));
+        }
+        self.deploy_table_partitioned(schema, vec![columns])
+    }
+
+    /// Deploys a range-partitioned table: one deployed column set per
+    /// partition, in partition order. The data owner splits the plaintext
+    /// rows by the partition column and encrypts every shard separately
+    /// (each shard gets its own dictionaries), so the server never learns
+    /// more than shard residency — which the schema's split points make
+    /// public by design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableExists`] on duplicates,
+    /// [`DbError::ArityMismatch`] / [`DbError::Partition`] on malformed
+    /// column sets.
+    pub fn deploy_table_partitioned(
+        &self,
+        schema: TableSchema,
+        parts: Vec<Vec<DeployedColumn>>,
+    ) -> Result<(), DbError> {
+        let name = schema.name.clone();
+        let table = ServerTable::build(schema, parts)?;
+        let mut tables = self.tables.write().unwrap_or_else(|e| e.into_inner());
+        if tables.contains_key(&name) {
+            return Err(DbError::TableExists(name));
+        }
+        tables.insert(name, Arc::new(table));
+        Ok(())
+    }
+
+    /// Registers an empty table (SQL `CREATE TABLE` path; all data arrives
+    /// through inserts into the delta stores). A partitioned schema gets
+    /// one empty partition per split range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableExists`] on duplicates or
+    /// [`DbError::Partition`] / [`DbError::ColumnNotFound`] for invalid
+    /// partitioning specs.
+    pub fn create_table(&self, schema: TableSchema) -> Result<(), DbError> {
+        let empty_columns = || {
+            schema
+                .columns
+                .iter()
+                .map(|spec| match spec.choice {
+                    DictChoice::Encrypted(kind) => {
+                        let dict = table::empty_encrypted_dict(&schema.name, spec, kind);
+                        DeployedColumn::Encrypted(dict, AttributeVector::new())
+                    }
+                    DictChoice::Plain => {
+                        let dict = table::empty_plain_dict(spec.max_len);
+                        DeployedColumn::Plain(dict, AttributeVector::new())
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let parts = (0..schema.partition_count())
+            .map(|_| empty_columns())
+            .collect();
+        self.deploy_table_partitioned(schema, parts)
+    }
+
+    /// The schema of a deployed table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableNotFound`] if absent.
+    pub fn schema(&self, table: &str) -> Result<TableSchema, DbError> {
+        Ok(self.table_handle(table)?.schema.clone())
+    }
+
+    /// Total number of valid rows in a table, across all partitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableNotFound`] if absent.
+    pub fn row_count(&self, table: &str) -> Result<usize, DbError> {
+        let t = self.table_handle(table)?;
+        Ok(t.partitions
+            .iter()
+            .map(|p| {
+                let state = lock(&p.state);
+                state.main_validity.count_valid() + state.delta_validity.count_valid()
+            })
+            .sum())
+    }
+
+    /// Storage size in bytes of one column's main representation
+    /// (Table 6), summed over partitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableNotFound`]/[`DbError::ColumnNotFound`].
+    pub fn column_storage_size(&self, table: &str, column: &str) -> Result<usize, DbError> {
+        let t = self.table_handle(table)?;
+        let (idx, _) = t
+            .schema
+            .column(column)
+            .ok_or_else(|| DbError::ColumnNotFound(column.to_string()))?;
+        let mut total = 0usize;
+        for partition in &t.partitions {
+            let snap = partition.snapshot();
+            total += match (&snap.main.columns[idx], &snap.deltas[idx]) {
+                (MainColumn::Encrypted(main), ColumnDelta::Encrypted(delta)) => {
+                    main.dict().storage_size()
+                        + main.av().packed_size(main.dict().len())
+                        + delta.storage_size()
+                }
+                (MainColumn::Plain { dict, av }, _) => {
+                    dict.storage_size() + av.packed_size(dict.len())
+                }
+                _ => unreachable!("schema/storage mismatch"),
+            };
+        }
+        Ok(total)
+    }
+
+    /// The highest merge generation among a table's partitions (each
+    /// partition publishes epochs independently; see
+    /// [`DbaasServer::compaction_stats`] for the per-partition view).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableNotFound`] if absent.
+    pub fn epoch(&self, table: &str) -> Result<u64, DbError> {
+        let t = self.table_handle(table)?;
+        Ok(t.partitions.iter().map(|p| p.epoch()).max().unwrap_or(0))
+    }
+
+    /// Whether a compaction is currently rebuilding any partition of this
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableNotFound`] if absent.
+    pub fn merge_in_flight(&self, table: &str) -> Result<bool, DbError> {
+        let t = self.table_handle(table)?;
+        Ok(t.partitions.iter().any(|p| p.merge_in_flight()))
+    }
+
+    /// Compaction counters and live state of one table, including the
+    /// per-partition epochs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableNotFound`] if absent.
+    pub fn compaction_stats(&self, table: &str) -> Result<CompactionStats, DbError> {
+        let t = self.table_handle(table)?;
+        let mut partition_epochs = Vec::with_capacity(t.partitions.len());
+        let mut delta_rows = 0usize;
+        let mut merge_in_flight = false;
+        for p in &t.partitions {
+            let state = lock(&p.state);
+            partition_epochs.push(state.main.epoch);
+            delta_rows += state.delta_rows;
+            merge_in_flight |= state.merge_in_flight;
+        }
+        let last_error = lock(&t.last_error).clone();
+        Ok(CompactionStats {
+            epoch: partition_epochs.iter().copied().max().unwrap_or(0),
+            partition_epochs,
+            merges_completed: t.merges_completed.load(Ordering::SeqCst),
+            merges_aborted: t.merges_aborted.load(Ordering::SeqCst),
+            merges_failed: t.merges_failed.load(Ordering::SeqCst),
+            rows_compacted: t.rows_compacted.load(Ordering::SeqCst),
+            delta_rows,
+            merge_in_flight,
+            last_error,
+        })
+    }
+
+    pub(crate) fn table_handle(&self, name: &str) -> Result<Arc<ServerTable>, DbError> {
+        self.tables
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::TableNotFound(name.to_string()))
+    }
+
+    pub(crate) fn config(&self) -> Config {
+        *lock(&self.config)
+    }
+
+    pub(crate) fn store_stats(&self, stats: QueryStats) {
+        *lock(&self.last_stats) = stats;
+    }
+
+    /// Executes a decomposed [`ServerQuery`] — the single entry point the
+    /// proxy routes all data-path queries through, including aggregate
+    /// plans and the proxy's partition routing hints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup, arity and enclave failures.
+    pub fn execute_query(&self, query: ServerQuery) -> Result<QueryOutcome, DbError> {
+        match query {
+            ServerQuery::Select {
+                table,
+                columns,
+                filters,
+                scope,
+            } => Ok(QueryOutcome::Rows(self.select_inner(
+                &table,
+                &columns,
+                &filters,
+                scope.as_deref(),
+            )?)),
+            ServerQuery::Aggregate {
+                table,
+                plan,
+                filters,
+                scope,
+            } => Ok(QueryOutcome::Rows(self.aggregate_scoped(
+                &table,
+                &plan,
+                &filters,
+                scope.as_deref(),
+            )?)),
+            ServerQuery::Insert {
+                table,
+                rows,
+                partition_ids,
+            } => Ok(QueryOutcome::Affected(self.insert_inner(
+                &table,
+                &rows,
+                partition_ids.as_deref(),
+            )?)),
+            ServerQuery::Delete {
+                table,
+                filters,
+                scope,
+            } => Ok(QueryOutcome::Affected(self.delete_inner(
+                &table,
+                &filters,
+                scope.as_deref(),
+            )?)),
+        }
+    }
+}
+
+impl Default for DbaasServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,198 @@
+//! One range partition of a table: its own epoch-tagged main state, delta
+//! stores, validity vectors and merge bookkeeping.
+//!
+//! A partition is the unit of both query fan-out and compaction: readers
+//! snapshot partitions independently (one short lock each), and a
+//! background merge captures/rebuilds/publishes exactly one partition
+//! while every other partition keeps serving reads and writes from its
+//! own state.
+
+use super::lock;
+use colstore::delta::{DeltaStore, ValidityVector};
+use colstore::dictionary::AttributeVector;
+use encdict::dynamic::{EncryptedDeltaStore, MainSnapshot};
+use encdict::PlainDictionary;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Per-column immutable main store within one partition epoch.
+#[derive(Debug, Clone)]
+pub(crate) enum MainColumn {
+    /// Encrypted dictionary + attribute vector (epoch-tagged).
+    Encrypted(MainSnapshot),
+    /// Plaintext dictionary + attribute vector.
+    Plain {
+        dict: Arc<PlainDictionary>,
+        av: Arc<AttributeVector>,
+    },
+}
+
+impl MainColumn {
+    /// The attribute-vector ValueIDs of the main store.
+    pub(crate) fn av_slice(&self) -> &[u32] {
+        match self {
+            MainColumn::Encrypted(snap) => snap.av().as_slice(),
+            MainColumn::Plain { av, .. } => av.as_slice(),
+        }
+    }
+
+    /// The main dictionary length (= offset of the delta code space).
+    pub(crate) fn main_len(&self) -> usize {
+        match self {
+            MainColumn::Encrypted(snap) => snap.dict().len(),
+            MainColumn::Plain { dict, .. } => dict.len(),
+        }
+    }
+}
+
+/// The immutable main state of one partition: one generation, swapped
+/// wholesale when a compaction publishes.
+#[derive(Debug)]
+pub(crate) struct MainState {
+    pub(crate) epoch: u64,
+    pub(crate) columns: Vec<MainColumn>,
+    pub(crate) rows: usize,
+}
+
+/// One column's delta store. `Clone` freezes it as a snapshot.
+#[derive(Debug, Clone)]
+pub(crate) enum ColumnDelta {
+    Encrypted(EncryptedDeltaStore),
+    Plain(DeltaStore),
+}
+
+impl ColumnDelta {
+    pub(crate) fn prefix(&self, n: usize) -> ColumnDelta {
+        match self {
+            ColumnDelta::Encrypted(d) => ColumnDelta::Encrypted(d.prefix(n)),
+            ColumnDelta::Plain(d) => ColumnDelta::Plain(d.prefix(n)),
+        }
+    }
+
+    pub(crate) fn drain_prefix(&mut self, n: usize) {
+        match self {
+            ColumnDelta::Encrypted(d) => d.drain_prefix(n),
+            ColumnDelta::Plain(d) => d.drain_prefix(n),
+        }
+    }
+}
+
+/// An owned, consistent view of one partition: the Arc'd main generation
+/// plus a frozen copy of the (small, threshold-bounded) delta side.
+/// Everything a read query touches lives here, so queries never hold a
+/// lock while searching, scanning or rendering.
+#[derive(Debug)]
+pub(crate) struct PartitionSnapshot {
+    pub(crate) main: Arc<MainState>,
+    pub(crate) main_validity: Arc<ValidityVector>,
+    /// Valid main rows, captured O(1) under the snapshot lock — lets the
+    /// executor skip search ECALLs on empty or fully-invalid partitions
+    /// without a popcount.
+    pub(crate) main_valid_rows: usize,
+    pub(crate) deltas: Vec<ColumnDelta>,
+    pub(crate) delta_rows: usize,
+    pub(crate) delta_validity: ValidityVector,
+    /// Valid delta rows, counted once at snapshot time.
+    pub(crate) delta_valid_rows: usize,
+}
+
+impl PartitionSnapshot {
+    /// The merge generation this snapshot was taken at.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.main.epoch
+    }
+
+    /// Whether the partition holds no valid row at all — such a shard is
+    /// skipped entirely: no search ECALL, no scan, no aggregate part.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.main_valid_rows == 0 && self.delta_valid_rows == 0
+    }
+}
+
+/// Mutable state of one partition, guarded by a short-held mutex.
+#[derive(Debug)]
+pub(crate) struct PartitionState {
+    pub(crate) main: Arc<MainState>,
+    /// Copy-on-write: snapshots and merge jobs clone the `Arc`; deletes
+    /// (the rare path) pay the copy via `Arc::make_mut`.
+    pub(crate) main_validity: Arc<ValidityVector>,
+    /// Invalidated main rows — keeps the compaction-policy check O(1)
+    /// instead of a popcount scan per write.
+    pub(crate) main_invalid: usize,
+    pub(crate) deltas: Vec<ColumnDelta>,
+    pub(crate) delta_rows: usize,
+    pub(crate) delta_validity: ValidityVector,
+    pub(crate) merge_in_flight: bool,
+    /// Delta rows below this watermark are being folded by the in-flight
+    /// merge.
+    pub(crate) merge_watermark: usize,
+    /// Set when a delete touched rows the in-flight merge already read;
+    /// the publish is then aborted and retried.
+    pub(crate) deletes_during_merge: bool,
+}
+
+/// One range partition: state plus its own background-merge worker slot.
+#[derive(Debug)]
+pub(crate) struct Partition {
+    /// Position within the table's partition order (shard id).
+    pub(crate) index: usize,
+    pub(crate) state: Mutex<PartitionState>,
+    pub(crate) worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Partition {
+    /// Wraps freshly deployed per-column stores as partition `index` at
+    /// epoch 0.
+    pub(crate) fn new(
+        index: usize,
+        columns: Vec<MainColumn>,
+        deltas: Vec<ColumnDelta>,
+        rows: usize,
+    ) -> Self {
+        Partition {
+            index,
+            state: Mutex::new(PartitionState {
+                main: Arc::new(MainState {
+                    epoch: 0,
+                    columns,
+                    rows,
+                }),
+                main_validity: Arc::new(ValidityVector::all_valid(rows)),
+                main_invalid: 0,
+                deltas,
+                delta_rows: 0,
+                delta_validity: ValidityVector::default(),
+                merge_in_flight: false,
+                merge_watermark: 0,
+                deletes_during_merge: false,
+            }),
+            worker: Mutex::new(None),
+        }
+    }
+
+    /// Acquires a consistent read snapshot of this partition (one short
+    /// lock).
+    pub(crate) fn snapshot(&self) -> PartitionSnapshot {
+        let state = lock(&self.state);
+        let delta_validity = state.delta_validity.clone();
+        PartitionSnapshot {
+            main: Arc::clone(&state.main),
+            main_validity: Arc::clone(&state.main_validity),
+            main_valid_rows: state.main.rows - state.main_invalid,
+            deltas: state.deltas.clone(),
+            delta_rows: state.delta_rows,
+            delta_valid_rows: delta_validity.count_valid(),
+            delta_validity,
+        }
+    }
+
+    /// This partition's published epoch.
+    pub(crate) fn epoch(&self) -> u64 {
+        lock(&self.state).main.epoch
+    }
+
+    /// Whether a merge is rebuilding this partition right now.
+    pub(crate) fn merge_in_flight(&self) -> bool {
+        lock(&self.state).merge_in_flight
+    }
+}

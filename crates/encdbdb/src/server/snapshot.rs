@@ -1,0 +1,349 @@
+//! The lock-free read path: per-partition filter evaluation against
+//! consistent snapshots, fanned out across partitions on scoped threads.
+//!
+//! Every query first resolves its partition *scope* (pruning — see
+//! DESIGN.md §10), snapshots each in-scope partition under one short lock,
+//! and then evaluates entirely lock-free. Empty or fully-invalid
+//! partitions are skipped without a single ECALL, mirroring the
+//! empty-delta no-op: a search over a shard that provably holds no valid
+//! row never enters the enclave.
+
+use super::partition::{ColumnDelta, MainColumn, PartitionSnapshot};
+use super::table::intersect_sorted;
+use super::{CellValue, Config, DbaasServer, QueryStats, SelectResponse, ServerFilter};
+use crate::error::DbError;
+use crate::schema::TableSchema;
+use colstore::dictionary::RecordId;
+use encdict::avsearch;
+use encdict::plain::search_plain;
+use encdict::DictEnclave;
+use std::sync::Mutex;
+
+/// Runs `work` over every listed partition snapshot — sequentially for a
+/// single partition, on scoped threads otherwise (the partition-parallel
+/// fan-out). Results come back in partition order.
+pub(crate) fn fan_out<T, F>(parts: &[(usize, PartitionSnapshot)], work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &PartitionSnapshot) -> T + Sync,
+{
+    if parts.len() <= 1 {
+        return parts.iter().map(|(pid, snap)| work(*pid, snap)).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|(pid, snap)| scope.spawn(|| work(*pid, snap)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition scan worker panicked"))
+            .collect()
+    })
+}
+
+/// Conjunction of filters against one partition snapshot: intersects the
+/// per-filter RecordID lists (all are ascending, so the intersection is a
+/// linear merge).
+pub(crate) fn matching_rids_multi(
+    snap: &PartitionSnapshot,
+    schema: &TableSchema,
+    enclave: &Mutex<DictEnclave>,
+    filters: &[ServerFilter],
+    cfg: &Config,
+) -> Result<(Vec<RecordId>, Vec<RecordId>, QueryStats), DbError> {
+    if filters.len() <= 1 {
+        return matching_rids(snap, schema, enclave, filters.first(), cfg);
+    }
+    let mut acc: Option<(Vec<RecordId>, Vec<RecordId>)> = None;
+    let mut stats = QueryStats::default();
+    for f in filters {
+        let (main, delta, s) = matching_rids(snap, schema, enclave, Some(f), cfg)?;
+        stats.absorb(&s);
+        acc = Some(match acc {
+            None => (main, delta),
+            Some((am, ad)) => (intersect_sorted(&am, &main), intersect_sorted(&ad, &delta)),
+        });
+    }
+    let (main, delta) = acc.unwrap_or_default();
+    Ok((main, delta, stats))
+}
+
+/// Computes the valid matching RecordIDs in main and delta stores of one
+/// partition snapshot. Empty dictionaries and fully-invalid stores are
+/// answered without entering the enclave.
+fn matching_rids(
+    snap: &PartitionSnapshot,
+    schema: &TableSchema,
+    enclave: &Mutex<DictEnclave>,
+    filter: Option<&ServerFilter>,
+    cfg: &Config,
+) -> Result<(Vec<RecordId>, Vec<RecordId>, QueryStats), DbError> {
+    let mut stats = QueryStats::default();
+    let Some(filter) = filter else {
+        // Unfiltered: all valid rows.
+        let main = (0..snap.main.rows as u32)
+            .map(RecordId)
+            .filter(|r| snap.main_validity.is_valid(r.0 as usize))
+            .collect();
+        let delta = (0..snap.delta_rows as u32)
+            .map(RecordId)
+            .filter(|r| snap.delta_validity.is_valid(r.0 as usize))
+            .collect();
+        return Ok((main, delta, stats));
+    };
+
+    let (idx, _) = schema
+        .column(filter.column())
+        .ok_or_else(|| DbError::ColumnNotFound(filter.column().to_string()))?;
+
+    let (main_rids, delta_rids) = match (&snap.main.columns[idx], &snap.deltas[idx], filter) {
+        (
+            MainColumn::Encrypted(main),
+            ColumnDelta::Encrypted(delta),
+            ServerFilter::Encrypted { range, .. },
+        ) => {
+            let dict = main.dict();
+            // An empty or fully-invalid main store provably matches
+            // nothing — skip the search ECALL (the partition-layer
+            // analogue of the PR 3 empty-delta no-op).
+            let main_rids = if dict.is_empty() || snap.main_valid_rows == 0 {
+                Vec::new()
+            } else {
+                let dict_start = std::time::Instant::now();
+                let result = lock(enclave).search(dict, range)?;
+                stats.dict_search_ns = dict_start.elapsed().as_nanos() as u64;
+                stats.enclave_calls += 1;
+                let av_start = std::time::Instant::now();
+                let rids = avsearch::search(
+                    main.av(),
+                    &result,
+                    dict.len(),
+                    cfg.set_strategy,
+                    cfg.parallelism,
+                );
+                stats.av_search_ns = av_start.elapsed().as_nanos() as u64;
+                rids
+            };
+            // The empty (or fully-deleted) delta needs no ECALL either.
+            let delta_rids = if delta.is_empty() || snap.delta_valid_rows == 0 {
+                Vec::new()
+            } else {
+                stats.enclave_calls += 1;
+                delta.search(&mut lock(enclave), range)?
+            };
+            (main_rids, delta_rids)
+        }
+        (
+            MainColumn::Plain { dict, av },
+            ColumnDelta::Plain(delta),
+            ServerFilter::Plain { range, .. },
+        ) => {
+            let dict_start = std::time::Instant::now();
+            let result = search_plain(dict, range)?;
+            stats.dict_search_ns = dict_start.elapsed().as_nanos() as u64;
+            let av_start = std::time::Instant::now();
+            let main_rids =
+                avsearch::search(av, &result, dict.len(), cfg.set_strategy, cfg.parallelism);
+            stats.av_search_ns = av_start.elapsed().as_nanos() as u64;
+            let delta_rids = delta
+                .iter_valid()
+                .filter(|(_, v)| range.contains(v))
+                .map(|(rid, _)| rid)
+                .collect();
+            (main_rids, delta_rids)
+        }
+        _ => {
+            return Err(DbError::UnsupportedFilter(
+                "filter form does not match column protection".to_string(),
+            ))
+        }
+    };
+    let main = main_rids
+        .into_iter()
+        .filter(|r| snap.main_validity.is_valid(r.0 as usize))
+        .collect();
+    let delta = delta_rids
+        .into_iter()
+        .filter(|r| snap.delta_validity.is_valid(r.0 as usize))
+        .collect();
+    Ok((main, delta, stats))
+}
+
+pub(crate) fn render_main_cell(col: &MainColumn, rid: RecordId) -> CellValue {
+    match col {
+        MainColumn::Encrypted(main) => {
+            let vid = main.av().value_id(rid);
+            CellValue::Encrypted(main.dict().ciphertext(vid.0 as usize).to_vec())
+        }
+        MainColumn::Plain { dict, av } => {
+            let vid = av.value_id(rid);
+            CellValue::Plain(dict.value(vid.0 as usize).to_vec())
+        }
+    }
+}
+
+pub(crate) fn render_delta_cell(col: &ColumnDelta, rid: RecordId) -> CellValue {
+    match col {
+        ColumnDelta::Encrypted(delta) => CellValue::Encrypted(delta.ciphertext(rid).to_vec()),
+        ColumnDelta::Plain(delta) => CellValue::Plain(delta.value(rid).to_vec()),
+    }
+}
+
+use super::lock;
+
+impl DbaasServer {
+    /// Executes a select (Fig. 5 steps 6–13).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup and enclave failures.
+    pub fn select(
+        &self,
+        table: &str,
+        columns: &[String],
+        filter: Option<&ServerFilter>,
+    ) -> Result<SelectResponse, DbError> {
+        self.select_multi(
+            table,
+            columns,
+            filter.map(std::slice::from_ref).unwrap_or(&[]),
+        )
+    }
+
+    /// Executes a select with a *conjunction* of single-column filters —
+    /// the prefiltering the paper sketches in step 12 ("rid would be used
+    /// to prefilter other columns in the same table"). Each filter runs its
+    /// own dictionary + attribute-vector search; the RecordID lists are
+    /// intersected. Partitioned tables evaluate partition by partition,
+    /// each against its own consistent snapshot, in parallel on scoped
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup and enclave failures.
+    pub fn select_multi(
+        &self,
+        table: &str,
+        columns: &[String],
+        filters: &[ServerFilter],
+    ) -> Result<SelectResponse, DbError> {
+        self.select_inner(table, columns, filters, None)
+    }
+
+    pub(crate) fn select_inner(
+        &self,
+        table: &str,
+        columns: &[String],
+        filters: &[ServerFilter],
+        scope: Option<&[usize]>,
+    ) -> Result<SelectResponse, DbError> {
+        let cfg = self.config();
+        let t = self.table_handle(table)?;
+        let projected: Vec<String> = if columns.is_empty() {
+            t.schema.columns.iter().map(|c| c.name.clone()).collect()
+        } else {
+            columns.to_vec()
+        };
+        let mut col_indices = Vec::with_capacity(projected.len());
+        for name in &projected {
+            let (idx, _) = t
+                .schema
+                .column(name)
+                .ok_or_else(|| DbError::ColumnNotFound(name.clone()))?;
+            col_indices.push(idx);
+        }
+
+        let scope = t.resolve_scope(filters, scope);
+        let snaps = t.snapshot_scope(&scope);
+        let active: Vec<(usize, PartitionSnapshot)> = snaps
+            .into_iter()
+            .filter(|(_, snap)| !snap.is_empty())
+            .collect();
+
+        // Per-partition: search + render against that partition's
+        // snapshot. One search ECALL per filtered dictionary of each
+        // non-empty in-scope partition.
+        let col_indices = &col_indices;
+        let per_partition = fan_out(&active, |_pid, snap| {
+            let (main_rids, delta_rids, mut stats) =
+                matching_rids_multi(snap, &t.schema, &self.enclave, filters, &cfg)?;
+            let render_start = std::time::Instant::now();
+            let mut rows = Vec::with_capacity(main_rids.len() + delta_rids.len());
+            for &rid in &main_rids {
+                let mut row = Vec::with_capacity(col_indices.len());
+                for &idx in col_indices {
+                    row.push(render_main_cell(&snap.main.columns[idx], rid));
+                }
+                rows.push(row);
+            }
+            for &rid in &delta_rids {
+                let mut row = Vec::with_capacity(col_indices.len());
+                for &idx in col_indices {
+                    row.push(render_delta_cell(&snap.deltas[idx], rid));
+                }
+                rows.push(row);
+            }
+            stats.render_ns = render_start.elapsed().as_nanos() as u64;
+            stats.snapshot_epoch = snap.epoch();
+            Ok::<_, DbError>((rows, stats))
+        });
+
+        let mut rows = Vec::new();
+        let mut stats = QueryStats {
+            partitions_total: t.partitions.len(),
+            partitions_scanned: active.len(),
+            partitions_pruned: t.partitions.len() - scope.len(),
+            ..QueryStats::default()
+        };
+        for result in per_partition {
+            let (part_rows, part_stats) = result?;
+            stats.absorb(&part_stats);
+            rows.extend(part_rows);
+        }
+        stats.result_rows = rows.len();
+        self.store_stats(stats);
+        Ok(SelectResponse {
+            columns: projected,
+            rows,
+        })
+    }
+
+    /// Counts matching valid rows without rendering result columns — a
+    /// thin wrapper over [`DbaasServer::count_multi`] (the count
+    /// aggregation the paper notes is easier than range search).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup and enclave failures.
+    pub fn count(&self, table: &str, filter: Option<&ServerFilter>) -> Result<usize, DbError> {
+        self.count_multi(table, filter.map(std::slice::from_ref).unwrap_or(&[]))
+    }
+
+    /// Counts rows matching a conjunction of filters, across all in-scope
+    /// partitions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup and enclave failures.
+    pub fn count_multi(&self, table: &str, filters: &[ServerFilter]) -> Result<usize, DbError> {
+        let cfg = self.config();
+        let t = self.table_handle(table)?;
+        let scope = t.resolve_scope(filters, None);
+        let snaps = t.snapshot_scope(&scope);
+        let active: Vec<(usize, PartitionSnapshot)> = snaps
+            .into_iter()
+            .filter(|(_, snap)| !snap.is_empty())
+            .collect();
+        let counts = fan_out(&active, |_pid, snap| {
+            let (main, delta, _) =
+                matching_rids_multi(snap, &t.schema, &self.enclave, filters, &cfg)?;
+            Ok::<_, DbError>(main.len() + delta.len())
+        });
+        let mut total = 0usize;
+        for c in counts {
+            total += c?;
+        }
+        Ok(total)
+    }
+}

@@ -1,0 +1,78 @@
+//! Observable execution and compaction statistics.
+
+/// Execution statistics for one query (latency breakdowns for the
+/// Figure 8 harness, plus the `exec` engine's boundary accounting and the
+/// partition layer's pruning accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Nanoseconds spent in the enclave dictionary search.
+    pub dict_search_ns: u64,
+    /// Nanoseconds spent scanning the attribute vector (including the
+    /// histogram scan of aggregate queries).
+    pub av_search_ns: u64,
+    /// Nanoseconds spent in the enclave aggregation ECALL (or the local
+    /// aggregation for all-PLAIN queries).
+    pub aggregate_ns: u64,
+    /// Nanoseconds spent rendering the result columns.
+    pub render_ns: u64,
+    /// Number of result rows (groups for aggregate queries).
+    pub result_rows: usize,
+    /// Number of [`CHUNK_ROWS`](crate::exec::aggregate::CHUNK_ROWS)-row
+    /// chunks scanned by the vectorized histogram executor.
+    pub chunks_scanned: usize,
+    /// Number of enclave ECALLs issued while evaluating the query.
+    pub enclave_calls: usize,
+    /// Number of dictionary values decrypted inside the enclave — bounded
+    /// by the distinct touched ValueIDs, never by the row count.
+    pub values_decrypted: usize,
+    /// The highest merge generation (epoch) among the partition snapshots
+    /// the query executed against. Monotone per table: compactions only
+    /// ever increment partition epochs.
+    pub snapshot_epoch: u64,
+    /// Number of range partitions the table has.
+    pub partitions_total: usize,
+    /// Partitions actually searched: in scope and non-empty.
+    pub partitions_scanned: usize,
+    /// Partitions skipped because their key range provably misses the
+    /// filter (the pruning leakage documented in DESIGN.md §10).
+    pub partitions_pruned: usize,
+}
+
+impl QueryStats {
+    /// Folds another partition's (or filter's) stats into this one —
+    /// latencies and counters add; the snapshot epoch takes the maximum.
+    pub(crate) fn absorb(&mut self, other: &QueryStats) {
+        self.dict_search_ns += other.dict_search_ns;
+        self.av_search_ns += other.av_search_ns;
+        self.aggregate_ns += other.aggregate_ns;
+        self.render_ns += other.render_ns;
+        self.chunks_scanned += other.chunks_scanned;
+        self.enclave_calls += other.enclave_calls;
+        self.values_decrypted += other.values_decrypted;
+        self.snapshot_epoch = self.snapshot_epoch.max(other.snapshot_epoch);
+    }
+}
+
+/// Observable compaction state of one table, across all its partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Highest merge generation among the table's partitions.
+    pub epoch: u64,
+    /// Per-partition merge generations, in partition order — each
+    /// partition merges (and bumps its epoch) independently.
+    pub partition_epochs: Vec<u64>,
+    /// Completed merges (partition epoch publishes), table-wide.
+    pub merges_completed: u64,
+    /// Merges discarded because a delete raced the rebuild.
+    pub merges_aborted: u64,
+    /// Merges that failed inside the enclave.
+    pub merges_failed: u64,
+    /// Delta rows folded into main stores so far.
+    pub rows_compacted: u64,
+    /// Rows currently waiting in delta stores, summed over partitions.
+    pub delta_rows: usize,
+    /// Whether a background merge is running on any partition right now.
+    pub merge_in_flight: bool,
+    /// The error message of the most recent failed background merge.
+    pub last_error: Option<String>,
+}

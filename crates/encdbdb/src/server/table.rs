@@ -1,0 +1,473 @@
+//! The per-table layer: an ordered set of range partitions plus
+//! table-wide compaction counters, partition routing for writes and
+//! range pruning for reads.
+
+use super::partition::{ColumnDelta, MainColumn, Partition, PartitionSnapshot};
+use super::{lock, CellValue, DbaasServer, DeployedColumn, ServerFilter, MERGE_RETRIES};
+use crate::error::DbError;
+use crate::schema::{DictChoice, TableSchema};
+use colstore::delta::DeltaStore;
+use colstore::dictionary::RecordId;
+use encdict::dynamic::{EncryptedDeltaStore, MainSnapshot};
+use encdict::{EncryptedDictionary, PlainDictionary};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+
+/// A deployed table: schema, ordered range partitions, and table-wide
+/// merge counters (partitions merge independently but report together).
+#[derive(Debug)]
+pub(crate) struct ServerTable {
+    pub(crate) schema: TableSchema,
+    pub(crate) partitions: Vec<Arc<Partition>>,
+    pub(crate) merges_completed: AtomicU64,
+    pub(crate) merges_aborted: AtomicU64,
+    pub(crate) merges_failed: AtomicU64,
+    pub(crate) rows_compacted: AtomicU64,
+    pub(crate) last_error: Mutex<Option<String>>,
+}
+
+impl ServerTable {
+    /// Builds a table from per-partition deployed columns.
+    pub(crate) fn build(
+        schema: TableSchema,
+        parts: Vec<Vec<DeployedColumn>>,
+    ) -> Result<Self, DbError> {
+        if let Some(p) = &schema.partitioning {
+            p.validate().map_err(DbError::Partition)?;
+            if schema.column(&p.column).is_none() {
+                return Err(DbError::ColumnNotFound(p.column.clone()));
+            }
+        }
+        if parts.len() != schema.partition_count() {
+            return Err(DbError::Partition(format!(
+                "schema declares {} partitions, got {} column sets",
+                schema.partition_count(),
+                parts.len()
+            )));
+        }
+        let partitions = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, columns)| Ok(Arc::new(build_partition(&schema, i, columns)?)))
+            .collect::<Result<Vec<_>, DbError>>()?;
+        Ok(ServerTable {
+            schema,
+            partitions,
+            merges_completed: AtomicU64::new(0),
+            merges_aborted: AtomicU64::new(0),
+            merges_failed: AtomicU64::new(0),
+            rows_compacted: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+        })
+    }
+
+    /// Resolves the partition scope of a query: a proxy-provided scope
+    /// wins (the proxy knows the plaintext ranges of *encrypted* filters);
+    /// otherwise plaintext filters on the partition column prune
+    /// server-side; otherwise every partition is in scope.
+    ///
+    /// The result is an ordered, deduplicated list of partition indices.
+    /// What this reveals to the server — which shards a query can touch —
+    /// is the pruning leakage analyzed in DESIGN.md §10.
+    pub(crate) fn resolve_scope(
+        &self,
+        filters: &[ServerFilter],
+        provided: Option<&[usize]>,
+    ) -> Vec<usize> {
+        let total = self.partitions.len();
+        if let Some(ids) = provided {
+            let mut scope: Vec<usize> = ids.iter().copied().filter(|&i| i < total).collect();
+            scope.sort_unstable();
+            scope.dedup();
+            return scope;
+        }
+        if let Some(part) = &self.schema.partitioning {
+            let mut lo = 0usize;
+            let mut hi = total - 1;
+            for f in filters {
+                if let ServerFilter::Plain { column, range } = f {
+                    if column == &part.column {
+                        let r = part.overlapping(range);
+                        lo = lo.max(*r.start());
+                        hi = hi.min(*r.end());
+                    }
+                }
+            }
+            if lo > hi {
+                return Vec::new();
+            }
+            return (lo..=hi).collect();
+        }
+        (0..total).collect()
+    }
+
+    /// Snapshots every in-scope partition (one short lock each; snapshots
+    /// of different partitions are *not* mutually atomic — each is
+    /// internally consistent, which is the guarantee readers rely on).
+    pub(crate) fn snapshot_scope(&self, scope: &[usize]) -> Vec<(usize, PartitionSnapshot)> {
+        scope
+            .iter()
+            .map(|&pid| (pid, self.partitions[pid].snapshot()))
+            .collect()
+    }
+
+    /// The partition a plaintext value of the partition column routes to.
+    pub(crate) fn route_value(&self, value: &[u8]) -> usize {
+        self.schema
+            .partitioning
+            .as_ref()
+            .map_or(0, |p| p.partition_of(value))
+    }
+}
+
+fn build_partition(
+    schema: &TableSchema,
+    index: usize,
+    columns: Vec<DeployedColumn>,
+) -> Result<Partition, DbError> {
+    if columns.len() != schema.columns.len() {
+        return Err(DbError::ArityMismatch {
+            expected: schema.columns.len(),
+            got: columns.len(),
+        });
+    }
+    let mut rows = None;
+    let mut main_columns = Vec::with_capacity(columns.len());
+    let mut deltas = Vec::with_capacity(columns.len());
+    for (spec, deployed) in schema.columns.iter().zip(columns) {
+        let check_rows = |rows: &mut Option<usize>, got: usize| match *rows {
+            None => {
+                *rows = Some(got);
+                Ok(())
+            }
+            Some(r) if r == got => Ok(()),
+            Some(r) => Err(DbError::ArityMismatch { expected: r, got }),
+        };
+        match deployed {
+            DeployedColumn::Encrypted(dict, av) => {
+                check_rows(&mut rows, av.len())?;
+                deltas.push(ColumnDelta::Encrypted(EncryptedDeltaStore::new(
+                    schema.name.clone(),
+                    spec.name.clone(),
+                    spec.max_len,
+                )));
+                main_columns.push(MainColumn::Encrypted(MainSnapshot::new(0, dict, av)));
+            }
+            DeployedColumn::Plain(dict, av) => {
+                check_rows(&mut rows, av.len())?;
+                deltas.push(ColumnDelta::Plain(DeltaStore::new(spec.max_len)));
+                main_columns.push(MainColumn::Plain {
+                    dict: Arc::new(dict),
+                    av: Arc::new(av),
+                });
+            }
+        }
+    }
+    Ok(Partition::new(
+        index,
+        main_columns,
+        deltas,
+        rows.unwrap_or(0),
+    ))
+}
+
+/// Builds an empty encrypted dictionary placeholder for `CREATE TABLE`.
+pub(crate) fn empty_encrypted_dict(
+    table: &str,
+    spec: &crate::schema::ColumnSpec,
+    kind: encdict::EdKind,
+) -> EncryptedDictionary {
+    // An empty column encrypts to an empty dictionary; no key material is
+    // needed since there are zero ciphertexts.
+    let column = colstore::column::Column::new(&spec.name, spec.max_len);
+    let params = encdict::build::BuildParams {
+        table_name: table.to_string(),
+        col_name: spec.name.clone(),
+        bs_max: spec.bs_max.max(1),
+    };
+    let throwaway = encdbdb_crypto::Key128::from_bytes([0u8; 16]);
+    let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+    let (dict, _) = encdict::build::build_encrypted(&column, kind, &params, &throwaway, &mut rng)
+        .expect("empty column always builds");
+    dict
+}
+
+pub(crate) fn empty_plain_dict(max_len: usize) -> PlainDictionary {
+    let column = colstore::column::Column::new("c", max_len);
+    let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+    let (dict, _) =
+        encdict::build::build_plain(&column, encdict::EdKind::Ed1, &Default::default(), &mut rng)
+            .expect("empty column always builds");
+    dict
+}
+
+impl DbaasServer {
+    /// Appends rows to a table's delta stores (§4.3). Encrypted cells are
+    /// re-encrypted by the enclave *before* any storage lock is taken, so
+    /// the append itself is atomic per partition with respect to
+    /// concurrent snapshots.
+    ///
+    /// For range-partitioned tables the rows must be routable: either the
+    /// partition column is PLAIN (the server routes by value), or the
+    /// caller supplies per-row partition ids through
+    /// [`ServerQuery::Insert`](super::ServerQuery::Insert) — the trusted
+    /// proxy does the latter, since only it sees the plaintext of an
+    /// encrypted partition column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup, arity, routing and enclave failures.
+    pub fn insert(&self, table: &str, rows: &[Vec<CellValue>]) -> Result<usize, DbError> {
+        self.insert_inner(table, rows, None)
+    }
+
+    pub(crate) fn insert_inner(
+        &self,
+        table: &str,
+        rows: &[Vec<CellValue>],
+        partition_ids: Option<&[usize]>,
+    ) -> Result<usize, DbError> {
+        let cfg = self.config();
+        let t = self.table_handle(table)?;
+        // Route every row before touching any lock (the plaintext of the
+        // partition column is only visible here for PLAIN columns).
+        let pids = route_rows(&t, rows, partition_ids)?;
+        // Step 1 (no storage lock): validate and re-encrypt every cell.
+        let mut prepared: Vec<Vec<CellValue>> = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != t.schema.columns.len() {
+                return Err(DbError::ArityMismatch {
+                    expected: t.schema.columns.len(),
+                    got: row.len(),
+                });
+            }
+            let mut out = Vec::with_capacity(row.len());
+            for (spec, cell) in t.schema.columns.iter().zip(row) {
+                match (&spec.choice, cell) {
+                    (DictChoice::Encrypted(_), CellValue::Encrypted(ct)) => {
+                        let fresh = self.enclave().reencrypt(&t.schema.name, &spec.name, ct)?;
+                        out.push(CellValue::Encrypted(fresh.into_bytes()));
+                    }
+                    (DictChoice::Plain, CellValue::Plain(v)) => {
+                        if v.len() > spec.max_len {
+                            return Err(DbError::ValueTooLong {
+                                got: v.len(),
+                                max: spec.max_len,
+                            });
+                        }
+                        out.push(CellValue::Plain(v.clone()));
+                    }
+                    _ => {
+                        return Err(DbError::UnsupportedFilter(
+                            "cell form does not match column protection".to_string(),
+                        ))
+                    }
+                }
+            }
+            prepared.push(out);
+        }
+        // Step 2: group rows per partition, then one short lock per
+        // touched partition. A write to shard A never takes shard B's
+        // lock.
+        let mut per_partition: Vec<Vec<Vec<CellValue>>> = vec![Vec::new(); t.partitions.len()];
+        for (pid, row) in pids.iter().zip(prepared) {
+            per_partition[*pid].push(row);
+        }
+        for (pid, rows) in per_partition.into_iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            let partition = &t.partitions[pid];
+            {
+                let mut state = lock(&partition.state);
+                for row in rows {
+                    for (delta, cell) in state.deltas.iter_mut().zip(row) {
+                        match (delta, cell) {
+                            (ColumnDelta::Encrypted(d), CellValue::Encrypted(ct)) => {
+                                d.push_reencrypted(&ct);
+                            }
+                            (ColumnDelta::Plain(d), CellValue::Plain(v)) => {
+                                d.insert(&v).map_err(|e| match e {
+                                    colstore::ColstoreError::ValueTooLong { got, max } => {
+                                        DbError::ValueTooLong { got, max }
+                                    }
+                                    other => DbError::Storage(other),
+                                })?;
+                            }
+                            _ => unreachable!("prepared cells match the schema"),
+                        }
+                    }
+                    state.delta_rows += 1;
+                    state.delta_validity.push(true);
+                }
+            }
+            self.maybe_compact(&t, partition, &cfg);
+        }
+        Ok(rows.len())
+    }
+
+    /// Deletes rows matching a conjunction of filters.
+    ///
+    /// Per partition, the matching RecordIDs are computed against a
+    /// snapshot; if a compaction publishes a new epoch in between
+    /// (renumbering rows), the delete retries against the fresh state of
+    /// that partition only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup and enclave failures; returns
+    /// [`DbError::MergeConflict`] if compactions keep racing the delete.
+    pub fn delete_multi(&self, table: &str, filters: &[ServerFilter]) -> Result<usize, DbError> {
+        self.delete_inner(table, filters, None)
+    }
+
+    pub(crate) fn delete_inner(
+        &self,
+        table: &str,
+        filters: &[ServerFilter],
+        scope: Option<&[usize]>,
+    ) -> Result<usize, DbError> {
+        let cfg = self.config();
+        let t = self.table_handle(table)?;
+        let scope = t.resolve_scope(filters, scope);
+        let mut deleted = 0usize;
+        'partitions: for pid in scope {
+            let partition = &t.partitions[pid];
+            for _attempt in 0..MERGE_RETRIES {
+                let snap = partition.snapshot();
+                if snap.is_empty() {
+                    continue 'partitions;
+                }
+                let (main_rids, delta_rids, _) = super::snapshot::matching_rids_multi(
+                    &snap,
+                    &t.schema,
+                    &self.enclave,
+                    filters,
+                    &cfg,
+                )?;
+                {
+                    let mut state = lock(&partition.state);
+                    if state.main.epoch != snap.main.epoch {
+                        continue; // A merge published mid-delete; recompute.
+                    }
+                    // Count (and conflict-flag) only rows whose validity
+                    // bit actually flips: a racing delete of the same rows
+                    // must not double-report or abort a merge for nothing.
+                    let mut flipped_main = 0usize;
+                    if !main_rids.is_empty() {
+                        let validity = Arc::make_mut(&mut state.main_validity);
+                        for rid in &main_rids {
+                            if validity.is_valid(rid.0 as usize) {
+                                validity.invalidate(rid.0 as usize);
+                                flipped_main += 1;
+                            }
+                        }
+                        state.main_invalid += flipped_main;
+                    }
+                    let mut flipped_merged_delta = 0usize;
+                    let mut flipped_delta = 0usize;
+                    for rid in &delta_rids {
+                        if state.delta_validity.is_valid(rid.0 as usize) {
+                            state.delta_validity.invalidate(rid.0 as usize);
+                            flipped_delta += 1;
+                            if (rid.0 as usize) < state.merge_watermark {
+                                flipped_merged_delta += 1;
+                            }
+                        }
+                    }
+                    if state.merge_in_flight && (flipped_main > 0 || flipped_merged_delta > 0) {
+                        state.deletes_during_merge = true;
+                    }
+                    deleted += flipped_main + flipped_delta;
+                }
+                self.maybe_compact(&t, partition, &cfg);
+                continue 'partitions;
+            }
+            return Err(DbError::MergeConflict(format!(
+                "delete on {table} kept racing compaction publishes"
+            )));
+        }
+        Ok(deleted)
+    }
+
+    /// Invalidates matching rows (§4.3: "deletions are realizable by an
+    /// update on the validity bit") — a thin wrapper over
+    /// [`DbaasServer::delete_multi`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup and enclave failures.
+    pub fn delete(&self, table: &str, filter: Option<&ServerFilter>) -> Result<usize, DbError> {
+        self.delete_multi(table, filter.map(std::slice::from_ref).unwrap_or(&[]))
+    }
+}
+
+/// Resolves the target partition of every row: caller-provided ids win
+/// (the proxy routes rows whose partition column is encrypted); otherwise
+/// a PLAIN partition column routes by value; an unpartitioned table takes
+/// partition 0.
+fn route_rows(
+    t: &ServerTable,
+    rows: &[Vec<CellValue>],
+    provided: Option<&[usize]>,
+) -> Result<Vec<usize>, DbError> {
+    let total = t.partitions.len();
+    if let Some(ids) = provided {
+        if ids.len() != rows.len() {
+            return Err(DbError::Partition(format!(
+                "{} partition ids for {} rows",
+                ids.len(),
+                rows.len()
+            )));
+        }
+        for &pid in ids {
+            if pid >= total {
+                return Err(DbError::Partition(format!(
+                    "partition id {pid} outside {total} partitions"
+                )));
+            }
+        }
+        return Ok(ids.to_vec());
+    }
+    let Some(part) = &t.schema.partitioning else {
+        return Ok(vec![0; rows.len()]);
+    };
+    let (idx, spec) = t
+        .schema
+        .column(&part.column)
+        .ok_or_else(|| DbError::ColumnNotFound(part.column.clone()))?;
+    match spec.choice {
+        DictChoice::Plain => rows
+            .iter()
+            .map(|row| match row.get(idx) {
+                Some(CellValue::Plain(v)) => Ok(t.route_value(v)),
+                _ => Err(DbError::UnsupportedFilter(
+                    "cell form does not match column protection".to_string(),
+                )),
+            })
+            .collect(),
+        DictChoice::Encrypted(_) => Err(DbError::Partition(format!(
+            "table {} is partitioned on encrypted column {}; inserts must carry \
+             proxy-computed partition ids",
+            t.schema.name, part.column
+        ))),
+    }
+}
+
+/// Linear-merge intersection of two ascending RecordID lists.
+pub(crate) fn intersect_sorted(a: &[RecordId], b: &[RecordId]) -> Vec<RecordId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}

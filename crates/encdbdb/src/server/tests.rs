@@ -1,0 +1,145 @@
+//! Unit tests of the server core: table creation, partition
+//! routing, and policy thresholds.
+
+use super::*;
+use crate::schema::{ColumnSpec, TablePartitioning};
+use encdict::EdKind;
+
+fn schema() -> TableSchema {
+    TableSchema::new(
+        "t",
+        vec![
+            ColumnSpec::new("name", DictChoice::Encrypted(EdKind::Ed1), 12),
+            ColumnSpec::new("city", DictChoice::Plain, 12),
+        ],
+    )
+}
+
+#[test]
+fn create_empty_table_and_count() {
+    let server = DbaasServer::with_enclave(DictEnclave::with_seed(1));
+    server.create_table(schema()).unwrap();
+    assert_eq!(server.row_count("t").unwrap(), 0);
+    assert!(server.create_table(schema()).is_err(), "duplicate rejected");
+    assert!(server.row_count("missing").is_err());
+    assert_eq!(server.epoch("t").unwrap(), 0);
+    assert!(!server.merge_in_flight("t").unwrap());
+}
+
+#[test]
+fn create_partitioned_table_has_one_state_per_shard() {
+    let server = DbaasServer::with_enclave(DictEnclave::with_seed(9));
+    let schema = schema().with_partitioning(TablePartitioning::new(
+        "city",
+        vec![b"g".to_vec(), b"p".to_vec()],
+    ));
+    server.create_table(schema).unwrap();
+    let stats = server.compaction_stats("t").unwrap();
+    assert_eq!(stats.partition_epochs, vec![0, 0, 0]);
+    assert_eq!(server.row_count("t").unwrap(), 0);
+}
+
+#[test]
+fn invalid_partitioning_specs_rejected() {
+    let server = DbaasServer::with_enclave(DictEnclave::with_seed(10));
+    let unsorted = schema().with_partitioning(TablePartitioning::new(
+        "city",
+        vec![b"p".to_vec(), b"g".to_vec()],
+    ));
+    assert!(matches!(
+        server.create_table(unsorted),
+        Err(DbError::Partition(_))
+    ));
+    let ghost = schema().with_partitioning(TablePartitioning::new("ghost", vec![b"g".to_vec()]));
+    assert!(matches!(
+        server.create_table(ghost),
+        Err(DbError::ColumnNotFound(_))
+    ));
+    // A partitioned schema cannot take the single-set deploy path.
+    let part = schema().with_partitioning(TablePartitioning::new("city", vec![b"g".to_vec()]));
+    assert!(matches!(
+        server.deploy_table(part, vec![]),
+        Err(DbError::Partition(_))
+    ));
+}
+
+#[test]
+fn insert_requires_matching_arity_and_forms() {
+    let server = DbaasServer::with_enclave(DictEnclave::with_seed(2));
+    server.provision_direct(encdbdb_crypto::Key128::from_bytes([1; 16]));
+    server.create_table(schema()).unwrap();
+    // Wrong arity.
+    let err = server
+        .insert("t", &[vec![CellValue::Plain(b"x".to_vec())]])
+        .unwrap_err();
+    assert!(matches!(err, DbError::ArityMismatch { .. }));
+    // Wrong form (plain cell for encrypted column).
+    let err = server
+        .insert(
+            "t",
+            &[vec![
+                CellValue::Plain(b"x".to_vec()),
+                CellValue::Plain(b"y".to_vec()),
+            ]],
+        )
+        .unwrap_err();
+    assert!(matches!(err, DbError::UnsupportedFilter(_)));
+}
+
+#[test]
+fn compaction_policy_thresholds() {
+    let policy = CompactionPolicy {
+        max_delta_rows: 10,
+        max_invalid_fraction: 0.5,
+    };
+    assert!(!policy.triggered(9, 100, 100));
+    assert!(policy.triggered(10, 100, 100));
+    assert!(!policy.triggered(0, 100, 51));
+    assert!(policy.triggered(0, 100, 50));
+    assert!(!policy.triggered(0, 0, 0), "empty table never triggers");
+}
+
+#[test]
+fn plain_partition_column_routes_server_side() {
+    let server = DbaasServer::with_enclave(DictEnclave::with_seed(3));
+    server.provision_direct(encdbdb_crypto::Key128::from_bytes([2; 16]));
+    let schema = TableSchema::new("r", vec![ColumnSpec::new("v", DictChoice::Plain, 8)])
+        .with_partitioning(TablePartitioning::new("v", vec![b"m".to_vec()]));
+    server.create_table(schema).unwrap();
+    server
+        .insert(
+            "r",
+            &[
+                vec![CellValue::Plain(b"apple".to_vec())],
+                vec![CellValue::Plain(b"zebra".to_vec())],
+                vec![CellValue::Plain(b"m".to_vec())],
+            ],
+        )
+        .unwrap();
+    // Shard 0: < "m" (apple); shard 1: >= "m" (zebra, m).
+    let t = server.table_handle("r").unwrap();
+    assert_eq!(lock(&t.partitions[0].state).delta_rows, 1);
+    assert_eq!(lock(&t.partitions[1].state).delta_rows, 2);
+    assert_eq!(server.row_count("r").unwrap(), 3);
+}
+
+#[test]
+fn encrypted_partition_column_requires_routing_ids() {
+    let server = DbaasServer::with_enclave(DictEnclave::with_seed(4));
+    server.provision_direct(encdbdb_crypto::Key128::from_bytes([3; 16]));
+    let schema = TableSchema::new(
+        "e",
+        vec![ColumnSpec::new("v", DictChoice::Encrypted(EdKind::Ed9), 8)],
+    )
+    .with_partitioning(TablePartitioning::new("v", vec![b"m".to_vec()]));
+    server.create_table(schema).unwrap();
+    let err = server
+        .insert("e", &[vec![CellValue::Encrypted(vec![0; 16])]])
+        .unwrap_err();
+    assert!(matches!(err, DbError::Partition(_)));
+}
+
+// Full end-to-end behaviour is covered by the proxy/session tests and
+// the concurrent stress suite, which exercise deploy → select →
+// insert → delete → merge, including background compactions across
+// partitions.

@@ -188,15 +188,27 @@ impl fmt::Display for OrderKey {
     }
 }
 
+/// A `PARTITION BY RANGE` clause of a `CREATE TABLE` statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionByDef {
+    /// The partition column.
+    pub column: String,
+    /// Strictly ascending split points (`SPLIT ('a', 'b', ...)`).
+    pub split_points: Vec<Vec<u8>>,
+}
+
 /// A parsed SQL statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Statement {
-    /// `CREATE TABLE t (c1 ED1(10), ...)`
+    /// `CREATE TABLE t (c1 ED1(10), ...) [PARTITION BY RANGE (c1) SPLIT
+    /// ('m', ...)]`
     CreateTable {
         /// Table name.
         name: String,
         /// Column definitions.
         columns: Vec<ColumnDef>,
+        /// Optional range partitioning.
+        partition_by: Option<PartitionByDef>,
     },
     /// `INSERT INTO t VALUES ('a', 'b'), ('c', 'd')`
     Insert {
@@ -250,7 +262,11 @@ fn join<T: fmt::Display>(items: &[T]) -> String {
 impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Statement::CreateTable { name, columns } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                partition_by,
+            } => {
                 let cols: Vec<String> = columns
                     .iter()
                     .map(|c| match c.bs_max {
@@ -258,7 +274,17 @@ impl fmt::Display for Statement {
                         None => format!("{} {}({})", c.name, c.choice, c.max_len),
                     })
                     .collect();
-                write!(f, "CREATE TABLE {name} ({})", cols.join(", "))
+                write!(f, "CREATE TABLE {name} ({})", cols.join(", "))?;
+                if let Some(p) = partition_by {
+                    let points: Vec<String> = p.split_points.iter().map(|s| quote(s)).collect();
+                    write!(
+                        f,
+                        " PARTITION BY RANGE ({}) SPLIT ({})",
+                        p.column,
+                        points.join(", ")
+                    )?;
+                }
+                Ok(())
             }
             Statement::Insert { table, rows } => {
                 let rows: Vec<String> = rows

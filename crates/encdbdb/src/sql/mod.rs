@@ -2,7 +2,8 @@
 //!
 //! The supported subset mirrors what the paper's pipeline handles (Fig. 5
 //! steps 5–6) plus the analytic extension of the `exec` engine:
-//! `CREATE TABLE` with encrypted-dictionary column types, `INSERT`,
+//! `CREATE TABLE` with encrypted-dictionary column types and an optional
+//! `PARTITION BY RANGE (col) SPLIT ('a', ...)` clause, `INSERT`,
 //! `SELECT` with single-column filters (equality, inequality,
 //! greater/less than, `BETWEEN`), aggregates (`COUNT(*)`, `SUM`, `MIN`,
 //! `MAX`, `AVG`), `GROUP BY`, `ORDER BY ... [ASC|DESC]`, `LIMIT`, and
@@ -16,5 +17,7 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{ColumnDef, CompareOp, Filter, OrderKey, OrderTarget, SelectItem, Statement};
+pub use ast::{
+    ColumnDef, CompareOp, Filter, OrderKey, OrderTarget, PartitionByDef, SelectItem, Statement,
+};
 pub use parser::parse;

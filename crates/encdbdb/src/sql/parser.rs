@@ -1,6 +1,8 @@
 //! Recursive-descent SQL parser.
 
-use super::ast::{ColumnDef, CompareOp, Filter, OrderKey, OrderTarget, SelectItem, Statement};
+use super::ast::{
+    ColumnDef, CompareOp, Filter, OrderKey, OrderTarget, PartitionByDef, SelectItem, Statement,
+};
 use super::lexer::{tokenize, Token};
 use crate::error::DbError;
 use crate::schema::DictChoice;
@@ -128,7 +130,36 @@ impl Parser {
                 other => return Err(self.err(format!("expected , or ), found {other:?}"))),
             }
         }
-        Ok(Statement::CreateTable { name, columns })
+        let partition_by = if self.peek_keyword("PARTITION") {
+            self.next();
+            self.expect_keyword("BY")?;
+            self.expect_keyword("RANGE")?;
+            self.expect(&Token::LParen)?;
+            let column = self.ident()?;
+            self.expect(&Token::RParen)?;
+            self.expect_keyword("SPLIT")?;
+            self.expect(&Token::LParen)?;
+            let mut split_points = Vec::new();
+            loop {
+                split_points.push(self.string()?);
+                match self.next() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::RParen) => break,
+                    other => return Err(self.err(format!("expected , or ), found {other:?}"))),
+                }
+            }
+            Some(PartitionByDef {
+                column,
+                split_points,
+            })
+        } else {
+            None
+        };
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            partition_by,
+        })
     }
 
     fn insert(&mut self) -> Result<Statement, DbError> {
@@ -344,16 +375,53 @@ mod tests {
     fn parses_create_table_with_ed_types() {
         let stmt = parse("CREATE TABLE t1 (c1 ED7(12), c2 ED5(10, 20), c3 PLAIN(8));").unwrap();
         match stmt {
-            Statement::CreateTable { name, columns } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                partition_by,
+            } => {
                 assert_eq!(name, "t1");
                 assert_eq!(columns.len(), 3);
                 assert_eq!(columns[0].choice, DictChoice::Encrypted(EdKind::Ed7));
                 assert_eq!(columns[0].max_len, 12);
                 assert_eq!(columns[1].bs_max, Some(20));
                 assert_eq!(columns[2].choice, DictChoice::Plain);
+                assert_eq!(partition_by, None);
             }
             other => panic!("wrong statement: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_partition_by_range() {
+        let stmt = parse(
+            "CREATE TABLE t (v ED1(8), g PLAIN(8)) \
+             PARTITION BY RANGE (v) SPLIT ('0030', '0060')",
+        )
+        .unwrap();
+        match &stmt {
+            Statement::CreateTable { partition_by, .. } => {
+                assert_eq!(
+                    partition_by,
+                    &Some(PartitionByDef {
+                        column: "v".into(),
+                        split_points: vec![b"0030".to_vec(), b"0060".to_vec()],
+                    })
+                );
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        // Display round-trips the clause.
+        let reparsed = parse(&stmt.to_string()).unwrap();
+        assert_eq!(stmt, reparsed);
+    }
+
+    #[test]
+    fn rejects_malformed_partition_clauses() {
+        assert!(parse("CREATE TABLE t (v ED1(8)) PARTITION BY (v) SPLIT ('a')").is_err());
+        assert!(parse("CREATE TABLE t (v ED1(8)) PARTITION BY RANGE (v)").is_err());
+        assert!(parse("CREATE TABLE t (v ED1(8)) PARTITION BY RANGE (v) SPLIT ()").is_err());
+        assert!(parse("CREATE TABLE t (v ED1(8)) PARTITION BY RANGE v SPLIT ('a')").is_err());
     }
 
     #[test]

@@ -296,6 +296,36 @@ struct AggAccumulator {
 }
 
 impl AggAccumulator {
+    /// Folds another partial accumulator of the same (group, aggregate)
+    /// into this one — the per-group half of the partition merge. All five
+    /// functions are decomposable: COUNT/SUM add, MIN/MAX combine, AVG
+    /// carries (sum, count).
+    fn merge(&mut self, other: &AggAccumulator) {
+        self.saw_non_numeric |= other.saw_non_numeric;
+        // `sum: None` means "no numeric value folded yet" while the count
+        // is zero, and "overflowed" otherwise — an empty side must not
+        // clobber the other side's running sum.
+        self.sum = match (self.count, other.count) {
+            (0, _) => other.sum,
+            (_, 0) => self.sum,
+            _ => match (self.sum, other.sum) {
+                (Some(a), Some(b)) => a.checked_add(b),
+                _ => None,
+            },
+        };
+        self.count += other.count;
+        if let Some(m) = &other.min {
+            if self.min.as_deref().is_none_or(|s| m.as_slice() < s) {
+                self.min = Some(m.clone());
+            }
+        }
+        if let Some(m) = &other.max {
+            if self.max.as_deref().is_none_or(|s| m.as_slice() > s) {
+                self.max = Some(m.clone());
+            }
+        }
+    }
+
     fn feed(&mut self, value: Option<&[u8]>, freq: u64) {
         self.count += freq;
         let Some(v) = value else { return };
@@ -343,12 +373,139 @@ impl AggAccumulator {
     }
 }
 
-/// Evaluates an aggregate plan over resolved value tables.
+/// Partial aggregation state: per-group accumulators keyed by the
+/// plaintext group key.
 ///
-/// `tables[c]` holds the distinct touched values of referenced column `c`;
-/// `tuples` is the ValueID histogram with per-column *indices into the
-/// tables* plus the row frequency. Returns the output rows (one cell per
-/// plan item) in final order, sorted and limited.
+/// This is the unit the *partition-parallel* executor merges in the
+/// trusted core: each range partition of a table reduces its matching
+/// rows to a ValueID histogram over its own dictionaries, every
+/// partition's histogram is [`accumulated`](GroupPartials::accumulate)
+/// into partials on the trusted side (the enclave when any referenced
+/// column is encrypted, the local plain path otherwise), partials
+/// [`merge`](GroupPartials::merge) by group key — all five aggregate
+/// functions are decomposable (COUNT/SUM add, MIN/MAX combine, AVG
+/// carries `(sum, count)`) — and a single [`finalize`](GroupPartials::finalize)
+/// renders, sorts and limits the output rows.
+#[derive(Debug, Clone, Default)]
+pub struct GroupPartials {
+    // BTreeMap keeps the grouping deterministic.
+    groups: BTreeMap<Vec<Vec<u8>>, Vec<AggAccumulator>>,
+}
+
+impl GroupPartials {
+    /// Empty partial state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct groups accumulated so far.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Folds one partition's histogram into the partial state.
+    ///
+    /// `tables[c]` holds the distinct touched values of referenced column
+    /// `c` *in that partition*; `tuples` is the partition's histogram with
+    /// per-column indices into the tables plus the row frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncdictError::CorruptDictionary`] when a tuple index is
+    /// out of range.
+    pub fn accumulate(
+        &mut self,
+        tables: &[Vec<Vec<u8>>],
+        tuples: &[(Vec<u32>, u64)],
+        plan: &AggPlanSpec,
+    ) -> Result<(), EncdictError> {
+        let resolve = |c: usize, idx: &[u32]| -> Result<&[u8], EncdictError> {
+            let i = *idx
+                .get(c)
+                .ok_or(EncdictError::CorruptDictionary("tuple arity mismatch"))?
+                as usize;
+            tables
+                .get(c)
+                .and_then(|t| t.get(i))
+                .map(Vec::as_slice)
+                .ok_or(EncdictError::CorruptDictionary(
+                    "tuple index outside value table",
+                ))
+        };
+        for (idxs, freq) in tuples {
+            let mut key = Vec::with_capacity(plan.group_cols.len());
+            for &c in &plan.group_cols {
+                key.push(resolve(c, idxs)?.to_vec());
+            }
+            let accs = self
+                .groups
+                .entry(key)
+                .or_insert_with(|| vec![AggAccumulator::default(); plan.aggregates.len()]);
+            for (spec, acc) in plan.aggregates.iter().zip(accs.iter_mut()) {
+                let value = match spec.col {
+                    Some(c) => Some(resolve(c, idxs)?),
+                    None => None,
+                };
+                acc.feed(value, *freq);
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges another partial state into this one, group by group.
+    pub fn merge(&mut self, other: GroupPartials) {
+        for (key, accs) in other.groups {
+            match self.groups.entry(key) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(accs);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    for (mine, theirs) in slot.get_mut().iter_mut().zip(&accs) {
+                        mine.merge(theirs);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders the merged groups as output rows (one cell per plan item)
+    /// in final order, sorted and limited.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncdictError::Aggregate`] when SUM/AVG met a value that
+    /// is not an optionally signed decimal integer (or overflowed).
+    pub fn finalize(mut self, plan: &AggPlanSpec) -> Result<Vec<Vec<Vec<u8>>>, EncdictError> {
+        // SQL semantics: an aggregate without GROUP BY always returns one
+        // row, even over an empty input.
+        if self.groups.is_empty() && plan.group_cols.is_empty() {
+            self.groups.insert(
+                Vec::new(),
+                vec![AggAccumulator::default(); plan.aggregates.len()],
+            );
+        }
+        let mut rows = Vec::with_capacity(self.groups.len());
+        for (key, accs) in &self.groups {
+            let mut row = Vec::with_capacity(plan.items.len());
+            for item in &plan.items {
+                row.push(match *item {
+                    OutputItem::Group(i) => key[i].clone(),
+                    OutputItem::Agg(j) => accs[j].finish(plan.aggregates[j].func)?,
+                });
+            }
+            rows.push(row);
+        }
+        sort_rows(&mut rows, plan);
+        if let Some(n) = plan.limit {
+            rows.truncate(n);
+        }
+        Ok(rows)
+    }
+}
+
+/// Evaluates an aggregate plan over resolved value tables — the
+/// single-partition convenience over [`GroupPartials`]
+/// (accumulate once, finalize).
 ///
 /// # Errors
 ///
@@ -360,63 +517,9 @@ pub fn evaluate(
     tuples: &[(Vec<u32>, u64)],
     plan: &AggPlanSpec,
 ) -> Result<Vec<Vec<Vec<u8>>>, EncdictError> {
-    let resolve = |c: usize, idx: &[u32]| -> Result<&[u8], EncdictError> {
-        let i = *idx
-            .get(c)
-            .ok_or(EncdictError::CorruptDictionary("tuple arity mismatch"))?
-            as usize;
-        tables
-            .get(c)
-            .and_then(|t| t.get(i))
-            .map(Vec::as_slice)
-            .ok_or(EncdictError::CorruptDictionary(
-                "tuple index outside value table",
-            ))
-    };
-
-    // Group accumulation: BTreeMap keeps the grouping deterministic.
-    let mut groups: BTreeMap<Vec<Vec<u8>>, Vec<AggAccumulator>> = BTreeMap::new();
-    for (idxs, freq) in tuples {
-        let mut key = Vec::with_capacity(plan.group_cols.len());
-        for &c in &plan.group_cols {
-            key.push(resolve(c, idxs)?.to_vec());
-        }
-        let accs = groups
-            .entry(key)
-            .or_insert_with(|| vec![AggAccumulator::default(); plan.aggregates.len()]);
-        for (spec, acc) in plan.aggregates.iter().zip(accs.iter_mut()) {
-            let value = match spec.col {
-                Some(c) => Some(resolve(c, idxs)?),
-                None => None,
-            };
-            acc.feed(value, *freq);
-        }
-    }
-    // SQL semantics: an aggregate without GROUP BY always returns one row,
-    // even over an empty input.
-    if groups.is_empty() && plan.group_cols.is_empty() {
-        groups.insert(
-            Vec::new(),
-            vec![AggAccumulator::default(); plan.aggregates.len()],
-        );
-    }
-
-    let mut rows = Vec::with_capacity(groups.len());
-    for (key, accs) in &groups {
-        let mut row = Vec::with_capacity(plan.items.len());
-        for item in &plan.items {
-            row.push(match *item {
-                OutputItem::Group(i) => key[i].clone(),
-                OutputItem::Agg(j) => accs[j].finish(plan.aggregates[j].func)?,
-            });
-        }
-        rows.push(row);
-    }
-    sort_rows(&mut rows, plan);
-    if let Some(n) = plan.limit {
-        rows.truncate(n);
-    }
-    Ok(rows)
+    let mut partials = GroupPartials::new();
+    partials.accumulate(tables, tuples, plan)?;
+    partials.finalize(plan)
 }
 
 /// Sorts output rows: explicit sort keys first, then the full row ascending
@@ -678,6 +781,134 @@ mod tests {
         let p = plan(vec![0], vec![], vec![OutputItem::Group(0)], vec![], None);
         let rows = evaluate(&tables, &tuples, &p).unwrap();
         assert_eq!(rows, vec![vec![bytes("a")], vec![bytes("b")]]);
+    }
+
+    #[test]
+    fn partial_merge_matches_single_pass() {
+        // Split one histogram across three "partitions" (each with its own
+        // value tables); accumulating per part and merging must match the
+        // single-pass evaluation over the concatenated data.
+        let p = plan(
+            vec![0],
+            vec![
+                AggSpec {
+                    func: AggFunc::Count,
+                    col: None,
+                },
+                AggSpec {
+                    func: AggFunc::Sum,
+                    col: Some(1),
+                },
+                AggSpec {
+                    func: AggFunc::Min,
+                    col: Some(1),
+                },
+                AggSpec {
+                    func: AggFunc::Max,
+                    col: Some(1),
+                },
+                AggSpec {
+                    func: AggFunc::Avg,
+                    col: Some(1),
+                },
+            ],
+            vec![
+                OutputItem::Group(0),
+                OutputItem::Agg(0),
+                OutputItem::Agg(1),
+                OutputItem::Agg(2),
+                OutputItem::Agg(3),
+                OutputItem::Agg(4),
+            ],
+            vec![SortSpec {
+                item: 1,
+                desc: true,
+            }],
+            None,
+        );
+        // Partition value tables deliberately disagree on indices: the
+        // same plaintext group lands at different table slots per part.
+        type Part = (Vec<Vec<Vec<u8>>>, Vec<(Vec<u32>, u64)>);
+        let parts: Vec<Part> = vec![
+            (
+                vec![vec![bytes("a"), bytes("b")], vec![bytes("10"), bytes("3")]],
+                vec![(vec![0, 0], 2), (vec![1, 1], 1)],
+            ),
+            (
+                vec![vec![bytes("b"), bytes("a")], vec![bytes("5")]],
+                vec![(vec![0, 0], 4), (vec![1, 0], 1)],
+            ),
+            (vec![vec![], vec![]], vec![]),
+        ];
+        let mut merged = GroupPartials::new();
+        for (tables, tuples) in &parts {
+            let mut partial = GroupPartials::new();
+            partial.accumulate(tables, tuples, &p).unwrap();
+            merged.merge(partial);
+        }
+        assert_eq!(merged.group_count(), 2);
+        let rows = merged.finalize(&p).unwrap();
+        // a: count 3, sum 2*10 + 5 = 25, min "10", max "5" (bytewise), avg 25/3
+        // b: count 5, sum 3 + 4*5 = 23, min "3", max "5", avg 23/5
+        // Sorted by COUNT descending: b (5) before a (3).
+        assert_eq!(
+            rows,
+            vec![
+                vec![
+                    bytes("b"),
+                    bytes("5"),
+                    bytes("23"),
+                    bytes("3"),
+                    bytes("5"),
+                    bytes("4.6"),
+                ],
+                vec![
+                    bytes("a"),
+                    bytes("3"),
+                    bytes("25"),
+                    bytes("10"),
+                    bytes("5"),
+                    bytes("8.333333"),
+                ],
+            ]
+        );
+    }
+
+    #[test]
+    fn partial_merge_empty_sides_and_null_row() {
+        let p = plan(
+            vec![],
+            vec![
+                AggSpec {
+                    func: AggFunc::Count,
+                    col: None,
+                },
+                AggSpec {
+                    func: AggFunc::Sum,
+                    col: Some(0),
+                },
+            ],
+            vec![OutputItem::Agg(0), OutputItem::Agg(1)],
+            vec![],
+            None,
+        );
+        // Merging an empty partial into a fed one must not lose the sum.
+        let mut fed = GroupPartials::new();
+        fed.accumulate(&[vec![bytes("7")]], &[(vec![0], 2)], &p)
+            .unwrap();
+        fed.merge(GroupPartials::new());
+        let mut other_way = GroupPartials::new();
+        other_way.merge(fed.clone());
+        assert_eq!(
+            other_way.finalize(&p).unwrap(),
+            vec![vec![bytes("2"), bytes("14")]]
+        );
+        // All-empty partials still produce the NULL row for a global
+        // aggregate.
+        assert_eq!(
+            GroupPartials::new().finalize(&p).unwrap(),
+            vec![vec![bytes("0"), Vec::new()]]
+        );
     }
 
     #[test]

@@ -133,19 +133,18 @@ pub struct SegmentRef<'a> {
     pub len: usize,
 }
 
-/// The value source of one column referenced by an aggregate query.
+/// The value source of one column referenced by an aggregate query,
+/// within one range partition.
 ///
-/// Per-column codes address the concatenated main + delta value space:
-/// code `< main.len` is a main-store ValueID, `code - main.len` is a
-/// delta-store row.
+/// Per-column codes address the concatenated main + delta value space of
+/// that partition: code `< main.len` is a main-store ValueID,
+/// `code - main.len` is a delta-store row.
 #[derive(Debug)]
 pub enum AggColumnData<'a> {
     /// An encrypted column: the enclave decrypts each listed code once
     /// (the batched value decryption — one `DecryptValue` per distinct
     /// touched ValueID, not per row).
     Encrypted {
-        /// Column name (key-derivation metadata).
-        col_name: &'a str,
         /// Main-store dictionary.
         main: SegmentRef<'a>,
         /// Delta-store dictionary (ED9 layout).
@@ -162,21 +161,41 @@ pub enum AggColumnData<'a> {
     },
 }
 
+/// One range partition's contribution to an aggregate query: its own
+/// dictionary segments and its own ValueID-tuple histogram. ValueID
+/// spaces of different partitions are unrelated; only the *plaintext*
+/// group keys, recovered inside the enclave, align them.
+#[derive(Debug)]
+pub struct AggPartitionData<'a> {
+    /// The referenced columns, in tuple order (aligned with the request's
+    /// `col_names`).
+    pub columns: Vec<AggColumnData<'a>>,
+    /// The partition's histogram: per-column value-table indices plus row
+    /// frequency.
+    pub tuples: &'a [(Vec<u32>, u64)],
+}
+
 /// A grouped-aggregation ECALL request: the untrusted server has reduced
-/// the matching rows to a ValueID-tuple histogram; the enclave decrypts
-/// each distinct touched value once, evaluates GROUP BY / aggregates /
-/// ORDER BY / LIMIT on plaintexts, and returns cells that are re-encrypted
-/// under the originating column keys — so the server cannot link output
-/// groups back to dictionary entries (which would reveal equality classes
-/// of frequency-hiding dictionaries).
+/// the matching rows of every scanned partition to a ValueID-tuple
+/// histogram; the enclave decrypts each distinct touched value once per
+/// partition, folds every partition into per-group *partial aggregates*,
+/// merges the partials in the trusted core
+/// ([`crate::aggregate::GroupPartials`]), evaluates GROUP BY / aggregates
+/// / ORDER BY / LIMIT on plaintexts, and returns cells that are
+/// re-encrypted under the originating column keys — so the server cannot
+/// link output groups back to dictionary entries (which would reveal
+/// equality classes of frequency-hiding dictionaries), nor correlate
+/// group keys across partitions.
 #[derive(Debug)]
 pub struct AggregateRequest<'a> {
     /// Table name (key-derivation metadata).
     pub table_name: &'a str,
-    /// The referenced columns, in tuple order.
-    pub columns: Vec<AggColumnData<'a>>,
-    /// The histogram: per-column value-table indices plus row frequency.
-    pub tuples: &'a [(Vec<u32>, u64)],
+    /// Per referenced column: `Some(name)` for an encrypted column (the
+    /// key-derivation metadata), `None` for PLAIN.
+    pub col_names: Vec<Option<&'a str>>,
+    /// One entry per scanned non-empty partition. Empty or pruned
+    /// partitions contribute nothing — the enclave never sees them.
+    pub parts: Vec<AggPartitionData<'a>>,
     /// Group/aggregate/sort/limit specification over the columns.
     pub plan: &'a AggPlanSpec,
 }
@@ -449,100 +468,108 @@ impl DictLogic {
         env: &mut TrustedEnv,
         req: AggregateRequest<'_>,
     ) -> Result<AggregateReply, EncdictError> {
-        // Resolve each referenced column into a value table, decrypting
-        // every distinct touched code exactly once (batched decryption).
-        let mut tables: Vec<Vec<Vec<u8>>> = Vec::with_capacity(req.columns.len());
-        let mut paes: Vec<Option<Pae>> = Vec::with_capacity(req.columns.len());
-        let mut values_decrypted = 0usize;
         let mut bytes_tracked = 0usize;
-        let mut fail: Option<EncdictError> = None;
-        'columns: for col in &req.columns {
-            match col {
-                AggColumnData::Encrypted {
-                    col_name,
-                    main,
-                    delta,
-                    codes,
-                } => {
-                    let pae = match Self::column_pae(env, req.table_name, col_name) {
-                        Ok(pae) => pae,
-                        Err(e) => {
-                            fail = Some(e);
-                            break 'columns;
-                        }
-                    };
-                    let mut table = Vec::with_capacity(codes.len());
-                    for &code in *codes {
-                        let r = if (code as usize) < main.len {
-                            Self::read_segment_entry(env, *main, &pae, code as usize)
-                        } else {
-                            Self::read_segment_entry(env, *delta, &pae, code as usize - main.len)
-                        };
-                        match r {
-                            Ok(pt) => {
-                                values_decrypted += 1;
-                                bytes_tracked += pt.len();
-                                env.track_alloc(pt.len());
-                                table.push(pt);
-                            }
-                            Err(e) => {
-                                fail = Some(e);
-                                break 'columns;
-                            }
-                        }
-                    }
-                    tables.push(table);
-                    paes.push(Some(pae));
-                }
-                AggColumnData::Plain { values } => {
-                    tables.push(values.to_vec());
-                    paes.push(None);
-                }
-            }
-        }
-        let result = match fail {
-            Some(e) => Err(e),
-            None => crate::aggregate::evaluate(&tables, req.tuples, req.plan).map(|rows| {
-                // Wrap each plaintext cell for the untrusted realm: values
-                // derived from an encrypted column leave the enclave only
-                // re-encrypted under that column's key with a fresh IV.
-                let out = rows
-                    .into_iter()
-                    .map(|row| {
-                        row.into_iter()
-                            .zip(&req.plan.items)
-                            .map(|(value, item)| {
-                                let source = match *item {
-                                    crate::aggregate::OutputItem::Group(i) => {
-                                        Some(req.plan.group_cols[i])
-                                    }
-                                    crate::aggregate::OutputItem::Agg(j) => {
-                                        req.plan.aggregates[j].col
-                                    }
-                                };
-                                match source.and_then(|c| paes[c].as_ref()) {
-                                    Some(pae) => AggCell::Encrypted(
-                                        pae.encrypt_with_rng(
-                                            &mut self.rng,
-                                            &value,
-                                            crate::build::DICT_VALUE_AAD,
-                                        )
-                                        .into_bytes(),
-                                    ),
-                                    None => AggCell::Plain(value),
-                                }
-                            })
-                            .collect()
-                    })
-                    .collect();
-                AggregateReply {
-                    rows: out,
-                    values_decrypted,
-                }
-            }),
-        };
+        let result = self.aggregate_inner(env, &req, &mut bytes_tracked);
         env.track_free(bytes_tracked);
         result
+    }
+
+    fn aggregate_inner(
+        &mut self,
+        env: &mut TrustedEnv,
+        req: &AggregateRequest<'_>,
+        bytes_tracked: &mut usize,
+    ) -> Result<AggregateReply, EncdictError> {
+        // One key per referenced encrypted column, shared by every
+        // partition (partitions of a table are protected by the same
+        // column keys).
+        let mut paes: Vec<Option<Pae>> = Vec::with_capacity(req.col_names.len());
+        for name in &req.col_names {
+            paes.push(match name {
+                Some(col) => Some(Self::column_pae(env, req.table_name, col)?),
+                None => None,
+            });
+        }
+        // Fold every partition into per-group partial aggregates,
+        // decrypting each partition's distinct touched codes exactly once
+        // (batched decryption), and merge the partials in the trusted
+        // core.
+        let mut partials = crate::aggregate::GroupPartials::new();
+        let mut values_decrypted = 0usize;
+        for part in &req.parts {
+            if part.columns.len() != req.col_names.len() {
+                return Err(EncdictError::CorruptDictionary(
+                    "partition column arity mismatch",
+                ));
+            }
+            let mut tables: Vec<Vec<Vec<u8>>> = Vec::with_capacity(part.columns.len());
+            for (col, pae) in part.columns.iter().zip(&paes) {
+                match (col, pae) {
+                    (AggColumnData::Encrypted { main, delta, codes }, Some(pae)) => {
+                        let mut table = Vec::with_capacity(codes.len());
+                        for &code in *codes {
+                            let pt = if (code as usize) < main.len {
+                                Self::read_segment_entry(env, *main, pae, code as usize)?
+                            } else {
+                                Self::read_segment_entry(
+                                    env,
+                                    *delta,
+                                    pae,
+                                    code as usize - main.len,
+                                )?
+                            };
+                            values_decrypted += 1;
+                            *bytes_tracked += pt.len();
+                            env.track_alloc(pt.len());
+                            table.push(pt);
+                        }
+                        tables.push(table);
+                    }
+                    (AggColumnData::Plain { values }, None) => tables.push(values.to_vec()),
+                    _ => {
+                        return Err(EncdictError::CorruptDictionary(
+                            "column data does not match its declared protection",
+                        ))
+                    }
+                }
+            }
+            let mut partial = crate::aggregate::GroupPartials::new();
+            partial.accumulate(&tables, part.tuples, req.plan)?;
+            partials.merge(partial);
+        }
+        let rows = partials.finalize(req.plan)?;
+        // Wrap each plaintext cell for the untrusted realm: values derived
+        // from an encrypted column leave the enclave only re-encrypted
+        // under that column's key with a fresh IV.
+        let out = rows
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .zip(&req.plan.items)
+                    .map(|(value, item)| {
+                        let source = match *item {
+                            crate::aggregate::OutputItem::Group(i) => Some(req.plan.group_cols[i]),
+                            crate::aggregate::OutputItem::Agg(j) => req.plan.aggregates[j].col,
+                        };
+                        match source.and_then(|c| paes[c].as_ref()) {
+                            Some(pae) => AggCell::Encrypted(
+                                pae.encrypt_with_rng(
+                                    &mut self.rng,
+                                    &value,
+                                    crate::build::DICT_VALUE_AAD,
+                                )
+                                .into_bytes(),
+                            ),
+                            None => AggCell::Plain(value),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(AggregateReply {
+            rows: out,
+            values_decrypted,
+        })
     }
 }
 

@@ -109,10 +109,32 @@ impl Default for ScheduleSpec {
     }
 }
 
-/// Draws interleaved schedules from a [`ScheduleSpec`].
+/// Write skew for range-partitioned stress runs: a *hot shard* — a value
+/// sub-range that attracts a disproportionate share of inserts — while
+/// reads stay uniform over the whole domain.
+///
+/// This is the workload shape that makes per-partition compaction earn
+/// its keep: the hot shard's delta crosses the merge threshold over and
+/// over while the cold shards' deltas barely grow, so a table-wide
+/// compaction would constantly punish readers of cold data for the hot
+/// shard's churn.
+#[derive(Debug, Clone, Copy)]
+pub struct HotShardSpec {
+    /// Inclusive lower bound of the hot value range (within the domain).
+    pub hot_lo: u32,
+    /// Inclusive upper bound of the hot value range.
+    pub hot_hi: u32,
+    /// Percentage (0..=100) of inserts drawn from the hot range; the rest
+    /// stay uniform over the full domain.
+    pub hot_insert_pct: u32,
+}
+
+/// Draws interleaved schedules from a [`ScheduleSpec`], optionally with a
+/// [`HotShardSpec`] insert skew.
 #[derive(Debug, Clone)]
 pub struct ScheduleGen {
     spec: ScheduleSpec,
+    skew: Option<HotShardSpec>,
 }
 
 impl ScheduleGen {
@@ -136,7 +158,29 @@ impl ScheduleGen {
             "domain {} overflows the 4-digit value width",
             spec.domain
         );
-        ScheduleGen { spec }
+        ScheduleGen { spec, skew: None }
+    }
+
+    /// Adds a hot-shard insert skew: `skew.hot_insert_pct` percent of
+    /// inserts land in `[hot_lo, hot_hi]`; reads, deletes and aggregates
+    /// keep drawing uniform bounds over the full domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hot range is empty, leaves the domain, or the
+    /// percentage exceeds 100.
+    pub fn with_hot_shard(mut self, skew: HotShardSpec) -> Self {
+        assert!(skew.hot_lo <= skew.hot_hi, "hot range must be non-empty");
+        assert!(
+            skew.hot_hi < self.spec.domain,
+            "hot range {}..={} leaves the domain {}",
+            skew.hot_lo,
+            skew.hot_hi,
+            self.spec.domain
+        );
+        assert!(skew.hot_insert_pct <= 100, "percentage over 100");
+        self.skew = Some(skew);
+        self
     }
 
     /// The configured mix.
@@ -145,6 +189,11 @@ impl ScheduleGen {
     }
 
     fn value<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        if let Some(skew) = &self.skew {
+            if rng.gen_range(0u32..100) < skew.hot_insert_pct {
+                return format!("{:04}", rng.gen_range(skew.hot_lo..=skew.hot_hi));
+            }
+        }
         format!("{:04}", rng.gen_range(0..self.spec.domain))
     }
 
@@ -271,6 +320,57 @@ mod tests {
             .contains("COUNT(*), SUM(v)"));
         assert!(Op::Compact.render_sql("t", "v").is_none());
         assert!(!Op::Compact.is_read());
+    }
+
+    #[test]
+    fn hot_shard_skews_inserts_but_not_reads() {
+        let gen = ScheduleGen::new(ScheduleSpec {
+            ops: 2000,
+            ..ScheduleSpec::default()
+        })
+        .with_hot_shard(HotShardSpec {
+            hot_lo: 80,
+            hot_hi: 99,
+            hot_insert_pct: 90,
+        });
+        let mut rng = StdRng::seed_from_u64(4);
+        let ops = gen.generate(&mut rng);
+        let inserts: Vec<u32> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Insert { value } => Some(value.parse().unwrap()),
+                _ => None,
+            })
+            .collect();
+        let hot = inserts.iter().filter(|&&v| (80..=99).contains(&v)).count();
+        // ~90% of inserts in a 20% slice of the domain (uniform would put
+        // ~20% there).
+        assert!(
+            hot * 100 >= inserts.len() * 80,
+            "{hot}/{} hot inserts",
+            inserts.len()
+        );
+        // Reads stay uniform: their bounds regularly leave the hot range.
+        let cold_reads = ops
+            .iter()
+            .filter(|o| match o {
+                Op::RangeRead { lo, .. } | Op::AggRead { lo, .. } => {
+                    lo.parse::<u32>().unwrap() < 80
+                }
+                _ => false,
+            })
+            .count();
+        assert!(cold_reads > 0, "uniform reads must touch cold shards");
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the domain")]
+    fn hot_shard_outside_domain_panics() {
+        let _ = ScheduleGen::new(ScheduleSpec::default()).with_hot_shard(HotShardSpec {
+            hot_lo: 0,
+            hot_hi: 100,
+            hot_insert_pct: 50,
+        });
     }
 
     #[test]

@@ -16,13 +16,13 @@
 
 use colstore::column::Column;
 use colstore::table::Table;
-use encdbdb::{ColumnSpec, CompactionPolicy, DictChoice, Session, TableSchema};
+use encdbdb::{ColumnSpec, CompactionPolicy, DictChoice, Session, TablePartitioning, TableSchema};
 use encdict::EdKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
-use workload::{Op, ScheduleGen, ScheduleSpec};
+use workload::{HotShardSpec, Op, ScheduleGen, ScheduleSpec};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -37,8 +37,8 @@ fn value(i: usize) -> String {
 
 /// Builds a session with a two-column mirrored table (`v` ED2, `w` ED9 —
 /// both columns of every row hold the same value) preloaded with `rows`
-/// main-store rows.
-fn mirrored_session(seed: u64, rows: usize) -> Session {
+/// main-store rows. With `splits`, the table is range-partitioned on `v`.
+fn mirrored_session_with(seed: u64, rows: usize, splits: &[&str]) -> Session {
     let mut v = Column::new("v", 8);
     let mut w = Column::new("w", 8);
     for i in 0..rows {
@@ -48,16 +48,26 @@ fn mirrored_session(seed: u64, rows: usize) -> Session {
     let mut table = Table::new("t");
     table.add_column(v).unwrap();
     table.add_column(w).unwrap();
-    let schema = TableSchema::new(
+    let mut schema = TableSchema::new(
         "t",
         vec![
             ColumnSpec::new("v", DictChoice::Encrypted(EdKind::Ed2), 8),
             ColumnSpec::new("w", DictChoice::Encrypted(EdKind::Ed9), 8),
         ],
     );
+    if !splits.is_empty() {
+        schema = schema.with_partitioning(TablePartitioning::new(
+            "v",
+            splits.iter().map(|s| s.as_bytes().to_vec()).collect(),
+        ));
+    }
     let mut db = Session::with_seed(seed).expect("session setup");
     db.load_table(&table, schema).expect("bulk load");
     db
+}
+
+fn mirrored_session(seed: u64, rows: usize) -> Session {
+    mirrored_session_with(seed, rows, &[])
 }
 
 #[test]
@@ -221,6 +231,116 @@ fn concurrent_readers_with_background_compactions() {
     for row in r.rows_as_strings() {
         assert_eq!(row[0], row[1], "torn row in final state");
     }
+}
+
+#[test]
+fn merge_on_one_shard_never_blocks_other_shards() {
+    // Two shards split at '0050'; values are 0000..0099, so the preload
+    // populates both.
+    let mut db = mirrored_session_with(7500, 400, &["0050"]);
+    db.server()
+        .set_merge_throttle(Some(Duration::from_millis(400)));
+
+    // Dirty shard 0 only and pin its rebuild in flight.
+    db.execute("INSERT INTO t VALUES ('0001', '0001')").unwrap();
+    assert!(db.server().spawn_partition_compaction("t", 0).unwrap());
+    assert!(db.server().merge_in_flight("t").unwrap());
+    assert!(
+        !db.server().spawn_partition_compaction("t", 1).unwrap(),
+        "shard 1 has nothing to compact"
+    );
+
+    // A reader scoped to shard 1 completes while shard 0 is rebuilding —
+    // and the scope is visible in the pruning stats.
+    let mut reader = db.reader(7501);
+    let r = reader
+        .execute("SELECT v, w FROM t WHERE v BETWEEN '0060' AND '0060'")
+        .unwrap();
+    assert_eq!(r.row_count(), 4, "values repeat every 100 rows");
+    for row in r.rows_as_strings() {
+        assert_eq!(row[0], row[1], "torn row {row:?}");
+    }
+    let stats = reader.server().last_stats();
+    assert_eq!(stats.partitions_total, 2);
+    assert_eq!(stats.partitions_scanned, 1);
+    assert_eq!(stats.partitions_pruned, 1);
+    assert!(
+        db.server().merge_in_flight("t").unwrap(),
+        "shard 0's merge must still be in flight after a shard-1 read \
+         (readers of other shards never block on a merge)"
+    );
+
+    // A *write* to shard 1 also proceeds and is immediately visible.
+    reader
+        .execute("INSERT INTO t VALUES ('0070', '0070')")
+        .unwrap();
+    let r = reader
+        .execute("SELECT COUNT(*) FROM t WHERE v = '0070'")
+        .unwrap();
+    assert_eq!(r.rows_as_strings(), vec![vec!["5".to_string()]]);
+    // And a grouped aggregate spanning both shards completes on shard 0's
+    // *old* epoch while the merge is still running.
+    let r = reader
+        .execute("SELECT v, COUNT(*) FROM t WHERE v BETWEEN '0045' AND '0055' GROUP BY v")
+        .unwrap();
+    assert_eq!(r.row_count(), 11);
+    assert!(
+        db.server().merge_in_flight("t").unwrap(),
+        "shard 0's merge outlives cross-shard aggregates"
+    );
+
+    db.server().wait_for_compaction("t").unwrap();
+    let stats = db.server().compaction_stats("t").unwrap();
+    assert_eq!(stats.partition_epochs, vec![1, 0], "only shard 0 published");
+    assert_eq!(stats.merges_completed, 1);
+    assert_eq!(stats.last_error, None);
+    // Everything, merged and unmerged, is still intact.
+    let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows_as_strings(), vec![vec!["402".to_string()]]);
+}
+
+#[test]
+fn hot_shard_writes_compact_only_the_hot_partition() {
+    // Shard 1 ('0050'..) takes ~90% of inserts; shard 0 stays cold and
+    // must never cross the merge threshold.
+    let mut db = mirrored_session_with(7600, 200, &["0050"]);
+    db.server().set_compaction_policy(Some(CompactionPolicy {
+        max_delta_rows: 64,
+        max_invalid_fraction: 1.0,
+    }));
+    let gen = ScheduleGen::new(ScheduleSpec::default()).with_hot_shard(HotShardSpec {
+        hot_lo: 50,
+        hot_hi: 99,
+        hot_insert_pct: 90,
+    });
+    let mut rng = StdRng::seed_from_u64(7601);
+    let mut inserted = 0usize;
+    let mut writer = db.reader(7602);
+    while inserted < 320 {
+        if let Op::Insert { value } = gen.draw(&mut rng) {
+            writer
+                .execute(&format!("INSERT INTO t VALUES ('{value}', '{value}')"))
+                .expect("insert");
+            inserted += 1;
+        }
+    }
+    db.server().wait_for_compaction("t").unwrap();
+    let stats = db.server().compaction_stats("t").unwrap();
+    assert!(
+        stats.partition_epochs[1] >= 1,
+        "the hot shard must have compacted: {stats:?}"
+    );
+    assert_eq!(
+        stats.partition_epochs[0], 0,
+        "the cold shard's ~10% of inserts stay under the threshold: {stats:?}"
+    );
+    assert_eq!(stats.merges_failed, 0);
+    // No row lost across the uneven delta growth.
+    let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(
+        r.rows_as_strings(),
+        vec![vec![(200 + inserted).to_string()]]
+    );
 }
 
 #[test]

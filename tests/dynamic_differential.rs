@@ -8,6 +8,13 @@
 //! The schedules deliberately interleave compactions with reads and
 //! writes so every operation is exercised against main-only, delta-only
 //! and mixed main+delta states, across merge generations.
+//!
+//! The same schedules also run against **range-partitioned** tables
+//! (split points inside the value domain, so inserts land on and around
+//! the boundaries and range/delete/aggregate ops straddle the splits):
+//! per-partition deltas, per-partition merges and the partition-parallel
+//! executor must be indistinguishable from the monolithic table — and
+//! from the plaintext baseline.
 
 use colstore::column::Column;
 use colstore::monetdb::MonetColumn;
@@ -85,9 +92,25 @@ impl Model {
     }
 }
 
-fn run_schedule(choice: &str, seed: u64, triples: &[(u8, u32, u32)]) -> Result<(), TestCaseError> {
+/// Split points for the partitioned runs: inside the 0..60 domain, so
+/// partition 0 covers `< "0015"`, 1 covers `["0015", "0030")`, 2 covers
+/// `["0030", "0045")` and 3 covers `>= "0045"`. Domain values hit the
+/// split points exactly (boundary rows) and random ranges straddle them.
+const SPLITS: &str = "'0015', '0030', '0045'";
+
+fn run_schedule(
+    choice: &str,
+    seed: u64,
+    triples: &[(u8, u32, u32)],
+    partitioned: bool,
+) -> Result<(), TestCaseError> {
     let mut db = Session::with_seed(seed).expect("session setup");
-    db.execute(&format!("CREATE TABLE t (v {choice}(8))"))
+    let partition_clause = if partitioned {
+        format!(" PARTITION BY RANGE (v) SPLIT ({SPLITS})")
+    } else {
+        String::new()
+    };
+    db.execute(&format!("CREATE TABLE t (v {choice}(8)){partition_clause}"))
         .expect("create table");
     let mut model = Model::default();
 
@@ -209,7 +232,78 @@ proptest! {
         seed in 0u64..100_000,
     ) {
         for choice in CHOICES {
-            run_schedule(choice, seed, &triples)?;
+            run_schedule(choice, seed, &triples, false)?;
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The same interleavings over a four-shard range-partitioned table:
+    /// per-partition deltas, per-partition merges (a `Compact` op merges
+    /// every shard that has work) and partition-parallel range/aggregate
+    /// execution stay byte-identical to the plaintext MonetDB baseline,
+    /// for all nine ED kinds plus PLAIN — including rows inserted exactly
+    /// on split points and ranges straddling them.
+    #[test]
+    fn partitioned_interleavings_match_the_plaintext_model(
+        triples in prop::collection::vec((0u8..10, 0u32..600, 0u32..600), 1..28),
+        seed in 0u64..100_000,
+    ) {
+        for choice in CHOICES {
+            run_schedule(choice, seed, &triples, true)?;
+        }
+    }
+}
+
+/// Deterministic boundary regression: rows on, just below and just above
+/// every split point, exercised with point and straddling queries.
+#[test]
+fn split_point_boundaries_route_and_query_exactly() {
+    for choice in CHOICES {
+        let mut db = Session::with_seed(0xB0).expect("session setup");
+        db.execute(&format!(
+            "CREATE TABLE t (v {choice}(8)) PARTITION BY RANGE (v) SPLIT ({SPLITS})"
+        ))
+        .expect("create table");
+        let values = [
+            "0000", "0014", "0015", "0016", "0029", "0030", "0031", "0044", "0045", "0046", "0059",
+        ];
+        for v in values {
+            db.execute(&format!("INSERT INTO t VALUES ('{v}')"))
+                .unwrap();
+        }
+        // A split-point value belongs to the shard it opens.
+        for (q, expected) in [
+            ("SELECT v FROM t WHERE v = '0015'", 1usize),
+            ("SELECT v FROM t WHERE v = '0030'", 1),
+            ("SELECT v FROM t WHERE v < '0015'", 2),
+            ("SELECT v FROM t WHERE v >= '0045'", 3),
+            ("SELECT v FROM t WHERE v BETWEEN '0014' AND '0016'", 3),
+            ("SELECT v FROM t WHERE v BETWEEN '0029' AND '0045'", 5),
+            (
+                "SELECT COUNT(*) FROM t WHERE v BETWEEN '0000' AND '0059'",
+                1,
+            ),
+        ] {
+            let r = db.execute(q).unwrap();
+            assert_eq!(r.row_count(), expected, "{choice}: {q}");
+        }
+        assert_eq!(
+            db.execute("SELECT COUNT(*) FROM t")
+                .unwrap()
+                .rows_as_strings(),
+            vec![vec![values.len().to_string()]],
+            "{choice}: total count"
+        );
+        // Merge every shard, then re-check a straddling range.
+        db.merge("t").unwrap();
+        let r = db
+            .execute("SELECT v FROM t WHERE v BETWEEN '0014' AND '0046'")
+            .unwrap();
+        assert_eq!(r.row_count(), 9, "{choice}: post-merge straddle");
+        let stats = db.server().compaction_stats("t").unwrap();
+        assert_eq!(stats.partition_epochs, vec![1, 1, 1, 1], "{choice}");
     }
 }
