@@ -27,12 +27,19 @@ run env ENCDBDB_STRESS_THREADS=4 ENCDBDB_STRESS_ROWS=2000 \
 # The multi-partition differential suite, bounded the same way.
 run env ENCDBDB_STRESS_THREADS=4 ENCDBDB_STRESS_ROWS=2000 \
     cargo test -q --offline --test dynamic_differential
+# The equi-join differential suite (all 9 ED kinds + PLAIN vs the MonetDB
+# baseline, 1×4-shard combinations, proptest interleavings on both
+# tables), bounded the same way.
+run env ENCDBDB_STRESS_THREADS=4 ENCDBDB_STRESS_ROWS=2000 \
+    cargo test -q --offline --test join_exec
 # Benches are excluded from `cargo test` (they are timed loops); keep them
 # compiling — including the analytic-engine aggregate bench, the
-# snapshot/compaction bench and the partition-layer bench.
+# snapshot/compaction bench, the partition-layer bench and the join
+# build/probe bench.
 run cargo bench --no-run --offline -p encdbdb-bench
 run cargo bench --no-run --offline -p encdbdb-bench --bench aggregate
 run cargo bench --no-run --offline -p encdbdb-bench --bench compaction
 run cargo bench --no-run --offline -p encdbdb-bench --bench partition
+run cargo bench --no-run --offline -p encdbdb-bench --bench join
 
 echo "==> CI green"

@@ -1,0 +1,142 @@
+//! Criterion benchmark for the equi-join pipeline: a 100k-row dimension
+//! table joined by a 1M-row zipf-skewed fact table, comparing a
+//! frequency-revealing sorted dictionary (ED1), the maximally protected
+//! ED9, and the PLAIN baseline.
+//!
+//! The build/probe phases run untrusted on bridge ids; the one
+//! `JoinBridge` ECALL decrypts each *distinct* touched join-key code once
+//! per side, so ED1 pays per distinct key while ED9 — one dictionary
+//! entry per occurrence — degrades to one decrypt per matching row, the
+//! same padded cost its aggregates pay. PLAIN runs the identical executor
+//! without the enclave, isolating the crypto+boundary overhead.
+//!
+//! Row count is overridable for quick runs:
+//! `ENCDBDB_JOIN_ROWS=100000 cargo bench -p encdbdb-bench --bench join`
+//! (the dimension side is always rows/10).
+
+use colstore::column::Column;
+use colstore::table::Table;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use encdbdb::{ColumnSpec, DictChoice, Session, TableSchema};
+use encdict::EdKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::spec::{value_string, JoinQueryGen, JoinQueryShape};
+use workload::HotShardSpec;
+
+fn fact_rows() -> usize {
+    std::env::var("ENCDBDB_JOIN_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+/// Builds the dimension (`users`: one row per key) and fact (`orders`:
+/// zipf-skewed foreign keys) tables under one protection choice, plus a
+/// deterministic query generator over the shared key domain.
+fn setup(choice: DictChoice, seed: u64, rows: usize) -> (Session, JoinQueryGen) {
+    let dim_rows = (rows / 10).max(1);
+    let key_len = 8usize;
+    let keys: Vec<String> = (0..dim_rows).map(|i| value_string(i, key_len)).collect();
+
+    let mut dim_key = Column::new("k", key_len);
+    let mut dim_pay = Column::new("x", 8);
+    for (i, k) in keys.iter().enumerate() {
+        dim_key.push(k.as_bytes()).unwrap();
+        dim_pay.push(format!("u{:07}", i).as_bytes()).unwrap();
+    }
+    let fact_spec = workload::spec::ColumnSpec {
+        name: "k".into(),
+        rows,
+        unique_values: dim_rows,
+        value_len: key_len,
+        zipf_exponent: 0.8,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fact_key = workload::spec::generate(&fact_spec, &mut rng);
+    let mut fact_pay = Column::new("y", 8);
+    for i in 0..rows {
+        fact_pay.push(format!("o{:07}", i).as_bytes()).unwrap();
+    }
+
+    let mut users = Table::new("users");
+    users.add_column(dim_key).unwrap();
+    users.add_column(dim_pay).unwrap();
+    let mut orders = Table::new("orders");
+    orders.add_column(fact_key).unwrap();
+    orders.add_column(fact_pay).unwrap();
+
+    let mut db = Session::with_seed(seed).expect("session setup");
+    db.load_table(
+        &users,
+        TableSchema::new(
+            "users",
+            vec![
+                ColumnSpec::new("k", choice, key_len),
+                ColumnSpec::new("x", choice, 8),
+            ],
+        ),
+    )
+    .expect("bulk load users");
+    db.load_table(
+        &orders,
+        TableSchema::new(
+            "orders",
+            vec![
+                ColumnSpec::new("k", choice, key_len),
+                ColumnSpec::new("y", choice, 8),
+            ],
+        ),
+    )
+    .expect("bulk load orders");
+
+    let gen = JoinQueryGen::new("users", "k", "x", "orders", "k", "y", keys).with_hot_range(
+        HotShardSpec {
+            hot_lo: 0,
+            hot_hi: (dim_rows as u32 - 1) / 10,
+            hot_insert_pct: 80,
+        },
+    );
+    (db, gen)
+}
+
+fn bench_join(c: &mut Criterion) {
+    let rows = fact_rows();
+    let mut group = c.benchmark_group("join");
+    group.sample_size(10);
+    for (label, choice) in [
+        ("ED1", DictChoice::Encrypted(EdKind::Ed1)),
+        ("ED9", DictChoice::Encrypted(EdKind::Ed9)),
+        ("PLAIN", DictChoice::Plain),
+    ] {
+        let (mut db, gen) = setup(choice, 5100, rows);
+        let mut rng = StdRng::seed_from_u64(5200);
+        let key_range = gen.draw(JoinQueryShape::KeyRange { range_size: 100 }, &mut rng);
+        let hot_keys = gen.draw(JoinQueryShape::HotKeys { k: 5 }, &mut rng);
+        group.bench_function(BenchmarkId::new("build_probe_key_range_100", label), |b| {
+            b.iter(|| db.execute(&key_range).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("build_probe_hot_keys_in5", label), |b| {
+            b.iter(|| db.execute(&hot_keys).unwrap())
+        });
+        let stats = db.server().last_stats();
+        println!(
+            "  {label}: fact_rows={rows} build={} probe={} bridge_entries={} \
+             ecalls={} decrypted={} bridge_ms={}",
+            stats.join_build_rows,
+            stats.join_probe_rows,
+            stats.bridge_entries,
+            stats.enclave_calls,
+            stats.values_decrypted,
+            stats.bridge_ns / 1_000_000,
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_join
+}
+criterion_main!(benches);

@@ -39,8 +39,8 @@ use crate::error::DbError;
 use crate::exec::aggregate::{build_histogram, remap_codes, ColumnCodes, Remapped};
 use crate::exec::plan::AggregatePlan;
 use crate::server::{
-    fan_out, matching_rids_multi, CellValue, ColumnDelta, DbaasServer, MainColumn,
-    PartitionSnapshot, QueryStats, SelectResponse, ServerFilter,
+    fan_out, matching_rids_multi, CellValue, ColumnDelta, DbaasServer, MainColumn, QueryStats,
+    SelectResponse, ServerFilter,
 };
 use colstore::delta::DeltaStore;
 use colstore::dictionary::RecordId;
@@ -119,7 +119,14 @@ impl DbaasServer {
     ) -> Result<SelectResponse, DbError> {
         validate_plan(plan)?;
         let cfg = self.config();
-        let t = self.table_handle(table)?;
+        // Partition scope (pruning) + per-partition snapshots via the
+        // shared N-table acquisition path; empty shards are skipped
+        // without any ECALL.
+        let ts = self
+            .snapshot_tables(&[(table, filters, scope)])?
+            .pop()
+            .expect("one table requested");
+        let t = &ts.table;
 
         // Referenced columns (group keys first, then aggregate inputs),
         // deduplicated — they define the histogram's tuple order.
@@ -166,25 +173,14 @@ impl DbaasServer {
         }
         let any_encrypted = col_names.iter().any(Option::is_some);
 
-        // Partition scope (pruning) + per-partition snapshots; empty
-        // shards are skipped without any ECALL.
-        let scope = t.resolve_scope(filters, scope);
-        let snaps = t.snapshot_scope(&scope);
-        let active: Vec<(usize, PartitionSnapshot)> = snaps
-            .into_iter()
-            .filter(|(_, snap)| !snap.is_empty())
-            .collect();
-        let mut stats = QueryStats {
-            partitions_total: t.partitions.len(),
-            partitions_scanned: active.len(),
-            partitions_pruned: t.partitions.len() - scope.len(),
-            ..QueryStats::default()
-        };
+        let active = &ts.active;
+        let mut stats = QueryStats::default();
+        ts.seed_stats(&mut stats);
 
         // Per-partition, fanned out on scoped threads: filter → chunked
         // histogram scan → dense remap → resolve PLAIN value tables.
         let ref_idx = &ref_idx;
-        let scans = fan_out(&active, |_pid, snap| {
+        let scans = fan_out(active, |_pid, snap| {
             let (main_rids, delta_rids, mut part_stats) =
                 matching_rids_multi(snap, &t.schema, self.query_enclave_handle(), filters, &cfg)?;
             let scan_start = std::time::Instant::now();

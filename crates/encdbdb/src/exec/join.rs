@@ -1,0 +1,594 @@
+//! Compiling two-table equi-join SELECTs into [`JoinPlan`]s.
+//!
+//! A join statement splits into three layers, mirroring where each piece
+//! is allowed to run (DESIGN.md §11):
+//!
+//! 1. **Per-side scan** (untrusted server): each side filters its table
+//!    exactly like a single-table select — partition pruning, one search
+//!    ECALL per filtered dictionary of each non-empty in-scope shard —
+//!    and reduces its matching rows to per-partition join-key codes.
+//! 2. **Key bridging** (one `JoinBridge` ECALL): the enclave decrypts each
+//!    *distinct* join-key code once per side and returns an opaque
+//!    ValueID↔ValueID bridge, so the hash build/probe runs untrusted on
+//!    bridge ids, never on plaintexts.
+//! 3. **Post-processing** (trusted proxy, after decryption): projection or
+//!    GROUP BY / aggregation / DISTINCT over the joined rows, then ORDER
+//!    BY / LIMIT — joined cells of encrypted columns only exist as
+//!    ciphertexts until step 14, so everything value-dependent runs here.
+//!
+//! The compiler resolves possibly-qualified column references to a side,
+//! validates the GROUP BY coverage rule, and pins every reference to an
+//! index into the *combined referenced row* (left side's columns first,
+//! then the right side's) that the server renders for each joined pair.
+
+use crate::error::DbError;
+use crate::exec::plan::resolve_order;
+use crate::schema::TableSchema;
+use crate::sql::{ColumnRef, JoinClause, OrderKey, SelectItem};
+use encdict::aggregate::{AggFunc, OutputItem, SortSpec};
+
+/// Which table of a join a reference resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    /// The `FROM` table.
+    Left,
+    /// The `JOIN`ed table.
+    Right,
+}
+
+/// One side of a compiled join: what the server scans and renders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinSidePlan {
+    /// The side's table.
+    pub table: String,
+    /// The side's join-key column (bare name).
+    pub key: String,
+    /// Referenced columns the server renders per joined row, deduplicated
+    /// (bare names).
+    pub columns: Vec<String>,
+}
+
+/// One aggregate over the combined referenced row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinAggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Index of the aggregated column in the combined row (`None` only
+    /// for `COUNT(*)`).
+    pub col: Option<usize>,
+}
+
+/// The proxy-side post-processing of a join: a plain projection or a
+/// grouped aggregation (which `SELECT DISTINCT` lowers onto).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinPost {
+    /// Project combined-row indices, in SELECT-list order.
+    Rows {
+        /// Indices into the combined referenced row.
+        projection: Vec<usize>,
+    },
+    /// GROUP BY / aggregate over the joined rows.
+    Aggregate {
+        /// Grouped combined-row indices, in declaration order.
+        group_cols: Vec<usize>,
+        /// Aggregates in SELECT-list order.
+        aggregates: Vec<JoinAggExpr>,
+        /// Output items in SELECT-list order.
+        items: Vec<OutputItem>,
+    },
+}
+
+/// A compiled two-table equi-join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPlan {
+    /// The build side (`FROM` table).
+    pub left: JoinSidePlan,
+    /// The probe side (`JOIN`ed table).
+    pub right: JoinSidePlan,
+    /// Post-processing applied by the proxy after decryption.
+    pub post: JoinPost,
+    /// Output column names, in SELECT-list order.
+    pub item_names: Vec<String>,
+    /// ORDER BY keys resolved to output positions.
+    pub sort: Vec<SortSpec>,
+    /// Optional LIMIT.
+    pub limit: Option<usize>,
+}
+
+impl JoinPlan {
+    /// The combined referenced row: each column with the side it renders
+    /// from, left side first.
+    pub fn combined_columns(&self) -> Vec<(JoinSide, &str)> {
+        self.left
+            .columns
+            .iter()
+            .map(|c| (JoinSide::Left, c.as_str()))
+            .chain(
+                self.right
+                    .columns
+                    .iter()
+                    .map(|c| (JoinSide::Right, c.as_str())),
+            )
+            .collect()
+    }
+}
+
+/// Per-side registry of referenced columns (deduplicated, in
+/// first-appearance order).
+struct Registry {
+    left: Vec<String>,
+    right: Vec<String>,
+}
+
+impl Registry {
+    fn index(&mut self, side: JoinSide, name: &str) -> (JoinSide, usize) {
+        let list = match side {
+            JoinSide::Left => &mut self.left,
+            JoinSide::Right => &mut self.right,
+        };
+        let idx = match list.iter().position(|n| n == name) {
+            Some(i) => i,
+            None => {
+                list.push(name.to_string());
+                list.len() - 1
+            }
+        };
+        (side, idx)
+    }
+
+    fn combined(&self, side: JoinSide, idx: usize) -> usize {
+        match side {
+            JoinSide::Left => idx,
+            JoinSide::Right => self.left.len() + idx,
+        }
+    }
+}
+
+/// Resolves a possibly qualified reference to a join side and bare name.
+pub(crate) fn resolve_side(
+    left: &TableSchema,
+    right: &TableSchema,
+    r: &ColumnRef,
+) -> Result<(JoinSide, String), DbError> {
+    let side = match &r.table {
+        Some(t) if t == &left.name => JoinSide::Left,
+        Some(t) if t == &right.name => JoinSide::Right,
+        Some(t) => {
+            return Err(DbError::Plan(format!(
+                "column {r} references table {t}, which is not part of the join"
+            )))
+        }
+        None => match (
+            left.column(&r.column).is_some(),
+            right.column(&r.column).is_some(),
+        ) {
+            (true, false) => JoinSide::Left,
+            (false, true) => JoinSide::Right,
+            (true, true) => {
+                return Err(DbError::Plan(format!(
+                    "column {} is ambiguous between {} and {}; qualify it",
+                    r.column, left.name, right.name
+                )))
+            }
+            (false, false) => return Err(DbError::ColumnNotFound(r.column.clone())),
+        },
+    };
+    let schema = match side {
+        JoinSide::Left => left,
+        JoinSide::Right => right,
+    };
+    if schema.column(&r.column).is_none() {
+        return Err(DbError::ColumnNotFound(r.to_string()));
+    }
+    Ok((side, r.column.clone()))
+}
+
+/// Compiles a two-table equi-join SELECT.
+///
+/// # Errors
+///
+/// Returns [`DbError::ColumnNotFound`] for unknown columns and
+/// [`DbError::Plan`] for shape violations (ambiguous bare references, ON
+/// keys landing on one side, bare item not grouped, DISTINCT with
+/// aggregates, bad ORDER BY target).
+#[allow(clippy::too_many_arguments)]
+pub fn compile_join(
+    left_schema: &TableSchema,
+    right_schema: &TableSchema,
+    join: &JoinClause,
+    distinct: bool,
+    items: &[SelectItem],
+    group_by: &[ColumnRef],
+    order_by: &[OrderKey],
+    limit: Option<usize>,
+) -> Result<JoinPlan, DbError> {
+    // Resolve the ON equality to one key per side. A self-join (`FROM t
+    // JOIN t ON ...`) resolves both qualifiers to the left schema, so the
+    // second operand falls through to the right side explicitly.
+    let (s1, k1) = resolve_side(left_schema, right_schema, &join.left)?;
+    let (s2, k2) = resolve_side(left_schema, right_schema, &join.right)?;
+    let self_join = left_schema.name == right_schema.name;
+    let (left_key, right_key) = match (s1, s2) {
+        (JoinSide::Left, JoinSide::Right) => (k1, k2),
+        (JoinSide::Right, JoinSide::Left) => (k2, k1),
+        (JoinSide::Left, JoinSide::Left) if self_join => (k1, k2),
+        _ => {
+            return Err(DbError::Plan(format!(
+                "ON {} = {} must name one column per joined table",
+                join.left, join.right
+            )))
+        }
+    };
+
+    // `SELECT *` expands to every column of both sides, qualified.
+    let expanded: Vec<SelectItem>;
+    let items = if items.is_empty() {
+        if !group_by.is_empty() {
+            return Err(DbError::Plan(
+                "SELECT * cannot be combined with GROUP BY".to_string(),
+            ));
+        }
+        expanded = left_schema
+            .columns
+            .iter()
+            .map(|c| (left_schema.name.clone(), c.name.clone()))
+            .chain(
+                right_schema
+                    .columns
+                    .iter()
+                    .map(|c| (right_schema.name.clone(), c.name.clone())),
+            )
+            .map(|(t, c)| SelectItem::Column(ColumnRef::qualified(t, c)))
+            .collect();
+        &expanded[..]
+    } else {
+        items
+    };
+
+    let is_aggregate_query = !group_by.is_empty() || items.iter().any(SelectItem::is_aggregate);
+    if distinct && is_aggregate_query {
+        return Err(DbError::Plan(
+            "SELECT DISTINCT cannot be combined with GROUP BY or aggregates".to_string(),
+        ));
+    }
+
+    let mut registry = Registry {
+        left: Vec::new(),
+        right: Vec::new(),
+    };
+    // Intermediate (side, side-index) references; combined indices are
+    // assigned once the registry is complete (right-side offsets depend on
+    // how many left columns end up referenced).
+    enum RawItem {
+        Col(JoinSide, usize),
+        Agg(usize),
+    }
+    let group_refs: Vec<(JoinSide, usize)> = group_by
+        .iter()
+        .map(|g| {
+            let (side, name) = resolve_side(left_schema, right_schema, g)?;
+            Ok(registry.index(side, &name))
+        })
+        .collect::<Result<_, DbError>>()?;
+    let mut raw_items = Vec::with_capacity(items.len());
+    let mut raw_aggs: Vec<(AggFunc, Option<(JoinSide, usize)>)> = Vec::new();
+    let mut item_names = Vec::with_capacity(items.len());
+    let mut item_aliases = Vec::with_capacity(items.len());
+    for item in items {
+        item_names.push(item.output_name());
+        match item {
+            SelectItem::Column(r) => {
+                let (side, name) = resolve_side(left_schema, right_schema, r)?;
+                // ORDER BY may address the item as typed, fully qualified
+                // with its resolved side's table, or bare — never through
+                // a foreign qualifier.
+                let side_table = match side {
+                    JoinSide::Left => &left_schema.name,
+                    JoinSide::Right => &right_schema.name,
+                };
+                let mut aliases = vec![
+                    item.output_name(),
+                    format!("{side_table}.{name}"),
+                    name.clone(),
+                ];
+                aliases.dedup();
+                item_aliases.push(aliases);
+                let slot = registry.index(side, &name);
+                if is_aggregate_query && !group_refs.contains(&slot) {
+                    return Err(DbError::Plan(format!(
+                        "column {r} must appear in GROUP BY to be selected alongside aggregates"
+                    )));
+                }
+                raw_items.push(RawItem::Col(slot.0, slot.1));
+            }
+            SelectItem::Aggregate { func, column } => {
+                item_aliases.push(vec![item.output_name()]);
+                let col = column
+                    .as_ref()
+                    .map(|c| {
+                        let (side, name) = resolve_side(left_schema, right_schema, c)?;
+                        Ok::<_, DbError>(registry.index(side, &name))
+                    })
+                    .transpose()?;
+                raw_aggs.push((*func, col));
+                raw_items.push(RawItem::Agg(raw_aggs.len() - 1));
+            }
+        }
+    }
+
+    let sort = resolve_order(order_by, &item_aliases)?;
+    let post = if is_aggregate_query || distinct {
+        let (group_cols, plan_items) = if distinct {
+            // DISTINCT = group on every selected column.
+            let cols: Vec<usize> = raw_items
+                .iter()
+                .map(|it| match it {
+                    RawItem::Col(s, i) => registry.combined(*s, *i),
+                    RawItem::Agg(_) => unreachable!("rejected above"),
+                })
+                .collect();
+            let items = (0..cols.len()).map(OutputItem::Group).collect();
+            (cols, items)
+        } else {
+            let group_cols: Vec<usize> = group_refs
+                .iter()
+                .map(|&(s, i)| registry.combined(s, i))
+                .collect();
+            let items = raw_items
+                .iter()
+                .map(|it| match it {
+                    RawItem::Col(s, i) => {
+                        let combined = registry.combined(*s, *i);
+                        let pos = group_cols
+                            .iter()
+                            .position(|&g| g == combined)
+                            .expect("coverage checked above");
+                        OutputItem::Group(pos)
+                    }
+                    RawItem::Agg(j) => OutputItem::Agg(*j),
+                })
+                .collect();
+            (group_cols, items)
+        };
+        JoinPost::Aggregate {
+            group_cols,
+            aggregates: raw_aggs
+                .into_iter()
+                .map(|(func, col)| JoinAggExpr {
+                    func,
+                    col: col.map(|(s, i)| registry.combined(s, i)),
+                })
+                .collect(),
+            items: plan_items,
+        }
+    } else {
+        JoinPost::Rows {
+            projection: raw_items
+                .iter()
+                .map(|it| match it {
+                    RawItem::Col(s, i) => registry.combined(*s, *i),
+                    RawItem::Agg(_) => unreachable!("no aggregates in a rows post"),
+                })
+                .collect(),
+        }
+    };
+
+    Ok(JoinPlan {
+        left: JoinSidePlan {
+            table: left_schema.name.clone(),
+            key: left_key,
+            columns: registry.left,
+        },
+        right: JoinSidePlan {
+            table: right_schema.name.clone(),
+            key: right_key,
+            columns: registry.right,
+        },
+        post,
+        item_names,
+        sort,
+        limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnSpec, DictChoice};
+    use crate::sql::{parse, Statement};
+    use encdict::EdKind;
+
+    fn schemas() -> (TableSchema, TableSchema) {
+        (
+            TableSchema::new(
+                "a",
+                vec![
+                    ColumnSpec::new("k", DictChoice::Encrypted(EdKind::Ed1), 8),
+                    ColumnSpec::new("x", DictChoice::Encrypted(EdKind::Ed5), 8),
+                ],
+            ),
+            TableSchema::new(
+                "b",
+                vec![
+                    ColumnSpec::new("k", DictChoice::Encrypted(EdKind::Ed1), 8),
+                    ColumnSpec::new("y", DictChoice::Plain, 8),
+                ],
+            ),
+        )
+    }
+
+    fn compile(sql: &str) -> Result<JoinPlan, DbError> {
+        let (left, right) = schemas();
+        match parse(sql).unwrap() {
+            Statement::Select {
+                distinct,
+                items,
+                join: Some(join),
+                group_by,
+                order_by,
+                limit,
+                ..
+            } => compile_join(
+                &left, &right, &join, distinct, &items, &group_by, &order_by, limit,
+            ),
+            other => panic!("not a join select: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn row_join_compiles_with_shared_key_scan_set() {
+        let plan =
+            compile("SELECT a.x, b.y FROM a JOIN b ON a.k = b.k ORDER BY a.x LIMIT 3").unwrap();
+        assert_eq!(plan.left.key, "k");
+        assert_eq!(plan.right.key, "k");
+        assert_eq!(plan.left.columns, vec!["x"]);
+        assert_eq!(plan.right.columns, vec!["y"]);
+        assert_eq!(
+            plan.post,
+            JoinPost::Rows {
+                projection: vec![0, 1]
+            }
+        );
+        assert_eq!(plan.item_names, vec!["a.x", "b.y"]);
+        assert_eq!(
+            plan.sort,
+            vec![SortSpec {
+                item: 0,
+                desc: false
+            }]
+        );
+        assert_eq!(plan.limit, Some(3));
+    }
+
+    #[test]
+    fn reversed_on_clause_normalizes_sides() {
+        let plan = compile("SELECT a.x FROM a JOIN b ON b.k = a.k").unwrap();
+        assert_eq!(plan.left.table, "a");
+        assert_eq!(plan.right.table, "b");
+        assert_eq!(plan.left.key, "k");
+    }
+
+    #[test]
+    fn bare_references_resolve_when_unambiguous() {
+        let plan = compile("SELECT x, y FROM a JOIN b ON a.k = b.k").unwrap();
+        assert_eq!(plan.left.columns, vec!["x"]);
+        assert_eq!(plan.right.columns, vec!["y"]);
+        // `k` lives in both tables: bare use is ambiguous.
+        assert!(matches!(
+            compile("SELECT k FROM a JOIN b ON a.k = b.k"),
+            Err(DbError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn star_expands_both_sides_qualified() {
+        let plan = compile("SELECT * FROM a JOIN b ON a.k = b.k").unwrap();
+        assert_eq!(plan.item_names, vec!["a.k", "a.x", "b.k", "b.y"]);
+        assert_eq!(plan.left.columns, vec!["k", "x"]);
+        assert_eq!(plan.right.columns, vec!["k", "y"]);
+    }
+
+    #[test]
+    fn grouped_join_aggregates_over_combined_row() {
+        let plan = compile(
+            "SELECT a.x, SUM(b.y), COUNT(*) FROM a JOIN b ON a.k = b.k \
+             GROUP BY a.x ORDER BY 2 DESC",
+        )
+        .unwrap();
+        // Combined row: [x (left 0), y (right -> left_len + 0 = 1)].
+        let JoinPost::Aggregate {
+            group_cols,
+            aggregates,
+            items,
+        } = &plan.post
+        else {
+            panic!("expected aggregate post");
+        };
+        assert_eq!(group_cols, &vec![0]);
+        assert_eq!(
+            aggregates,
+            &vec![
+                JoinAggExpr {
+                    func: AggFunc::Sum,
+                    col: Some(1)
+                },
+                JoinAggExpr {
+                    func: AggFunc::Count,
+                    col: None
+                },
+            ]
+        );
+        assert_eq!(
+            items,
+            &vec![OutputItem::Group(0), OutputItem::Agg(0), OutputItem::Agg(1)]
+        );
+    }
+
+    #[test]
+    fn distinct_join_groups_on_all_items() {
+        let plan = compile("SELECT DISTINCT a.x, b.y FROM a JOIN b ON a.k = b.k").unwrap();
+        let JoinPost::Aggregate {
+            group_cols,
+            aggregates,
+            items,
+        } = &plan.post
+        else {
+            panic!("expected aggregate post");
+        };
+        assert_eq!(group_cols, &vec![0, 1]);
+        assert!(aggregates.is_empty());
+        assert_eq!(items, &vec![OutputItem::Group(0), OutputItem::Group(1)]);
+    }
+
+    #[test]
+    fn shape_violations_are_rejected() {
+        assert!(matches!(
+            compile("SELECT a.x, SUM(b.y) FROM a JOIN b ON a.k = b.k"),
+            Err(DbError::Plan(_))
+        ));
+        assert!(matches!(
+            compile("SELECT c.x FROM a JOIN b ON a.k = b.k"),
+            Err(DbError::Plan(_))
+        ));
+        assert!(matches!(
+            compile("SELECT a.nope FROM a JOIN b ON a.k = b.k"),
+            Err(DbError::ColumnNotFound(_))
+        ));
+        assert!(matches!(
+            compile("SELECT a.x FROM a JOIN b ON a.k = a.x"),
+            Err(DbError::Plan(_))
+        ));
+        assert!(matches!(
+            compile("SELECT a.x FROM a JOIN b ON a.k = b.k ORDER BY b.nope"),
+            Err(DbError::Plan(_))
+        ));
+        // A wrong qualifier never silently resolves to the other table's
+        // column: b has no x, so ORDER BY b.x must not sort by a.x.
+        assert!(matches!(
+            compile("SELECT a.x, b.y FROM a JOIN b ON a.k = b.k ORDER BY b.x"),
+            Err(DbError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn order_by_accepts_qualified_and_bare_aliases() {
+        // Bare item ordered by its qualified name.
+        let plan = compile("SELECT x, b.y FROM a JOIN b ON a.k = b.k ORDER BY a.x").unwrap();
+        assert_eq!(
+            plan.sort,
+            vec![SortSpec {
+                item: 0,
+                desc: false
+            }]
+        );
+        // Qualified item ordered by its bare name.
+        let plan = compile("SELECT a.x, b.y FROM a JOIN b ON a.k = b.k ORDER BY y").unwrap();
+        assert_eq!(
+            plan.sort,
+            vec![SortSpec {
+                item: 1,
+                desc: false
+            }]
+        );
+    }
+}

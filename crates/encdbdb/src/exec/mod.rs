@@ -10,6 +10,8 @@
 //! leakage discussion per repetition option.
 //!
 //! * [`plan`] — compiling the extended SELECT AST into logical plans.
+//! * [`join`] — compiling two-table equi-join SELECTs into [`join::JoinPlan`]s
+//!   (per-side scans + one `JoinBridge` ECALL + proxy-side post-processing).
 //! * [`aggregate`] — the untrusted half: chunked attribute-vector scans
 //!   reducing matching rows to a ValueID-tuple histogram.
 //! * [`executor`] — the server-side driver wiring filter → histogram →
@@ -18,5 +20,6 @@
 
 pub mod aggregate;
 pub mod executor;
+pub mod join;
 pub mod ordering;
 pub mod plan;

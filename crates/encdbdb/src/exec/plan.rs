@@ -19,7 +19,7 @@
 
 use crate::error::DbError;
 use crate::schema::TableSchema;
-use crate::sql::{OrderKey, OrderTarget, SelectItem};
+use crate::sql::{ColumnRef, OrderKey, OrderTarget, SelectItem};
 use encdict::aggregate::{AggFunc, OutputItem, SortSpec};
 
 /// One aggregate expression of a compiled plan.
@@ -65,25 +65,56 @@ pub enum SelectPlan {
     Aggregate(AggregatePlan),
 }
 
-/// Resolves ORDER BY keys against a list of output column names.
-fn resolve_order(order_by: &[OrderKey], names: &[String]) -> Result<Vec<SortSpec>, DbError> {
+/// Resolves ORDER BY keys against a list of output column names. A
+/// each output item may be addressed by several *aliases* (its rendered
+/// name, its table-qualified form, its bare name), so `ORDER BY t.c` and
+/// `ORDER BY c` both resolve — but only when the qualifier really names
+/// the item's table, and only when the bare name is unambiguous.
+pub(crate) fn resolve_order(
+    order_by: &[OrderKey],
+    aliases: &[Vec<String>],
+) -> Result<Vec<SortSpec>, DbError> {
     order_by
         .iter()
         .map(|key| {
             let item = match &key.target {
                 OrderTarget::Position(p) => {
-                    if *p == 0 || *p > names.len() {
+                    if *p == 0 || *p > aliases.len() {
                         return Err(DbError::Plan(format!(
                             "ORDER BY position {p} outside the {} output columns",
-                            names.len()
+                            aliases.len()
                         )));
                     }
                     p - 1
                 }
                 OrderTarget::Column(name) => {
-                    names.iter().position(|n| n == name).ok_or_else(|| {
-                        DbError::Plan(format!("ORDER BY column {name} is not in the output"))
-                    })?
+                    let hits: Vec<usize> = aliases
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| a.iter().any(|n| n == name))
+                        .map(|(i, _)| i)
+                        .collect();
+                    match hits.as_slice() {
+                        [i] => *i,
+                        [] => {
+                            return Err(DbError::Plan(format!(
+                                "ORDER BY column {name} is not in the output"
+                            )))
+                        }
+                        [first, rest @ ..] => {
+                            // Several hits are fine when they are the SAME
+                            // underlying column selected repeatedly
+                            // (identical alias sets) — any of them sorts
+                            // identically.
+                            if rest.iter().all(|&i| aliases[i] == aliases[*first]) {
+                                *first
+                            } else {
+                                return Err(DbError::Plan(format!(
+                                    "ORDER BY column {name} is ambiguous in the output"
+                                )));
+                            }
+                        }
+                    }
                 }
             };
             Ok(SortSpec {
@@ -94,17 +125,41 @@ fn resolve_order(order_by: &[OrderKey], names: &[String]) -> Result<Vec<SortSpec
         .collect()
 }
 
-/// Compiles a parsed SELECT against a schema.
+/// The ORDER BY aliases of one single-table output column: its bare name
+/// and its table-qualified form.
+fn table_aliases(table: &str, name: &str) -> Vec<String> {
+    vec![name.to_string(), format!("{table}.{name}")]
+}
+
+/// Resolves a possibly qualified reference against one table: a qualifier,
+/// if present, must name that table.
+pub(crate) fn resolve_single_table(schema: &TableSchema, r: &ColumnRef) -> Result<String, DbError> {
+    if let Some(t) = &r.table {
+        if t != &schema.name {
+            return Err(DbError::Plan(format!(
+                "column {r} references table {t}, not {}",
+                schema.name
+            )));
+        }
+    }
+    Ok(r.column.clone())
+}
+
+/// Compiles a parsed single-table SELECT against a schema. Qualified
+/// column references must name this table; `SELECT DISTINCT` lowers onto
+/// the grouped (ValueID-histogram) plan shape over the selected columns —
+/// no new execution path, one decrypt per distinct value.
 ///
 /// # Errors
 ///
 /// Returns [`DbError::ColumnNotFound`] for unknown columns and
 /// [`DbError::Plan`] for shape violations (bare item not grouped, `*` with
-/// GROUP BY, bad ORDER BY target).
+/// GROUP BY, DISTINCT with aggregates, bad ORDER BY target).
 pub fn compile_select(
     schema: &TableSchema,
+    distinct: bool,
     items: &[SelectItem],
-    group_by: &[String],
+    group_by: &[ColumnRef],
     order_by: &[OrderKey],
     limit: Option<usize>,
 ) -> Result<SelectPlan, DbError> {
@@ -114,25 +169,42 @@ pub fn compile_select(
             .map(|_| ())
             .ok_or_else(|| DbError::ColumnNotFound(name.to_string()))
     };
+    let group_by = group_by
+        .iter()
+        .map(|g| resolve_single_table(schema, g))
+        .collect::<Result<Vec<String>, DbError>>()?;
     let is_aggregate_query = !group_by.is_empty() || items.iter().any(SelectItem::is_aggregate);
+    if distinct && is_aggregate_query {
+        return Err(DbError::Plan(
+            "SELECT DISTINCT cannot be combined with GROUP BY or aggregates".to_string(),
+        ));
+    }
 
-    if !is_aggregate_query {
+    if !is_aggregate_query && !distinct {
         let columns: Vec<String> = items
             .iter()
             .map(|item| match item {
-                SelectItem::Column(c) => c.clone(),
+                SelectItem::Column(c) => resolve_single_table(schema, c),
                 SelectItem::Aggregate { .. } => unreachable!("no aggregates in a rows plan"),
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         for c in &columns {
             check_column(c)?;
         }
         // Resolve ORDER BY against the effective projection (`*` = all
-        // schema columns, in schema order).
-        let effective: Vec<String> = if columns.is_empty() {
-            schema.columns.iter().map(|c| c.name.clone()).collect()
+        // schema columns, in schema order); keys may be bare or qualified
+        // with this table's name.
+        let effective: Vec<Vec<String>> = if columns.is_empty() {
+            schema
+                .columns
+                .iter()
+                .map(|c| table_aliases(&schema.name, &c.name))
+                .collect()
         } else {
-            columns.clone()
+            columns
+                .iter()
+                .map(|c| table_aliases(&schema.name, c))
+                .collect()
         };
         let sort = resolve_order(order_by, &effective)?;
         return Ok(SelectPlan::Rows {
@@ -144,41 +216,67 @@ pub fn compile_select(
 
     if items.is_empty() {
         return Err(DbError::Plan(
-            "SELECT * cannot be combined with GROUP BY".to_string(),
+            "SELECT * cannot be combined with GROUP BY or DISTINCT".to_string(),
         ));
     }
-    for g in group_by {
+    // DISTINCT = GROUP BY over every selected column, no aggregates.
+    let group_by = if distinct {
+        items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Column(c) => resolve_single_table(schema, c),
+                SelectItem::Aggregate { .. } => unreachable!("rejected above"),
+            })
+            .collect::<Result<Vec<String>, DbError>>()?
+    } else {
+        group_by
+    };
+    for g in &group_by {
         check_column(g)?;
     }
     let mut aggregates = Vec::new();
     let mut plan_items = Vec::with_capacity(items.len());
     let mut item_names = Vec::with_capacity(items.len());
+    let mut item_aliases = Vec::with_capacity(items.len());
     for item in items {
-        item_names.push(item.output_name());
         match item {
-            SelectItem::Column(name) => {
-                let group_idx = group_by.iter().position(|g| g == name).ok_or_else(|| {
+            SelectItem::Column(r) => {
+                let name = resolve_single_table(schema, r)?;
+                let group_idx = group_by.iter().position(|g| g == &name).ok_or_else(|| {
                     DbError::Plan(format!(
                         "column {name} must appear in GROUP BY to be selected alongside aggregates"
                     ))
                 })?;
                 plan_items.push(OutputItem::Group(group_idx));
+                item_aliases.push(table_aliases(&schema.name, &name));
+                item_names.push(name);
             }
             SelectItem::Aggregate { func, column } => {
-                if let Some(c) = column {
+                let column = column
+                    .as_ref()
+                    .map(|c| resolve_single_table(schema, c))
+                    .transpose()?;
+                if let Some(c) = &column {
                     check_column(c)?;
                 }
+                let name = match (&func, &column) {
+                    (AggFunc::Count, _) => "count".to_string(),
+                    (f, Some(c)) => format!("{}({c})", f.to_string().to_lowercase()),
+                    (f, None) => format!("{}(*)", f.to_string().to_lowercase()),
+                };
+                item_aliases.push(vec![name.clone()]);
+                item_names.push(name);
                 aggregates.push(AggExpr {
                     func: *func,
-                    column: column.clone(),
+                    column,
                 });
                 plan_items.push(OutputItem::Agg(aggregates.len() - 1));
             }
         }
     }
-    let sort = resolve_order(order_by, &item_names)?;
+    let sort = resolve_order(order_by, &item_aliases)?;
     Ok(SelectPlan::Aggregate(AggregatePlan {
-        group_cols: group_by.to_vec(),
+        group_cols: group_by,
         aggregates,
         items: plan_items,
         item_names,
@@ -208,13 +306,13 @@ mod tests {
     fn compile(sql: &str) -> Result<SelectPlan, DbError> {
         match parse(sql).unwrap() {
             crate::sql::Statement::Select {
+                distinct,
                 items,
-                filter: _,
                 group_by,
                 order_by,
                 limit,
                 ..
-            } => compile_select(&schema(), &items, &group_by, &order_by, limit),
+            } => compile_select(&schema(), distinct, &items, &group_by, &order_by, limit),
             other => panic!("not a select: {other:?}"),
         }
     }
@@ -287,6 +385,83 @@ mod tests {
     fn group_by_without_aggregates_is_distinct() {
         let plan = compile("SELECT a FROM t GROUP BY a").unwrap();
         assert!(matches!(plan, SelectPlan::Aggregate(_)));
+    }
+
+    #[test]
+    fn select_distinct_lowers_to_grouping() {
+        let plan = compile("SELECT DISTINCT a FROM t ORDER BY a").unwrap();
+        let SelectPlan::Aggregate(plan) = plan else {
+            panic!("expected aggregate plan");
+        };
+        assert_eq!(plan.group_cols, vec!["a"]);
+        assert!(plan.aggregates.is_empty());
+        assert_eq!(plan.items, vec![OutputItem::Group(0)]);
+        // Multi-column DISTINCT groups on the whole tuple.
+        let SelectPlan::Aggregate(plan) = compile("SELECT DISTINCT a, b FROM t").unwrap() else {
+            panic!("expected aggregate plan");
+        };
+        assert_eq!(plan.group_cols, vec!["a", "b"]);
+        // DISTINCT with aggregates or GROUP BY is rejected.
+        assert!(matches!(
+            compile("SELECT DISTINCT a, COUNT(*) FROM t"),
+            Err(DbError::Plan(_))
+        ));
+        assert!(matches!(
+            compile("SELECT DISTINCT a FROM t GROUP BY a"),
+            Err(DbError::Plan(_))
+        ));
+        assert!(matches!(
+            compile("SELECT DISTINCT * FROM t"),
+            Err(DbError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn qualified_references_resolve_against_the_table() {
+        let plan = compile("SELECT t.a, t.b FROM t ORDER BY t.b").unwrap();
+        assert_eq!(
+            plan,
+            SelectPlan::Rows {
+                columns: vec!["a".into(), "b".into()],
+                sort: vec![SortSpec {
+                    item: 1,
+                    desc: false
+                }],
+                limit: None,
+            }
+        );
+        // A foreign qualifier is a plan error — in the select list and in
+        // ORDER BY (which must not silently fall back to the bare name).
+        assert!(matches!(
+            compile("SELECT other.a FROM t"),
+            Err(DbError::Plan(_))
+        ));
+        assert!(matches!(
+            compile("SELECT a FROM t ORDER BY other.a"),
+            Err(DbError::Plan(_))
+        ));
+        assert!(matches!(
+            compile("SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY other.a"),
+            Err(DbError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn order_by_over_repeated_identical_columns_is_not_ambiguous() {
+        // Selecting the same column twice stays orderable by name — every
+        // hit is the identical column, so any of them sorts the same.
+        let plan = compile("SELECT a, a FROM t ORDER BY a").unwrap();
+        assert_eq!(
+            plan,
+            SelectPlan::Rows {
+                columns: vec!["a".into(), "a".into()],
+                sort: vec![SortSpec {
+                    item: 0,
+                    desc: false
+                }],
+                limit: None,
+            }
+        );
     }
 
     #[test]

@@ -14,17 +14,20 @@
 //! shard.
 
 use crate::error::DbError;
+use crate::exec::join::{compile_join, resolve_side, JoinPlan, JoinPost, JoinSide};
 use crate::exec::ordering;
-use crate::exec::plan::{compile_select, AggregatePlan, SelectPlan};
+use crate::exec::plan::{compile_select, resolve_single_table, AggregatePlan, SelectPlan};
 use crate::schema::{ColumnSpec, DictChoice, TablePartitioning, TableSchema};
 use crate::server::{
-    CellValue, DbaasServer, QueryOutcome, SelectResponse, ServerFilter, ServerQuery,
+    CellValue, DbaasServer, JoinSideQuery, QueryOutcome, SelectResponse, ServerFilter, ServerQuery,
 };
-use crate::sql::{parse, CompareOp, Filter, Statement};
+use crate::sql::{
+    parse, ColumnRef, CompareOp, Filter, JoinClause, OrderKey, SelectItem, Statement,
+};
 use encdbdb_crypto::hkdf::derive_column_key;
 use encdbdb_crypto::keys::Key128;
 use encdbdb_crypto::Pae;
-use encdict::aggregate::{AggFunc, OutputItem};
+use encdict::aggregate::{AggFunc, AggPlanSpec, AggSpec, GroupPartials, OutputItem};
 use encdict::enclave_ops::{decrypt_column_value, encrypt_value_for_column};
 use encdict::{EncryptedRange, RangeBound, RangeQuery};
 use rand::Rng;
@@ -80,8 +83,9 @@ impl Proxy {
     ///
     /// # Errors
     ///
-    /// Returns [`DbError::UnsupportedFilter`] for multi-column filters or
-    /// contradictory conjunctions.
+    /// Returns [`DbError::UnsupportedFilter`] for multi-column filters,
+    /// contradictory conjunctions, or multi-value `IN` lists (which need
+    /// the disjunctive [`Proxy::filter_to_ranges`] path).
     pub fn filter_to_range(filter: &Filter) -> Result<(String, RangeQuery), DbError> {
         let column = filter
             .column()
@@ -93,50 +97,28 @@ impl Proxy {
         Ok((column, range))
     }
 
-    /// Decomposes a (possibly multi-column) conjunctive filter into one
-    /// range per referenced column: conjuncts on the same column are
-    /// intersected into a single range; different columns produce separate
-    /// ranges whose RecordID results the server intersects (the step 12
-    /// prefiltering).
+    /// Decomposes a (possibly multi-column) conjunctive filter into, per
+    /// referenced column, a *disjunction* of plaintext ranges: comparisons
+    /// and `BETWEEN` contribute one range, `IN (...)` one equality range
+    /// per listed value; conjuncts on the same column intersect pairwise,
+    /// and different columns produce separate entries whose RecordID
+    /// results the server intersects (the step 12 prefiltering).
+    ///
+    /// References that differ in their qualifier stay separate entries
+    /// even when the bare name matches — callers resolve qualifiers.
     ///
     /// # Errors
     ///
     /// Propagates intersection failures.
-    pub fn filter_to_ranges(filter: &Filter) -> Result<Vec<(String, RangeQuery)>, DbError> {
-        fn collect<'a>(f: &'a Filter, out: &mut Vec<&'a Filter>) {
-            match f {
-                Filter::And(a, b) => {
-                    collect(a, out);
-                    collect(b, out);
-                }
-                leaf => out.push(leaf),
-            }
-        }
+    pub fn filter_to_ranges(filter: &Filter) -> Result<Vec<(ColumnRef, Vec<RangeQuery>)>, DbError> {
         let mut leaves = Vec::new();
-        collect(filter, &mut leaves);
-        // Group by column preserving first-appearance order.
-        let mut order: Vec<String> = Vec::new();
-        let mut per_column: std::collections::HashMap<String, RangeQuery> =
-            std::collections::HashMap::new();
+        collect_leaves(filter, &mut leaves);
+        let mut out: Vec<(ColumnRef, Vec<RangeQuery>)> = Vec::new();
         for leaf in leaves {
-            let (col, range) = Self::filter_to_range(leaf)?;
-            match per_column.remove(&col) {
-                None => {
-                    order.push(col.clone());
-                    per_column.insert(col, range);
-                }
-                Some(existing) => {
-                    per_column.insert(col, intersect(existing, range)?);
-                }
-            }
+            let (col, disjuncts) = leaf_ranges(leaf)?;
+            merge_column_ranges(&mut out, col, disjuncts)?;
         }
-        Ok(order
-            .into_iter()
-            .map(|col| {
-                let range = per_column.remove(&col).expect("grouped above");
-                (col, range)
-            })
-            .collect())
+        Ok(out)
     }
 
     fn range_of(filter: &Filter) -> Result<RangeQuery, DbError> {
@@ -149,6 +131,14 @@ impl Proxy {
                 CompareOp::Ge => RangeQuery::at_least(value.clone()),
             },
             Filter::Between { low, high, .. } => RangeQuery::between(low.clone(), high.clone()),
+            Filter::In { values, .. } => match values.as_slice() {
+                [one] => RangeQuery::equals(one.clone()),
+                _ => {
+                    return Err(DbError::UnsupportedFilter(
+                        "multi-value IN is a disjunction; use filter_to_ranges".to_string(),
+                    ))
+                }
+            },
             Filter::And(a, b) => {
                 let ra = Self::range_of(a)?;
                 let rb = Self::range_of(b)?;
@@ -157,13 +147,13 @@ impl Proxy {
         })
     }
 
-    /// Builds the server-side filter, encrypting bounds for encrypted
-    /// columns.
+    /// Builds the server-side filter for one column's range disjunction,
+    /// encrypting every bound for encrypted columns.
     fn server_filter<R: Rng + ?Sized>(
         &self,
         table: &str,
         spec: &ColumnSpec,
-        range: RangeQuery,
+        ranges: Vec<RangeQuery>,
         rng: &mut R,
     ) -> ServerFilter {
         match spec.choice {
@@ -171,20 +161,56 @@ impl Proxy {
                 let pae = self.column_pae(table, &spec.name);
                 ServerFilter::Encrypted {
                     column: spec.name.clone(),
-                    range: EncryptedRange::encrypt(&pae, rng, &range),
+                    ranges: ranges
+                        .into_iter()
+                        .map(|r| EncryptedRange::encrypt(&pae, rng, &r))
+                        .collect(),
                 }
             }
             DictChoice::Plain => ServerFilter::Plain {
                 column: spec.name.clone(),
-                range,
+                ranges,
             },
         }
     }
 
-    /// Builds the server-side filter conjunction for an optional AST
-    /// filter, plus the partition scope the plaintext ranges imply
-    /// (`None` when the table is unpartitioned or no filter targets the
-    /// partition column — every partition is then in scope).
+    /// Encrypts per-column range disjunctions into server filters and
+    /// computes the partition scope the plaintext ranges imply (`None`
+    /// when the table is unpartitioned or no filter targets the partition
+    /// column — every partition is then in scope).
+    fn encrypt_filters<R: Rng + ?Sized>(
+        &self,
+        schema: &TableSchema,
+        table: &str,
+        per_column: Vec<(String, Vec<RangeQuery>)>,
+        rng: &mut R,
+    ) -> Result<(Vec<ServerFilter>, Option<Vec<usize>>), DbError> {
+        let mut scope = None;
+        let mut out = Vec::with_capacity(per_column.len());
+        for (col, ranges) in per_column {
+            let (_, spec) = schema
+                .column(&col)
+                .ok_or_else(|| DbError::ColumnNotFound(col.clone()))?;
+            // The pruning hint: computed on the *plaintext* ranges before
+            // the bounds are encrypted away. A disjunction's scope is the
+            // union of its per-range scopes.
+            if let Some(part) = &schema.partitioning {
+                if part.column == col {
+                    let mut ids = std::collections::BTreeSet::new();
+                    for r in &ranges {
+                        ids.extend(part.overlapping(r));
+                    }
+                    scope = Some(ids.into_iter().collect());
+                }
+            }
+            out.push(self.server_filter(table, spec, ranges, rng));
+        }
+        Ok((out, scope))
+    }
+
+    /// Builds the server-side filter conjunction for an optional
+    /// single-table AST filter (qualifiers must name this table), plus the
+    /// partition scope.
     fn build_server_filters<R: Rng + ?Sized>(
         &self,
         schema: &TableSchema,
@@ -195,23 +221,19 @@ impl Proxy {
         let Some(filter) = filter else {
             return Ok((Vec::new(), None));
         };
-        let ranges = Self::filter_to_ranges(filter)?;
-        let mut scope = None;
-        let mut out = Vec::with_capacity(ranges.len());
-        for (col, range) in ranges {
-            let (_, spec) = schema
-                .column(&col)
-                .ok_or_else(|| DbError::ColumnNotFound(col.clone()))?;
-            // The pruning hint: computed on the *plaintext* range before
-            // the bounds are encrypted away.
-            if let Some(part) = &schema.partitioning {
-                if part.column == col {
-                    scope = Some(part.overlapping(&range).collect());
-                }
-            }
-            out.push(self.server_filter(table, spec, range, rng));
+        // Qualifiers are resolved *before* conjuncts merge, so `t.a >= x
+        // AND a < y` intersects into one filter (one search per shard)
+        // rather than two filters on the same column.
+        let mut leaves = Vec::new();
+        collect_leaves(filter, &mut leaves);
+        let mut merged: Vec<(ColumnRef, Vec<RangeQuery>)> = Vec::new();
+        for leaf in leaves {
+            let (col, disjuncts) = leaf_ranges(leaf)?;
+            let bare = resolve_single_table(schema, &col)?;
+            merge_column_ranges(&mut merged, ColumnRef::bare(bare), disjuncts)?;
         }
-        Ok((out, scope))
+        let per_column = merged.into_iter().map(|(r, ranges)| (r.column, ranges));
+        self.encrypt_filters(schema, table, per_column.collect(), rng)
     }
 
     /// Routes every row of an insert to its partition by the plaintext
@@ -324,15 +346,31 @@ impl Proxy {
                 })
             }
             Statement::Select {
+                distinct,
                 items,
                 table,
+                join,
                 filter,
                 group_by,
                 order_by,
                 limit,
             } => {
+                if let Some(join) = join {
+                    return self.execute_join(
+                        server,
+                        &table,
+                        &join,
+                        distinct,
+                        &items,
+                        filter.as_ref(),
+                        &group_by,
+                        &order_by,
+                        limit,
+                        rng,
+                    );
+                }
                 let schema = server.schema(&table)?;
-                let plan = compile_select(&schema, &items, &group_by, &order_by, limit)?;
+                let plan = compile_select(&schema, distinct, &items, &group_by, &order_by, limit)?;
                 let (filters, scope) =
                     self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
                 match plan {
@@ -389,6 +427,184 @@ impl Proxy {
                 })
             }
         }
+    }
+
+    /// Executes a two-table equi-join: compile, split the WHERE
+    /// conjunction per side, encrypt each side's bounds, hand the server
+    /// one [`ServerQuery::Join`], then decrypt the joined rows and run the
+    /// plan's post-processing (projection or GROUP BY / aggregation /
+    /// DISTINCT, ORDER BY, LIMIT) here in the trusted proxy — joined
+    /// cells of encrypted columns only exist as ciphertexts until step 14.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_join<R: Rng + ?Sized>(
+        &self,
+        server: &DbaasServer,
+        table: &str,
+        join: &JoinClause,
+        distinct: bool,
+        items: &[SelectItem],
+        filter: Option<&Filter>,
+        group_by: &[ColumnRef],
+        order_by: &[OrderKey],
+        limit: Option<usize>,
+        rng: &mut R,
+    ) -> Result<QueryResult, DbError> {
+        let lschema = server.schema(table)?;
+        let rschema = server.schema(&join.table)?;
+        let plan = compile_join(
+            &lschema, &rschema, join, distinct, items, group_by, order_by, limit,
+        )?;
+
+        // Split the WHERE conjunction by side: each leaf targets a single
+        // column, which resolves to exactly one of the two tables.
+        let mut per_side: [Vec<(String, Vec<RangeQuery>)>; 2] = [Vec::new(), Vec::new()];
+        if let Some(filter) = filter {
+            let mut leaves = Vec::new();
+            collect_leaves(filter, &mut leaves);
+            let mut refs: [Vec<(ColumnRef, Vec<RangeQuery>)>; 2] = [Vec::new(), Vec::new()];
+            for leaf in leaves {
+                let (col, disjuncts) = leaf_ranges(leaf)?;
+                let (side, bare) = resolve_side(&lschema, &rschema, &col)?;
+                let slot = match side {
+                    JoinSide::Left => &mut refs[0],
+                    JoinSide::Right => &mut refs[1],
+                };
+                merge_column_ranges(&mut *slot, ColumnRef::bare(bare), disjuncts)?;
+            }
+            for (i, side_refs) in refs.into_iter().enumerate() {
+                per_side[i] = side_refs
+                    .into_iter()
+                    .map(|(r, ranges)| (r.column, ranges))
+                    .collect();
+            }
+        }
+        let [lranges, rranges] = per_side;
+        let (lfilters, lscope) = self.encrypt_filters(&lschema, table, lranges, rng)?;
+        let (rfilters, rscope) = self.encrypt_filters(&rschema, &join.table, rranges, rng)?;
+
+        let outcome = server.execute_query(ServerQuery::Join {
+            left: JoinSideQuery {
+                table: plan.left.table.clone(),
+                key: plan.left.key.clone(),
+                columns: plan.left.columns.clone(),
+                filters: lfilters,
+                scope: lscope,
+            },
+            right: JoinSideQuery {
+                table: plan.right.table.clone(),
+                key: plan.right.key.clone(),
+                columns: plan.right.columns.clone(),
+                filters: rfilters,
+                scope: rscope,
+            },
+        })?;
+        let QueryOutcome::Rows(response) = outcome else {
+            unreachable!("join returns rows");
+        };
+        let rows = self.decrypt_join_rows(&plan, &lschema, &rschema, response)?;
+        self.post_process_join(&plan, rows)
+    }
+
+    /// Step 14 for joins: each combined-row cell decrypts under the key of
+    /// the side and column it was rendered from.
+    fn decrypt_join_rows(
+        &self,
+        plan: &JoinPlan,
+        lschema: &TableSchema,
+        rschema: &TableSchema,
+        response: SelectResponse,
+    ) -> Result<Vec<Vec<Vec<u8>>>, DbError> {
+        let mut paes = Vec::new();
+        for (side, name) in plan.combined_columns() {
+            let (schema, table) = match side {
+                JoinSide::Left => (lschema, &plan.left.table),
+                JoinSide::Right => (rschema, &plan.right.table),
+            };
+            let (_, spec) = schema
+                .column(name)
+                .ok_or_else(|| DbError::ColumnNotFound(name.to_string()))?;
+            paes.push(match spec.choice {
+                DictChoice::Encrypted(_) => Some(self.column_pae(table, name)),
+                DictChoice::Plain => None,
+            });
+        }
+        decrypt_cells(response.rows, &paes)
+    }
+
+    /// Runs a join plan's post-processing over the decrypted combined
+    /// rows: plain projection with proxy-side ORDER BY / LIMIT, or the
+    /// grouped-aggregation path through the same trusted-core
+    /// partial-aggregate machinery ([`GroupPartials`]) the enclave and the
+    /// all-PLAIN executor use.
+    fn post_process_join(
+        &self,
+        plan: &JoinPlan,
+        rows: Vec<Vec<Vec<u8>>>,
+    ) -> Result<QueryResult, DbError> {
+        let rows = match &plan.post {
+            JoinPost::Rows { projection } => {
+                let mut projected: Vec<Vec<Vec<u8>>> = rows
+                    .into_iter()
+                    .map(|row| projection.iter().map(|&i| row[i].clone()).collect())
+                    .collect();
+                ordering::sort_and_limit(&mut projected, &plan.sort, plan.limit);
+                projected
+            }
+            JoinPost::Aggregate {
+                group_cols,
+                aggregates,
+                items,
+            } => {
+                // Reduce the joined rows to the same (value tables,
+                // tuple histogram) shape the server-side scan produces,
+                // then group/aggregate/sort/limit in the shared trusted
+                // core.
+                let ncols = plan.left.columns.len() + plan.right.columns.len();
+                let mut tables: Vec<Vec<Vec<u8>>> = vec![Vec::new(); ncols];
+                let mut index: Vec<std::collections::HashMap<Vec<u8>, u32>> =
+                    vec![std::collections::HashMap::new(); ncols];
+                let mut hist: std::collections::HashMap<Vec<u32>, u64> =
+                    std::collections::HashMap::new();
+                for row in rows {
+                    let tuple: Vec<u32> = row
+                        .into_iter()
+                        .enumerate()
+                        .map(|(c, value)| match index[c].get(&value) {
+                            Some(&i) => i,
+                            None => {
+                                let i = tables[c].len() as u32;
+                                index[c].insert(value.clone(), i);
+                                tables[c].push(value);
+                                i
+                            }
+                        })
+                        .collect();
+                    *hist.entry(tuple).or_insert(0) += 1;
+                }
+                let mut tuples: Vec<(Vec<u32>, u64)> = hist.into_iter().collect();
+                tuples.sort_unstable();
+                let spec = AggPlanSpec {
+                    group_cols: group_cols.clone(),
+                    aggregates: aggregates
+                        .iter()
+                        .map(|a| AggSpec {
+                            func: a.func,
+                            col: a.col,
+                        })
+                        .collect(),
+                    items: items.clone(),
+                    sort: plan.sort.clone(),
+                    limit: plan.limit,
+                };
+                let mut partials = GroupPartials::new();
+                partials.accumulate(&tables, &tuples, &spec)?;
+                partials.finalize(&spec)?
+            }
+        };
+        Ok(QueryResult {
+            columns: plan.item_names.clone(),
+            rows,
+        })
     }
 
     /// Step 14 for row plans: decrypt every entry of each encrypted result
@@ -482,6 +698,74 @@ fn decrypt_cells(
         out_rows.push(out);
     }
     Ok(out_rows)
+}
+
+/// Flattens an `AND` tree into its single-column leaves.
+fn collect_leaves<'a>(f: &'a Filter, out: &mut Vec<&'a Filter>) {
+    match f {
+        Filter::And(a, b) => {
+            collect_leaves(a, out);
+            collect_leaves(b, out);
+        }
+        leaf => out.push(leaf),
+    }
+}
+
+/// One leaf filter as a (column, range-disjunction) pair.
+fn leaf_ranges(leaf: &Filter) -> Result<(ColumnRef, Vec<RangeQuery>), DbError> {
+    Ok(match leaf {
+        Filter::In { column, values } => {
+            // One equality range per distinct listed value; each costs one
+            // dictionary search, so duplicates are dropped up front.
+            let distinct: std::collections::BTreeSet<&Vec<u8>> = values.iter().collect();
+            (
+                column.clone(),
+                distinct
+                    .into_iter()
+                    .map(|v| RangeQuery::equals(v.clone()))
+                    .collect(),
+            )
+        }
+        other => {
+            let range = Proxy::range_of(other)?;
+            let column = other
+                .column_ref()
+                .expect("leaves target a single column")
+                .clone();
+            (column, vec![range])
+        }
+    })
+}
+
+/// Folds one leaf's disjunction into the per-column accumulator: a new
+/// column appends; a repeated column intersects pairwise (`x IN (..) AND
+/// x BETWEEN ..` stays a disjunction of tightened ranges). Provably empty
+/// intersections and duplicates are dropped — every surviving range costs
+/// a dictionary search, and an `IN ∧ IN` cross product would otherwise
+/// degrade to n·m searches. A column whose ranges all vanish keeps an
+/// empty disjunction: the filter provably matches nothing, and the server
+/// answers it without a single search.
+fn merge_column_ranges(
+    acc: &mut Vec<(ColumnRef, Vec<RangeQuery>)>,
+    col: ColumnRef,
+    disjuncts: Vec<RangeQuery>,
+) -> Result<(), DbError> {
+    match acc.iter_mut().find(|(c, _)| c == &col) {
+        None => acc.push((col, disjuncts)),
+        Some((_, existing)) => {
+            let mut combined: Vec<RangeQuery> = Vec::new();
+            for a in existing.iter() {
+                for b in &disjuncts {
+                    let r = intersect(a.clone(), b.clone())?;
+                    if !r.is_provably_empty() && !combined.contains(&r) {
+                        combined.push(r);
+                    }
+                }
+            }
+            *existing = combined;
+        }
+    }
+    Ok(())
 }
 
 /// Intersects two ranges from an `AND` conjunction on one column.

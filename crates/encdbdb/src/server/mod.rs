@@ -41,6 +41,7 @@
 //! partition's delta store under the same short mutex.
 
 mod compaction;
+mod join;
 mod partition;
 mod snapshot;
 mod stats;
@@ -49,7 +50,7 @@ mod table;
 pub use compaction::CompactionPolicy;
 pub use stats::{CompactionStats, QueryStats};
 
-pub(crate) use partition::{ColumnDelta, MainColumn, PartitionSnapshot};
+pub(crate) use partition::{ColumnDelta, MainColumn};
 pub(crate) use snapshot::{fan_out, matching_rids_multi};
 pub(crate) use table::ServerTable;
 
@@ -82,27 +83,49 @@ pub enum CellValue {
     Plain(Vec<u8>),
 }
 
-/// A filter as seen by the server: the filtered column plus the range in
-/// the form matching the column's protection.
+/// A filter as seen by the server: the filtered column plus one or more
+/// ranges in the form matching the column's protection. A single range is
+/// the ordinary comparison/BETWEEN case; multiple ranges are a
+/// *disjunction* on that one column (the `IN (...)` lowering — one
+/// equality range per listed value, RecordID results unioned), while
+/// separate [`ServerFilter`]s still intersect.
 #[derive(Debug, Clone)]
 pub enum ServerFilter {
-    /// Encrypted range for an encrypted column.
+    /// Encrypted range(s) for an encrypted column.
     Encrypted {
         /// Filtered column name.
         column: String,
-        /// Encrypted range τ.
-        range: EncryptedRange,
+        /// Encrypted ranges τ (disjunction; empty = the conjunction was
+        /// provably contradictory, matching nothing without any search).
+        ranges: Vec<EncryptedRange>,
     },
-    /// Plaintext range for a PLAIN column.
+    /// Plaintext range(s) for a PLAIN column.
     Plain {
         /// Filtered column name.
         column: String,
-        /// Plaintext range.
-        range: RangeQuery,
+        /// Plaintext ranges (disjunction; empty = provably matches
+        /// nothing).
+        ranges: Vec<RangeQuery>,
     },
 }
 
 impl ServerFilter {
+    /// A single-range encrypted filter.
+    pub fn encrypted(column: impl Into<String>, range: EncryptedRange) -> Self {
+        ServerFilter::Encrypted {
+            column: column.into(),
+            ranges: vec![range],
+        }
+    }
+
+    /// A single-range plaintext filter.
+    pub fn plain(column: impl Into<String>, range: RangeQuery) -> Self {
+        ServerFilter::Plain {
+            column: column.into(),
+            ranges: vec![range],
+        }
+    }
+
     pub(crate) fn column(&self) -> &str {
         match self {
             ServerFilter::Encrypted { column, .. } | ServerFilter::Plain { column, .. } => column,
@@ -162,6 +185,32 @@ pub enum ServerQuery {
         /// Proxy-computed partition scope (`None` = all partitions).
         scope: Option<Vec<usize>>,
     },
+    /// Two-table equi-join (the `exec` engine's join pipeline).
+    Join {
+        /// The build side.
+        left: JoinSideQuery,
+        /// The probe side.
+        right: JoinSideQuery,
+    },
+}
+
+/// One side of a decomposed equi-join: which table to scan, how to filter
+/// it, which column is the join key and which columns to render per
+/// joined row. The proxy computes `scope` per side exactly like for
+/// single-table selects.
+#[derive(Debug, Clone)]
+pub struct JoinSideQuery {
+    /// The side's table.
+    pub table: String,
+    /// The join-key column.
+    pub key: String,
+    /// Columns rendered per joined row (bare names; the response
+    /// qualifies them as `table.column`).
+    pub columns: Vec<String>,
+    /// Per-column filters (conjunction; empty scans everything).
+    pub filters: Vec<ServerFilter>,
+    /// Proxy-computed partition scope (`None` = all partitions).
+    pub scope: Option<Vec<usize>>,
 }
 
 /// The server's reply to a [`ServerQuery`].
@@ -564,6 +613,9 @@ impl DbaasServer {
                 &filters,
                 scope.as_deref(),
             )?)),
+            ServerQuery::Join { left, right } => {
+                Ok(QueryOutcome::Rows(self.join_inner(&left, &right)?))
+            }
         }
     }
 }

@@ -42,6 +42,99 @@ where
     })
 }
 
+/// Linear-merge union of two ascending RecordID lists (the `IN`
+/// disjunction combiner — the dual of
+/// [`intersect_sorted`](super::table::intersect_sorted)).
+pub(crate) fn union_sorted(a: &[RecordId], b: &[RecordId]) -> Vec<RecordId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// An owned, consistent view of one table for one query: the resolved
+/// partition scope plus every in-scope partition's snapshot, empties
+/// already filtered out (they are skipped without a single ECALL).
+#[derive(Debug)]
+pub(crate) struct TableSnapshot {
+    pub(crate) table: std::sync::Arc<super::table::ServerTable>,
+    /// The resolved scope (pruning already applied).
+    pub(crate) scope_len: usize,
+    /// In-scope non-empty partitions, in partition order.
+    pub(crate) active: Vec<(usize, PartitionSnapshot)>,
+}
+
+impl TableSnapshot {
+    /// Seeds the pruning/partition accounting of a query over this
+    /// snapshot.
+    pub(crate) fn seed_stats(&self, stats: &mut QueryStats) {
+        stats.partitions_total += self.table.partitions.len();
+        stats.partitions_scanned += self.active.len();
+        stats.partitions_pruned += self.table.partitions.len() - self.scope_len;
+    }
+}
+
+/// One table's snapshot request: name, filters (for server-side scope
+/// resolution) and the proxy-provided scope hint.
+pub(crate) type SnapshotWant<'a> = (&'a str, &'a [ServerFilter], Option<&'a [usize]>);
+
+impl DbaasServer {
+    /// Acquires snapshots of N tables in one tight pass: scope resolution
+    /// first, then every in-scope partition's short lock back to back with
+    /// no query work in between. Multi-table plans (equi-joins) go through
+    /// here so both sides are captured at one point in time; per-partition
+    /// snapshots remain the consistency unit (exactly as within one
+    /// table — see the module docs of [`super`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableNotFound`] for an unknown table.
+    pub(crate) fn snapshot_tables(
+        &self,
+        wants: &[SnapshotWant<'_>],
+    ) -> Result<Vec<TableSnapshot>, DbError> {
+        let handles = wants
+            .iter()
+            .map(|(name, _, _)| self.table_handle(name))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(handles
+            .into_iter()
+            .zip(wants)
+            .map(|(table, (_, filters, scope))| {
+                let scope = table.resolve_scope(filters, *scope);
+                let active = table
+                    .snapshot_scope(&scope)
+                    .into_iter()
+                    .filter(|(_, snap)| !snap.is_empty())
+                    .collect();
+                TableSnapshot {
+                    table,
+                    scope_len: scope.len(),
+                    active,
+                }
+            })
+            .collect())
+    }
+}
+
 /// Conjunction of filters against one partition snapshot: intersects the
 /// per-filter RecordID lists (all are ascending, so the intersection is a
 /// linear merge).
@@ -101,54 +194,80 @@ fn matching_rids(
         (
             MainColumn::Encrypted(main),
             ColumnDelta::Encrypted(delta),
-            ServerFilter::Encrypted { range, .. },
+            ServerFilter::Encrypted { ranges, .. },
         ) => {
             let dict = main.dict();
             // An empty or fully-invalid main store provably matches
             // nothing — skip the search ECALL (the partition-layer
-            // analogue of the PR 3 empty-delta no-op).
+            // analogue of the PR 3 empty-delta no-op). Disjunctions (`IN`)
+            // run one search per range; the RecordID lists are unioned.
             let main_rids = if dict.is_empty() || snap.main_valid_rows == 0 {
                 Vec::new()
             } else {
-                let dict_start = std::time::Instant::now();
-                let result = lock(enclave).search(dict, range)?;
-                stats.dict_search_ns = dict_start.elapsed().as_nanos() as u64;
-                stats.enclave_calls += 1;
-                let av_start = std::time::Instant::now();
-                let rids = avsearch::search(
-                    main.av(),
-                    &result,
-                    dict.len(),
-                    cfg.set_strategy,
-                    cfg.parallelism,
-                );
-                stats.av_search_ns = av_start.elapsed().as_nanos() as u64;
-                rids
+                let mut acc: Vec<RecordId> = Vec::new();
+                for range in ranges {
+                    let dict_start = std::time::Instant::now();
+                    let result = lock(enclave).search(dict, range)?;
+                    stats.dict_search_ns += dict_start.elapsed().as_nanos() as u64;
+                    stats.enclave_calls += 1;
+                    let av_start = std::time::Instant::now();
+                    let rids = avsearch::search(
+                        main.av(),
+                        &result,
+                        dict.len(),
+                        cfg.set_strategy,
+                        cfg.parallelism,
+                    );
+                    stats.av_search_ns += av_start.elapsed().as_nanos() as u64;
+                    acc = if acc.is_empty() {
+                        rids
+                    } else {
+                        union_sorted(&acc, &rids)
+                    };
+                }
+                acc
             };
             // The empty (or fully-deleted) delta needs no ECALL either.
             let delta_rids = if delta.is_empty() || snap.delta_valid_rows == 0 {
                 Vec::new()
             } else {
-                stats.enclave_calls += 1;
-                delta.search(&mut lock(enclave), range)?
+                let mut acc: Vec<RecordId> = Vec::new();
+                for range in ranges {
+                    stats.enclave_calls += 1;
+                    let rids = delta.search(&mut lock(enclave), range)?;
+                    acc = if acc.is_empty() {
+                        rids
+                    } else {
+                        union_sorted(&acc, &rids)
+                    };
+                }
+                acc
             };
             (main_rids, delta_rids)
         }
         (
             MainColumn::Plain { dict, av },
             ColumnDelta::Plain(delta),
-            ServerFilter::Plain { range, .. },
+            ServerFilter::Plain { ranges, .. },
         ) => {
-            let dict_start = std::time::Instant::now();
-            let result = search_plain(dict, range)?;
-            stats.dict_search_ns = dict_start.elapsed().as_nanos() as u64;
-            let av_start = std::time::Instant::now();
-            let main_rids =
-                avsearch::search(av, &result, dict.len(), cfg.set_strategy, cfg.parallelism);
-            stats.av_search_ns = av_start.elapsed().as_nanos() as u64;
+            let mut main_rids: Vec<RecordId> = Vec::new();
+            for range in ranges {
+                let dict_start = std::time::Instant::now();
+                let result = search_plain(dict, range)?;
+                stats.dict_search_ns += dict_start.elapsed().as_nanos() as u64;
+                let av_start = std::time::Instant::now();
+                let rids =
+                    avsearch::search(av, &result, dict.len(), cfg.set_strategy, cfg.parallelism);
+                stats.av_search_ns += av_start.elapsed().as_nanos() as u64;
+                main_rids = if main_rids.is_empty() {
+                    rids
+                } else {
+                    union_sorted(&main_rids, &rids)
+                };
+            }
             let delta_rids = delta
                 .iter_valid()
-                .filter(|(_, v)| range.contains(v))
+                .filter(|(_, v)| ranges.iter().any(|r| r.contains(v)))
                 .map(|(rid, _)| rid)
                 .collect();
             (main_rids, delta_rids)
@@ -239,7 +358,11 @@ impl DbaasServer {
         scope: Option<&[usize]>,
     ) -> Result<SelectResponse, DbError> {
         let cfg = self.config();
-        let t = self.table_handle(table)?;
+        let ts = self
+            .snapshot_tables(&[(table, filters, scope)])?
+            .pop()
+            .expect("one table requested");
+        let t = &ts.table;
         let projected: Vec<String> = if columns.is_empty() {
             t.schema.columns.iter().map(|c| c.name.clone()).collect()
         } else {
@@ -253,19 +376,13 @@ impl DbaasServer {
                 .ok_or_else(|| DbError::ColumnNotFound(name.clone()))?;
             col_indices.push(idx);
         }
-
-        let scope = t.resolve_scope(filters, scope);
-        let snaps = t.snapshot_scope(&scope);
-        let active: Vec<(usize, PartitionSnapshot)> = snaps
-            .into_iter()
-            .filter(|(_, snap)| !snap.is_empty())
-            .collect();
+        let active = &ts.active;
 
         // Per-partition: search + render against that partition's
         // snapshot. One search ECALL per filtered dictionary of each
         // non-empty in-scope partition.
         let col_indices = &col_indices;
-        let per_partition = fan_out(&active, |_pid, snap| {
+        let per_partition = fan_out(active, |_pid, snap| {
             let (main_rids, delta_rids, mut stats) =
                 matching_rids_multi(snap, &t.schema, &self.enclave, filters, &cfg)?;
             let render_start = std::time::Instant::now();
@@ -290,12 +407,8 @@ impl DbaasServer {
         });
 
         let mut rows = Vec::new();
-        let mut stats = QueryStats {
-            partitions_total: t.partitions.len(),
-            partitions_scanned: active.len(),
-            partitions_pruned: t.partitions.len() - scope.len(),
-            ..QueryStats::default()
-        };
+        let mut stats = QueryStats::default();
+        ts.seed_stats(&mut stats);
         for result in per_partition {
             let (part_rows, part_stats) = result?;
             stats.absorb(&part_stats);
@@ -328,16 +441,13 @@ impl DbaasServer {
     /// Propagates lookup and enclave failures.
     pub fn count_multi(&self, table: &str, filters: &[ServerFilter]) -> Result<usize, DbError> {
         let cfg = self.config();
-        let t = self.table_handle(table)?;
-        let scope = t.resolve_scope(filters, None);
-        let snaps = t.snapshot_scope(&scope);
-        let active: Vec<(usize, PartitionSnapshot)> = snaps
-            .into_iter()
-            .filter(|(_, snap)| !snap.is_empty())
-            .collect();
-        let counts = fan_out(&active, |_pid, snap| {
+        let ts = self
+            .snapshot_tables(&[(table, filters, None)])?
+            .pop()
+            .expect("one table requested");
+        let counts = fan_out(&ts.active, |_pid, snap| {
             let (main, delta, _) =
-                matching_rids_multi(snap, &t.schema, &self.enclave, filters, &cfg)?;
+                matching_rids_multi(snap, &ts.table.schema, &self.enclave, filters, &cfg)?;
             Ok::<_, DbError>(main.len() + delta.len())
         });
         let mut total = 0usize;

@@ -36,6 +36,16 @@ pub struct QueryStats {
     /// Partitions skipped because their key range provably misses the
     /// filter (the pruning leakage documented in DESIGN.md §10).
     pub partitions_pruned: usize,
+    /// Matching rows on the build (left) side of an equi-join.
+    pub join_build_rows: usize,
+    /// Matching rows on the probe (right) side of an equi-join.
+    pub join_probe_rows: usize,
+    /// Distinct join keys present on both sides (the size of the
+    /// ValueID↔ValueID bridge the `JoinBridge` ECALL returned).
+    pub bridge_entries: usize,
+    /// Nanoseconds spent building the join-key bridge (the `JoinBridge`
+    /// ECALL, or the local match for all-PLAIN keys).
+    pub bridge_ns: u64,
 }
 
 impl QueryStats {
@@ -50,6 +60,10 @@ impl QueryStats {
         self.enclave_calls += other.enclave_calls;
         self.values_decrypted += other.values_decrypted;
         self.snapshot_epoch = self.snapshot_epoch.max(other.snapshot_epoch);
+        self.join_build_rows += other.join_build_rows;
+        self.join_probe_rows += other.join_probe_rows;
+        self.bridge_entries += other.bridge_entries;
+        self.bridge_ns += other.bridge_ns;
     }
 }
 

@@ -82,21 +82,29 @@ impl ServerTable {
             return scope;
         }
         if let Some(part) = &self.schema.partitioning {
-            let mut lo = 0usize;
-            let mut hi = total - 1;
+            // Per filter, the scope is the exact *union* of its range
+            // disjunction's shards (an `IN` on the partition column skips
+            // the shards between its values); across filters, scopes
+            // intersect — matching the proxy-side computation.
+            let mut scope: Option<std::collections::BTreeSet<usize>> = None;
             for f in filters {
-                if let ServerFilter::Plain { column, range } = f {
+                if let ServerFilter::Plain { column, ranges } = f {
                     if column == &part.column {
-                        let r = part.overlapping(range);
-                        lo = lo.max(*r.start());
-                        hi = hi.min(*r.end());
+                        let mut ids = std::collections::BTreeSet::new();
+                        for range in ranges {
+                            ids.extend(part.overlapping(range));
+                        }
+                        scope = Some(match scope {
+                            None => ids,
+                            Some(acc) => acc.intersection(&ids).copied().collect(),
+                        });
                     }
                 }
             }
-            if lo > hi {
-                return Vec::new();
-            }
-            return (lo..=hi).collect();
+            return match scope {
+                Some(ids) => ids.into_iter().collect(),
+                None => (0..total).collect(),
+            };
         }
         (0..total).collect()
     }

@@ -372,6 +372,36 @@ mod tests {
     }
 
     #[test]
+    fn joins_execute_through_sessions_and_reader_forks() {
+        // Multi-table statements flow through the same Session/fork path
+        // as single-table ones: both tables are snapshotted in one tight
+        // acquisition pass, so a fork's join sees a consistent pair.
+        let mut db = session();
+        db.execute("CREATE TABLE a (k ED5(8), x ED1(8))").unwrap();
+        db.execute("CREATE TABLE b (k ED5(8), y ED9(8))").unwrap();
+        db.execute("INSERT INTO a VALUES ('k1', 'x1'), ('k2', 'x2')")
+            .unwrap();
+        db.execute("INSERT INTO b VALUES ('k2', 'y2'), ('k3', 'y3')")
+            .unwrap();
+        let mut reader = db.reader(9);
+        let r = reader
+            .execute("SELECT a.x, b.y FROM a JOIN b ON a.k = b.k")
+            .unwrap();
+        assert_eq!(
+            r.rows_as_strings(),
+            vec![vec!["x2".to_string(), "y2".to_string()]]
+        );
+        // One JoinBridge ECALL, visible through the shared server handle.
+        assert_eq!(reader.server().last_stats().enclave_calls, 1);
+        // A write through the parent is visible to the fork's next join.
+        db.execute("INSERT INTO a VALUES ('k3', 'x3')").unwrap();
+        let r = reader
+            .execute("SELECT a.x, b.y FROM a JOIN b ON a.k = b.k ORDER BY 1")
+            .unwrap();
+        assert_eq!(r.row_count(), 2);
+    }
+
+    #[test]
     fn reader_sessions_share_state() {
         let mut db = session();
         db.execute("CREATE TABLE t (v ED5(8))").unwrap();

@@ -17,6 +17,64 @@ pub struct ColumnDef {
     pub bs_max: Option<usize>,
 }
 
+/// A possibly table-qualified column reference (`c` or `t.c`).
+///
+/// Single-table statements normally use bare references; join statements
+/// qualify columns with their table so the planner can resolve each
+/// reference to a side. `From<&str>` / `From<String>` build unqualified
+/// references, so existing call sites keep reading naturally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Optional table qualifier.
+    pub table: Option<String>,
+    /// The column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// An unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// A table-qualified reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+
+    /// The bare column name, qualifier stripped.
+    pub fn name(&self) -> &str {
+        &self.column
+    }
+}
+
+impl From<&str> for ColumnRef {
+    fn from(s: &str) -> Self {
+        ColumnRef::bare(s)
+    }
+}
+
+impl From<String> for ColumnRef {
+    fn from(s: String) -> Self {
+        ColumnRef::bare(s)
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
 /// A comparison operator in a filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CompareOp {
@@ -46,14 +104,15 @@ impl fmt::Display for CompareOp {
 
 /// A filter over a single column.
 ///
-/// The proxy converts every shape into one range select (Fig. 5 step 5),
-/// so the server cannot distinguish query types.
+/// The proxy converts every shape into range selects (Fig. 5 step 5),
+/// so the server cannot distinguish query types. `IN` becomes one
+/// equality range per listed value, unioned on the scan path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Filter {
     /// `col <op> 'value'`
     Compare {
         /// Filtered column.
-        column: String,
+        column: ColumnRef,
         /// Operator.
         op: CompareOp,
         /// Comparison value.
@@ -62,25 +121,39 @@ pub enum Filter {
     /// `col BETWEEN 'a' AND 'b'` (inclusive).
     Between {
         /// Filtered column.
-        column: String,
+        column: ColumnRef,
         /// Lower bound (inclusive).
         low: Vec<u8>,
         /// Upper bound (inclusive).
         high: Vec<u8>,
     },
-    /// Two comparisons on the same column joined by `AND`, e.g.
-    /// `c >= 'a' AND c < 'b'`.
+    /// `col IN ('v1', 'v2', ...)` — membership in an explicit value list.
+    In {
+        /// Filtered column.
+        column: ColumnRef,
+        /// The listed values, in source order.
+        values: Vec<Vec<u8>>,
+    },
+    /// Two filters joined by `AND`, e.g. `c >= 'a' AND c < 'b'`.
     And(Box<Filter>, Box<Filter>),
 }
 
 impl Filter {
-    /// The single column this filter targets, if consistent.
+    /// The single column this filter targets, if consistent (bare name;
+    /// qualifiers must agree too — see [`Filter::column_ref`]).
     pub fn column(&self) -> Option<&str> {
+        self.column_ref().map(ColumnRef::name)
+    }
+
+    /// The single column reference this filter targets, if consistent.
+    pub fn column_ref(&self) -> Option<&ColumnRef> {
         match self {
-            Filter::Compare { column, .. } | Filter::Between { column, .. } => Some(column),
+            Filter::Compare { column, .. }
+            | Filter::Between { column, .. }
+            | Filter::In { column, .. } => Some(column),
             Filter::And(a, b) => {
-                let ca = a.column()?;
-                let cb = b.column()?;
+                let ca = a.column_ref()?;
+                let cb = b.column_ref()?;
                 if ca == cb {
                     Some(ca)
                 } else {
@@ -100,6 +173,10 @@ impl fmt::Display for Filter {
             Filter::Between { column, low, high } => {
                 write!(f, "{column} BETWEEN {} AND {}", quote(low), quote(high))
             }
+            Filter::In { column, values } => {
+                let vals: Vec<String> = values.iter().map(|v| quote(v)).collect();
+                write!(f, "{column} IN ({})", vals.join(", "))
+            }
             Filter::And(a, b) => write!(f, "{a} AND {b}"),
         }
     }
@@ -108,23 +185,24 @@ impl fmt::Display for Filter {
 /// One item of a SELECT list.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SelectItem {
-    /// A bare column reference.
-    Column(String),
+    /// A (possibly qualified) column reference.
+    Column(ColumnRef),
     /// An aggregate, e.g. `SUM(price)` or `COUNT(*)` (`column` is `None`
     /// only for `COUNT(*)`).
     Aggregate {
         /// The aggregate function.
         func: AggFunc,
         /// The aggregated column (`None` for `COUNT(*)`).
-        column: Option<String>,
+        column: Option<ColumnRef>,
     },
 }
 
 impl SelectItem {
-    /// The output column name of this item (`count`, `sum(price)`, ...).
+    /// The output column name of this item (`count`, `sum(price)`,
+    /// `a.x`, ...).
     pub fn output_name(&self) -> String {
         match self {
-            SelectItem::Column(c) => c.clone(),
+            SelectItem::Column(c) => c.to_string(),
             SelectItem::Aggregate {
                 func: AggFunc::Count,
                 ..
@@ -148,7 +226,7 @@ impl SelectItem {
 impl fmt::Display for SelectItem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SelectItem::Column(c) => f.write_str(c),
+            SelectItem::Column(c) => write!(f, "{c}"),
             SelectItem::Aggregate { func, column } => match column {
                 Some(c) => write!(f, "{func}({c})"),
                 None => write!(f, "{func}(*)"),
@@ -162,7 +240,7 @@ impl fmt::Display for SelectItem {
 pub enum OrderTarget {
     /// A 1-based output position (`ORDER BY 2`).
     Position(usize),
-    /// An output column by name.
+    /// An output column by name (qualified names render as `t.c`).
     Column(String),
 }
 
@@ -197,6 +275,23 @@ pub struct PartitionByDef {
     pub split_points: Vec<Vec<u8>>,
 }
 
+/// The `JOIN b ON a.k = b.k` clause of a two-table SELECT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinClause {
+    /// The joined (right) table.
+    pub table: String,
+    /// Left operand of the ON equality.
+    pub left: ColumnRef,
+    /// Right operand of the ON equality.
+    pub right: ColumnRef,
+}
+
+impl fmt::Display for JoinClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JOIN {} ON {} = {}", self.table, self.left, self.right)
+    }
+}
+
 /// A parsed SQL statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Statement {
@@ -217,18 +312,23 @@ pub enum Statement {
         /// Rows of values.
         rows: Vec<Vec<Vec<u8>>>,
     },
-    /// `SELECT a, SUM(b) FROM t WHERE c >= 'x' GROUP BY a ORDER BY 2 DESC
-    /// LIMIT 10` — the analytic select shape. Plain selects are the special
-    /// case with only [`SelectItem::Column`] items and no GROUP BY.
+    /// `SELECT [DISTINCT] a, SUM(b) FROM t [JOIN u ON t.k = u.k] WHERE
+    /// c >= 'x' GROUP BY a ORDER BY 2 DESC LIMIT 10` — the analytic select
+    /// shape. Plain selects are the special case with only
+    /// [`SelectItem::Column`] items, no GROUP BY and no join.
     Select {
+        /// `SELECT DISTINCT`: deduplicate the output rows.
+        distinct: bool,
         /// Select-list items; empty means `*`.
         items: Vec<SelectItem>,
-        /// Source table.
+        /// Source (left) table.
         table: String,
+        /// Optional equi-join with a second table.
+        join: Option<Box<JoinClause>>,
         /// Optional filter.
         filter: Option<Filter>,
         /// GROUP BY columns (empty when absent).
-        group_by: Vec<String>,
+        group_by: Vec<ColumnRef>,
         /// ORDER BY keys (empty when absent).
         order_by: Vec<OrderKey>,
         /// Optional LIMIT.
@@ -299,23 +399,33 @@ impl fmt::Display for Statement {
                 write!(f, "INSERT INTO {table} VALUES {}", rows.join(", "))
             }
             Statement::Select {
+                distinct,
                 items,
                 table,
+                join: join_clause,
                 filter,
                 group_by,
                 order_by,
                 limit,
             } => {
-                if items.is_empty() {
-                    write!(f, "SELECT * FROM {table}")?;
+                let head = if *distinct {
+                    "SELECT DISTINCT"
                 } else {
-                    write!(f, "SELECT {} FROM {table}", join(items))?;
+                    "SELECT"
+                };
+                if items.is_empty() {
+                    write!(f, "{head} * FROM {table}")?;
+                } else {
+                    write!(f, "{head} {} FROM {table}", join(items))?;
+                }
+                if let Some(j) = join_clause {
+                    write!(f, " {j}")?;
                 }
                 if let Some(filter) = filter {
                     write!(f, " WHERE {filter}")?;
                 }
                 if !group_by.is_empty() {
-                    write!(f, " GROUP BY {}", group_by.join(", "))?;
+                    write!(f, " GROUP BY {}", join(group_by))?;
                 }
                 if !order_by.is_empty() {
                     write!(f, " ORDER BY {}", join(order_by))?;
@@ -369,11 +479,27 @@ mod tests {
             }),
         );
         assert_eq!(mixed.column(), None);
+
+        // Same bare name under different qualifiers is NOT one column.
+        let cross = Filter::And(
+            Box::new(Filter::Compare {
+                column: ColumnRef::qualified("a", "k"),
+                op: CompareOp::Ge,
+                value: b"a".to_vec(),
+            }),
+            Box::new(Filter::Compare {
+                column: ColumnRef::qualified("b", "k"),
+                op: CompareOp::Lt,
+                value: b"m".to_vec(),
+            }),
+        );
+        assert_eq!(cross.column(), None);
     }
 
     #[test]
     fn display_renders_canonical_sql() {
         let stmt = Statement::Select {
+            distinct: false,
             items: vec![
                 SelectItem::Column("a".into()),
                 SelectItem::Aggregate {
@@ -382,6 +508,7 @@ mod tests {
                 },
             ],
             table: "t".into(),
+            join: None,
             filter: Some(Filter::Between {
                 column: "b".into(),
                 low: b"x".to_vec(),
@@ -399,6 +526,49 @@ mod tests {
             "SELECT a, SUM(b) FROM t WHERE b BETWEEN 'x' AND 'y' \
              GROUP BY a ORDER BY 2 DESC LIMIT 10"
         );
+    }
+
+    #[test]
+    fn display_renders_join_and_qualified_columns() {
+        let stmt = Statement::Select {
+            distinct: false,
+            items: vec![
+                SelectItem::Column(ColumnRef::qualified("a", "x")),
+                SelectItem::Column(ColumnRef::qualified("b", "y")),
+            ],
+            table: "a".into(),
+            join: Some(Box::new(JoinClause {
+                table: "b".into(),
+                left: ColumnRef::qualified("a", "k"),
+                right: ColumnRef::qualified("b", "k"),
+            })),
+            filter: Some(Filter::In {
+                column: ColumnRef::qualified("a", "x"),
+                values: vec![b"u".to_vec(), b"v".to_vec()],
+            }),
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+        };
+        assert_eq!(
+            stmt.to_string(),
+            "SELECT a.x, b.y FROM a JOIN b ON a.k = b.k WHERE a.x IN ('u', 'v')"
+        );
+    }
+
+    #[test]
+    fn display_renders_distinct() {
+        let stmt = Statement::Select {
+            distinct: true,
+            items: vec![SelectItem::Column("v".into())],
+            table: "t".into(),
+            join: None,
+            filter: None,
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+        };
+        assert_eq!(stmt.to_string(), "SELECT DISTINCT v FROM t");
     }
 
     #[test]
@@ -429,5 +599,9 @@ mod tests {
             "avg(p)"
         );
         assert_eq!(SelectItem::Column("c".into()).output_name(), "c");
+        assert_eq!(
+            SelectItem::Column(ColumnRef::qualified("t", "c")).output_name(),
+            "t.c"
+        );
     }
 }

@@ -18,6 +18,8 @@ pub enum Token {
     RParen,
     /// `,`
     Comma,
+    /// `.` (table-qualified column names).
+    Dot,
     /// `;`
     Semicolon,
     /// `*`
@@ -58,6 +60,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, DbError> {
             }
             ',' => {
                 tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
                 i += 1;
             }
             ';' => {
@@ -173,6 +179,23 @@ mod tests {
     fn string_escapes() {
         let toks = tokenize("'it''s'").unwrap();
         assert_eq!(toks, vec![Token::Str(b"it's".to_vec())]);
+    }
+
+    #[test]
+    fn tokenizes_qualified_names() {
+        let toks = tokenize("a.x = b.y").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("x".into()),
+                Token::Eq,
+                Token::Ident("b".into()),
+                Token::Dot,
+                Token::Ident("y".into()),
+            ]
+        );
     }
 
     #[test]

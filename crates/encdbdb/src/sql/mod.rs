@@ -4,10 +4,12 @@
 //! steps 5–6) plus the analytic extension of the `exec` engine:
 //! `CREATE TABLE` with encrypted-dictionary column types and an optional
 //! `PARTITION BY RANGE (col) SPLIT ('a', ...)` clause, `INSERT`,
-//! `SELECT` with single-column filters (equality, inequality,
-//! greater/less than, `BETWEEN`), aggregates (`COUNT(*)`, `SUM`, `MIN`,
-//! `MAX`, `AVG`), `GROUP BY`, `ORDER BY ... [ASC|DESC]`, `LIMIT`, and
-//! `DELETE` with the same filters.
+//! `SELECT [DISTINCT]` with single-column filters (equality, inequality,
+//! greater/less than, `BETWEEN`, `IN (...)`), two-table equi-joins
+//! (`FROM a JOIN b ON a.k = b.k` with table-qualified column names),
+//! aggregates (`COUNT(*)`, `SUM`, `MIN`, `MAX`, `AVG`), `GROUP BY`,
+//! `ORDER BY ... [ASC|DESC]`, `LIMIT`, and `DELETE` with the same
+//! filters.
 //!
 //! [`Statement`] implements [`std::fmt::Display`], producing canonical SQL
 //! that parses back to an equal statement (property-tested in
@@ -18,6 +20,7 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{
-    ColumnDef, CompareOp, Filter, OrderKey, OrderTarget, PartitionByDef, SelectItem, Statement,
+    ColumnDef, ColumnRef, CompareOp, Filter, JoinClause, OrderKey, OrderTarget, PartitionByDef,
+    SelectItem, Statement,
 };
 pub use parser::parse;

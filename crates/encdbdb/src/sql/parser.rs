@@ -1,7 +1,8 @@
 //! Recursive-descent SQL parser.
 
 use super::ast::{
-    ColumnDef, CompareOp, Filter, OrderKey, OrderTarget, PartitionByDef, SelectItem, Statement,
+    ColumnDef, ColumnRef, CompareOp, Filter, JoinClause, OrderKey, OrderTarget, PartitionByDef,
+    SelectItem, Statement,
 };
 use super::lexer::{tokenize, Token};
 use crate::error::DbError;
@@ -68,6 +69,18 @@ impl Parser {
         match self.next() {
             Some(Token::Int(n)) => Ok(n),
             other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    /// A possibly qualified column reference: `c` or `t.c`.
+    fn column_ref(&mut self) -> Result<ColumnRef, DbError> {
+        let first = self.ident()?;
+        if self.peek() == Some(&Token::Dot) {
+            self.next();
+            let column = self.ident()?;
+            Ok(ColumnRef::qualified(first, column))
+        } else {
+            Ok(ColumnRef::bare(first))
         }
     }
 
@@ -192,9 +205,15 @@ impl Parser {
     /// One SELECT-list item: a column reference or an aggregate call.
     fn select_item(&mut self) -> Result<SelectItem, DbError> {
         let name = self.ident()?;
+        // A qualified name is always a column reference (`t.c`).
+        if self.peek() == Some(&Token::Dot) {
+            self.next();
+            let column = self.ident()?;
+            return Ok(SelectItem::Column(ColumnRef::qualified(name, column)));
+        }
         let func = AggFunc::parse(&name);
         if self.peek() != Some(&Token::LParen) {
-            return Ok(SelectItem::Column(name));
+            return Ok(SelectItem::Column(ColumnRef::bare(name)));
         }
         let Some(func) = func else {
             return Err(self.err(format!("unknown aggregate function: {name}")));
@@ -205,7 +224,7 @@ impl Parser {
             self.expect(&Token::Star)?;
             None
         } else {
-            Some(self.ident()?)
+            Some(self.column_ref()?)
         };
         self.expect(&Token::RParen)?;
         Ok(SelectItem::Aggregate { func, column })
@@ -213,6 +232,12 @@ impl Parser {
 
     fn select(&mut self) -> Result<Statement, DbError> {
         self.expect_keyword("SELECT")?;
+        let distinct = if self.peek_keyword("DISTINCT") {
+            self.next();
+            true
+        } else {
+            false
+        };
         let mut items = Vec::new();
         if self.peek() == Some(&Token::Star) {
             self.next();
@@ -228,6 +253,21 @@ impl Parser {
         }
         self.expect_keyword("FROM")?;
         let table = self.ident()?;
+        let join = if self.peek_keyword("JOIN") {
+            self.next();
+            let join_table = self.ident()?;
+            self.expect_keyword("ON")?;
+            let left = self.column_ref()?;
+            self.expect(&Token::Eq)?;
+            let right = self.column_ref()?;
+            Some(Box::new(JoinClause {
+                table: join_table,
+                left,
+                right,
+            }))
+        } else {
+            None
+        };
         let filter = if self.peek_keyword("WHERE") {
             self.next();
             Some(self.filter()?)
@@ -239,7 +279,7 @@ impl Parser {
             self.next();
             self.expect_keyword("BY")?;
             loop {
-                group_by.push(self.ident()?);
+                group_by.push(self.column_ref()?);
                 if self.peek() == Some(&Token::Comma) {
                     self.next();
                     continue;
@@ -267,8 +307,10 @@ impl Parser {
             None
         };
         Ok(Statement::Select {
+            distinct,
             items,
             table,
+            join,
             filter,
             group_by,
             order_by,
@@ -286,7 +328,16 @@ impl Parser {
                 }
                 OrderTarget::Position(p as usize)
             }
-            Some(Token::Ident(c)) => OrderTarget::Column(c),
+            Some(Token::Ident(c)) => {
+                // A qualified key renders as the `t.c` output-column name.
+                if self.peek() == Some(&Token::Dot) {
+                    self.next();
+                    let col = self.ident()?;
+                    OrderTarget::Column(format!("{c}.{col}"))
+                } else {
+                    OrderTarget::Column(c)
+                }
+            }
             other => {
                 return Err(self.err(format!("expected ORDER BY key, found {other:?}")));
             }
@@ -317,23 +368,37 @@ impl Parser {
     }
 
     fn filter(&mut self) -> Result<Filter, DbError> {
-        let first = self.predicate()?;
-        if self.peek_keyword("AND") {
+        let mut acc = self.predicate()?;
+        while self.peek_keyword("AND") {
             self.next();
-            let second = self.predicate()?;
-            return Ok(Filter::And(Box::new(first), Box::new(second)));
+            let next = self.predicate()?;
+            acc = Filter::And(Box::new(acc), Box::new(next));
         }
-        Ok(first)
+        Ok(acc)
     }
 
     fn predicate(&mut self) -> Result<Filter, DbError> {
-        let column = self.ident()?;
+        let column = self.column_ref()?;
         if self.peek_keyword("BETWEEN") {
             self.next();
             let low = self.string()?;
             self.expect_keyword("AND")?;
             let high = self.string()?;
             return Ok(Filter::Between { column, low, high });
+        }
+        if self.peek_keyword("IN") {
+            self.next();
+            self.expect(&Token::LParen)?;
+            let mut values = Vec::new();
+            loop {
+                values.push(self.string()?);
+                match self.next() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::RParen) => break,
+                    other => return Err(self.err(format!("expected , or ), found {other:?}"))),
+                }
+            }
+            return Ok(Filter::In { column, values });
         }
         let op = match self.next() {
             Some(Token::Eq) => CompareOp::Eq,
@@ -503,7 +568,7 @@ mod tests {
                         },
                     ]
                 );
-                assert_eq!(group_by, vec!["region"]);
+                assert_eq!(group_by, vec![ColumnRef::bare("region")]);
                 assert_eq!(
                     order_by,
                     vec![
@@ -571,6 +636,110 @@ mod tests {
     fn parses_delete() {
         let stmt = parse("DELETE FROM t WHERE c = 'x'").unwrap();
         assert!(matches!(stmt, Statement::Delete { .. }));
+    }
+
+    #[test]
+    fn parses_join_with_qualified_columns() {
+        let stmt = parse(
+            "SELECT a.x, b.y FROM a JOIN b ON a.k = b.k \
+             WHERE a.x >= 'm' AND b.y < 'q' ORDER BY a.x LIMIT 4",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select {
+                items,
+                table,
+                join,
+                filter,
+                order_by,
+                limit,
+                ..
+            } => {
+                assert_eq!(table, "a");
+                assert_eq!(
+                    items,
+                    vec![
+                        SelectItem::Column(ColumnRef::qualified("a", "x")),
+                        SelectItem::Column(ColumnRef::qualified("b", "y")),
+                    ]
+                );
+                assert_eq!(
+                    join,
+                    Some(Box::new(JoinClause {
+                        table: "b".into(),
+                        left: ColumnRef::qualified("a", "k"),
+                        right: ColumnRef::qualified("b", "k"),
+                    }))
+                );
+                // A three-way AND chain parses (left fold).
+                assert!(filter.is_some());
+                assert_eq!(
+                    order_by,
+                    vec![OrderKey {
+                        target: OrderTarget::Column("a.x".into()),
+                        desc: false
+                    }]
+                );
+                assert_eq!(limit, Some(4));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        // Display round-trips the join shape.
+        let stmt = parse("SELECT a.x, b.y FROM a JOIN b ON a.k = b.k").unwrap();
+        assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
+    }
+
+    #[test]
+    fn parses_in_predicate() {
+        let stmt = parse("SELECT v FROM t WHERE v IN ('a', 'b', 'c')").unwrap();
+        match stmt {
+            Statement::Select { filter, .. } => {
+                assert_eq!(
+                    filter.unwrap(),
+                    Filter::In {
+                        column: "v".into(),
+                        values: vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()],
+                    }
+                );
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        // IN composes with other conjuncts and round-trips.
+        let stmt = parse("SELECT v FROM t WHERE v IN ('a', 'b') AND g >= 'x'").unwrap();
+        assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
+        assert!(parse("SELECT v FROM t WHERE v IN ()").is_err());
+        assert!(parse("SELECT v FROM t WHERE v IN ('a'").is_err());
+    }
+
+    #[test]
+    fn parses_select_distinct() {
+        let stmt = parse("SELECT DISTINCT v FROM t WHERE v >= 'b'").unwrap();
+        match &stmt {
+            Statement::Select {
+                distinct, items, ..
+            } => {
+                assert!(distinct);
+                assert_eq!(items, &vec![SelectItem::Column("v".into())]);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
+    }
+
+    #[test]
+    fn three_conjunct_filters_parse() {
+        let stmt = parse("SELECT * FROM t WHERE a >= 'b' AND a < 'm' AND g = 'x'").unwrap();
+        match stmt {
+            Statement::Select { filter, .. } => {
+                // Left fold: ((a >= 'b' AND a < 'm') AND g = 'x').
+                let Filter::And(left, right) = filter.unwrap() else {
+                    panic!("expected AND");
+                };
+                assert!(matches!(*left, Filter::And(..)));
+                assert!(matches!(*right, Filter::Compare { .. }));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
     }
 
     #[test]

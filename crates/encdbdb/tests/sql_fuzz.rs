@@ -4,7 +4,7 @@
 //! LIMIT) via `Display`: parse → display → parse is the identity on the
 //! parsed representation.
 
-use encdbdb::sql::{parse, OrderKey, OrderTarget, SelectItem, Statement};
+use encdbdb::sql::{parse, ColumnRef, JoinClause, OrderKey, OrderTarget, SelectItem, Statement};
 use encdict::aggregate::AggFunc;
 use proptest::prelude::*;
 
@@ -97,12 +97,16 @@ proptest! {
     ) {
         let aggregate = SelectItem::Aggregate {
             func,
-            column: if func == AggFunc::Count { None } else { Some(agg_col.clone()) },
+            column: if func == AggFunc::Count {
+                None
+            } else {
+                Some(agg_col.clone().into())
+            },
         };
         let (items, group_by) = if with_group {
             (
-                vec![SelectItem::Column(group_col.clone()), aggregate],
-                vec![group_col.clone()],
+                vec![SelectItem::Column(group_col.clone().into()), aggregate],
+                vec![ColumnRef::bare(group_col.clone())],
             )
         } else {
             (vec![aggregate], vec![])
@@ -116,16 +120,62 @@ proptest! {
             }]
         };
         let filter = with_filter.then(|| encdbdb::sql::Filter::Between {
-            column: group_col.clone(),
+            column: group_col.clone().into(),
             low: lo.clone().into_bytes(),
             high: hi.clone().into_bytes(),
         });
         let stmt = Statement::Select {
+            distinct: false,
             items,
             table: table.clone(),
+            join: None,
             filter,
             group_by,
             order_by,
+            limit,
+        };
+        let rendered = stmt.to_string();
+        let reparsed = parse(&rendered);
+        prop_assert!(reparsed.is_ok(), "failed to reparse {rendered:?}: {reparsed:?}");
+        prop_assert_eq!(reparsed.unwrap(), stmt, "display output: {}", rendered);
+    }
+
+    /// Constructed join statements with qualified references, DISTINCT and
+    /// IN round-trip through `Display`.
+    #[test]
+    fn join_grammar_display_roundtrip(
+        left in "[a-z][a-z0-9_]{0,5}",
+        right in "[a-z][a-z0-9_]{0,5}",
+        key in "[a-z][a-z0-9_]{0,5}",
+        col_l in "[a-z][a-z0-9_]{0,5}",
+        col_r in "[a-z][a-z0-9_]{0,5}",
+        distinct in any::<bool>(),
+        in_values in prop::collection::vec("[a-z']{1,6}", 1..4),
+        with_filter in any::<bool>(),
+        limit in prop::sample::select(vec![None, Some(3usize)]),
+    ) {
+        let filter = with_filter.then(|| encdbdb::sql::Filter::In {
+            column: ColumnRef::qualified(left.clone(), col_l.clone()),
+            values: in_values.iter().map(|v| v.clone().into_bytes()).collect(),
+        });
+        let stmt = Statement::Select {
+            distinct,
+            items: vec![
+                SelectItem::Column(ColumnRef::qualified(left.clone(), col_l.clone())),
+                SelectItem::Column(ColumnRef::qualified(right.clone(), col_r.clone())),
+            ],
+            table: left.clone(),
+            join: Some(Box::new(JoinClause {
+                table: right.clone(),
+                left: ColumnRef::qualified(left.clone(), key.clone()),
+                right: ColumnRef::qualified(right.clone(), key.clone()),
+            })),
+            filter,
+            group_by: vec![],
+            order_by: vec![OrderKey {
+                target: OrderTarget::Column(format!("{left}.{col_l}")),
+                desc: false,
+            }],
             limit,
         };
         let rendered = stmt.to_string();

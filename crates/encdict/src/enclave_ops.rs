@@ -200,6 +200,76 @@ pub struct AggregateRequest<'a> {
     pub plan: &'a AggPlanSpec,
 }
 
+/// The join-key source of one range partition of one join side.
+///
+/// Codes address the concatenated main + delta value space of the key
+/// column, exactly like [`AggColumnData`]: code `< main.len` is a
+/// main-store ValueID, `code - main.len` a delta-store row.
+#[derive(Debug)]
+pub enum JoinKeyData<'a> {
+    /// An encrypted key column: the enclave decrypts each listed distinct
+    /// code once.
+    Encrypted {
+        /// Main-store dictionary.
+        main: SegmentRef<'a>,
+        /// Delta-store dictionary (ED9 layout).
+        delta: SegmentRef<'a>,
+        /// Distinct touched codes, ascending.
+        codes: &'a [u32],
+    },
+    /// A PLAIN key column: the distinct touched values, resolved by the
+    /// untrusted caller.
+    Plain {
+        /// Distinct touched values.
+        values: &'a [Vec<u8>],
+    },
+}
+
+/// One side of a join-bridge request: the key column's per-partition
+/// distinct codes.
+#[derive(Debug)]
+pub struct JoinSideData<'a> {
+    /// Table name (key-derivation metadata).
+    pub table_name: &'a str,
+    /// `Some(column)` for an encrypted key column (key-derivation
+    /// metadata), `None` for PLAIN.
+    pub col_name: Option<&'a str>,
+    /// One entry per scanned non-empty partition.
+    pub parts: Vec<JoinKeyData<'a>>,
+}
+
+/// A join-bridge ECALL request: the untrusted server has reduced each
+/// side's matching rows to per-partition distinct join-key codes; the
+/// enclave decrypts each distinct key once per side and returns an opaque
+/// ValueID↔ValueID *bridge* — per-partition maps from distinct-code index
+/// to a bridge id that is equal exactly when the plaintext keys are equal
+/// and present on both sides. The hash build/probe then runs untrusted on
+/// bridge ids; plaintext keys never leave the enclave, and bridge ids are
+/// assigned in an enclave-shuffled order so they reveal nothing about key
+/// *order* (DESIGN.md §11 analyzes what the bridge does reveal).
+#[derive(Debug)]
+pub struct JoinBridgeRequest<'a> {
+    /// The build side.
+    pub left: JoinSideData<'a>,
+    /// The probe side.
+    pub right: JoinSideData<'a>,
+}
+
+/// The enclave's reply to a [`JoinBridgeRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinBridgeReply {
+    /// Per left partition, per distinct-code index: the key's bridge id,
+    /// or `None` when the key has no match on the right side.
+    pub left: Vec<Vec<Option<u32>>>,
+    /// Per right partition, per distinct-code index, symmetrically.
+    pub right: Vec<Vec<Option<u32>>>,
+    /// Distinct join keys present on both sides.
+    pub bridge_entries: usize,
+    /// Dictionary values decrypted — at most one per distinct touched key
+    /// code per side, never per row.
+    pub values_decrypted: usize,
+}
+
 /// One output cell of an aggregate reply.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AggCell {
@@ -231,6 +301,8 @@ pub enum DictCall<'a> {
     Merge(MergeRequest<'a>),
     /// Grouped aggregation over a ValueID histogram.
     Aggregate(AggregateRequest<'a>),
+    /// Equi-join key bridging over per-side distinct ValueIDs.
+    JoinBridge(JoinBridgeRequest<'a>),
 }
 
 /// ECALL reply.
@@ -244,6 +316,55 @@ pub enum DictReply {
     Merged(Result<(EncryptedDictionary, colstore::dictionary::AttributeVector), EncdictError>),
     /// Aggregation result.
     Aggregated(Result<AggregateReply, EncdictError>),
+    /// Join-bridge result.
+    Bridged(Result<JoinBridgeReply, EncdictError>),
+}
+
+/// One join side's per-partition bridge-id maps: for each partition, the
+/// optional id of each distinct key code (aligned with the request's code
+/// lists).
+pub type SideIdMaps = Vec<Vec<Option<u32>>>;
+
+/// The join-bridge core shared by the enclave and the all-PLAIN untrusted
+/// path: keys present on BOTH sides get one bridge id each; everything
+/// else maps to `None` (such a key provably joins nothing, which the
+/// probe phase would reveal anyway). `arrange` reorders the matched key
+/// list before ids are assigned — the enclave shuffles here so the
+/// numbering carries no key-order information; the all-PLAIN path passes
+/// a no-op since the server sees those plaintexts regardless.
+///
+/// Inputs are per-partition plaintext key tables (one entry per distinct
+/// touched code, in code order); outputs are the per-partition id maps,
+/// aligned index-for-index, plus the bridged-key count.
+pub fn bridge_key_tables<'k>(
+    left: &'k [Vec<Vec<u8>>],
+    right: &'k [Vec<Vec<u8>>],
+    arrange: impl FnOnce(&mut Vec<&'k [u8]>),
+) -> (SideIdMaps, SideIdMaps, usize) {
+    let left_keys: std::collections::HashSet<&[u8]> = left
+        .iter()
+        .flat_map(|t| t.iter().map(Vec::as_slice))
+        .collect();
+    let mut matched: Vec<&[u8]> = right
+        .iter()
+        .flat_map(|t| t.iter().map(Vec::as_slice))
+        .filter(|k| left_keys.contains(*k))
+        .collect::<std::collections::BTreeSet<&[u8]>>()
+        .into_iter()
+        .collect();
+    arrange(&mut matched);
+    let id_of: std::collections::HashMap<&[u8], u32> = matched
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u32))
+        .collect();
+    let map_side = |tables: &'k [Vec<Vec<u8>>]| -> Vec<Vec<Option<u32>>> {
+        tables
+            .iter()
+            .map(|t| t.iter().map(|k| id_of.get(k.as_slice()).copied()).collect())
+            .collect()
+    };
+    (map_side(left), map_side(right), matched.len())
 }
 
 /// Reads dictionary entries from untrusted memory, decrypting inside the
@@ -474,6 +595,82 @@ impl DictLogic {
         result
     }
 
+    /// Decrypts one join side's distinct key codes into per-partition
+    /// plaintext key tables — the same batched `DecryptValue` loop the
+    /// aggregate path uses, one decryption per distinct code.
+    fn bridge_side_keys(
+        env: &mut TrustedEnv,
+        side: &JoinSideData<'_>,
+        values_decrypted: &mut usize,
+        bytes_tracked: &mut usize,
+    ) -> Result<Vec<Vec<Vec<u8>>>, EncdictError> {
+        let pae = match side.col_name {
+            Some(col) => Some(Self::column_pae(env, side.table_name, col)?),
+            None => None,
+        };
+        let mut tables = Vec::with_capacity(side.parts.len());
+        for part in &side.parts {
+            match (part, &pae) {
+                (JoinKeyData::Encrypted { main, delta, codes }, Some(pae)) => {
+                    let mut table = Vec::with_capacity(codes.len());
+                    for &code in *codes {
+                        let pt = if (code as usize) < main.len {
+                            Self::read_segment_entry(env, *main, pae, code as usize)?
+                        } else {
+                            Self::read_segment_entry(env, *delta, pae, code as usize - main.len)?
+                        };
+                        *values_decrypted += 1;
+                        *bytes_tracked += pt.len();
+                        env.track_alloc(pt.len());
+                        table.push(pt);
+                    }
+                    tables.push(table);
+                }
+                (JoinKeyData::Plain { values }, None) => tables.push(values.to_vec()),
+                _ => {
+                    return Err(EncdictError::CorruptDictionary(
+                        "join-key data does not match its declared protection",
+                    ))
+                }
+            }
+        }
+        Ok(tables)
+    }
+
+    fn join_bridge(
+        &mut self,
+        env: &mut TrustedEnv,
+        req: JoinBridgeRequest<'_>,
+    ) -> Result<JoinBridgeReply, EncdictError> {
+        let mut bytes_tracked = 0usize;
+        let result = self.join_bridge_inner(env, &req, &mut bytes_tracked);
+        env.track_free(bytes_tracked);
+        result
+    }
+
+    fn join_bridge_inner(
+        &mut self,
+        env: &mut TrustedEnv,
+        req: &JoinBridgeRequest<'_>,
+        bytes_tracked: &mut usize,
+    ) -> Result<JoinBridgeReply, EncdictError> {
+        let mut values_decrypted = 0usize;
+        let left = Self::bridge_side_keys(env, &req.left, &mut values_decrypted, bytes_tracked)?;
+        let right = Self::bridge_side_keys(env, &req.right, &mut values_decrypted, bytes_tracked)?;
+        // Ids are assigned after an in-enclave shuffle, so the numbering
+        // carries no key-order information — crucial for rotated/unsorted
+        // kinds whose dictionaries hide order.
+        use rand::seq::SliceRandom;
+        let (left, right, bridge_entries) =
+            bridge_key_tables(&left, &right, |m| m.shuffle(&mut self.rng));
+        Ok(JoinBridgeReply {
+            left,
+            right,
+            bridge_entries,
+            values_decrypted,
+        })
+    }
+
     fn aggregate_inner(
         &mut self,
         env: &mut TrustedEnv,
@@ -595,6 +792,7 @@ impl EnclaveLogic for DictLogic {
             DictCall::Reencrypt(req) => DictReply::Reencrypted(self.reencrypt(env, req)),
             DictCall::Merge(req) => DictReply::Merged(self.merge(env, req)),
             DictCall::Aggregate(req) => DictReply::Aggregated(self.aggregate(env, req)),
+            DictCall::JoinBridge(req) => DictReply::Bridged(self.join_bridge(env, req)),
         }
     }
 }
@@ -718,6 +916,23 @@ impl DictEnclave {
         match self.inner.ecall(DictCall::Aggregate(req)) {
             DictReply::Aggregated(r) => r,
             _ => unreachable!("aggregate call returns aggregate reply"),
+        }
+    }
+
+    /// Builds the opaque join-key bridge for an equi-join — one ECALL per
+    /// query, decrypting each distinct join-key code at most once per
+    /// side.
+    ///
+    /// # Errors
+    ///
+    /// As [`DictEnclave::search`].
+    pub fn join_bridge(
+        &mut self,
+        req: JoinBridgeRequest<'_>,
+    ) -> Result<JoinBridgeReply, EncdictError> {
+        match self.inner.ecall(DictCall::JoinBridge(req)) {
+            DictReply::Bridged(r) => r,
+            _ => unreachable!("join-bridge call returns bridge reply"),
         }
     }
 
@@ -924,6 +1139,83 @@ mod tests {
         let other_pae = Pae::new(&derive_column_key(&skdb, "t", "other"));
         let range = EncryptedRange::encrypt(&other_pae, &mut rng, &RangeQuery::equals("a"));
         assert!(enclave.search(&dict, &range).is_err());
+    }
+
+    #[test]
+    fn join_bridge_matches_equal_keys_once_per_distinct_code() {
+        // Left ED1 dictionary {a,b,c}, right ED9-ish per-row entries with
+        // duplicates {b,b,d}: the bridge must connect exactly the key 'b',
+        // decrypting each distinct code once per side.
+        let values_l = ["a", "b", "c"];
+        let values_r = ["b", "b", "d"];
+        let mut rng = StdRng::seed_from_u64(31);
+        let skdb = Key128::from_bytes([9; 16]);
+        let sk_l = derive_column_key(&skdb, "t", "kl");
+        let sk_r = derive_column_key(&skdb, "u", "kr");
+        let params_l = BuildParams {
+            table_name: "t".into(),
+            col_name: "kl".into(),
+            bs_max: 3,
+        };
+        let params_r = BuildParams {
+            table_name: "u".into(),
+            col_name: "kr".into(),
+            bs_max: 3,
+        };
+        let col_l = Column::from_strs("kl", 8, values_l.iter().copied()).unwrap();
+        let col_r = Column::from_strs("kr", 8, values_r.iter().copied()).unwrap();
+        let (dict_l, _) = build_encrypted(&col_l, EdKind::Ed1, &params_l, &sk_l, &mut rng).unwrap();
+        let (dict_r, _) = build_encrypted(&col_r, EdKind::Ed9, &params_r, &sk_r, &mut rng).unwrap();
+        let mut enclave = DictEnclave::with_seed(32);
+        enclave.provision_direct(skdb);
+        enclave.enclave_mut().reset_counters();
+
+        let empty = SegmentRef {
+            head: UntrustedMemory::new(&[]),
+            tail: UntrustedMemory::new(&[]),
+            len: 0,
+        };
+        let codes_l: Vec<u32> = (0..dict_l.len() as u32).collect();
+        let codes_r: Vec<u32> = (0..dict_r.len() as u32).collect();
+        let reply = enclave
+            .join_bridge(JoinBridgeRequest {
+                left: JoinSideData {
+                    table_name: "t",
+                    col_name: Some("kl"),
+                    parts: vec![JoinKeyData::Encrypted {
+                        main: dict_l.segment_ref(),
+                        delta: empty,
+                        codes: &codes_l,
+                    }],
+                },
+                right: JoinSideData {
+                    table_name: "u",
+                    col_name: Some("kr"),
+                    parts: vec![JoinKeyData::Encrypted {
+                        main: dict_r.segment_ref(),
+                        delta: empty,
+                        codes: &codes_r,
+                    }],
+                },
+            })
+            .unwrap();
+        // One ECALL; one decrypt per distinct code per side.
+        assert_eq!(enclave.enclave().counters().ecalls, 1);
+        assert_eq!(reply.values_decrypted, dict_l.len() + dict_r.len());
+        // Exactly one key ('b') bridges; it links matching codes on both
+        // sides and nothing else.
+        assert_eq!(reply.bridge_entries, 1);
+        let left_ids: Vec<_> = reply.left[0].iter().filter_map(|x| *x).collect();
+        assert_eq!(left_ids, vec![0]);
+        // ED9 shuffles entries, so locate 'b' codes by decrypting.
+        let pae_r = Pae::new(&sk_r);
+        let b_codes: Vec<usize> = (0..dict_r.len())
+            .filter(|&i| decrypt_column_value(&pae_r, dict_r.ciphertext(i)).unwrap() == b"b")
+            .collect();
+        assert_eq!(b_codes.len(), 2, "ED9 keeps one entry per occurrence");
+        for (i, id) in reply.right[0].iter().enumerate() {
+            assert_eq!(id.is_some(), b_codes.contains(&i), "code {i}");
+        }
     }
 
     #[test]

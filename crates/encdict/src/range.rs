@@ -95,6 +95,27 @@ impl RangeQuery {
         }
     }
 
+    /// Whether this range provably matches nothing, from its bounds alone
+    /// (`start > end`, or `start == end` with either side exclusive).
+    /// Conjunction rewrites drop such ranges instead of searching them.
+    pub fn is_provably_empty(&self) -> bool {
+        let (s, s_excl) = match &self.start {
+            RangeBound::Inclusive(v) => (v, false),
+            RangeBound::Exclusive(v) => (v, true),
+            RangeBound::Unbounded => return false,
+        };
+        let (e, e_excl) = match &self.end {
+            RangeBound::Inclusive(v) => (v, false),
+            RangeBound::Exclusive(v) => (v, true),
+            RangeBound::Unbounded => return false,
+        };
+        match s.cmp(e) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Equal => s_excl || e_excl,
+            std::cmp::Ordering::Less => false,
+        }
+    }
+
     /// Whether a value matches this range.
     pub fn contains(&self, v: &[u8]) -> bool {
         let lo_ok = match &self.start {

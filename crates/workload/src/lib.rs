@@ -33,4 +33,4 @@ pub mod zipf;
 
 pub use queries::RangeQueryGen;
 pub use schedule::{HotShardSpec, Op, ScheduleGen, ScheduleSpec};
-pub use spec::{generate, ColumnSpec};
+pub use spec::{generate, ColumnSpec, JoinQueryGen, JoinQueryShape};

@@ -214,6 +214,171 @@ impl AggQueryGen {
     }
 }
 
+/// The two-table equi-join query shapes of the join pipeline
+/// (`encdbdb::exec::join`): a star-schema fact table probing a dimension
+/// table over a shared key domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinQueryShape {
+    /// The full unfiltered equi-join.
+    Full,
+    /// Join restricted to `range_size` consecutive key values via a
+    /// `BETWEEN` on the dimension side's key — the selectivity knob,
+    /// mirroring the paper's §6.3 range-size semantics.
+    KeyRange {
+        /// Consecutive unique key values the filter covers.
+        range_size: usize,
+    },
+    /// Join restricted to the `k` hottest keys via `IN (...)` — the
+    /// zipfian-hot-key shape (rank 0 of the Zipf distribution is the
+    /// hottest, and [`generate`] maps rank *i* to the *i*-th sorted unique
+    /// value).
+    HotKeys {
+        /// Number of hottest keys to list.
+        k: usize,
+    },
+}
+
+/// Deterministic generator of two-table equi-join SQL over a shared key
+/// domain: a dimension table (`left`) joined by a fact table (`right`)
+/// whose key column is generated with zipfian skew (one [`ColumnSpec`]
+/// with a `zipf_exponent` — the same machinery that feeds
+/// [`HotShardSpec`](crate::HotShardSpec)-skewed schedules). The same
+/// seeded RNG stream always yields the same query text.
+#[derive(Debug, Clone)]
+pub struct JoinQueryGen {
+    left_table: String,
+    left_key: String,
+    left_payload: String,
+    right_table: String,
+    right_key: String,
+    right_payload: String,
+    /// Sorted unique key values shared by both sides; zipf-rank order
+    /// (hottest first) coincides with this order for [`generate`]d
+    /// columns.
+    sorted_keys: Vec<String>,
+    /// Optional hot range: the index window of `sorted_keys` that
+    /// [`JoinQueryShape::KeyRange`] draws prefer, with the preference
+    /// percentage — reusing the [`crate::HotShardSpec`] shape (`hot_lo`
+    /// / `hot_hi` as key indices, `hot_insert_pct` as the draw bias).
+    hot: Option<crate::HotShardSpec>,
+}
+
+impl JoinQueryGen {
+    /// Creates a generator over the shared sorted key domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sorted_keys` is empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        left_table: impl Into<String>,
+        left_key: impl Into<String>,
+        left_payload: impl Into<String>,
+        right_table: impl Into<String>,
+        right_key: impl Into<String>,
+        right_payload: impl Into<String>,
+        sorted_keys: Vec<String>,
+    ) -> Self {
+        assert!(!sorted_keys.is_empty(), "need at least one key value");
+        debug_assert!(sorted_keys.windows(2).all(|w| w[0] <= w[1]));
+        JoinQueryGen {
+            left_table: left_table.into(),
+            left_key: left_key.into(),
+            left_payload: left_payload.into(),
+            right_table: right_table.into(),
+            right_key: right_key.into(),
+            right_payload: right_payload.into(),
+            sorted_keys,
+            hot: None,
+        }
+    }
+
+    /// Biases [`JoinQueryShape::KeyRange`] draws into a hot key-index
+    /// window: `spec.hot_insert_pct` percent of the draws start inside
+    /// `[hot_lo, hot_hi]` (indices into the sorted key domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty, leaves the domain, or the
+    /// percentage exceeds 100.
+    pub fn with_hot_range(mut self, spec: crate::HotShardSpec) -> Self {
+        assert!(spec.hot_lo <= spec.hot_hi, "hot range must be non-empty");
+        assert!(
+            (spec.hot_hi as usize) < self.sorted_keys.len(),
+            "hot range {}..={} leaves the {}-key domain",
+            spec.hot_lo,
+            spec.hot_hi,
+            self.sorted_keys.len()
+        );
+        assert!(spec.hot_insert_pct <= 100, "percentage over 100");
+        self.hot = Some(spec);
+        self
+    }
+
+    fn join_head(&self) -> String {
+        format!(
+            "SELECT {lt}.{lp}, {rt}.{rp} FROM {lt} JOIN {rt} ON {lt}.{lk} = {rt}.{rk}",
+            lt = self.left_table,
+            lp = self.left_payload,
+            rt = self.right_table,
+            rp = self.right_payload,
+            lk = self.left_key,
+            rk = self.right_key,
+        )
+    }
+
+    /// Draws one SQL query of the given shape.
+    pub fn draw<R: Rng + ?Sized>(&self, shape: JoinQueryShape, rng: &mut R) -> String {
+        match shape {
+            JoinQueryShape::Full => self.join_head(),
+            JoinQueryShape::KeyRange { range_size } => {
+                let rs = range_size.clamp(1, self.sorted_keys.len());
+                let max_start = self.sorted_keys.len() - rs;
+                let i = match &self.hot {
+                    Some(h) if rng.gen_range(0u32..100) < h.hot_insert_pct => {
+                        let hi = (h.hot_hi as usize).min(max_start);
+                        let lo = (h.hot_lo as usize).min(hi);
+                        rng.gen_range(lo..=hi)
+                    }
+                    _ => rng.gen_range(0..=max_start),
+                };
+                format!(
+                    "{} WHERE {lt}.{lk} BETWEEN '{lo}' AND '{hi}'",
+                    self.join_head(),
+                    lt = self.left_table,
+                    lk = self.left_key,
+                    lo = self.sorted_keys[i],
+                    hi = self.sorted_keys[i + rs - 1],
+                )
+            }
+            JoinQueryShape::HotKeys { k } => {
+                let k = k.clamp(1, self.sorted_keys.len());
+                let list: Vec<String> = self.sorted_keys[..k]
+                    .iter()
+                    .map(|v| format!("'{v}'"))
+                    .collect();
+                format!(
+                    "{} WHERE {rt}.{rk} IN ({})",
+                    self.join_head(),
+                    list.join(", "),
+                    rt = self.right_table,
+                    rk = self.right_key,
+                )
+            }
+        }
+    }
+
+    /// Draws a batch of queries of one shape.
+    pub fn draw_batch<R: Rng + ?Sized>(
+        &self,
+        shape: JoinQueryShape,
+        rng: &mut R,
+        count: usize,
+    ) -> Vec<String> {
+        (0..count).map(|_| self.draw(shape, rng)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +482,83 @@ mod tests {
             topk,
             "SELECT region, SUM(price) FROM sales GROUP BY region ORDER BY 2 DESC LIMIT 3"
         );
+    }
+
+    #[test]
+    fn join_query_gen_is_deterministic_and_well_formed() {
+        let keys: Vec<String> = (0..30).map(|i| value_string(i, 6)).collect();
+        let g = JoinQueryGen::new(
+            "users",
+            "uid",
+            "name",
+            "orders",
+            "uid",
+            "item",
+            keys.clone(),
+        );
+
+        let mut rng1 = StdRng::seed_from_u64(11);
+        let mut rng2 = StdRng::seed_from_u64(11);
+        let shape = JoinQueryShape::KeyRange { range_size: 4 };
+        let b1 = g.draw_batch(shape, &mut rng1, 10);
+        let b2 = g.draw_batch(shape, &mut rng2, 10);
+        assert_eq!(b1, b2, "same seed, same queries");
+        for sql in &b1 {
+            assert!(sql.starts_with(
+                "SELECT users.name, orders.item FROM users JOIN orders ON users.uid = orders.uid \
+                 WHERE users.uid BETWEEN"
+            ));
+            // The range spans exactly `range_size` keys.
+            let lo = sql.split('\'').nth(1).unwrap();
+            let hi = sql.split('\'').nth(3).unwrap();
+            let covered = keys
+                .iter()
+                .filter(|u| u.as_str() >= lo && u.as_str() <= hi)
+                .count();
+            assert_eq!(covered, 4);
+        }
+
+        let mut rng = StdRng::seed_from_u64(12);
+        assert_eq!(
+            g.draw(JoinQueryShape::Full, &mut rng),
+            "SELECT users.name, orders.item FROM users JOIN orders ON users.uid = orders.uid"
+        );
+        let hot = g.draw(JoinQueryShape::HotKeys { k: 2 }, &mut rng);
+        assert_eq!(
+            hot,
+            format!(
+                "SELECT users.name, orders.item FROM users JOIN orders \
+                 ON users.uid = orders.uid WHERE orders.uid IN ('{}', '{}')",
+                keys[0], keys[1]
+            )
+        );
+        // Every generated query parses.
+        for sql in b1.iter().chain([&hot]) {
+            // The SQL front end lives in encdbdb; here we only check the
+            // quoting discipline (no stray quotes).
+            assert_eq!(sql.matches('\'').count() % 2, 0, "balanced quotes: {sql}");
+        }
+    }
+
+    #[test]
+    fn join_query_gen_hot_range_biases_key_range_draws() {
+        let keys: Vec<String> = (0..100).map(|i| value_string(i, 6)).collect();
+        let g = JoinQueryGen::new("d", "k", "v", "f", "k", "w", keys.clone()).with_hot_range(
+            crate::HotShardSpec {
+                hot_lo: 0,
+                hot_hi: 9,
+                hot_insert_pct: 80,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(13);
+        let batch = g.draw_batch(JoinQueryShape::KeyRange { range_size: 1 }, &mut rng, 200);
+        let hot_cutoff = keys[9].clone();
+        let hot = batch
+            .iter()
+            .filter(|sql| sql.split('\'').nth(1).unwrap() <= hot_cutoff.as_str())
+            .count();
+        // ~80% + the uniform draws that also land low; well above half.
+        assert!(hot > 120, "hot draws: {hot}/200");
     }
 
     #[test]
