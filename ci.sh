@@ -32,6 +32,11 @@ run env ENCDBDB_STRESS_THREADS=4 ENCDBDB_STRESS_ROWS=2000 \
 # tables), bounded the same way.
 run env ENCDBDB_STRESS_THREADS=4 ENCDBDB_STRESS_ROWS=2000 \
     cargo test -q --offline --test join_exec
+# The crash-recovery fault-injection suite: the kill-point matrix (all 9
+# ED kinds + PLAIN, 1- and 4-shard), corruption (bit flips, truncated WAL
+# tails, swapped snapshot files) and checkpoint/fsync-batching recovery.
+run env ENCDBDB_STRESS_THREADS=4 ENCDBDB_STRESS_ROWS=2000 \
+    cargo test -q --offline --test crash_recovery
 # Benches are excluded from `cargo test` (they are timed loops); keep them
 # compiling — including the analytic-engine aggregate bench, the
 # snapshot/compaction bench, the partition-layer bench and the join
@@ -41,5 +46,6 @@ run cargo bench --no-run --offline -p encdbdb-bench --bench aggregate
 run cargo bench --no-run --offline -p encdbdb-bench --bench compaction
 run cargo bench --no-run --offline -p encdbdb-bench --bench partition
 run cargo bench --no-run --offline -p encdbdb-bench --bench join
+run cargo bench --no-run --offline -p encdbdb-bench --bench durability
 
 echo "==> CI green"

@@ -1,0 +1,201 @@
+//! Criterion benchmark for the durability layer (DESIGN.md §12): what a
+//! WAL append + fsync adds to an insert, what persisting a sealed epoch
+//! snapshot adds to a merge, and how recovery time scales with how much
+//! of the state lives in the WAL versus in snapshots — for ED1 vs ED9.
+//!
+//! The headline properties: the WAL tax on an insert is dominated by the
+//! fsync (so `wal_fsync_batch` buys it back almost entirely), the
+//! snapshot tax on a merge is proportional to dictionary storage size
+//! (ED9 ≫ ED1), and recovery from a checkpointed state is a snapshot
+//! load, independent of the history that produced it.
+//!
+//! Row count is overridable for quick runs:
+//! `ENCDBDB_DURABILITY_ROWS=500 cargo bench -p encdbdb-bench --bench durability`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use encdbdb::{DurabilityPolicy, Session};
+use std::path::PathBuf;
+
+fn row_count() -> usize {
+    std::env::var("ENCDBDB_DURABILITY_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000)
+}
+
+fn value(i: usize) -> String {
+    format!("{:05}", i % 10_000)
+}
+
+/// A fresh storage directory under the system temp dir.
+fn bench_dir(label: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("encdbdb-bench-dur-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn create(db: &mut Session, kind: &str) {
+    db.execute(&format!("CREATE TABLE t (v {kind}(8))"))
+        .expect("create table");
+}
+
+/// An in-memory session, a durable one, and a durable one with batched
+/// fsyncs, all with background compaction off so only the write path is
+/// timed.
+fn sessions(kind: &str, label: &str) -> (Session, Session, Session, PathBuf, PathBuf) {
+    let mut mem = Session::with_seed(71).expect("session");
+    mem.set_compaction_policy(None);
+    create(&mut mem, kind);
+
+    let dur_dir = bench_dir(&format!("{label}-sync"));
+    let mut dur = Session::with_seed_durable(72, &dur_dir).expect("durable session");
+    dur.set_compaction_policy(None);
+    create(&mut dur, kind);
+
+    let batch_dir = bench_dir(&format!("{label}-batch"));
+    let mut batched = Session::with_seed(73).expect("session");
+    batched
+        .server()
+        .attach_durability(
+            &batch_dir,
+            DurabilityPolicy {
+                wal_fsync_batch: 64,
+                ..DurabilityPolicy::default()
+            },
+        )
+        .expect("attach");
+    batched.set_compaction_policy(None);
+    create(&mut batched, kind);
+
+    (mem, dur, batched, dur_dir, batch_dir)
+}
+
+/// The WAL tax on the insert path: in-memory vs fsync-per-record vs
+/// batched fsyncs.
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("durability/insert");
+    group.sample_size(10);
+    for kind in ["ED1", "ED9"] {
+        let (mut mem, mut dur, mut batched, dur_dir, batch_dir) =
+            sessions(kind, &format!("ins-{kind}"));
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("in_memory", kind), |b| {
+            b.iter(|| {
+                i += 1;
+                mem.execute(&format!("INSERT INTO t VALUES ('{}')", value(i)))
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("wal_fsync_each", kind), |b| {
+            b.iter(|| {
+                i += 1;
+                dur.execute(&format!("INSERT INTO t VALUES ('{}')", value(i)))
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("wal_fsync_batch64", kind), |b| {
+            b.iter(|| {
+                i += 1;
+                batched
+                    .execute(&format!("INSERT INTO t VALUES ('{}')", value(i)))
+                    .unwrap()
+            })
+        });
+        drop(dur);
+        drop(batched);
+        let _ = std::fs::remove_dir_all(dur_dir);
+        let _ = std::fs::remove_dir_all(batch_dir);
+    }
+    group.finish();
+}
+
+/// The snapshot tax on a merge: each iteration inserts one row and
+/// publishes an epoch; the durable variant also seals and persists the
+/// rebuilt main store (size-proportional, so ED9 pays most).
+fn bench_merge(c: &mut Criterion) {
+    let rows = row_count();
+    let mut group = c.benchmark_group("durability/merge");
+    group.sample_size(10);
+    for kind in ["ED1", "ED9"] {
+        let (mut mem, mut dur, _batched, dur_dir, batch_dir) =
+            sessions(kind, &format!("mrg-{kind}"));
+        for i in 0..rows {
+            let sql = format!("INSERT INTO t VALUES ('{}')", value(i));
+            mem.execute(&sql).unwrap();
+            dur.execute(&sql).unwrap();
+        }
+        mem.merge("t").unwrap();
+        dur.merge("t").unwrap();
+        let mut i = rows;
+        group.bench_function(BenchmarkId::new("in_memory", kind), |b| {
+            b.iter(|| {
+                i += 1;
+                mem.execute(&format!("INSERT INTO t VALUES ('{}')", value(i)))
+                    .unwrap();
+                mem.merge("t").unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("durable", kind), |b| {
+            b.iter(|| {
+                i += 1;
+                dur.execute(&format!("INSERT INTO t VALUES ('{}')", value(i)))
+                    .unwrap();
+                dur.merge("t").unwrap()
+            })
+        });
+        drop(dur);
+        let _ = std::fs::remove_dir_all(dur_dir);
+        let _ = std::fs::remove_dir_all(batch_dir);
+    }
+    group.finish();
+}
+
+/// Recovery time: replaying a WAL of `rows` insert records versus loading
+/// one checkpointed snapshot holding the same logical state.
+fn bench_recover(c: &mut Criterion) {
+    let rows = row_count();
+    let mut group = c.benchmark_group("durability/recover");
+    group.sample_size(10);
+    for kind in ["ED1", "ED9"] {
+        // State A: everything still in the WAL.
+        let wal_dir = bench_dir(&format!("rec-wal-{kind}"));
+        let mut db = Session::with_seed_durable(74, &wal_dir).expect("durable session");
+        db.set_compaction_policy(None);
+        create(&mut db, kind);
+        for i in 0..rows {
+            db.execute(&format!("INSERT INTO t VALUES ('{}')", value(i)))
+                .unwrap();
+        }
+        let key = db.master_key();
+        drop(db);
+        group.bench_function(BenchmarkId::new("wal_replay", kind), |b| {
+            b.iter(|| Session::open(&wal_dir, key.clone(), 75).unwrap())
+        });
+
+        // State B: the same rows merged and checkpointed — recovery is one
+        // snapshot load plus an empty WAL suffix.
+        let snap_dir = bench_dir(&format!("rec-snap-{kind}"));
+        let mut db = Session::with_seed_durable(76, &snap_dir).expect("durable session");
+        db.set_compaction_policy(None);
+        create(&mut db, kind);
+        for i in 0..rows {
+            db.execute(&format!("INSERT INTO t VALUES ('{}')", value(i)))
+                .unwrap();
+        }
+        db.merge("t").unwrap();
+        assert!(db.server().checkpoint("t").unwrap());
+        let key = db.master_key();
+        drop(db);
+        group.bench_function(BenchmarkId::new("snapshot_load", kind), |b| {
+            b.iter(|| Session::open(&snap_dir, key.clone(), 77).unwrap())
+        });
+
+        let _ = std::fs::remove_dir_all(wal_dir);
+        let _ = std::fs::remove_dir_all(snap_dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_merge, bench_recover);
+criterion_main!(benches);

@@ -49,6 +49,18 @@ pub enum DbError {
     /// A range-partitioning violation: malformed split points, a
     /// partition index out of range, or an insert that cannot be routed.
     Partition(String),
+    /// A durable-storage operation failed: a WAL append or snapshot
+    /// persist hit an I/O error (or an injected crash point), or recovery
+    /// found the on-disk state unusable.
+    Durability(String),
+    /// A sealed blob failed validation at unseal time: wrong enclave
+    /// identity/platform, or the ciphertext was tampered with.
+    Unseal {
+        /// What was being unsealed (file or record description).
+        context: String,
+        /// The underlying enclave error.
+        source: enclave_sim::EnclaveError,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -74,6 +86,10 @@ impl fmt::Display for DbError {
             DbError::Enclave(e) => write!(f, "enclave failure: {e}"),
             DbError::MergeConflict(msg) => write!(f, "merge conflict: {msg}"),
             DbError::Partition(msg) => write!(f, "partitioning error: {msg}"),
+            DbError::Durability(msg) => write!(f, "durability failure: {msg}"),
+            DbError::Unseal { context, source } => {
+                write!(f, "unseal validation failed for {context}: {source}")
+            }
         }
     }
 }
@@ -84,6 +100,7 @@ impl Error for DbError {
             DbError::Dict(e) => Some(e),
             DbError::Storage(e) => Some(e),
             DbError::Enclave(e) => Some(e),
+            DbError::Unseal { source, .. } => Some(source),
             _ => None,
         }
     }

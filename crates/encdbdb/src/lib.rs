@@ -67,7 +67,7 @@ pub use owner::DataOwner;
 pub use proxy::{Proxy, QueryResult};
 pub use schema::{ColumnSpec, DictChoice, TablePartitioning, TableSchema};
 pub use server::{
-    CompactionPolicy, CompactionStats, DbaasServer, DeployedColumn, QueryOutcome, QueryStats,
-    ServerQuery,
+    CompactionPolicy, CompactionStats, DbaasServer, DeployedColumn, DurabilityPolicy,
+    DurabilityStats, FailPoint, QueryOutcome, QueryStats, ServerQuery,
 };
 pub use session::{ReaderSession, Session};

@@ -75,6 +75,25 @@ impl DataOwner {
         Ok(())
     }
 
+    /// Re-attaches to a restarted server (crash recovery, DESIGN.md §12):
+    /// attests the fresh enclave instances and re-provisions `SK_DB` over
+    /// the attested channels — *without* re-encrypting or re-deploying any
+    /// data. The tables come back from sealed snapshots and the WAL; only
+    /// the volatile in-enclave key needs the owner again.
+    ///
+    /// # Errors
+    ///
+    /// As [`DataOwner::provision`].
+    pub fn reattach<R: Rng + ?Sized>(
+        &self,
+        server: &DbaasServer,
+        service: &VerificationService,
+        expected_measurement: Measurement,
+        rng: &mut R,
+    ) -> Result<(), DbError> {
+        self.provision(server, service, expected_measurement, rng)
+    }
+
     /// Step 3: `EncDB` — encrypts a plaintext table according to its
     /// schema, producing deployable columns.
     ///

@@ -10,6 +10,7 @@
 //! proportional to one shard, not the table.
 
 use super::partition::{ColumnDelta, MainColumn, MainState, Partition};
+use super::storage;
 use super::table::ServerTable;
 use super::{lock, Config, DbaasServer, MERGE_RETRIES};
 use crate::error::DbError;
@@ -78,13 +79,15 @@ enum CompactionOutcome {
 }
 
 /// Everything a merge needs, captured at the watermark under one lock.
-struct CompactionJob {
-    epoch: u64,
-    main: Arc<MainState>,
-    main_validity: Arc<ValidityVector>,
-    delta_prefixes: Vec<ColumnDelta>,
-    delta_validity: ValidityVector,
-    watermark: usize,
+/// Crate-visible so WAL replay (`server/storage.rs`) can re-execute a
+/// logged publish through the same rebuild path.
+pub(crate) struct CompactionJob {
+    pub(crate) epoch: u64,
+    pub(crate) main: Arc<MainState>,
+    pub(crate) main_validity: Arc<ValidityVector>,
+    pub(crate) delta_prefixes: Vec<ColumnDelta>,
+    pub(crate) delta_validity: ValidityVector,
+    pub(crate) watermark: usize,
 }
 
 impl DbaasServer {
@@ -247,7 +250,7 @@ impl DbaasServer {
                 let cfg = server.config();
                 match execute_compaction(&server.merge_enclave, &table.schema, &job, &cfg) {
                     Ok(columns) => {
-                        if publish_compaction(&table, &partition_arc, job, columns) {
+                        if publish_compaction(&server, &table, &partition_arc, job, columns) {
                             return;
                         }
                         attempt += 1;
@@ -288,7 +291,7 @@ impl DbaasServer {
         };
         let cfg = self.config();
         match execute_compaction(&self.merge_enclave, &t.schema, &job, &cfg) {
-            Ok(columns) => Ok(if publish_compaction(t, partition, job, columns) {
+            Ok(columns) => Ok(if publish_compaction(self, t, partition, job, columns) {
                 CompactionOutcome::Completed
             } else {
                 CompactionOutcome::Aborted
@@ -340,7 +343,7 @@ fn begin_compaction(partition: &Partition) -> Option<CompactionJob> {
 
 /// Phase 2: rebuild every column of the partition off the query path (no
 /// storage lock held; the merge enclave is locked per column ECALL).
-fn execute_compaction(
+pub(crate) fn execute_compaction(
     merge_enclave: &Mutex<DictEnclave>,
     schema: &TableSchema,
     job: &CompactionJob,
@@ -424,12 +427,41 @@ fn execute_compaction(
 /// Phase 3: atomically publish the rebuilt partition epoch, unless a
 /// delete raced the rebuild (then the result is discarded and the attempt
 /// counts as aborted). Returns whether the publish happened.
+///
+/// With durable storage attached the publish is logged **before** it is
+/// applied: the WAL mutex is taken first (lock order: WAL → partition
+/// state, same as the write path), a merge record is appended, and only
+/// then is the new epoch swapped in. An append failure discards the
+/// rebuilt epoch like an abort, so memory never runs ahead of the log.
+/// The sealed snapshot file of the new epoch is persisted after both
+/// locks are released; a persist failure is reported (stats +
+/// `last_error`) but never unpublishes — recovery re-derives the epoch
+/// from the previous snapshot plus the merge record.
 fn publish_compaction(
+    server: &DbaasServer,
     t: &ServerTable,
     partition: &Partition,
     job: CompactionJob,
     (columns, rows): (Vec<MainColumn>, usize),
 ) -> bool {
+    let discard = |e: &DbError| {
+        let mut state = lock(&partition.state);
+        state.merge_in_flight = false;
+        state.deletes_during_merge = false;
+        drop(state);
+        t.merges_failed.fetch_add(1, Ordering::SeqCst);
+        *lock(&t.last_error) = Some(e.to_string());
+        false
+    };
+    let storage = server.storage();
+    let wal = match &storage {
+        Some(s) => match s.wal_handle(&t.schema.name) {
+            Ok(w) => Some(w),
+            Err(e) => return discard(&e),
+        },
+        None => None,
+    };
+    let mut wal_guard = wal.as_ref().map(|w| lock(w));
     let mut state = lock(&partition.state);
     state.merge_in_flight = false;
     if state.deletes_during_merge {
@@ -444,6 +476,14 @@ fn publish_compaction(
         state.main.epoch, job.epoch,
         "merges are serialized per partition"
     );
+    let watermark_abs = state.drained_total + job.watermark as u64;
+    if let (Some(s), Some(guard)) = (&storage, wal_guard.as_mut()) {
+        let record = storage::encode_merge(partition.index, job.epoch, watermark_abs);
+        if let Err(e) = s.append_record(guard, &record) {
+            drop(state);
+            return discard(&e);
+        }
+    }
     state.main = Arc::new(MainState {
         epoch: job.epoch + 1,
         columns,
@@ -456,9 +496,21 @@ fn publish_compaction(
     }
     state.delta_validity = state.delta_validity.suffix(job.watermark);
     state.delta_rows -= job.watermark;
+    state.drained_total = watermark_abs;
+    let persist = storage
+        .as_ref()
+        .map(|s| (Arc::clone(s), Arc::clone(&state.main), state.drained_total));
+    drop(state);
+    drop(wal_guard);
     t.merges_completed.fetch_add(1, Ordering::SeqCst);
     t.rows_compacted
         .fetch_add(job.watermark as u64, Ordering::SeqCst);
+    if let Some((s, main, drained)) = persist {
+        if let Err(e) = s.persist_snapshot(&t.schema, partition.index, &main, drained) {
+            s.note_snapshot_persist_failure();
+            *lock(&t.last_error) = Some(e.to_string());
+        }
+    }
     true
 }
 

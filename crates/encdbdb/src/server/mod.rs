@@ -45,10 +45,12 @@ mod join;
 mod partition;
 mod snapshot;
 mod stats;
+mod storage;
 mod table;
 
 pub use compaction::CompactionPolicy;
-pub use stats::{CompactionStats, QueryStats};
+pub use stats::{CompactionStats, DurabilityStats, QueryStats};
+pub use storage::{DurabilityPolicy, FailPoint};
 
 pub(crate) use partition::{ColumnDelta, MainColumn};
 pub(crate) use snapshot::{fan_out, matching_rids_multi};
@@ -262,6 +264,10 @@ pub struct DbaasServer {
     tables: Arc<RwLock<HashMap<String, Arc<ServerTable>>>>,
     config: Arc<Mutex<Config>>,
     last_stats: Arc<Mutex<QueryStats>>,
+    /// Durable storage (DESIGN.md §12), attached via
+    /// [`DbaasServer::attach_durability`] or [`DbaasServer::recover`];
+    /// `None` runs the server purely in memory (the pre-§12 behavior).
+    storage: Arc<Mutex<Option<Arc<storage::Storage>>>>,
 }
 
 impl DbaasServer {
@@ -291,6 +297,7 @@ impl DbaasServer {
                 merge_throttle: None,
             })),
             last_stats: Arc::new(Mutex::new(QueryStats::default())),
+            storage: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -397,12 +404,19 @@ impl DbaasServer {
         parts: Vec<Vec<DeployedColumn>>,
     ) -> Result<(), DbError> {
         let name = schema.name.clone();
-        let table = ServerTable::build(schema, parts)?;
+        let table = Arc::new(ServerTable::build(schema, parts)?);
         let mut tables = self.tables.write().unwrap_or_else(|e| e.into_inner());
         if tables.contains_key(&name) {
             return Err(DbError::TableExists(name));
         }
-        tables.insert(name, Arc::new(table));
+        // With durable storage attached, a table must be recoverable from
+        // the moment it accepts writes: persist the manifest, the epoch-0
+        // snapshots and the WAL header under the tables write lock, and
+        // fail the deploy if that fails.
+        if let Some(storage) = lock(&self.storage).clone() {
+            storage.persist_new_table(&table)?;
+        }
+        tables.insert(name, table);
         Ok(())
     }
 

@@ -129,6 +129,12 @@ pub(crate) struct PartitionState {
     /// Set when a delete touched rows the in-flight merge already read;
     /// the publish is then aborted and retried.
     pub(crate) deletes_during_merge: bool,
+    /// Total delta rows ever folded into the main store by publishes —
+    /// the base of the partition's *absolute* delta position space. A
+    /// delta row at local index `i` has the stable absolute position
+    /// `drained_total + i`, which is what WAL records address so replay
+    /// can tell folded rows from live ones.
+    pub(crate) drained_total: u64,
 }
 
 /// One range partition: state plus its own background-merge worker slot.
@@ -149,11 +155,26 @@ impl Partition {
         deltas: Vec<ColumnDelta>,
         rows: usize,
     ) -> Self {
+        Self::recovered(index, columns, deltas, rows, 0, 0)
+    }
+
+    /// Wraps per-column stores reloaded from a sealed snapshot: the
+    /// partition resumes at the snapshot's published `epoch` with its
+    /// absolute delta base `drained_total`, exactly as if the publishes
+    /// had happened in this process.
+    pub(crate) fn recovered(
+        index: usize,
+        columns: Vec<MainColumn>,
+        deltas: Vec<ColumnDelta>,
+        rows: usize,
+        epoch: u64,
+        drained_total: u64,
+    ) -> Self {
         Partition {
             index,
             state: Mutex::new(PartitionState {
                 main: Arc::new(MainState {
-                    epoch: 0,
+                    epoch,
                     columns,
                     rows,
                 }),
@@ -165,6 +186,7 @@ impl Partition {
                 merge_in_flight: false,
                 merge_watermark: 0,
                 deletes_during_merge: false,
+                drained_total,
             }),
             worker: Mutex::new(None),
         }

@@ -67,6 +67,61 @@ impl QueryStats {
     }
 }
 
+/// Observable counters of the durable-storage layer (DESIGN.md §12):
+/// WAL traffic, snapshot persistence, and everything recovery detected —
+/// torn tails, rejected files, fallbacks to older epochs.
+///
+/// Corruption is *reported* here, never panicked on: a recovery that had
+/// to discard a snapshot or truncate a WAL tail completes (on the older
+/// epoch + longer replay) and leaves the evidence in these counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// WAL records appended (insert, delete, merge and checkpoint frames).
+    pub wal_records_appended: u64,
+    /// Bytes appended to WALs, framing included.
+    pub wal_bytes_appended: u64,
+    /// `fsync` calls issued on WAL files.
+    pub wal_fsyncs: u64,
+    /// WAL truncations performed by successful checkpoints.
+    pub wal_truncations: u64,
+    /// Sealed snapshot files written (tmp-write + rename publishes).
+    pub snapshots_persisted: u64,
+    /// Snapshot persists that failed (I/O error or injected crash). The
+    /// in-memory publish stands; recovery falls back to the previous
+    /// epoch's file plus a longer WAL replay.
+    pub snapshot_persist_failures: u64,
+    /// Obsolete snapshot files pruned past the configured history.
+    pub snapshots_pruned: u64,
+    /// Checkpoints that skipped WAL truncation because the table was not
+    /// quiescent (live delta rows, main deletes, or a missing snapshot).
+    pub checkpoints_skipped: u64,
+    /// Snapshot files loaded successfully during recovery.
+    pub snapshots_loaded: u64,
+    /// Snapshot files rejected during recovery: framing/checksum damage,
+    /// unseal failure, or embedded identity not matching the filename.
+    pub snapshots_rejected: u64,
+    /// Partitions recovered from an older epoch because a newer snapshot
+    /// file was rejected.
+    pub snapshot_fallbacks: u64,
+    /// WAL records replayed into partition state during recovery.
+    pub wal_records_replayed: u64,
+    /// WAL records skipped during recovery because the loaded snapshot
+    /// already contains their effect.
+    pub wal_records_skipped: u64,
+    /// WAL records dropped as undecodable (unseal or decode failure past
+    /// a valid frame — corruption within a sealed payload).
+    pub wal_records_rejected: u64,
+    /// Torn or corrupt WAL tails truncated during recovery.
+    pub wal_torn_tails: u64,
+    /// Bytes removed by WAL tail truncations.
+    pub wal_torn_tail_bytes: u64,
+    /// Compactions re-executed during replay (merge records whose epoch
+    /// publish had not reached a persisted snapshot).
+    pub merges_replayed: u64,
+    /// Injected [`FailPoint`](crate::FailPoint) crashes that fired.
+    pub injected_crashes: u64,
+}
+
 /// Observable compaction state of one table, across all its partitions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompactionStats {

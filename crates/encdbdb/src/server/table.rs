@@ -3,6 +3,7 @@
 //! range pruning for reads.
 
 use super::partition::{ColumnDelta, MainColumn, Partition, PartitionSnapshot};
+use super::storage;
 use super::{lock, CellValue, DbaasServer, DeployedColumn, ServerFilter, MERGE_RETRIES};
 use crate::error::DbError;
 use crate::schema::{DictChoice, TableSchema};
@@ -59,6 +60,21 @@ impl ServerTable {
             rows_compacted: AtomicU64::new(0),
             last_error: Mutex::new(None),
         })
+    }
+
+    /// Wraps partitions reloaded from sealed snapshots (crash recovery).
+    /// The table-wide merge counters restart at zero — they are process
+    /// statistics, not durable state.
+    pub(crate) fn from_parts(schema: TableSchema, partitions: Vec<Arc<Partition>>) -> Self {
+        ServerTable {
+            schema,
+            partitions,
+            merges_completed: AtomicU64::new(0),
+            merges_aborted: AtomicU64::new(0),
+            merges_failed: AtomicU64::new(0),
+            rows_compacted: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+        }
     }
 
     /// Resolves the partition scope of a query: a proxy-provided scope
@@ -281,6 +297,35 @@ impl DbaasServer {
         for (pid, row) in pids.iter().zip(prepared) {
             per_partition[*pid].push(row);
         }
+        // Log-then-apply (DESIGN.md §12): with durable storage attached,
+        // the whole insert is appended to the table's WAL as *one* record
+        // before any partition state changes. Every writer (inserts,
+        // deletes, epoch publishes) serializes on the WAL mutex, so the
+        // absolute delta positions read here stay valid until the groups
+        // are applied below, and a failed append leaves memory and log
+        // identically untouched.
+        let storage = self.storage();
+        let wal = match &storage {
+            Some(s) => Some(s.wal_handle(table)?),
+            None => None,
+        };
+        let mut wal_guard = wal.as_ref().map(|w| lock(w));
+        if let (Some(s), Some(guard)) = (&storage, wal_guard.as_mut()) {
+            let mut groups = Vec::new();
+            for (pid, rows) in per_partition.iter().enumerate() {
+                if rows.is_empty() {
+                    continue;
+                }
+                let state = lock(&t.partitions[pid].state);
+                groups.push(storage::InsertGroup {
+                    pid,
+                    base_abs: state.drained_total + state.delta_rows as u64,
+                    rows,
+                });
+            }
+            s.append_record(guard, &storage::encode_insert(&groups))?;
+        }
+        let mut touched = Vec::new();
         for (pid, rows) in per_partition.into_iter().enumerate() {
             if rows.is_empty() {
                 continue;
@@ -309,7 +354,11 @@ impl DbaasServer {
                     state.delta_validity.push(true);
                 }
             }
-            self.maybe_compact(&t, partition, &cfg);
+            touched.push(pid);
+        }
+        drop(wal_guard);
+        for pid in touched {
+            self.maybe_compact(&t, &t.partitions[pid], &cfg);
         }
         Ok(rows.len())
     }
@@ -337,6 +386,11 @@ impl DbaasServer {
     ) -> Result<usize, DbError> {
         let cfg = self.config();
         let t = self.table_handle(table)?;
+        let storage = self.storage();
+        let wal = match &storage {
+            Some(s) => Some(s.wal_handle(table)?),
+            None => None,
+        };
         let scope = t.resolve_scope(filters, scope);
         let mut deleted = 0usize;
         'partitions: for pid in scope {
@@ -354,9 +408,27 @@ impl DbaasServer {
                     &cfg,
                 )?;
                 {
+                    // Lock order: WAL → partition state, as everywhere.
+                    let mut wal_guard = wal.as_ref().map(|w| lock(w));
                     let mut state = lock(&partition.state);
                     if state.main.epoch != snap.main.epoch {
                         continue; // A merge published mid-delete; recompute.
+                    }
+                    // The epoch check passed under both locks, so the
+                    // RecordIDs are valid for the state the record's epoch
+                    // names — log before flipping (some candidates may be
+                    // already-invalid; replay re-checks validity bits).
+                    if let (Some(s), Some(guard)) = (&storage, wal_guard.as_mut()) {
+                        if !main_rids.is_empty() || !delta_rids.is_empty() {
+                            let record = storage::encode_delete(
+                                pid,
+                                state.main.epoch,
+                                &main_rids,
+                                state.drained_total,
+                                &delta_rids,
+                            );
+                            s.append_record(guard, &record)?;
+                        }
                     }
                     // Count (and conflict-flag) only rows whose validity
                     // bit actually flips: a racing delete of the same rows

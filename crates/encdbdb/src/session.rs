@@ -15,14 +15,16 @@ use crate::error::DbError;
 use crate::owner::DataOwner;
 use crate::proxy::{Proxy, QueryResult};
 use crate::schema::TableSchema;
-use crate::server::{CompactionPolicy, DbaasServer};
+use crate::server::{CompactionPolicy, DbaasServer, DurabilityPolicy};
 use colstore::table::Table;
+use encdbdb_crypto::keys::Key128;
 use encdict::enclave_ops::DictLogic;
 use encdict::DictEnclave;
 use enclave_sim::attestation::Measurement;
 use enclave_sim::attestation::SigningPlatform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::Path;
 
 /// A complete in-process EncDBDB deployment.
 #[derive(Debug)]
@@ -60,6 +62,60 @@ impl Session {
             server,
             rng,
         })
+    }
+
+    /// [`Session::with_seed`] plus durable storage under `dir` (DESIGN.md
+    /// §12): every deploy, insert, delete and epoch publish from here on
+    /// is persisted, and the deployment can be reopened after a crash with
+    /// [`Session::open`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::with_seed`], plus [`DbError::Durability`] if the
+    /// storage directory cannot be initialized.
+    pub fn with_seed_durable(seed: u64, dir: impl AsRef<Path>) -> Result<Self, DbError> {
+        let db = Self::with_seed(seed)?;
+        db.server
+            .attach_durability(dir, DurabilityPolicy::default())?;
+        Ok(db)
+    }
+
+    /// Reopens a durable deployment from its storage directory after a
+    /// restart or crash: fresh enclaves are attested and re-provisioned by
+    /// the data owner (restored from `master_key` — zero re-deployment of
+    /// data), then the server recovers every table from its sealed
+    /// snapshots and WAL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Enclave`] if re-attestation fails and
+    /// [`DbError::Durability`] if the on-disk state is unusable.
+    pub fn open(dir: impl AsRef<Path>, master_key: Key128, seed: u64) -> Result<Self, DbError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let owner = DataOwner::from_key(master_key);
+        let server = DbaasServer::with_enclaves(
+            DictEnclave::with_seed(seed.wrapping_add(1)),
+            DictEnclave::with_seed(seed.wrapping_add(0x9E37_79B9)),
+        );
+        let service = SigningPlatform::default().verification_service();
+        let expected = Measurement::of(Self::enclave_code_identity());
+        // Provision before recovery: unsealing needs no key, but replaying
+        // a logged merge rebuilds dictionaries inside the merge enclave.
+        owner.reattach(&server, &service, expected, &mut rng)?;
+        server.recover(dir, DurabilityPolicy::default())?;
+        let proxy = Proxy::new(owner.master_key());
+        Ok(Session {
+            owner,
+            proxy,
+            server,
+            rng,
+        })
+    }
+
+    /// The deployment's master key `SK_DB` — what the owner must retain to
+    /// [`Session::open`] the deployment again after a restart.
+    pub fn master_key(&self) -> Key128 {
+        self.owner.master_key()
     }
 
     /// The code identity the data owner expects the enclave to measure to.

@@ -6,7 +6,7 @@
 //! module provides a length-prefixed binary format mirroring
 //! `colstore::persist`.
 
-use crate::dict::EncryptedDictionary;
+use crate::dict::{EncryptedDictionary, PlainDictionary};
 use crate::error::EncdictError;
 use crate::kind::EdKind;
 use colstore::dictionary::{AttributeVector, ValueId};
@@ -14,6 +14,22 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"ENCDBED1";
+const PLAIN_MAGIC: &[u8; 8] = b"ENCDBPD1";
+
+fn kind_from_byte(b: u8) -> Result<EdKind, EncdictError> {
+    Ok(match b {
+        1 => EdKind::Ed1,
+        2 => EdKind::Ed2,
+        3 => EdKind::Ed3,
+        4 => EdKind::Ed4,
+        5 => EdKind::Ed5,
+        6 => EdKind::Ed6,
+        7 => EdKind::Ed7,
+        8 => EdKind::Ed8,
+        9 => EdKind::Ed9,
+        _ => return Err(EncdictError::CorruptDictionary("unknown kind")),
+    })
+}
 
 fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
@@ -93,18 +109,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<(EncryptedDictionary, AttributeVector)
     if r.take(8)? != MAGIC {
         return Err(EncdictError::CorruptDictionary("bad magic"));
     }
-    let kind = match r.u8()? {
-        1 => EdKind::Ed1,
-        2 => EdKind::Ed2,
-        3 => EdKind::Ed3,
-        4 => EdKind::Ed4,
-        5 => EdKind::Ed5,
-        6 => EdKind::Ed6,
-        7 => EdKind::Ed7,
-        8 => EdKind::Ed8,
-        9 => EdKind::Ed9,
-        _ => return Err(EncdictError::CorruptDictionary("unknown kind")),
-    };
+    let kind = kind_from_byte(r.u8()?)?;
     let table_name = String::from_utf8(r.bytes_field()?.to_vec())
         .map_err(|_| EncdictError::CorruptDictionary("table name not utf-8"))?;
     let col_name = String::from_utf8(r.bytes_field()?.to_vec())
@@ -147,6 +152,81 @@ pub fn from_bytes(bytes: &[u8]) -> Result<(EncryptedDictionary, AttributeVector)
         tail,
         enc_rnd_offset,
     )?;
+    Ok((dict, av))
+}
+
+/// Serializes a plaintext dictionary plus its attribute vector.
+///
+/// PLAIN columns have no ciphertext to rest on disk verbatim, so the
+/// durable layer serializes the dictionary's values and rotation offset in
+/// the clear and relies on the caller (the server's sealed-snapshot layer)
+/// to wrap the whole blob in enclave sealing before it touches disk.
+pub fn plain_to_bytes(dict: &PlainDictionary, av: &AttributeVector) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(PLAIN_MAGIC);
+    out.push(dict.kind().number());
+    out.extend_from_slice(&(dict.max_len() as u64).to_le_bytes());
+    out.extend_from_slice(&(dict.len() as u64).to_le_bytes());
+    for i in 0..dict.len() {
+        put_bytes(&mut out, dict.value(i));
+    }
+    match dict.rnd_offset() {
+        Some(off) => {
+            out.push(1);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+    out.extend_from_slice(&(av.len() as u64).to_le_bytes());
+    for &id in av.as_slice() {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes a plaintext dictionary plus attribute vector.
+///
+/// # Errors
+///
+/// Returns [`EncdictError::CorruptDictionary`] on any structural problem.
+pub fn plain_from_bytes(bytes: &[u8]) -> Result<(PlainDictionary, AttributeVector), EncdictError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(8)? != PLAIN_MAGIC {
+        return Err(EncdictError::CorruptDictionary("bad magic"));
+    }
+    let kind = kind_from_byte(r.u8()?)?;
+    let max_len = r.u64()? as usize;
+    let len = r.u64()? as usize;
+    if len > bytes.len() {
+        return Err(EncdictError::CorruptDictionary("entry count overflow"));
+    }
+    let mut head = Vec::with_capacity(len * crate::dict::HEAD_ENTRY_BYTES);
+    let mut tail = Vec::new();
+    for _ in 0..len {
+        let v = r.bytes_field()?;
+        if v.len() > max_len {
+            return Err(EncdictError::CorruptDictionary("value exceeds max_len"));
+        }
+        crate::dict::write_head_entry(&mut head, tail.len() as u64, v.len() as u32);
+        tail.extend_from_slice(v);
+    }
+    let rnd_offset = match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()?),
+        _ => return Err(EncdictError::CorruptDictionary("bad offset flag")),
+    };
+    let av_len = r.u64()? as usize;
+    if av_len > bytes.len() {
+        return Err(EncdictError::CorruptDictionary("av count overflow"));
+    }
+    let mut av = AttributeVector::with_capacity(av_len);
+    for _ in 0..av_len {
+        av.push(ValueId(u32::from_le_bytes(r.take(4)?.try_into().unwrap())));
+    }
+    if r.pos != bytes.len() {
+        return Err(EncdictError::CorruptDictionary("trailing bytes"));
+    }
+    let dict = PlainDictionary::from_parts(kind, max_len, len, head, tail, rnd_offset)?;
     Ok((dict, av))
 }
 
@@ -257,6 +337,50 @@ mod tests {
             crate::avsearch::Parallelism::Serial,
         );
         assert_eq!(rids.iter().map(|r| r.0).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn plain_roundtrip_all_kinds() {
+        use crate::build::build_plain;
+        let col = Column::from_strs("c", 8, ["x", "y", "x", "z", ""]).unwrap();
+        for kind in EdKind::ALL {
+            let mut rng = StdRng::seed_from_u64(kind.number() as u64 + 40);
+            let (dict, av) = build_plain(&col, kind, &BuildParams::default(), &mut rng).unwrap();
+            let blob = plain_to_bytes(&dict, &av);
+            let (dict2, av2) = plain_from_bytes(&blob).unwrap();
+            assert_eq!(dict2.kind(), kind);
+            assert_eq!(dict2.max_len(), dict.max_len());
+            assert_eq!(dict2.len(), dict.len());
+            assert_eq!(dict2.rnd_offset(), dict.rnd_offset());
+            assert_eq!(av2, av);
+            for i in 0..dict.len() {
+                assert_eq!(dict2.value(i), dict.value(i), "{kind} entry {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_plain_blobs_rejected() {
+        use crate::build::build_plain;
+        let col = Column::from_strs("c", 8, ["a", "b"]).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let (dict, av) = build_plain(&col, EdKind::Ed4, &BuildParams::default(), &mut rng).unwrap();
+        let blob = plain_to_bytes(&dict, &av);
+        let mut bad = blob.clone();
+        bad[0] ^= 1;
+        assert!(plain_from_bytes(&bad).is_err());
+        for cut in [4usize, 9, 20, blob.len() - 1] {
+            assert!(
+                plain_from_bytes(&blob[..cut.min(blob.len())]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut long = blob.clone();
+        long.push(0);
+        assert!(plain_from_bytes(&long).is_err());
+        let mut bad_kind = blob;
+        bad_kind[8] = 0;
+        assert!(plain_from_bytes(&bad_kind).is_err());
     }
 
     #[test]

@@ -15,11 +15,19 @@
 //! per-partition deltas, per-partition merges and the partition-parallel
 //! executor must be indistinguishable from the monolithic table — and
 //! from the plaintext baseline.
+//!
+//! Finally, the schedules run in **durable** mode (DESIGN.md §12):
+//! `Restart` steps tear the whole session down — enclaves, keys, every
+//! in-memory table — and reopen it from sealed snapshots plus the WAL.
+//! The recovered server must keep answering exactly like the plaintext
+//! model, mid-schedule and after a final restart, with zero owner
+//! re-deployment.
 
 use colstore::column::Column;
 use colstore::monetdb::MonetColumn;
 use encdbdb::Session;
 use proptest::prelude::*;
+use std::path::PathBuf;
 
 const CHOICES: [&str; 10] = [
     "ED1", "ED2", "ED3", "ED4", "ED5", "ED6", "ED7", "ED8", "ED9", "PLAIN",
@@ -33,6 +41,19 @@ enum Op {
     Range(String, String),
     Agg(String, String),
     Compact,
+    Restart,
+}
+
+/// Where the schedule's tables live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Purely in memory (the pre-durability behavior): `Restart` degrades
+    /// to a merge, keeping these schedules byte-identical to what they
+    /// exercised before durable storage existed.
+    InMemory,
+    /// Backed by sealed snapshots and a WAL in a temp directory; `Restart`
+    /// drops the entire session and recovers it from disk.
+    Durable,
 }
 
 fn value(x: u32) -> String {
@@ -59,8 +80,27 @@ fn decode(kind: u8, a: u32, b: u32) -> Op {
             let (lo, hi) = bounds(a, b);
             Op::Agg(lo, hi)
         }
-        _ => Op::Compact,
+        _ => {
+            if a % 2 == 1 {
+                Op::Restart
+            } else {
+                Op::Compact
+            }
+        }
     }
+}
+
+/// A fresh per-schedule storage directory for durable runs.
+fn durable_dir() -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "encdbdb-diff-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 /// The plaintext model: the logical multiset of valid rows, read through
@@ -103,8 +143,13 @@ fn run_schedule(
     seed: u64,
     triples: &[(u8, u32, u32)],
     partitioned: bool,
+    mode: Mode,
 ) -> Result<(), TestCaseError> {
-    let mut db = Session::with_seed(seed).expect("session setup");
+    let dir = durable_dir();
+    let mut db = match mode {
+        Mode::InMemory => Session::with_seed(seed).expect("session setup"),
+        Mode::Durable => Session::with_seed_durable(seed, &dir).expect("durable session setup"),
+    };
     let partition_clause = if partitioned {
         format!(" PARTITION BY RANGE (v) SPLIT ({SPLITS})")
     } else {
@@ -193,6 +238,18 @@ fn run_schedule(
             Op::Compact => {
                 db.merge("t").expect("merge");
             }
+            Op::Restart => match mode {
+                // In memory there is nothing to restart from; degrade to a
+                // merge so the schedule distribution stays unchanged.
+                Mode::InMemory => db.merge("t").expect("merge"),
+                Mode::Durable => {
+                    db.server().wait_for_compaction("t").expect("quiesce");
+                    let key = db.master_key();
+                    drop(db);
+                    db = Session::open(&dir, key, seed.wrapping_add(1000 + step as u64))
+                        .expect("recover from disk");
+                }
+            },
         }
         // Invariant after every operation: the server's logical row count
         // matches the model.
@@ -204,6 +261,16 @@ fn run_schedule(
             step,
             op
         );
+    }
+
+    // Durable runs always end with one more full restart, so every case
+    // proves the recovered server — not just the original one — holds the
+    // final answer.
+    if mode == Mode::Durable {
+        db.server().wait_for_compaction("t").expect("quiesce");
+        let key = db.master_key();
+        drop(db);
+        db = Session::open(&dir, key, seed.wrapping_add(7777)).expect("final recover");
     }
 
     // Final full-table check across whatever main/delta split the schedule
@@ -218,6 +285,12 @@ fn run_schedule(
     let mut expected = model.rows.clone();
     expected.sort();
     prop_assert_eq!(got, expected, "{}: final table contents", choice);
+
+    if mode == Mode::Durable {
+        db.server().wait_for_compaction("t").expect("quiesce");
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
     Ok(())
 }
 
@@ -232,7 +305,7 @@ proptest! {
         seed in 0u64..100_000,
     ) {
         for choice in CHOICES {
-            run_schedule(choice, seed, &triples, false)?;
+            run_schedule(choice, seed, &triples, false, Mode::InMemory)?;
         }
     }
 }
@@ -252,7 +325,44 @@ proptest! {
         seed in 0u64..100_000,
     ) {
         for choice in CHOICES {
-            run_schedule(choice, seed, &triples, true)?;
+            run_schedule(choice, seed, &triples, true, Mode::InMemory)?;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The same interleavings against a durable deployment, with `Restart`
+    /// steps dropping the session (enclaves, keys, all in-memory state)
+    /// mid-schedule and recovering it from sealed snapshots plus the WAL —
+    /// plus one guaranteed final restart before the last full-table check.
+    /// The recovered server must stay indistinguishable from the plaintext
+    /// MonetDB baseline for all nine ED kinds plus PLAIN.
+    #[test]
+    fn durable_interleavings_survive_restarts(
+        triples in prop::collection::vec((0u8..10, 0u32..600, 0u32..600), 1..20),
+        seed in 0u64..100_000,
+    ) {
+        for choice in CHOICES {
+            run_schedule(choice, seed, &triples, false, Mode::Durable)?;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Durable restarts over the four-shard partitioned table: recovery
+    /// reassembles every partition (its own snapshot epoch and WAL suffix)
+    /// and the partition-parallel executor keeps matching the baseline.
+    #[test]
+    fn durable_partitioned_interleavings_survive_restarts(
+        triples in prop::collection::vec((0u8..10, 0u32..600, 0u32..600), 1..20),
+        seed in 0u64..100_000,
+    ) {
+        for choice in CHOICES {
+            run_schedule(choice, seed, &triples, true, Mode::Durable)?;
         }
     }
 }
