@@ -42,7 +42,7 @@
 use super::compaction::{execute_compaction, CompactionJob};
 use super::partition::{ColumnDelta, MainColumn, MainState, Partition};
 use super::table::ServerTable;
-use super::{lock, CellValue, DbaasServer};
+use super::{lock, CellValue, DbaasServer, MERGE_RETRIES};
 use crate::error::DbError;
 use crate::schema::{ColumnSpec, DictChoice, TablePartitioning, TableSchema};
 use crate::server::stats::DurabilityStats;
@@ -246,10 +246,15 @@ impl Storage {
     // -- WAL ---------------------------------------------------------------
 
     /// The WAL handle of a table, opening (and header-stamping) the file
-    /// on first use.
+    /// on first use. Lookup and creation happen atomically under the map
+    /// lock: two racing callers must share one handle, because two
+    /// mutexes over one file would break the writer serialization that
+    /// absolute delta positions rely on — and both would stamp a header
+    /// into an empty file, which replay rejects as a duplicate.
     pub(crate) fn wal_handle(&self, table: &str) -> Result<Arc<Mutex<WalFile>>, DbError> {
         self.check_alive()?;
-        if let Some(w) = lock(&self.wals).get(table) {
+        let mut wals = lock(&self.wals);
+        if let Some(w) = wals.get(table) {
             return Ok(Arc::clone(w));
         }
         let dir = self.table_dir(table)?;
@@ -277,9 +282,7 @@ impl Storage {
             self.append_record(&mut wal, &header)?;
         }
         let handle = Arc::new(Mutex::new(wal));
-        lock(&self.wals)
-            .entry(table.to_string())
-            .or_insert_with(|| Arc::clone(&handle));
+        wals.insert(table.to_string(), Arc::clone(&handle));
         Ok(handle)
     }
 
@@ -562,6 +565,37 @@ impl Storage {
             self.ensure_snapshot(&t.schema, p.index, &main, drained)?;
         }
         self.wal_handle(&t.schema.name)?;
+        Ok(())
+    }
+
+    /// Errors when the directory already holds a previous incarnation's
+    /// durable state (a table manifest or WAL). Attaching a *fresh*
+    /// deployment over it would append to the old WAL (whose header is
+    /// only stamped into an empty file) and mix snapshot generations,
+    /// leaving a directory recovery can only partially replay — such a
+    /// directory must be reopened with [`DbaasServer::recover`] /
+    /// `Session::open` instead.
+    fn refuse_existing_state(&self) -> Result<(), DbError> {
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(_) => return Ok(()),
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if !path.is_dir() {
+                continue;
+            }
+            for marker in ["table.manifest", "wal.log"] {
+                if path.join(marker).exists() {
+                    return Err(DbError::Durability(format!(
+                        "{} already holds durable state ({}); reopen it with \
+                         recover()/Session::open instead of attaching a fresh deployment",
+                        self.dir.display(),
+                        path.join(marker).display()
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -905,38 +939,80 @@ impl DbaasServer {
     }
 
     /// Attaches durable storage under `dir` to a running server: every
-    /// already-deployed table is persisted (manifest + sealed snapshots at
-    /// the current epochs + WAL), and from here on every insert, delete
-    /// and epoch publish is logged/persisted.
+    /// already-deployed table is first folded to quiescence (deltas
+    /// merged, deletions compacted away — the sealed snapshot format
+    /// captures exactly a published epoch, so persisting a partition with
+    /// live delta rows or invalidated main rows would lose the former and
+    /// resurrect the latter on recovery), then persisted (manifest +
+    /// sealed snapshots at the current epochs + WAL). From here on every
+    /// insert, delete and epoch publish is logged/persisted.
+    ///
+    /// `dir` must not hold a previous deployment's durable state — reopen
+    /// such a directory with [`DbaasServer::recover`] instead. Writes
+    /// racing the attach are not guaranteed a spot in the initial
+    /// snapshots; quiesce writers around this call.
     ///
     /// # Errors
     ///
-    /// [`DbError::Durability`] if storage is already attached or the
-    /// initial persistence fails.
+    /// [`DbError::Durability`] if storage is already attached, `dir`
+    /// already holds durable state, the initial persistence fails, or
+    /// concurrent writes keep the tables from reaching quiescence; merge
+    /// errors propagate.
     pub fn attach_durability(
         &self,
         dir: impl AsRef<Path>,
         policy: DurabilityPolicy,
     ) -> Result<(), DbError> {
-        let mut slot = lock(&self.storage);
-        if slot.is_some() {
+        if lock(&self.storage).is_some() {
             return Err(DbError::Durability(
                 "durable storage is already attached".to_string(),
             ));
         }
-        let storage = Arc::new(Storage::new(
-            dir.as_ref(),
-            policy,
-            Arc::clone(&self.enclave),
-        )?);
-        // Hold the tables write lock across the initial persistence so no
-        // deploy or write slips between "snapshotted" and "logged".
-        let tables = self.tables.write().unwrap_or_else(|e| e.into_inner());
-        for t in tables.values() {
-            storage.persist_new_table(t)?;
+        for _attempt in 0..MERGE_RETRIES {
+            // Fold outside the storage lock: the publish path of these
+            // merges takes it to look for a WAL.
+            let names: Vec<String> = {
+                let tables = self.tables.read().unwrap_or_else(|e| e.into_inner());
+                tables.keys().cloned().collect()
+            };
+            for name in &names {
+                self.merge_table(name)?;
+            }
+            let mut slot = lock(&self.storage);
+            if slot.is_some() {
+                return Err(DbError::Durability(
+                    "durable storage is already attached".to_string(),
+                ));
+            }
+            // Hold the tables write lock across the quiescence check and
+            // the initial persistence so no deploy or new write slips
+            // between "snapshotted" and "logged".
+            let tables = self.tables.write().unwrap_or_else(|e| e.into_inner());
+            let quiescent = tables.values().all(|t| {
+                t.partitions.iter().all(|p| {
+                    let state = lock(&p.state);
+                    state.delta_rows == 0 && state.main_invalid == 0 && !state.merge_in_flight
+                })
+            });
+            if !quiescent {
+                continue; // A write raced the fold above; merge again.
+            }
+            let storage = Arc::new(Storage::new(
+                dir.as_ref(),
+                policy,
+                Arc::clone(&self.enclave),
+            )?);
+            storage.refuse_existing_state()?;
+            for t in tables.values() {
+                storage.persist_new_table(t)?;
+            }
+            *slot = Some(storage);
+            return Ok(());
         }
-        *slot = Some(storage);
-        Ok(())
+        Err(DbError::Durability(
+            "attach_durability kept racing concurrent writes; quiesce writers and retry"
+                .to_string(),
+        ))
     }
 
     /// Rebuilds this (empty, provisioned) server from a storage directory:
@@ -1135,8 +1211,19 @@ impl DbaasServer {
         d: &mut Dec<'_>,
     ) -> Result<(), DbError> {
         let corrupt = |msg: &str| DbError::Durability(format!("WAL insert record: {msg}"));
+        // Decode and validate the *whole* record before touching any
+        // partition: rejecting a record must leave zero of its rows
+        // applied, or the recovered memory state would run ahead of the
+        // durable log it is supposed to equal.
+        struct Group<'a> {
+            pid: usize,
+            apply: bool,
+            rows: Vec<Vec<(u8, &'a [u8])>>,
+        }
         let ngroups = d.u32()? as usize;
-        let mut replayed = false;
+        let mut groups: Vec<Group<'_>> = Vec::new();
+        // Per-partition delta tails as the apply phase would advance them.
+        let mut tails: HashMap<usize, u64> = HashMap::new();
         for _ in 0..ngroups {
             let pid = d.u32()? as usize;
             let base_abs = d.u64()?;
@@ -1145,26 +1232,59 @@ impl DbaasServer {
                 .partitions
                 .get(pid)
                 .ok_or_else(|| corrupt("pid out of range"))?;
-            let mut state = lock(&p.state);
-            let pos = state.drained_total + state.delta_rows as u64;
+            let (drained_total, live_pos) = {
+                let state = lock(&p.state);
+                (
+                    state.drained_total,
+                    state.drained_total + state.delta_rows as u64,
+                )
+            };
+            let pos = *tails.entry(pid).or_insert(live_pos);
             let apply = if base_abs == pos {
+                tails.insert(pid, pos + nrows as u64);
                 true
-            } else if base_abs + nrows as u64 <= state.drained_total {
+            } else if base_abs + nrows as u64 <= drained_total {
                 false // Fully folded into the loaded snapshot.
             } else {
                 return Err(corrupt("group position does not meet the delta tail"));
             };
+            let mut rows = Vec::new();
             for _ in 0..nrows {
                 let ncells = d.u32()? as usize;
                 if ncells != t.schema.columns.len() {
                     return Err(corrupt("cell arity does not match the schema"));
                 }
-                for col in 0..ncells {
+                let mut cells = Vec::with_capacity(ncells);
+                for spec in &t.schema.columns {
                     let tag = d.u8()?;
                     let bytes = d.bytes_field()?;
-                    if !apply {
-                        continue;
+                    match (tag, &spec.choice) {
+                        (CELL_ENCRYPTED, DictChoice::Encrypted(_)) => {}
+                        (CELL_PLAIN, DictChoice::Plain) => {
+                            if bytes.len() > spec.max_len {
+                                return Err(corrupt("cell longer than the column maximum"));
+                            }
+                        }
+                        _ => return Err(corrupt("cell form does not match the column")),
                     }
+                    cells.push((tag, bytes));
+                }
+                rows.push(cells);
+            }
+            groups.push(Group { pid, apply, rows });
+        }
+        d.finish()?;
+        // Apply phase. Everything below was validated above, and recovery
+        // is single-threaded, so the tails the validation simulated still
+        // hold — nothing here can reject the record anymore.
+        let mut replayed = false;
+        for g in &groups {
+            if !g.apply {
+                continue;
+            }
+            let mut state = lock(&t.partitions[g.pid].state);
+            for row in &g.rows {
+                for (col, &(tag, bytes)) in row.iter().enumerate() {
                     match (tag, &mut state.deltas[col]) {
                         (CELL_ENCRYPTED, ColumnDelta::Encrypted(delta)) => {
                             delta.push_reencrypted(bytes);
@@ -1172,17 +1292,14 @@ impl DbaasServer {
                         (CELL_PLAIN, ColumnDelta::Plain(delta)) => {
                             delta.insert(bytes).map_err(DbError::Storage)?;
                         }
-                        _ => return Err(corrupt("cell form does not match the column")),
+                        _ => unreachable!("cell tags validated against the schema above"),
                     }
                 }
-                if apply {
-                    state.delta_rows += 1;
-                    state.delta_validity.push(true);
-                }
+                state.delta_rows += 1;
+                state.delta_validity.push(true);
             }
-            replayed |= apply;
+            replayed = true;
         }
-        d.finish()?;
         storage.with_stats(|s| {
             if replayed {
                 s.wal_records_replayed += 1;

@@ -429,6 +429,75 @@ fn fsync_batching_syncs_less_and_still_recovers() {
     cleanup(&dir);
 }
 
+/// Attaching durability to a server that already has live (unmerged)
+/// delta rows and deleted main rows must not lose either across a
+/// restart: the attach folds the tables to quiescence before sealing the
+/// initial snapshots, so post-attach WAL records land at positions
+/// recovery can meet, and pre-attach deletions never resurrect.
+#[test]
+fn attach_to_populated_server_preserves_live_deltas_and_deletes() {
+    for &shards in &[1usize, 4] {
+        let dir = storage_dir(&format!("late-attach-{shards}"));
+        let mut db = Session::with_seed(21).expect("session");
+        db.set_compaction_policy(None);
+        db.execute(&create_sql("ED5", shards)).expect("create");
+        let mut model: Vec<&'static str> = Vec::new();
+        for v in &COMMITTED[..5] {
+            db.execute(&format!("INSERT INTO t VALUES ('{v}')"))
+                .expect("insert");
+            model.push(*v);
+        }
+        db.merge("t").expect("merge");
+        // Live delta rows and a deleted main row at attach time.
+        for v in &COMMITTED[5..] {
+            db.execute(&format!("INSERT INTO t VALUES ('{v}')"))
+                .expect("insert");
+            model.push(*v);
+        }
+        db.execute("DELETE FROM t WHERE v = '0003'")
+            .expect("delete");
+        model.retain(|v| *v != "0003");
+        db.server()
+            .attach_durability(&dir, DurabilityPolicy::default())
+            .expect("attach");
+        // Post-attach writes: exactly what a snapshot that silently
+        // dropped the live delta would make recovery truncate away.
+        db.execute("INSERT INTO t VALUES ('0029')").expect("insert");
+        model.push("0029");
+        db.execute("DELETE FROM t WHERE v = '0045'")
+            .expect("delete");
+        model.retain(|v| *v != "0045");
+        let key = db.master_key();
+        drop(db);
+        let mut db = reopen(&dir, key);
+        let context = format!("late-attach/{shards}");
+        assert_contents(&mut db, &model, &context);
+        assert_writable(&mut db, &mut model, &context);
+        cleanup(&dir);
+    }
+}
+
+/// A directory holding a previous incarnation's durable state belongs to
+/// `Session::open`/`recover`: attaching a fresh deployment over it is
+/// refused (it would append to the old WAL and mix snapshot
+/// generations), and the refusal leaves the directory reopenable.
+#[test]
+fn attach_over_existing_state_is_refused() {
+    let dir = storage_dir("reattach");
+    let (db, model) = build_fixture("ED2", 1, &dir);
+    let key = db.master_key();
+    drop(db);
+    let fresh = Session::with_seed(31).expect("session");
+    let err = fresh
+        .server()
+        .attach_durability(&dir, DurabilityPolicy::default())
+        .expect_err("attach over existing state must be refused");
+    assert!(matches!(err, DbError::Durability(_)), "got: {err}");
+    let mut db = reopen(&dir, key);
+    assert_contents(&mut db, &model, "reattach");
+    cleanup(&dir);
+}
+
 /// The durable API surface degrades cleanly without attached storage.
 #[test]
 fn durable_calls_without_storage_are_typed_errors() {
