@@ -37,6 +37,9 @@ run env ENCDBDB_STRESS_THREADS=4 ENCDBDB_STRESS_ROWS=2000 \
 # tails, swapped snapshot files) and checkpoint/fsync-batching recovery.
 run env ENCDBDB_STRESS_THREADS=4 ENCDBDB_STRESS_ROWS=2000 \
     cargo test -q --offline --test crash_recovery
+# The leakage-audit suite: the ECALL ledger's observed per-kind leakage
+# for all 9 ED kinds + PLAIN against the DESIGN.md §2/§10/§11 bounds.
+run cargo test -q --offline --test security
 # Benches are excluded from `cargo test` (they are timed loops); keep them
 # compiling — including the analytic-engine aggregate bench, the
 # snapshot/compaction bench, the partition-layer bench and the join
@@ -47,5 +50,14 @@ run cargo bench --no-run --offline -p encdbdb-bench --bench compaction
 run cargo bench --no-run --offline -p encdbdb-bench --bench partition
 run cargo bench --no-run --offline -p encdbdb-bench --bench join
 run cargo bench --no-run --offline -p encdbdb-bench --bench durability
+# The bench-trajectory emit mode: one fast bounded bench run writing
+# BENCH_*.json into a temp dir, validated against the emit schema (the
+# committed baselines under baselines/ are validated the same way).
+BENCH_JSON_DIR="$(mktemp -d)"
+trap 'rm -rf "$BENCH_JSON_DIR"' EXIT
+run env ENCDBDB_BENCH_JSON="$BENCH_JSON_DIR" ENCDBDB_DURABILITY_ROWS=200 \
+    cargo bench -q --offline -p encdbdb-bench --bench durability
+run python3 tools/validate_bench_json.py "$BENCH_JSON_DIR"/BENCH_durability.json
+run python3 tools/validate_bench_json.py baselines/BENCH_*.json
 
 echo "==> CI green"

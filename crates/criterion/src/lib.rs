@@ -16,10 +16,17 @@
 //! When invoked with `--test` (as `cargo test --benches` does) every
 //! benchmark body runs exactly once, so benches stay covered by CI without
 //! paying measurement time.
+//!
+//! Setting `ENCDBDB_BENCH_JSON=<dir>` additionally persists every
+//! measurement to `<dir>/BENCH_<area>.json` (`area` = the bench binary's
+//! name), a machine-readable trajectory with stable benchmark ids,
+//! median/p95 nanoseconds, and the `ENCDBDB_*` workload knobs in effect —
+//! the committed baselines under `baselines/` are produced this way.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export for parity with `criterion::black_box`.
@@ -120,6 +127,8 @@ impl Criterion {
             measurement_time: self.measurement_time,
             test_mode: self.test_mode,
             median: None,
+            p95: None,
+            samples: 0,
         };
         f(&mut bencher);
         if self.test_mode {
@@ -130,6 +139,12 @@ impl Criterion {
             Some(per_iter) => {
                 let rate = throughput.map(|t| t.rate(per_iter)).unwrap_or_default();
                 println!("{full:<50} {:>12}/iter{rate}", fmt_duration(per_iter));
+                emit_record(
+                    &full,
+                    per_iter,
+                    bencher.p95.unwrap_or(per_iter),
+                    bencher.samples,
+                );
             }
             None => println!("{full}: no measurement (Bencher::iter never called)"),
         }
@@ -143,6 +158,8 @@ pub struct Bencher {
     measurement_time: Duration,
     test_mode: bool,
     median: Option<Duration>,
+    p95: Option<Duration>,
+    samples: usize,
 }
 
 impl Bencher {
@@ -183,7 +200,120 @@ impl Bencher {
         }
         samples.sort_unstable();
         self.median = Some(samples[samples.len() / 2]);
+        self.p95 = Some(samples[(samples.len() * 95).div_ceil(100).max(1) - 1]);
+        self.samples = samples.len();
     }
+}
+
+// -- JSON trajectory emit (`ENCDBDB_BENCH_JSON=<dir>`) -----------------------
+
+/// One persisted measurement of the current bench binary.
+#[derive(Debug, Clone)]
+struct EmitRecord {
+    id: String,
+    median_ns: u64,
+    p95_ns: u64,
+    samples: usize,
+}
+
+/// Every measurement this process has produced so far. The whole file is
+/// rewritten after each benchmark, so the trajectory on disk is complete
+/// even across multiple `criterion_group!` instances in one binary.
+static EMITTED: Mutex<Vec<EmitRecord>> = Mutex::new(Vec::new());
+
+fn emit_record(full: &str, median: Duration, p95: Duration, samples: usize) {
+    let Ok(dir) = std::env::var("ENCDBDB_BENCH_JSON") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let mut sink = EMITTED.lock().unwrap_or_else(|e| e.into_inner());
+    sink.push(EmitRecord {
+        id: full.to_string(),
+        median_ns: median.as_nanos() as u64,
+        p95_ns: p95.as_nanos() as u64,
+        samples,
+    });
+    let area = bench_area();
+    let mut env: Vec<(String, String)> = std::env::vars()
+        .filter(|(k, _)| k.starts_with("ENCDBDB_") && k != "ENCDBDB_BENCH_JSON")
+        .collect();
+    env.sort();
+    let json = render_bench_json(&area, &sink, &env);
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::write(
+        std::path::Path::new(&dir).join(format!("BENCH_{area}.json")),
+        json,
+    );
+}
+
+/// The bench area: the binary's file stem with cargo's `-<hash>` suffix
+/// stripped (`av_search-1a2b3c4d5e6f7a8b` → `av_search`).
+fn bench_area() -> String {
+    area_from_argv0(&std::env::args().next().unwrap_or_default())
+}
+
+fn area_from_argv0(argv0: &str) -> String {
+    let stem = std::path::Path::new(argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if !name.is_empty()
+                && hash.len() == 16
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            name.to_string()
+        }
+        _ => stem.to_string(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_bench_json(area: &str, records: &[EmitRecord], env: &[(String, String)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": 1,\n  \"area\": \"");
+    out.push_str(&json_escape(area));
+    out.push_str("\",\n  \"benchmarks\": [");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"id\": \"{}\", \"median_ns\": {}, \"p95_ns\": {}, \"samples\": {}}}",
+            json_escape(&r.id),
+            r.median_ns,
+            r.p95_ns,
+            r.samples
+        ));
+    }
+    out.push_str("\n  ],\n  \"env\": {");
+    for (i, (k, v)) in env.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    \"{}\": \"{}\"",
+            json_escape(k),
+            json_escape(v)
+        ));
+    }
+    out.push_str("\n  }\n}\n");
+    out
 }
 
 /// A group of related benchmarks sharing a name prefix and throughput.
@@ -473,5 +603,61 @@ mod tests {
         assert_eq!(BenchmarkId::new("f", 3).render(None), "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").render(None), "x");
         assert_eq!(BenchmarkId::from("plain").render(None), "plain");
+    }
+
+    #[test]
+    fn iter_records_p95_and_sample_count() {
+        let mut c = quiet();
+        c.bench_function("stats", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            assert!(b.samples > 0);
+            assert!(b.p95.expect("p95 set") >= b.median.expect("median set"));
+        });
+    }
+
+    #[test]
+    fn area_strips_cargo_hash_suffix() {
+        assert_eq!(
+            area_from_argv0("target/release/deps/av_search-1a2b3c4d5e6f7a8b"),
+            "av_search"
+        );
+        assert_eq!(area_from_argv0("durability-0123456789abcdef"), "durability");
+        // Not a 16-hex-char suffix: the dash is part of the name.
+        assert_eq!(area_from_argv0("my-bench"), "my-bench");
+        assert_eq!(area_from_argv0(""), "bench");
+    }
+
+    #[test]
+    fn bench_json_schema_is_stable() {
+        let records = vec![
+            EmitRecord {
+                id: "g/a".into(),
+                median_ns: 100,
+                p95_ns: 150,
+                samples: 10,
+            },
+            EmitRecord {
+                id: "g/\"b\"".into(),
+                median_ns: 200,
+                p95_ns: 250,
+                samples: 5,
+            },
+        ];
+        let env = vec![("ENCDBDB_AGG_ROWS".to_string(), "50000".to_string())];
+        let json = render_bench_json("agg", &records, &env);
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"area\": \"agg\""));
+        assert!(
+            json.contains("\"id\": \"g/a\", \"median_ns\": 100, \"p95_ns\": 150, \"samples\": 10")
+        );
+        assert!(json.contains("g/\\\"b\\\""), "ids are JSON-escaped");
+        assert!(json.contains("\"ENCDBDB_AGG_ROWS\": \"50000\""));
+        // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "braces balance"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

@@ -38,9 +38,10 @@
 use crate::error::DbError;
 use crate::exec::aggregate::{build_histogram, remap_codes, ColumnCodes, Remapped};
 use crate::exec::plan::AggregatePlan;
+use crate::obs::{EcallIo, EcallKind, SpanId};
 use crate::server::{
-    fan_out, matching_rids_multi, CellValue, ColumnDelta, DbaasServer, MainColumn, QueryStats,
-    SelectResponse, ServerFilter,
+    fan_out, matching_rids_multi, CellValue, ColumnDelta, DbaasServer, EnclaveCtx, MainColumn,
+    QueryStats, SelectResponse, ServerFilter,
 };
 use colstore::delta::DeltaStore;
 use colstore::dictionary::RecordId;
@@ -107,7 +108,7 @@ impl DbaasServer {
         plan: &AggregatePlan,
         filters: &[ServerFilter],
     ) -> Result<SelectResponse, DbError> {
-        self.aggregate_scoped(table, plan, filters, None)
+        self.aggregate_scoped(table, plan, filters, None, SpanId::NONE)
     }
 
     pub(crate) fn aggregate_scoped(
@@ -116,16 +117,20 @@ impl DbaasServer {
         plan: &AggregatePlan,
         filters: &[ServerFilter],
         scope: Option<&[usize]>,
+        parent: SpanId,
     ) -> Result<SelectResponse, DbError> {
         validate_plan(plan)?;
+        let obs = self.obs().clone();
         let cfg = self.config();
         // Partition scope (pruning) + per-partition snapshots via the
         // shared N-table acquisition path; empty shards are skipped
         // without any ECALL.
+        let snap_span = obs.span("snapshot", "query", parent);
         let ts = self
             .snapshot_tables(&[(table, filters, scope)])?
             .pop()
             .expect("one table requested");
+        snap_span.finish();
         let t = &ts.table;
 
         // Referenced columns (group keys first, then aggregate inputs),
@@ -180,9 +185,17 @@ impl DbaasServer {
         // Per-partition, fanned out on scoped threads: filter → chunked
         // histogram scan → dense remap → resolve PLAIN value tables.
         let ref_idx = &ref_idx;
-        let scans = fan_out(active, |_pid, snap| {
+        let scan_span = obs.span_arg("scan", "query", parent, active.len() as u64);
+        let obs_ref = &obs;
+        let scans = fan_out(active, |pid, snap| {
+            let pspan = obs_ref.span_arg("partition", "query", scan_span.id(), pid as u64);
+            let ctx = EnclaveCtx {
+                enclave: self.query_enclave_handle(),
+                obs: obs_ref,
+                parent: pspan.id(),
+            };
             let (main_rids, delta_rids, mut part_stats) =
-                matching_rids_multi(snap, &t.schema, self.query_enclave_handle(), filters, &cfg)?;
+                matching_rids_multi(snap, &t.schema, &ctx, filters, &cfg)?;
             let scan_start = std::time::Instant::now();
             let cols: Vec<ColumnCodes<'_>> = ref_idx
                 .iter()
@@ -220,6 +233,7 @@ impl DbaasServer {
             stats.absorb(&scan.stats);
             parts.push(scan);
         }
+        scan_span.finish();
 
         // Grouped aggregation over the distinct touched values of every
         // partition, with the partial-aggregate merge in the trusted core.
@@ -264,12 +278,61 @@ impl DbaasServer {
                 // (no GROUP BY) aggregate still consults the enclave even
                 // with zero parts: its NULL row carries cells encrypted
                 // under the column keys.
-                let reply = self.enclave().aggregate(AggregateRequest {
+                //
+                // bytes_in approximates the request payload: 4 bytes per
+                // remapped code or tuple slot plus resolved plain values.
+                let bytes_in: u64 = part_data
+                    .iter()
+                    .map(|p| {
+                        let cols: u64 = p
+                            .columns
+                            .iter()
+                            .map(|c| match c {
+                                AggColumnData::Encrypted { codes, .. } => 4 * codes.len() as u64,
+                                AggColumnData::Plain { values } => {
+                                    values.iter().map(|v| v.len() as u64).sum()
+                                }
+                            })
+                            .sum();
+                        cols + 4 * p.tuples.len() as u64
+                    })
+                    .sum();
+                let start_ns = obs.now_ns();
+                let t0 = std::time::Instant::now();
+                let mut enclave = self.enclave();
+                let before = enclave.enclave().counters();
+                let reply = enclave.aggregate(AggregateRequest {
                     table_name: &t.schema.name,
                     col_names: col_names.clone(),
                     parts: part_data,
                     plan: &spec,
                 })?;
+                let after = enclave.enclave().counters();
+                drop(enclave);
+                let bytes_out: u64 = reply
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|cell| match cell {
+                                AggCell::Encrypted(b) | AggCell::Plain(b) => b.len() as u64,
+                            })
+                            .sum::<u64>()
+                    })
+                    .sum();
+                obs.ecall(
+                    EcallKind::Aggregate,
+                    EcallIo {
+                        bytes_in,
+                        bytes_out,
+                        values_decrypted: reply.values_decrypted as u64,
+                        untrusted_loads: after.untrusted_loads - before.untrusted_loads,
+                        untrusted_bytes: after.untrusted_bytes - before.untrusted_bytes,
+                    },
+                    start_ns,
+                    t0.elapsed().as_nanos() as u64,
+                    parent,
+                );
                 stats.enclave_calls += 1;
                 stats.values_decrypted += reply.values_decrypted;
                 reply

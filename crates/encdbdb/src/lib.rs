@@ -18,6 +18,8 @@
 //!   aggregates / ORDER BY / LIMIT over ValueID histograms, with one
 //!   enclave consultation per query.
 //! * [`session`] — an in-process deployment of all components.
+//! * [`obs`] — observability: metrics registry, trace spans, and the
+//!   ECALL leakage ledger (`Session::export_trace`, `metrics_report`).
 //!
 //! # Quickstart
 //!
@@ -54,6 +56,7 @@
 
 pub mod error;
 pub mod exec;
+pub mod obs;
 pub mod owner;
 pub mod proxy;
 pub mod schema;
@@ -63,6 +66,7 @@ pub mod sql;
 
 pub use error::DbError;
 pub use exec::plan::{AggregatePlan, SelectPlan};
+pub use obs::{EcallKind, LedgerReport, MetricsReport, Obs, TraceEvent};
 pub use owner::DataOwner;
 pub use proxy::{Proxy, QueryResult};
 pub use schema::{ColumnSpec, DictChoice, TablePartitioning, TableSchema};

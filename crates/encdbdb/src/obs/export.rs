@@ -1,0 +1,151 @@
+//! JSON exporters: Chrome-trace-format span dumps plus plain-JSON
+//! metric and ledger reports. Hand-rolled emitters (the workspace is
+//! offline; no serde) — every string that reaches the output is either
+//! a `&'static str` identifier from this crate or passed through
+//! `escape_json`.
+
+use super::ledger::LedgerReport;
+use super::registry::MetricsReport;
+use super::trace::TraceEvent;
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders completed spans as a Chrome trace (the `chrome://tracing` /
+/// Perfetto "JSON object" form): one complete event (`ph: "X"`) per
+/// span, timestamps and durations in microseconds as the format
+/// requires, with span ids, parentage, and the numeric argument under
+/// `args`.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 160 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Integer-microsecond timestamps would collapse sub-µs spans to
+        // zero width; the format allows fractional ts/dur.
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{}.{:03},\"dur\":{}.{:03},\
+             \"args\":{{\"id\":{},\"parent\":{},\"arg\":{}}}}}",
+            escape_json(ev.name),
+            escape_json(ev.cat),
+            ev.tid,
+            ev.start_ns / 1_000,
+            ev.start_ns % 1_000,
+            ev.dur_ns / 1_000,
+            ev.dur_ns % 1_000,
+            ev.id,
+            ev.parent,
+            ev.arg,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+impl MetricsReport {
+    /// Renders the report as a JSON object:
+    /// `{"counters": {...}, "histograms": {name: {count, sum_ns, ...}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{value}"));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+                h.name, h.count, h.sum_ns, h.p50_ns, h.p95_ns, h.max_ns
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl LedgerReport {
+    /// Renders the per-kind totals as a JSON object keyed by kind name.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, k) in self.kinds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"calls\":{},\"bytes_in\":{},\"bytes_out\":{},\
+                 \"values_decrypted\":{},\"untrusted_loads\":{},\"untrusted_bytes\":{}}}",
+                k.kind.name(),
+                k.calls,
+                k.bytes_in,
+                k.bytes_out,
+                k.values_decrypted,
+                k.untrusted_loads,
+                k.untrusted_bytes
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn chrome_trace_shape_is_wellformed() {
+        let events = [TraceEvent {
+            id: 3,
+            parent: 1,
+            name: "ecall.search",
+            cat: "ecall",
+            start_ns: 1_500,
+            dur_ns: 250,
+            tid: 7,
+            arg: 2,
+        }];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":0.250"));
+        assert!(json.contains("\"parent\":1"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! Lock-free metrics registry: a fixed set of atomic counters plus
+//! log₂-bucketed nanosecond histograms, cheap enough for the query hot
+//! path (one relaxed `fetch_add` per update) and snapshotted on demand
+//! as a [`MetricsReport`].
+//!
+//! The key space is closed: every counter and histogram is an enum
+//! variant declared here, so adding a metric is a one-line change and
+//! the report layout is stable across runs (declaration order).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! metric_keys {
+    ($(#[$em:meta])* $enum_name:ident, $all:ident, $names:ident; $($variant:ident => $name:literal,)+) => {
+        $(#[$em])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum $enum_name {
+            $(#[doc = concat!("`", $name, "`")] $variant,)+
+        }
+
+        /// Every key, in declaration (= report) order.
+        pub const $all: &[$enum_name] = &[$($enum_name::$variant,)+];
+        const $names: &[&str] = &[$($name,)+];
+
+        impl $enum_name {
+            /// The stable string name used in reports and JSON exports.
+            pub fn name(self) -> &'static str {
+                $names[self as usize]
+            }
+        }
+    };
+}
+
+metric_keys! {
+    /// Keys of the monotone counters kept by the registry.
+    Counter, COUNTERS, COUNTER_NAMES;
+    QueriesTotal => "queries_total",
+    SelectsTotal => "selects_total",
+    AggregatesTotal => "aggregates_total",
+    JoinsTotal => "joins_total",
+    InsertsTotal => "inserts_total",
+    DeletesTotal => "deletes_total",
+    RowsReturnedTotal => "rows_returned_total",
+    RowsInsertedTotal => "rows_inserted_total",
+    RowsDeletedTotal => "rows_deleted_total",
+    EcallsTotal => "ecalls_total",
+    ValuesDecryptedTotal => "values_decrypted_total",
+    UntrustedLoadsTotal => "untrusted_loads_total",
+    UntrustedBytesTotal => "untrusted_bytes_total",
+    PartitionsScannedTotal => "partitions_scanned_total",
+    PartitionsPrunedTotal => "partitions_pruned_total",
+    CompactionsCompletedTotal => "compactions_completed_total",
+    CompactionsAbortedTotal => "compactions_aborted_total",
+    CompactionErrorsTotal => "compaction_errors_total",
+    WalRecordsTotal => "wal_records_total",
+    WalFsyncsTotal => "wal_fsyncs_total",
+    SnapshotsPersistedTotal => "snapshots_persisted_total",
+    RecoveriesTotal => "recoveries_total",
+    TraceEventsDroppedTotal => "trace_events_dropped_total",
+}
+
+metric_keys! {
+    /// Keys of the nanosecond histograms kept by the registry.
+    Hist, HISTS, HIST_NAMES;
+    QueryNs => "query_ns",
+    DictSearchNs => "dict_search_ns",
+    AvScanNs => "av_scan_ns",
+    AggregateNs => "aggregate_ns",
+    RenderNs => "render_ns",
+    BridgeNs => "bridge_ns",
+    EcallNs => "ecall_ns",
+    CompactionMergeNs => "compaction_merge_ns",
+    WalAppendNs => "wal_append_ns",
+    WalFsyncNs => "wal_fsync_ns",
+    SnapshotPersistNs => "snapshot_persist_ns",
+    RecoveryNs => "recovery_ns",
+}
+
+/// Number of log₂ buckets: bucket `i` holds samples whose value `v`
+/// satisfies `floor(log2(max(v, 1))) == i`, i.e. `2^i ≤ v < 2^(i+1)`
+/// (bucket 0 also takes `v = 0`). 64 buckets cover the whole `u64` range.
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl HistCell {
+    fn new() -> Self {
+        HistCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        let bucket = (v | 1).ilog2() as usize;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn summary(&self, key: Hist) -> HistogramSummary {
+        // Counts are read bucket-by-bucket while writers may be active;
+        // each load is atomic (never torn) and every bucket is monotone,
+        // so the summary is a consistent *lower bound* snapshot.
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let quantile = |q_num: u64, q_den: u64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = (count * q_num).div_ceil(q_den).max(1);
+            let mut seen = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper_bound(i);
+                }
+            }
+            u64::MAX
+        };
+        let max_ns = buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, bucket_upper_bound);
+        HistogramSummary {
+            name: key.name(),
+            count,
+            sum_ns: self.sum.load(Ordering::Relaxed),
+            p50_ns: quantile(1, 2),
+            p95_ns: quantile(19, 20),
+            max_ns,
+        }
+    }
+}
+
+/// Inclusive upper bound of log₂ bucket `i` (`2^(i+1) - 1`), the value
+/// quantiles resolve to — a histogram quantile is an upper bound on the
+/// true sample quantile, never an underestimate.
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// The process-wide metric store. All methods are lock-free; see module
+/// docs for the consistency model of snapshots.
+#[derive(Debug)]
+pub(crate) struct MetricsRegistry {
+    counters: Vec<AtomicU64>,
+    hists: Vec<HistCell>,
+}
+
+impl MetricsRegistry {
+    pub(crate) fn new() -> Self {
+        MetricsRegistry {
+            counters: (0..COUNTERS.len()).map(|_| AtomicU64::new(0)).collect(),
+            hists: (0..HISTS.len()).map(|_| HistCell::new()).collect(),
+        }
+    }
+
+    pub(crate) fn add(&self, key: Counter, n: u64) {
+        self.counters[key as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self, key: Counter) -> u64 {
+        self.counters[key as usize].load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record(&self, key: Hist, ns: u64) {
+        self.hists[key as usize].record(ns);
+    }
+
+    pub(crate) fn report(&self) -> MetricsReport {
+        MetricsReport {
+            counters: COUNTERS.iter().map(|&c| (c.name(), self.get(c))).collect(),
+            histograms: HISTS
+                .iter()
+                .map(|&h| self.hists[h as usize].summary(h))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of every registry counter and histogram.
+///
+/// Produced by [`crate::server::DbaasServer::obs`] /
+/// `Session::metrics_report`. Counters are monotone, so two reports can
+/// be compared field-by-field to measure an interval.
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// `(name, value)` for every counter, in declaration order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// One summary per histogram, in declaration order.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl MetricsReport {
+    /// The value of the counter named `name` (0 if unknown — counter
+    /// names are stable, so a typo reads as zero rather than panicking
+    /// inside monitoring code).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// The summary of the histogram named `name`, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Summary of one log₂-bucketed nanosecond histogram. Quantiles are
+/// bucket upper bounds: `p95_ns` is at most 2× the true p95 sample, and
+/// never below it.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSummary {
+    /// Stable histogram name (see [`Hist`]).
+    pub name: &'static str,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples, in nanoseconds.
+    pub sum_ns: u64,
+    /// Upper bound on the median sample.
+    pub p50_ns: u64,
+    /// Upper bound on the 95th-percentile sample.
+    pub p95_ns: u64,
+    /// Upper bound on the largest sample.
+    pub max_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_report_by_name() {
+        let r = MetricsRegistry::new();
+        r.add(Counter::QueriesTotal, 2);
+        r.add(Counter::QueriesTotal, 3);
+        r.add(Counter::EcallsTotal, 7);
+        let rep = r.report();
+        assert_eq!(rep.counter("queries_total"), 5);
+        assert_eq!(rep.counter("ecalls_total"), 7);
+        assert_eq!(rep.counter("no_such_counter"), 0);
+        assert_eq!(rep.counters.len(), COUNTERS.len());
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_samples() {
+        let r = MetricsRegistry::new();
+        // 19 fast samples (~1µs) and one slow outlier (~1ms).
+        for _ in 0..19 {
+            r.record(Hist::QueryNs, 1_000);
+        }
+        r.record(Hist::QueryNs, 1_000_000);
+        let h = *r.report().histogram("query_ns").expect("histogram");
+        assert_eq!(h.count, 20);
+        assert_eq!(h.sum_ns, 19_000 + 1_000_000);
+        // p50 must bound 1000 from above without reaching the outlier.
+        assert!(h.p50_ns >= 1_000 && h.p50_ns < 1_000_000, "{h:?}");
+        // p95 at rank 19 of 20 is still in the fast bucket; max covers
+        // the outlier.
+        assert!(h.p95_ns < 1_000_000, "{h:?}");
+        assert!(h.max_ns >= 1_000_000, "{h:?}");
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_extremes() {
+        let r = MetricsRegistry::new();
+        r.record(Hist::EcallNs, 0);
+        r.record(Hist::EcallNs, u64::MAX);
+        let h = *r.report().histogram("ecall_ns").expect("histogram");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max_ns, u64::MAX);
+        assert!(h.p50_ns >= 1);
+    }
+
+    #[test]
+    fn counter_and_hist_names_are_unique() {
+        let mut names: Vec<&str> = COUNTERS.iter().map(|c| c.name()).collect();
+        names.extend(HISTS.iter().map(|h| h.name()));
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate metric name");
+    }
+}

@@ -17,6 +17,7 @@ use crate::error::DbError;
 use crate::exec::join::{compile_join, resolve_side, JoinPlan, JoinPost, JoinSide};
 use crate::exec::ordering;
 use crate::exec::plan::{compile_select, resolve_single_table, AggregatePlan, SelectPlan};
+use crate::obs::{Counter, Hist, SpanId};
 use crate::schema::{ColumnSpec, DictChoice, TablePartitioning, TableSchema};
 use crate::server::{
     CellValue, DbaasServer, JoinSideQuery, QueryOutcome, SelectResponse, ServerFilter, ServerQuery,
@@ -268,7 +269,14 @@ impl Proxy {
         sql: &str,
         rng: &mut R,
     ) -> Result<QueryResult, DbError> {
-        match parse(sql)? {
+        let obs = server.obs().clone();
+        let root = obs.span("query", "query", SpanId::NONE);
+        let t0 = std::time::Instant::now();
+        obs.add(Counter::QueriesTotal, 1);
+        let parse_span = obs.span("parse", "query", root.id());
+        let stmt = parse(sql)?;
+        parse_span.finish();
+        let result = match stmt {
             Statement::CreateTable {
                 name,
                 columns,
@@ -295,6 +303,8 @@ impl Proxy {
                 })
             }
             Statement::Insert { table, rows } => {
+                obs.add(Counter::InsertsTotal, 1);
+                let plan_span = obs.span("plan", "query", root.id());
                 let schema = server.schema(&table)?;
                 for row in &rows {
                     if row.len() != schema.columns.len() {
@@ -332,11 +342,15 @@ impl Proxy {
                     }
                     cells.push(out);
                 }
-                let outcome = server.execute_query(ServerQuery::Insert {
-                    table,
-                    rows: cells,
-                    partition_ids,
-                })?;
+                plan_span.finish();
+                let outcome = server.execute_query_traced(
+                    ServerQuery::Insert {
+                        table,
+                        rows: cells,
+                        partition_ids,
+                    },
+                    root.id(),
+                )?;
                 let QueryOutcome::Affected(n) = outcome else {
                     unreachable!("insert returns an affected count");
                 };
@@ -356,7 +370,7 @@ impl Proxy {
                 limit,
             } => {
                 if let Some(join) = join {
-                    return self.execute_join(
+                    self.execute_join(
                         server,
                         &table,
                         &join,
@@ -367,57 +381,76 @@ impl Proxy {
                         &order_by,
                         limit,
                         rng,
-                    );
-                }
-                let schema = server.schema(&table)?;
-                let plan = compile_select(&schema, distinct, &items, &group_by, &order_by, limit)?;
-                let (filters, scope) =
-                    self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
-                match plan {
-                    SelectPlan::Rows {
-                        columns,
-                        sort,
-                        limit,
-                    } => {
-                        let outcome = server.execute_query(ServerQuery::Select {
-                            table: table.clone(),
+                        root.id(),
+                    )
+                } else {
+                    let plan_span = obs.span("plan", "query", root.id());
+                    let schema = server.schema(&table)?;
+                    let plan =
+                        compile_select(&schema, distinct, &items, &group_by, &order_by, limit)?;
+                    let (filters, scope) =
+                        self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
+                    plan_span.finish();
+                    match plan {
+                        SelectPlan::Rows {
                             columns,
-                            filters,
-                            scope,
-                        })?;
-                        let QueryOutcome::Rows(response) = outcome else {
-                            unreachable!("select returns rows");
-                        };
-                        let mut result = self.decrypt_rows(&schema, &table, response)?;
-                        // ORDER BY / LIMIT over row plans run here, after
-                        // decryption — encrypted cells are not sortable on
-                        // the server.
-                        ordering::sort_and_limit(&mut result.rows, &sort, limit);
-                        Ok(result)
-                    }
-                    SelectPlan::Aggregate(plan) => {
-                        let outcome = server.execute_query(ServerQuery::Aggregate {
-                            table: table.clone(),
-                            plan: plan.clone(),
-                            filters,
-                            scope,
-                        })?;
-                        let QueryOutcome::Rows(response) = outcome else {
-                            unreachable!("aggregate returns rows");
-                        };
-                        self.decrypt_aggregate_rows(&schema, &table, &plan, response)
+                            sort,
+                            limit,
+                        } => {
+                            obs.add(Counter::SelectsTotal, 1);
+                            let outcome = server.execute_query_traced(
+                                ServerQuery::Select {
+                                    table: table.clone(),
+                                    columns,
+                                    filters,
+                                    scope,
+                                },
+                                root.id(),
+                            )?;
+                            let QueryOutcome::Rows(response) = outcome else {
+                                unreachable!("select returns rows");
+                            };
+                            let mut result = self.decrypt_rows(&schema, &table, response)?;
+                            // ORDER BY / LIMIT over row plans run here, after
+                            // decryption — encrypted cells are not sortable on
+                            // the server.
+                            ordering::sort_and_limit(&mut result.rows, &sort, limit);
+                            Ok(result)
+                        }
+                        SelectPlan::Aggregate(plan) => {
+                            obs.add(Counter::AggregatesTotal, 1);
+                            let outcome = server.execute_query_traced(
+                                ServerQuery::Aggregate {
+                                    table: table.clone(),
+                                    plan: plan.clone(),
+                                    filters,
+                                    scope,
+                                },
+                                root.id(),
+                            )?;
+                            let QueryOutcome::Rows(response) = outcome else {
+                                unreachable!("aggregate returns rows");
+                            };
+                            self.decrypt_aggregate_rows(&schema, &table, &plan, response)
+                        }
                     }
                 }
             }
             Statement::Delete { table, filter } => {
+                obs.add(Counter::DeletesTotal, 1);
+                let plan_span = obs.span("plan", "query", root.id());
                 let schema = server.schema(&table)?;
                 let (filters, scope) =
                     self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
-                let outcome = server.execute_query(ServerQuery::Delete {
-                    table,
-                    filters,
-                    scope,
-                })?;
+                plan_span.finish();
+                let outcome = server.execute_query_traced(
+                    ServerQuery::Delete {
+                        table,
+                        filters,
+                        scope,
+                    },
+                    root.id(),
+                )?;
                 let QueryOutcome::Affected(n) = outcome else {
                     unreachable!("delete returns an affected count");
                 };
@@ -426,7 +459,10 @@ impl Proxy {
                     rows: vec![vec![n.to_string().into_bytes()]],
                 })
             }
-        }
+        };
+        obs.record(Hist::QueryNs, t0.elapsed().as_nanos() as u64);
+        root.finish();
+        result
     }
 
     /// Executes a two-table equi-join: compile, split the WHERE
@@ -448,7 +484,11 @@ impl Proxy {
         order_by: &[OrderKey],
         limit: Option<usize>,
         rng: &mut R,
+        parent: SpanId,
     ) -> Result<QueryResult, DbError> {
+        let obs = server.obs().clone();
+        obs.add(Counter::JoinsTotal, 1);
+        let plan_span = obs.span("plan", "query", parent);
         let lschema = server.schema(table)?;
         let rschema = server.schema(&join.table)?;
         let plan = compile_join(
@@ -481,23 +521,27 @@ impl Proxy {
         let [lranges, rranges] = per_side;
         let (lfilters, lscope) = self.encrypt_filters(&lschema, table, lranges, rng)?;
         let (rfilters, rscope) = self.encrypt_filters(&rschema, &join.table, rranges, rng)?;
+        plan_span.finish();
 
-        let outcome = server.execute_query(ServerQuery::Join {
-            left: JoinSideQuery {
-                table: plan.left.table.clone(),
-                key: plan.left.key.clone(),
-                columns: plan.left.columns.clone(),
-                filters: lfilters,
-                scope: lscope,
+        let outcome = server.execute_query_traced(
+            ServerQuery::Join {
+                left: JoinSideQuery {
+                    table: plan.left.table.clone(),
+                    key: plan.left.key.clone(),
+                    columns: plan.left.columns.clone(),
+                    filters: lfilters,
+                    scope: lscope,
+                },
+                right: JoinSideQuery {
+                    table: plan.right.table.clone(),
+                    key: plan.right.key.clone(),
+                    columns: plan.right.columns.clone(),
+                    filters: rfilters,
+                    scope: rscope,
+                },
             },
-            right: JoinSideQuery {
-                table: plan.right.table.clone(),
-                key: plan.right.key.clone(),
-                columns: plan.right.columns.clone(),
-                filters: rfilters,
-                scope: rscope,
-            },
-        })?;
+            parent,
+        )?;
         let QueryOutcome::Rows(response) = outcome else {
             unreachable!("join returns rows");
         };

@@ -14,6 +14,7 @@ use super::storage;
 use super::table::ServerTable;
 use super::{lock, Config, DbaasServer, MERGE_RETRIES};
 use crate::error::DbError;
+use crate::obs::{Counter, EcallIo, EcallKind, Hist, Obs, SpanId};
 use crate::schema::{DictChoice, TableSchema};
 use colstore::delta::ValidityVector;
 use colstore::dictionary::AttributeVector;
@@ -227,9 +228,12 @@ impl DbaasServer {
         // handle of a *live* merge (which a reap-join would then block on
         // for the whole rebuild).
         let mut worker = lock(&partition.worker);
+        let cap_span = self.obs().span("capture", "compaction", SpanId::NONE);
         let Some(job) = begin_compaction(partition) else {
+            cap_span.finish();
             return false;
         };
+        cap_span.finish();
         if let Some(old) = worker.take() {
             // `begin_compaction` succeeded, so no merge was in flight on
             // this partition: the stored worker has already cleared the
@@ -248,7 +252,14 @@ impl DbaasServer {
             let mut attempt = 0;
             loop {
                 let cfg = server.config();
-                match execute_compaction(&server.merge_enclave, &table.schema, &job, &cfg) {
+                match execute_compaction(
+                    &server.merge_enclave,
+                    &table.schema,
+                    &job,
+                    &cfg,
+                    server.obs(),
+                    SpanId::NONE,
+                ) {
                     Ok(columns) => {
                         if publish_compaction(&server, &table, &partition_arc, job, columns) {
                             return;
@@ -257,13 +268,16 @@ impl DbaasServer {
                         if attempt >= MERGE_RETRIES {
                             return;
                         }
-                        match begin_compaction(&partition_arc) {
+                        let cap = server.obs().span("capture", "compaction", SpanId::NONE);
+                        let next = begin_compaction(&partition_arc);
+                        cap.finish();
+                        match next {
                             Some(next) => job = next,
                             None => return,
                         }
                     }
                     Err(e) => {
-                        fail_compaction(&table, &partition_arc, &e);
+                        fail_compaction(server.obs(), &table, &partition_arc, &e);
                         return;
                     }
                 }
@@ -279,7 +293,10 @@ impl DbaasServer {
         t: &Arc<ServerTable>,
         partition: &Arc<Partition>,
     ) -> Result<CompactionOutcome, DbError> {
-        let Some(job) = begin_compaction(partition) else {
+        let cap_span = self.obs().span("capture", "compaction", SpanId::NONE);
+        let job = begin_compaction(partition);
+        cap_span.finish();
+        let Some(job) = job else {
             // Either a merge is in flight or there is nothing to do;
             // disambiguate for the caller.
             let state = lock(&partition.state);
@@ -290,14 +307,21 @@ impl DbaasServer {
             });
         };
         let cfg = self.config();
-        match execute_compaction(&self.merge_enclave, &t.schema, &job, &cfg) {
+        match execute_compaction(
+            &self.merge_enclave,
+            &t.schema,
+            &job,
+            &cfg,
+            self.obs(),
+            SpanId::NONE,
+        ) {
             Ok(columns) => Ok(if publish_compaction(self, t, partition, job, columns) {
                 CompactionOutcome::Completed
             } else {
                 CompactionOutcome::Aborted
             }),
             Err(e) => {
-                fail_compaction(t, partition, &e);
+                fail_compaction(self.obs(), t, partition, &e);
                 Err(e)
             }
         }
@@ -348,7 +372,10 @@ pub(crate) fn execute_compaction(
     schema: &TableSchema,
     job: &CompactionJob,
     cfg: &Config,
+    obs: &Obs,
+    parent: SpanId,
 ) -> Result<(Vec<MainColumn>, usize), DbError> {
+    let rebuild_span = obs.span_arg("rebuild", "compaction", parent, job.epoch);
     let mut new_columns = Vec::with_capacity(job.main.columns.len());
     let mut new_rows = None;
     for ((spec, main_col), delta_col) in schema
@@ -381,7 +408,32 @@ pub(crate) fn execute_compaction(
                     delta_len: delta.len(),
                     delta_valid: &job.delta_validity,
                 };
-                let (new_dict, new_av) = lock(merge_enclave).merge(req)?;
+                // Merge traffic is dominated by the streamed dictionary
+                // reads; bytes_out approximates the published AV payload.
+                let start_ns = obs.now_ns();
+                let t0 = std::time::Instant::now();
+                let mut enclave = lock(merge_enclave);
+                let before = enclave.enclave().counters();
+                let (new_dict, new_av) = enclave.merge(req)?;
+                let after = enclave.enclave().counters();
+                drop(enclave);
+                let dur_ns = t0.elapsed().as_nanos() as u64;
+                let loads = after.untrusted_loads - before.untrusted_loads;
+                let bytes = after.untrusted_bytes - before.untrusted_bytes;
+                obs.ecall(
+                    EcallKind::Merge,
+                    EcallIo {
+                        bytes_in: bytes,
+                        bytes_out: 4 * new_av.len() as u64,
+                        values_decrypted: loads / 2,
+                        untrusted_loads: loads,
+                        untrusted_bytes: bytes,
+                    },
+                    start_ns,
+                    dur_ns,
+                    rebuild_span.id(),
+                );
+                obs.record(Hist::CompactionMergeNs, dur_ns);
                 let rows = new_av.len();
                 match new_rows {
                     None => new_rows = Some(rows),
@@ -421,6 +473,7 @@ pub(crate) fn execute_compaction(
             std::thread::sleep(throttle);
         }
     }
+    rebuild_span.finish();
     Ok((new_columns, new_rows.unwrap_or(0)))
 }
 
@@ -444,12 +497,21 @@ fn publish_compaction(
     job: CompactionJob,
     (columns, rows): (Vec<MainColumn>, usize),
 ) -> bool {
+    let obs = server.obs().clone();
+    let span = obs.span_arg(
+        "publish",
+        "compaction",
+        SpanId::NONE,
+        partition.index as u64,
+    );
     let discard = |e: &DbError| {
         let mut state = lock(&partition.state);
         state.merge_in_flight = false;
         state.deletes_during_merge = false;
         drop(state);
         t.merges_failed.fetch_add(1, Ordering::SeqCst);
+        t.errors_total.fetch_add(1, Ordering::SeqCst);
+        server.obs().add(Counter::CompactionErrorsTotal, 1);
         *lock(&t.last_error) = Some(e.to_string());
         false
     };
@@ -469,7 +531,11 @@ fn publish_compaction(
         // publishing would resurrect them. Discard and let the caller (or
         // the next policy trigger) retry against the fresh state.
         state.deletes_during_merge = false;
+        drop(state);
+        drop(wal_guard);
         t.merges_aborted.fetch_add(1, Ordering::SeqCst);
+        obs.add(Counter::CompactionsAbortedTotal, 1);
+        obs.span("abort", "compaction", span.id()).finish();
         return false;
     }
     debug_assert_eq!(
@@ -505,23 +571,31 @@ fn publish_compaction(
     t.merges_completed.fetch_add(1, Ordering::SeqCst);
     t.rows_compacted
         .fetch_add(job.watermark as u64, Ordering::SeqCst);
+    obs.add(Counter::CompactionsCompletedTotal, 1);
     if let Some((s, main, drained)) = persist {
         if let Err(e) = s.persist_snapshot(&t.schema, partition.index, &main, drained) {
             s.note_snapshot_persist_failure();
+            t.errors_total.fetch_add(1, Ordering::SeqCst);
+            obs.add(Counter::CompactionErrorsTotal, 1);
             *lock(&t.last_error) = Some(e.to_string());
         }
     }
+    span.finish();
     true
 }
 
 /// Error path shared by sync and background merges: clear the in-flight
 /// flag, leaving the old store and the delta untouched and queryable.
-fn fail_compaction(t: &ServerTable, partition: &Partition, e: &DbError) {
+fn fail_compaction(obs: &Obs, t: &ServerTable, partition: &Partition, e: &DbError) {
+    let abort_span = obs.span("abort", "compaction", SpanId::NONE);
     let mut state = lock(&partition.state);
     state.merge_in_flight = false;
     drop(state);
     t.merges_failed.fetch_add(1, Ordering::SeqCst);
+    t.errors_total.fetch_add(1, Ordering::SeqCst);
+    obs.add(Counter::CompactionErrorsTotal, 1);
     *lock(&t.last_error) = Some(e.to_string());
+    abort_span.finish();
 }
 
 /// Rebuilds a plain (sorted) dictionary from a column.

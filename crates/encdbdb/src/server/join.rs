@@ -21,12 +21,13 @@
 //!   smoothing/hiding kinds never qualify — their dictionaries map one
 //!   value to many entries, so only the bridge sees equality.
 
-use super::snapshot::{fan_out, matching_rids_multi, TableSnapshot};
+use super::snapshot::{fan_out, matching_rids_multi, EnclaveCtx, TableSnapshot};
 use super::{
     lock, CellValue, ColumnDelta, DbaasServer, JoinSideQuery, MainColumn, QueryStats,
     SelectResponse,
 };
 use crate::error::DbError;
+use crate::obs::{EcallIo, EcallKind, SpanId};
 use crate::schema::DictChoice;
 use colstore::dictionary::RecordId;
 use encdict::enclave_ops::{bridge_key_tables, JoinBridgeRequest, JoinKeyData, JoinSideData};
@@ -58,20 +59,24 @@ fn scan_side(
     server: &DbaasServer,
     ts: &TableSnapshot,
     q: &JoinSideQuery,
+    parent: SpanId,
 ) -> Result<Vec<SidePartScan>, DbError> {
     let cfg = server.config();
+    let obs = server.obs().clone();
+    let obs_ref = &obs;
     let schema = &ts.table.schema;
     let (key_idx, _) = schema
         .column(&q.key)
         .ok_or_else(|| DbError::ColumnNotFound(q.key.clone()))?;
-    let scans = fan_out(&ts.active, |_pid, snap| {
-        let (main_rids, delta_rids, mut stats) = matching_rids_multi(
-            snap,
-            schema,
-            server.query_enclave_handle(),
-            &q.filters,
-            &cfg,
-        )?;
+    let scans = fan_out(&ts.active, |pid, snap| {
+        let pspan = obs_ref.span_arg("partition", "query", parent, pid as u64);
+        let ctx = EnclaveCtx {
+            enclave: server.query_enclave_handle(),
+            obs: obs_ref,
+            parent: pspan.id(),
+        };
+        let (main_rids, delta_rids, mut stats) =
+            matching_rids_multi(snap, schema, &ctx, &q.filters, &cfg)?;
         let av = snap.main.columns[key_idx].av_slice();
         let main_len = snap.main.columns[key_idx].main_len() as u32;
         let mut row_codes = Vec::with_capacity(main_rids.len() + delta_rids.len());
@@ -127,19 +132,23 @@ impl DbaasServer {
         left: &JoinSideQuery,
         right: &JoinSideQuery,
     ) -> Result<SelectResponse, DbError> {
-        self.join_inner(left, right)
+        self.join_inner(left, right, SpanId::NONE)
     }
 
     pub(crate) fn join_inner(
         &self,
         left: &JoinSideQuery,
         right: &JoinSideQuery,
+        parent: SpanId,
     ) -> Result<SelectResponse, DbError> {
+        let obs = self.obs().clone();
         // Both tables under one tight acquisition pass.
+        let snap_span = obs.span("snapshot", "query", parent);
         let mut snaps = self.snapshot_tables(&[
             (&left.table, &left.filters, left.scope.as_deref()),
             (&right.table, &right.filters, right.scope.as_deref()),
         ])?;
+        snap_span.finish();
         let rts = snaps.pop().expect("two tables requested");
         let lts = snaps.pop().expect("two tables requested");
 
@@ -148,8 +157,12 @@ impl DbaasServer {
         rts.seed_stats(&mut stats);
 
         // Per-side filtered scans, fanned out across partitions.
-        let lscan = scan_side(self, &lts, left)?;
-        let rscan = scan_side(self, &rts, right)?;
+        let lscan_span = obs.span_arg("scan", "query", parent, lts.active.len() as u64);
+        let lscan = scan_side(self, &lts, left, lscan_span.id())?;
+        lscan_span.finish();
+        let rscan_span = obs.span_arg("scan", "query", parent, rts.active.len() as u64);
+        let rscan = scan_side(self, &rts, right, rscan_span.id())?;
+        rscan_span.finish();
         for part in lscan.iter().chain(&rscan) {
             stats.absorb(&part.stats);
             // absorb() sums join counters; row totals are set below.
@@ -158,10 +171,20 @@ impl DbaasServer {
         stats.join_probe_rows = rscan.iter().map(SidePartScan::rows).sum();
 
         // Build the per-partition code→bridge-id maps.
+        let bridge_span = obs.span("bridge", "query", parent);
         let bridge_start = std::time::Instant::now();
-        let (left_maps, right_maps) =
-            self.bridge_keys(&lts, left, &lscan, &rts, right, &rscan, &mut stats)?;
+        let (left_maps, right_maps) = self.bridge_keys(
+            &lts,
+            left,
+            &lscan,
+            &rts,
+            right,
+            &rscan,
+            &mut stats,
+            bridge_span.id(),
+        )?;
         stats.bridge_ns = bridge_start.elapsed().as_nanos() as u64;
+        bridge_span.finish();
 
         // Untrusted hash build over the left side's bridge ids...
         let mut build: HashMap<u32, Vec<(usize, usize)>> = HashMap::new();
@@ -177,6 +200,7 @@ impl DbaasServer {
         // pair from the two snapshots.
         let lcols = column_indices(&lts, &left.columns)?;
         let rcols = column_indices(&rts, &right.columns)?;
+        let render_span = obs.span("render", "query", parent);
         let render_start = std::time::Instant::now();
         let mut rows: Vec<Vec<CellValue>> = Vec::new();
         for (q, part) in rscan.iter().enumerate() {
@@ -196,6 +220,7 @@ impl DbaasServer {
             }
         }
         stats.render_ns += render_start.elapsed().as_nanos() as u64;
+        render_span.finish();
         stats.result_rows = rows.len();
         self.store_stats(stats);
 
@@ -222,6 +247,7 @@ impl DbaasServer {
         right: &JoinSideQuery,
         rscan: &[SidePartScan],
         stats: &mut QueryStats,
+        parent: SpanId,
     ) -> Result<(SideMaps, SideMaps), DbError> {
         let empty = (
             vec![HashMap::new(); lscan.len()],
@@ -377,7 +403,42 @@ impl DbaasServer {
                 &rplain,
             ),
         };
-        let reply = lock(self.query_enclave_handle()).join_bridge(req)?;
+        // Request payload: 4 bytes per distinct encrypted code plus the
+        // resolved plaintexts of a PLAIN side; reply payload: one 4-byte
+        // bridge-id slot per distinct code of either side.
+        let side_bytes = |side: &JoinSideData<'_>| -> u64 {
+            side.parts
+                .iter()
+                .map(|p| match p {
+                    JoinKeyData::Encrypted { codes, .. } => 4 * codes.len() as u64,
+                    JoinKeyData::Plain { values } => values.iter().map(|v| v.len() as u64).sum(),
+                })
+                .sum()
+        };
+        let bytes_in = side_bytes(&req.left) + side_bytes(&req.right);
+        let obs = self.obs().clone();
+        let start_ns = obs.now_ns();
+        let t0 = std::time::Instant::now();
+        let mut enclave = lock(self.query_enclave_handle());
+        let before = enclave.enclave().counters();
+        let reply = enclave.join_bridge(req)?;
+        let after = enclave.enclave().counters();
+        drop(enclave);
+        let slots: usize = reply.left.iter().map(Vec::len).sum::<usize>()
+            + reply.right.iter().map(Vec::len).sum::<usize>();
+        obs.ecall(
+            EcallKind::JoinBridge,
+            EcallIo {
+                bytes_in,
+                bytes_out: 4 * slots as u64,
+                values_decrypted: reply.values_decrypted as u64,
+                untrusted_loads: after.untrusted_loads - before.untrusted_loads,
+                untrusted_bytes: after.untrusted_bytes - before.untrusted_bytes,
+            },
+            start_ns,
+            t0.elapsed().as_nanos() as u64,
+            parent,
+        );
         stats.enclave_calls += 1;
         stats.values_decrypted += reply.values_decrypted;
         stats.bridge_entries = reply.bridge_entries;

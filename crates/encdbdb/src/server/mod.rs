@@ -53,10 +53,11 @@ pub use stats::{CompactionStats, DurabilityStats, QueryStats};
 pub use storage::{DurabilityPolicy, FailPoint};
 
 pub(crate) use partition::{ColumnDelta, MainColumn};
-pub(crate) use snapshot::{fan_out, matching_rids_multi};
+pub(crate) use snapshot::{fan_out, matching_rids_multi, EnclaveCtx};
 pub(crate) use table::ServerTable;
 
 use crate::error::DbError;
+use crate::obs::{Counter, Hist, Obs, SpanId};
 use crate::schema::{DictChoice, TableSchema};
 use colstore::dictionary::AttributeVector;
 use encdict::avsearch::{Parallelism, SetSearchStrategy};
@@ -268,6 +269,9 @@ pub struct DbaasServer {
     /// [`DbaasServer::attach_durability`] or [`DbaasServer::recover`];
     /// `None` runs the server purely in memory (the pre-§12 behavior).
     storage: Arc<Mutex<Option<Arc<storage::Storage>>>>,
+    /// The observability domain (DESIGN.md §13): metrics registry, trace
+    /// ring and ECALL leakage ledger, shared by every clone.
+    obs: Obs,
 }
 
 impl DbaasServer {
@@ -298,7 +302,16 @@ impl DbaasServer {
             })),
             last_stats: Arc::new(Mutex::new(QueryStats::default())),
             storage: Arc::new(Mutex::new(None)),
+            obs: Obs::new(),
         }
+    }
+
+    /// This server's observability domain: metrics registry snapshots,
+    /// trace-span export and the ECALL leakage ledger (DESIGN.md §13).
+    /// Shared by all clones (and thus all reader sessions) of this
+    /// server.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Configures attribute-vector scan parallelism.
@@ -555,6 +568,7 @@ impl DbaasServer {
             merges_aborted: t.merges_aborted.load(Ordering::SeqCst),
             merges_failed: t.merges_failed.load(Ordering::SeqCst),
             rows_compacted: t.rows_compacted.load(Ordering::SeqCst),
+            errors_total: t.errors_total.load(Ordering::SeqCst),
             delta_rows,
             merge_in_flight,
             last_error,
@@ -574,7 +588,37 @@ impl DbaasServer {
         *lock(&self.config)
     }
 
+    /// Publishes a completed query's [`QueryStats`] — the single
+    /// query-path hook into the metrics registry. ECALL-level counters
+    /// (`ecalls_total`, `values_decrypted_total`, …) are *not* derived
+    /// from `stats` here: each enclave transition already recorded
+    /// itself through [`Obs::ecall`], and double counting would break
+    /// the ledger/registry agreement.
     pub(crate) fn store_stats(&self, stats: QueryStats) {
+        self.obs
+            .add(Counter::RowsReturnedTotal, stats.result_rows as u64);
+        self.obs.add(
+            Counter::PartitionsScannedTotal,
+            stats.partitions_scanned as u64,
+        );
+        self.obs.add(
+            Counter::PartitionsPrunedTotal,
+            stats.partitions_pruned as u64,
+        );
+        // Latency components are recorded only when the query exercised
+        // them, so each histogram's count stays the number of queries of
+        // the matching shape (e.g. `aggregate_ns` counts aggregates).
+        for (hist, ns) in [
+            (Hist::DictSearchNs, stats.dict_search_ns),
+            (Hist::AvScanNs, stats.av_search_ns),
+            (Hist::AggregateNs, stats.aggregate_ns),
+            (Hist::RenderNs, stats.render_ns),
+            (Hist::BridgeNs, stats.bridge_ns),
+        ] {
+            if ns > 0 {
+                self.obs.record(hist, ns);
+            }
+        }
         *lock(&self.last_stats) = stats;
     }
 
@@ -586,6 +630,18 @@ impl DbaasServer {
     ///
     /// Propagates lookup, arity and enclave failures.
     pub fn execute_query(&self, query: ServerQuery) -> Result<QueryOutcome, DbError> {
+        self.execute_query_traced(query, SpanId::NONE)
+    }
+
+    /// [`DbaasServer::execute_query`] with an explicit trace parent —
+    /// the proxy passes its per-query root span so server-side spans
+    /// (snapshot acquire, per-partition scans, ECALLs, render) nest
+    /// under it.
+    pub(crate) fn execute_query_traced(
+        &self,
+        query: ServerQuery,
+        parent: SpanId,
+    ) -> Result<QueryOutcome, DbError> {
         match query {
             ServerQuery::Select {
                 table,
@@ -597,6 +653,7 @@ impl DbaasServer {
                 &columns,
                 &filters,
                 scope.as_deref(),
+                parent,
             )?)),
             ServerQuery::Aggregate {
                 table,
@@ -608,6 +665,7 @@ impl DbaasServer {
                 &plan,
                 &filters,
                 scope.as_deref(),
+                parent,
             )?)),
             ServerQuery::Insert {
                 table,
@@ -617,6 +675,7 @@ impl DbaasServer {
                 &table,
                 &rows,
                 partition_ids.as_deref(),
+                parent,
             )?)),
             ServerQuery::Delete {
                 table,
@@ -626,9 +685,10 @@ impl DbaasServer {
                 &table,
                 &filters,
                 scope.as_deref(),
+                parent,
             )?)),
             ServerQuery::Join { left, right } => {
-                Ok(QueryOutcome::Rows(self.join_inner(&left, &right)?))
+                Ok(QueryOutcome::Rows(self.join_inner(&left, &right, parent)?))
             }
         }
     }

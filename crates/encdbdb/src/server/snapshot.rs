@@ -12,12 +12,74 @@ use super::partition::{ColumnDelta, MainColumn, PartitionSnapshot};
 use super::table::intersect_sorted;
 use super::{CellValue, Config, DbaasServer, QueryStats, SelectResponse, ServerFilter};
 use crate::error::DbError;
+use crate::obs::{EcallIo, EcallKind, Obs, SpanId};
 use crate::schema::TableSchema;
 use colstore::dictionary::RecordId;
 use encdict::avsearch;
 use encdict::plain::search_plain;
-use encdict::DictEnclave;
+use encdict::search::DictSearchResult;
+use encdict::{DictEnclave, EncryptedRange};
 use std::sync::Mutex;
+
+/// The enclave handle bundled with its observability context: every
+/// search ECALL issued through the scan path records itself into the
+/// ledger/trace with `parent` as the enclosing span (typically the
+/// per-partition scan span).
+pub(crate) struct EnclaveCtx<'a> {
+    pub(crate) enclave: &'a Mutex<DictEnclave>,
+    pub(crate) obs: &'a Obs,
+    pub(crate) parent: SpanId,
+}
+
+/// Reply payload size of a search: a range pair (two `(start, end)`
+/// ValueID pairs) or an explicit ValueID list (unsorted kinds).
+fn search_result_bytes(result: &DictSearchResult) -> u64 {
+    match result {
+        DictSearchResult::Ranges(_) => 16,
+        DictSearchResult::Ids(ids) => 4 * ids.len() as u64,
+    }
+}
+
+/// Runs one search ECALL (main or delta dictionary) under the enclave
+/// lock, capturing the counter deltas for the leakage ledger while the
+/// lock is still held — so the recorded loads/bytes are exactly this
+/// call's traffic even when other threads share the enclave. Returns the
+/// call result plus its wall-clock nanoseconds (for `QueryStats`).
+///
+/// `values_decrypted` is derived as `untrusted_loads / 2`: every
+/// dictionary entry the enclave examines costs one head and one tail
+/// load (see `enclave::memory`), and each examined entry is decrypted
+/// once.
+fn observed_search<T>(
+    ctx: &EnclaveCtx<'_>,
+    range: &EncryptedRange,
+    call: impl FnOnce(&mut DictEnclave) -> Result<T, DbError>,
+    reply_bytes: impl FnOnce(&T) -> u64,
+) -> Result<(T, u64), DbError> {
+    let start_ns = ctx.obs.now_ns();
+    let started = std::time::Instant::now();
+    let mut enclave = lock(ctx.enclave);
+    let before = enclave.enclave().counters();
+    let result = call(&mut enclave)?;
+    let after = enclave.enclave().counters();
+    drop(enclave);
+    let dur_ns = started.elapsed().as_nanos() as u64;
+    let loads = after.untrusted_loads - before.untrusted_loads;
+    ctx.obs.ecall(
+        EcallKind::Search,
+        EcallIo {
+            bytes_in: (range.tau_s.as_bytes().len() + range.tau_e.as_bytes().len()) as u64,
+            bytes_out: reply_bytes(&result),
+            values_decrypted: loads / 2,
+            untrusted_loads: loads,
+            untrusted_bytes: after.untrusted_bytes - before.untrusted_bytes,
+        },
+        start_ns,
+        dur_ns,
+        ctx.parent,
+    );
+    Ok((result, dur_ns))
+}
 
 /// Runs `work` over every listed partition snapshot — sequentially for a
 /// single partition, on scoped threads otherwise (the partition-parallel
@@ -141,17 +203,17 @@ impl DbaasServer {
 pub(crate) fn matching_rids_multi(
     snap: &PartitionSnapshot,
     schema: &TableSchema,
-    enclave: &Mutex<DictEnclave>,
+    ctx: &EnclaveCtx<'_>,
     filters: &[ServerFilter],
     cfg: &Config,
 ) -> Result<(Vec<RecordId>, Vec<RecordId>, QueryStats), DbError> {
     if filters.len() <= 1 {
-        return matching_rids(snap, schema, enclave, filters.first(), cfg);
+        return matching_rids(snap, schema, ctx, filters.first(), cfg);
     }
     let mut acc: Option<(Vec<RecordId>, Vec<RecordId>)> = None;
     let mut stats = QueryStats::default();
     for f in filters {
-        let (main, delta, s) = matching_rids(snap, schema, enclave, Some(f), cfg)?;
+        let (main, delta, s) = matching_rids(snap, schema, ctx, Some(f), cfg)?;
         stats.absorb(&s);
         acc = Some(match acc {
             None => (main, delta),
@@ -168,7 +230,7 @@ pub(crate) fn matching_rids_multi(
 fn matching_rids(
     snap: &PartitionSnapshot,
     schema: &TableSchema,
-    enclave: &Mutex<DictEnclave>,
+    ctx: &EnclaveCtx<'_>,
     filter: Option<&ServerFilter>,
     cfg: &Config,
 ) -> Result<(Vec<RecordId>, Vec<RecordId>, QueryStats), DbError> {
@@ -206,9 +268,13 @@ fn matching_rids(
             } else {
                 let mut acc: Vec<RecordId> = Vec::new();
                 for range in ranges {
-                    let dict_start = std::time::Instant::now();
-                    let result = lock(enclave).search(dict, range)?;
-                    stats.dict_search_ns += dict_start.elapsed().as_nanos() as u64;
+                    let (result, dur_ns) = observed_search(
+                        ctx,
+                        range,
+                        |enclave| Ok(enclave.search(dict, range)?),
+                        search_result_bytes,
+                    )?;
+                    stats.dict_search_ns += dur_ns;
                     stats.enclave_calls += 1;
                     let av_start = std::time::Instant::now();
                     let rids = avsearch::search(
@@ -234,7 +300,12 @@ fn matching_rids(
                 let mut acc: Vec<RecordId> = Vec::new();
                 for range in ranges {
                     stats.enclave_calls += 1;
-                    let rids = delta.search(&mut lock(enclave), range)?;
+                    let (rids, _) = observed_search(
+                        ctx,
+                        range,
+                        |enclave| Ok(delta.search(enclave, range)?),
+                        |rids| 4 * rids.len() as u64,
+                    )?;
                     acc = if acc.is_empty() {
                         rids
                     } else {
@@ -347,7 +418,7 @@ impl DbaasServer {
         columns: &[String],
         filters: &[ServerFilter],
     ) -> Result<SelectResponse, DbError> {
-        self.select_inner(table, columns, filters, None)
+        self.select_inner(table, columns, filters, None, SpanId::NONE)
     }
 
     pub(crate) fn select_inner(
@@ -356,12 +427,16 @@ impl DbaasServer {
         columns: &[String],
         filters: &[ServerFilter],
         scope: Option<&[usize]>,
+        parent: SpanId,
     ) -> Result<SelectResponse, DbError> {
+        let obs = self.obs().clone();
         let cfg = self.config();
+        let snap_span = obs.span("snapshot", "query", parent);
         let ts = self
             .snapshot_tables(&[(table, filters, scope)])?
             .pop()
             .expect("one table requested");
+        snap_span.finish();
         let t = &ts.table;
         let projected: Vec<String> = if columns.is_empty() {
             t.schema.columns.iter().map(|c| c.name.clone()).collect()
@@ -382,9 +457,18 @@ impl DbaasServer {
         // snapshot. One search ECALL per filtered dictionary of each
         // non-empty in-scope partition.
         let col_indices = &col_indices;
-        let per_partition = fan_out(active, |_pid, snap| {
+        let scan_span = obs.span_arg("scan", "query", parent, active.len() as u64);
+        let obs_ref = &obs;
+        let per_partition = fan_out(active, |pid, snap| {
+            let pspan = obs_ref.span_arg("partition", "query", scan_span.id(), pid as u64);
+            let ctx = EnclaveCtx {
+                enclave: &self.enclave,
+                obs: obs_ref,
+                parent: pspan.id(),
+            };
             let (main_rids, delta_rids, mut stats) =
-                matching_rids_multi(snap, &t.schema, &self.enclave, filters, &cfg)?;
+                matching_rids_multi(snap, &t.schema, &ctx, filters, &cfg)?;
+            let render_span = obs_ref.span("render", "query", pspan.id());
             let render_start = std::time::Instant::now();
             let mut rows = Vec::with_capacity(main_rids.len() + delta_rids.len());
             for &rid in &main_rids {
@@ -401,10 +485,12 @@ impl DbaasServer {
                 }
                 rows.push(row);
             }
+            render_span.finish();
             stats.render_ns = render_start.elapsed().as_nanos() as u64;
             stats.snapshot_epoch = snap.epoch();
             Ok::<_, DbError>((rows, stats))
         });
+        scan_span.finish();
 
         let mut rows = Vec::new();
         let mut stats = QueryStats::default();
@@ -445,9 +531,15 @@ impl DbaasServer {
             .snapshot_tables(&[(table, filters, None)])?
             .pop()
             .expect("one table requested");
+        let obs = self.obs();
         let counts = fan_out(&ts.active, |_pid, snap| {
+            let ctx = EnclaveCtx {
+                enclave: &self.enclave,
+                obs,
+                parent: SpanId::NONE,
+            };
             let (main, delta, _) =
-                matching_rids_multi(snap, &ts.table.schema, &self.enclave, filters, &cfg)?;
+                matching_rids_multi(snap, &ts.table.schema, &ctx, filters, &cfg)?;
             Ok::<_, DbError>(main.len() + delta.len())
         });
         let mut total = 0usize;

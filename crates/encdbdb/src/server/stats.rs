@@ -3,6 +3,29 @@
 /// Execution statistics for one query (latency breakdowns for the
 /// Figure 8 harness, plus the `exec` engine's boundary accounting and the
 /// partition layer's pruning accounting).
+///
+/// # Fold-additive vs. set-once fields
+///
+/// A query's stats are assembled in two ways, and every field belongs to
+/// exactly one class:
+///
+/// * **Fold-additive** — summed by `QueryStats::absorb` when
+///   per-partition (or per-join-side) contributions fold into the query
+///   total: the latency components (`dict_search_ns`, `av_search_ns`,
+///   `aggregate_ns`, `render_ns`, `bridge_ns`), the boundary counters
+///   (`chunks_scanned`, `enclave_calls`, `values_decrypted`), the join
+///   counters (`join_build_rows`, `join_probe_rows`, `bridge_entries`),
+///   and `snapshot_epoch` (which folds by *maximum*, not sum).
+/// * **Set-once** — assigned exactly once at the top level of the query
+///   and deliberately **not** folded, because per-side values would
+///   double-count or are meaningless to add: `result_rows` (joined rows
+///   ≠ left rows + right rows), and `partitions_total` /
+///   `partitions_scanned` / `partitions_pruned` (the join path reports
+///   the *sum over both sides*, set after both scans complete).
+///
+/// When adding a field, extend `QueryStats::absorb`: its exhaustive
+/// destructuring makes the compiler flag the new field, forcing an
+/// explicit fold-additive-or-set-once decision.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Nanoseconds spent in the enclave dictionary search.
@@ -49,21 +72,48 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
-    /// Folds another partition's (or filter's) stats into this one —
-    /// latencies and counters add; the snapshot epoch takes the maximum.
+    /// Folds another partition's (or join side's) stats into this one —
+    /// fold-additive fields sum, `snapshot_epoch` takes the maximum, and
+    /// the set-once fields (`result_rows`, `partitions_*`) are
+    /// *deliberately discarded*: the caller assigns them once at the top
+    /// level (see the struct docs for the field classification).
+    ///
+    /// `other` is destructured exhaustively so that adding a field to
+    /// [`QueryStats`] fails to compile here until the new field is
+    /// classified.
     pub(crate) fn absorb(&mut self, other: &QueryStats) {
-        self.dict_search_ns += other.dict_search_ns;
-        self.av_search_ns += other.av_search_ns;
-        self.aggregate_ns += other.aggregate_ns;
-        self.render_ns += other.render_ns;
-        self.chunks_scanned += other.chunks_scanned;
-        self.enclave_calls += other.enclave_calls;
-        self.values_decrypted += other.values_decrypted;
-        self.snapshot_epoch = self.snapshot_epoch.max(other.snapshot_epoch);
-        self.join_build_rows += other.join_build_rows;
-        self.join_probe_rows += other.join_probe_rows;
-        self.bridge_entries += other.bridge_entries;
-        self.bridge_ns += other.bridge_ns;
+        let QueryStats {
+            dict_search_ns,
+            av_search_ns,
+            aggregate_ns,
+            render_ns,
+            chunks_scanned,
+            enclave_calls,
+            values_decrypted,
+            snapshot_epoch,
+            join_build_rows,
+            join_probe_rows,
+            bridge_entries,
+            bridge_ns,
+            // Set-once fields: assigned by the top-level query path,
+            // never folded (see struct docs).
+            result_rows: _,
+            partitions_total: _,
+            partitions_scanned: _,
+            partitions_pruned: _,
+        } = *other;
+        self.dict_search_ns += dict_search_ns;
+        self.av_search_ns += av_search_ns;
+        self.aggregate_ns += aggregate_ns;
+        self.render_ns += render_ns;
+        self.chunks_scanned += chunks_scanned;
+        self.enclave_calls += enclave_calls;
+        self.values_decrypted += values_decrypted;
+        self.snapshot_epoch = self.snapshot_epoch.max(snapshot_epoch);
+        self.join_build_rows += join_build_rows;
+        self.join_probe_rows += join_probe_rows;
+        self.bridge_entries += bridge_entries;
+        self.bridge_ns += bridge_ns;
     }
 }
 
@@ -138,10 +188,118 @@ pub struct CompactionStats {
     pub merges_failed: u64,
     /// Delta rows folded into main stores so far.
     pub rows_compacted: u64,
+    /// Monotone count of background-merge errors, table-wide: every
+    /// enclave-side merge failure and every failed snapshot persist of a
+    /// published epoch bumps this, so intermittent failures are
+    /// *countable* even though [`CompactionStats::last_error`] only
+    /// keeps the most recent message (and is racily overwritten under
+    /// concurrency). Mirrored into the metrics registry as
+    /// `compaction_errors_total`.
+    pub errors_total: u64,
     /// Rows currently waiting in delta stores, summed over partitions.
     pub delta_rows: usize,
     /// Whether a background merge is running on any partition right now.
     pub merge_in_flight: bool,
     /// The error message of the most recent failed background merge.
     pub last_error: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stats value with every field set to a distinct non-zero value,
+    /// so a dropped or double-counted field shows up in assertions.
+    fn dense(seed: u64) -> QueryStats {
+        QueryStats {
+            dict_search_ns: seed,
+            av_search_ns: seed + 1,
+            aggregate_ns: seed + 2,
+            render_ns: seed + 3,
+            result_rows: (seed + 4) as usize,
+            chunks_scanned: (seed + 5) as usize,
+            enclave_calls: (seed + 6) as usize,
+            values_decrypted: (seed + 7) as usize,
+            snapshot_epoch: seed + 8,
+            partitions_total: (seed + 9) as usize,
+            partitions_scanned: (seed + 10) as usize,
+            partitions_pruned: (seed + 11) as usize,
+            join_build_rows: (seed + 12) as usize,
+            join_probe_rows: (seed + 13) as usize,
+            bridge_entries: (seed + 14) as usize,
+            bridge_ns: seed + 15,
+        }
+    }
+
+    /// Pins the join-path merge contract: folding one side's stats into
+    /// the query total sums exactly the fold-additive fields, maxes the
+    /// epoch, and leaves every set-once field untouched for the
+    /// top-level assignment. If `absorb` gains or loses a field, this
+    /// test (or the exhaustive destructuring inside `absorb` itself)
+    /// fails.
+    #[test]
+    fn absorb_folds_additive_fields_and_preserves_set_once() {
+        let mut total = dense(100);
+        let side = dense(1000);
+        let before = total;
+        total.absorb(&side);
+
+        // Fold-additive: sums.
+        assert_eq!(
+            total.dict_search_ns,
+            before.dict_search_ns + side.dict_search_ns
+        );
+        assert_eq!(total.av_search_ns, before.av_search_ns + side.av_search_ns);
+        assert_eq!(total.aggregate_ns, before.aggregate_ns + side.aggregate_ns);
+        assert_eq!(total.render_ns, before.render_ns + side.render_ns);
+        assert_eq!(
+            total.chunks_scanned,
+            before.chunks_scanned + side.chunks_scanned
+        );
+        assert_eq!(
+            total.enclave_calls,
+            before.enclave_calls + side.enclave_calls
+        );
+        assert_eq!(
+            total.values_decrypted,
+            before.values_decrypted + side.values_decrypted
+        );
+        assert_eq!(
+            total.join_build_rows,
+            before.join_build_rows + side.join_build_rows
+        );
+        assert_eq!(
+            total.join_probe_rows,
+            before.join_probe_rows + side.join_probe_rows
+        );
+        assert_eq!(
+            total.bridge_entries,
+            before.bridge_entries + side.bridge_entries
+        );
+        assert_eq!(total.bridge_ns, before.bridge_ns + side.bridge_ns);
+
+        // Fold-by-max.
+        assert_eq!(
+            total.snapshot_epoch,
+            before.snapshot_epoch.max(side.snapshot_epoch)
+        );
+
+        // Set-once: untouched by the fold (the join path assigns these
+        // after both sides are absorbed).
+        assert_eq!(total.result_rows, before.result_rows);
+        assert_eq!(total.partitions_total, before.partitions_total);
+        assert_eq!(total.partitions_scanned, before.partitions_scanned);
+        assert_eq!(total.partitions_pruned, before.partitions_pruned);
+    }
+
+    #[test]
+    fn absorb_into_default_reproduces_additive_fields() {
+        let mut total = QueryStats::default();
+        let side = dense(5);
+        total.absorb(&side);
+        assert_eq!(total.dict_search_ns, side.dict_search_ns);
+        assert_eq!(total.snapshot_epoch, side.snapshot_epoch);
+        assert_eq!(total.result_rows, 0, "set-once field must not fold");
+        assert_eq!(total.partitions_scanned, 0, "set-once field must not fold");
+    }
 }

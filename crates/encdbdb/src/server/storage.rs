@@ -44,6 +44,7 @@ use super::partition::{ColumnDelta, MainColumn, MainState, Partition};
 use super::table::ServerTable;
 use super::{lock, CellValue, DbaasServer, MERGE_RETRIES};
 use crate::error::DbError;
+use crate::obs::{Counter, Hist, Obs, SpanId};
 use crate::schema::{ColumnSpec, DictChoice, TablePartitioning, TableSchema};
 use crate::server::stats::DurabilityStats;
 use colstore::delta::{DeltaStore, ValidityVector};
@@ -145,6 +146,9 @@ pub(crate) struct Storage {
     armed: Mutex<Option<FailPoint>>,
     /// Set once a fail point fires: the simulated process is dead.
     crashed: AtomicBool,
+    /// The owning server's observability sink (WAL/snapshot counters,
+    /// latency histograms and durability spans).
+    obs: Obs,
 }
 
 impl Storage {
@@ -152,6 +156,7 @@ impl Storage {
         dir: &Path,
         policy: DurabilityPolicy,
         enclave: Arc<Mutex<DictEnclave>>,
+        obs: Obs,
     ) -> Result<Self, DbError> {
         std::fs::create_dir_all(dir).map_err(|e| {
             DbError::Durability(format!("creating storage dir {}: {e}", dir.display()))
@@ -168,6 +173,7 @@ impl Storage {
             stats: Mutex::new(DurabilityStats::default()),
             armed: Mutex::new(None),
             crashed: AtomicBool::new(false),
+            obs,
         })
     }
 
@@ -292,6 +298,8 @@ impl Storage {
     /// did not happen.
     pub(crate) fn append_record(&self, wal: &mut WalFile, payload: &[u8]) -> Result<(), DbError> {
         self.check_alive()?;
+        let span = self.obs.span("wal.append", "durability", SpanId::NONE);
+        let t0 = std::time::Instant::now();
         let framed = frame(&self.seal(payload));
         if *lock(&self.armed) == Some(FailPoint::WalTornAppend) {
             // A crash mid-write: half the frame reaches the file.
@@ -304,16 +312,26 @@ impl Storage {
         self.fire(FailPoint::WalAppendNoFsync)?;
         wal.pending_syncs += 1;
         if wal.pending_syncs >= self.policy.wal_fsync_batch {
+            let fsync_span = self.obs.span("wal.fsync", "durability", span.id());
+            let f0 = std::time::Instant::now();
             wal.file.sync_data().map_err(|e| {
                 DbError::Durability(format!("fsync of {}: {e}", wal.path.display()))
             })?;
+            self.obs
+                .record(Hist::WalFsyncNs, f0.elapsed().as_nanos() as u64);
+            fsync_span.finish();
             wal.pending_syncs = 0;
+            self.obs.add(Counter::WalFsyncsTotal, 1);
             self.with_stats(|s| s.wal_fsyncs += 1);
         }
         self.with_stats(|s| {
             s.wal_records_appended += 1;
             s.wal_bytes_appended += framed.len() as u64;
         });
+        self.obs.add(Counter::WalRecordsTotal, 1);
+        self.obs
+            .record(Hist::WalAppendNs, t0.elapsed().as_nanos() as u64);
+        span.finish();
         Ok(())
     }
 
@@ -366,6 +384,10 @@ impl Storage {
         drained_total: u64,
     ) -> Result<(), DbError> {
         self.check_alive()?;
+        let span = self
+            .obs
+            .span_arg("snapshot.persist", "durability", SpanId::NONE, pid as u64);
+        let t0 = std::time::Instant::now();
         let payload = encode_snapshot(schema, pid, main, drained_total)?;
         let framed = frame(&self.seal(&payload));
         let dir = self.table_dir(&schema.name)?;
@@ -392,7 +414,11 @@ impl Storage {
             DbError::Durability(format!("publishing snapshot {}: {e}", path.display()))
         })?;
         self.with_stats(|s| s.snapshots_persisted += 1);
+        self.obs.add(Counter::SnapshotsPersistedTotal, 1);
+        self.obs
+            .record(Hist::SnapshotPersistNs, t0.elapsed().as_nanos() as u64);
         self.prune_snapshots(&schema.name, pid, main.epoch, self.policy.snapshot_history)?;
+        span.finish();
         Ok(())
     }
 
@@ -1001,6 +1027,7 @@ impl DbaasServer {
                 dir.as_ref(),
                 policy,
                 Arc::clone(&self.enclave),
+                self.obs().clone(),
             )?);
             storage.refuse_existing_state()?;
             for t in tables.values() {
@@ -1044,6 +1071,7 @@ impl DbaasServer {
             dir.as_ref(),
             policy,
             Arc::clone(&self.enclave),
+            self.obs().clone(),
         )?);
         let mut tables = self.tables.write().unwrap_or_else(|e| e.into_inner());
         if !tables.is_empty() {
@@ -1051,16 +1079,28 @@ impl DbaasServer {
                 "recover requires a server with no deployed tables".to_string(),
             ));
         }
+        let obs = self.obs().clone();
+        let span = obs.span("recover", "durability", SpanId::NONE);
+        let t0 = std::time::Instant::now();
         for name in storage.stored_tables()? {
-            let table = self.recover_table(&storage, &name)?;
+            let table = self.recover_table(&storage, &name, span.id())?;
             tables.insert(name, table);
         }
         *slot = Some(storage);
+        obs.add(Counter::RecoveriesTotal, 1);
+        obs.record(Hist::RecoveryNs, t0.elapsed().as_nanos() as u64);
+        span.finish();
         Ok(())
     }
 
-    fn recover_table(&self, storage: &Storage, name: &str) -> Result<Arc<ServerTable>, DbError> {
+    fn recover_table(
+        &self,
+        storage: &Storage,
+        name: &str,
+        parent: SpanId,
+    ) -> Result<Arc<ServerTable>, DbError> {
         let schema = storage.load_manifest(name)?;
+        let load_span = self.obs().span("recovery.load", "durability", parent);
         let mut partitions = Vec::with_capacity(schema.partition_count());
         for pid in 0..schema.partition_count() {
             let loaded = storage.load_partition_snapshot(&schema, pid)?;
@@ -1085,8 +1125,11 @@ impl DbaasServer {
                 loaded.drained_total,
             )));
         }
+        load_span.finish();
         let table = Arc::new(ServerTable::from_parts(schema, partitions));
+        let replay_span = self.obs().span("recovery.replay", "durability", parent);
         self.replay_wal(storage, &table)?;
+        replay_span.finish();
         Ok(table)
     }
 
@@ -1417,7 +1460,14 @@ impl DbaasServer {
         };
         let mut cfg = self.config();
         cfg.merge_throttle = None; // Replay at full speed.
-        let (columns, rows) = execute_compaction(&self.merge_enclave, &t.schema, &job, &cfg)?;
+        let (columns, rows) = execute_compaction(
+            &self.merge_enclave,
+            &t.schema,
+            &job,
+            &cfg,
+            self.obs(),
+            SpanId::NONE,
+        )?;
         let mut state = lock(&p.state);
         state.main = Arc::new(MainState {
             epoch: job.epoch + 1,

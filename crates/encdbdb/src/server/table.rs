@@ -6,6 +6,7 @@ use super::partition::{ColumnDelta, MainColumn, Partition, PartitionSnapshot};
 use super::storage;
 use super::{lock, CellValue, DbaasServer, DeployedColumn, ServerFilter, MERGE_RETRIES};
 use crate::error::DbError;
+use crate::obs::{Counter, EcallIo, EcallKind, SpanId};
 use crate::schema::{DictChoice, TableSchema};
 use colstore::delta::DeltaStore;
 use colstore::dictionary::RecordId;
@@ -24,6 +25,10 @@ pub(crate) struct ServerTable {
     pub(crate) merges_aborted: AtomicU64,
     pub(crate) merges_failed: AtomicU64,
     pub(crate) rows_compacted: AtomicU64,
+    /// Monotone count of background-merge errors (enclave merge failures
+    /// plus failed snapshot persists of published epochs); unlike
+    /// [`ServerTable::last_error`] it never loses intermittent failures.
+    pub(crate) errors_total: AtomicU64,
     pub(crate) last_error: Mutex<Option<String>>,
 }
 
@@ -58,6 +63,7 @@ impl ServerTable {
             merges_aborted: AtomicU64::new(0),
             merges_failed: AtomicU64::new(0),
             rows_compacted: AtomicU64::new(0),
+            errors_total: AtomicU64::new(0),
             last_error: Mutex::new(None),
         })
     }
@@ -73,6 +79,7 @@ impl ServerTable {
             merges_aborted: AtomicU64::new(0),
             merges_failed: AtomicU64::new(0),
             rows_compacted: AtomicU64::new(0),
+            errors_total: AtomicU64::new(0),
             last_error: Mutex::new(None),
         }
     }
@@ -242,7 +249,7 @@ impl DbaasServer {
     ///
     /// Propagates lookup, arity, routing and enclave failures.
     pub fn insert(&self, table: &str, rows: &[Vec<CellValue>]) -> Result<usize, DbError> {
-        self.insert_inner(table, rows, None)
+        self.insert_inner(table, rows, None, SpanId::NONE)
     }
 
     pub(crate) fn insert_inner(
@@ -250,7 +257,10 @@ impl DbaasServer {
         table: &str,
         rows: &[Vec<CellValue>],
         partition_ids: Option<&[usize]>,
+        parent: SpanId,
     ) -> Result<usize, DbError> {
+        let obs = self.obs().clone();
+        let span = obs.span_arg("insert", "query", parent, rows.len() as u64);
         let cfg = self.config();
         let t = self.table_handle(table)?;
         // Route every row before touching any lock (the plaintext of the
@@ -269,7 +279,29 @@ impl DbaasServer {
             for (spec, cell) in t.schema.columns.iter().zip(row) {
                 match (&spec.choice, cell) {
                     (DictChoice::Encrypted(_), CellValue::Encrypted(ct)) => {
-                        let fresh = self.enclave().reencrypt(&t.schema.name, &spec.name, ct)?;
+                        // One ECALL per encrypted cell: the enclave
+                        // decrypts the owner ciphertext and re-encrypts
+                        // it under the delta-entry regime.
+                        let start_ns = obs.now_ns();
+                        let t0 = std::time::Instant::now();
+                        let mut enclave = self.enclave();
+                        let before = enclave.enclave().counters();
+                        let fresh = enclave.reencrypt(&t.schema.name, &spec.name, ct)?;
+                        let after = enclave.enclave().counters();
+                        drop(enclave);
+                        obs.ecall(
+                            EcallKind::Reencrypt,
+                            EcallIo {
+                                bytes_in: ct.len() as u64,
+                                bytes_out: fresh.as_bytes().len() as u64,
+                                values_decrypted: 1,
+                                untrusted_loads: after.untrusted_loads - before.untrusted_loads,
+                                untrusted_bytes: after.untrusted_bytes - before.untrusted_bytes,
+                            },
+                            start_ns,
+                            t0.elapsed().as_nanos() as u64,
+                            span.id(),
+                        );
                         out.push(CellValue::Encrypted(fresh.into_bytes()));
                     }
                     (DictChoice::Plain, CellValue::Plain(v)) => {
@@ -360,6 +392,8 @@ impl DbaasServer {
         for pid in touched {
             self.maybe_compact(&t, &t.partitions[pid], &cfg);
         }
+        obs.add(Counter::RowsInsertedTotal, rows.len() as u64);
+        span.finish();
         Ok(rows.len())
     }
 
@@ -375,7 +409,7 @@ impl DbaasServer {
     /// Propagates lookup and enclave failures; returns
     /// [`DbError::MergeConflict`] if compactions keep racing the delete.
     pub fn delete_multi(&self, table: &str, filters: &[ServerFilter]) -> Result<usize, DbError> {
-        self.delete_inner(table, filters, None)
+        self.delete_inner(table, filters, None, SpanId::NONE)
     }
 
     pub(crate) fn delete_inner(
@@ -383,7 +417,10 @@ impl DbaasServer {
         table: &str,
         filters: &[ServerFilter],
         scope: Option<&[usize]>,
+        parent: SpanId,
     ) -> Result<usize, DbError> {
+        let obs = self.obs().clone();
+        let span = obs.span("delete", "query", parent);
         let cfg = self.config();
         let t = self.table_handle(table)?;
         let storage = self.storage();
@@ -400,13 +437,15 @@ impl DbaasServer {
                 if snap.is_empty() {
                     continue 'partitions;
                 }
-                let (main_rids, delta_rids, _) = super::snapshot::matching_rids_multi(
-                    &snap,
-                    &t.schema,
-                    &self.enclave,
-                    filters,
-                    &cfg,
-                )?;
+                let pspan = obs.span_arg("partition", "query", span.id(), pid as u64);
+                let ctx = super::snapshot::EnclaveCtx {
+                    enclave: &self.enclave,
+                    obs: &obs,
+                    parent: pspan.id(),
+                };
+                let (main_rids, delta_rids, _) =
+                    super::snapshot::matching_rids_multi(&snap, &t.schema, &ctx, filters, &cfg)?;
+                pspan.finish();
                 {
                     // Lock order: WAL → partition state, as everywhere.
                     let mut wal_guard = wal.as_ref().map(|w| lock(w));
@@ -467,6 +506,8 @@ impl DbaasServer {
                 "delete on {table} kept racing compaction publishes"
             )));
         }
+        obs.add(Counter::RowsDeletedTotal, deleted as u64);
+        span.finish();
         Ok(deleted)
     }
 

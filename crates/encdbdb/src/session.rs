@@ -196,6 +196,24 @@ impl Session {
     pub fn server_mut(&mut self) -> &mut DbaasServer {
         &mut self.server
     }
+
+    /// Snapshot of every metric counter and latency histogram of this
+    /// deployment (shared across all forks of the session).
+    pub fn metrics_report(&self) -> crate::MetricsReport {
+        self.server.obs().metrics_report()
+    }
+
+    /// Per-kind totals of every enclave transition observed so far — the
+    /// measured counterpart of the DESIGN.md §10 leakage analysis.
+    pub fn leakage_ledger(&self) -> crate::LedgerReport {
+        self.server.obs().ledger_report()
+    }
+
+    /// Exports the retained trace spans as Chrome-trace JSON (load the
+    /// string into `chrome://tracing` / Perfetto).
+    pub fn export_trace(&self) -> String {
+        self.server.obs().export_trace()
+    }
 }
 
 /// A concurrent session over a shared [`Session`]'s deployment: a cloned
@@ -222,6 +240,24 @@ impl ReaderSession {
     /// The shared server handle (epoch and compaction inspection).
     pub fn server(&self) -> &DbaasServer {
         &self.server
+    }
+
+    /// Snapshot of the shared deployment's metrics (see
+    /// [`Session::metrics_report`]).
+    pub fn metrics_report(&self) -> crate::MetricsReport {
+        self.server.obs().metrics_report()
+    }
+
+    /// The shared deployment's ECALL leakage ledger (see
+    /// [`Session::leakage_ledger`]).
+    pub fn leakage_ledger(&self) -> crate::LedgerReport {
+        self.server.obs().ledger_report()
+    }
+
+    /// Exports the shared trace ring as Chrome-trace JSON (see
+    /// [`Session::export_trace`]).
+    pub fn export_trace(&self) -> String {
+        self.server.obs().export_trace()
     }
 }
 

@@ -9,14 +9,19 @@
 //!   every `COUNT(*)` is bracketed by the writer's progress counters;
 //! * epoch and merge counters are monotone;
 //! * a delete racing an in-flight merge aborts the publish instead of
-//!   resurrecting the deleted row.
+//!   resurrecting the deleted row;
+//! * the metrics registry's counters stay monotone (no torn reads) when
+//!   sampled concurrently with the same load, and trace spans nest
+//!   correctly across the partition-parallel fan-out (DESIGN.md §13).
 //!
 //! Thread count and table size are bounded via `ENCDBDB_STRESS_THREADS`
 //! and `ENCDBDB_STRESS_ROWS` (see ci.sh).
 
 use colstore::column::Column;
 use colstore::table::Table;
-use encdbdb::{ColumnSpec, CompactionPolicy, DictChoice, Session, TablePartitioning, TableSchema};
+use encdbdb::{
+    ColumnSpec, CompactionPolicy, DictChoice, Session, TablePartitioning, TableSchema, TraceEvent,
+};
 use encdict::EdKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -387,4 +392,221 @@ fn delete_racing_a_merge_aborts_the_publish() {
     assert_eq!(db.server().epoch("t").unwrap(), 1);
     let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
     assert_eq!(r.rows_as_strings()[0][0], expected.to_string());
+}
+
+#[test]
+fn metrics_counters_are_monotone_under_concurrent_load() {
+    let threads = env_usize("ENCDBDB_STRESS_THREADS", 4);
+    let initial = env_usize("ENCDBDB_STRESS_ROWS", 2000).min(400);
+    let inserts = 240usize;
+    let reads_per_thread = 40usize;
+
+    let db = mirrored_session(7800, initial);
+    db.server().set_compaction_policy(Some(CompactionPolicy {
+        max_delta_rows: 48,
+        max_invalid_fraction: 1.0,
+    }));
+    // A small throttle keeps rebuilds in flight while the readers sample
+    // the registry, so compaction counters move under observation too.
+    db.server()
+        .set_merge_throttle(Some(Duration::from_millis(50)));
+
+    let mut writer = db.reader(7801);
+    let mut readers: Vec<_> = (0..threads).map(|i| db.reader(7900 + i as u64)).collect();
+    let server = db.server().clone();
+
+    std::thread::scope(|scope| {
+        let server = &server;
+
+        scope.spawn(move || {
+            for i in 0..inserts {
+                let v = value(i);
+                writer
+                    .execute(&format!("INSERT INTO t VALUES ('{v}', '{v}')"))
+                    .expect("insert");
+            }
+        });
+
+        for (i, mut reader) in readers.drain(..).enumerate() {
+            scope.spawn(move || {
+                let mut last = server.obs().metrics_report();
+                for r in 0..reads_per_thread {
+                    let lo = (r * 7 + i) % 90;
+                    reader
+                        .execute(&format!(
+                            "SELECT v, w FROM t WHERE v BETWEEN '{:04}' AND '{:04}'",
+                            lo,
+                            lo + 9
+                        ))
+                        .expect("read");
+                    // Every counter and histogram is monotone across two
+                    // snapshots taken by the same thread: a torn 64-bit
+                    // read or a lost update would show up as a decrease.
+                    let now = server.obs().metrics_report();
+                    for (a, b) in last.counters.iter().zip(now.counters.iter()) {
+                        assert_eq!(a.0, b.0, "report layout is stable");
+                        assert!(
+                            b.1 >= a.1,
+                            "reader {i}: counter {} went backwards ({} -> {})",
+                            a.0,
+                            a.1,
+                            b.1
+                        );
+                    }
+                    for (a, b) in last.histograms.iter().zip(now.histograms.iter()) {
+                        assert!(
+                            b.count >= a.count && b.sum_ns >= a.sum_ns,
+                            "reader {i}: histogram {} shrank",
+                            a.name
+                        );
+                    }
+                    last = now;
+                }
+            });
+        }
+    });
+
+    db.server().wait_for_compaction("t").unwrap();
+    // Quiescent cross-checks: the per-kind statement counters partition
+    // queries_total exactly, and the registry's ECALL counter agrees with
+    // the ledger — the same events feed both sinks, so any torn or lost
+    // update under the concurrent load above would split them.
+    let report = db.server().obs().metrics_report();
+    let issued = (inserts + threads * reads_per_thread) as u64;
+    assert_eq!(report.counter("queries_total"), issued);
+    assert_eq!(report.counter("inserts_total"), inserts as u64);
+    assert_eq!(
+        report.counter("selects_total"),
+        (threads * reads_per_thread) as u64
+    );
+    assert_eq!(
+        report.counter("queries_total"),
+        report.counter("selects_total")
+            + report.counter("aggregates_total")
+            + report.counter("joins_total")
+            + report.counter("inserts_total")
+            + report.counter("deletes_total"),
+        "statement-kind counters partition queries_total"
+    );
+    let ledger = db.server().obs().ledger_report();
+    assert_eq!(report.counter("ecalls_total"), ledger.total_calls());
+    let hist = report.histogram("query_ns").expect("query_ns");
+    assert_eq!(hist.count, issued, "one query_ns sample per statement");
+    assert!(
+        report.counter("compactions_completed_total") >= 1,
+        "the policy fired under the insert load"
+    );
+    assert_eq!(report.counter("compaction_errors_total"), 0);
+}
+
+#[test]
+fn partition_parallel_join_spans_nest_correctly() {
+    fn kids<'a>(events: &'a [TraceEvent], id: u64, name: &str) -> Vec<&'a TraceEvent> {
+        events
+            .iter()
+            .filter(|e| e.parent == id && e.name == name)
+            .collect()
+    }
+
+    let mut db = Session::with_seed(7700).unwrap();
+    db.execute("CREATE TABLE users (k ED2(8), x ED2(8))")
+        .unwrap();
+    db.execute(
+        "CREATE TABLE orders (k ED2(8), y ED2(8)) \
+         PARTITION BY RANGE (k) SPLIT ('0010', '0020', '0030')",
+    )
+    .unwrap();
+    let rows = |n: usize, side: &str| -> String {
+        (0..n)
+            .map(|i| format!("('{:04}', '{side}{i:03}')", (i * 13) % 40))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    db.execute(&format!("INSERT INTO users VALUES {}", rows(40, "u")))
+        .unwrap();
+    db.execute(&format!("INSERT INTO orders VALUES {}", rows(80, "o")))
+        .unwrap();
+    db.merge("users").unwrap();
+    db.merge("orders").unwrap();
+
+    // Range filters on both sides cover every shard: nothing is pruned,
+    // and each active partition's scan issues a dictionary search.
+    let r = db
+        .execute(
+            "SELECT users.x, orders.y FROM users JOIN orders ON users.k = orders.k \
+             WHERE users.k BETWEEN '0000' AND '0039' \
+             AND orders.k BETWEEN '0000' AND '0039'",
+        )
+        .unwrap();
+    assert!(r.row_count() > 0, "the join matched");
+
+    let events = db.server().obs().trace_events();
+    // The join's root is the newest top-level "query" span (earlier roots
+    // belong to the CREATE/INSERT statements above).
+    let root = events
+        .iter()
+        .filter(|e| e.name == "query" && e.parent == 0)
+        .max_by_key(|e| e.start_ns)
+        .expect("query root span");
+    for name in ["parse", "plan", "snapshot", "bridge", "render"] {
+        assert_eq!(
+            kids(&events, root.id, name).len(),
+            1,
+            "exactly one {name} span under the join root"
+        );
+    }
+
+    // One scan span per join side; each records its active partition
+    // count in `arg` and parents exactly that many partition spans — 1
+    // for the unpartitioned users side, 4 for the sharded orders side —
+    // even though the partition spans close on fan-out worker threads.
+    let scans = kids(&events, root.id, "scan");
+    assert_eq!(scans.len(), 2, "one scan span per join side");
+    let mut part_counts = Vec::new();
+    for scan in &scans {
+        let parts = kids(&events, scan.id, "partition");
+        assert_eq!(
+            parts.len() as u64,
+            scan.arg,
+            "scan arg records its active partition count"
+        );
+        for p in &parts {
+            let ecalls: Vec<&TraceEvent> = events
+                .iter()
+                .filter(|e| e.parent == p.id && e.cat == "ecall")
+                .collect();
+            assert!(!ecalls.is_empty(), "partition issued no search ECALL");
+            for e in &ecalls {
+                assert_eq!(e.name, "ecall.search", "only searches under a scan");
+            }
+            // Nesting is temporal containment: the partition interval
+            // lies inside its scan (fan_out joins before the scan ends).
+            assert!(p.start_ns >= scan.start_ns, "partition starts in scan");
+            assert!(
+                p.start_ns + p.dur_ns <= scan.start_ns + scan.dur_ns,
+                "partition span escapes its scan"
+            );
+        }
+        part_counts.push(parts.len());
+    }
+    part_counts.sort_unstable();
+    assert_eq!(part_counts, vec![1, 4]);
+
+    // Exactly one JoinBridge transition, nested under the bridge span
+    // (DESIGN.md §11: one bridge ECALL per two-table equi-join).
+    let bridge = kids(&events, root.id, "bridge")[0];
+    let bridged: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.name == "ecall.join_bridge")
+        .collect();
+    assert_eq!(bridged.len(), 1);
+    assert_eq!(bridged[0].parent, bridge.id);
+
+    // No dangling parent links anywhere in the retained trace.
+    for e in &events {
+        assert!(
+            e.parent == 0 || events.iter().any(|p| p.id == e.parent),
+            "dangling parent link in {e:?}"
+        );
+    }
 }

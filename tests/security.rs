@@ -125,6 +125,166 @@ fn queries_after_tamper_fail_loudly_not_wrongly() {
     assert!(matches!(err, encdbdb::DbError::Dict(_)));
 }
 
+/// All 370 rows of the skewed deployment: 30 distinct values, value
+/// `val{i}` occurring `(i % 7) * 4 + 1` times.
+const SKEWED_ROWS: u64 = 370;
+const SKEWED_DISTINCT: u64 = 30;
+
+#[test]
+fn observed_search_leakage_follows_each_kinds_bounds() {
+    use encdbdb::EcallKind;
+    use encdict::OrderOption;
+
+    // The binary search probes head+tail of O(log |D|) entries, and the
+    // rotated variant (Algorithm 3) pays an extra probe round per step;
+    // |D| never exceeds the row count here (hiding), so 6 * (log2(370) +
+    // 2) loads is a generous O(log |D|) ceiling — still far below the
+    // 2|D| loads of every linear scan asserted on below.
+    let log_bound = 6 * (64 - SKEWED_ROWS.leading_zeros() as u64 + 2);
+    let mut bytes_in_per_kind = Vec::new();
+    for (i, kind) in EdKind::ALL.iter().copied().enumerate() {
+        let (mut db, _) = deploy_skewed(kind, 7200 + i as u64);
+        let before = db.leakage_ledger();
+        db.execute("SELECT c FROM t WHERE c = 'val05'").unwrap();
+        let delta = db.leakage_ledger().since(&before);
+        let search = delta.kind(EcallKind::Search);
+        assert_eq!(search.calls, 1, "{kind:?}: one Search ECALL per partition");
+        assert_eq!(
+            delta.total_calls(),
+            1,
+            "{kind:?}: the query makes no other enclave transition"
+        );
+        assert_eq!(
+            search.values_decrypted,
+            search.untrusted_loads / 2,
+            "{kind:?}: one head + one tail load per examined entry"
+        );
+        match kind.order() {
+            OrderOption::Sorted | OrderOption::Rotated => {
+                assert!(
+                    search.untrusted_loads <= log_bound,
+                    "{kind:?}: binary search loads {} exceed O(log |D|) bound {log_bound}",
+                    search.untrusted_loads
+                );
+                assert_eq!(
+                    search.bytes_out, 16,
+                    "{kind:?}: range replies are constant-size"
+                );
+            }
+            OrderOption::Unsorted => {
+                // The linear scan examines every entry: exactly 2|D| loads.
+                let dict_len = match kind.repetition() {
+                    encdict::RepetitionOption::Revealing => Some(SKEWED_DISTINCT),
+                    encdict::RepetitionOption::Hiding => Some(SKEWED_ROWS),
+                    // Smoothing bucket counts depend on build randomness.
+                    encdict::RepetitionOption::Smoothing => None,
+                };
+                match dict_len {
+                    Some(d) => assert_eq!(
+                        search.untrusted_loads,
+                        2 * d,
+                        "{kind:?}: linear scan examines the whole dictionary"
+                    ),
+                    None => assert!(
+                        search.untrusted_loads > log_bound
+                            && search.untrusted_loads <= 2 * SKEWED_ROWS,
+                        "{kind:?}: smoothing scan loads {} outside (log bound, 2·rows]",
+                        search.untrusted_loads
+                    ),
+                }
+                assert!(
+                    search.bytes_out >= 4,
+                    "{kind:?}: id replies scale with hits"
+                );
+            }
+        }
+        bytes_in_per_kind.push((kind, search.bytes_in));
+    }
+    // Probabilistic encryption: the encrypted range bounds of the same
+    // query have the same length under every kind — the request payload
+    // leaks nothing about the dictionary layout.
+    let first = bytes_in_per_kind[0].1;
+    assert!(first > 0);
+    for (kind, bytes_in) in &bytes_in_per_kind {
+        assert_eq!(
+            *bytes_in, first,
+            "{kind:?}: request payload size must not depend on the kind"
+        );
+    }
+}
+
+#[test]
+fn plain_column_queries_make_zero_enclave_transitions() {
+    let mut db = Session::with_seed(7300).unwrap();
+    db.execute("CREATE TABLE p (v PLAIN(8))").unwrap();
+    db.execute("INSERT INTO p VALUES ('a'), ('b'), ('a')")
+        .unwrap();
+    let before = db.leakage_ledger();
+    let r = db.execute("SELECT v FROM p WHERE v = 'a'").unwrap();
+    assert_eq!(r.row_count(), 2);
+    let r = db.execute("SELECT v, COUNT(*) FROM p GROUP BY v").unwrap();
+    assert_eq!(r.row_count(), 2);
+    let delta = db.leakage_ledger().since(&before);
+    assert_eq!(
+        delta.total_calls(),
+        0,
+        "PLAIN selects and aggregates never enter the enclave"
+    );
+}
+
+#[test]
+fn hiding_kinds_decrypt_more_than_revealing_on_unsorted_scans() {
+    use encdbdb::EcallKind;
+    // ED3 (revealing, unsorted) scans |un(C)| entries; ED9 (hiding,
+    // unsorted) scans |C| — the compression/leakage trade-off of Table 3,
+    // observed rather than assumed.
+    let observed = |kind: EdKind, seed: u64| {
+        let (mut db, _) = deploy_skewed(kind, seed);
+        let before = db.leakage_ledger();
+        db.execute("SELECT c FROM t WHERE c = 'val12'").unwrap();
+        db.leakage_ledger()
+            .since(&before)
+            .kind(EcallKind::Search)
+            .values_decrypted
+    };
+    let ed3 = observed(EdKind::Ed3, 7400);
+    let ed9 = observed(EdKind::Ed9, 7401);
+    assert_eq!(ed3, SKEWED_DISTINCT);
+    assert_eq!(ed9, SKEWED_ROWS);
+    assert!(ed9 > ed3);
+}
+
+#[test]
+fn export_trace_ecall_spans_match_ledger_counts() {
+    // The acceptance invariant: every enclave transition appears as
+    // exactly one "ecall" span in the exported trace AND one ledger
+    // record — for the cheapest (ED1) and most protective (ED9) kinds.
+    for (kind, seed) in [(EdKind::Ed1, 7500), (EdKind::Ed9, 7501)] {
+        let (mut db, _) = deploy_skewed(kind, seed);
+        db.execute("SELECT c FROM t WHERE c = 'val05'").unwrap();
+        db.execute("SELECT c FROM t WHERE c < 'val03'").unwrap();
+        db.execute("INSERT INTO t VALUES ('zzz')").unwrap();
+        let ledger = db.leakage_ledger();
+        let spans = db.server().obs().trace_events();
+        let ecall_spans = spans.iter().filter(|e| e.cat == "ecall").count() as u64;
+        assert_eq!(
+            ecall_spans,
+            ledger.total_calls(),
+            "{kind:?}: trace and ledger must agree on every transition"
+        );
+        assert!(ecall_spans >= 3, "{kind:?}: two searches and a reencrypt");
+        let json = db.export_trace();
+        assert!(json.starts_with('{') && json.contains("\"traceEvents\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(
+            json.matches("\"cat\":\"ecall\"").count() as u64,
+            ledger.total_calls(),
+            "{kind:?}: exported JSON carries the same ECALL spans"
+        );
+    }
+}
+
 #[test]
 fn delta_insert_hides_order_and_frequency() {
     // §4.3: inserting into the ED9 delta leaks neither order nor frequency.

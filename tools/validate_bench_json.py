@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<area>.json trajectory files against the schema the
+criterion shim emits (schema 1).
+
+Usage: validate_bench_json.py FILE [FILE ...]
+
+Each file must be a JSON object with:
+  schema      == 1
+  area        non-empty string matching the BENCH_<area>.json file name
+  benchmarks  non-empty list of {id, median_ns, p95_ns, samples} where
+              ids are unique, median_ns/p95_ns are positive integers,
+              p95_ns >= median_ns, samples is a positive integer
+  env         object mapping ENCDBDB_* knob names to string values
+
+Exits non-zero with a per-file message on the first violation.
+"""
+
+import json
+import os
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    if doc.get("schema") != 1:
+        fail(path, f"schema is {doc.get('schema')!r}, expected 1")
+    area = doc.get("area")
+    if not isinstance(area, str) or not area:
+        fail(path, "area is not a non-empty string")
+    expected = f"BENCH_{area}.json"
+    if os.path.basename(path) != expected:
+        fail(path, f"file name does not match area (expected {expected})")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        fail(path, "benchmarks is not a non-empty list")
+    seen = set()
+    for i, b in enumerate(benches):
+        where = f"benchmarks[{i}]"
+        if not isinstance(b, dict):
+            fail(path, f"{where} is not an object")
+        bid = b.get("id")
+        if not isinstance(bid, str) or not bid:
+            fail(path, f"{where}.id is not a non-empty string")
+        if bid in seen:
+            fail(path, f"duplicate benchmark id {bid!r}")
+        seen.add(bid)
+        for key in ("median_ns", "p95_ns", "samples"):
+            v = b.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v <= 0:
+                fail(path, f"{where}.{key} is not a positive integer")
+        if b["p95_ns"] < b["median_ns"]:
+            fail(path, f"{where}: p95_ns < median_ns")
+    env = doc.get("env")
+    if not isinstance(env, dict):
+        fail(path, "env is not an object")
+    for k, v in env.items():
+        if not k.startswith("ENCDBDB_") or not isinstance(v, str):
+            fail(path, f"env[{k!r}] is not an ENCDBDB_* string knob")
+    print(f"{path}: ok ({len(benches)} benchmarks)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        validate(path)
+
+
+if __name__ == "__main__":
+    main()
