@@ -50,6 +50,7 @@ run cargo bench --no-run --offline -p encdbdb-bench --bench compaction
 run cargo bench --no-run --offline -p encdbdb-bench --bench partition
 run cargo bench --no-run --offline -p encdbdb-bench --bench join
 run cargo bench --no-run --offline -p encdbdb-bench --bench durability
+run cargo bench --no-run --offline -p encdbdb-bench --bench cache
 # The bench-trajectory emit mode: one fast bounded bench run writing
 # BENCH_*.json into a temp dir, validated against the emit schema (the
 # committed baselines under baselines/ are validated the same way).
@@ -59,5 +60,15 @@ run env ENCDBDB_BENCH_JSON="$BENCH_JSON_DIR" ENCDBDB_DURABILITY_ROWS=200 \
     cargo bench -q --offline -p encdbdb-bench --bench durability
 run python3 tools/validate_bench_json.py "$BENCH_JSON_DIR"/BENCH_durability.json
 run python3 tools/validate_bench_json.py baselines/BENCH_*.json
+# The scan-kernel regression gate: a fresh av_search run (no row knobs,
+# same workload as the committed baseline) compared median-to-median
+# against baselines/BENCH_av_search.json. The tolerance (default 3x,
+# ENCDBDB_BENCH_TOLERANCE to override) absorbs shared-runner noise while
+# still catching an accidental algorithmic regression in the hot scan
+# kernels.
+run env ENCDBDB_BENCH_JSON="$BENCH_JSON_DIR" \
+    cargo bench -q --offline -p encdbdb-bench --bench av_search
+run python3 tools/validate_bench_json.py --baseline \
+    baselines/BENCH_av_search.json "$BENCH_JSON_DIR"/BENCH_av_search.json
 
 echo "==> CI green"

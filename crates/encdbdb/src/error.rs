@@ -49,6 +49,15 @@ pub enum DbError {
     /// A range-partitioning violation: malformed split points, a
     /// partition index out of range, or an insert that cannot be routed.
     Partition(String),
+    /// The concatenated main + delta code space of a column exceeds
+    /// `u32`: a delta row's code `main_len + rid` would wrap and alias
+    /// two distinct values into one histogram bucket.
+    CodeSpaceOverflow {
+        /// The main dictionary length (the delta code offset).
+        main_len: usize,
+        /// The offending delta RecordID.
+        delta_rid: u32,
+    },
     /// A durable-storage operation failed: a WAL append or snapshot
     /// persist hit an I/O error (or an injected crash point), or recovery
     /// found the on-disk state unusable.
@@ -86,6 +95,16 @@ impl fmt::Display for DbError {
             DbError::Enclave(e) => write!(f, "enclave failure: {e}"),
             DbError::MergeConflict(msg) => write!(f, "merge conflict: {msg}"),
             DbError::Partition(msg) => write!(f, "partitioning error: {msg}"),
+            DbError::CodeSpaceOverflow {
+                main_len,
+                delta_rid,
+            } => {
+                write!(
+                    f,
+                    "code space overflow: main dictionary length {main_len} + delta row \
+                     {delta_rid} exceeds u32"
+                )
+            }
             DbError::Durability(msg) => write!(f, "durability failure: {msg}"),
             DbError::Unseal { context, source } => {
                 write!(f, "unseal validation failed for {context}: {source}")

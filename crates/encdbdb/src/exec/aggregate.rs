@@ -10,12 +10,26 @@
 //! delta row. Only the *distinct* codes ever reach a decryption — the
 //! frequency weighting replaces per-row work.
 
+use crate::error::DbError;
 use colstore::dictionary::RecordId;
 use encdict::avsearch::Parallelism;
+use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 
 /// Rows per histogram batch (one vectorized execution unit).
 pub const CHUNK_ROWS: usize = 4096;
+
+/// Upper bound on the single-column code space for the dense
+/// (array-indexed) counting fast path — 64 Ki codes = a 512 KiB counts
+/// array per worker.
+const DENSE_CODE_SPACE: usize = 1 << 16;
+
+thread_local! {
+    /// Reused per-worker gather buffer (row-major code tuples of one
+    /// chunk): the scan allocates once per thread, not once per chunk or
+    /// per query (DESIGN.md §14).
+    static CODE_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// The code source of one referenced column.
 #[derive(Debug, Clone, Copy)]
@@ -24,17 +38,6 @@ pub struct ColumnCodes<'a> {
     pub av: &'a [u32],
     /// Main dictionary length — the offset of the delta code space.
     pub main_len: usize,
-}
-
-impl ColumnCodes<'_> {
-    #[inline]
-    fn code(&self, rid: RecordId, delta: bool) -> u32 {
-        if delta {
-            self.main_len as u32 + rid.0
-        } else {
-            self.av[rid.0 as usize]
-        }
-    }
 }
 
 /// The histogram of one aggregate query plus scan accounting.
@@ -47,36 +50,152 @@ pub struct Histogram {
     pub chunks: usize,
 }
 
+/// Rejects a column whose concatenated main + delta code space exceeds
+/// `u32`: the delta code `main_len + rid` would silently wrap and alias
+/// two distinct values into one histogram bucket. Checked once up front
+/// so the per-row kernels can add without branching.
+fn check_code_space(cols: &[ColumnCodes<'_>], delta_rids: &[RecordId]) -> Result<(), DbError> {
+    let Some(max_rid) = delta_rids.iter().map(|r| r.0).max() else {
+        return Ok(());
+    };
+    for col in cols {
+        if col.main_len as u64 + max_rid as u64 > u32::MAX as u64 {
+            return Err(DbError::CodeSpaceOverflow {
+                main_len: col.main_len,
+                delta_rid: max_rid,
+            });
+        }
+    }
+    Ok(())
+}
+
 fn count_chunk(
     cols: &[ColumnCodes<'_>],
     rids: &[RecordId],
     delta: bool,
     into: &mut HashMap<Vec<u32>, u64>,
 ) {
-    // Probe with a reused scratch tuple and only clone it into the map on
-    // first sight, keeping allocations at O(distinct tuples), not O(rows).
-    let mut scratch: Vec<u32> = Vec::with_capacity(cols.len());
-    for &rid in rids {
-        scratch.clear();
-        scratch.extend(cols.iter().map(|c| c.code(rid, delta)));
-        match into.get_mut(scratch.as_slice()) {
-            Some(n) => *n += 1,
-            None => {
-                into.insert(scratch.clone(), 1);
+    let ncols = cols.len();
+    if ncols == 0 {
+        // Pure COUNT(*): every row contributes to the empty tuple.
+        *into.entry(Vec::new()).or_insert(0) += rids.len() as u64;
+        return;
+    }
+    CODE_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        buf.resize(rids.len() * ncols, 0);
+        // Branch-free gather, one tight column-at-a-time pass: the
+        // delta/main decision and the code arithmetic hoist out of the
+        // per-row loop, leaving a pure strided gather the compiler can
+        // unroll/vectorize. Wrap-safety of `main_len + rid` was proven by
+        // `check_code_space`.
+        for (c, col) in cols.iter().enumerate() {
+            if delta {
+                let base = col.main_len as u32;
+                for (j, &rid) in rids.iter().enumerate() {
+                    buf[j * ncols + c] = base + rid.0;
+                }
+            } else {
+                for (j, &rid) in rids.iter().enumerate() {
+                    buf[j * ncols + c] = col.av[rid.0 as usize];
+                }
             }
         }
+        // Probe with the gathered row-major tuples and only clone on
+        // first sight, keeping allocations at O(distinct tuples).
+        for tuple in buf.chunks_exact(ncols) {
+            match into.get_mut(tuple) {
+                Some(n) => *n += 1,
+                None => {
+                    into.insert(tuple.to_vec(), 1);
+                }
+            }
+        }
+    });
+}
+
+/// Dense counting kernel for one chunk: a single scatter-add per row into
+/// a direct-indexed counts array — no hashing, no tuple allocation.
+#[inline]
+fn dense_count_chunk(col: ColumnCodes<'_>, rids: &[RecordId], delta: bool, counts: &mut [u64]) {
+    if delta {
+        let base = col.main_len;
+        for &rid in rids {
+            counts[base + rid.0 as usize] += 1;
+        }
+    } else {
+        for &rid in rids {
+            counts[col.av[rid.0 as usize] as usize] += 1;
+        }
+    }
+}
+
+/// Single-column fast path over a bounded code space: per-worker dense
+/// `u64` counts arrays merged element-wise. Output order (ascending code)
+/// matches the generic path's tuple sort exactly.
+fn dense_histogram_single(
+    col: ColumnCodes<'_>,
+    chunks: &[(&[RecordId], bool)],
+    threads: usize,
+    space: usize,
+) -> Histogram {
+    let mut counts = vec![0u64; space];
+    if threads <= 1 {
+        for (rids, delta) in chunks {
+            dense_count_chunk(col, rids, *delta, &mut counts);
+        }
+    } else {
+        let partials: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut local = vec![0u64; space];
+                        for (rids, delta) in chunks.iter().skip(t).step_by(threads) {
+                            dense_count_chunk(col, rids, *delta, &mut local);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("histogram scan worker panicked"))
+                .collect()
+        });
+        for partial in partials {
+            for (slot, n) in counts.iter_mut().zip(partial) {
+                *slot += n;
+            }
+        }
+    }
+    let tuples = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(code, &n)| (vec![code as u32], n))
+        .collect();
+    Histogram {
+        tuples,
+        chunks: chunks.len(),
     }
 }
 
 /// Builds the ValueID-tuple histogram over the matching main and delta
 /// rows, scanning in [`CHUNK_ROWS`]-row chunks, multi-threaded per
 /// `parallelism`. The result is deterministic (sorted by tuple).
+///
+/// # Errors
+///
+/// Returns [`DbError::CodeSpaceOverflow`] when a column's concatenated
+/// main + delta code space does not fit in `u32`.
 pub fn build_histogram(
     cols: &[ColumnCodes<'_>],
     main_rids: &[RecordId],
     delta_rids: &[RecordId],
     parallelism: Parallelism,
-) -> Histogram {
+) -> Result<Histogram, DbError> {
+    check_code_space(cols, delta_rids)?;
     let chunks: Vec<(&[RecordId], bool)> = main_rids
         .chunks(CHUNK_ROWS)
         .map(|c| (c, false))
@@ -87,6 +206,18 @@ pub fn build_histogram(
         Parallelism::Threads(n) => n.max(1),
     }
     .min(chunks.len().max(1));
+
+    if let [col] = cols {
+        let space = col.main_len
+            + delta_rids
+                .iter()
+                .map(|r| r.0 as usize + 1)
+                .max()
+                .unwrap_or(0);
+        if space <= DENSE_CODE_SPACE {
+            return Ok(dense_histogram_single(*col, &chunks, threads, space));
+        }
+    }
 
     let mut merged: HashMap<Vec<u32>, u64> = HashMap::new();
     if threads <= 1 {
@@ -120,10 +251,10 @@ pub fn build_histogram(
     }
     let mut tuples: Vec<(Vec<u32>, u64)> = merged.into_iter().collect();
     tuples.sort_unstable();
-    Histogram {
+    Ok(Histogram {
         tuples,
         chunks: chunks.len(),
-    }
+    })
 }
 
 /// A histogram with per-column codes remapped to dense value-table
@@ -202,7 +333,8 @@ mod tests {
             &rids(&[0, 2, 3, 4]),
             &rids(&[0, 1]),
             Parallelism::Serial,
-        );
+        )
+        .unwrap();
         assert_eq!(
             h.tuples,
             vec![
@@ -223,9 +355,10 @@ mod tests {
             main_len: 13,
         }];
         let all: Vec<RecordId> = (0..20_000).map(RecordId).collect();
-        let serial = build_histogram(&cols, &all, &[], Parallelism::Serial);
+        let serial = build_histogram(&cols, &all, &[], Parallelism::Serial).unwrap();
         for threads in [2usize, 3, 8] {
-            let parallel = build_histogram(&cols, &all, &[], Parallelism::Threads(threads));
+            let parallel =
+                build_histogram(&cols, &all, &[], Parallelism::Threads(threads)).unwrap();
             assert_eq!(serial, parallel, "threads = {threads}");
         }
         assert_eq!(serial.chunks, 20_000usize.div_ceil(CHUNK_ROWS));
@@ -233,8 +366,64 @@ mod tests {
 
     #[test]
     fn zero_columns_still_counts_rows() {
-        let h = build_histogram(&[], &rids(&[0, 1, 2]), &rids(&[0]), Parallelism::Serial);
+        let h = build_histogram(&[], &rids(&[0, 1, 2]), &rids(&[0]), Parallelism::Serial).unwrap();
         assert_eq!(h.tuples, vec![(vec![], 4)]);
+    }
+
+    #[test]
+    fn code_space_overflow_is_a_typed_error_not_a_wrap() {
+        // A main dictionary this long leaves no room for delta rid 1:
+        // main_len + 1 == 2^32, one past u32::MAX. Before the check this
+        // wrapped to code 0 and aliased the delta row into main value 0.
+        let av: Vec<u32> = vec![0];
+        let cols = [ColumnCodes {
+            av: &av,
+            main_len: u32::MAX as usize,
+        }];
+        let err =
+            build_histogram(&cols, &rids(&[0]), &rids(&[0, 1]), Parallelism::Serial).unwrap_err();
+        assert_eq!(
+            err,
+            DbError::CodeSpaceOverflow {
+                main_len: u32::MAX as usize,
+                delta_rid: 1,
+            }
+        );
+
+        // One row less and the space fits exactly: the last delta code is
+        // u32::MAX itself, which must succeed.
+        let h = build_histogram(&cols, &rids(&[0]), &rids(&[0]), Parallelism::Serial).unwrap();
+        assert_eq!(
+            h.tuples,
+            vec![(vec![0], 1), (vec![u32::MAX], 1)],
+            "boundary code u32::MAX is valid and distinct from main code 0"
+        );
+    }
+
+    #[test]
+    fn dense_single_column_path_matches_generic() {
+        // Single column, small code space: exercises the dense fast path
+        // and pins its output against the generic hash-map path (forced by
+        // adding a second identical column, whose tuples we project away).
+        let av: Vec<u32> = (0..10_000).map(|i| (i * 7) % 251).collect();
+        let cols = [ColumnCodes {
+            av: &av,
+            main_len: 251,
+        }];
+        let wide = [cols[0], cols[0]];
+        let main: Vec<RecordId> = (0..10_000).step_by(3).map(RecordId).collect();
+        let delta = rids(&[0, 5, 9]);
+        for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let dense = build_histogram(&cols, &main, &delta, par).unwrap();
+            let generic = build_histogram(&wide, &main, &delta, par).unwrap();
+            let projected: Vec<(Vec<u32>, u64)> = generic
+                .tuples
+                .iter()
+                .map(|(t, n)| (vec![t[0]], *n))
+                .collect();
+            assert_eq!(dense.tuples, projected);
+            assert_eq!(dense.chunks, generic.chunks);
+        }
     }
 
     #[test]

@@ -193,6 +193,7 @@ impl DbaasServer {
                 enclave: self.query_enclave_handle(),
                 obs: obs_ref,
                 parent: pspan.id(),
+                part: pid as u64,
             };
             let (main_rids, delta_rids, mut part_stats) =
                 matching_rids_multi(snap, &t.schema, &ctx, filters, &cfg)?;
@@ -204,7 +205,7 @@ impl DbaasServer {
                     main_len: snap.main.columns[idx].main_len(),
                 })
                 .collect();
-            let hist = build_histogram(&cols, &main_rids, &delta_rids, cfg.parallelism);
+            let hist = build_histogram(&cols, &main_rids, &delta_rids, cfg.parallelism)?;
             part_stats.av_search_ns += scan_start.elapsed().as_nanos() as u64;
             part_stats.chunks_scanned += hist.chunks;
             part_stats.snapshot_epoch = snap.epoch();
@@ -244,7 +245,7 @@ impl DbaasServer {
                 .iter()
                 .zip(&parts)
                 .filter(|(_, scan)| !scan.remapped.tuples.is_empty())
-                .map(|((_, snap), scan)| AggPartitionData {
+                .map(|((pid, snap), scan)| AggPartitionData {
                     columns: ref_idx
                         .iter()
                         .enumerate()
@@ -255,6 +256,7 @@ impl DbaasServer {
                                         main: main.dict().segment_ref(),
                                         delta: delta.segment_ref(),
                                         codes: &scan.remapped.codes[c],
+                                        cache: Some((*pid as u64, snap.epoch())),
                                     }
                                 }
                                 _ => AggColumnData::Plain {
@@ -328,6 +330,8 @@ impl DbaasServer {
                         values_decrypted: reply.values_decrypted as u64,
                         untrusted_loads: after.untrusted_loads - before.untrusted_loads,
                         untrusted_bytes: after.untrusted_bytes - before.untrusted_bytes,
+                        cache_hits: after.cache_hits - before.cache_hits,
+                        cache_misses: after.cache_misses - before.cache_misses,
                     },
                     start_ns,
                     t0.elapsed().as_nanos() as u64,
@@ -335,6 +339,7 @@ impl DbaasServer {
                 );
                 stats.enclave_calls += 1;
                 stats.values_decrypted += reply.values_decrypted;
+                stats.cache_hits += (after.cache_hits - before.cache_hits) as usize;
                 reply
                     .rows
                     .into_iter()

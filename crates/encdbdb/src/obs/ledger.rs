@@ -95,6 +95,9 @@ pub struct EcallRecord {
     pub untrusted_loads: u64,
     /// Untrusted-memory bytes read by the enclave.
     pub untrusted_bytes: u64,
+    /// Values served from the in-enclave decrypted-value cache during
+    /// this call (each hit saved two untrusted loads and one decrypt).
+    pub cache_hits: u64,
     /// Wall-clock duration of the call, in nanoseconds.
     pub dur_ns: u64,
 }
@@ -107,6 +110,7 @@ struct KindCell {
     values_decrypted: AtomicU64,
     untrusted_loads: AtomicU64,
     untrusted_bytes: AtomicU64,
+    cache_hits: AtomicU64,
 }
 
 /// Aggregate totals for one [`EcallKind`], as reported by
@@ -127,6 +131,8 @@ pub struct KindTotals {
     pub untrusted_loads: u64,
     /// Total untrusted-memory bytes read.
     pub untrusted_bytes: u64,
+    /// Total in-enclave decrypted-value cache hits.
+    pub cache_hits: u64,
 }
 
 /// The ledger itself: per-kind atomic totals plus a bounded ring of
@@ -161,6 +167,8 @@ impl Ledger {
             .fetch_add(record.untrusted_loads, Ordering::Relaxed);
         cell.untrusted_bytes
             .fetch_add(record.untrusted_bytes, Ordering::Relaxed);
+        cell.cache_hits
+            .fetch_add(record.cache_hits, Ordering::Relaxed);
         let mut records = self.records.lock().unwrap_or_else(|e| e.into_inner());
         if records.len() >= LEDGER_CAPACITY {
             records.pop_front();
@@ -183,6 +191,7 @@ impl Ledger {
                         values_decrypted: c.values_decrypted.load(Ordering::Relaxed),
                         untrusted_loads: c.untrusted_loads.load(Ordering::Relaxed),
                         untrusted_bytes: c.untrusted_bytes.load(Ordering::Relaxed),
+                        cache_hits: c.cache_hits.load(Ordering::Relaxed),
                     }
                 })
                 .collect(),
@@ -233,6 +242,7 @@ impl LedgerReport {
                         values_decrypted: now.values_decrypted - then.values_decrypted,
                         untrusted_loads: now.untrusted_loads - then.untrusted_loads,
                         untrusted_bytes: now.untrusted_bytes - then.untrusted_bytes,
+                        cache_hits: now.cache_hits - then.cache_hits,
                     }
                 })
                 .collect(),
@@ -253,6 +263,7 @@ mod tests {
             values_decrypted: vd,
             untrusted_loads: 4,
             untrusted_bytes: 64,
+            cache_hits: 0,
             dur_ns: 100,
         }
     }

@@ -138,12 +138,15 @@ impl Obs {
             values_decrypted: io.values_decrypted,
             untrusted_loads: io.untrusted_loads,
             untrusted_bytes: io.untrusted_bytes,
+            cache_hits: io.cache_hits,
             dur_ns,
         });
         self.add(Counter::EcallsTotal, 1);
         self.add(Counter::ValuesDecryptedTotal, io.values_decrypted);
         self.add(Counter::UntrustedLoadsTotal, io.untrusted_loads);
         self.add(Counter::UntrustedBytesTotal, io.untrusted_bytes);
+        self.add(Counter::ValueCacheHitsTotal, io.cache_hits);
+        self.add(Counter::ValueCacheMissesTotal, io.cache_misses);
         self.record(Hist::EcallNs, dur_ns);
         self.push_event(TraceEvent {
             id: self.inner.trace.fresh_id().raw(),
@@ -194,6 +197,8 @@ pub(crate) struct EcallIo {
     pub(crate) values_decrypted: u64,
     pub(crate) untrusted_loads: u64,
     pub(crate) untrusted_bytes: u64,
+    pub(crate) cache_hits: u64,
+    pub(crate) cache_misses: u64,
 }
 
 /// An open span. Dropping (or [`SpanGuard::finish`]ing) the guard
@@ -288,6 +293,8 @@ mod tests {
                     values_decrypted: i,
                     untrusted_loads: 2 * i,
                     untrusted_bytes: 128,
+                    cache_hits: i,
+                    cache_misses: 1,
                 },
                 obs.now_ns(),
                 10,
@@ -297,6 +304,7 @@ mod tests {
         let ledger = obs.ledger_report();
         assert_eq!(ledger.kind(EcallKind::Search).calls, 5);
         assert_eq!(ledger.kind(EcallKind::Search).values_decrypted, 10);
+        assert_eq!(ledger.kind(EcallKind::Search).cache_hits, 10);
         let ecall_spans = obs
             .trace_events()
             .iter()
@@ -306,6 +314,8 @@ mod tests {
         let report = obs.metrics_report();
         assert_eq!(report.counter("ecalls_total"), 5);
         assert_eq!(report.histogram("ecall_ns").expect("hist").count, 5);
+        assert_eq!(report.counter("value_cache_hits_total"), 10);
+        assert_eq!(report.counter("value_cache_misses_total"), 5);
     }
 
     #[test]

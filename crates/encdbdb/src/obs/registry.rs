@@ -56,6 +56,8 @@ metric_keys! {
     SnapshotsPersistedTotal => "snapshots_persisted_total",
     RecoveriesTotal => "recoveries_total",
     TraceEventsDroppedTotal => "trace_events_dropped_total",
+    ValueCacheHitsTotal => "value_cache_hits_total",
+    ValueCacheMissesTotal => "value_cache_misses_total",
 }
 
 metric_keys! {

@@ -428,6 +428,8 @@ pub(crate) fn execute_compaction(
                         values_decrypted: loads / 2,
                         untrusted_loads: loads,
                         untrusted_bytes: bytes,
+                        cache_hits: 0,
+                        cache_misses: 0,
                     },
                     start_ns,
                     dur_ns,

@@ -74,11 +74,24 @@ fn scan_side(
             enclave: server.query_enclave_handle(),
             obs: obs_ref,
             parent: pspan.id(),
+            part: pid as u64,
         };
         let (main_rids, delta_rids, mut stats) =
             matching_rids_multi(snap, schema, &ctx, &q.filters, &cfg)?;
         let av = snap.main.columns[key_idx].av_slice();
-        let main_len = snap.main.columns[key_idx].main_len() as u32;
+        let main_len = snap.main.columns[key_idx].main_len();
+        // Delta rows get codes `main_len + rid`; prove up front that the
+        // highest one fits in u32 so the append below cannot wrap and
+        // alias two distinct keys into one code.
+        if let Some(max_rid) = delta_rids.iter().map(|r| r.0).max() {
+            if main_len as u64 + max_rid as u64 > u32::MAX as u64 {
+                return Err(DbError::CodeSpaceOverflow {
+                    main_len,
+                    delta_rid: max_rid,
+                });
+            }
+        }
+        let main_len = main_len as u32;
         let mut row_codes = Vec::with_capacity(main_rids.len() + delta_rids.len());
         row_codes.extend(main_rids.iter().map(|rid| av[rid.0 as usize]));
         row_codes.extend(delta_rids.iter().map(|rid| main_len + rid.0));
@@ -356,7 +369,7 @@ impl DbaasServer {
                 ts.active
                     .iter()
                     .zip(scan)
-                    .map(|((_, snap), part)| {
+                    .map(|((pid, snap), part)| {
                         let (MainColumn::Encrypted(main), ColumnDelta::Encrypted(delta)) =
                             (&snap.main.columns[key_idx], &snap.deltas[key_idx])
                         else {
@@ -366,6 +379,7 @@ impl DbaasServer {
                             main: main.dict().segment_ref(),
                             delta: delta.segment_ref(),
                             codes: &part.distinct,
+                            cache: Some((*pid as u64, snap.epoch())),
                         }
                     })
                     .collect()
@@ -434,6 +448,8 @@ impl DbaasServer {
                 values_decrypted: reply.values_decrypted as u64,
                 untrusted_loads: after.untrusted_loads - before.untrusted_loads,
                 untrusted_bytes: after.untrusted_bytes - before.untrusted_bytes,
+                cache_hits: after.cache_hits - before.cache_hits,
+                cache_misses: after.cache_misses - before.cache_misses,
             },
             start_ns,
             t0.elapsed().as_nanos() as u64,
@@ -441,6 +457,7 @@ impl DbaasServer {
         );
         stats.enclave_calls += 1;
         stats.values_decrypted += reply.values_decrypted;
+        stats.cache_hits += (after.cache_hits - before.cache_hits) as usize;
         stats.bridge_entries = reply.bridge_entries;
         Ok((to_maps(lscan, &reply.left), to_maps(rscan, &reply.right)))
     }

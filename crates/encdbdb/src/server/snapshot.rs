@@ -18,7 +18,7 @@ use colstore::dictionary::RecordId;
 use encdict::avsearch;
 use encdict::plain::search_plain;
 use encdict::search::DictSearchResult;
-use encdict::{DictEnclave, EncryptedRange};
+use encdict::{CacheTag, DictEnclave, EncryptedRange};
 use std::sync::Mutex;
 
 /// The enclave handle bundled with its observability context: every
@@ -29,33 +29,42 @@ pub(crate) struct EnclaveCtx<'a> {
     pub(crate) enclave: &'a Mutex<DictEnclave>,
     pub(crate) obs: &'a Obs,
     pub(crate) parent: SpanId,
+    /// Partition discriminator for the in-enclave decrypted-value cache
+    /// (the partition index of the scanned snapshot). Paired with the
+    /// snapshot epoch it forms the [`encdict::CacheTag`]; see DESIGN.md
+    /// §14.
+    pub(crate) part: u64,
 }
 
-/// Reply payload size of a search: a range pair (two `(start, end)`
-/// ValueID pairs) or an explicit ValueID list (unsorted kinds).
+/// Reply payload size of one search result: each present ValueID range is
+/// a `(start, end)` pair of u32s; an explicit id list (unsorted kinds) is
+/// 4 bytes per ValueID.
 fn search_result_bytes(result: &DictSearchResult) -> u64 {
     match result {
-        DictSearchResult::Ranges(_) => 16,
+        DictSearchResult::Ranges(ranges) => 8 * ranges.iter().flatten().count() as u64,
         DictSearchResult::Ids(ids) => 4 * ids.len() as u64,
     }
 }
 
-/// Runs one search ECALL (main or delta dictionary) under the enclave
-/// lock, capturing the counter deltas for the leakage ledger while the
-/// lock is still held — so the recorded loads/bytes are exactly this
-/// call's traffic even when other threads share the enclave. Returns the
-/// call result plus its wall-clock nanoseconds (for `QueryStats`).
+/// Runs one search ECALL (main or delta dictionary, covering the whole
+/// disjunction in `ranges`) under the enclave lock, capturing the counter
+/// deltas for the leakage ledger while the lock is still held — so the
+/// recorded loads/bytes are exactly this call's traffic even when other
+/// threads share the enclave. Returns the call result, its wall-clock
+/// nanoseconds, and the decrypted-value cache hits it scored (for
+/// `QueryStats`).
 ///
 /// `values_decrypted` is derived as `untrusted_loads / 2`: every
 /// dictionary entry the enclave examines costs one head and one tail
 /// load (see `enclave::memory`), and each examined entry is decrypted
-/// once.
+/// once. Cache hits cost neither loads nor decrypts, so the identity
+/// holds with or without caching.
 fn observed_search<T>(
     ctx: &EnclaveCtx<'_>,
-    range: &EncryptedRange,
+    ranges: &[EncryptedRange],
     call: impl FnOnce(&mut DictEnclave) -> Result<T, DbError>,
     reply_bytes: impl FnOnce(&T) -> u64,
-) -> Result<(T, u64), DbError> {
+) -> Result<(T, u64, u64), DbError> {
     let start_ns = ctx.obs.now_ns();
     let started = std::time::Instant::now();
     let mut enclave = lock(ctx.enclave);
@@ -65,20 +74,26 @@ fn observed_search<T>(
     drop(enclave);
     let dur_ns = started.elapsed().as_nanos() as u64;
     let loads = after.untrusted_loads - before.untrusted_loads;
+    let cache_hits = after.cache_hits - before.cache_hits;
     ctx.obs.ecall(
         EcallKind::Search,
         EcallIo {
-            bytes_in: (range.tau_s.as_bytes().len() + range.tau_e.as_bytes().len()) as u64,
+            bytes_in: ranges
+                .iter()
+                .map(|r| (r.tau_s.as_bytes().len() + r.tau_e.as_bytes().len()) as u64)
+                .sum(),
             bytes_out: reply_bytes(&result),
             values_decrypted: loads / 2,
             untrusted_loads: loads,
             untrusted_bytes: after.untrusted_bytes - before.untrusted_bytes,
+            cache_hits,
+            cache_misses: after.cache_misses - before.cache_misses,
         },
         start_ns,
         dur_ns,
         ctx.parent,
     );
-    Ok((result, dur_ns))
+    Ok((result, dur_ns, cache_hits))
 }
 
 /// Runs `work` over every listed partition snapshot — sequentially for a
@@ -261,58 +276,58 @@ fn matching_rids(
             let dict = main.dict();
             // An empty or fully-invalid main store provably matches
             // nothing — skip the search ECALL (the partition-layer
-            // analogue of the PR 3 empty-delta no-op). Disjunctions (`IN`)
-            // run one search per range; the RecordID lists are unioned.
-            let main_rids = if dict.is_empty() || snap.main_valid_rows == 0 {
+            // analogue of the PR 3 empty-delta no-op). The whole
+            // disjunction (`IN` / multi-range) is batched into *one*
+            // ECALL per store; the per-range results are unioned in one
+            // combined AV pass.
+            let main_rids = if dict.is_empty() || snap.main_valid_rows == 0 || ranges.is_empty() {
                 Vec::new()
             } else {
-                let mut acc: Vec<RecordId> = Vec::new();
-                for range in ranges {
-                    let (result, dur_ns) = observed_search(
-                        ctx,
-                        range,
-                        |enclave| Ok(enclave.search(dict, range)?),
-                        search_result_bytes,
-                    )?;
-                    stats.dict_search_ns += dur_ns;
-                    stats.enclave_calls += 1;
-                    let av_start = std::time::Instant::now();
-                    let rids = avsearch::search(
-                        main.av(),
-                        &result,
-                        dict.len(),
-                        cfg.set_strategy,
-                        cfg.parallelism,
-                    );
-                    stats.av_search_ns += av_start.elapsed().as_nanos() as u64;
-                    acc = if acc.is_empty() {
-                        rids
-                    } else {
-                        union_sorted(&acc, &rids)
-                    };
-                }
-                acc
+                let tag = CacheTag {
+                    part: ctx.part,
+                    epoch: snap.epoch(),
+                    delta: false,
+                };
+                let (results, dur_ns, hits) = observed_search(
+                    ctx,
+                    ranges,
+                    |enclave| Ok(enclave.search_multi(dict, ranges, Some(tag))?),
+                    |results| results.iter().map(search_result_bytes).sum(),
+                )?;
+                stats.dict_search_ns += dur_ns;
+                stats.enclave_calls += 1;
+                stats.cache_hits += hits as usize;
+                let av_start = std::time::Instant::now();
+                let rids = avsearch::search_union(
+                    main.av(),
+                    &results,
+                    dict.len(),
+                    cfg.set_strategy,
+                    cfg.parallelism,
+                );
+                stats.av_search_ns += av_start.elapsed().as_nanos() as u64;
+                rids
             };
             // The empty (or fully-deleted) delta needs no ECALL either.
-            let delta_rids = if delta.is_empty() || snap.delta_valid_rows == 0 {
+            let delta_rids = if delta.is_empty() || snap.delta_valid_rows == 0 || ranges.is_empty()
+            {
                 Vec::new()
             } else {
-                let mut acc: Vec<RecordId> = Vec::new();
-                for range in ranges {
-                    stats.enclave_calls += 1;
-                    let (rids, _) = observed_search(
-                        ctx,
-                        range,
-                        |enclave| Ok(delta.search(enclave, range)?),
-                        |rids| 4 * rids.len() as u64,
-                    )?;
-                    acc = if acc.is_empty() {
-                        rids
-                    } else {
-                        union_sorted(&acc, &rids)
-                    };
-                }
-                acc
+                let tag = CacheTag {
+                    part: ctx.part,
+                    epoch: snap.epoch(),
+                    delta: true,
+                };
+                stats.enclave_calls += 1;
+                let (rids, dur_ns, hits) = observed_search(
+                    ctx,
+                    ranges,
+                    |enclave| Ok(delta.search_multi(enclave, ranges, Some(tag))?),
+                    |rids| 4 * rids.len() as u64,
+                )?;
+                stats.dict_search_ns += dur_ns;
+                stats.cache_hits += hits as usize;
+                rids
             };
             (main_rids, delta_rids)
         }
@@ -465,6 +480,7 @@ impl DbaasServer {
                 enclave: &self.enclave,
                 obs: obs_ref,
                 parent: pspan.id(),
+                part: pid as u64,
             };
             let (main_rids, delta_rids, mut stats) =
                 matching_rids_multi(snap, &t.schema, &ctx, filters, &cfg)?;
@@ -532,11 +548,12 @@ impl DbaasServer {
             .pop()
             .expect("one table requested");
         let obs = self.obs();
-        let counts = fan_out(&ts.active, |_pid, snap| {
+        let counts = fan_out(&ts.active, |pid, snap| {
             let ctx = EnclaveCtx {
                 enclave: &self.enclave,
                 obs,
                 parent: SpanId::NONE,
+                part: pid as u64,
             };
             let (main, delta, _) =
                 matching_rids_multi(snap, &ts.table.schema, &ctx, filters, &cfg)?;

@@ -48,6 +48,10 @@ pub struct QueryStats {
     /// Number of dictionary values decrypted inside the enclave — bounded
     /// by the distinct touched ValueIDs, never by the row count.
     pub values_decrypted: usize,
+    /// Entries served from the in-enclave decrypted-value cache while
+    /// evaluating the query (each hit replaced one decrypt and two
+    /// untrusted loads; see DESIGN.md §14 for the leakage semantics).
+    pub cache_hits: usize,
     /// The highest merge generation (epoch) among the partition snapshots
     /// the query executed against. Monotone per table: compactions only
     /// ever increment partition epochs.
@@ -90,6 +94,7 @@ impl QueryStats {
             chunks_scanned,
             enclave_calls,
             values_decrypted,
+            cache_hits,
             snapshot_epoch,
             join_build_rows,
             join_probe_rows,
@@ -109,6 +114,7 @@ impl QueryStats {
         self.chunks_scanned += chunks_scanned;
         self.enclave_calls += enclave_calls;
         self.values_decrypted += values_decrypted;
+        self.cache_hits += cache_hits;
         self.snapshot_epoch = self.snapshot_epoch.max(snapshot_epoch);
         self.join_build_rows += join_build_rows;
         self.join_probe_rows += join_probe_rows;
@@ -228,6 +234,7 @@ mod tests {
             join_probe_rows: (seed + 13) as usize,
             bridge_entries: (seed + 14) as usize,
             bridge_ns: seed + 15,
+            cache_hits: (seed + 16) as usize,
         }
     }
 
@@ -264,6 +271,7 @@ mod tests {
             total.values_decrypted,
             before.values_decrypted + side.values_decrypted
         );
+        assert_eq!(total.cache_hits, before.cache_hits + side.cache_hits);
         assert_eq!(
             total.join_build_rows,
             before.join_build_rows + side.join_build_rows

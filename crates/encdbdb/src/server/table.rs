@@ -297,6 +297,8 @@ impl DbaasServer {
                                 values_decrypted: 1,
                                 untrusted_loads: after.untrusted_loads - before.untrusted_loads,
                                 untrusted_bytes: after.untrusted_bytes - before.untrusted_bytes,
+                                cache_hits: 0,
+                                cache_misses: 0,
                             },
                             start_ns,
                             t0.elapsed().as_nanos() as u64,
@@ -442,6 +444,7 @@ impl DbaasServer {
                     enclave: &self.enclave,
                     obs: &obs,
                     parent: pspan.id(),
+                    part: pid as u64,
                 };
                 let (main_rids, delta_rids, _) =
                     super::snapshot::matching_rids_multi(&snap, &t.schema, &ctx, filters, &cfg)?;

@@ -240,11 +240,28 @@ impl EncryptedDeltaStore {
         enclave: &mut DictEnclave,
         range: &EncryptedRange,
     ) -> Result<Vec<RecordId>, EncdictError> {
+        self.search_multi(enclave, std::slice::from_ref(range), None)
+    }
+
+    /// Searches the delta against a whole disjunction in a *single* ECALL
+    /// (one linear scan answers every range at once), unions the matches,
+    /// and filters through the validity vector. `cache` enables the
+    /// in-enclave decrypted-value cache for this delta generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enclave failures.
+    pub fn search_multi(
+        &self,
+        enclave: &mut DictEnclave,
+        ranges: &[EncryptedRange],
+        cache: Option<crate::enclave_ops::CacheTag>,
+    ) -> Result<Vec<RecordId>, EncdictError> {
         let (dict, av) = self.as_dictionary()?;
-        let result = enclave.search(&dict, range)?;
-        let rids = crate::avsearch::search(
+        let results = enclave.search_multi(&dict, ranges, cache)?;
+        let rids = crate::avsearch::search_union(
             &av,
-            &result,
+            &results,
             dict.len(),
             crate::avsearch::SetSearchStrategy::PaperLinear,
             crate::avsearch::Parallelism::Serial,

@@ -51,13 +51,29 @@ pub struct SearchRequest<'a> {
     pub tail: UntrustedMemory<'a>,
     /// Encrypted rotation offset for rotated kinds.
     pub enc_rnd_offset: Option<&'a [u8]>,
-    /// The encrypted range filter τ.
-    pub range: &'a EncryptedRange,
+    /// The encrypted range filters τ — one per range of the column's
+    /// disjunction. A plain comparison/BETWEEN is a one-element slice; an
+    /// `IN (...)` lowering batches all its equality ranges into this one
+    /// request so the whole disjunction costs a single ECALL.
+    pub ranges: &'a [EncryptedRange],
+    /// Generation tag enabling the in-enclave decrypted-value cache for
+    /// this store; `None` disables caching (exact per-call load counts).
+    pub cache: Option<CacheTag>,
 }
 
 impl<'a> SearchRequest<'a> {
     /// Builds a request for `dict` (the query engine's step 7 enrichment).
     pub fn for_dictionary(dict: &'a EncryptedDictionary, range: &'a EncryptedRange) -> Self {
+        Self::for_dictionary_multi(dict, std::slice::from_ref(range), None)
+    }
+
+    /// [`SearchRequest::for_dictionary`] for a whole disjunction, with an
+    /// optional cache generation tag.
+    pub fn for_dictionary_multi(
+        dict: &'a EncryptedDictionary,
+        ranges: &'a [EncryptedRange],
+        cache: Option<CacheTag>,
+    ) -> Self {
         SearchRequest {
             kind: dict.kind(),
             table_name: dict.table_name(),
@@ -67,9 +83,28 @@ impl<'a> SearchRequest<'a> {
             head: dict.head_mem(),
             tail: dict.tail_mem(),
             enc_rnd_offset: dict.enc_rnd_offset(),
-            range,
+            ranges,
+            cache,
         }
     }
+}
+
+/// Identifies one generation of one column store for the in-enclave
+/// decrypted-value cache (DESIGN.md §14). A cached entry is only ever
+/// served while its `(part, epoch, delta)` triple still names the live
+/// store: compaction publish bumps the partition epoch, so entries of the
+/// replaced store simply stop matching — epoch keying *is* the
+/// invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheTag {
+    /// Caller-chosen partition discriminator, unique per partition of a
+    /// table on one server (the partition index).
+    pub part: u64,
+    /// The partition's snapshot epoch at call time.
+    pub epoch: u64,
+    /// `false` = the main store, `true` = the delta store (their entry
+    /// index spaces are unrelated).
+    pub delta: bool,
 }
 
 /// A re-encryption ECALL request (delta-store ingest, §4.3): the enclave
@@ -152,6 +187,10 @@ pub enum AggColumnData<'a> {
         /// Distinct touched codes, ascending; value-table index `i`
         /// resolves to `codes[i]`.
         codes: &'a [u32],
+        /// `(partition discriminator, snapshot epoch)` enabling the
+        /// in-enclave decrypted-value cache for this partition's stores;
+        /// `None` disables caching.
+        cache: Option<(u64, u64)>,
     },
     /// A PLAIN column: the distinct touched values, resolved by the
     /// untrusted caller, indexed directly by value-table index.
@@ -216,6 +255,9 @@ pub enum JoinKeyData<'a> {
         delta: SegmentRef<'a>,
         /// Distinct touched codes, ascending.
         codes: &'a [u32],
+        /// `(partition discriminator, snapshot epoch)` enabling the
+        /// in-enclave decrypted-value cache; `None` disables caching.
+        cache: Option<(u64, u64)>,
     },
     /// A PLAIN key column: the distinct touched values, resolved by the
     /// untrusted caller.
@@ -308,8 +350,9 @@ pub enum DictCall<'a> {
 /// ECALL reply.
 #[derive(Debug)]
 pub enum DictReply {
-    /// Search result (ValueID ranges or list).
-    Search(Result<DictSearchResult, EncdictError>),
+    /// Search results, one per requested range of the disjunction
+    /// (ValueID ranges or lists).
+    Search(Result<Vec<DictSearchResult>, EncdictError>),
     /// Re-encrypted ciphertext bytes.
     Reencrypted(Result<Vec<u8>, EncdictError>),
     /// Rebuilt main store.
@@ -367,15 +410,95 @@ pub fn bridge_key_tables<'k>(
     (map_side(left), map_side(right), matched.len())
 }
 
+/// Key of one cached decrypted value: `(interned column id, partition
+/// discriminator, epoch·2 + store side, entry index)`.
+type CacheKey = (u32, u64, u64, u32);
+
+/// Entry cap of the in-enclave decrypted-value cache. Values are short
+/// (column `max_len` bytes), so even at 256-byte values the cache tops
+/// out around 2 MiB of the ~96 MiB EPC budget (tracked via
+/// `track_alloc`, so it shows up in `trusted_heap_current`).
+const VALUE_CACHE_CAPACITY: usize = 8192;
+
+/// The bounded in-enclave cache of decrypted dictionary/delta entries
+/// (DESIGN.md §14).
+///
+/// * **Keying.** Entries are keyed by column (interned `(table, col)`
+///   pair), the caller's [`CacheTag`] generation (partition, epoch,
+///   main/delta side), and the entry index. Main snapshots are immutable
+///   per epoch and delta stores are append-only between compaction
+///   publishes (the drain happens under the same publish that bumps the
+///   epoch), so a populated entry can never go stale: the new epoch's
+///   probes simply miss.
+/// * **Eviction.** FIFO at [`VALUE_CACHE_CAPACITY`] entries. FIFO (not
+///   LRU) keeps the eviction order independent of which probes *hit*, so
+///   cache-occupancy side channels don't additionally encode hit
+///   recency.
+/// * **Leakage.** A hit answers from trusted memory: 0 untrusted loads,
+///   0 decrypts — so per-call load counts become history-dependent
+///   within an epoch. The ECALL itself is never skipped; see DESIGN.md
+///   §14 for the full leakage delta next to the ED1–ED9 table.
+#[derive(Debug, Default)]
+struct ValueCache {
+    /// Interned `(table, col)` pairs; position = column id. Linear scan —
+    /// a deployment has few columns and interning is once per ECALL.
+    cols: Vec<(String, String)>,
+    map: std::collections::HashMap<CacheKey, Vec<u8>>,
+    order: std::collections::VecDeque<CacheKey>,
+}
+
+impl ValueCache {
+    fn col_id(&mut self, table: &str, col: &str) -> u32 {
+        if let Some(i) = self.cols.iter().position(|(t, c)| t == table && c == col) {
+            return i as u32;
+        }
+        self.cols.push((table.to_string(), col.to_string()));
+        (self.cols.len() - 1) as u32
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<&Vec<u8>> {
+        self.map.get(key)
+    }
+
+    fn insert(&mut self, env: &mut TrustedEnv, key: CacheKey, value: Vec<u8>) {
+        if self.map.len() >= VALUE_CACHE_CAPACITY {
+            if let Some(oldest) = self.order.pop_front() {
+                if let Some(evicted) = self.map.remove(&oldest) {
+                    env.track_free(evicted.len());
+                }
+            }
+        }
+        env.track_alloc(value.len());
+        if let Some(prev) = self.map.insert(key, value) {
+            env.track_free(prev.len());
+        } else {
+            self.order.push_back(key);
+        }
+    }
+}
+
+/// A [`ValueCache`] scoped to one column store generation, handed to the
+/// entry readers.
+struct CacheHandle<'e> {
+    cache: &'e mut ValueCache,
+    colid: u32,
+    part: u64,
+    /// `epoch * 2 + side` (side: 0 = main, 1 = delta).
+    gen: u64,
+}
+
 /// Reads dictionary entries from untrusted memory, decrypting inside the
 /// enclave — the "load into the enclave individually, decrypt them there"
-/// loop of Algorithm 1.
+/// loop of Algorithm 1. With a [`CacheHandle`], entries already decrypted
+/// this generation are served from trusted memory without any untrusted
+/// load or decryption.
 struct EnclaveDictReader<'a, 'e> {
     env: &'e mut TrustedEnv,
     head: UntrustedMemory<'a>,
     tail: UntrustedMemory<'a>,
     len: usize,
     pae: &'e Pae,
+    cache: Option<CacheHandle<'e>>,
 }
 
 impl DictEntryReader for EnclaveDictReader<'_, '_> {
@@ -384,6 +507,14 @@ impl DictEntryReader for EnclaveDictReader<'_, '_> {
     }
 
     fn read_into(&mut self, i: usize, buf: &mut Vec<u8>) -> Result<(), EncdictError> {
+        if let Some(h) = &self.cache {
+            if let Some(pt) = h.cache.get(&(h.colid, h.part, h.gen, i as u32)) {
+                self.env.count_cache_hit();
+                buf.clear();
+                buf.extend_from_slice(pt);
+                return Ok(());
+            }
+        }
         let entry = self
             .env
             .load(self.head, i * HEAD_ENTRY_BYTES, HEAD_ENTRY_BYTES);
@@ -399,17 +530,24 @@ impl DictEntryReader for EnclaveDictReader<'_, '_> {
         self.env.track_free(clen);
         buf.clear();
         buf.extend_from_slice(&pt);
+        if let Some(h) = &mut self.cache {
+            self.env.count_cache_miss();
+            h.cache
+                .insert(&mut *self.env, (h.colid, h.part, h.gen, i as u32), pt);
+        }
         Ok(())
     }
 }
 
 /// The trusted dictionary-search logic.
 ///
-/// Holds an in-enclave RNG for fresh IVs during re-encryption; all other
-/// state (the master key) lives in the [`TrustedEnv`].
+/// Holds an in-enclave RNG for fresh IVs during re-encryption and the
+/// bounded decrypted-value cache; all other state (the master key) lives
+/// in the [`TrustedEnv`].
 #[derive(Debug)]
 pub struct DictLogic {
     rng: StdRng,
+    value_cache: ValueCache,
 }
 
 impl DictLogic {
@@ -417,6 +555,7 @@ impl DictLogic {
     pub fn new() -> Self {
         DictLogic {
             rng: StdRng::from_entropy(),
+            value_cache: ValueCache::default(),
         }
     }
 
@@ -424,6 +563,7 @@ impl DictLogic {
     pub fn with_seed(seed: u64) -> Self {
         DictLogic {
             rng: StdRng::seed_from_u64(seed),
+            value_cache: ValueCache::default(),
         }
     }
 
@@ -434,20 +574,29 @@ impl DictLogic {
     }
 
     fn search(
+        &mut self,
         env: &mut TrustedEnv,
         req: SearchRequest<'_>,
-    ) -> Result<DictSearchResult, EncdictError> {
+    ) -> Result<Vec<DictSearchResult>, EncdictError> {
         let pae = Self::column_pae(env, req.table_name, req.col_name)?;
-        // Line 2: decrypt the range inside the enclave.
-        let range = req.range.decrypt(&pae)?;
+        // Line 2: decrypt the ranges inside the enclave — the whole
+        // disjunction arrives in one ECALL.
+        let queries = req
+            .ranges
+            .iter()
+            .map(|r| r.decrypt(&pae))
+            .collect::<Result<Vec<_>, _>>()?;
         // An empty dictionary (freshly created table before any merge) has
         // nothing to search — and, for rotated kinds, no meaningful
         // rotation offset to validate.
         if req.dict_len == 0 {
-            return Ok(match req.kind.order() {
-                OrderOption::Unsorted => DictSearchResult::Ids(Vec::new()),
-                _ => DictSearchResult::empty_ranges(),
-            });
+            return Ok(queries
+                .iter()
+                .map(|_| match req.kind.order() {
+                    OrderOption::Unsorted => DictSearchResult::Ids(Vec::new()),
+                    _ => DictSearchResult::empty_ranges(),
+                })
+                .collect());
         }
         // Rotated kinds: validate/decrypt the rotation offset (Algorithm 2
         // line 3). The offset itself is not needed by our variant of the
@@ -468,17 +617,38 @@ impl DictLogic {
                 ));
             }
         }
+        let cache = match req.cache {
+            Some(tag) => {
+                let colid = self.value_cache.col_id(req.table_name, req.col_name);
+                Some(CacheHandle {
+                    cache: &mut self.value_cache,
+                    colid,
+                    part: tag.part,
+                    gen: tag.epoch * 2 + tag.delta as u64,
+                })
+            }
+            None => None,
+        };
         let mut reader = EnclaveDictReader {
             env,
             head: req.head,
             tail: req.tail,
             len: req.dict_len,
             pae: &pae,
+            cache,
         };
         match req.kind.order() {
-            OrderOption::Sorted => sorted::search_sorted(&mut reader, &range),
-            OrderOption::Rotated => rotated::search_rotated(&mut reader, &range, req.max_len),
-            OrderOption::Unsorted => unsorted::search_unsorted(&mut reader, &range),
+            OrderOption::Sorted => queries
+                .iter()
+                .map(|q| sorted::search_sorted(&mut reader, q))
+                .collect(),
+            OrderOption::Rotated => queries
+                .iter()
+                .map(|q| rotated::search_rotated(&mut reader, q, req.max_len))
+                .collect(),
+            // A single pass over the dictionary answers every query at
+            // once — the decrypt cost stays `|D|`, not `|D| · ranges`.
+            OrderOption::Unsorted => unsorted::search_unsorted_multi(&mut reader, &queries),
         }
     }
 
@@ -564,15 +734,28 @@ impl DictLogic {
     }
 
     /// Reads and decrypts entry `i` of a head/tail segment — the batched
-    /// `DecryptValue` primitive shared by merge and aggregation.
+    /// `DecryptValue` primitive shared by aggregation and the join bridge.
+    ///
+    /// `tag` is the value-cache generation `(colid, part, gen)` or `None`
+    /// to bypass the cache. Returns `(plaintext, hit)`; on a hit nothing
+    /// crossed the enclave boundary and nothing was decrypted, so callers
+    /// must skip their `values_decrypted`/heap accounting.
     fn read_segment_entry(
+        cache: &mut ValueCache,
         env: &mut TrustedEnv,
         seg: SegmentRef<'_>,
         pae: &Pae,
+        tag: Option<(u32, u64, u64)>,
         i: usize,
-    ) -> Result<Vec<u8>, EncdictError> {
+    ) -> Result<(Vec<u8>, bool), EncdictError> {
         if i >= seg.len {
             return Err(EncdictError::CorruptDictionary("code out of range"));
+        }
+        if let Some((colid, part, gen)) = tag {
+            if let Some(pt) = cache.get(&(colid, part, gen, i as u32)) {
+                env.count_cache_hit();
+                return Ok((pt.clone(), true));
+            }
         }
         let entry = env.load(seg.head, i * HEAD_ENTRY_BYTES, HEAD_ENTRY_BYTES);
         let offset = u64::from_le_bytes(entry[..8].try_into().unwrap()) as usize;
@@ -581,7 +764,12 @@ impl DictLogic {
             return Err(EncdictError::CorruptDictionary("tail offset out of range"));
         }
         let ct = env.load(seg.tail, offset, clen);
-        Ok(pae.decrypt_bytes(ct, crate::build::DICT_VALUE_AAD)?)
+        let pt = pae.decrypt_bytes(ct, crate::build::DICT_VALUE_AAD)?;
+        if let Some((colid, part, gen)) = tag {
+            env.count_cache_miss();
+            cache.insert(env, (colid, part, gen, i as u32), pt.clone());
+        }
+        Ok((pt, false))
     }
 
     fn aggregate(
@@ -599,6 +787,7 @@ impl DictLogic {
     /// plaintext key tables — the same batched `DecryptValue` loop the
     /// aggregate path uses, one decryption per distinct code.
     fn bridge_side_keys(
+        value_cache: &mut ValueCache,
         env: &mut TrustedEnv,
         side: &JoinSideData<'_>,
         values_decrypted: &mut usize,
@@ -611,17 +800,49 @@ impl DictLogic {
         let mut tables = Vec::with_capacity(side.parts.len());
         for part in &side.parts {
             match (part, &pae) {
-                (JoinKeyData::Encrypted { main, delta, codes }, Some(pae)) => {
+                (
+                    JoinKeyData::Encrypted {
+                        main,
+                        delta,
+                        codes,
+                        cache,
+                    },
+                    Some(pae),
+                ) => {
+                    let tag = match (cache, side.col_name) {
+                        (Some((p, e)), Some(col)) => {
+                            Some((value_cache.col_id(side.table_name, col), *p, *e))
+                        }
+                        _ => None,
+                    };
                     let mut table = Vec::with_capacity(codes.len());
                     for &code in *codes {
-                        let pt = if (code as usize) < main.len {
-                            Self::read_segment_entry(env, *main, pae, code as usize)?
+                        let (pt, hit) = if (code as usize) < main.len {
+                            let t = tag.map(|(c, p, e)| (c, p, e * 2));
+                            Self::read_segment_entry(
+                                value_cache,
+                                env,
+                                *main,
+                                pae,
+                                t,
+                                code as usize,
+                            )?
                         } else {
-                            Self::read_segment_entry(env, *delta, pae, code as usize - main.len)?
+                            let t = tag.map(|(c, p, e)| (c, p, e * 2 + 1));
+                            Self::read_segment_entry(
+                                value_cache,
+                                env,
+                                *delta,
+                                pae,
+                                t,
+                                code as usize - main.len,
+                            )?
                         };
-                        *values_decrypted += 1;
-                        *bytes_tracked += pt.len();
-                        env.track_alloc(pt.len());
+                        if !hit {
+                            *values_decrypted += 1;
+                            *bytes_tracked += pt.len();
+                            env.track_alloc(pt.len());
+                        }
                         table.push(pt);
                     }
                     tables.push(table);
@@ -655,8 +876,20 @@ impl DictLogic {
         bytes_tracked: &mut usize,
     ) -> Result<JoinBridgeReply, EncdictError> {
         let mut values_decrypted = 0usize;
-        let left = Self::bridge_side_keys(env, &req.left, &mut values_decrypted, bytes_tracked)?;
-        let right = Self::bridge_side_keys(env, &req.right, &mut values_decrypted, bytes_tracked)?;
+        let left = Self::bridge_side_keys(
+            &mut self.value_cache,
+            env,
+            &req.left,
+            &mut values_decrypted,
+            bytes_tracked,
+        )?;
+        let right = Self::bridge_side_keys(
+            &mut self.value_cache,
+            env,
+            &req.right,
+            &mut values_decrypted,
+            bytes_tracked,
+        )?;
         // Ids are assigned after an in-enclave shuffle, so the numbering
         // carries no key-order information — crucial for rotated/unsorted
         // kinds whose dictionaries hide order.
@@ -700,24 +933,51 @@ impl DictLogic {
                 ));
             }
             let mut tables: Vec<Vec<Vec<u8>>> = Vec::with_capacity(part.columns.len());
-            for (col, pae) in part.columns.iter().zip(&paes) {
+            for ((col, pae), name) in part.columns.iter().zip(&paes).zip(&req.col_names) {
                 match (col, pae) {
-                    (AggColumnData::Encrypted { main, delta, codes }, Some(pae)) => {
+                    (
+                        AggColumnData::Encrypted {
+                            main,
+                            delta,
+                            codes,
+                            cache,
+                        },
+                        Some(pae),
+                    ) => {
+                        let tag = match (cache, name) {
+                            (Some((p, e)), Some(col_name)) => {
+                                Some((self.value_cache.col_id(req.table_name, col_name), *p, *e))
+                            }
+                            _ => None,
+                        };
                         let mut table = Vec::with_capacity(codes.len());
                         for &code in *codes {
-                            let pt = if (code as usize) < main.len {
-                                Self::read_segment_entry(env, *main, pae, code as usize)?
-                            } else {
+                            let (pt, hit) = if (code as usize) < main.len {
+                                let t = tag.map(|(c, p, e)| (c, p, e * 2));
                                 Self::read_segment_entry(
+                                    &mut self.value_cache,
+                                    env,
+                                    *main,
+                                    pae,
+                                    t,
+                                    code as usize,
+                                )?
+                            } else {
+                                let t = tag.map(|(c, p, e)| (c, p, e * 2 + 1));
+                                Self::read_segment_entry(
+                                    &mut self.value_cache,
                                     env,
                                     *delta,
                                     pae,
+                                    t,
                                     code as usize - main.len,
                                 )?
                             };
-                            values_decrypted += 1;
-                            *bytes_tracked += pt.len();
-                            env.track_alloc(pt.len());
+                            if !hit {
+                                values_decrypted += 1;
+                                *bytes_tracked += pt.len();
+                                env.track_alloc(pt.len());
+                            }
                             table.push(pt);
                         }
                         tables.push(table);
@@ -788,7 +1048,7 @@ impl EnclaveLogic for DictLogic {
 
     fn dispatch(&mut self, env: &mut TrustedEnv, call: DictCall<'_>) -> DictReply {
         match call {
-            DictCall::Search(req) => DictReply::Search(Self::search(env, req)),
+            DictCall::Search(req) => DictReply::Search(self.search(env, req)),
             DictCall::Reencrypt(req) => DictReply::Reencrypted(self.reencrypt(env, req)),
             DictCall::Merge(req) => DictReply::Merged(self.merge(env, req)),
             DictCall::Aggregate(req) => DictReply::Aggregated(self.aggregate(env, req)),
@@ -874,7 +1134,25 @@ impl DictEnclave {
         dict: &EncryptedDictionary,
         range: &EncryptedRange,
     ) -> Result<DictSearchResult, EncdictError> {
-        let req = SearchRequest::for_dictionary(dict, range);
+        let mut results = self.search_multi(dict, std::slice::from_ref(range), None)?;
+        Ok(results.pop().expect("one result per range"))
+    }
+
+    /// Searches a whole disjunction (`IN (...)` / multi-range filter) in a
+    /// single ECALL — one result per range, in request order. `cache`
+    /// enables the in-enclave decrypted-value cache for this store
+    /// generation (see [`CacheTag`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`DictEnclave::search`].
+    pub fn search_multi(
+        &mut self,
+        dict: &EncryptedDictionary,
+        ranges: &[EncryptedRange],
+        cache: Option<CacheTag>,
+    ) -> Result<Vec<DictSearchResult>, EncdictError> {
+        let req = SearchRequest::for_dictionary_multi(dict, ranges, cache);
         match self.inner.ecall(DictCall::Search(req)) {
             DictReply::Search(r) => r,
             _ => unreachable!("search call returns search reply"),
@@ -1186,6 +1464,7 @@ mod tests {
                         main: dict_l.segment_ref(),
                         delta: empty,
                         codes: &codes_l,
+                        cache: None,
                     }],
                 },
                 right: JoinSideData {
@@ -1195,6 +1474,7 @@ mod tests {
                         main: dict_r.segment_ref(),
                         delta: empty,
                         codes: &codes_r,
+                        cache: None,
                     }],
                 },
             })

@@ -96,7 +96,7 @@ pub mod range;
 pub mod search;
 
 pub use dict::{EncryptedDictionary, PlainDictionary};
-pub use enclave_ops::DictEnclave;
+pub use enclave_ops::{CacheTag, DictEnclave};
 pub use error::EncdictError;
 pub use kind::{EdKind, LeakageLevel, OrderOption, RepetitionOption};
 pub use range::{EncryptedRange, RangeBound, RangeQuery};

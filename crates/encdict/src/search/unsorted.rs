@@ -30,6 +30,34 @@ pub fn search_unsorted<R: DictEntryReader>(
     Ok(DictSearchResult::Ids(vids))
 }
 
+/// Batched [`search_unsorted`]: answers a whole disjunction in *one* pass
+/// over the dictionary. Each entry is loaded and decrypted once and tested
+/// against every range, so the decrypt cost stays `|D|` instead of
+/// `|D| · ranges`. Returns one result per range, in request order.
+///
+/// # Errors
+///
+/// As [`search_unsorted`].
+pub fn search_unsorted_multi<R: DictEntryReader>(
+    reader: &mut R,
+    ranges: &[RangeQuery],
+) -> Result<Vec<DictSearchResult>, EncdictError> {
+    if ranges.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); ranges.len()];
+    let mut buf = Vec::new();
+    for i in 0..reader.len() {
+        reader.read_into(i, &mut buf)?;
+        for (vids, q) in out.iter_mut().zip(ranges) {
+            if q.contains(&buf) {
+                vids.push(i as u32);
+            }
+        }
+    }
+    Ok(out.into_iter().map(DictSearchResult::Ids).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +101,28 @@ mod tests {
                 .match_count(),
             0
         );
+    }
+
+    #[test]
+    fn multi_search_single_pass_matches_per_range_scans() {
+        let mut r = VecReader::new(["q", "a", "z", "m", "a", "q"]);
+        let ranges = [
+            RangeQuery::equals("a"),
+            RangeQuery::between("m", "q"),
+            RangeQuery::equals("nope"),
+        ];
+        let multi = search_unsorted_multi(&mut r, &ranges).unwrap();
+        // One pass: |D| reads total, not |D| per range.
+        assert_eq!(r.reads, 6, "batched scan reads each entry once");
+        assert_eq!(multi.len(), 3);
+        for (res, q) in multi.iter().zip(&ranges) {
+            let mut fresh = VecReader::new(["q", "a", "z", "m", "a", "q"]);
+            let single = search_unsorted(&mut fresh, q).unwrap();
+            assert_eq!(res.to_vid_list(), single.to_vid_list());
+        }
+        // Empty disjunction: no reads, no results.
+        let mut r2 = VecReader::new(["a", "b"]);
+        assert!(search_unsorted_multi(&mut r2, &[]).unwrap().is_empty());
     }
 
     #[test]

@@ -22,6 +22,12 @@ pub struct EcallCounters {
     pub untrusted_loads: u64,
     /// Total bytes of untrusted memory loaded into the enclave.
     pub untrusted_bytes: u64,
+    /// Entries served from the in-enclave decrypted-value cache (no
+    /// untrusted load, no decryption).
+    pub cache_hits: u64,
+    /// Cache probes that missed and fell through to the counted
+    /// load + decrypt path (and then populated the cache).
+    pub cache_misses: u64,
 }
 
 /// A read-only view of memory residing in the *untrusted* realm.
@@ -102,6 +108,20 @@ impl TrustedEnv {
     #[inline]
     pub(crate) fn count_ecall(&mut self) {
         self.counters.ecalls += 1;
+    }
+
+    /// Records one decrypted-value cache hit (trusted code served an
+    /// entry without touching untrusted memory).
+    #[inline]
+    pub fn count_cache_hit(&mut self) {
+        self.counters.cache_hits += 1;
+    }
+
+    /// Records one decrypted-value cache miss (the probe fell through to
+    /// the counted load + decrypt path).
+    #[inline]
+    pub fn count_cache_miss(&mut self) {
+        self.counters.cache_misses += 1;
     }
 
     /// Registers `bytes` of trusted-heap allocation.

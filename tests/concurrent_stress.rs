@@ -395,6 +395,47 @@ fn delete_racing_a_merge_aborts_the_publish() {
 }
 
 #[test]
+fn compaction_publish_invalidates_the_value_cache() {
+    use encdbdb::EcallKind;
+
+    let mut db = mirrored_session(7950, 200);
+    let q = "SELECT v, w FROM t WHERE v BETWEEN '0010' AND '0019'";
+
+    // Warm the enclave value cache at epoch 0: the repeat query answers
+    // bit-identically and entirely from cached plaintexts.
+    let cold = db.execute(q).unwrap().rows_as_strings();
+    let before = db.leakage_ledger();
+    let warm = db.execute(q).unwrap().rows_as_strings();
+    let warm_search = db.leakage_ledger().since(&before).kind(EcallKind::Search);
+    assert_eq!(warm, cold, "warm repeat must be bit-identical");
+    assert_eq!(warm_search.values_decrypted, 0, "fully cache-served repeat");
+    assert!(warm_search.cache_hits > 0);
+
+    // A write lands in the delta and a merge publishes a new epoch: the
+    // rebuilt main store re-encrypts every entry, so cache entries keyed
+    // to the old generation must never answer post-publish reads.
+    db.execute("INSERT INTO t VALUES ('0015', '0015')").unwrap();
+    db.merge("t").unwrap();
+    let before = db.leakage_ledger();
+    let after = db.execute(q).unwrap().rows_as_strings();
+    let post_search = db.leakage_ledger().since(&before).kind(EcallKind::Search);
+    assert_eq!(
+        after.len(),
+        cold.len() + 1,
+        "the folded insert is visible after the publish"
+    );
+    for row in &after {
+        assert_eq!(row[0], row[1], "stale cached plaintext produced a torn row");
+    }
+    assert!(
+        post_search.values_decrypted > 0,
+        "the new-epoch store is re-decrypted — old-generation cache \
+         entries are dead after a compaction publish"
+    );
+    assert_eq!(db.server().last_stats().snapshot_epoch, 1);
+}
+
+#[test]
 fn metrics_counters_are_monotone_under_concurrent_load() {
     let threads = env_usize("ENCDBDB_STRESS_THREADS", 4);
     let initial = env_usize("ENCDBDB_STRESS_ROWS", 2000).min(400);

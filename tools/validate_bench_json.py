@@ -1,8 +1,11 @@
 #!/usr/bin/env python3
 """Validate BENCH_<area>.json trajectory files against the schema the
-criterion shim emits (schema 1).
+criterion shim emits (schema 1), and optionally gate a fresh run against
+a committed baseline.
 
-Usage: validate_bench_json.py FILE [FILE ...]
+Usage:
+  validate_bench_json.py FILE [FILE ...]
+  validate_bench_json.py --baseline BASELINE FRESH
 
 Each file must be a JSON object with:
   schema      == 1
@@ -11,6 +14,19 @@ Each file must be a JSON object with:
               ids are unique, median_ns/p95_ns are positive integers,
               p95_ns >= median_ns, samples is a positive integer
   env         object mapping ENCDBDB_* knob names to string values
+
+In --baseline mode both files are schema-validated first, then every
+benchmark id present in BOTH files is compared:
+
+  fresh.median_ns <= baseline.median_ns * tolerance
+
+The tolerance defaults to 3.0x — wide enough to absorb shared-CI noise,
+tight enough to catch an accidental O(n) -> O(n^2) regression — and is
+overridable via ENCDBDB_BENCH_TOLERANCE. When the two files' env objects
+differ (e.g. the fresh run was row-bounded), the comparison is skipped
+with a notice instead of failing: medians from different workloads are
+not comparable. Ids present in only one file are reported but never
+fatal, so adding or retiring benchmarks does not break the gate.
 
 Exits non-zero with a per-file message on the first violation.
 """
@@ -65,13 +81,71 @@ def validate(path):
         if not k.startswith("ENCDBDB_") or not isinstance(v, str):
             fail(path, f"env[{k!r}] is not an ENCDBDB_* string knob")
     print(f"{path}: ok ({len(benches)} benchmarks)")
+    return doc
+
+
+def tolerance():
+    raw = os.environ.get("ENCDBDB_BENCH_TOLERANCE", "3.0")
+    try:
+        t = float(raw)
+    except ValueError:
+        print(f"ENCDBDB_BENCH_TOLERANCE={raw!r} is not a number", file=sys.stderr)
+        sys.exit(2)
+    if t < 1.0:
+        print(f"ENCDBDB_BENCH_TOLERANCE={t} must be >= 1.0", file=sys.stderr)
+        sys.exit(2)
+    return t
+
+
+def gate(baseline_path, fresh_path):
+    baseline = validate(baseline_path)
+    fresh = validate(fresh_path)
+    if baseline["area"] != fresh["area"]:
+        fail(fresh_path, f"area {fresh['area']!r} != baseline {baseline['area']!r}")
+    if baseline["env"] != fresh["env"]:
+        print(
+            f"{fresh_path}: env differs from baseline "
+            f"({fresh['env']} vs {baseline['env']}) — regression gate skipped"
+        )
+        return
+    tol = tolerance()
+    base = {b["id"]: b for b in baseline["benchmarks"]}
+    new = {b["id"]: b for b in fresh["benchmarks"]}
+    for bid in sorted(set(base) ^ set(new)):
+        which = "baseline" if bid in base else "fresh run"
+        print(f"{fresh_path}: id {bid!r} only in {which} — not compared")
+    worst = None
+    for bid in sorted(set(base) & set(new)):
+        ratio = new[bid]["median_ns"] / base[bid]["median_ns"]
+        if worst is None or ratio > worst[1]:
+            worst = (bid, ratio)
+        if ratio > tol:
+            fail(
+                fresh_path,
+                f"regression on {bid!r}: median {new[bid]['median_ns']} ns is "
+                f"{ratio:.2f}x the baseline {base[bid]['median_ns']} ns "
+                f"(tolerance {tol}x)",
+            )
+    if worst is None:
+        fail(fresh_path, "no shared benchmark ids with the baseline")
+    print(
+        f"{fresh_path}: within {tol}x of {baseline_path} "
+        f"(worst {worst[1]:.2f}x on {worst[0]!r})"
+    )
 
 
 def main():
-    if len(sys.argv) < 2:
+    args = sys.argv[1:]
+    if args and args[0] == "--baseline":
+        if len(args) != 3:
+            print(__doc__.strip(), file=sys.stderr)
+            sys.exit(2)
+        gate(args[1], args[2])
+        return
+    if not args:
         print(__doc__.strip(), file=sys.stderr)
         sys.exit(2)
-    for path in sys.argv[1:]:
+    for path in args:
         validate(path)
 
 
