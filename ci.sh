@@ -40,6 +40,11 @@ run env ENCDBDB_STRESS_THREADS=4 ENCDBDB_STRESS_ROWS=2000 \
 # The leakage-audit suite: the ECALL ledger's observed per-kind leakage
 # for all 9 ED kinds + PLAIN against the DESIGN.md §2/§10/§11 bounds.
 run cargo test -q --offline --test security
+# The ECALL-batching differential suite: batched scheduler vs bypass must
+# be bit-identical in results AND leakage ledgers (all 9 ED kinds + PLAIN,
+# proptest interleavings, forced coalescing, compaction publish mid-batch).
+run env ENCDBDB_STRESS_THREADS=4 \
+    cargo test -q --offline --test batching_differential
 # Benches are excluded from `cargo test` (they are timed loops); keep them
 # compiling — including the analytic-engine aggregate bench, the
 # snapshot/compaction bench, the partition-layer bench and the join
@@ -51,6 +56,9 @@ run cargo bench --no-run --offline -p encdbdb-bench --bench partition
 run cargo bench --no-run --offline -p encdbdb-bench --bench join
 run cargo bench --no-run --offline -p encdbdb-bench --bench durability
 run cargo bench --no-run --offline -p encdbdb-bench --bench cache
+run cargo bench --no-run --offline -p encdbdb-bench --bench concurrency
+# The concurrent-reader load generator (README "Concurrent throughput").
+run cargo build --release --offline -p encdbdb-bench --bin loadgen
 # The bench-trajectory emit mode: one fast bounded bench run writing
 # BENCH_*.json into a temp dir, validated against the emit schema (the
 # committed baselines under baselines/ are validated the same way).
@@ -70,5 +78,25 @@ run env ENCDBDB_BENCH_JSON="$BENCH_JSON_DIR" \
     cargo bench -q --offline -p encdbdb-bench --bench av_search
 run python3 tools/validate_bench_json.py --baseline \
     baselines/BENCH_av_search.json "$BENCH_JSON_DIR"/BENCH_av_search.json
+# Regression gates for the analytic engine and the join bridge, run with
+# the same bounded row knobs their committed baselines were emitted with
+# (the validator skips the comparison if the env objects differ).
+run env ENCDBDB_BENCH_JSON="$BENCH_JSON_DIR" ENCDBDB_AGG_ROWS=100000 \
+    cargo bench -q --offline -p encdbdb-bench --bench aggregate
+run python3 tools/validate_bench_json.py --baseline \
+    baselines/BENCH_aggregate.json "$BENCH_JSON_DIR"/BENCH_aggregate.json
+run env ENCDBDB_BENCH_JSON="$BENCH_JSON_DIR" ENCDBDB_JOIN_ROWS=100000 \
+    cargo bench -q --offline -p encdbdb-bench --bench join
+run python3 tools/validate_bench_json.py --baseline \
+    baselines/BENCH_join.json "$BENCH_JSON_DIR"/BENCH_join.json
+# The concurrent-throughput gate (DESIGN.md §15): a fresh 1/4/16/64
+# session ladder under the simulated 500 µs enclave-transition cost,
+# compared against the committed baseline AND required to show >= 2x
+# batched-over-bypass queries/sec at 16 sessions.
+run env ENCDBDB_BENCH_JSON="$BENCH_JSON_DIR" ENCDBDB_SIM_TRANSITION_NS=500000 \
+    cargo bench -q --offline -p encdbdb-bench --bench concurrency
+run python3 tools/validate_bench_json.py --baseline \
+    baselines/BENCH_concurrency.json "$BENCH_JSON_DIR"/BENCH_concurrency.json
+run python3 tools/check_batching_speedup.py "$BENCH_JSON_DIR"/BENCH_concurrency.json
 
 echo "==> CI green"

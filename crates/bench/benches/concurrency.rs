@@ -1,0 +1,126 @@
+//! Criterion benchmark for cross-session ECALL batching (DESIGN.md §15):
+//! a 1/4/16/64 concurrent-reader ladder driving the `workload` read mix
+//! through both scheduler legs — batched (flat-combining, one enclave
+//! transition per round) and bypass (one transition per call, the
+//! pre-scheduler behaviour).
+//!
+//! The functional enclave simulator charges zero time per transition by
+//! default, which would make transition coalescing invisible in wall
+//! clock. This bench therefore pins `ENCDBDB_SIM_TRANSITION_NS` (500 µs
+//! unless the caller already set it) before the first enclave call, so
+//! every ECALL pays a simulated EENTER/EEXIT cost and the measured
+//! queries/sec reflects the amortisation real SGX hardware would see.
+//!
+//! Quick run: `cargo bench -p encdbdb-bench --bench concurrency`
+//! Knobs: `ENCDBDB_CONC_ROWS` (default 256), `ENCDBDB_CONC_QUERIES`
+//! (reads per session per wave, default 16), `ENCDBDB_SIM_TRANSITION_NS`.
+
+use colstore::column::Column;
+use colstore::table::Table;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use encdbdb::{ColumnSpec, DictChoice, Session, TableSchema};
+use encdict::EdKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::{Op, ScheduleGen, ScheduleSpec};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One merged ED2 column over the workload value domain, kept small so the
+/// in-enclave work per query stays well below the transition cost and the
+/// ladder isolates transition amortisation.
+fn build_session(rows: usize) -> Session {
+    let mut v = Column::new("v", 8);
+    for i in 0..rows {
+        v.push(format!("{:04}", i % 100).as_bytes()).expect("push");
+    }
+    let mut table = Table::new("t");
+    table.add_column(v).expect("column");
+    let schema = TableSchema::new(
+        "t",
+        vec![ColumnSpec::new("v", DictChoice::Encrypted(EdKind::Ed2), 8)],
+    );
+    let mut db = Session::with_seed(0xBEEF).expect("session");
+    db.load_table(&table, schema).expect("load");
+    db
+}
+
+/// Pre-renders one read-only SQL stream per session (range + aggregate
+/// mix) so the measured wave pays only execution.
+fn query_streams(sessions: usize, queries: usize) -> Vec<Vec<String>> {
+    (0..sessions)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(0x10AD + i as u64);
+            let gen = ScheduleGen::new(ScheduleSpec::default());
+            gen.generate_reads(&mut rng, queries)
+                .into_iter()
+                .filter_map(|op| match op {
+                    Op::RangeRead { .. } | Op::AggRead { .. } => op.render_sql("t", "v"),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One wave: every session's reader thread drains its stream once.
+fn run_wave(db: &Session, streams: &[Vec<String>]) {
+    std::thread::scope(|scope| {
+        for (i, stream) in streams.iter().enumerate() {
+            let mut reader = db.reader(0x5EED + i as u64);
+            scope.spawn(move || {
+                for q in stream {
+                    reader.execute(q).expect("query");
+                }
+            });
+        }
+    });
+}
+
+fn bench_concurrent_qps(c: &mut Criterion) {
+    // Pin the simulated transition cost before the first enclave call —
+    // the simulator reads it once, process-wide. 500 µs approximates the
+    // SGX enter/exit + EPC-pressure regime analysed in DESIGN.md §15.
+    if std::env::var("ENCDBDB_SIM_TRANSITION_NS").is_err() {
+        std::env::set_var("ENCDBDB_SIM_TRANSITION_NS", "500000");
+    }
+    let rows = env_usize("ENCDBDB_CONC_ROWS", 256);
+    let queries = env_usize("ENCDBDB_CONC_QUERIES", 16);
+    let db = build_session(rows);
+
+    let mut group = c.benchmark_group("qps");
+    group.sample_size(10);
+    for sessions in [1usize, 4, 16, 64] {
+        let streams = query_streams(sessions, queries);
+        let issued: usize = streams.iter().map(Vec::len).sum();
+        group.throughput(Throughput::Elements(issued as u64));
+        for (label, batched) in [("batched", true), ("bypass", false)] {
+            db.server().set_ecall_batching(batched);
+            group.bench_function(BenchmarkId::new(sessions.to_string(), label), |b| {
+                b.iter(|| run_wave(&db, &streams))
+            });
+        }
+    }
+    group.finish();
+    db.server().set_ecall_batching(true);
+
+    let report = db.server().obs().metrics_report();
+    println!(
+        "  rows={rows} queries/session={queries} transitions={} batches={} coalesced={}",
+        report.counter("ecalls_total"),
+        report.counter("ecall_batches_total"),
+        report.counter("batched_calls_total"),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_concurrent_qps
+}
+criterion_main!(benches);

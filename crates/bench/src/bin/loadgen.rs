@@ -1,0 +1,175 @@
+//! Concurrent-reader load generator for the cross-session ECALL batching
+//! scheduler (DESIGN.md §15).
+//!
+//! Spawns N reader sessions against one shared server and drives a
+//! read-only `workload` query mix (range selects + aggregates) through
+//! both scheduler legs — batched (the default flat-combining path) and
+//! bypass (one enclave lock acquisition per call, the pre-scheduler
+//! behavior) — reporting queries/sec, p50/p95 latency, and how many
+//! enclave transitions the batch coalescing saved.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p encdbdb-bench --release --bin loadgen -- \
+//!     [--sessions 16] [--queries 200] [--rows 20000] \
+//!     [--mode both|batched|bypass] [--sweep]
+//! ```
+//!
+//! `--sweep` runs the 1/4/16/64 session ladder used by
+//! `benches/concurrency.rs` and `baselines/BENCH_concurrency.json`.
+
+use colstore::column::Column;
+use colstore::table::Table;
+use encdbdb::{ColumnSpec, DictChoice, Session, TableSchema};
+use encdbdb_bench::CliArgs;
+use encdict::EdKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+use workload::{Op, ScheduleGen, ScheduleSpec};
+
+/// Builds a session over one merged ED2 column preloaded with `rows`
+/// values from the workload domain.
+fn build_session(rows: usize) -> Session {
+    let mut v = Column::new("v", 8);
+    for i in 0..rows {
+        v.push(format!("{:04}", i % 100).as_bytes()).expect("push");
+    }
+    let mut table = Table::new("t");
+    table.add_column(v).expect("column");
+    let schema = TableSchema::new(
+        "t",
+        vec![ColumnSpec::new("v", DictChoice::Encrypted(EdKind::Ed2), 8)],
+    );
+    let mut db = Session::with_seed(0xBEEF).expect("session");
+    db.load_table(&table, schema).expect("load");
+    db
+}
+
+/// Pre-renders a read-only query stream per session so the measured loop
+/// pays only execution, not generation.
+fn query_streams(sessions: usize, queries: usize) -> Vec<Vec<String>> {
+    (0..sessions)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(0x10AD + i as u64);
+            let gen = ScheduleGen::new(ScheduleSpec::default());
+            gen.generate_reads(&mut rng, queries)
+                .into_iter()
+                .filter_map(|op| match op {
+                    Op::RangeRead { .. } | Op::AggRead { .. } => op.render_sql("t", "v"),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct LegResult {
+    qps: f64,
+    p50: Duration,
+    p95: Duration,
+    transitions: u64,
+    batches: u64,
+    batched_calls: u64,
+}
+
+/// Runs one leg: `sessions` reader threads each executing its stream,
+/// with the scheduler either batching or bypassed.
+fn run_leg(db: &Session, streams: &[Vec<String>], batched: bool) -> LegResult {
+    db.server().set_ecall_batching(batched);
+    let report0 = db.server().obs().metrics_report();
+    let readers: Vec<_> = (0..streams.len())
+        .map(|i| db.reader(0x5EED + i as u64))
+        .collect();
+    let wall = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = readers
+            .into_iter()
+            .zip(streams)
+            .map(|(mut reader, stream)| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(stream.len());
+                    for q in stream {
+                        let t0 = Instant::now();
+                        reader.execute(q).expect("query");
+                        lat.push(t0.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("reader thread"))
+            .collect()
+    });
+    let wall = wall.elapsed();
+    let report1 = db.server().obs().metrics_report();
+    latencies.sort_unstable();
+    let total = latencies.len();
+    LegResult {
+        qps: total as f64 / wall.as_secs_f64(),
+        p50: latencies[total / 2],
+        p95: latencies[(total * 95).div_ceil(100).max(1) - 1],
+        transitions: report1.counter("ecalls_total") - report0.counter("ecalls_total"),
+        batches: report1.counter("ecall_batches_total") - report0.counter("ecall_batches_total"),
+        batched_calls: report1.counter("batched_calls_total")
+            - report0.counter("batched_calls_total"),
+    }
+}
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+fn run_point(db: &Session, sessions: usize, queries: usize, modes: &[(&str, bool)]) {
+    let streams = query_streams(sessions, queries);
+    let issued: usize = streams.iter().map(Vec::len).sum();
+    let mut batched_qps = None;
+    for &(name, on) in modes {
+        let r = run_leg(db, &streams, on);
+        if on {
+            batched_qps = Some(r.qps);
+        }
+        let speedup = match (on, batched_qps) {
+            (false, Some(b)) if r.qps > 0.0 => format!("  ({:.2}x batched/bypass)", b / r.qps),
+            _ => String::new(),
+        };
+        println!(
+            "sessions {sessions:>3}  {name:<8} {:>9.0} q/s  p50 {:>8} ms  p95 {:>8} ms  \
+             {:>5} transitions for {issued} queries ({} batches, {} coalesced){speedup}",
+            r.qps,
+            fmt_ms(r.p50),
+            fmt_ms(r.p95),
+            r.transitions,
+            r.batches,
+            r.batched_calls,
+        );
+    }
+}
+
+fn main() {
+    let cli = CliArgs::from_env();
+    let rows = cli.usize_of("rows", 20_000);
+    let queries = cli.usize_of("queries", 200);
+    let sessions = cli.usize_of("sessions", 16);
+    let mode = cli.value_of("mode").unwrap_or("both");
+    let modes: Vec<(&str, bool)> = match mode {
+        "batched" => vec![("batched", true)],
+        "bypass" => vec![("bypass", false)],
+        _ => vec![("batched", true), ("bypass", false)],
+    };
+
+    let db = build_session(rows);
+    println!(
+        "loadgen: {rows} preloaded rows, {queries} read queries per session \
+         (workload range/agg mix)"
+    );
+    if cli.has_flag("sweep") {
+        for n in [1usize, 4, 16, 64] {
+            run_point(&db, n, queries, &modes);
+        }
+    } else {
+        run_point(&db, sessions, queries, &modes);
+    }
+}

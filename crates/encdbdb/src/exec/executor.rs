@@ -40,13 +40,16 @@ use crate::exec::aggregate::{build_histogram, remap_codes, ColumnCodes, Remapped
 use crate::exec::plan::AggregatePlan;
 use crate::obs::{EcallIo, EcallKind, SpanId};
 use crate::server::{
-    fan_out, matching_rids_multi, CellValue, ColumnDelta, DbaasServer, EnclaveCtx, MainColumn,
-    QueryStats, SelectResponse, ServerFilter,
+    fan_out, matching_rids_multi, BatchKey, CallClass, CellValue, ColumnDelta, DbaasServer,
+    EnclaveCtx, MainColumn, QueryStats, SelectResponse, ServerFilter,
 };
 use colstore::delta::DeltaStore;
 use colstore::dictionary::RecordId;
 use encdict::aggregate::{AggPlanSpec, AggSpec, GroupPartials, OutputItem};
-use encdict::enclave_ops::{AggCell, AggColumnData, AggPartitionData, AggregateRequest};
+use encdict::batch::{
+    OwnedAggColumn, OwnedAggPartition, OwnedAggregateCall, OwnedDictCall, SegSource,
+};
+use encdict::enclave_ops::{AggCell, DictReply};
 use encdict::PlainDictionary;
 
 /// Resolves the distinct touched codes of a PLAIN column to their values
@@ -190,7 +193,7 @@ impl DbaasServer {
         let scans = fan_out(active, |pid, snap| {
             let pspan = obs_ref.span_arg("partition", "query", scan_span.id(), pid as u64);
             let ctx = EnclaveCtx {
-                enclave: self.query_enclave_handle(),
+                sched: self.scheduler(),
                 obs: obs_ref,
                 parent: pspan.id(),
                 part: pid as u64,
@@ -240,34 +243,43 @@ impl DbaasServer {
         // partition, with the partial-aggregate merge in the trusted core.
         let agg_start = std::time::Instant::now();
         let rows: Vec<Vec<CellValue>> = if any_encrypted {
-            // Partitions with no matching rows contribute no part.
-            let part_data: Vec<AggPartitionData<'_>> = active
+            // Partitions with no matching rows contribute no part. The
+            // request is built in owned form (Arc'd main generations,
+            // copied delta segments) so it can ride a combined transition
+            // of the cross-session scheduler; its generation key is the
+            // maximum epoch among the included partition snapshots.
+            let mut generation = 0u64;
+            let part_data: Vec<OwnedAggPartition> = active
                 .iter()
                 .zip(&parts)
                 .filter(|(_, scan)| !scan.remapped.tuples.is_empty())
-                .map(|((pid, snap), scan)| AggPartitionData {
-                    columns: ref_idx
-                        .iter()
-                        .enumerate()
-                        .map(
-                            |(c, &idx)| match (&snap.main.columns[idx], &snap.deltas[idx]) {
-                                (MainColumn::Encrypted(main), ColumnDelta::Encrypted(delta)) => {
-                                    AggColumnData::Encrypted {
-                                        main: main.dict().segment_ref(),
-                                        delta: delta.segment_ref(),
-                                        codes: &scan.remapped.codes[c],
+                .map(|((pid, snap), scan)| {
+                    generation = generation.max(snap.epoch());
+                    OwnedAggPartition {
+                        columns: ref_idx
+                            .iter()
+                            .enumerate()
+                            .map(
+                                |(c, &idx)| match (&snap.main.columns[idx], &snap.deltas[idx]) {
+                                    (
+                                        MainColumn::Encrypted(main),
+                                        ColumnDelta::Encrypted(delta),
+                                    ) => OwnedAggColumn::Encrypted {
+                                        main: SegSource::Shared(main.dict_arc()),
+                                        delta: delta.owned_segment(),
+                                        codes: scan.remapped.codes[c].clone(),
                                         cache: Some((*pid as u64, snap.epoch())),
-                                    }
-                                }
-                                _ => AggColumnData::Plain {
-                                    values: scan.plain_tables[c]
-                                        .as_deref()
-                                        .expect("resolved above"),
+                                    },
+                                    _ => OwnedAggColumn::Plain {
+                                        values: scan.plain_tables[c]
+                                            .clone()
+                                            .expect("resolved above"),
+                                    },
                                 },
-                            },
-                        )
-                        .collect(),
-                    tuples: &scan.remapped.tuples,
+                            )
+                            .collect(),
+                        tuples: scan.remapped.tuples.clone(),
+                    }
                 })
                 .collect();
             if part_data.is_empty() && !spec.group_cols.is_empty() {
@@ -290,8 +302,8 @@ impl DbaasServer {
                             .columns
                             .iter()
                             .map(|c| match c {
-                                AggColumnData::Encrypted { codes, .. } => 4 * codes.len() as u64,
-                                AggColumnData::Plain { values } => {
+                                OwnedAggColumn::Encrypted { codes, .. } => 4 * codes.len() as u64,
+                                OwnedAggColumn::Plain { values } => {
                                     values.iter().map(|v| v.len() as u64).sum()
                                 }
                             })
@@ -299,47 +311,57 @@ impl DbaasServer {
                         cols + 4 * p.tuples.len() as u64
                     })
                     .sum();
-                let start_ns = obs.now_ns();
-                let t0 = std::time::Instant::now();
-                let mut enclave = self.enclave();
-                let before = enclave.enclave().counters();
-                let reply = enclave.aggregate(AggregateRequest {
-                    table_name: &t.schema.name,
-                    col_names: col_names.clone(),
-                    parts: part_data,
-                    plan: &spec,
-                })?;
-                let after = enclave.enclave().counters();
-                drop(enclave);
-                let bytes_out: u64 = reply
-                    .rows
-                    .iter()
-                    .map(|row| {
-                        row.iter()
-                            .map(|cell| match cell {
-                                AggCell::Encrypted(b) | AggCell::Plain(b) => b.len() as u64,
-                            })
-                            .sum::<u64>()
-                    })
-                    .sum();
-                obs.ecall(
-                    EcallKind::Aggregate,
-                    EcallIo {
-                        bytes_in,
-                        bytes_out,
-                        values_decrypted: reply.values_decrypted as u64,
-                        untrusted_loads: after.untrusted_loads - before.untrusted_loads,
-                        untrusted_bytes: after.untrusted_bytes - before.untrusted_bytes,
-                        cache_hits: after.cache_hits - before.cache_hits,
-                        cache_misses: after.cache_misses - before.cache_misses,
+                let outcome = self.scheduler().submit(
+                    OwnedDictCall::Aggregate(OwnedAggregateCall {
+                        table_name: t.schema.name.clone(),
+                        col_names: col_names.iter().map(|n| n.map(str::to_string)).collect(),
+                        parts: part_data,
+                        plan: spec.clone(),
+                    }),
+                    BatchKey {
+                        class: CallClass::Aggregate,
+                        generation,
                     },
-                    start_ns,
-                    t0.elapsed().as_nanos() as u64,
-                    parent,
                 );
+                let batched = outcome.batched();
+                let reply = match outcome.reply {
+                    DictReply::Aggregated(Ok(reply)) => reply,
+                    DictReply::Aggregated(Err(e)) => return Err(e.into()),
+                    _ => unreachable!("aggregate call returns aggregate reply"),
+                };
+                if !batched {
+                    let bytes_out: u64 = reply
+                        .rows
+                        .iter()
+                        .map(|row| {
+                            row.iter()
+                                .map(|cell| match cell {
+                                    AggCell::Encrypted(b) | AggCell::Plain(b) => b.len() as u64,
+                                })
+                                .sum::<u64>()
+                        })
+                        .sum();
+                    obs.ecall(
+                        EcallKind::Aggregate,
+                        EcallIo {
+                            bytes_in,
+                            bytes_out,
+                            values_decrypted: reply.values_decrypted as u64,
+                            untrusted_loads: outcome.untrusted_loads,
+                            untrusted_bytes: outcome.untrusted_bytes,
+                            cache_hits: outcome.cache_hits,
+                            cache_misses: outcome.cache_misses,
+                        },
+                        outcome.start_ns,
+                        outcome.dur_ns,
+                        parent,
+                    );
+                }
                 stats.enclave_calls += 1;
                 stats.values_decrypted += reply.values_decrypted;
-                stats.cache_hits += (after.cache_hits - before.cache_hits) as usize;
+                stats.cache_hits += outcome.cache_hits as usize;
+                stats.ecall_wait_ns += outcome.wait_ns;
+                stats.batch_peers += outcome.peers - 1;
                 reply
                     .rows
                     .into_iter()

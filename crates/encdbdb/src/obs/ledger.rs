@@ -37,16 +37,22 @@ pub enum EcallKind {
     JoinBridge,
     /// Compaction merge (rebuild one column's main dictionary).
     Merge,
+    /// A cross-session batched transition: several sessions' read calls
+    /// coalesced into one enclave entry by the ECALL scheduler. The
+    /// record's `batch_size` says how many sub-calls rode along; its
+    /// payload totals are the union (sum) of the coalesced requests.
+    Batch,
 }
 
 impl EcallKind {
     /// Every kind, in declaration (= report) order.
-    pub const ALL: [EcallKind; 5] = [
+    pub const ALL: [EcallKind; 6] = [
         EcallKind::Search,
         EcallKind::Reencrypt,
         EcallKind::Aggregate,
         EcallKind::JoinBridge,
         EcallKind::Merge,
+        EcallKind::Batch,
     ];
 
     /// Stable lowercase name used in JSON exports.
@@ -57,6 +63,7 @@ impl EcallKind {
             EcallKind::Aggregate => "aggregate",
             EcallKind::JoinBridge => "join_bridge",
             EcallKind::Merge => "merge",
+            EcallKind::Batch => "batch",
         }
     }
 
@@ -68,6 +75,7 @@ impl EcallKind {
             EcallKind::Aggregate => "ecall.aggregate",
             EcallKind::JoinBridge => "ecall.join_bridge",
             EcallKind::Merge => "ecall.merge",
+            EcallKind::Batch => "ecall.batch",
         }
     }
 
@@ -100,6 +108,9 @@ pub struct EcallRecord {
     pub cache_hits: u64,
     /// Wall-clock duration of the call, in nanoseconds.
     pub dur_ns: u64,
+    /// Coalesced sub-calls executed in this transition: 1 for a native
+    /// call, ≥ 2 for an [`EcallKind::Batch`] record.
+    pub batch_size: u64,
 }
 
 #[derive(Debug, Default)]
@@ -140,7 +151,7 @@ pub struct KindTotals {
 #[derive(Debug)]
 pub(crate) struct Ledger {
     seq: AtomicU64,
-    kinds: [KindCell; 5],
+    kinds: [KindCell; 6],
     records: Mutex<VecDeque<EcallRecord>>,
 }
 
@@ -265,6 +276,7 @@ mod tests {
             untrusted_bytes: 64,
             cache_hits: 0,
             dur_ns: 100,
+            batch_size: 1,
         }
     }
 

@@ -130,6 +130,24 @@ impl Obs {
         dur_ns: u64,
         parent: SpanId,
     ) {
+        self.ecall_batched(kind, io, start_ns, dur_ns, parent, 1);
+    }
+
+    /// [`Obs::ecall`] for a transition that coalesced `batch_size`
+    /// sub-calls (the cross-session ECALL scheduler). Still ONE ledger
+    /// record, ONE `ecalls_total` increment and ONE trace span — the
+    /// whole point is that the transition count stays 1 — but the record
+    /// carries the batch size and the batch counters/occupancy histogram
+    /// are bumped so batching stays auditable.
+    pub(crate) fn ecall_batched(
+        &self,
+        kind: EcallKind,
+        io: EcallIo,
+        start_ns: u64,
+        dur_ns: u64,
+        parent: SpanId,
+        batch_size: u64,
+    ) {
         self.inner.ledger.append(EcallRecord {
             seq: 0,
             kind,
@@ -140,7 +158,13 @@ impl Obs {
             untrusted_bytes: io.untrusted_bytes,
             cache_hits: io.cache_hits,
             dur_ns,
+            batch_size,
         });
+        if batch_size > 1 {
+            self.add(Counter::EcallBatchesTotal, 1);
+            self.add(Counter::BatchedCallsTotal, batch_size);
+            self.record(Hist::BatchOccupancy, batch_size);
+        }
         self.add(Counter::EcallsTotal, 1);
         self.add(Counter::ValuesDecryptedTotal, io.values_decrypted);
         self.add(Counter::UntrustedLoadsTotal, io.untrusted_loads);

@@ -58,6 +58,8 @@ metric_keys! {
     TraceEventsDroppedTotal => "trace_events_dropped_total",
     ValueCacheHitsTotal => "value_cache_hits_total",
     ValueCacheMissesTotal => "value_cache_misses_total",
+    EcallBatchesTotal => "ecall_batches_total",
+    BatchedCallsTotal => "batched_calls_total",
 }
 
 metric_keys! {
@@ -75,6 +77,8 @@ metric_keys! {
     WalFsyncNs => "wal_fsync_ns",
     SnapshotPersistNs => "snapshot_persist_ns",
     RecoveryNs => "recovery_ns",
+    EcallWaitNs => "ecall_wait_ns",
+    BatchOccupancy => "batch_occupancy",
 }
 
 /// Number of log₂ buckets: bucket `i` holds samples whose value `v`

@@ -21,16 +21,17 @@
 //!   smoothing/hiding kinds never qualify — their dictionaries map one
 //!   value to many entries, so only the bridge sees equality.
 
+use super::scheduler::{BatchKey, CallClass};
 use super::snapshot::{fan_out, matching_rids_multi, EnclaveCtx, TableSnapshot};
 use super::{
-    lock, CellValue, ColumnDelta, DbaasServer, JoinSideQuery, MainColumn, QueryStats,
-    SelectResponse,
+    CellValue, ColumnDelta, DbaasServer, JoinSideQuery, MainColumn, QueryStats, SelectResponse,
 };
 use crate::error::DbError;
 use crate::obs::{EcallIo, EcallKind, SpanId};
 use crate::schema::DictChoice;
 use colstore::dictionary::RecordId;
-use encdict::enclave_ops::{bridge_key_tables, JoinBridgeRequest, JoinKeyData, JoinSideData};
+use encdict::batch::{OwnedDictCall, OwnedJoinBridgeCall, OwnedJoinKey, OwnedJoinSide, SegSource};
+use encdict::enclave_ops::{bridge_key_tables, DictReply};
 use encdict::RepetitionOption;
 use std::collections::{BTreeSet, HashMap};
 
@@ -71,7 +72,7 @@ fn scan_side(
     let scans = fan_out(&ts.active, |pid, snap| {
         let pspan = obs_ref.span_arg("partition", "query", parent, pid as u64);
         let ctx = EnclaveCtx {
-            enclave: server.query_enclave_handle(),
+            sched: server.scheduler(),
             obs: obs_ref,
             parent: pspan.id(),
             part: pid as u64,
@@ -355,16 +356,19 @@ impl DbaasServer {
         }
 
         // The general case (mixed protections or both encrypted): one
-        // JoinBridge ECALL for the whole query.
-        fn build_side<'a>(
-            ts: &'a TableSnapshot,
-            table: &'a str,
-            key: &'a str,
+        // JoinBridge ECALL for the whole query, built in owned form
+        // (Arc'd main generations, copied delta segments) so it can ride
+        // a combined transition of the cross-session scheduler.
+        fn build_side(
+            ts: &TableSnapshot,
+            table: &str,
+            key: &str,
             key_idx: usize,
             encrypted: bool,
-            scan: &'a [SidePartScan],
-            plain: &'a Option<Vec<Vec<Vec<u8>>>>,
-        ) -> JoinSideData<'a> {
+            scan: &[SidePartScan],
+            plain: &Option<Vec<Vec<Vec<u8>>>>,
+            generation: &mut u64,
+        ) -> OwnedJoinSide {
             let parts = if encrypted {
                 ts.active
                     .iter()
@@ -375,10 +379,11 @@ impl DbaasServer {
                         else {
                             unreachable!("schema says the key column is encrypted");
                         };
-                        JoinKeyData::Encrypted {
-                            main: main.dict().segment_ref(),
-                            delta: delta.segment_ref(),
-                            codes: &part.distinct,
+                        *generation = (*generation).max(snap.epoch());
+                        OwnedJoinKey::Encrypted {
+                            main: SegSource::Shared(main.dict_arc()),
+                            delta: delta.owned_segment(),
+                            codes: part.distinct.clone(),
                             cache: Some((*pid as u64, snap.epoch())),
                         }
                     })
@@ -388,16 +393,19 @@ impl DbaasServer {
                     .as_ref()
                     .expect("resolved above")
                     .iter()
-                    .map(|values| JoinKeyData::Plain { values })
+                    .map(|values| OwnedJoinKey::Plain {
+                        values: values.clone(),
+                    })
                     .collect()
             };
-            JoinSideData {
-                table_name: table,
-                col_name: encrypted.then_some(key),
+            OwnedJoinSide {
+                table_name: table.to_string(),
+                col_name: encrypted.then(|| key.to_string()),
                 parts,
             }
         }
-        let req = JoinBridgeRequest {
+        let mut generation = 0u64;
+        let req = OwnedJoinBridgeCall {
             left: build_side(
                 lts,
                 &left.table,
@@ -406,6 +414,7 @@ impl DbaasServer {
                 matches!(lkey_spec.choice, DictChoice::Encrypted(_)),
                 lscan,
                 &lplain,
+                &mut generation,
             ),
             right: build_side(
                 rts,
@@ -415,49 +424,59 @@ impl DbaasServer {
                 matches!(rkey_spec.choice, DictChoice::Encrypted(_)),
                 rscan,
                 &rplain,
+                &mut generation,
             ),
         };
         // Request payload: 4 bytes per distinct encrypted code plus the
         // resolved plaintexts of a PLAIN side; reply payload: one 4-byte
         // bridge-id slot per distinct code of either side.
-        let side_bytes = |side: &JoinSideData<'_>| -> u64 {
+        let side_bytes = |side: &OwnedJoinSide| -> u64 {
             side.parts
                 .iter()
                 .map(|p| match p {
-                    JoinKeyData::Encrypted { codes, .. } => 4 * codes.len() as u64,
-                    JoinKeyData::Plain { values } => values.iter().map(|v| v.len() as u64).sum(),
+                    OwnedJoinKey::Encrypted { codes, .. } => 4 * codes.len() as u64,
+                    OwnedJoinKey::Plain { values } => values.iter().map(|v| v.len() as u64).sum(),
                 })
                 .sum()
         };
         let bytes_in = side_bytes(&req.left) + side_bytes(&req.right);
-        let obs = self.obs().clone();
-        let start_ns = obs.now_ns();
-        let t0 = std::time::Instant::now();
-        let mut enclave = lock(self.query_enclave_handle());
-        let before = enclave.enclave().counters();
-        let reply = enclave.join_bridge(req)?;
-        let after = enclave.enclave().counters();
-        drop(enclave);
-        let slots: usize = reply.left.iter().map(Vec::len).sum::<usize>()
-            + reply.right.iter().map(Vec::len).sum::<usize>();
-        obs.ecall(
-            EcallKind::JoinBridge,
-            EcallIo {
-                bytes_in,
-                bytes_out: 4 * slots as u64,
-                values_decrypted: reply.values_decrypted as u64,
-                untrusted_loads: after.untrusted_loads - before.untrusted_loads,
-                untrusted_bytes: after.untrusted_bytes - before.untrusted_bytes,
-                cache_hits: after.cache_hits - before.cache_hits,
-                cache_misses: after.cache_misses - before.cache_misses,
+        let outcome = self.scheduler().submit(
+            OwnedDictCall::JoinBridge(req),
+            BatchKey {
+                class: CallClass::JoinBridge,
+                generation,
             },
-            start_ns,
-            t0.elapsed().as_nanos() as u64,
-            parent,
         );
+        let batched = outcome.batched();
+        let reply = match outcome.reply {
+            DictReply::Bridged(Ok(reply)) => reply,
+            DictReply::Bridged(Err(e)) => return Err(e.into()),
+            _ => unreachable!("join-bridge call returns bridged reply"),
+        };
+        if !batched {
+            let slots: usize = reply.left.iter().map(Vec::len).sum::<usize>()
+                + reply.right.iter().map(Vec::len).sum::<usize>();
+            self.obs().ecall(
+                EcallKind::JoinBridge,
+                EcallIo {
+                    bytes_in,
+                    bytes_out: 4 * slots as u64,
+                    values_decrypted: reply.values_decrypted as u64,
+                    untrusted_loads: outcome.untrusted_loads,
+                    untrusted_bytes: outcome.untrusted_bytes,
+                    cache_hits: outcome.cache_hits,
+                    cache_misses: outcome.cache_misses,
+                },
+                outcome.start_ns,
+                outcome.dur_ns,
+                parent,
+            );
+        }
         stats.enclave_calls += 1;
         stats.values_decrypted += reply.values_decrypted;
-        stats.cache_hits += (after.cache_hits - before.cache_hits) as usize;
+        stats.cache_hits += outcome.cache_hits as usize;
+        stats.ecall_wait_ns += outcome.wait_ns;
+        stats.batch_peers += outcome.peers - 1;
         stats.bridge_entries = reply.bridge_entries;
         Ok((to_maps(lscan, &reply.left), to_maps(rscan, &reply.right)))
     }

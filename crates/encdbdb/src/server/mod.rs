@@ -43,6 +43,7 @@
 mod compaction;
 mod join;
 mod partition;
+mod scheduler;
 mod snapshot;
 mod stats;
 mod storage;
@@ -53,6 +54,7 @@ pub use stats::{CompactionStats, DurabilityStats, QueryStats};
 pub use storage::{DurabilityPolicy, FailPoint};
 
 pub(crate) use partition::{ColumnDelta, MainColumn};
+pub(crate) use scheduler::{BatchKey, CallClass, EcallScheduler};
 pub(crate) use snapshot::{fan_out, matching_rids_multi, EnclaveCtx};
 pub(crate) use table::ServerTable;
 
@@ -262,6 +264,10 @@ pub struct DbaasServer {
     /// A second enclave instance (same measured code) dedicated to merges,
     /// so a long compaction ECALL never blocks the query path.
     merge_enclave: Arc<Mutex<DictEnclave>>,
+    /// The cross-session ECALL batching scheduler fronting `enclave`
+    /// (DESIGN.md §15): concurrent read-path calls coalesce into one
+    /// transition per dispatch round.
+    sched: Arc<EcallScheduler>,
     tables: Arc<RwLock<HashMap<String, Arc<ServerTable>>>>,
     config: Arc<Mutex<Config>>,
     last_stats: Arc<Mutex<QueryStats>>,
@@ -288,8 +294,11 @@ impl DbaasServer {
 
     /// Creates a server around explicit query and merge enclaves.
     pub fn with_enclaves(query: DictEnclave, merge: DictEnclave) -> Self {
+        let obs = Obs::new();
+        let enclave = Arc::new(Mutex::new(query));
         DbaasServer {
-            enclave: Arc::new(Mutex::new(query)),
+            sched: Arc::new(EcallScheduler::new(Arc::clone(&enclave), obs.clone())),
+            enclave,
             merge_enclave: Arc::new(Mutex::new(merge)),
             tables: Arc::new(RwLock::new(HashMap::new())),
             config: Arc::new(Mutex::new(Config {
@@ -302,8 +311,26 @@ impl DbaasServer {
             })),
             last_stats: Arc::new(Mutex::new(QueryStats::default())),
             storage: Arc::new(Mutex::new(None)),
-            obs: Obs::new(),
+            obs,
         }
+    }
+
+    /// Turns cross-session ECALL batching on or off (on by default).
+    /// When off, every read-path call takes the direct
+    /// one-lock-acquisition-per-call path — the pre-scheduler behavior,
+    /// used as the bypass leg of differential tests and benchmarks.
+    pub fn set_ecall_batching(&self, on: bool) {
+        self.sched.set_enabled(on);
+    }
+
+    /// Whether cross-session ECALL batching is currently on.
+    pub fn ecall_batching(&self) -> bool {
+        self.sched.enabled()
+    }
+
+    /// The shared ECALL scheduler fronting the query enclave.
+    pub(crate) fn scheduler(&self) -> &EcallScheduler {
+        &self.sched
     }
 
     /// This server's observability domain: metrics registry snapshots,
@@ -355,11 +382,6 @@ impl DbaasServer {
     /// Both enclave instances, for provisioning loops.
     pub(crate) fn enclave_handles(&self) -> [&Arc<Mutex<DictEnclave>>; 2] {
         [&self.enclave, &self.merge_enclave]
-    }
-
-    /// The query-path enclave handle (the `exec` engine's ECALL path).
-    pub(crate) fn query_enclave_handle(&self) -> &Arc<Mutex<DictEnclave>> {
-        &self.enclave
     }
 
     /// Installs `SK_DB` directly into both enclaves (trusted-setup

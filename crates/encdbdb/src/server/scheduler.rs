@@ -1,0 +1,525 @@
+//! The cross-session ECALL batching scheduler (DESIGN.md §15).
+//!
+//! Every read-path enclave call — dictionary search, aggregate
+//! finalization, join-key bridging — goes through one [`EcallScheduler`]
+//! per server. The scheduler is a *flat-combining* front of the query
+//! enclave's mutex:
+//!
+//! * A session that finds the enclave idle claims **leadership** and
+//!   executes its own call directly — the bypass path, so single-client
+//!   latency does not regress (one state-mutex touch, no queueing).
+//! * A session that finds a leader active **enqueues** its owned request
+//!   ([`encdict::batch::OwnedDictCall`]) with a reply slot and blocks on
+//!   the slot's condvar.
+//! * When the leader's transition completes it drains every compatible
+//!   request pending at that moment into one combined
+//!   [`DictCall::Batch`](encdict::enclave_ops::DictCall) — **one**
+//!   enclave transition for the whole round — and demultiplexes the
+//!   per-sub-call replies (each tagged by the enclave with its own
+//!   counter deltas) back to the waiting sessions. It keeps running
+//!   rounds until the queue is empty, then resigns; under the state
+//!   mutex, so no request is ever orphaned.
+//!
+//! Compatibility is a [`BatchKey`]: call class (search / aggregate /
+//! join-bridge) plus store generation. Requests pinned to different
+//! snapshot epochs never share a round — a compaction publish mid-batch
+//! splits the queue at the epoch flip instead of mixing generations.
+//! (Correctness never depends on this: every request *owns* its segment
+//! data via `Arc`s or copies, so it always executes against the snapshot
+//! it was built from. The key is dispatch policy, keeping a round's
+//! combined payload describable as "K requests against one store
+//! generation" for the leakage analysis.)
+//!
+//! Accounting: a round of one records nothing here — the session records
+//! its native [`EcallKind`] exactly as the unbatched code did, so
+//! single-session ledgers and leakage audits are byte-for-byte
+//! unchanged. A round of K ≥ 2 is recorded once by the leader as an
+//! [`EcallKind::Batch`] ledger entry whose payload totals are the sums
+//! over the coalesced requests, plus `ecall_batches_total` /
+//! `batched_calls_total` and the batch-occupancy histogram; per-session
+//! queue wait lands in `ecall_wait_ns`.
+
+use super::lock;
+use crate::obs::{EcallIo, EcallKind, Hist, Obs, SpanId};
+use encdict::batch::OwnedDictCall;
+use encdict::enclave_ops::{AggCell, BatchItemReply, DictCall, DictReply};
+use encdict::DictEnclave;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// The batchable call classes. Re-encrypt and merge keep their dedicated
+/// paths (inserts batch at the storage layer; merges own a separate
+/// enclave).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CallClass {
+    /// Dictionary search (main or delta store).
+    Search,
+    /// Grouped aggregation.
+    Aggregate,
+    /// Join-key bridging.
+    JoinBridge,
+}
+
+/// Dispatch-compatibility key: only requests with equal keys coalesce
+/// into one combined transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BatchKey {
+    /// The call class.
+    pub(crate) class: CallClass,
+    /// The store generation the request is pinned to (snapshot epoch;
+    /// multi-partition requests use the maximum epoch in scope).
+    pub(crate) generation: u64,
+}
+
+/// What a session gets back from [`EcallScheduler::submit`]: its own
+/// sub-call's reply plus everything needed to account for the (possibly
+/// shared) transition.
+#[derive(Debug)]
+pub(crate) struct SchedOutcome {
+    /// This request's reply.
+    pub(crate) reply: DictReply,
+    /// Untrusted loads attributable to this sub-call alone.
+    pub(crate) untrusted_loads: u64,
+    /// Untrusted bytes attributable to this sub-call alone.
+    pub(crate) untrusted_bytes: u64,
+    /// Value-cache hits scored by this sub-call.
+    pub(crate) cache_hits: u64,
+    /// Value-cache misses charged to this sub-call.
+    pub(crate) cache_misses: u64,
+    /// Obs-clock start of the enclave transition.
+    pub(crate) start_ns: u64,
+    /// Wall-clock duration of the enclave transition.
+    pub(crate) dur_ns: u64,
+    /// Submit-to-dispatch queue wait.
+    pub(crate) wait_ns: u64,
+    /// Batch occupancy of the transition (1 = ran alone).
+    pub(crate) peers: usize,
+}
+
+impl SchedOutcome {
+    /// Whether the transition was shared — if so the leader already
+    /// recorded the [`EcallKind::Batch`] ledger entry and the session
+    /// must *not* record a native one (the transition count is 1, not K).
+    pub(crate) fn batched(&self) -> bool {
+        self.peers > 1
+    }
+}
+
+/// One queued request: the owned call, its compatibility key, the reply
+/// slot its session is blocked on, and its enqueue time.
+struct Pending {
+    call: OwnedDictCall,
+    key: BatchKey,
+    slot: Arc<ReplySlot>,
+    enqueued: Instant,
+}
+
+/// A one-shot reply mailbox.
+#[derive(Default)]
+struct ReplySlot {
+    filled: Mutex<Option<SchedOutcome>>,
+    cv: Condvar,
+}
+
+impl ReplySlot {
+    fn fill(&self, outcome: SchedOutcome) {
+        *lock(&self.filled) = Some(outcome);
+        self.cv.notify_one();
+    }
+
+    fn wait(&self) -> SchedOutcome {
+        let mut guard = lock(&self.filled);
+        loop {
+            if let Some(outcome) = guard.take() {
+                return outcome;
+            }
+            guard = self
+                .cv
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+#[derive(Default)]
+struct SchedState {
+    /// Requests awaiting dispatch, in arrival order.
+    queue: Vec<Pending>,
+    /// Whether a leader currently owns dispatch. Enqueueing is only
+    /// legal while true — the leader re-checks the queue under the
+    /// state mutex before resigning, so no request is orphaned.
+    leader_active: bool,
+}
+
+/// The shared enclave scheduler; see the module docs.
+#[derive(Debug)]
+pub(crate) struct EcallScheduler {
+    enclave: Arc<Mutex<DictEnclave>>,
+    state: Mutex<SchedState>,
+    obs: Obs,
+    /// Batching switch. Off = every submit takes the direct path
+    /// (today's lock-per-call convoy), for differential tests and the
+    /// bypass leg of the concurrency bench.
+    enabled: AtomicBool,
+}
+
+impl std::fmt::Debug for SchedState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedState")
+            .field("queued", &self.queue.len())
+            .field("leader_active", &self.leader_active)
+            .finish()
+    }
+}
+
+impl EcallScheduler {
+    pub(crate) fn new(enclave: Arc<Mutex<DictEnclave>>, obs: Obs) -> Self {
+        EcallScheduler {
+            enclave,
+            state: Mutex::new(SchedState::default()),
+            obs,
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Turns cross-session batching on or off (on by default).
+    pub(crate) fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether batching is currently on.
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
+    /// Submits one owned call and blocks until its reply is available —
+    /// either by executing it (as leader, possibly coalescing peers) or
+    /// by waiting for the active leader to dispatch it.
+    pub(crate) fn submit(&self, call: OwnedDictCall, key: BatchKey) -> SchedOutcome {
+        let t0 = Instant::now();
+        if !self.enabled() {
+            // Bypass: the pre-scheduler behavior, one enclave lock
+            // acquisition per call with no coordination.
+            return self.execute_alone(&call, t0);
+        }
+        let mut state = lock(&self.state);
+        if state.leader_active {
+            let slot = Arc::new(ReplySlot::default());
+            state.queue.push(Pending {
+                call,
+                key,
+                slot: Arc::clone(&slot),
+                enqueued: t0,
+            });
+            drop(state);
+            return slot.wait();
+        }
+        state.leader_active = true;
+        drop(state);
+        self.lead(call, key, t0)
+    }
+
+    /// Leader loop: run the own call's round, then keep draining rounds
+    /// until the queue is empty, then resign.
+    fn lead(&self, call: OwnedDictCall, key: BatchKey, t0: Instant) -> SchedOutcome {
+        // First round: the leader's own call plus every compatible
+        // request already queued (possible when the previous leader
+        // resigned between a follower's enqueue decision and ours).
+        let mut round = {
+            let mut state = lock(&self.state);
+            let mut round = drain_matching(&mut state.queue, key);
+            round.push(Pending {
+                call,
+                key,
+                slot: Arc::new(ReplySlot::default()),
+                enqueued: t0,
+            });
+            round
+        };
+        let my_slot = Arc::clone(&round.last().expect("own call just pushed").slot);
+        loop {
+            self.execute_round(round);
+            let mut state = lock(&self.state);
+            if state.queue.is_empty() {
+                state.leader_active = false;
+                break;
+            }
+            let next_key = state.queue[0].key;
+            round = drain_matching(&mut state.queue, next_key);
+        }
+        my_slot.wait()
+    }
+
+    /// Executes one round — ONE enclave transition for however many
+    /// requests it carries — and demultiplexes the replies.
+    fn execute_round(&self, round: Vec<Pending>) {
+        let peers = round.len();
+        let start_ns = self.obs.now_ns();
+        let started = Instant::now();
+        let waits_ns: Vec<u64> = round
+            .iter()
+            .map(|p| p.enqueued.elapsed().as_nanos() as u64)
+            .collect();
+        let mut enclave = lock(&self.enclave);
+        let calls: Vec<DictCall<'_>> = round.iter().map(|p| p.call.borrow()).collect();
+        let items = enclave.batch(calls);
+        drop(enclave);
+        let dur_ns = started.elapsed().as_nanos() as u64;
+        debug_assert_eq!(items.len(), peers, "one reply per coalesced request");
+
+        if peers > 1 {
+            // The leader records the shared transition once: a Batch
+            // ledger entry whose payload totals are the union (sum) of
+            // the coalesced requests. Parentless span — the transition
+            // belongs to K queries at once.
+            let mut io = EcallIo::default();
+            for (pending, item) in round.iter().zip(&items) {
+                io.bytes_in += request_payload_bytes(&pending.call);
+                io.bytes_out += reply_payload_bytes(&item.reply);
+                io.values_decrypted += item_values_decrypted(item);
+                io.untrusted_loads += item.untrusted_loads;
+                io.untrusted_bytes += item.untrusted_bytes;
+                io.cache_hits += item.cache_hits;
+                io.cache_misses += item.cache_misses;
+            }
+            self.obs.ecall_batched(
+                EcallKind::Batch,
+                io,
+                start_ns,
+                dur_ns,
+                SpanId::NONE,
+                peers as u64,
+            );
+        }
+        for ((pending, item), wait_ns) in round.into_iter().zip(items).zip(waits_ns) {
+            self.obs.record(Hist::EcallWaitNs, wait_ns);
+            pending.slot.fill(SchedOutcome {
+                reply: item.reply,
+                untrusted_loads: item.untrusted_loads,
+                untrusted_bytes: item.untrusted_bytes,
+                cache_hits: item.cache_hits,
+                cache_misses: item.cache_misses,
+                start_ns,
+                dur_ns,
+                wait_ns,
+                peers,
+            });
+        }
+    }
+
+    /// The disabled-scheduler path: one lock acquisition, one
+    /// single-call transition, no shared state touched.
+    fn execute_alone(&self, call: &OwnedDictCall, t0: Instant) -> SchedOutcome {
+        let start_ns = self.obs.now_ns();
+        let started = Instant::now();
+        let mut enclave = lock(&self.enclave);
+        let wait_ns = t0.elapsed().as_nanos() as u64;
+        let mut items = enclave.batch(vec![call.borrow()]);
+        drop(enclave);
+        let dur_ns = started.elapsed().as_nanos() as u64;
+        self.obs.record(Hist::EcallWaitNs, wait_ns);
+        let item = items.pop().expect("one reply for one call");
+        SchedOutcome {
+            reply: item.reply,
+            untrusted_loads: item.untrusted_loads,
+            untrusted_bytes: item.untrusted_bytes,
+            cache_hits: item.cache_hits,
+            cache_misses: item.cache_misses,
+            start_ns,
+            dur_ns,
+            wait_ns,
+            peers: 1,
+        }
+    }
+}
+
+/// Removes every queued request whose key equals `key`, preserving
+/// arrival order; incompatible requests stay queued for a later round.
+fn drain_matching(queue: &mut Vec<Pending>, key: BatchKey) -> Vec<Pending> {
+    let mut round = Vec::new();
+    let mut rest = Vec::with_capacity(queue.len());
+    for pending in queue.drain(..) {
+        if pending.key == key {
+            round.push(pending);
+        } else {
+            rest.push(pending);
+        }
+    }
+    *queue = rest;
+    round
+}
+
+/// Generic request payload size, mirroring the native per-kind
+/// accounting (DESIGN.md §13.3): encrypted ranges' τ bytes for a search,
+/// 4 bytes per code / tuple slot plus plain values for an aggregate,
+/// per-side codes/values for a bridge.
+fn request_payload_bytes(call: &OwnedDictCall) -> u64 {
+    use encdict::batch::{OwnedAggColumn, OwnedJoinKey, OwnedJoinSide};
+    let side_bytes = |side: &OwnedJoinSide| -> u64 {
+        side.parts
+            .iter()
+            .map(|p| match p {
+                OwnedJoinKey::Encrypted { codes, .. } => 4 * codes.len() as u64,
+                OwnedJoinKey::Plain { values } => values.iter().map(|v| v.len() as u64).sum(),
+            })
+            .sum()
+    };
+    match call {
+        OwnedDictCall::Search(s) => s
+            .ranges
+            .iter()
+            .map(|r| (r.tau_s.as_bytes().len() + r.tau_e.as_bytes().len()) as u64)
+            .sum(),
+        OwnedDictCall::Aggregate(a) => a
+            .parts
+            .iter()
+            .map(|p| {
+                let cols: u64 = p
+                    .columns
+                    .iter()
+                    .map(|c| match c {
+                        OwnedAggColumn::Encrypted { codes, .. } => 4 * codes.len() as u64,
+                        OwnedAggColumn::Plain { values } => {
+                            values.iter().map(|v| v.len() as u64).sum()
+                        }
+                    })
+                    .sum();
+                cols + 4 * p.tuples.len() as u64
+            })
+            .sum(),
+        OwnedDictCall::JoinBridge(j) => side_bytes(&j.left) + side_bytes(&j.right),
+    }
+}
+
+/// Generic reply payload size (errors cross as zero-payload).
+fn reply_payload_bytes(reply: &DictReply) -> u64 {
+    match reply {
+        DictReply::Search(Ok(results)) => results
+            .iter()
+            .map(|r| match r {
+                encdict::DictSearchResult::Ranges(ranges) => {
+                    8 * ranges.iter().flatten().count() as u64
+                }
+                encdict::DictSearchResult::Ids(ids) => 4 * ids.len() as u64,
+            })
+            .sum(),
+        DictReply::Aggregated(Ok(r)) => r
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|cell| match cell {
+                        AggCell::Encrypted(b) | AggCell::Plain(b) => b.len() as u64,
+                    })
+                    .sum::<u64>()
+            })
+            .sum(),
+        DictReply::Bridged(Ok(r)) => {
+            4 * (r.left.iter().map(Vec::len).sum::<usize>()
+                + r.right.iter().map(Vec::len).sum::<usize>()) as u64
+        }
+        _ => 0,
+    }
+}
+
+/// Values decrypted by one sub-call, by the same per-kind conventions
+/// the native records use (search derives loads/2; aggregate and bridge
+/// report exactly).
+fn item_values_decrypted(item: &BatchItemReply) -> u64 {
+    match &item.reply {
+        DictReply::Search(_) => item.untrusted_loads / 2,
+        DictReply::Aggregated(Ok(r)) => r.values_decrypted as u64,
+        DictReply::Bridged(Ok(r)) => r.values_decrypted as u64,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encdict::batch::SegSource;
+    use encdict::search::DictSearchResult;
+    use encdict::VidRange;
+
+    fn pending(class: CallClass, generation: u64) -> Pending {
+        // An empty delta store materializes as an empty ED9 dictionary —
+        // the cheapest owned dictionary obtainable through public API.
+        let (dict, _) = encdict::dynamic::EncryptedDeltaStore::new("t", "c", 0)
+            .as_dictionary()
+            .expect("empty ED9 dictionary");
+        Pending {
+            call: OwnedDictCall::Search(encdict::batch::OwnedSearchCall {
+                dict: SegSource::Owned(Box::new(dict)),
+                ranges: Vec::new(),
+                cache: None,
+            }),
+            key: BatchKey { class, generation },
+            slot: Arc::new(ReplySlot::default()),
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn drain_matching_splits_by_class_and_generation() {
+        let mut queue = vec![
+            pending(CallClass::Search, 3),
+            pending(CallClass::Aggregate, 3),
+            pending(CallClass::Search, 4),
+            pending(CallClass::Search, 3),
+        ];
+        let round = drain_matching(
+            &mut queue,
+            BatchKey {
+                class: CallClass::Search,
+                generation: 3,
+            },
+        );
+        // Same class, same generation only: requests pinned to another
+        // store generation (epoch 4) or another class stay queued.
+        assert_eq!(round.len(), 2);
+        assert_eq!(queue.len(), 2);
+        assert!(round
+            .iter()
+            .all(|p| p.key.class == CallClass::Search && p.key.generation == 3));
+        assert_eq!(queue[0].key.class, CallClass::Aggregate);
+        assert_eq!(queue[1].key.generation, 4);
+    }
+
+    #[test]
+    fn drain_matching_preserves_arrival_order() {
+        let mut queue = vec![
+            pending(CallClass::JoinBridge, 1),
+            pending(CallClass::Search, 1),
+            pending(CallClass::JoinBridge, 1),
+        ];
+        let key = queue[0].key;
+        let before: Vec<*const ReplySlot> = queue
+            .iter()
+            .filter(|p| p.key == key)
+            .map(|p| Arc::as_ptr(&p.slot))
+            .collect();
+        let round = drain_matching(&mut queue, key);
+        let after: Vec<*const ReplySlot> = round.iter().map(|p| Arc::as_ptr(&p.slot)).collect();
+        assert_eq!(before, after);
+        assert_eq!(queue.len(), 1);
+    }
+
+    #[test]
+    fn search_reply_bytes_match_native_formulas() {
+        // Ranges: 8 bytes per present pair; Ids: 4 bytes per id.
+        let ranges = DictReply::Search(Ok(vec![DictSearchResult::Ranges([
+            VidRange::new(0, 4),
+            VidRange::new(9, 7),
+        ])]));
+        assert_eq!(reply_payload_bytes(&ranges), 8);
+        let ids = DictReply::Search(Ok(vec![DictSearchResult::Ids(vec![1, 2, 3])]));
+        assert_eq!(reply_payload_bytes(&ids), 12);
+    }
+
+    #[test]
+    fn error_replies_cross_with_zero_payload() {
+        let err = DictReply::Search(Err(encdict::EncdictError::CorruptDictionary("test")));
+        assert_eq!(reply_payload_bytes(&err), 0);
+    }
+}

@@ -9,6 +9,7 @@
 //! row never enters the enclave.
 
 use super::partition::{ColumnDelta, MainColumn, PartitionSnapshot};
+use super::scheduler::{BatchKey, CallClass, EcallScheduler, SchedOutcome};
 use super::table::intersect_sorted;
 use super::{CellValue, Config, DbaasServer, QueryStats, SelectResponse, ServerFilter};
 use crate::error::DbError;
@@ -16,17 +17,19 @@ use crate::obs::{EcallIo, EcallKind, Obs, SpanId};
 use crate::schema::TableSchema;
 use colstore::dictionary::RecordId;
 use encdict::avsearch;
+use encdict::batch::{OwnedDictCall, OwnedSearchCall, SegSource};
+use encdict::enclave_ops::DictReply;
 use encdict::plain::search_plain;
 use encdict::search::DictSearchResult;
-use encdict::{CacheTag, DictEnclave, EncryptedRange};
-use std::sync::Mutex;
+use encdict::{CacheTag, EncryptedRange};
 
-/// The enclave handle bundled with its observability context: every
-/// search ECALL issued through the scan path records itself into the
-/// ledger/trace with `parent` as the enclosing span (typically the
-/// per-partition scan span).
+/// The scheduler handle bundled with its observability context: every
+/// search ECALL issued through the scan path goes through the
+/// cross-session batching scheduler and (when it ran unbatched) records
+/// itself into the ledger/trace with `parent` as the enclosing span
+/// (typically the per-partition scan span).
 pub(crate) struct EnclaveCtx<'a> {
-    pub(crate) enclave: &'a Mutex<DictEnclave>,
+    pub(crate) sched: &'a EcallScheduler,
     pub(crate) obs: &'a Obs,
     pub(crate) parent: SpanId,
     /// Partition discriminator for the in-enclave decrypted-value cache
@@ -46,35 +49,61 @@ fn search_result_bytes(result: &DictSearchResult) -> u64 {
     }
 }
 
-/// Runs one search ECALL (main or delta dictionary, covering the whole
-/// disjunction in `ranges`) under the enclave lock, capturing the counter
-/// deltas for the leakage ledger while the lock is still held — so the
-/// recorded loads/bytes are exactly this call's traffic even when other
-/// threads share the enclave. Returns the call result, its wall-clock
-/// nanoseconds, and the decrypted-value cache hits it scored (for
-/// `QueryStats`).
+/// Submits one search (main or delta dictionary, covering the whole
+/// disjunction in `ranges`) through the cross-session scheduler and
+/// unwraps the reply. The scheduler captures this sub-call's exact
+/// counter deltas even when the transition was shared (the enclave tags
+/// each coalesced sub-call's traffic separately), so ledger records stay
+/// per-call-precise. The caller records the native ledger entry via
+/// [`record_native_search`] when the call ran unbatched; a batched run
+/// was already recorded by the round leader as one `EcallKind::Batch`
+/// entry.
+fn sched_search(
+    ctx: &EnclaveCtx<'_>,
+    dict: SegSource,
+    ranges: &[EncryptedRange],
+    tag: CacheTag,
+    generation: u64,
+) -> Result<(Vec<DictSearchResult>, SchedOutcome), DbError> {
+    let outcome = ctx.sched.submit(
+        OwnedDictCall::Search(OwnedSearchCall {
+            dict,
+            ranges: ranges.to_vec(),
+            cache: Some(tag),
+        }),
+        BatchKey {
+            class: CallClass::Search,
+            generation,
+        },
+    );
+    match outcome.reply {
+        DictReply::Search(Ok(results)) => Ok((
+            results,
+            SchedOutcome {
+                reply: DictReply::Search(Ok(Vec::new())),
+                ..outcome
+            },
+        )),
+        DictReply::Search(Err(e)) => Err(e.into()),
+        _ => unreachable!("search call returns search reply"),
+    }
+}
+
+/// Records the ledger/trace entry of an *unbatched* search transition,
+/// byte-identical to the pre-scheduler accounting.
 ///
 /// `values_decrypted` is derived as `untrusted_loads / 2`: every
 /// dictionary entry the enclave examines costs one head and one tail
 /// load (see `enclave::memory`), and each examined entry is decrypted
 /// once. Cache hits cost neither loads nor decrypts, so the identity
 /// holds with or without caching.
-fn observed_search<T>(
+fn record_native_search(
     ctx: &EnclaveCtx<'_>,
     ranges: &[EncryptedRange],
-    call: impl FnOnce(&mut DictEnclave) -> Result<T, DbError>,
-    reply_bytes: impl FnOnce(&T) -> u64,
-) -> Result<(T, u64, u64), DbError> {
-    let start_ns = ctx.obs.now_ns();
-    let started = std::time::Instant::now();
-    let mut enclave = lock(ctx.enclave);
-    let before = enclave.enclave().counters();
-    let result = call(&mut enclave)?;
-    let after = enclave.enclave().counters();
-    drop(enclave);
-    let dur_ns = started.elapsed().as_nanos() as u64;
-    let loads = after.untrusted_loads - before.untrusted_loads;
-    let cache_hits = after.cache_hits - before.cache_hits;
+    bytes_out: u64,
+    outcome: &SchedOutcome,
+) {
+    debug_assert!(!outcome.batched());
     ctx.obs.ecall(
         EcallKind::Search,
         EcallIo {
@@ -82,18 +111,28 @@ fn observed_search<T>(
                 .iter()
                 .map(|r| (r.tau_s.as_bytes().len() + r.tau_e.as_bytes().len()) as u64)
                 .sum(),
-            bytes_out: reply_bytes(&result),
-            values_decrypted: loads / 2,
-            untrusted_loads: loads,
-            untrusted_bytes: after.untrusted_bytes - before.untrusted_bytes,
-            cache_hits,
-            cache_misses: after.cache_misses - before.cache_misses,
+            bytes_out,
+            values_decrypted: outcome.untrusted_loads / 2,
+            untrusted_loads: outcome.untrusted_loads,
+            untrusted_bytes: outcome.untrusted_bytes,
+            cache_hits: outcome.cache_hits,
+            cache_misses: outcome.cache_misses,
         },
-        start_ns,
-        dur_ns,
+        outcome.start_ns,
+        outcome.dur_ns,
         ctx.parent,
     );
-    Ok((result, dur_ns, cache_hits))
+}
+
+/// Folds one scheduler outcome into a query's stats: search latency, the
+/// logical enclave-call count (per request, batched or not), cache hits,
+/// queue wait and the number of peer requests that shared the transition.
+fn absorb_outcome(stats: &mut QueryStats, outcome: &SchedOutcome) {
+    stats.dict_search_ns += outcome.dur_ns;
+    stats.enclave_calls += 1;
+    stats.cache_hits += outcome.cache_hits as usize;
+    stats.ecall_wait_ns += outcome.wait_ns;
+    stats.batch_peers += outcome.peers - 1;
 }
 
 /// Runs `work` over every listed partition snapshot — sequentially for a
@@ -288,15 +327,18 @@ fn matching_rids(
                     epoch: snap.epoch(),
                     delta: false,
                 };
-                let (results, dur_ns, hits) = observed_search(
+                let (results, outcome) = sched_search(
                     ctx,
+                    SegSource::Shared(main.dict_arc()),
                     ranges,
-                    |enclave| Ok(enclave.search_multi(dict, ranges, Some(tag))?),
-                    |results| results.iter().map(search_result_bytes).sum(),
+                    tag,
+                    snap.epoch(),
                 )?;
-                stats.dict_search_ns += dur_ns;
-                stats.enclave_calls += 1;
-                stats.cache_hits += hits as usize;
+                if !outcome.batched() {
+                    let bytes_out = results.iter().map(search_result_bytes).sum();
+                    record_native_search(ctx, ranges, bytes_out, &outcome);
+                }
+                absorb_outcome(&mut stats, &outcome);
                 let av_start = std::time::Instant::now();
                 let rids = avsearch::search_union(
                     main.av(),
@@ -318,15 +360,23 @@ fn matching_rids(
                     epoch: snap.epoch(),
                     delta: true,
                 };
-                stats.enclave_calls += 1;
-                let (rids, dur_ns, hits) = observed_search(
+                // The delta searches as a self-contained ED9 dictionary
+                // built from its own (small, snapshot-frozen) bytes: the
+                // request owns its segment copy, so it stays valid no
+                // matter when the scheduler dispatches it.
+                let (delta_dict, _) = delta.as_dictionary()?;
+                let (results, outcome) = sched_search(
                     ctx,
+                    SegSource::Owned(Box::new(delta_dict)),
                     ranges,
-                    |enclave| Ok(delta.search_multi(enclave, ranges, Some(tag))?),
-                    |rids| 4 * rids.len() as u64,
+                    tag,
+                    snap.epoch(),
                 )?;
-                stats.dict_search_ns += dur_ns;
-                stats.cache_hits += hits as usize;
+                let rids = delta.filter_results(&results);
+                if !outcome.batched() {
+                    record_native_search(ctx, ranges, 4 * rids.len() as u64, &outcome);
+                }
+                absorb_outcome(&mut stats, &outcome);
                 rids
             };
             (main_rids, delta_rids)
@@ -394,8 +444,6 @@ pub(crate) fn render_delta_cell(col: &ColumnDelta, rid: RecordId) -> CellValue {
         ColumnDelta::Plain(delta) => CellValue::Plain(delta.value(rid).to_vec()),
     }
 }
-
-use super::lock;
 
 impl DbaasServer {
     /// Executes a select (Fig. 5 steps 6–13).
@@ -477,7 +525,7 @@ impl DbaasServer {
         let per_partition = fan_out(active, |pid, snap| {
             let pspan = obs_ref.span_arg("partition", "query", scan_span.id(), pid as u64);
             let ctx = EnclaveCtx {
-                enclave: &self.enclave,
+                sched: self.scheduler(),
                 obs: obs_ref,
                 parent: pspan.id(),
                 part: pid as u64,
@@ -550,7 +598,7 @@ impl DbaasServer {
         let obs = self.obs();
         let counts = fan_out(&ts.active, |pid, snap| {
             let ctx = EnclaveCtx {
-                enclave: &self.enclave,
+                sched: self.scheduler(),
                 obs,
                 parent: SpanId::NONE,
                 part: pid as u64,

@@ -73,6 +73,14 @@ pub struct QueryStats {
     /// Nanoseconds spent building the join-key bridge (the `JoinBridge`
     /// ECALL, or the local match for all-PLAIN keys).
     pub bridge_ns: u64,
+    /// Nanoseconds this query's enclave calls spent queued in the
+    /// cross-session ECALL scheduler before their transition started
+    /// (DESIGN.md §15). Zero when every call took the bypass path.
+    pub ecall_wait_ns: u64,
+    /// Total number of *other* sessions' requests that shared enclave
+    /// transitions with this query's calls: the sum over this query's
+    /// calls of (batch occupancy − 1). Zero means every call ran alone.
+    pub batch_peers: usize,
 }
 
 impl QueryStats {
@@ -100,6 +108,8 @@ impl QueryStats {
             join_probe_rows,
             bridge_entries,
             bridge_ns,
+            ecall_wait_ns,
+            batch_peers,
             // Set-once fields: assigned by the top-level query path,
             // never folded (see struct docs).
             result_rows: _,
@@ -120,6 +130,8 @@ impl QueryStats {
         self.join_probe_rows += join_probe_rows;
         self.bridge_entries += bridge_entries;
         self.bridge_ns += bridge_ns;
+        self.ecall_wait_ns += ecall_wait_ns;
+        self.batch_peers += batch_peers;
     }
 }
 
@@ -235,6 +247,8 @@ mod tests {
             bridge_entries: (seed + 14) as usize,
             bridge_ns: seed + 15,
             cache_hits: (seed + 16) as usize,
+            ecall_wait_ns: seed + 17,
+            batch_peers: (seed + 18) as usize,
         }
     }
 
@@ -285,6 +299,11 @@ mod tests {
             before.bridge_entries + side.bridge_entries
         );
         assert_eq!(total.bridge_ns, before.bridge_ns + side.bridge_ns);
+        assert_eq!(
+            total.ecall_wait_ns,
+            before.ecall_wait_ns + side.ecall_wait_ns
+        );
+        assert_eq!(total.batch_peers, before.batch_peers + side.batch_peers);
 
         // Fold-by-max.
         assert_eq!(

@@ -441,7 +441,7 @@ impl DbaasServer {
                 }
                 let pspan = obs.span_arg("partition", "query", span.id(), pid as u64);
                 let ctx = super::snapshot::EnclaveCtx {
-                    enclave: &self.enclave,
+                    sched: self.scheduler(),
                     obs: &obs,
                     parent: pspan.id(),
                     part: pid as u64,

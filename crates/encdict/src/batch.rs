@@ -1,0 +1,253 @@
+//! Owned, thread-portable forms of the batched ECALL requests.
+//!
+//! The borrow-based request types in [`crate::enclave_ops`] reference the
+//! caller's stack and snapshot data, which works for the direct (bypass)
+//! path where the session thread itself holds the enclave lock. Cross-
+//! session batching is different: a session hands its request to whichever
+//! thread happens to lead the next combined transition, so the request must
+//! own (or share via [`Arc`]) everything it references — the workspace
+//! forbids `unsafe`, so there is no borrowed flat-combining shortcut.
+//!
+//! [`OwnedDictCall::borrow`] lowers an owned request back into the exact
+//! borrow-based [`DictCall`] the bypass path issues, which is what makes
+//! the batched and direct paths bit-identical by construction.
+
+use crate::aggregate::AggPlanSpec;
+use crate::dict::EncryptedDictionary;
+use crate::enclave_ops::{
+    AggColumnData, AggPartitionData, AggregateRequest, CacheTag, DictCall, JoinBridgeRequest,
+    JoinKeyData, JoinSideData, SearchRequest, SegmentRef,
+};
+use crate::range::EncryptedRange;
+use std::sync::Arc;
+
+/// An owned handle to one encrypted dictionary segment.
+///
+/// `Shared` keeps a published main-store generation alive through its
+/// [`Arc`] (no copy); `Owned` carries a materialized store — e.g. the ED9
+/// view of a frozen delta, whose bytes are small and already cloned per
+/// search today.
+#[derive(Debug, Clone)]
+pub enum SegSource {
+    /// A published, refcounted store generation.
+    Shared(Arc<EncryptedDictionary>),
+    /// A materialized private copy (delta stores). Boxed so the handle
+    /// stays pointer-sized inside the owned-call envelopes.
+    Owned(Box<EncryptedDictionary>),
+}
+
+impl SegSource {
+    /// The dictionary this source resolves to.
+    pub fn dict(&self) -> &EncryptedDictionary {
+        match self {
+            SegSource::Shared(d) => d,
+            SegSource::Owned(d) => d,
+        }
+    }
+}
+
+/// An owned copy of one head/tail segment (delta stores in aggregate and
+/// join requests, which reference raw segments rather than full
+/// dictionaries).
+#[derive(Debug, Clone, Default)]
+pub struct OwnedSegment {
+    /// Fixed-width head entries.
+    pub head: Vec<u8>,
+    /// Variable-width ciphertext tail.
+    pub tail: Vec<u8>,
+    /// Number of entries.
+    pub len: usize,
+}
+
+impl OwnedSegment {
+    /// Borrows this segment as the wire-form [`SegmentRef`].
+    pub fn segment_ref(&self) -> SegmentRef<'_> {
+        SegmentRef {
+            head: enclave_sim::UntrustedMemory::new(&self.head),
+            tail: enclave_sim::UntrustedMemory::new(&self.tail),
+            len: self.len,
+        }
+    }
+}
+
+/// An owned [`SearchRequest`]: a dictionary handle plus the encrypted
+/// disjunction.
+#[derive(Debug)]
+pub struct OwnedSearchCall {
+    /// The dictionary to search (main-store Arc or materialized delta).
+    pub dict: SegSource,
+    /// The encrypted range filters τ, one per range of the disjunction.
+    pub ranges: Vec<EncryptedRange>,
+    /// Value-cache generation tag, as in [`SearchRequest::cache`].
+    pub cache: Option<CacheTag>,
+}
+
+/// An owned [`AggColumnData`].
+#[derive(Debug)]
+pub enum OwnedAggColumn {
+    /// An encrypted column's main + delta segments and touched codes.
+    Encrypted {
+        /// Main-store dictionary handle.
+        main: SegSource,
+        /// Delta-store segment copy (ED9 layout).
+        delta: OwnedSegment,
+        /// Distinct touched codes, ascending.
+        codes: Vec<u32>,
+        /// `(partition discriminator, snapshot epoch)` cache tag.
+        cache: Option<(u64, u64)>,
+    },
+    /// A PLAIN column's distinct touched values.
+    Plain {
+        /// Distinct touched values.
+        values: Vec<Vec<u8>>,
+    },
+}
+
+/// An owned [`AggPartitionData`].
+#[derive(Debug)]
+pub struct OwnedAggPartition {
+    /// The referenced columns, in tuple order.
+    pub columns: Vec<OwnedAggColumn>,
+    /// The partition's ValueID-tuple histogram.
+    pub tuples: Vec<(Vec<u32>, u64)>,
+}
+
+/// An owned [`AggregateRequest`].
+#[derive(Debug)]
+pub struct OwnedAggregateCall {
+    /// Table name (key-derivation metadata).
+    pub table_name: String,
+    /// Per referenced column: `Some(name)` if encrypted, `None` for PLAIN.
+    pub col_names: Vec<Option<String>>,
+    /// One entry per scanned non-empty partition.
+    pub parts: Vec<OwnedAggPartition>,
+    /// Group/aggregate/sort/limit specification.
+    pub plan: AggPlanSpec,
+}
+
+/// An owned [`JoinKeyData`].
+#[derive(Debug)]
+pub enum OwnedJoinKey {
+    /// An encrypted key column's segments and distinct codes.
+    Encrypted {
+        /// Main-store dictionary handle.
+        main: SegSource,
+        /// Delta-store segment copy (ED9 layout).
+        delta: OwnedSegment,
+        /// Distinct touched codes, ascending.
+        codes: Vec<u32>,
+        /// `(partition discriminator, snapshot epoch)` cache tag.
+        cache: Option<(u64, u64)>,
+    },
+    /// A PLAIN key column's distinct touched values.
+    Plain {
+        /// Distinct touched values.
+        values: Vec<Vec<u8>>,
+    },
+}
+
+/// An owned [`JoinSideData`].
+#[derive(Debug)]
+pub struct OwnedJoinSide {
+    /// Table name (key-derivation metadata).
+    pub table_name: String,
+    /// `Some(column)` if the key column is encrypted, `None` for PLAIN.
+    pub col_name: Option<String>,
+    /// One entry per scanned non-empty partition.
+    pub parts: Vec<OwnedJoinKey>,
+}
+
+/// An owned [`JoinBridgeRequest`].
+#[derive(Debug)]
+pub struct OwnedJoinBridgeCall {
+    /// The build side.
+    pub left: OwnedJoinSide,
+    /// The probe side.
+    pub right: OwnedJoinSide,
+}
+
+/// An owned dictionary-enclave call — the unit a session submits to the
+/// cross-session ECALL scheduler. Only the read-path calls are batchable:
+/// re-encryption and merge stay on their dedicated paths.
+#[derive(Debug)]
+pub enum OwnedDictCall {
+    /// A dictionary search (main or materialized delta store).
+    Search(OwnedSearchCall),
+    /// A grouped aggregation.
+    Aggregate(OwnedAggregateCall),
+    /// An equi-join key bridge.
+    JoinBridge(OwnedJoinBridgeCall),
+}
+
+impl OwnedDictCall {
+    /// Lowers this owned request into the borrow-based wire form — the
+    /// exact [`DictCall`] the direct (bypass) path issues.
+    pub fn borrow(&self) -> DictCall<'_> {
+        match self {
+            OwnedDictCall::Search(s) => DictCall::Search(SearchRequest::for_dictionary_multi(
+                s.dict.dict(),
+                &s.ranges,
+                s.cache,
+            )),
+            OwnedDictCall::Aggregate(a) => DictCall::Aggregate(AggregateRequest {
+                table_name: &a.table_name,
+                col_names: a.col_names.iter().map(|n| n.as_deref()).collect(),
+                parts: a
+                    .parts
+                    .iter()
+                    .map(|p| AggPartitionData {
+                        columns: p.columns.iter().map(borrow_agg_column).collect(),
+                        tuples: &p.tuples,
+                    })
+                    .collect(),
+                plan: &a.plan,
+            }),
+            OwnedDictCall::JoinBridge(j) => DictCall::JoinBridge(JoinBridgeRequest {
+                left: borrow_join_side(&j.left),
+                right: borrow_join_side(&j.right),
+            }),
+        }
+    }
+}
+
+fn borrow_agg_column(col: &OwnedAggColumn) -> AggColumnData<'_> {
+    match col {
+        OwnedAggColumn::Encrypted {
+            main,
+            delta,
+            codes,
+            cache,
+        } => AggColumnData::Encrypted {
+            main: main.dict().segment_ref(),
+            delta: delta.segment_ref(),
+            codes,
+            cache: *cache,
+        },
+        OwnedAggColumn::Plain { values } => AggColumnData::Plain { values },
+    }
+}
+
+fn borrow_join_side(side: &OwnedJoinSide) -> JoinSideData<'_> {
+    JoinSideData {
+        table_name: &side.table_name,
+        col_name: side.col_name.as_deref(),
+        parts: side
+            .parts
+            .iter()
+            .map(|k| match k {
+                OwnedJoinKey::Encrypted {
+                    main,
+                    delta,
+                    codes,
+                    cache,
+                } => JoinKeyData::Encrypted {
+                    main: main.dict().segment_ref(),
+                    delta: delta.segment_ref(),
+                    codes,
+                    cache: *cache,
+                },
+                OwnedJoinKey::Plain { values } => JoinKeyData::Plain { values },
+            })
+            .collect(),
+    }
+}

@@ -56,6 +56,13 @@ impl MainSnapshot {
         &self.dict
     }
 
+    /// A shared handle to this generation's dictionary — what a batched
+    /// ECALL request holds so the segment stays alive even if a concurrent
+    /// compaction publishes the next generation mid-batch.
+    pub fn dict_arc(&self) -> Arc<EncryptedDictionary> {
+        Arc::clone(&self.dict)
+    }
+
     /// The attribute vector of this generation.
     pub fn av(&self) -> &AttributeVector {
         &self.av
@@ -257,19 +264,28 @@ impl EncryptedDeltaStore {
         ranges: &[EncryptedRange],
         cache: Option<crate::enclave_ops::CacheTag>,
     ) -> Result<Vec<RecordId>, EncdictError> {
-        let (dict, av) = self.as_dictionary()?;
+        let (dict, _av) = self.as_dictionary()?;
         let results = enclave.search_multi(&dict, ranges, cache)?;
+        Ok(self.filter_results(&results))
+    }
+
+    /// The untrusted half of a delta search: unions the enclave's
+    /// per-range results over the identity attribute vector and filters
+    /// through the validity vector. Split out so the batched ECALL path
+    /// (which runs the enclave half through the scheduler) produces
+    /// bit-identical results to [`EncryptedDeltaStore::search_multi`].
+    pub fn filter_results(&self, results: &[DictSearchResult]) -> Vec<RecordId> {
+        let av: AttributeVector = (0..self.len as u32).map(ValueId).collect();
         let rids = crate::avsearch::search_union(
             &av,
-            &results,
-            dict.len(),
+            results,
+            self.len,
             crate::avsearch::SetSearchStrategy::PaperLinear,
             crate::avsearch::Parallelism::Serial,
         );
-        Ok(rids
-            .into_iter()
+        rids.into_iter()
             .filter(|r| self.validity.is_valid(r.0 as usize))
-            .collect())
+            .collect()
     }
 
     /// Untrusted-memory view of the delta head (for enclave requests).
@@ -280,6 +296,16 @@ impl EncryptedDeltaStore {
     /// Untrusted-memory view of the delta tail (for enclave requests).
     pub fn tail_mem(&self) -> enclave_sim::UntrustedMemory<'_> {
         enclave_sim::UntrustedMemory::new(&self.tail)
+    }
+
+    /// An owned copy of this delta store's segment bytes, for batched
+    /// aggregate / join requests that outlive the caller's snapshot borrow.
+    pub fn owned_segment(&self) -> crate::batch::OwnedSegment {
+        crate::batch::OwnedSegment {
+            head: self.head.clone(),
+            tail: self.tail.clone(),
+            len: self.len,
+        }
     }
 
     /// This delta store as a [`crate::enclave_ops::SegmentRef`].

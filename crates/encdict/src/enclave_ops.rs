@@ -345,6 +345,12 @@ pub enum DictCall<'a> {
     Aggregate(AggregateRequest<'a>),
     /// Equi-join key bridging over per-side distinct ValueIDs.
     JoinBridge(JoinBridgeRequest<'a>),
+    /// Several coalesced sub-calls executed in one enclave transition —
+    /// the cross-session ECALL batching entry point. The whole vector
+    /// costs a single context switch; sub-calls run back to back inside
+    /// the enclave and each reply carries its own counter deltas so the
+    /// host can attribute loads/bytes per request. Nesting is rejected.
+    Batch(Vec<DictCall<'a>>),
 }
 
 /// ECALL reply.
@@ -361,6 +367,26 @@ pub enum DictReply {
     Aggregated(Result<AggregateReply, EncdictError>),
     /// Join-bridge result.
     Bridged(Result<JoinBridgeReply, EncdictError>),
+    /// One reply per sub-call of a [`DictCall::Batch`], in request order.
+    Batch(Vec<BatchItemReply>),
+}
+
+/// One sub-call's reply within a batched transition, with the counter
+/// deltas that sub-call generated (captured inside the enclave between
+/// sub-calls) — so per-request leakage accounting stays exact even
+/// though the host only observes one transition.
+#[derive(Debug)]
+pub struct BatchItemReply {
+    /// The sub-call's reply (never [`DictReply::Batch`]).
+    pub reply: DictReply,
+    /// Untrusted-memory loads issued while serving this sub-call.
+    pub untrusted_loads: u64,
+    /// Untrusted-memory bytes read while serving this sub-call.
+    pub untrusted_bytes: u64,
+    /// Decrypted-value cache hits scored by this sub-call.
+    pub cache_hits: u64,
+    /// Decrypted-value cache misses scored by this sub-call.
+    pub cache_misses: u64,
 }
 
 /// One join side's per-partition bridge-id maps: for each partition, the
@@ -1036,6 +1062,24 @@ impl Default for DictLogic {
     }
 }
 
+impl DictLogic {
+    /// Dispatches one non-batch call. A nested [`DictCall::Batch`] is
+    /// rejected: batching composes at the scheduler, never recursively
+    /// inside the enclave (unbounded recursion on the trusted stack).
+    fn dispatch_one(&mut self, env: &mut TrustedEnv, call: DictCall<'_>) -> DictReply {
+        match call {
+            DictCall::Search(req) => DictReply::Search(self.search(env, req)),
+            DictCall::Reencrypt(req) => DictReply::Reencrypted(self.reencrypt(env, req)),
+            DictCall::Merge(req) => DictReply::Merged(self.merge(env, req)),
+            DictCall::Aggregate(req) => DictReply::Aggregated(self.aggregate(env, req)),
+            DictCall::JoinBridge(req) => DictReply::Bridged(self.join_bridge(env, req)),
+            DictCall::Batch(_) => DictReply::Search(Err(EncdictError::CorruptDictionary(
+                "nested batch call rejected",
+            ))),
+        }
+    }
+}
+
 impl EnclaveLogic for DictLogic {
     type Call<'a> = DictCall<'a>;
     type Reply = DictReply;
@@ -1048,11 +1092,27 @@ impl EnclaveLogic for DictLogic {
 
     fn dispatch(&mut self, env: &mut TrustedEnv, call: DictCall<'_>) -> DictReply {
         match call {
-            DictCall::Search(req) => DictReply::Search(self.search(env, req)),
-            DictCall::Reencrypt(req) => DictReply::Reencrypted(self.reencrypt(env, req)),
-            DictCall::Merge(req) => DictReply::Merged(self.merge(env, req)),
-            DictCall::Aggregate(req) => DictReply::Aggregated(self.aggregate(env, req)),
-            DictCall::JoinBridge(req) => DictReply::Bridged(self.join_bridge(env, req)),
+            DictCall::Batch(calls) => {
+                // One transition, many sub-calls: snapshot the counters
+                // around each sub-call so every reply carries exactly its
+                // own untrusted traffic (the batched analogue of the
+                // host-side capture-under-lock the ledger relies on).
+                let mut items = Vec::with_capacity(calls.len());
+                for sub in calls {
+                    let before = env.counters();
+                    let reply = self.dispatch_one(env, sub);
+                    let after = env.counters();
+                    items.push(BatchItemReply {
+                        reply,
+                        untrusted_loads: after.untrusted_loads - before.untrusted_loads,
+                        untrusted_bytes: after.untrusted_bytes - before.untrusted_bytes,
+                        cache_hits: after.cache_hits - before.cache_hits,
+                        cache_misses: after.cache_misses - before.cache_misses,
+                    });
+                }
+                DictReply::Batch(items)
+            }
+            other => self.dispatch_one(env, other),
         }
     }
 }
@@ -1226,6 +1286,19 @@ impl DictEnclave {
         match self.inner.ecall(DictCall::Merge(req)) {
             DictReply::Merged(r) => r,
             _ => unreachable!("merge call returns merge reply"),
+        }
+    }
+
+    /// Executes several coalesced sub-calls in a **single** enclave
+    /// transition (the cross-session ECALL batching entry point). Replies
+    /// come back in request order, each tagged with the counter deltas its
+    /// own sub-call produced, so the host can attribute untrusted traffic
+    /// per request. Never fails as a whole: per-sub-call errors are inside
+    /// each [`BatchItemReply::reply`].
+    pub fn batch(&mut self, calls: Vec<DictCall<'_>>) -> Vec<BatchItemReply> {
+        match self.inner.ecall(DictCall::Batch(calls)) {
+            DictReply::Batch(items) => items,
+            _ => unreachable!("batch call returns batch reply"),
         }
     }
 }

@@ -29,6 +29,9 @@
 //! * [`range`] — range queries and their encrypted wire form.
 //! * [`leakage`] — attacker-view analysis backing the security evaluation.
 //! * [`dynamic`] — the encrypted delta store and protected merge (§4.3).
+//! * [`batch`] — owned request forms for the cross-session ECALL
+//!   batching scheduler (several sessions' calls coalesced into one
+//!   enclave transition).
 //! * [`aggregate`] — the trusted aggregation core behind the analytic
 //!   query engine (GROUP BY / SUM / MIN / MAX / AVG over ValueID
 //!   histograms, one decryption per distinct touched ValueID).
@@ -80,6 +83,7 @@
 
 pub mod aggregate;
 pub mod avsearch;
+pub mod batch;
 pub mod bigint;
 pub mod bucket;
 pub mod build;

@@ -8,9 +8,32 @@
 //! enclave, decrypt there, compare" pattern of the paper's Algorithm 1.
 
 use encdbdb_crypto::keys::Key128;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// Usable EPC budget in bytes (~96 MiB, §2.2).
 pub const EPC_BUDGET_BYTES: usize = 96 * 1024 * 1024;
+
+/// Simulated hardware cost of one enclave transition, read once from the
+/// `ENCDBDB_SIM_TRANSITION_NS` environment variable.
+///
+/// On real SGX hardware every ECALL pays an EENTER/EEXIT round trip plus
+/// TLB flushes — on the order of ~8k cycles, and far more when EPC paging
+/// is involved. The functional simulator charges zero by default (pure
+/// counting, so tests stay fast and deterministic); benchmarks that study
+/// transition amortisation (DESIGN.md §15) set this to a positive
+/// nanosecond value and every counted ECALL then busy-waits that long
+/// inside the transition, making `ecalls_total` a wall-clock cost driver.
+fn sim_transition_cost() -> Duration {
+    static COST: OnceLock<Duration> = OnceLock::new();
+    *COST.get_or_init(|| {
+        std::env::var("ENCDBDB_SIM_TRANSITION_NS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(Duration::from_nanos)
+            .unwrap_or(Duration::ZERO)
+    })
+}
 
 /// Counters for traffic crossing the enclave boundary.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -105,9 +128,21 @@ impl TrustedEnv {
     }
 
     /// Records an ECALL (used by the [`crate::Enclave`] wrapper).
+    ///
+    /// When [`sim_transition_cost`] is non-zero the call also busy-waits
+    /// for that duration, modelling the EENTER/EEXIT overhead a real
+    /// enclave pays on every transition. A spin (not a sleep) is used so
+    /// the thread keeps its core, like a hardware transition would.
     #[inline]
     pub(crate) fn count_ecall(&mut self) {
         self.counters.ecalls += 1;
+        let cost = sim_transition_cost();
+        if !cost.is_zero() {
+            let start = Instant::now();
+            while start.elapsed() < cost {
+                std::hint::spin_loop();
+            }
+        }
     }
 
     /// Records one decrypted-value cache hit (trusted code served an

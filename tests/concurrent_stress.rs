@@ -550,6 +550,14 @@ fn partition_parallel_join_spans_nest_correctly() {
     }
 
     let mut db = Session::with_seed(7700).unwrap();
+    // Pin the native span topology: under the §15 scheduler, fan-out
+    // partitions of one query may coalesce their searches into a shared
+    // round whose single `ecall.batch` span is a root (one transition
+    // cannot nest under several partition spans at once), so whether a
+    // given partition parents an `ecall.search` span becomes
+    // timing-dependent. The batched shape is covered by
+    // `tests/batching_differential.rs`; this test asserts the bypass one.
+    db.server().set_ecall_batching(false);
     db.execute("CREATE TABLE users (k ED2(8), x ED2(8))")
         .unwrap();
     db.execute(
@@ -650,4 +658,97 @@ fn partition_parallel_join_spans_nest_correctly() {
             "dangling parent link in {e:?}"
         );
     }
+}
+
+#[test]
+fn sixty_four_readers_coalesce_without_cross_wiring() {
+    // DESIGN.md §15: 64 reader sessions hammer the scheduler through a
+    // throttled merge. Every reader checks the *content* of its own
+    // replies (a cross-wired batch demux would hand it another session's
+    // rows), the queue wait stays bounded, and the transition ledger
+    // still agrees with the registry afterwards.
+    let readers_n = env_usize("ENCDBDB_STRESS_READERS", 64);
+    let reads_per_thread = 6usize;
+    let db = mirrored_session(8600, 600);
+    db.server()
+        .set_merge_throttle(Some(Duration::from_millis(300)));
+    // Dirty the delta and pin a rebuild in flight so the whole reader
+    // fleet runs concurrently with a merge.
+    let mut writer = db.reader(8601);
+    writer
+        .execute("INSERT INTO t VALUES ('9999', '9999')")
+        .unwrap();
+    assert!(db.server().spawn_compaction("t").unwrap());
+    assert!(db.server().merge_in_flight("t").unwrap());
+
+    let mut fleet: Vec<_> = (0..readers_n).map(|i| db.reader(8700 + i as u64)).collect();
+    // Pin the query enclave briefly while the fleet starts, so at least
+    // one round provably coalesces even on a single-core runner.
+    let guard = db.server().enclave();
+    std::thread::scope(|scope| {
+        for (i, mut reader) in fleet.drain(..).enumerate() {
+            scope.spawn(move || {
+                for k in 0..reads_per_thread {
+                    // Each reader owns a distinct 4-value band per round:
+                    // the preload holds every value 0..100 six times, so
+                    // the expected multiset is exact and reader-specific.
+                    let lo = (i * 7 + k * 13) % 90;
+                    let hi = lo + 3;
+                    let r = reader
+                        .execute(&format!(
+                            "SELECT v, w FROM t WHERE v BETWEEN '{:04}' AND '{:04}'",
+                            lo, hi
+                        ))
+                        .expect("fleet read");
+                    let rows = r.rows_as_strings();
+                    assert_eq!(
+                        rows.len(),
+                        4 * 6,
+                        "reader {i} round {k}: wrong cardinality for [{lo}, {hi}]"
+                    );
+                    for row in rows {
+                        assert_eq!(row[0], row[1], "reader {i}: torn/cross-wired row");
+                        let v: usize = row[0].parse().unwrap();
+                        assert!(
+                            (lo..=hi).contains(&v),
+                            "reader {i} round {k}: foreign row {v} in [{lo}, {hi}] — \
+                             reply cross-wired across the batch demux"
+                        );
+                    }
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        drop(guard);
+    });
+
+    db.server().wait_for_compaction("t").unwrap();
+    let report = db.server().obs().metrics_report();
+    assert!(
+        report.counter("ecall_batches_total") >= 1,
+        "64 pinned readers produced no shared round"
+    );
+    assert!(
+        report.counter("batched_calls_total") >= 2,
+        "batched-call counter did not move"
+    );
+    // The scheduler only ever *reduces* transitions: never more than one
+    // per logical search issued.
+    let ledger = db.server().obs().ledger_report();
+    assert_eq!(
+        report.counter("ecalls_total"),
+        ledger.total_calls(),
+        "registry and ledger disagree after concurrent batching"
+    );
+    // Bounded queue wait: every submit-to-dispatch wait was recorded,
+    // and even the unluckiest request (pinned behind the held lock plus
+    // a fleet of rounds) stayed within a generous ceiling.
+    let wait = report.histogram("ecall_wait_ns").expect("ecall_wait_ns");
+    assert!(wait.count > 0, "no queue waits recorded");
+    assert!(
+        wait.max_ns < 5_000_000_000,
+        "a request waited {}ms — queue wait is unbounded",
+        wait.max_ns / 1_000_000
+    );
+    assert_eq!(report.counter("compaction_errors_total"), 0);
 }

@@ -314,3 +314,108 @@ fn delta_insert_hides_order_and_frequency() {
     let size_three = db.server().column_storage_size("t", "v").unwrap();
     assert!(size_three > size_two);
 }
+
+#[test]
+fn batching_reduces_transitions_without_widening_leakage() {
+    // DESIGN.md §15: coalescing K identical queries into one transition
+    // must (a) strictly reduce the number of enclave transitions and
+    // (b) keep the combined payload exactly the documented union — the
+    // sum of the members' native request bytes, with untrusted loads
+    // and decrypts bounded by K times a solo run. Anything above the
+    // union would mean the batch path leaks more than K separate calls.
+    use encdbdb::EcallKind;
+    use std::time::Duration;
+
+    let threads = 6usize;
+    for (i, kind) in [EdKind::Ed2, EdKind::Ed7, EdKind::Ed9]
+        .into_iter()
+        .enumerate()
+    {
+        let (db, _) = deploy_skewed(kind, 9300 + i as u64);
+        let q = "SELECT c FROM t WHERE c BETWEEN 'val05' AND 'val09'";
+
+        // Solo baseline through the enabled scheduler: a serial client
+        // produces a round of one, recorded as a native Search.
+        let before = db.leakage_ledger();
+        let expected = {
+            let mut probe = db.reader(1);
+            probe.execute(q).unwrap().rows_as_strings().len()
+        };
+        let solo = db.leakage_ledger().since(&before).kind(EcallKind::Search);
+        assert_eq!(solo.calls, 1, "{kind:?}: bulk-loaded table, empty delta");
+        assert!(solo.bytes_in > 0, "{kind:?}: encrypted bounds crossed in");
+
+        // K readers forced to coalesce: pin the enclave so everyone
+        // queues, then release.
+        let before = db.leakage_ledger();
+        let readers: Vec<_> = (2..2 + threads as u64).map(|s| db.reader(s)).collect();
+        let guard = db.server().enclave();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = readers
+                .into_iter()
+                .map(|mut r| scope.spawn(move || r.execute(q).unwrap().rows_as_strings().len()))
+                .collect();
+            std::thread::sleep(Duration::from_millis(60));
+            drop(guard);
+            for h in handles {
+                assert_eq!(h.join().unwrap(), expected, "{kind:?}: wrong reply");
+            }
+        });
+        let window = db.leakage_ledger().since(&before);
+        let native = window.kind(EcallKind::Search);
+        let batch = window.kind(EcallKind::Batch);
+
+        // (a) Fewer transitions than calls, and at least one shared round.
+        assert!(
+            window.total_calls() < threads as u64,
+            "{kind:?}: {} transitions for {threads} queries — nothing coalesced",
+            window.total_calls()
+        );
+        assert!(batch.calls >= 1, "{kind:?}: no Batch record");
+
+        // (b) The union bound. Request bytes are exact: the same query's
+        // encrypted bounds have a fixed ciphertext length, so K requests
+        // cross exactly K × the solo bytes whether coalesced or not.
+        assert_eq!(
+            native.bytes_in + batch.bytes_in,
+            threads as u64 * solo.bytes_in,
+            "{kind:?}: combined request payload must equal the members' sum"
+        );
+        // Work counters never exceed K solo runs (the shared value cache
+        // can only shrink them).
+        assert!(
+            native.untrusted_loads + batch.untrusted_loads <= threads as u64 * solo.untrusted_loads,
+            "{kind:?}: batched loads exceed {threads} solo runs"
+        );
+        assert!(
+            native.values_decrypted + batch.values_decrypted
+                <= threads as u64 * solo.values_decrypted,
+            "{kind:?}: batched decrypts exceed {threads} solo runs"
+        );
+
+        // Every Batch ledger record is marked as a genuinely shared
+        // round, and the registry still counts one transition per record.
+        let records = db.server().obs().ledger_records();
+        assert!(
+            records
+                .iter()
+                .filter(|r| matches!(r.kind, EcallKind::Batch))
+                .all(|r| r.batch_size >= 2),
+            "{kind:?}: a Batch record with batch_size < 2"
+        );
+        let report = db.server().obs().metrics_report();
+        assert_eq!(
+            report.counter("ecalls_total"),
+            db.server().obs().ledger_report().total_calls(),
+            "{kind:?}: transition counter and ledger must agree"
+        );
+        assert!(
+            report.counter("ecall_batches_total") >= 1,
+            "{kind:?}: batch counter did not move"
+        );
+        assert!(
+            report.counter("batched_calls_total") >= 2,
+            "{kind:?}: batched-call counter did not move"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Gate on the cross-session ECALL batching speedup (DESIGN.md §15).
+
+Reads a BENCH_concurrency.json emitted by `benches/concurrency.rs` and
+asserts that at 16 concurrent sessions the batched scheduler leg is at
+least MIN_SPEEDUP (default 2.0) times faster than the bypass leg, i.e.
+
+    median_ns(qps/16/bypass) / median_ns(qps/16/batched) >= MIN_SPEEDUP
+
+Usage: check_batching_speedup.py BENCH_concurrency.json [min_speedup]
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    min_speedup = float(sys.argv[2]) if len(sys.argv) > 2 else 2.0
+
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    medians = {b["id"]: b["median_ns"] for b in doc.get("benchmarks", [])}
+    for needed in ("qps/16/batched", "qps/16/bypass"):
+        if needed not in medians:
+            print(f"{path}: missing benchmark id '{needed}'", file=sys.stderr)
+            return 1
+    ratio = medians["qps/16/bypass"] / medians["qps/16/batched"]
+    if ratio < min_speedup:
+        print(
+            f"{path}: 16-session batched/bypass speedup {ratio:.2f}x "
+            f"below required {min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{path}: 16-session batched/bypass speedup {ratio:.2f}x (>= {min_speedup:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
