@@ -45,6 +45,14 @@ run cargo test -q --offline --test security
 # proptest interleavings, forced coalescing, compaction publish mid-batch).
 run env ENCDBDB_STRESS_THREADS=4 \
     cargo test -q --offline --test batching_differential
+# The scheduler crash-safety regression: an injected leader panic must
+# poison (not wedge) the followers, and the server must keep serving.
+run cargo test -q --offline --test scheduler_poison
+# The networked service layer (DESIGN.md §16): TCP-vs-in-process
+# differential (results, leakage ledgers, tenant isolation, quotas,
+# admission control) and the graceful-shutdown / torn-WAL proof.
+run cargo test -q --offline --test net_differential
+run cargo test -q --offline --test net_shutdown
 # Benches are excluded from `cargo test` (they are timed loops); keep them
 # compiling — including the analytic-engine aggregate bench, the
 # snapshot/compaction bench, the partition-layer bench and the join
@@ -98,5 +106,17 @@ run env ENCDBDB_BENCH_JSON="$BENCH_JSON_DIR" ENCDBDB_SIM_TRANSITION_NS=500000 \
 run python3 tools/validate_bench_json.py --baseline \
     baselines/BENCH_concurrency.json "$BENCH_JSON_DIR"/BENCH_concurrency.json
 run python3 tools/check_batching_speedup.py "$BENCH_JSON_DIR"/BENCH_concurrency.json
+# The networked-throughput gate (DESIGN.md §16): the same ladder over
+# real TCP connections — one thread-pooled server on an ephemeral
+# loopback port, bounded sweep — required to show >= 2x queries/sec at
+# 16 connections over a single connection (batched leg) and a non-zero
+# ServerBusy shed count at the 64-connection rung. The committed
+# baselines/BENCH_network.json is held to the same gate above via the
+# baselines glob plus the --tcp check here.
+run env ENCDBDB_BENCH_JSON="$BENCH_JSON_DIR" ENCDBDB_SIM_TRANSITION_NS=500000 \
+    ./target/release/loadgen --tcp --sweep --samples 3
+run python3 tools/validate_bench_json.py "$BENCH_JSON_DIR"/BENCH_network.json
+run python3 tools/check_batching_speedup.py --tcp "$BENCH_JSON_DIR"/BENCH_network.json
+run python3 tools/check_batching_speedup.py --tcp baselines/BENCH_network.json
 
 echo "==> CI green"

@@ -70,6 +70,16 @@ pub enum DbError {
         /// The underlying enclave error.
         source: enclave_sim::EnclaveError,
     },
+    /// A networked-deployment failure (DESIGN.md §16): socket I/O, a
+    /// malformed or unexpected frame, an authentication rejection, or a
+    /// server-side error relayed over the wire.
+    Net(String),
+    /// The server shed this request under admission control instead of
+    /// queueing it unboundedly; retry after the indicated backoff.
+    ServerBusy {
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -108,6 +118,10 @@ impl fmt::Display for DbError {
             DbError::Durability(msg) => write!(f, "durability failure: {msg}"),
             DbError::Unseal { context, source } => {
                 write!(f, "unseal validation failed for {context}: {source}")
+            }
+            DbError::Net(msg) => write!(f, "network failure: {msg}"),
+            DbError::ServerBusy { retry_after_ms } => {
+                write!(f, "server busy: retry after {retry_after_ms} ms")
             }
         }
     }

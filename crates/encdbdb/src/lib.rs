@@ -18,6 +18,9 @@
 //!   aggregates / ORDER BY / LIMIT over ValueID histograms, with one
 //!   enclave consultation per query.
 //! * [`session`] — an in-process deployment of all components.
+//! * [`net`] — a networked multi-tenant deployment: binary wire
+//!   protocol, thread-pooled TCP server with admission control, and a
+//!   thin client (`NetServer`, `NetClient`).
 //! * [`obs`] — observability: metrics registry, trace spans, and the
 //!   ECALL leakage ledger (`Session::export_trace`, `metrics_report`).
 //!
@@ -56,6 +59,7 @@
 
 pub mod error;
 pub mod exec;
+pub mod net;
 pub mod obs;
 pub mod owner;
 pub mod proxy;
@@ -66,6 +70,7 @@ pub mod sql;
 
 pub use error::DbError;
 pub use exec::plan::{AggregatePlan, SelectPlan};
+pub use net::{NetClient, NetServer, NetServerConfig, NetServerHandle, TenantSpec};
 pub use obs::{EcallKind, LedgerReport, MetricsReport, Obs, TraceEvent};
 pub use owner::DataOwner;
 pub use proxy::{Proxy, QueryResult};

@@ -1,0 +1,111 @@
+//! Thin blocking client for the wire protocol (DESIGN.md §16.5).
+//!
+//! Mirrors the in-process `Session` query API: connect, authenticate as
+//! a tenant, then [`NetClient::execute`] SQL and get a [`QueryResult`]
+//! back. The socket stays blocking with no read timeout — the client has
+//! nothing to poll for — and one [`FrameCodec`] is reused for the whole
+//! connection, so steady-state querying does not allocate per message.
+
+use super::wire::{net_io, FrameCodec, Message, Recv};
+use crate::error::DbError;
+use crate::proxy::QueryResult;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected, authenticated wire-protocol client.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    codec: FrameCodec,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects to a [`super::NetServer`] and authenticates as `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, an authentication rejection, or a
+    /// connection-level `BUSY` (the server shed this connection; retry
+    /// after the indicated backoff).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        tenant: &str,
+        token: &str,
+    ) -> Result<NetClient, DbError> {
+        let stream = TcpStream::connect(addr).map_err(net_io)?;
+        stream.set_nodelay(true).map_err(net_io)?;
+        let mut client = NetClient {
+            stream,
+            codec: FrameCodec::new(),
+            next_id: 1,
+        };
+        match client.roundtrip(&Message::Hello {
+            tenant: tenant.into(),
+            token: token.into(),
+        })? {
+            Message::HelloOk => Ok(client),
+            other => Err(reply_to_error(other)),
+        }
+    }
+
+    /// Sends one request and blocks for the matching reply.
+    fn roundtrip(&mut self, msg: &Message) -> Result<Message, DbError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.codec.send(&mut self.stream, id, msg)?;
+        loop {
+            match self.codec.poll_recv(&mut self.stream)? {
+                Recv::Frame {
+                    request_id, msg, ..
+                } => {
+                    // A connection-level BUSY shed at accept time carries
+                    // id 0; anything else must echo our request id.
+                    if request_id != id && !(request_id == 0 && matches!(msg, Message::Busy { .. }))
+                    {
+                        return Err(DbError::Net(format!(
+                            "response id mismatch: sent {id}, got {request_id}"
+                        )));
+                    }
+                    return Ok(msg);
+                }
+                // The socket is blocking with no read timeout, so Idle
+                // is unreachable; treat it as a retry for robustness.
+                Recv::Idle => {}
+                Recv::Eof => {
+                    return Err(DbError::Net("server closed the connection".into()));
+                }
+            }
+        }
+    }
+
+    /// Executes one SQL statement on the server.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::ServerBusy`] when admission control shed the request
+    /// (retry after the hinted backoff); [`DbError::Net`] for relayed
+    /// server errors and transport failures.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        match self.roundtrip(&Message::Query { sql: sql.into() })? {
+            Message::Result { columns, rows } => Ok(QueryResult { columns, rows }),
+            other => Err(reply_to_error(other)),
+        }
+    }
+
+    /// Closes the connection with an orderly `GOODBYE`.
+    pub fn close(mut self) {
+        let _ = self
+            .codec
+            .send(&mut self.stream, self.next_id, &Message::Goodbye);
+    }
+}
+
+fn reply_to_error(msg: Message) -> DbError {
+    match msg {
+        Message::Busy { retry_after_ms } => DbError::ServerBusy {
+            retry_after_ms: u64::from(retry_after_ms),
+        },
+        Message::Error { code, message } => DbError::Net(format!("server error {code}: {message}")),
+        other => DbError::Net(format!("unexpected reply: {other:?}")),
+    }
+}

@@ -1,0 +1,29 @@
+//! Networked multi-tenant service layer (DESIGN.md §16).
+//!
+//! Everything the in-process pipeline guarantees — decrypt-in-enclave,
+//! leakage accounting, ECALL batching across concurrent readers — holds
+//! unchanged behind a TCP front end:
+//!
+//! - `wire`: the length-prefixed binary protocol with versioned
+//!   headers, request ids, and per-connection reusable buffers.
+//! - `tenant`: table-namespace rewriting that confines each
+//!   authenticated connection to its tenant's tables.
+//! - `server`: the thread-pooled [`NetServer`] with bounded queues and
+//!   two-level admission control (`BUSY` shedding).
+//! - `client`: the thin blocking [`NetClient`] mirroring the
+//!   in-process query API.
+//!
+//! The wire layer adds **zero** enclave transitions: frames are
+//! decoded, namespaced, and handed to an ordinary `ReaderSession`, so a
+//! query served over TCP produces a byte-identical result and an
+//! identical leakage ledger to the same query run in-process (proven by
+//! `tests/net_differential.rs`). What a *network* observer additionally
+//! sees is frame timing and sizes — see DESIGN.md §16.6.
+
+mod client;
+mod server;
+mod tenant;
+mod wire;
+
+pub use client::NetClient;
+pub use server::{tenant_table_name, NetServer, NetServerConfig, NetServerHandle, TenantSpec};

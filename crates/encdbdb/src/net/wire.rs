@@ -1,0 +1,543 @@
+//! The length-prefixed binary wire protocol (DESIGN.md §16.1).
+//!
+//! Every frame is
+//!
+//! ```text
+//! [u32 len LE][u8 version][u8 msg_type][u64 request_id LE][payload]
+//! ```
+//!
+//! where `len` counts everything after the length field itself (so the
+//! minimum frame is 10 bytes of header plus an empty payload). Request
+//! ids let a client pipeline requests and match replies; the server
+//! echoes the id of the request a frame answers. Strings and byte
+//! strings are encoded as a `u32` little-endian length followed by the
+//! raw bytes.
+//!
+//! [`FrameCodec`] owns one reusable encode buffer and one reusable
+//! decode buffer per connection, so the hot path allocates nothing per
+//! message once the buffers have grown to the connection's working set.
+//! Decoding is an incremental state machine: [`FrameCodec::poll_recv`]
+//! accepts partial reads (a read timeout used as a poll tick returns
+//! [`Recv::Idle`] without losing buffered bytes), which is what lets
+//! the server multiplex shutdown checks with blocking sockets.
+
+use crate::error::DbError;
+use std::io::{Read, Write};
+use std::time::Instant;
+
+/// Protocol version carried in every frame header.
+pub(crate) const WIRE_VERSION: u8 = 1;
+
+/// Frame header bytes after the length field: version + type + request id.
+const HEADER_AFTER_LEN: usize = 1 + 1 + 8;
+
+/// Hard ceiling on a frame's declared length — a malformed or malicious
+/// length prefix must not drive an unbounded allocation.
+const MAX_FRAME: usize = 256 << 20;
+
+/// Error code: malformed or unexpected frame.
+pub(crate) const ERR_PROTOCOL: u16 = 1;
+/// Error code: authentication / provisioning rejection.
+pub(crate) const ERR_AUTH: u16 = 2;
+/// Error code: the query itself failed (relayed [`DbError`] text).
+pub(crate) const ERR_QUERY: u16 = 3;
+/// Error code: a per-tenant quota was exceeded.
+pub(crate) const ERR_QUOTA: u16 = 4;
+
+/// One protocol message (the decoded payload of a frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Message {
+    /// Client → server: authenticate as `tenant` with a provisioning
+    /// token. Must be the first frame on a connection.
+    Hello {
+        /// The tenant namespace to bind this connection to.
+        tenant: String,
+        /// The tenant's shared provisioning token.
+        token: String,
+    },
+    /// Server → client: handshake accepted.
+    HelloOk,
+    /// Client → server: execute one SQL statement.
+    Query {
+        /// The statement text.
+        sql: String,
+    },
+    /// Server → client: a query's decrypted result set.
+    Result {
+        /// Result column names (tenant prefix already stripped).
+        columns: Vec<String>,
+        /// Result rows; plaintext cell values in column order.
+        rows: Vec<Vec<Vec<u8>>>,
+    },
+    /// Server → client: the request failed.
+    Error {
+        /// One of the `ERR_*` codes.
+        code: u16,
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// Server → client: admission control shed this request; retry
+    /// after the indicated backoff instead of queueing server-side.
+    Busy {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// Client → server: orderly connection close.
+    Goodbye,
+}
+
+impl Message {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::HelloOk => 2,
+            Message::Query { .. } => 3,
+            Message::Result { .. } => 4,
+            Message::Error { .. } => 5,
+            Message::Busy { .. } => 6,
+            Message::Goodbye => 7,
+        }
+    }
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        match self {
+            Message::Hello { tenant, token } => {
+                put_bytes(buf, tenant.as_bytes());
+                put_bytes(buf, token.as_bytes());
+            }
+            Message::HelloOk | Message::Goodbye => {}
+            Message::Query { sql } => put_bytes(buf, sql.as_bytes()),
+            Message::Result { columns, rows } => {
+                put_u32(buf, columns.len() as u32);
+                for c in columns {
+                    put_bytes(buf, c.as_bytes());
+                }
+                put_u32(buf, rows.len() as u32);
+                for row in rows {
+                    put_u32(buf, row.len() as u32);
+                    for cell in row {
+                        put_bytes(buf, cell);
+                    }
+                }
+            }
+            Message::Error { code, message } => {
+                buf.extend_from_slice(&code.to_le_bytes());
+                put_bytes(buf, message.as_bytes());
+            }
+            Message::Busy { retry_after_ms } => put_u32(buf, *retry_after_ms),
+        }
+    }
+
+    fn decode(msg_type: u8, payload: &[u8]) -> Result<Message, DbError> {
+        let mut c = Cursor::new(payload);
+        let msg = match msg_type {
+            1 => Message::Hello {
+                tenant: c.take_string()?,
+                token: c.take_string()?,
+            },
+            2 => Message::HelloOk,
+            3 => Message::Query {
+                sql: c.take_string()?,
+            },
+            4 => {
+                let ncols = c.take_u32()? as usize;
+                let mut columns = Vec::with_capacity(ncols.min(1024));
+                for _ in 0..ncols {
+                    columns.push(c.take_string()?);
+                }
+                let nrows = c.take_u32()? as usize;
+                let mut rows = Vec::with_capacity(nrows.min(4096));
+                for _ in 0..nrows {
+                    let ncells = c.take_u32()? as usize;
+                    let mut row = Vec::with_capacity(ncells.min(1024));
+                    for _ in 0..ncells {
+                        row.push(c.take_bytes()?.to_vec());
+                    }
+                    rows.push(row);
+                }
+                Message::Result { columns, rows }
+            }
+            5 => Message::Error {
+                code: c.take_u16()?,
+                message: c.take_string()?,
+            },
+            6 => Message::Busy {
+                retry_after_ms: c.take_u32()?,
+            },
+            7 => Message::Goodbye,
+            other => {
+                return Err(DbError::Net(format!("unknown message type {other}")));
+            }
+        };
+        if !c.exhausted() {
+            return Err(DbError::Net("trailing bytes after message payload".into()));
+        }
+        Ok(msg)
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v);
+}
+
+/// Bounds-checked payload reader.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DbError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| DbError::Net("truncated message payload".into()))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn take_u16(&mut self) -> Result<u16, DbError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn take_u32(&mut self) -> Result<u32, DbError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn take_bytes(&mut self) -> Result<&'a [u8], DbError> {
+        let len = self.take_u32()? as usize;
+        self.take(len)
+    }
+
+    fn take_string(&mut self) -> Result<String, DbError> {
+        String::from_utf8(self.take_bytes()?.to_vec())
+            .map_err(|_| DbError::Net("string field is not valid UTF-8".into()))
+    }
+
+    fn exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// What one [`FrameCodec::poll_recv`] call produced.
+#[derive(Debug)]
+pub(crate) enum Recv {
+    /// A complete frame was decoded.
+    Frame {
+        /// The frame's request id.
+        request_id: u64,
+        /// The decoded message.
+        msg: Message,
+        /// Total frame size on the wire, length prefix included.
+        frame_bytes: u64,
+        /// First-byte-to-complete receive latency of this frame.
+        recv_ns: u64,
+    },
+    /// No bytes available within the read timeout (poll tick elapsed).
+    Idle,
+    /// The peer closed the connection at a frame boundary.
+    Eof,
+}
+
+/// Per-connection encoder/decoder with reusable buffers; see the module
+/// docs for the frame layout.
+#[derive(Debug, Default)]
+pub(crate) struct FrameCodec {
+    encode_buf: Vec<u8>,
+    recv_buf: Vec<u8>,
+    filled: usize,
+    first_byte: Option<Instant>,
+}
+
+impl FrameCodec {
+    pub(crate) fn new() -> Self {
+        FrameCodec::default()
+    }
+
+    /// Encodes and writes one frame; returns the bytes written.
+    pub(crate) fn send(
+        &mut self,
+        w: &mut impl Write,
+        request_id: u64,
+        msg: &Message,
+    ) -> Result<u64, DbError> {
+        let buf = &mut self.encode_buf;
+        buf.clear();
+        buf.extend_from_slice(&[0u8; 4]);
+        buf.push(WIRE_VERSION);
+        buf.push(msg.type_byte());
+        buf.extend_from_slice(&request_id.to_le_bytes());
+        msg.encode_payload(buf);
+        let len = (buf.len() - 4) as u32;
+        buf[0..4].copy_from_slice(&len.to_le_bytes());
+        w.write_all(buf).map_err(net_io)?;
+        Ok(buf.len() as u64)
+    }
+
+    /// Advances the incremental decoder with whatever bytes the stream
+    /// has. With a read timeout set on the stream this doubles as a poll
+    /// tick: a timeout surfaces as [`Recv::Idle`] with all buffered
+    /// partial-frame bytes intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Net`] for I/O failures, version mismatches,
+    /// over-limit or malformed frames, and mid-frame disconnects.
+    pub(crate) fn poll_recv(&mut self, r: &mut impl Read) -> Result<Recv, DbError> {
+        loop {
+            let target = if self.filled < 4 {
+                4
+            } else {
+                let len =
+                    u32::from_le_bytes(self.recv_buf[0..4].try_into().expect("4 bytes")) as usize;
+                if !(HEADER_AFTER_LEN..=MAX_FRAME).contains(&len) {
+                    return Err(DbError::Net(format!("invalid frame length {len}")));
+                }
+                4 + len
+            };
+            if self.filled >= 4 && self.filled == target {
+                let version = self.recv_buf[4];
+                if version != WIRE_VERSION {
+                    return Err(DbError::Net(format!(
+                        "unsupported protocol version {version} (expected {WIRE_VERSION})"
+                    )));
+                }
+                let msg_type = self.recv_buf[5];
+                let request_id =
+                    u64::from_le_bytes(self.recv_buf[6..14].try_into().expect("8 bytes"));
+                let msg = Message::decode(msg_type, &self.recv_buf[14..target])?;
+                let recv_ns = self
+                    .first_byte
+                    .take()
+                    .map_or(0, |t| t.elapsed().as_nanos() as u64);
+                self.filled = 0;
+                return Ok(Recv::Frame {
+                    request_id,
+                    msg,
+                    frame_bytes: target as u64,
+                    recv_ns,
+                });
+            }
+            if self.recv_buf.len() < target {
+                self.recv_buf.resize(target, 0);
+            }
+            match r.read(&mut self.recv_buf[self.filled..target]) {
+                Ok(0) => {
+                    return if self.filled == 0 {
+                        Ok(Recv::Eof)
+                    } else {
+                        Err(DbError::Net("peer closed the connection mid-frame".into()))
+                    };
+                }
+                Ok(n) => {
+                    if self.filled == 0 {
+                        self.first_byte = Some(Instant::now());
+                    }
+                    self.filled += n;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(Recv::Idle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(net_io(e)),
+            }
+        }
+    }
+}
+
+/// Wraps a socket I/O error as a [`DbError::Net`].
+pub(crate) fn net_io(e: std::io::Error) -> DbError {
+    DbError::Net(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) -> (u64, Message) {
+        let mut codec = FrameCodec::new();
+        let mut wire = Vec::new();
+        codec.send(&mut wire, 42, &msg).expect("encode");
+        let mut reader = wire.as_slice();
+        match codec.poll_recv(&mut reader).expect("decode") {
+            Recv::Frame {
+                request_id, msg, ..
+            } => (request_id, msg),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_message_shapes_roundtrip() {
+        for msg in [
+            Message::Hello {
+                tenant: "acme".into(),
+                token: "s3cret".into(),
+            },
+            Message::HelloOk,
+            Message::Query {
+                sql: "SELECT v FROM t WHERE v >= 'a'".into(),
+            },
+            Message::Result {
+                columns: vec!["v".into(), "w".into()],
+                rows: vec![
+                    vec![b"one".to_vec(), vec![0u8, 255, 7]],
+                    vec![Vec::new(), b"x".to_vec()],
+                ],
+            },
+            Message::Error {
+                code: ERR_QUERY,
+                message: "table not found: t".into(),
+            },
+            Message::Busy { retry_after_ms: 15 },
+            Message::Goodbye,
+        ] {
+            let (id, decoded) = roundtrip(msg.clone());
+            assert_eq!(id, 42);
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn non_utf8_cells_survive_the_wire() {
+        let cell = vec![0u8, 1, 2, 0xFF, 0xFE, b'\'', b'"'];
+        let (_, decoded) = roundtrip(Message::Result {
+            columns: vec!["c".into()],
+            rows: vec![vec![cell.clone()]],
+        });
+        let Message::Result { rows, .. } = decoded else {
+            panic!("expected result");
+        };
+        assert_eq!(rows, vec![vec![cell]]);
+    }
+
+    #[test]
+    fn partial_reads_reassemble_one_frame() {
+        let mut codec = FrameCodec::new();
+        let mut wire = Vec::new();
+        codec
+            .send(
+                &mut wire,
+                7,
+                &Message::Query {
+                    sql: "SELECT 1".into(),
+                },
+            )
+            .expect("encode");
+        // Feed the frame one byte at a time through a reader that yields
+        // WouldBlock between bytes — the codec must keep partial state.
+        struct Trickle<'a> {
+            data: &'a [u8],
+            pos: usize,
+            just_served: bool,
+        }
+        impl Read for Trickle<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.just_served {
+                    self.just_served = false;
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                if self.pos == self.data.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                self.just_served = true;
+                Ok(1)
+            }
+        }
+        let mut trickle = Trickle {
+            data: &wire,
+            pos: 0,
+            just_served: false,
+        };
+        let mut idles = 0usize;
+        loop {
+            match codec.poll_recv(&mut trickle).expect("poll") {
+                Recv::Frame {
+                    request_id, msg, ..
+                } => {
+                    assert_eq!(request_id, 7);
+                    assert_eq!(
+                        msg,
+                        Message::Query {
+                            sql: "SELECT 1".into()
+                        }
+                    );
+                    // Every byte but the frame-completing one paused the
+                    // decoder at least once.
+                    assert_eq!(idles, wire.len() - 1);
+                    return;
+                }
+                Recv::Idle => idles += 1,
+                Recv::Eof => panic!("unexpected eof"),
+            }
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut codec = FrameCodec::new();
+        let mut wire = Vec::new();
+        codec.send(&mut wire, 1, &Message::HelloOk).expect("encode");
+        wire[4] = 99;
+        let mut reader = wire.as_slice();
+        let err = codec.poll_recv(&mut reader).expect_err("bad version");
+        assert!(matches!(err, DbError::Net(_)), "{err}");
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn oversized_and_undersized_lengths_are_rejected() {
+        for bad_len in [0u32, 5, (MAX_FRAME as u32) + 1] {
+            let mut codec = FrameCodec::new();
+            let mut wire = Vec::new();
+            codec.send(&mut wire, 1, &Message::HelloOk).expect("encode");
+            wire[0..4].copy_from_slice(&bad_len.to_le_bytes());
+            let mut reader = wire.as_slice();
+            let err = codec.poll_recv(&mut reader).expect_err("bad length");
+            assert!(err.to_string().contains("frame length"), "{err}");
+        }
+    }
+
+    #[test]
+    fn eof_at_boundary_vs_mid_frame() {
+        let mut codec = FrameCodec::new();
+        let mut empty: &[u8] = &[];
+        assert!(matches!(codec.poll_recv(&mut empty).unwrap(), Recv::Eof));
+        let mut wire = Vec::new();
+        codec.send(&mut wire, 1, &Message::Goodbye).expect("encode");
+        let mut truncated = &wire[..wire.len() - 3];
+        let err = codec.poll_recv(&mut truncated).expect_err("mid-frame eof");
+        assert!(err.to_string().contains("mid-frame"), "{err}");
+    }
+
+    #[test]
+    fn truncated_payload_and_unknown_type_are_rejected() {
+        assert!(Message::decode(3, &[5, 0, 0, 0, b'a']).is_err());
+        assert!(Message::decode(200, &[]).is_err());
+        // Trailing garbage after a well-formed payload is a protocol
+        // error, not silently ignored.
+        assert!(Message::decode(2, &[0]).is_err());
+    }
+}

@@ -60,6 +60,13 @@ metric_keys! {
     ValueCacheMissesTotal => "value_cache_misses_total",
     EcallBatchesTotal => "ecall_batches_total",
     BatchedCallsTotal => "batched_calls_total",
+    NetConnectionsAcceptedTotal => "net_connections_accepted_total",
+    NetConnectionsShedTotal => "net_connections_shed_total",
+    NetAuthFailuresTotal => "net_auth_failures_total",
+    NetRequestsTotal => "net_requests_total",
+    NetBusyRepliesTotal => "net_busy_replies_total",
+    NetBytesInTotal => "net_bytes_in_total",
+    NetBytesOutTotal => "net_bytes_out_total",
 }
 
 metric_keys! {
@@ -79,6 +86,9 @@ metric_keys! {
     RecoveryNs => "recovery_ns",
     EcallWaitNs => "ecall_wait_ns",
     BatchOccupancy => "batch_occupancy",
+    NetRecvNs => "net_recv_ns",
+    NetSendNs => "net_send_ns",
+    NetQueueDepth => "net_queue_depth",
 }
 
 /// Number of log₂ buckets: bucket `i` holds samples whose value `v`

@@ -276,7 +276,48 @@ impl Proxy {
         let parse_span = obs.span("parse", "query", root.id());
         let stmt = parse(sql)?;
         parse_span.finish();
-        let result = match stmt {
+        let result = self.dispatch(server, stmt, rng, &obs, root.id());
+        obs.record(Hist::QueryNs, t0.elapsed().as_nanos() as u64);
+        root.finish();
+        result
+    }
+
+    /// Executes an already-parsed [`Statement`] against the server —
+    /// identical to [`Proxy::execute`] minus the parse step. The net
+    /// layer uses this to run a tenant-rewritten AST directly instead of
+    /// re-rendering it to SQL (the `Display` round-trip is lossy for
+    /// non-UTF-8 values).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup and crypto failures.
+    pub fn execute_statement<R: Rng + ?Sized>(
+        &self,
+        server: &DbaasServer,
+        stmt: Statement,
+        rng: &mut R,
+    ) -> Result<QueryResult, DbError> {
+        let obs = server.obs().clone();
+        let root = obs.span("query", "query", SpanId::NONE);
+        let t0 = std::time::Instant::now();
+        obs.add(Counter::QueriesTotal, 1);
+        let result = self.dispatch(server, stmt, rng, &obs, root.id());
+        obs.record(Hist::QueryNs, t0.elapsed().as_nanos() as u64);
+        root.finish();
+        result
+    }
+
+    /// The shared statement dispatcher behind [`Proxy::execute`] and
+    /// [`Proxy::execute_statement`].
+    fn dispatch<R: Rng + ?Sized>(
+        &self,
+        server: &DbaasServer,
+        stmt: Statement,
+        rng: &mut R,
+        obs: &crate::obs::Obs,
+        root: SpanId,
+    ) -> Result<QueryResult, DbError> {
+        match stmt {
             Statement::CreateTable {
                 name,
                 columns,
@@ -304,7 +345,7 @@ impl Proxy {
             }
             Statement::Insert { table, rows } => {
                 obs.add(Counter::InsertsTotal, 1);
-                let plan_span = obs.span("plan", "query", root.id());
+                let plan_span = obs.span("plan", "query", root);
                 let schema = server.schema(&table)?;
                 for row in &rows {
                     if row.len() != schema.columns.len() {
@@ -349,7 +390,7 @@ impl Proxy {
                         rows: cells,
                         partition_ids,
                     },
-                    root.id(),
+                    root,
                 )?;
                 let QueryOutcome::Affected(n) = outcome else {
                     unreachable!("insert returns an affected count");
@@ -381,10 +422,10 @@ impl Proxy {
                         &order_by,
                         limit,
                         rng,
-                        root.id(),
+                        root,
                     )
                 } else {
-                    let plan_span = obs.span("plan", "query", root.id());
+                    let plan_span = obs.span("plan", "query", root);
                     let schema = server.schema(&table)?;
                     let plan =
                         compile_select(&schema, distinct, &items, &group_by, &order_by, limit)?;
@@ -405,7 +446,7 @@ impl Proxy {
                                     filters,
                                     scope,
                                 },
-                                root.id(),
+                                root,
                             )?;
                             let QueryOutcome::Rows(response) = outcome else {
                                 unreachable!("select returns rows");
@@ -426,7 +467,7 @@ impl Proxy {
                                     filters,
                                     scope,
                                 },
-                                root.id(),
+                                root,
                             )?;
                             let QueryOutcome::Rows(response) = outcome else {
                                 unreachable!("aggregate returns rows");
@@ -438,7 +479,7 @@ impl Proxy {
             }
             Statement::Delete { table, filter } => {
                 obs.add(Counter::DeletesTotal, 1);
-                let plan_span = obs.span("plan", "query", root.id());
+                let plan_span = obs.span("plan", "query", root);
                 let schema = server.schema(&table)?;
                 let (filters, scope) =
                     self.build_server_filters(&schema, &table, filter.as_ref(), rng)?;
@@ -449,7 +490,7 @@ impl Proxy {
                         filters,
                         scope,
                     },
-                    root.id(),
+                    root,
                 )?;
                 let QueryOutcome::Affected(n) = outcome else {
                     unreachable!("delete returns an affected count");
@@ -459,10 +500,7 @@ impl Proxy {
                     rows: vec![vec![n.to_string().into_bytes()]],
                 })
             }
-        };
-        obs.record(Hist::QueryNs, t0.elapsed().as_nanos() as u64);
-        root.finish();
-        result
+        }
     }
 
     /// Executes a two-table equi-join: compile, split the WHERE

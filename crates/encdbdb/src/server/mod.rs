@@ -597,6 +597,38 @@ impl DbaasServer {
         })
     }
 
+    /// Names of every deployed table, in unspecified order. The net
+    /// layer uses this to seed per-tenant quota counters (tables are
+    /// namespaced by tenant prefix) and to drain compaction on shutdown.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Blocks until no compaction merge is running on any table — the
+    /// storage half of graceful shutdown (DESIGN.md §16). The net server
+    /// first joins its connection workers (draining in-flight queries),
+    /// then calls this so no background rebuild is mid-publish when the
+    /// process exits while WAL/snapshot files are being written.
+    pub fn drain_background_work(&self) -> Result<(), DbError> {
+        for name in self.table_names() {
+            self.wait_for_compaction(&name)?;
+        }
+        Ok(())
+    }
+
+    /// Arms the ECALL scheduler's injected-leader-panic hook: the next
+    /// batched dispatch round panics mid-transition. Test-only surface
+    /// for the poisoned-round regression suite.
+    #[doc(hidden)]
+    pub fn arm_scheduler_panic(&self) {
+        self.sched.arm_leader_panic();
+    }
+
     pub(crate) fn table_handle(&self, name: &str) -> Result<Arc<ServerTable>, DbError> {
         self.tables
             .read()

@@ -38,12 +38,23 @@
 //! over the coalesced requests, plus `ecall_batches_total` /
 //! `batched_calls_total` and the batch-occupancy histogram; per-session
 //! queue wait lands in `ecall_wait_ns`.
+//!
+//! Crash-safety: a leader that panics mid-round (an enclave bug, or the
+//! injected test hook) must not wedge its followers' condvar waits. The
+//! round is wrapped in a [`RoundGuard`] whose `Drop` — running during
+//! unwind — resigns leadership and fills every undelivered slot (the
+//! round's own plus everything still queued) with an
+//! [`EncdictError::Poisoned`] reply, so followers fail their query
+//! instead of blocking forever. Poisoned requests were never executed:
+//! no transition happened for them, so no ledger entry is recorded (the
+//! error reply propagates out of the search/aggregate/bridge unwrap
+//! before any native accounting).
 
 use super::lock;
 use crate::obs::{EcallIo, EcallKind, Hist, Obs, SpanId};
 use encdict::batch::OwnedDictCall;
 use encdict::enclave_ops::{AggCell, BatchItemReply, DictCall, DictReply};
-use encdict::DictEnclave;
+use encdict::{DictEnclave, EncdictError};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -162,6 +173,10 @@ pub(crate) struct EcallScheduler {
     /// (today's lock-per-call convoy), for differential tests and the
     /// bypass leg of the concurrency bench.
     enabled: AtomicBool,
+    /// Test hook: when set, the next leader round panics right after
+    /// acquiring the enclave lock (then auto-disarms). Exercises the
+    /// poisoned-round unwind path from real integration tests.
+    panic_armed: AtomicBool,
 }
 
 impl std::fmt::Debug for SchedState {
@@ -180,7 +195,15 @@ impl EcallScheduler {
             state: Mutex::new(SchedState::default()),
             obs,
             enabled: AtomicBool::new(true),
+            panic_armed: AtomicBool::new(false),
         }
+    }
+
+    /// Arms the injected-leader-panic test hook: the next batched round's
+    /// leader panics after taking the enclave lock, exercising the
+    /// [`RoundGuard`] poisoning path end-to-end.
+    pub(crate) fn arm_leader_panic(&self) {
+        self.panic_armed.store(true, Ordering::SeqCst);
     }
 
     /// Turns cross-session batching on or off (on by default).
@@ -253,6 +276,11 @@ impl EcallScheduler {
 
     /// Executes one round — ONE enclave transition for however many
     /// requests it carries — and demultiplexes the replies.
+    ///
+    /// The round is held by a [`RoundGuard`] for the duration: if the
+    /// transition panics, the guard's unwind path resigns leadership and
+    /// poisons every undelivered reply slot instead of leaving the
+    /// followers wedged on their condvars.
     fn execute_round(&self, round: Vec<Pending>) {
         let peers = round.len();
         let start_ns = self.obs.now_ns();
@@ -261,8 +289,12 @@ impl EcallScheduler {
             .iter()
             .map(|p| p.enqueued.elapsed().as_nanos() as u64)
             .collect();
+        let mut guard = RoundGuard { sched: self, round };
         let mut enclave = lock(&self.enclave);
-        let calls: Vec<DictCall<'_>> = round.iter().map(|p| p.call.borrow()).collect();
+        if self.panic_armed.swap(false, Ordering::SeqCst) {
+            panic!("injected leader panic (scheduler test hook)");
+        }
+        let calls: Vec<DictCall<'_>> = guard.round.iter().map(|p| p.call.borrow()).collect();
         let items = enclave.batch(calls);
         drop(enclave);
         let dur_ns = started.elapsed().as_nanos() as u64;
@@ -274,7 +306,7 @@ impl EcallScheduler {
             // the coalesced requests. Parentless span — the transition
             // belongs to K queries at once.
             let mut io = EcallIo::default();
-            for (pending, item) in round.iter().zip(&items) {
+            for (pending, item) in guard.round.iter().zip(&items) {
                 io.bytes_in += request_payload_bytes(&pending.call);
                 io.bytes_out += reply_payload_bytes(&item.reply);
                 io.values_decrypted += item_values_decrypted(item);
@@ -292,7 +324,9 @@ impl EcallScheduler {
                 peers as u64,
             );
         }
-        for ((pending, item), wait_ns) in round.into_iter().zip(items).zip(waits_ns) {
+        // Drain leaves the guard's round empty, so its Drop is a no-op
+        // on the normal path.
+        for ((pending, item), wait_ns) in guard.round.drain(..).zip(items).zip(waits_ns) {
             self.obs.record(Hist::EcallWaitNs, wait_ns);
             pending.slot.fill(SchedOutcome {
                 reply: item.reply,
@@ -331,6 +365,60 @@ impl EcallScheduler {
             wait_ns,
             peers: 1,
         }
+    }
+}
+
+/// Owns a dispatching round for the duration of its enclave transition.
+///
+/// On the normal path `execute_round` drains the round to fill every
+/// reply slot and the guard's `Drop` sees an empty vector. If the leader
+/// panics mid-round, `Drop` runs during unwind: it resigns leadership,
+/// takes every request still queued (no leader remains to ever dispatch
+/// them), and fills all undelivered slots with a poisoned-round error so
+/// the blocked followers wake and fail their queries instead of hanging.
+struct RoundGuard<'a> {
+    sched: &'a EcallScheduler,
+    round: Vec<Pending>,
+}
+
+impl Drop for RoundGuard<'_> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            debug_assert!(self.round.is_empty(), "normal exit drains the round");
+            return;
+        }
+        let orphaned = {
+            let mut state = lock(&self.sched.state);
+            state.leader_active = false;
+            std::mem::take(&mut state.queue)
+        };
+        for pending in self.round.drain(..).chain(orphaned) {
+            let class = pending.key.class;
+            pending.slot.fill(poisoned_outcome(class));
+        }
+    }
+}
+
+/// The reply delivered to a request whose round leader died before
+/// dispatching it. The request never executed: zero transition cost,
+/// `peers: 1` so no session mistakes it for a batched run.
+fn poisoned_outcome(class: CallClass) -> SchedOutcome {
+    const MSG: &str = "round leader panicked before this request was dispatched";
+    let reply = match class {
+        CallClass::Search => DictReply::Search(Err(EncdictError::Poisoned(MSG))),
+        CallClass::Aggregate => DictReply::Aggregated(Err(EncdictError::Poisoned(MSG))),
+        CallClass::JoinBridge => DictReply::Bridged(Err(EncdictError::Poisoned(MSG))),
+    };
+    SchedOutcome {
+        reply,
+        untrusted_loads: 0,
+        untrusted_bytes: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        start_ns: 0,
+        dur_ns: 0,
+        wait_ns: 0,
+        peers: 1,
     }
 }
 
@@ -521,5 +609,64 @@ mod tests {
     fn error_replies_cross_with_zero_payload() {
         let err = DictReply::Search(Err(encdict::EncdictError::CorruptDictionary("test")));
         assert_eq!(reply_payload_bytes(&err), 0);
+    }
+
+    #[test]
+    fn poisoned_outcome_matches_call_class() {
+        // Each class gets the error wrapped in its own reply shape, so
+        // the per-class unwrap sites see it without an unreachable! arm.
+        let search = poisoned_outcome(CallClass::Search);
+        assert!(matches!(
+            search.reply,
+            DictReply::Search(Err(EncdictError::Poisoned(_)))
+        ));
+        assert!(!search.batched());
+        assert_eq!(reply_payload_bytes(&search.reply), 0);
+        assert!(matches!(
+            poisoned_outcome(CallClass::Aggregate).reply,
+            DictReply::Aggregated(Err(EncdictError::Poisoned(_)))
+        ));
+        assert!(matches!(
+            poisoned_outcome(CallClass::JoinBridge).reply,
+            DictReply::Bridged(Err(EncdictError::Poisoned(_)))
+        ));
+    }
+
+    #[test]
+    fn round_guard_poisons_round_and_queue_on_panic() {
+        let enclave = Arc::new(Mutex::new(DictEnclave::new()));
+        let sched = EcallScheduler::new(enclave, Obs::new());
+        // Simulate a leader holding a two-request round while two more
+        // requests sit queued, then panic inside the guarded section.
+        let round = vec![pending(CallClass::Search, 1), pending(CallClass::Search, 1)];
+        let slots: Vec<Arc<ReplySlot>> = round.iter().map(|p| Arc::clone(&p.slot)).collect();
+        let queued = pending(CallClass::Aggregate, 1);
+        let queued_slot = Arc::clone(&queued.slot);
+        {
+            let mut state = lock(&sched.state);
+            state.leader_active = true;
+            state.queue.push(queued);
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = RoundGuard {
+                sched: &sched,
+                round,
+            };
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        for slot in slots {
+            assert!(matches!(
+                slot.wait().reply,
+                DictReply::Search(Err(EncdictError::Poisoned(_)))
+            ));
+        }
+        assert!(matches!(
+            queued_slot.wait().reply,
+            DictReply::Aggregated(Err(EncdictError::Poisoned(_)))
+        ));
+        let state = lock(&sched.state);
+        assert!(!state.leader_active, "leadership resigned during unwind");
+        assert!(state.queue.is_empty(), "no request left orphaned");
     }
 }

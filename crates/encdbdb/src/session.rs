@@ -237,6 +237,22 @@ impl ReaderSession {
         self.proxy.execute(&self.server, sql, &mut self.rng)
     }
 
+    /// Executes an already-parsed [`Statement`](crate::sql::Statement)
+    /// through this fork's proxy — the net server's entry point: it
+    /// parses once, rewrites table references into the tenant's
+    /// namespace, and runs the rewritten AST directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup and crypto failures.
+    pub fn execute_statement(
+        &mut self,
+        stmt: crate::sql::Statement,
+    ) -> Result<QueryResult, DbError> {
+        self.proxy
+            .execute_statement(&self.server, stmt, &mut self.rng)
+    }
+
     /// The shared server handle (epoch and compaction inspection).
     pub fn server(&self) -> &DbaasServer {
         &self.server

@@ -33,6 +33,11 @@ pub enum EncdictError {
     Aggregate(&'static str),
     /// An underlying cryptographic operation failed (bad key, tampering).
     Crypto(CryptoError),
+    /// A shared batch round died before this request was dispatched: the
+    /// round leader panicked mid-transition, so the request was never
+    /// executed. The caller should fail the query (the enclave state
+    /// itself is unaffected — the request simply never ran).
+    Poisoned(&'static str),
 }
 
 impl fmt::Display for EncdictError {
@@ -53,6 +58,7 @@ impl fmt::Display for EncdictError {
             }
             EncdictError::Aggregate(what) => write!(f, "aggregate failure: {what}"),
             EncdictError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
+            EncdictError::Poisoned(what) => write!(f, "poisoned batch round: {what}"),
         }
     }
 }

@@ -1,0 +1,336 @@
+//! Differential proof that the networked service layer (DESIGN.md §16)
+//! is invisible to the database semantics and to the *enclave* observer:
+//! for all nine encrypted dictionary kinds plus PLAIN, the same workload
+//! run over loopback TCP and run in-process produces byte-identical
+//! results AND an identical leakage ledger — the wire adds zero enclave
+//! transitions. Plus the admission/isolation contract: tenants cannot
+//! name each other's tables, table quotas bind, over-limit requests get
+//! a deterministic `BUSY`, and a bad token never reaches the query path.
+
+use encdbdb::{
+    net::tenant_table_name, DbError, EcallKind, NetClient, NetServer, NetServerConfig, QueryResult,
+    Session, TenantSpec,
+};
+
+const CHOICES: [&str; 10] = [
+    "ED1", "ED2", "ED3", "ED4", "ED5", "ED6", "ED7", "ED8", "ED9", "PLAIN",
+];
+
+const TENANT: &str = "acme";
+const TOKEN: &str = "tok-acme";
+
+/// The workload: statement templates with `{t}` as the table name, so
+/// the in-process leg can address the same physical (namespaced) table
+/// the server-side rewriter produces for the TCP leg.
+fn workload(choice: &str) -> Vec<String> {
+    let rows: Vec<String> = (0..30)
+        .map(|i| format!("('{:04}')", (i * 7) % 60))
+        .collect();
+    vec![
+        format!("CREATE TABLE {{t}} (v {choice}(8))"),
+        format!("INSERT INTO {{t}} VALUES {}", rows.join(", ")),
+        "SELECT v FROM {t} WHERE v >= '0030'".into(),
+        "SELECT v FROM {t} WHERE v = '0014'".into(),
+        "SELECT v FROM {t} WHERE v IN ('0007', '0049', '0056')".into(),
+        "SELECT COUNT(*), SUM(v) FROM {t} WHERE v BETWEEN '0010' AND '0050'".into(),
+        "SELECT DISTINCT v FROM {t} ORDER BY 1 LIMIT 5".into(),
+        "DELETE FROM {t} WHERE v BETWEEN '0020' AND '0035'".into(),
+        "SELECT v FROM {t}".into(),
+    ]
+}
+
+fn sorted_result(r: &QueryResult) -> (Vec<String>, Vec<Vec<Vec<u8>>>) {
+    let mut rows = r.rows.clone();
+    rows.sort();
+    (r.columns.clone(), rows)
+}
+
+/// Runs one kind's workload over TCP and in-process and compares every
+/// observable.
+fn run_kind(choice: &str, seed: u64) {
+    // TCP leg: the table is created *through the wire* as tenant "acme",
+    // so it lands in the shared namespace as `acme__t`.
+    let tcp_session = Session::with_seed(seed).expect("tcp session");
+    tcp_session.server().set_compaction_policy(None);
+    let handle = NetServer::start(
+        tcp_session,
+        vec![TenantSpec::new(TENANT, TOKEN)],
+        NetServerConfig::default(),
+    )
+    .expect("server start");
+    let mut client = NetClient::connect(handle.addr(), TENANT, TOKEN).expect("connect");
+    let tcp_results: Vec<QueryResult> = workload(choice)
+        .iter()
+        .map(|stmt| {
+            client
+                .execute(&stmt.replace("{t}", "t"))
+                .unwrap_or_else(|e| panic!("{choice}: tcp leg failed on {stmt:?}: {e}"))
+        })
+        .collect();
+    client.close();
+    let tcp_session = handle.shutdown().expect("shutdown");
+
+    // In-process leg: same seed, same workload, addressed directly at
+    // the namespaced table the rewriter would produce.
+    let mut local = Session::with_seed(seed).expect("local session");
+    local.server().set_compaction_policy(None);
+    let table = tenant_table_name(TENANT, "t");
+    let local_results: Vec<QueryResult> = workload(choice)
+        .iter()
+        .map(|stmt| {
+            let sql = stmt.replace("{t}", &table);
+            local
+                .execute(&sql)
+                .unwrap_or_else(|e| panic!("{choice}: local leg failed on {sql:?}: {e}"))
+        })
+        .collect();
+
+    // Results must be byte-identical (columns modulo the namespace
+    // prefix the server strips before replying).
+    for (i, (tcp, inproc)) in tcp_results.iter().zip(&local_results).enumerate() {
+        let (tcp_cols, tcp_rows) = sorted_result(tcp);
+        let (local_cols, local_rows) = sorted_result(inproc);
+        let local_cols: Vec<String> = local_cols
+            .iter()
+            .map(|c| c.replace(&format!("{TENANT}__"), ""))
+            .collect();
+        assert_eq!(tcp_cols, local_cols, "{choice} stmt {i}: columns");
+        assert_eq!(tcp_rows, local_rows, "{choice} stmt {i}: rows");
+    }
+
+    // The wire adds zero enclave transitions: per-kind, per-byte ledger
+    // equality between the legs, and equal transition totals.
+    let lt = tcp_session.leakage_ledger();
+    let ll = local.leakage_ledger();
+    for kind in EcallKind::ALL {
+        let (t, l) = (lt.kind(kind), ll.kind(kind));
+        assert_eq!(t.calls, l.calls, "{choice}: {kind:?} calls");
+        assert_eq!(t.bytes_in, l.bytes_in, "{choice}: {kind:?} bytes_in");
+        assert_eq!(t.bytes_out, l.bytes_out, "{choice}: {kind:?} bytes_out");
+        assert_eq!(
+            t.values_decrypted, l.values_decrypted,
+            "{choice}: {kind:?} values_decrypted"
+        );
+        assert_eq!(
+            t.untrusted_loads, l.untrusted_loads,
+            "{choice}: {kind:?} untrusted_loads"
+        );
+        assert_eq!(
+            t.untrusted_bytes, l.untrusted_bytes,
+            "{choice}: {kind:?} untrusted_bytes"
+        );
+    }
+    assert_eq!(
+        tcp_session.metrics_report().counter("ecalls_total"),
+        local.metrics_report().counter("ecalls_total"),
+        "{choice}: the wire must add zero enclave transitions"
+    );
+
+    // The TCP leg's network counters saw exactly the workload.
+    let m = tcp_session.metrics_report();
+    assert_eq!(
+        m.counter("net_requests_total"),
+        workload(choice).len() as u64,
+        "{choice}: one request per statement"
+    );
+    assert_eq!(m.counter("net_connections_accepted_total"), 1);
+    assert_eq!(m.counter("net_auth_failures_total"), 0);
+    assert_eq!(m.counter("net_busy_replies_total"), 0);
+    assert!(m.counter("net_bytes_in_total") > 0);
+    assert!(m.counter("net_bytes_out_total") > 0);
+}
+
+#[test]
+fn tcp_and_in_process_agree_for_every_kind() {
+    for (i, choice) in CHOICES.iter().enumerate() {
+        run_kind(choice, 0x7C9_0000 + i as u64);
+    }
+}
+
+#[test]
+fn join_columns_round_trip_through_the_namespace() {
+    let seed = 0x701_1234;
+    let stmts = [
+        "CREATE TABLE {a} (k ED5(8), x ED9(8))",
+        "CREATE TABLE {b} (k ED5(8), y ED9(8))",
+        "INSERT INTO {a} VALUES ('0001', '0010'), ('0002', '0020'), ('0003', '0030')",
+        "INSERT INTO {b} VALUES ('0002', '0200'), ('0003', '0300'), ('0004', '0400')",
+        "SELECT {a}.x, {b}.y FROM {a} JOIN {b} ON {a}.k = {b}.k",
+        "SELECT {a}.k, SUM({b}.y) FROM {a} JOIN {b} ON {a}.k = {b}.k GROUP BY {a}.k",
+    ];
+
+    let tcp_session = Session::with_seed(seed).expect("tcp session");
+    tcp_session.server().set_compaction_policy(None);
+    let handle = NetServer::start(
+        tcp_session,
+        vec![TenantSpec::new(TENANT, TOKEN)],
+        NetServerConfig::default(),
+    )
+    .expect("server start");
+    let mut client = NetClient::connect(handle.addr(), TENANT, TOKEN).expect("connect");
+    let tcp_results: Vec<QueryResult> = stmts
+        .iter()
+        .map(|s| {
+            client
+                .execute(&s.replace("{a}", "a").replace("{b}", "b"))
+                .unwrap_or_else(|e| panic!("tcp join leg failed on {s:?}: {e}"))
+        })
+        .collect();
+    client.close();
+    let tcp_session = handle.shutdown().expect("shutdown");
+
+    let mut local = Session::with_seed(seed).expect("local session");
+    local.server().set_compaction_policy(None);
+    let (ta, tb) = (
+        tenant_table_name(TENANT, "a"),
+        tenant_table_name(TENANT, "b"),
+    );
+    let local_results: Vec<QueryResult> = stmts
+        .iter()
+        .map(|s| {
+            local
+                .execute(&s.replace("{a}", &ta).replace("{b}", &tb))
+                .unwrap_or_else(|e| panic!("local join leg failed on {s:?}: {e}"))
+        })
+        .collect();
+
+    for (i, (tcp, inproc)) in tcp_results.iter().zip(&local_results).enumerate() {
+        // Qualified output names ("a.x", "sum(b.y)") must come back with
+        // the tenant prefix stripped.
+        let local_cols: Vec<String> = inproc
+            .columns
+            .iter()
+            .map(|c| c.replace(&format!("{TENANT}__"), ""))
+            .collect();
+        assert_eq!(tcp.columns, local_cols, "join stmt {i}: columns");
+        let (_, tcp_rows) = sorted_result(tcp);
+        let (_, local_rows) = sorted_result(inproc);
+        assert_eq!(tcp_rows, local_rows, "join stmt {i}: rows");
+    }
+    let (lt, ll) = (tcp_session.leakage_ledger(), local.leakage_ledger());
+    assert_eq!(lt.total_calls(), ll.total_calls(), "join: transitions");
+}
+
+#[test]
+fn tenants_cannot_reach_each_others_tables() {
+    let session = Session::with_seed(0x150_0001).expect("session");
+    let handle = NetServer::start(
+        session,
+        vec![
+            TenantSpec::new("acme", "tok-a"),
+            TenantSpec::new("globex", "tok-g"),
+        ],
+        NetServerConfig::default(),
+    )
+    .expect("server start");
+
+    let mut acme = NetClient::connect(handle.addr(), "acme", "tok-a").expect("acme connect");
+    acme.execute("CREATE TABLE t (v ED2(8))").expect("create");
+    acme.execute("INSERT INTO t VALUES ('0001'), ('0002')")
+        .expect("insert");
+    assert_eq!(
+        acme.execute("SELECT v FROM t")
+            .expect("own select")
+            .rows
+            .len(),
+        2
+    );
+
+    // The other tenant addressing the same name sees *its own* (absent)
+    // namespace, not acme's data.
+    let mut globex = NetClient::connect(handle.addr(), "globex", "tok-g").expect("globex connect");
+    let err = globex.execute("SELECT v FROM t").expect_err("isolated");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("globex__t") && msg.contains("table not found"),
+        "isolation error should name the rewritten table: {msg}"
+    );
+    // Nor can it smuggle a qualified reference to another namespace: the
+    // rewriter prefixes the qualifier too.
+    let err = globex
+        .execute("SELECT acme__t.v FROM acme__t")
+        .expect_err("qualified escape");
+    assert!(
+        err.to_string().contains("globex__acme__t"),
+        "qualified names must be re-namespaced: {err}"
+    );
+
+    acme.close();
+    globex.close();
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn table_quota_and_busy_shedding_are_deterministic() {
+    // Table quota: a tenant provisioned for one table gets ERR_QUOTA on
+    // the second create, and the refused create consumed no quota.
+    let session = Session::with_seed(0x150_0002).expect("session");
+    let mut spec = TenantSpec::new("acme", "tok");
+    spec.max_tables = 1;
+    let handle =
+        NetServer::start(session, vec![spec], NetServerConfig::default()).expect("server start");
+    let mut client = NetClient::connect(handle.addr(), "acme", "tok").expect("connect");
+    client.execute("CREATE TABLE t (v ED2(8))").expect("first");
+    let err = client
+        .execute("CREATE TABLE u (v ED2(8))")
+        .expect_err("quota");
+    assert!(
+        err.to_string().contains("server error 4") && err.to_string().contains("quota"),
+        "{err}"
+    );
+    client.close();
+    handle.shutdown().expect("shutdown");
+
+    // Query admission: with a zero in-flight budget every query is shed
+    // with BUSY carrying the configured backoff, and the handshake (not
+    // subject to query admission) still succeeds.
+    let session = Session::with_seed(0x150_0003).expect("session");
+    let handle = NetServer::start(
+        session,
+        vec![TenantSpec::new("acme", "tok")],
+        NetServerConfig {
+            max_inflight_queries: 0,
+            retry_after_ms: 33,
+            ..NetServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let mut client = NetClient::connect(handle.addr(), "acme", "tok").expect("connect");
+    for _ in 0..3 {
+        match client.execute("SELECT v FROM t") {
+            Err(DbError::ServerBusy { retry_after_ms }) => assert_eq!(retry_after_ms, 33),
+            other => panic!("expected ServerBusy, got {other:?}"),
+        }
+    }
+    client.close();
+    let session = handle.shutdown().expect("shutdown");
+    assert_eq!(
+        session.metrics_report().counter("net_busy_replies_total"),
+        3
+    );
+}
+
+#[test]
+fn bad_credentials_never_reach_the_query_path() {
+    let session = Session::with_seed(0x150_0004).expect("session");
+    let handle = NetServer::start(
+        session,
+        vec![TenantSpec::new("acme", "tok")],
+        NetServerConfig::default(),
+    )
+    .expect("server start");
+
+    for (tenant, token) in [("acme", "wrong"), ("nobody", "tok")] {
+        let err = NetClient::connect(handle.addr(), tenant, token).expect_err("rejected");
+        assert!(err.to_string().contains("server error 2"), "{err}");
+    }
+
+    let session = handle.shutdown().expect("shutdown");
+    let m = session.metrics_report();
+    assert_eq!(m.counter("net_auth_failures_total"), 2);
+    assert_eq!(
+        m.counter("net_requests_total"),
+        0,
+        "rejected connections must execute nothing"
+    );
+}

@@ -1,0 +1,153 @@
+//! Regression test for the scheduler crash-safety hole (DESIGN.md §15):
+//! a round leader that panics mid-transition used to leave its followers
+//! blocked forever on their `ReplySlot` condvars. Now the round is held
+//! by a guard whose unwind path resigns leadership and poisons every
+//! undelivered slot, so followers fail their query with
+//! [`EncdictError::Poisoned`] instead of wedging — and the server keeps
+//! serving afterwards.
+
+use encdbdb::{DbError, Session};
+use encdict::EncdictError;
+use std::time::Duration;
+
+fn sorted_col(r: encdbdb::QueryResult) -> Vec<String> {
+    let mut out: Vec<String> = r
+        .rows_as_strings()
+        .into_iter()
+        .map(|mut row| row.remove(0))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn injected_leader_panic_poisons_followers_and_server_recovers() {
+    let mut db = Session::with_seed(0x90150).expect("session");
+    assert!(db.server().ecall_batching(), "batching is the default");
+    db.execute("CREATE TABLE t (v ED2(8))").expect("create");
+    let rows: Vec<String> = (0..48).map(|i| format!("('{:04}')", i % 60)).collect();
+    db.execute(&format!("INSERT INTO t VALUES {}", rows.join(", ")))
+        .expect("insert");
+
+    // Pin the enclave so the first reader claims leadership and then
+    // blocks inside its round; arm the hook so that, once unpinned, the
+    // leader panics right after acquiring the enclave lock.
+    let guard = db.server().enclave();
+    db.server().arm_scheduler_panic();
+
+    let (leader_panicked, follower_results) = std::thread::scope(|scope| {
+        let mut leader_reader = db.reader(1);
+        let leader =
+            scope.spawn(move || leader_reader.execute("SELECT v FROM t WHERE v >= '0010'"));
+        // Give the leader time to claim leadership and block on the
+        // pinned enclave, so the followers below provably enqueue.
+        std::thread::sleep(Duration::from_millis(200));
+        let followers: Vec<_> = (0..3)
+            .map(|i| {
+                let mut reader = db.reader(10 + i);
+                scope.spawn(move || reader.execute("SELECT v FROM t WHERE v >= '0020'"))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(200));
+        drop(guard);
+        (
+            leader.join().is_err(),
+            followers
+                .into_iter()
+                .map(|f| f.join().expect("follower threads must not panic"))
+                .collect::<Vec<_>>(),
+        )
+    });
+
+    assert!(
+        leader_panicked,
+        "the armed hook must panic the leader's thread"
+    );
+    for result in follower_results {
+        match result {
+            Err(DbError::Dict(e)) => {
+                assert!(
+                    matches!(e, EncdictError::Poisoned(_)),
+                    "follower error should be Poisoned, got: {e}"
+                );
+            }
+            other => panic!("follower must fail with a poisoned-round error, got {other:?}"),
+        }
+    }
+
+    // Leadership was resigned during unwind and the hook auto-disarmed:
+    // the very next queries — serial and concurrent — succeed.
+    let expected: Vec<String> = {
+        let mut v: Vec<String> = (0..48)
+            .map(|i| format!("{:04}", i % 60))
+            .filter(|v| v.as_str() >= "0020")
+            .collect();
+        v.sort();
+        v
+    };
+    let after = db
+        .execute("SELECT v FROM t WHERE v >= '0020'")
+        .expect("server must keep serving after a poisoned round");
+    assert_eq!(sorted_col(after), expected);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let mut reader = db.reader(100 + i);
+                scope.spawn(move || {
+                    sorted_col(
+                        reader
+                            .execute("SELECT v FROM t WHERE v >= '0020'")
+                            .expect("post-recovery concurrent query"),
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("no panic"), expected);
+        }
+    });
+}
+
+#[test]
+fn poisoned_requests_leave_no_ledger_trace() {
+    // A poisoned request never executed: no enclave transition happened
+    // for it, so neither the ledger nor `ecalls_total` may move.
+    let mut db = Session::with_seed(0x90151).expect("session");
+    db.execute("CREATE TABLE t (v ED7(8))").expect("create");
+    db.execute("INSERT INTO t VALUES ('0001'), ('0002'), ('0003')")
+        .expect("insert");
+
+    let before_ledger = db.leakage_ledger();
+    let before_ecalls = db.metrics_report().counter("ecalls_total");
+
+    let guard = db.server().enclave();
+    db.server().arm_scheduler_panic();
+    std::thread::scope(|scope| {
+        let mut leader_reader = db.reader(1);
+        let leader =
+            scope.spawn(move || leader_reader.execute("SELECT v FROM t WHERE v >= '0002'"));
+        std::thread::sleep(Duration::from_millis(200));
+        let mut follower_reader = db.reader(2);
+        let follower =
+            scope.spawn(move || follower_reader.execute("SELECT v FROM t WHERE v >= '0002'"));
+        std::thread::sleep(Duration::from_millis(200));
+        drop(guard);
+        assert!(leader.join().is_err());
+        assert!(matches!(
+            follower.join().expect("no panic"),
+            Err(DbError::Dict(EncdictError::Poisoned(_)))
+        ));
+    });
+
+    let delta = db.leakage_ledger().since(&before_ledger);
+    assert_eq!(
+        delta.total_calls(),
+        0,
+        "a poisoned round must record no transitions"
+    );
+    assert_eq!(
+        db.metrics_report().counter("ecalls_total"),
+        before_ecalls,
+        "ecalls_total must not move for requests that never ran"
+    );
+}
